@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of the DRAM device hot path: command legality
+//! checks, command commits, address decoding — the per-burst costs every
+//! frame simulation pays millions of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcm_dram::{
+    AddressDecoder, AddressMapping, BankCluster, ClusterConfig, DramCommand, Geometry,
+};
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_device");
+    g.bench_function("sequential_read_burst", |b| {
+        b.iter_batched(
+            || {
+                let mut dev =
+                    BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
+                dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+                (dev, 6u64, 0u32)
+            },
+            |(mut dev, mut cycle, mut col)| {
+                for _ in 0..128 {
+                    let cmd = DramCommand::Read { bank: 0, col };
+                    cycle = dev.earliest_issue(cmd, cycle).unwrap();
+                    dev.issue(cmd, cycle).unwrap();
+                    col = (col + 4) % 512;
+                }
+                dev
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("earliest_issue_only", |b| {
+        let mut dev = BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
+        dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        b.iter(|| dev.earliest_issue(DramCommand::Read { bank: 0, col: 0 }, 0).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let dec = AddressDecoder::new(Geometry::next_gen_mobile_ddr(), AddressMapping::Rbc).unwrap();
+    c.bench_function("address_decode", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 16) & ((64 << 20) - 1);
+            dec.decode(addr).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_device, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the paper-reproduction cells: the cost of
+//! regenerating one representative cell of each table/figure. Keeps the
+//! reproduction harness itself honest about its runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcm_core::figures;
+use mcm_core::Experiment;
+use mcm_load::{HdOperatingPoint, UseCase};
+
+fn bench_table1(c: &mut Criterion) {
+    // Pure arithmetic: the Table I generator for all five columns.
+    c.bench_function("table1_generate", |b| {
+        b.iter(figures::table1_data);
+    });
+    c.bench_function("table1_row_720p30", |b| {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        b.iter(|| uc.table_row());
+    });
+}
+
+fn bench_figure_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_cells");
+    g.sample_size(10);
+    // One op-limited cell per figure family (the full grids are run by the
+    // bin targets; here we track the simulator cost per cell).
+    g.bench_function("fig3_cell_720p30_2ch_400", |b| {
+        b.iter(|| {
+            let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+            e.op_limit = Some(50_000);
+            e.run().expect("cell")
+        });
+    });
+    g.bench_function("fig4_cell_1080p30_4ch_400", |b| {
+        b.iter(|| {
+            let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+            e.op_limit = Some(50_000);
+            e.run().expect("cell")
+        });
+    });
+    g.finish();
+}
+
+fn bench_traffic_generation(c: &mut Criterion) {
+    use mcm_load::{FrameLayout, FrameTraffic};
+    let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+    let layout = FrameLayout::new(&uc, 64 << 20).expect("layout");
+    c.bench_function("load_traffic_100k_ops", |b| {
+        b.iter(|| {
+            FrameTraffic::new(&uc, &layout, 64)
+                .expect("traffic")
+                .take(100_000)
+                .map(|op| op.len as u64)
+                .sum::<u64>()
+        });
+    });
+}
+
+fn bench_event_kernel(c: &mut Criterion) {
+    use mcm_core::eventsim::run_event_driven;
+    let mut g = c.benchmark_group("event_kernel");
+    g.sample_size(10);
+    g.bench_function("eventsim_20k_ops_4ch", |b| {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+        e.op_limit = Some(20_000);
+        b.iter(|| run_event_driven(&e, 16).expect("event run"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_figure_cells,
+    bench_traffic_generation,
+    bench_event_kernel
+);
+criterion_main!(benches);

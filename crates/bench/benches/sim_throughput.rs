@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the simulator itself: how fast the full stack
+//! (interleaver → controller → DRAM device → energy accounting) processes
+//! master transactions, across channel counts and policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mcm_channel::{MasterTransaction, MemoryConfig, MemorySubsystem};
+use mcm_ctrl::{AccessOp, PagePolicy};
+use mcm_dram::AddressMapping;
+
+/// Streams `n` alternating read/write transactions through a subsystem.
+fn stream(mem: &mut MemorySubsystem, n: u64, chunk: u64) -> u64 {
+    let mut addr = 0u64;
+    let span = mem.capacity_bytes() / 2;
+    for i in 0..n {
+        mem.submit(MasterTransaction {
+            op: if i % 4 == 3 { AccessOp::Write } else { AccessOp::Read },
+            addr,
+            len: chunk,
+            arrival: 0,
+        })
+        .expect("in-range transaction");
+        addr = (addr + chunk) % span;
+    }
+    mem.busy_until()
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subsystem_stream");
+    g.sample_size(10);
+    const N: u64 = 20_000;
+    for channels in [1u32, 2, 4, 8] {
+        let chunk = 64 * channels as u64;
+        g.throughput(Throughput::Bytes(N * chunk));
+        g.bench_with_input(
+            BenchmarkId::new("channels", channels),
+            &channels,
+            |b, &ch| {
+                b.iter(|| {
+                    let mut mem =
+                        MemorySubsystem::new(&MemoryConfig::paper(ch, 400)).expect("config");
+                    stream(&mut mem, N, 64 * ch as u64)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subsystem_policies");
+    g.sample_size(10);
+    const N: u64 = 20_000;
+    let variants: [(&str, Box<dyn Fn() -> MemoryConfig>); 3] = [
+        ("rbc_open", Box::new(|| MemoryConfig::paper(4, 400))),
+        (
+            "brc_open",
+            Box::new(|| MemoryConfig::paper(4, 400).with_mapping(AddressMapping::Brc)),
+        ),
+        (
+            "rbc_closed",
+            Box::new(|| {
+                let mut cfg = MemoryConfig::paper(4, 400);
+                cfg.controller.page_policy = PagePolicy::Closed;
+                cfg
+            }),
+        ),
+    ];
+    for (name, mk) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut mem = MemorySubsystem::new(&mk()).expect("config");
+                stream(&mut mem, N, 256)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_channels, bench_policies);
+criterion_main!(benches);

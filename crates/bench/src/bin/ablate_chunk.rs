@@ -1,0 +1,38 @@
+//! Ablation A5: master-transaction sizing.
+//!
+//! The paper's uniform ~2x speedup per channel doubling implies the
+//! per-channel sequential run length stays constant as channels grow
+//! (`ChunkPolicy::PerChannel`). A fixed cache-line master shows what
+//! happens otherwise: read/write bus turnarounds eat the added channels.
+
+use mcm_bench::{fmt_ms, run_parallel};
+use mcm_core::{ChunkPolicy, Experiment};
+use mcm_load::HdOperatingPoint;
+
+fn main() {
+    println!("Ablation: master transaction sizing (720p30 access time [ms] @ 400 MHz)\n");
+    println!("  channels | per-ch 64B  fixed 64B fixed 256B fixed 1KiB");
+    for ch in [1u32, 2, 4, 8] {
+        let policies = [
+            ChunkPolicy::PerChannel(64),
+            ChunkPolicy::Fixed(64),
+            ChunkPolicy::Fixed(256),
+            ChunkPolicy::Fixed(1024),
+        ];
+        let exps: Vec<Experiment> = policies
+            .iter()
+            .map(|&c| {
+                let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, ch, 400);
+                e.chunk = c;
+                e
+            })
+            .collect();
+        let row: String = run_parallel(exps)
+            .iter()
+            .map(|r| format!("  {}", fmt_ms(r)))
+            .collect();
+        println!("  {ch:>8} |{row}");
+    }
+    println!("\nExpectation: per-channel sizing keeps the 2x-per-doubling trend;");
+    println!("a fixed 64B master flattens out beyond 2 channels.");
+}

@@ -1,0 +1,36 @@
+//! Ablation A1: RBC vs. BRC address multiplexing on the Fig. 3 grid.
+//!
+//! The paper: "the shown results utilize Row-Bank-Column (RBC) address
+//! multiplexing since somewhat better performance were achieved compared to
+//! the Bank-Row-Column (BRC) multiplexing type."
+
+use mcm_bench::{fmt_ms, run_parallel};
+use mcm_core::Experiment;
+use mcm_dram::AddressMapping;
+use mcm_load::HdOperatingPoint;
+
+fn main() {
+    println!("Ablation: address multiplexing (720p30 frame access time [ms])\n");
+    println!("  ch\\MHz   |      200      266      333      400      466      533");
+    for mapping in [AddressMapping::Rbc, AddressMapping::Brc] {
+        println!("  --- {mapping} ---");
+        for ch in [1u32, 2, 4, 8] {
+            let exps: Vec<Experiment> = [200u64, 266, 333, 400, 466, 533]
+                .iter()
+                .map(|&clk| {
+                    let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, ch, clk);
+                    e.memory = e.memory.with_mapping(mapping);
+                    e
+                })
+                .collect();
+            let row: String = run_parallel(exps).iter().map(fmt_ms).collect();
+            println!("  {ch:>8} |{row}");
+        }
+    }
+    println!("\nExpectation: RBC is faster for two compounding reasons: sequential");
+    println!("sweeps rotate banks at page boundaries (hiding activates), and the");
+    println!("allocator can stagger concurrently-streamed buffers across banks.");
+    println!("Under BRC the bank bits are the top address bits, so buffers cannot");
+    println!("be bank-staggered without wasting a quarter of the address space --");
+    println!("concurrent streams conflict in one bank on top of the page stalls.");
+}

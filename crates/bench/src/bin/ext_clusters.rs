@@ -1,0 +1,61 @@
+//! Extension E1: the conclusions' channel-cluster proposal, quantified.
+//!
+//! "It may be necessary to divide very large multi-channel memories into
+//! independent channel clusters, each consisting of \[a\] reasonable number
+//! of channels." We compare a flat 8-channel memory against 2x4 clusters
+//! for a 1080p30 load that only needs four channels.
+
+use mcm::prelude::*;
+
+fn main() {
+    let use_case = UseCase::hd(HdOperatingPoint::Hd1080p30);
+    println!("Extension: channel clusters (1080p30 @ 400 MHz)\n");
+
+    let flat = Experiment::paper(HdOperatingPoint::Hd1080p30, 8, 400)
+        .run()
+        .expect("flat run");
+    println!(
+        "  flat 8ch:      {:>6.2} ms, {:>4.0} mW total ({:.0} interface)",
+        flat.access_time.as_ms_f64(),
+        flat.power.total_mw(),
+        flat.power.interface_mw
+    );
+
+    let geometry = Geometry::next_gen_mobile_ddr();
+    let mut clustered = ClusteredMemory::new(&MemoryConfig::paper(4, 400), 2).expect("clusters");
+    let layout = FrameLayout::with_options(
+        &use_case,
+        &mcm_load::LayoutOptions::bank_staggered(
+            clustered.cluster_capacity_bytes(),
+            geometry.page_bytes() as u64,
+            4,
+            geometry.banks,
+        ),
+    )
+    .expect("layout");
+    for op in FrameTraffic::new(&use_case, &layout, 256).expect("traffic") {
+        clustered
+            .submit(MasterTransaction {
+                op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                addr: op.addr,
+                len: op.len as u64,
+                arrival: 0,
+            })
+            .expect("submit");
+    }
+    let reports = clustered.finish(13_333_333).expect("finish"); // 33.3 ms
+    let frame_ns = 1e9 / 30.0;
+    let active = reports[0].core_energy_pj / frame_ns;
+    let idle = reports[1].core_energy_pj / frame_ns;
+    let interface = InterfacePowerModel::paper().total_power_mw(Frequency::from_mhz(400), 4);
+    println!(
+        "  clustered 2x4: {:>6.2} ms, {:>4.0} mW total (active {:.0} + idle {:.0} + interface {:.0})",
+        reports[0].access_time.as_ms_f64(),
+        active + idle + interface,
+        active,
+        idle,
+        interface
+    );
+    println!("\nThe cluster saves interface+standby power on the unused channels at");
+    println!("the cost of halving the bandwidth available to the single use case.");
+}

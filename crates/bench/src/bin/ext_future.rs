@@ -1,0 +1,68 @@
+//! Extension E11: the real ceiling of H.264 level 5.2 — 2160p60.
+//!
+//! The paper stops at 2160p30 and concludes the subsystem "scales well for
+//! future needs". Level 5.2 actually admits 3840x2160 at 60 fps
+//! (1,944,000 MB/s of 2,073,600 allowed) — roughly 32 GB/s of execution
+//! memory traffic. This target asks: can the paper's device do it at all,
+//! and what does a projected LPDDR2-class successor (up to 800 MHz,
+//! 1.2 V core) need?
+
+use mcm_core::Experiment;
+use mcm_dram::ClusterConfig;
+use mcm_load::{FrameFormat, H264Level, HdOperatingPoint, RefFrames, UseCase, UseCaseMode};
+
+fn uc_2160p60() -> UseCase {
+    UseCase {
+        video: FrameFormat::UHD_2160,
+        fps: 60,
+        level: H264Level::L5_2,
+        digizoom: 1.0,
+        display: FrameFormat::WVGA,
+        display_hz: 60,
+        video_kbps: H264Level::L5_2.limits().max_br_kbps,
+        audio_kbps: 128,
+        ref_frames: RefFrames::Fixed(4),
+        encoder_factor: 6,
+        mode: UseCaseMode::Recording,
+    }
+}
+
+fn main() {
+    let uc = uc_2160p60();
+    uc.validate().expect("2160p60 is legal at level 5.2");
+    println!(
+        "2160p60 (the level 5.2 ceiling): {:.1} GB/s of execution-memory load\n",
+        uc.table_row().gbytes_per_second()
+    );
+    println!("  device / clock / channels  | access [ms] vs 16.7 | power");
+
+    // The paper's device at its best configuration.
+    let mut exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 8, 533);
+    exp.use_case = uc;
+    let r = exp.run().expect("paper device run");
+    println!(
+        "  paper device, 533 MHz, 8ch |  {:>6.2} [{}] | {}",
+        r.access_time.as_ms_f64(),
+        r.verdict,
+        r.power
+    );
+
+    // The projected future part.
+    for clock in [667u64, 800] {
+        let mut exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 8, 400);
+        exp.use_case = uc;
+        exp.memory.clock_mhz = clock;
+        exp.memory.controller.cluster = ClusterConfig::future_lpddr2(clock);
+        let r = exp.run().expect("future device run");
+        println!(
+            "  future LPDDR2, {clock} MHz, 8ch |  {:>6.2} [{}] | {}",
+            r.access_time.as_ms_f64(),
+            r.verdict,
+            r.power
+        );
+    }
+    println!("\nExpectation: the paper's DDR2-window device cannot reach 2160p60 even");
+    println!("at 533 MHz x 8 channels; the projected LPDDR2-class part makes it at");
+    println!("~800 MHz — scaling the paper's own recipe (faster clock, lower");
+    println!("voltage) one more generation, exactly as its conclusion anticipates.");
+}

@@ -1,0 +1,32 @@
+//! Extension E2: frame-rate headroom.
+//!
+//! The conclusions claim "the multi-channel memory subsystem configuration
+//! scales well for future needs"; this target quantifies the claim as the
+//! maximum sustainable frame rate per format and configuration (real time
+//! with the 15% margin).
+
+use mcm_core::{analysis, Experiment};
+use mcm_load::HdOperatingPoint;
+
+fn main() {
+    println!("Maximum sustainable frame rate [fps] @ 400 MHz (>= real time with margin)\n");
+    println!("  format \\ channels |       1       2       4       8");
+    for p in [
+        HdOperatingPoint::Hd720p30,
+        HdOperatingPoint::Hd1080p30,
+        HdOperatingPoint::Uhd2160p30,
+    ] {
+        let mut row = format!("  {:>17} |", p.format().to_string());
+        for ch in [1u32, 2, 4, 8] {
+            let base = Experiment::paper(p, ch, 400);
+            match analysis::max_sustainable_fps(&base) {
+                Ok(Some(fps)) => row += &format!(" {fps:>7}"),
+                Ok(None) => row += &format!(" {:>7}", "-"),
+                Err(e) => panic!("headroom sweep failed: {e}"),
+            }
+        }
+        println!("{row}");
+    }
+    println!("\n(The H.264 level is lifted to the smallest one supporting each trial");
+    println!("rate; '-' = not sustainable at any rate, or buffers exceed capacity.)");
+}

@@ -1,0 +1,46 @@
+//! Extension E3: race-to-sleep vs. paced operation.
+//!
+//! The paper's load model issues the frame's accesses back-to-back and lets
+//! the memory power down for the rest of the frame (race-to-sleep). A
+//! rate-controlled master spreads the same accesses across the budget.
+//! This target quantifies the difference in power and per-request latency —
+//! directly relevant to the conclusions' call for "novel policies" to keep
+//! power manageable.
+
+use mcm_core::{Experiment, Pacing};
+use mcm_load::HdOperatingPoint;
+
+fn main() {
+    println!("Race-to-sleep (greedy) vs. paced master @ 400 MHz\n");
+    println!("  format / ch              |  power greedy |  power paced | p99 latency greedy/paced");
+    for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30] {
+        for ch in [1u32, 4] {
+            let run = |pacing: Pacing| {
+                let mut e = Experiment::paper(p, ch, 400);
+                e.pacing = pacing;
+                e.run().expect("run")
+            };
+            let g = run(Pacing::Greedy);
+            let pcd = run(Pacing::Paced);
+            let p99 = |r: &mcm_core::FrameResult| {
+                r.report
+                    .channels
+                    .iter()
+                    .filter_map(|c| c.latency_p99)
+                    .max()
+                    .map(|t| format!("{t}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            println!(
+                "  {p} {ch}ch |   {:>8.0} mW |  {:>8.0} mW | {} / {}",
+                g.power.total_mw(),
+                pcd.power.total_mw(),
+                p99(&g),
+                p99(&pcd),
+            );
+        }
+    }
+    println!("\nExpectation: greedy keeps the long power-down tail and suffers deep");
+    println!("queueing latencies; pacing raises background power (less power-down)");
+    println!("but bounds per-request latency — the classic race-to-idle trade.");
+}

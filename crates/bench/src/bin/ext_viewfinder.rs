@@ -1,0 +1,44 @@
+//! Extension E8: viewfinder mode.
+//!
+//! Before the user presses record, the camera pipeline runs capture →
+//! process → display with no encoding or storage. This target sizes the
+//! memory for that mode: the video-coding stages (the dominant load) drop
+//! away and a single channel suffices even for formats whose recording
+//! needs four or eight.
+
+use mcm_core::Experiment;
+use mcm_load::{HdOperatingPoint, UseCase};
+
+fn main() {
+    println!("Viewfinder vs recording @ 400 MHz (access [ms] / total power [mW])\n");
+    println!("  format / channels         |      recording |     viewfinder");
+    for p in [
+        HdOperatingPoint::Hd720p30,
+        HdOperatingPoint::Hd1080p30,
+        HdOperatingPoint::Uhd2160p30,
+    ] {
+        for ch in [1u32, 4] {
+            let mut row = format!("  {p} {ch}ch |");
+            for viewfinder in [false, true] {
+                let mut e = Experiment::paper(p, ch, 400);
+                if viewfinder {
+                    e.use_case = UseCase::viewfinder(p);
+                }
+                match e.run() {
+                    Ok(r) => {
+                        row += &format!(
+                            " {:>6.2} / {:>4.0} |",
+                            r.access_time.as_ms_f64(),
+                            r.power.total_mw()
+                        )
+                    }
+                    Err(_) => row += &format!(" {:>13} |", "no fit"),
+                }
+            }
+            println!("{row}");
+        }
+    }
+    println!("\nExpectation: without the encoder's reference traffic (the 'single");
+    println!("most memory intensive part'), even 2160p viewfinding fits lean");
+    println!("configurations — the multi-channel memory is for *recording*.");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 3: effect of memory clock frequency on memory access
+//! time (one 720p30 frame, 1/2/4/8 channels, 200-533 MHz).
+
+fn main() {
+    let data = mcm_core::figures::fig3_data().expect("fig3 grid");
+    print!("{}", mcm_core::figures::render_fig3(&data));
+    println!();
+    print!("{}", mcm_core::charts::fig3_chart(&data, 400));
+    println!();
+    if let Some(s) = mcm_core::analysis::channel_doubling_speedup(&data) {
+        println!("  Mean speedup per channel doubling: {s:.2}x (paper: close to 2x)");
+    }
+    if let Some(s) = mcm_core::analysis::clock_doubling_speedup(&data) {
+        println!("  Mean speedup per clock doubling:   {s:.2}x (paper: close to 2x)");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4: effect of encoding format on memory access time at
+//! 400 MHz, against the 30/60 fps real-time lines.
+
+fn main() {
+    let data = mcm_core::figures::format_grid_data().expect("fig4 grid");
+    print!("{}", mcm_core::figures::render_fig4(&data));
+}

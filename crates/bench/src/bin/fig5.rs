@@ -1,0 +1,14 @@
+//! Regenerates Fig. 5: effect of encoding format on memory power
+//! consumption at 400 MHz, with the equation (1) interface power stacked
+//! and bars suppressed when real time (with the 15% margin) is missed.
+
+fn main() {
+    let data = mcm_core::figures::format_grid_data().expect("fig5 grid");
+    print!("{}", mcm_core::figures::render_fig5(&data));
+    println!();
+    for idx in 0..data.points.len() {
+        print!("{}", mcm_core::charts::fig5_chart(&data, idx));
+        println!();
+    }
+    println!("\nPaper anchors: 720p 150 mW (1ch) -> 205 mW (8ch); 1080p30 4ch 345 mW; 2160p 8ch 1280 mW.");
+}

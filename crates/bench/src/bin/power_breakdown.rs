@@ -1,0 +1,43 @@
+//! Power breakdown: where the milliwatts of Fig. 5 actually go.
+//!
+//! Splits each configuration's average power into background (standby +
+//! power-down residency), activate, read bursts, write bursts, refresh and
+//! the equation (1) interface — the decomposition behind the paper's
+//! "moderate increase" claim for multi-channel configurations.
+
+use mcm_core::Experiment;
+use mcm_load::HdOperatingPoint;
+
+fn main() {
+    println!("Average power breakdown over the frame period [mW] @ 400 MHz\n");
+    println!("  format / ch              |   bg  |  act |  read | write |  ref |  i/f | total");
+    for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30, HdOperatingPoint::Uhd2160p30] {
+        for ch in [1u32, 4, 8] {
+            let Ok(r) = Experiment::paper(p, ch, 400).run() else {
+                continue;
+            };
+            // Average over the same horizon the Fig. 5 cells use: the
+            // frame period, or the (longer) access time when it overruns.
+            let period_ns = r.frame_budget.as_ns_f64().max(r.access_time.as_ns_f64());
+            let mut bg = 0.0;
+            let (mut act, mut rd, mut wr, mut rf) = (0.0, 0.0, 0.0, 0.0);
+            for c in &r.report.channels {
+                bg += c.background_energy_pj / period_ns;
+                let (a, rdd, wrr, rff) = c.event_breakdown_pj;
+                act += a / period_ns;
+                rd += rdd / period_ns;
+                wr += wrr / period_ns;
+                rf += rff / period_ns;
+            }
+            let iface = r.power.interface_mw;
+            println!(
+                "  {p} {ch}ch | {bg:>5.0} | {act:>4.1} | {rd:>5.0} | {wr:>5.0} | {rf:>4.1} | {iface:>4.0} | {:>5.0}",
+                bg + act + rd + wr + rf + iface
+            );
+        }
+    }
+    println!("\nReading: bursts dominate and scale with the *load*, not the channel");
+    println!("count; the multi-channel premium is background + interface only —");
+    println!("which the power-down policy keeps small. That is the paper's");
+    println!("'moderate overhead' claim, decomposed.");
+}

@@ -1,0 +1,28 @@
+//! Stage profile: where the frame's memory time goes, per configuration.
+//!
+//! Table I gives each stage's traffic volume; this target measures each
+//! stage's *time* on the simulated memory — volumes and times differ
+//! because stages have different read/write mixes and locality.
+
+use mcm_core::profile::run_profiled;
+use mcm_core::Experiment;
+use mcm_load::HdOperatingPoint;
+
+fn main() {
+    for (p, ch) in [
+        (HdOperatingPoint::Hd720p30, 1u32),
+        (HdOperatingPoint::Hd1080p30, 4),
+    ] {
+        println!("=== {p} on {ch} ch @ 400 MHz ===\n");
+        let exp = Experiment::paper(p, ch, 400);
+        let profile = run_profiled(&exp).expect("profiled run");
+        print!("{}", profile.render());
+        if let Some(b) = profile.bottleneck() {
+            println!(
+                "\n  bottleneck: {} ({:.1}% of the frame)\n",
+                b.stage,
+                100.0 * b.time.as_ps() as f64 / profile.total.as_ps() as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Regenerates every table and figure of the paper in order, plus the
+//! conclusions' trend analyses. `--json` additionally dumps the raw grid
+//! data as JSON to stdout after the text report.
+
+use mcm_core::{analysis, figures};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let csv_dir = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--csv")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    println!("==============================================================");
+    println!(" A case for multi-channel memories in video recording");
+    println!(" (DATE 2009) — full reproduction");
+    println!("==============================================================\n");
+
+    let t1 = figures::table1_data();
+    print!("{}", figures::render_table1(&t1));
+    println!();
+    print!("{}", figures::render_table2(4));
+    println!();
+
+    let f3 = figures::fig3_data().expect("fig3");
+    print!("{}", figures::render_fig3(&f3));
+    if let Some(s) = analysis::channel_doubling_speedup(&f3) {
+        println!("  Mean speedup per channel doubling: {s:.2}x (paper: ~2x)");
+    }
+    if let Some(s) = analysis::clock_doubling_speedup(&f3) {
+        println!("  Mean speedup per clock doubling:   {s:.2}x (paper: ~2x)");
+    }
+    println!();
+
+    let grid = figures::format_grid_data().expect("fig4/5");
+    print!("{}", figures::render_fig4(&grid));
+    println!();
+    print!("{}", figures::render_fig5(&grid));
+    println!();
+
+    let xdr = figures::xdr_data().expect("xdr");
+    print!("{}", figures::render_xdr(&xdr));
+
+    println!("\nConclusions check — minimum channels at 400 MHz:");
+    for p in mcm_load::HdOperatingPoint::ALL {
+        let min = analysis::min_channels_real_time(p, 400).expect("sweep");
+        let safe = analysis::min_channels_meeting(p, 400).expect("sweep");
+        println!(
+            "  {p}: {} (with margin: {})",
+            min.map_or("none".into(), |c| format!("{c} ch")),
+            safe.map_or("none".into(), |c| format!("{c} ch")),
+        );
+    }
+
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        let w = |name: &str, content: String| {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, content).expect("write csv");
+            eprintln!("wrote {path}");
+        };
+        w("table1.csv", figures::table1_csv(&t1));
+        w("fig3.csv", figures::fig3_csv(&f3));
+        w("fig45.csv", figures::format_grid_csv(&grid));
+    }
+
+    if json {
+        println!("\n--- JSON ---");
+        println!(
+            "{}",
+            serde_json::json!({
+                "table1": t1,
+                "fig3": f3,
+                "format_grid": grid,
+                "xdr": xdr,
+            })
+        );
+    }
+}

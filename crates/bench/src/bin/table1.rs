@@ -1,0 +1,8 @@
+//! Regenerates Table I: memory bandwidth requirements for the stages of the
+//! video recording use case, for all five HD-compatible H.264/AVC levels.
+
+fn main() {
+    let data = mcm_core::figures::table1_data();
+    print!("{}", mcm_core::figures::render_table1(&data));
+    println!("\nPaper anchors: 720p30 ≈ 1.9 GB/s; 1080p30 ≈ 4.3 GB/s (≈2.2x 720p30); 1080p60 ≈ 8.6 GB/s.");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table II: the memory mapping over channels (16-byte
+//! interleaving granules rotating over the bank clusters).
+
+fn main() {
+    for channels in [2u32, 4, 8] {
+        print!("{}", mcm_core::figures::render_table2(channels));
+        println!();
+    }
+}

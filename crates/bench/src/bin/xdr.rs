@@ -1,0 +1,8 @@
+//! Regenerates the Section IV XDR comparison: the 8-channel 400 MHz
+//! subsystem vs. the Cell BE XDR interface (25.6 GB/s @ 5 W).
+
+fn main() {
+    let data = mcm_core::figures::xdr_data().expect("xdr grid");
+    print!("{}", mcm_core::figures::render_xdr(&data));
+    println!("\nPaper: \"similar bandwidth (25.0 GB/s) but power consumption from 4% to 25% of the XDR value\".");
+}

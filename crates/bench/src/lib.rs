@@ -1,0 +1,102 @@
+//! # mcm-bench — the paper-reproduction harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p mcm-bench --bin <name>`):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table I — per-stage memory bandwidth requirements |
+//! | `table2` | Table II — memory mapping over channels |
+//! | `fig3` | Fig. 3 — access time vs. clock, 720p30, 1/2/4/8 channels |
+//! | `fig4` | Fig. 4 — access time vs. format at 400 MHz |
+//! | `fig5` | Fig. 5 — power vs. format at 400 MHz (interface stacked) |
+//! | `xdr` | the Section IV XDR comparison |
+//! | `repro` | everything above, in paper order, plus the trend analyses |
+//! | `ablate_mapping` | RBC vs. BRC address multiplexing |
+//! | `ablate_page_policy` | open vs. closed page |
+//! | `ablate_power_down` | power-down policies |
+//! | `ablate_interleave` | interleave granularity 16–128 B |
+//! | `ablate_chunk` | master-transaction sizing policies |
+//! | `ext_clusters` | the conclusions' channel-cluster proposal |
+//!
+//! Criterion benches (`cargo bench -p mcm-bench`) measure the simulator
+//! itself (cells simulated per second), not the modelled memory.
+
+use crossbeam::thread;
+
+use mcm_core::{CoreError, Experiment, FrameResult};
+
+/// Runs a set of experiments in parallel (one OS thread per experiment, the
+/// grids here are small) and returns results in input order.
+pub fn run_parallel(experiments: Vec<Experiment>) -> Vec<Result<FrameResult, CoreError>> {
+    thread::scope(|s| {
+        let handles: Vec<_> = experiments
+            .iter()
+            .map(|e| s.spawn(move |_| e.run()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+    .expect("scope")
+}
+
+/// Formats an access-time cell the way the harness tables print it.
+pub fn fmt_ms(r: &Result<FrameResult, CoreError>) -> String {
+    match r {
+        Ok(fr) => format!("{:8.2}", fr.access_time.as_ms_f64()),
+        Err(_) => format!("{:>8}", "n/a"),
+    }
+}
+
+/// Formats a power cell with the Fig. 5 suppression convention.
+pub fn fmt_mw(r: &Result<FrameResult, CoreError>) -> String {
+    match r {
+        Ok(fr) => match fr.reported_power_mw() {
+            Some(mw) => format!("{mw:8.0}"),
+            None => format!("{:>8}", 0),
+        },
+        Err(_) => format!("{:>8}", 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_load::HdOperatingPoint;
+
+    #[test]
+    fn parallel_runner_preserves_order_and_determinism() {
+        let mk = |ch| {
+            let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, ch, 400);
+            e.op_limit = Some(5_000);
+            e
+        };
+        let results = run_parallel(vec![mk(1), mk(2), mk(4)]);
+        assert_eq!(results.len(), 3);
+        let times: Vec<_> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().access_time)
+            .collect();
+        assert!(times[0] > times[1] && times[1] > times[2]);
+        // Deterministic across parallel executions.
+        let again = run_parallel(vec![mk(1), mk(2), mk(4)]);
+        for (a, b) in results.iter().zip(&again) {
+            assert_eq!(a.as_ref().unwrap().access_time, b.as_ref().unwrap().access_time);
+        }
+    }
+
+    #[test]
+    fn formatters() {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 8, 400);
+        e.op_limit = Some(1_000);
+        let ok = e.run().map_err(CoreError::from);
+        assert!(fmt_ms(&ok).trim().parse::<f64>().is_ok());
+        let err: Result<FrameResult, CoreError> = Err(CoreError::BadParam {
+            reason: "x".into(),
+        });
+        assert_eq!(fmt_ms(&err).trim(), "n/a");
+        assert_eq!(fmt_mw(&err).trim(), "0");
+    }
+}

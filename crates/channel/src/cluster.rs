@@ -1,0 +1,215 @@
+//! Channel clusters — the paper's future-work proposal, implemented.
+//!
+//! The conclusion suggests that "it may be necessary to divide very large
+//! multi-channel memories into independent channel clusters, each consisting
+//! of [a] reasonable number of channels", so that idle clusters can stay in
+//! power-down while only the cluster serving the active use case burns
+//! standby and interface power.
+//!
+//! [`ClusteredMemory`] partitions the global address space into contiguous
+//! cluster regions; each region is its own [`MemorySubsystem`] with its own
+//! interleaving, and the untouched clusters spend the whole run in
+//! power-down.
+
+use mcm_sim::SimTime;
+
+use crate::error::ChannelError;
+use crate::subsystem::{MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport, TransactionResult};
+
+/// A memory built from independent channel clusters.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_channel::{ClusteredMemory, MemoryConfig};
+///
+/// // Two independent 4-channel clusters instead of one 8-channel memory.
+/// let mem = ClusteredMemory::new(&MemoryConfig::paper(4, 400), 2).unwrap();
+/// assert_eq!(mem.clusters(), 2);
+/// assert_eq!(mem.capacity_bytes(), 2 * 4 * 64 * 1024 * 1024);
+/// ```
+#[derive(Debug)]
+pub struct ClusteredMemory {
+    clusters: Vec<MemorySubsystem>,
+    cluster_capacity: u64,
+}
+
+impl ClusteredMemory {
+    /// Builds `clusters` identical clusters, each configured by `config`.
+    pub fn new(config: &MemoryConfig, clusters: u32) -> Result<Self, ChannelError> {
+        if clusters == 0 {
+            return Err(ChannelError::BadConfig {
+                reason: "cluster count must be non-zero".into(),
+            });
+        }
+        let mut subsystems = Vec::with_capacity(clusters as usize);
+        for _ in 0..clusters {
+            subsystems.push(MemorySubsystem::new(config)?);
+        }
+        let cluster_capacity = subsystems[0].capacity_bytes();
+        Ok(ClusteredMemory {
+            clusters: subsystems,
+            cluster_capacity,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> u32 {
+        self.clusters.len() as u32
+    }
+
+    /// Capacity of one cluster, bytes.
+    pub fn cluster_capacity_bytes(&self) -> u64 {
+        self.cluster_capacity
+    }
+
+    /// Total capacity, bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.cluster_capacity * self.clusters.len() as u64
+    }
+
+    /// Which cluster a global address belongs to.
+    pub fn cluster_of(&self, addr: u64) -> Result<u32, ChannelError> {
+        let c = addr / self.cluster_capacity;
+        if c >= self.clusters.len() as u64 {
+            return Err(ChannelError::AddressOutOfRange {
+                addr,
+                capacity_bytes: self.capacity_bytes(),
+            });
+        }
+        Ok(c as u32)
+    }
+
+    /// Immutable access to one cluster.
+    pub fn cluster(&self, idx: u32) -> Result<&MemorySubsystem, ChannelError> {
+        self.clusters
+            .get(idx as usize)
+            .ok_or(ChannelError::BadChannel {
+                channel: idx,
+                channels: self.clusters.len() as u32,
+            })
+    }
+
+    /// Submits a transaction. Transactions must not straddle a cluster
+    /// boundary — clusters are *independent* memories, and the software
+    /// allocator is expected to place each buffer within one cluster.
+    pub fn submit(&mut self, txn: MasterTransaction) -> Result<TransactionResult, ChannelError> {
+        if txn.len == 0 {
+            return Err(ChannelError::BadConfig {
+                reason: "zero-length master transaction".into(),
+            });
+        }
+        let first = self.cluster_of(txn.addr)?;
+        let last = self.cluster_of(txn.addr + txn.len - 1)?;
+        if first != last {
+            return Err(ChannelError::BadConfig {
+                reason: format!(
+                    "transaction {:#x}+{} straddles clusters {first} and {last}",
+                    txn.addr, txn.len
+                ),
+            });
+        }
+        let local = MasterTransaction {
+            addr: txn.addr - first as u64 * self.cluster_capacity,
+            ..txn
+        };
+        self.clusters[first as usize].submit(local)
+    }
+
+    /// Closes the run on every cluster and returns per-cluster reports.
+    /// Idle clusters report near-pure power-down energy.
+    pub fn finish(&mut self, end_cycle: u64) -> Result<Vec<SubsystemReport>, ChannelError> {
+        self.clusters.iter_mut().map(|c| c.finish(end_cycle)).collect()
+    }
+
+    /// Total core energy across clusters up to `end_cycle`, picojoules, plus
+    /// the overall access time (max over clusters).
+    pub fn finish_aggregate(
+        &mut self,
+        end_cycle: u64,
+    ) -> Result<(f64, SimTime), ChannelError> {
+        let reports = self.finish(end_cycle)?;
+        let energy = reports.iter().map(|r| r.core_energy_pj).sum();
+        let time = reports
+            .iter()
+            .map(|r| r.access_time)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Ok((energy, time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_ctrl::AccessOp;
+
+    fn clustered() -> ClusteredMemory {
+        ClusteredMemory::new(&MemoryConfig::paper(2, 400), 2).unwrap()
+    }
+
+    #[test]
+    fn address_partitioning() {
+        let m = clustered();
+        let cap = m.cluster_capacity_bytes();
+        assert_eq!(m.cluster_of(0).unwrap(), 0);
+        assert_eq!(m.cluster_of(cap - 1).unwrap(), 0);
+        assert_eq!(m.cluster_of(cap).unwrap(), 1);
+        assert!(m.cluster_of(2 * cap).is_err());
+    }
+
+    #[test]
+    fn straddling_transactions_are_rejected() {
+        let mut m = clustered();
+        let cap = m.cluster_capacity_bytes();
+        let err = m
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: cap - 16,
+                len: 32,
+                arrival: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChannelError::BadConfig { .. }));
+    }
+
+    #[test]
+    fn idle_cluster_consumes_less_than_active_cluster() {
+        let mut m = clustered();
+        // Load only cluster 0.
+        m.submit(MasterTransaction {
+            op: AccessOp::Read,
+            addr: 0,
+            len: 1 << 20,
+            arrival: 0,
+        })
+        .unwrap();
+        let horizon = 13_200_000; // 33 ms at 400 MHz
+        let reports = m.finish(horizon).unwrap();
+        // The untouched cluster moved no data and burned strictly less
+        // energy (power-down background + refresh only).
+        assert_eq!(reports[1].bytes_read + reports[1].bytes_written, 0);
+        assert_eq!(reports[1].channels[0].ctrl.read_bursts, 0);
+        assert!(reports[0].core_energy_pj > 1.5 * reports[1].core_energy_pj);
+    }
+
+    #[test]
+    fn zero_clusters_rejected() {
+        assert!(ClusteredMemory::new(&MemoryConfig::paper(2, 400), 0).is_err());
+    }
+
+    #[test]
+    fn aggregate_finish() {
+        let mut m = clustered();
+        m.submit(MasterTransaction {
+            op: AccessOp::Write,
+            addr: m.cluster_capacity_bytes(), // cluster 1
+            len: 4096,
+            arrival: 0,
+        })
+        .unwrap();
+        let (energy, time) = m.finish_aggregate(0).unwrap();
+        assert!(energy > 0.0);
+        assert!(time > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,82 @@
+//! Errors for the multi-channel subsystem.
+
+use core::fmt;
+
+use mcm_ctrl::CtrlError;
+
+/// Errors raised by the multi-channel memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A channel's controller or device reported an error.
+    Ctrl {
+        /// Which channel failed.
+        channel: u32,
+        /// The underlying error.
+        source: CtrlError,
+    },
+    /// Configuration rejected at construction.
+    BadConfig {
+        /// Explanation.
+        reason: String,
+    },
+    /// A channel index was out of range.
+    BadChannel {
+        /// The offending index.
+        channel: u32,
+        /// Number of channels configured.
+        channels: u32,
+    },
+    /// A global address fell outside the subsystem's capacity.
+    AddressOutOfRange {
+        /// The offending global byte address.
+        addr: u64,
+        /// Total capacity across channels, bytes.
+        capacity_bytes: u64,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Ctrl { channel, source } => {
+                write!(f, "channel {channel}: {source}")
+            }
+            ChannelError::BadConfig { reason } => write!(f, "bad subsystem config: {reason}"),
+            ChannelError::BadChannel { channel, channels } => {
+                write!(f, "channel {channel} out of range ({channels} channels)")
+            }
+            ChannelError::AddressOutOfRange {
+                addr,
+                capacity_bytes,
+            } => write!(
+                f,
+                "global address {addr:#x} out of range for {capacity_bytes}-byte subsystem"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChannelError::Ctrl { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_channel() {
+        let e = ChannelError::Ctrl {
+            channel: 3,
+            source: CtrlError::EmptyRequest,
+        };
+        assert!(e.to_string().starts_with("channel 3:"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

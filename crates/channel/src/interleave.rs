@@ -1,0 +1,239 @@
+//! Channel interleaving — the executable form of the paper's Table II.
+//!
+//! "The data for the channels is interleaved in such a way that all the
+//! channels can be used in a single master transaction. […] Byte addressable
+//! memory is used, minimum DRAM burst size is four, and word length is
+//! 32 bits (4 bytes). This makes minimum practical interleaving granularity
+//! 16 (= 4×4). For example, addresses from 0 to 15 are located in bank
+//! cluster zero and addresses from 16 to 31 in bank cluster one."
+//!
+//! [`InterleaveMap`] implements that mapping for any power-of-two channel
+//! count and granule, with the paper's 16-byte granule as the default.
+
+use core::fmt;
+
+use crate::error::ChannelError;
+
+/// Maps global byte addresses to (channel, channel-local address) pairs by
+/// low-order interleaving.
+///
+/// # Examples
+///
+/// The paper's Table II, for M channels at 16-byte granularity:
+///
+/// ```
+/// use mcm_channel::InterleaveMap;
+///
+/// let m = InterleaveMap::new(4, 16).unwrap();
+/// assert_eq!(m.split(0).0, 0);      // bytes 0..16   -> BC 0
+/// assert_eq!(m.split(16).0, 1);     // bytes 16..32  -> BC 1
+/// assert_eq!(m.split(3 * 16).0, 3); // bytes 48..64  -> BC M-1
+/// assert_eq!(m.split(4 * 16).0, 0); // wraps to BC 0
+/// // Local addresses stay dense within each channel:
+/// assert_eq!(m.split(4 * 16).1, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleaveMap {
+    channels: u32,
+    granule: u64,
+}
+
+impl InterleaveMap {
+    /// Creates a map over `channels` channels with `granule_bytes`
+    /// interleaving granularity.
+    ///
+    /// Both must be powers of two (hardware address-bit slicing); the paper
+    /// uses 1–8 channels and a 16-byte granule.
+    pub fn new(channels: u32, granule_bytes: u64) -> Result<Self, ChannelError> {
+        if channels == 0 || !channels.is_power_of_two() {
+            return Err(ChannelError::BadConfig {
+                reason: format!("channel count {channels} must be a non-zero power of two"),
+            });
+        }
+        if granule_bytes == 0 || !granule_bytes.is_power_of_two() {
+            return Err(ChannelError::BadConfig {
+                reason: format!(
+                    "interleave granule {granule_bytes} must be a non-zero power of two"
+                ),
+            });
+        }
+        Ok(InterleaveMap {
+            channels,
+            granule: granule_bytes,
+        })
+    }
+
+    /// The paper's configuration: `channels` × 16-byte granules.
+    pub fn paper(channels: u32) -> Result<Self, ChannelError> {
+        Self::new(channels, 16)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Interleaving granularity in bytes.
+    pub fn granule_bytes(&self) -> u64 {
+        self.granule
+    }
+
+    /// Splits a global byte address into `(channel, local address)`.
+    pub fn split(&self, addr: u64) -> (u32, u64) {
+        let granule_idx = addr / self.granule;
+        let channel = (granule_idx % self.channels as u64) as u32;
+        let local = (granule_idx / self.channels as u64) * self.granule + addr % self.granule;
+        (channel, local)
+    }
+
+    /// Reassembles a global address from `(channel, local address)` —
+    /// the inverse of [`InterleaveMap::split`].
+    pub fn join(&self, channel: u32, local: u64) -> Result<u64, ChannelError> {
+        if channel >= self.channels {
+            return Err(ChannelError::BadChannel {
+                channel,
+                channels: self.channels,
+            });
+        }
+        let granule_idx = local / self.granule;
+        Ok((granule_idx * self.channels as u64 + channel as u64) * self.granule
+            + local % self.granule)
+    }
+
+    /// Splits the byte range `[addr, addr + len)` into at most one
+    /// contiguous local range per channel.
+    ///
+    /// Because the interleaving is a pure rotation of granules, the granules
+    /// a transaction touches on one channel are always adjacent locally, so
+    /// each channel receives a single `(local_addr, len)` slice. Channels
+    /// not touched get `None`.
+    pub fn split_range(&self, addr: u64, len: u64) -> Vec<Option<(u64, u64)>> {
+        let mut out: Vec<Option<(u64, u64)>> = vec![None; self.channels as usize];
+        if len == 0 {
+            return out;
+        }
+        let first = addr / self.granule;
+        let last = (addr + len - 1) / self.granule;
+        for g in first..=last {
+            let lo = (g * self.granule).max(addr);
+            let hi = ((g + 1) * self.granule).min(addr + len);
+            let (ch, local) = self.split(lo);
+            let slice = &mut out[ch as usize];
+            match slice {
+                None => *slice = Some((local, hi - lo)),
+                Some((start, l)) => {
+                    debug_assert_eq!(*start + *l, local, "channel slices must stay contiguous");
+                    *l += hi - lo;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for InterleaveMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} channels × {} B granules", self.channels, self.granule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_example() {
+        // TABLE II: addresses 0..16 -> BC0, 16..32 -> BC1, ...,
+        // 16(M-1)..16M -> BC M-1, then 16M.. wraps to BC0.
+        for m in [1u32, 2, 4, 8] {
+            let map = InterleaveMap::paper(m).unwrap();
+            for ch in 0..m {
+                let (c, local) = map.split(16 * ch as u64);
+                assert_eq!(c, ch);
+                assert_eq!(local, 0);
+            }
+            let (c, local) = map.split(16 * m as u64);
+            assert_eq!(c, 0);
+            assert_eq!(local, 16);
+        }
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let map = InterleaveMap::new(8, 16).unwrap();
+        for addr in [0u64, 1, 15, 16, 17, 127, 128, 4096, 1 << 30] {
+            let (ch, local) = map.split(addr);
+            assert_eq!(map.join(ch, local).unwrap(), addr);
+        }
+    }
+
+    #[test]
+    fn single_channel_is_identity() {
+        let map = InterleaveMap::paper(1).unwrap();
+        for addr in [0u64, 5, 1000, 1 << 20] {
+            assert_eq!(map.split(addr), (0, addr));
+        }
+    }
+
+    #[test]
+    fn split_range_covers_exactly_once() {
+        let map = InterleaveMap::new(4, 16).unwrap();
+        // A 64-byte cache line starting at 0 touches all four channels.
+        let slices = map.split_range(0, 64);
+        for (ch, s) in slices.iter().enumerate() {
+            let (local, len) = s.unwrap();
+            assert_eq!(len, 16, "channel {ch}");
+            assert_eq!(local, 0);
+        }
+        // Total bytes conserved.
+        let total: u64 = slices.iter().flatten().map(|&(_, l)| l).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn split_range_handles_unaligned_ranges() {
+        let map = InterleaveMap::new(2, 16).unwrap();
+        // 40 bytes starting at 8: granules 0 (8..16), 1 (16..32), 2 (32..48).
+        let slices = map.split_range(8, 40);
+        let (l0, n0) = slices[0].unwrap();
+        let (l1, n1) = slices[1].unwrap();
+        assert_eq!((l0, n0), (8, 24)); // granule0: 8 bytes; granule2: 16 bytes -> local 16..32
+        assert_eq!((l1, n1), (0, 16));
+        assert_eq!(n0 + n1, 40);
+    }
+
+    #[test]
+    fn split_range_large_transaction_balances_channels() {
+        let map = InterleaveMap::new(8, 16).unwrap();
+        let slices = map.split_range(0, 8 * 16 * 100);
+        for s in &slices {
+            assert_eq!(s.unwrap().1, 1600);
+        }
+    }
+
+    #[test]
+    fn empty_range_touches_nothing() {
+        let map = InterleaveMap::new(4, 16).unwrap();
+        assert!(map.split_range(123, 0).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(InterleaveMap::new(0, 16).is_err());
+        assert!(InterleaveMap::new(3, 16).is_err());
+        assert!(InterleaveMap::new(4, 0).is_err());
+        assert!(InterleaveMap::new(4, 24).is_err());
+    }
+
+    #[test]
+    fn join_rejects_bad_channel() {
+        let map = InterleaveMap::new(4, 16).unwrap();
+        assert!(map.join(4, 0).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let map = InterleaveMap::new(4, 16).unwrap();
+        assert_eq!(map.to_string(), "4 channels × 16 B granules");
+    }
+}

@@ -1,0 +1,40 @@
+//! # mcm-channel — the multi-channel memory subsystem
+//!
+//! The paper's Fig. 2 architecture: M parallel channels, each consisting of
+//! a memory controller, a DRAM interconnect, and a 512 Mb bank cluster,
+//! behind a byte-granular channel interleaver (Table II, 16-byte granule)
+//! so that "all the channels can be used in a single master transaction".
+//!
+//! * [`InterleaveMap`] — the Table II address-to-channel mapping;
+//! * [`MemorySubsystem`] — M channels fed by [`MasterTransaction`]s,
+//!   reporting access time, energy and bandwidth;
+//! * [`ClusteredMemory`] — the conclusion's future-work extension:
+//!   independent channel clusters with per-cluster power-down.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcm_channel::{MasterTransaction, MemoryConfig, MemorySubsystem};
+//! use mcm_ctrl::AccessOp;
+//!
+//! // The paper's 4-channel, 400 MHz configuration.
+//! let mut mem = MemorySubsystem::new(&MemoryConfig::paper(4, 400)).unwrap();
+//! mem.submit(MasterTransaction { op: AccessOp::Read, addr: 0, len: 4096, arrival: 0 }).unwrap();
+//! let report = mem.finish(0).unwrap();
+//! assert_eq!(report.bytes_read, 4096);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod error;
+mod interleave;
+mod subsystem;
+
+pub use cluster::ClusteredMemory;
+pub use error::ChannelError;
+pub use interleave::InterleaveMap;
+pub use subsystem::{
+    MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport, TransactionResult,
+};

@@ -1,0 +1,447 @@
+//! The multi-channel memory subsystem (Fig. 2 of the paper): M parallel
+//! channels, each a memory controller + DRAM interconnect + bank cluster,
+//! fed by master transactions that the Table II interleaving spreads over
+//! all channels.
+
+use mcm_ctrl::{AccessOp, ChannelReport, ChannelRequest, Controller, ControllerConfig};
+use mcm_dram::AddressMapping;
+use serde::{Deserialize, Serialize};
+use mcm_sim::{ClockDomain, Frequency, SimTime};
+
+use crate::error::ChannelError;
+use crate::interleave::InterleaveMap;
+
+/// Configuration of the whole memory subsystem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Number of channels (paper: 1, 2, 4 or 8).
+    pub channels: u32,
+    /// Interface clock, MHz, shared by all channels (paper: 200–533).
+    pub clock_mhz: u64,
+    /// Interleaving granularity, bytes (paper: 16).
+    pub granule_bytes: u64,
+    /// Per-channel controller configuration template.
+    pub controller: ControllerConfig,
+}
+
+impl MemoryConfig {
+    /// The paper's configuration: `channels` × next-generation mobile DDR at
+    /// `clock_mhz`, RBC mapping, open page, immediate power-down, 16-byte
+    /// interleave.
+    pub fn paper(channels: u32, clock_mhz: u64) -> Self {
+        MemoryConfig {
+            channels,
+            clock_mhz,
+            granule_bytes: 16,
+            controller: ControllerConfig::paper_default(clock_mhz),
+        }
+    }
+
+    /// Same configuration with a different address multiplexing type
+    /// (for the RBC/BRC ablation).
+    pub fn with_mapping(mut self, mapping: AddressMapping) -> Self {
+        self.controller.mapping = mapping;
+        self
+    }
+}
+
+/// A master transaction: what the SMP/cache side of Fig. 2 emits toward the
+/// memory subsystem after a cache miss or write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterTransaction {
+    /// Direction.
+    pub op: AccessOp,
+    /// Global byte address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Arrival cycle on the (shared) interface clock.
+    pub arrival: u64,
+}
+
+/// Timing outcome of one master transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransactionResult {
+    /// Cycle at which the last involved channel finished the last data beat.
+    pub done_cycle: u64,
+    /// How many channels the transaction touched.
+    pub channels_used: u32,
+}
+
+/// Aggregated end-of-run report for the subsystem.
+#[derive(Debug, Clone)]
+pub struct SubsystemReport {
+    /// Per-channel reports.
+    pub channels: Vec<ChannelReport>,
+    /// Cycle at which the whole subsystem drained (max over channels).
+    pub busy_until: u64,
+    /// Wall-clock equivalent of [`SubsystemReport::busy_until`].
+    pub access_time: SimTime,
+    /// Total DRAM core energy across channels, picojoules.
+    pub core_energy_pj: f64,
+    /// Bytes read through the subsystem.
+    pub bytes_read: u64,
+    /// Bytes written through the subsystem.
+    pub bytes_written: u64,
+}
+
+impl SubsystemReport {
+    /// Average core power over `horizon`, milliwatts.
+    pub fn core_power_mw(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.core_energy_pj / horizon.as_ns_f64() / 1e3 * 1e3 // pJ/ns = mW
+    }
+
+    /// Achieved bandwidth over the busy period, bytes per second.
+    pub fn achieved_bandwidth_bytes_per_s(&self) -> f64 {
+        let t = self.access_time.as_s_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.bytes_read + self.bytes_written) as f64 / t
+    }
+}
+
+/// The paper's Fig. 2 memory subsystem: M channels of memory controller +
+/// DRAM interconnect + bank cluster behind a Table II interleaver.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_channel::{MasterTransaction, MemoryConfig, MemorySubsystem};
+/// use mcm_ctrl::AccessOp;
+///
+/// let mut mem = MemorySubsystem::new(&MemoryConfig::paper(4, 400)).unwrap();
+/// let res = mem.submit(MasterTransaction {
+///     op: AccessOp::Read, addr: 0, len: 64, arrival: 0,
+/// }).unwrap();
+/// assert_eq!(res.channels_used, 4); // a 64-byte line spans all 4 channels
+/// ```
+#[derive(Debug)]
+pub struct MemorySubsystem {
+    controllers: Vec<Controller>,
+    interleave: InterleaveMap,
+    clock: ClockDomain,
+    capacity_bytes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl MemorySubsystem {
+    /// Builds the subsystem; validates channel count, granule and the
+    /// per-channel configuration.
+    pub fn new(config: &MemoryConfig) -> Result<Self, ChannelError> {
+        let interleave = InterleaveMap::new(config.channels, config.granule_bytes)?;
+        let burst = config.controller.cluster.geometry.burst_bytes() as u64;
+        if config.granule_bytes % burst != 0 {
+            return Err(ChannelError::BadConfig {
+                reason: format!(
+                    "granule {} B must be a multiple of the {} B DRAM burst",
+                    config.granule_bytes, burst
+                ),
+            });
+        }
+        if config.controller.cluster.clock_mhz != config.clock_mhz {
+            return Err(ChannelError::BadConfig {
+                reason: format!(
+                    "subsystem clock {} MHz disagrees with controller clock {} MHz",
+                    config.clock_mhz, config.controller.cluster.clock_mhz
+                ),
+            });
+        }
+        let mut controllers = Vec::with_capacity(config.channels as usize);
+        for channel in 0..config.channels {
+            controllers.push(Controller::new(&config.controller).map_err(|source| {
+                ChannelError::Ctrl { channel, source }
+            })?);
+        }
+        let clock = ClockDomain::new(Frequency::from_mhz(config.clock_mhz))
+            .map_err(|e| ChannelError::BadConfig { reason: e.to_string() })?;
+        let capacity_bytes = controllers[0].device().geometry().capacity_bytes()
+            * config.channels as u64;
+        Ok(MemorySubsystem {
+            controllers,
+            interleave,
+            clock,
+            capacity_bytes,
+            bytes_read: 0,
+            bytes_written: 0,
+        })
+    }
+
+    /// The interleaving in use.
+    pub fn interleave(&self) -> &InterleaveMap {
+        &self.interleave
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.controllers.len() as u32
+    }
+
+    /// Total capacity across channels, bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// The shared interface clock.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Theoretical peak bandwidth: channels × bus width × 2 (DDR) × clock.
+    pub fn peak_bandwidth_bytes_per_s(&self) -> f64 {
+        let word = self.controllers[0].device().geometry().word_bytes() as f64;
+        self.channels() as f64 * word * 2.0 * self.clock.frequency().as_hz() as f64
+    }
+
+    /// Access to one channel's controller (e.g. for statistics).
+    pub fn controller(&self, channel: u32) -> Result<&Controller, ChannelError> {
+        self.controllers
+            .get(channel as usize)
+            .ok_or(ChannelError::BadChannel {
+                channel,
+                channels: self.channels(),
+            })
+    }
+
+    /// Submits one master transaction; the interleaver fans it out and every
+    /// touched channel processes its slice. Returns when the last channel
+    /// finishes (channels work in parallel).
+    pub fn submit(&mut self, txn: MasterTransaction) -> Result<TransactionResult, ChannelError> {
+        if txn.len == 0 {
+            return Err(ChannelError::BadConfig {
+                reason: "zero-length master transaction".into(),
+            });
+        }
+        let end = txn.addr.checked_add(txn.len).ok_or(ChannelError::AddressOutOfRange {
+            addr: txn.addr,
+            capacity_bytes: self.capacity_bytes,
+        })?;
+        if end > self.capacity_bytes {
+            return Err(ChannelError::AddressOutOfRange {
+                addr: txn.addr,
+                capacity_bytes: self.capacity_bytes,
+            });
+        }
+        let slices = self.interleave.split_range(txn.addr, txn.len);
+        let mut done = 0u64;
+        let mut used = 0u32;
+        for (ch, slice) in slices.into_iter().enumerate() {
+            let Some((local, len)) = slice else { continue };
+            let res = self.controllers[ch]
+                .access(ChannelRequest {
+                    op: txn.op,
+                    addr: local,
+                    len: len as u32,
+                    arrival: txn.arrival,
+                })
+                .map_err(|source| ChannelError::Ctrl {
+                    channel: ch as u32,
+                    source,
+                })?;
+            done = done.max(res.done_cycle);
+            used += 1;
+        }
+        match txn.op {
+            AccessOp::Read => self.bytes_read += txn.len,
+            AccessOp::Write => self.bytes_written += txn.len,
+        }
+        Ok(TransactionResult {
+            done_cycle: done,
+            channels_used: used,
+        })
+    }
+
+    /// Cycle at which all channels have drained.
+    pub fn busy_until(&self) -> u64 {
+        self.controllers
+            .iter()
+            .map(Controller::busy_until)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Closes the run at `end_cycle` (idle housekeeping on every channel)
+    /// and aggregates time, energy and statistics.
+    pub fn finish(&mut self, end_cycle: u64) -> Result<SubsystemReport, ChannelError> {
+        let end = end_cycle.max(self.busy_until());
+        let mut channels = Vec::with_capacity(self.controllers.len());
+        for (ch, ctrl) in self.controllers.iter_mut().enumerate() {
+            channels.push(ctrl.finish(end).map_err(|source| ChannelError::Ctrl {
+                channel: ch as u32,
+                source,
+            })?);
+        }
+        let busy_until = channels.iter().map(|r| r.busy_until).max().unwrap_or(0);
+        let core_energy_pj = channels.iter().map(|r| r.total_energy_pj).sum();
+        Ok(SubsystemReport {
+            busy_until,
+            access_time: self.clock.time_of_cycles(busy_until),
+            core_energy_pj,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(channels: u32) -> MemorySubsystem {
+        MemorySubsystem::new(&MemoryConfig::paper(channels, 400)).unwrap()
+    }
+
+    #[test]
+    fn peak_bandwidth_matches_paper_arithmetic() {
+        // 8 channels × 4 B × 2 × 400 MHz = 25.6 GB/s (the XDR comparison
+        // point's theoretical peak).
+        let m = mem(8);
+        assert!((m.peak_bandwidth_bytes_per_s() - 25.6e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn capacity_scales_with_channels() {
+        assert_eq!(mem(1).capacity_bytes(), 64 << 20);
+        assert_eq!(mem(8).capacity_bytes(), 512 << 20);
+    }
+
+    #[test]
+    fn cache_line_spans_channels() {
+        let mut m = mem(4);
+        let r = m
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 64,
+                arrival: 0,
+            })
+            .unwrap();
+        assert_eq!(r.channels_used, 4);
+        let mut m1 = mem(1);
+        let r1 = m1
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 64,
+                arrival: 0,
+            })
+            .unwrap();
+        assert_eq!(r1.channels_used, 1);
+        // Four channels in parallel beat one channel in series.
+        assert!(r.done_cycle < r1.done_cycle);
+    }
+
+    #[test]
+    fn more_channels_scale_throughput_on_large_sweeps() {
+        let sweep = |channels: u32| {
+            let mut m = mem(channels);
+            m.submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 1 << 20, // 1 MiB
+                arrival: 0,
+            })
+            .unwrap();
+            let rep = m.finish(0).unwrap();
+            rep.busy_until
+        };
+        let t1 = sweep(1);
+        let t2 = sweep(2);
+        let t4 = sweep(4);
+        let t8 = sweep(8);
+        // Close to the paper's "2x speedup per channel doubling".
+        for (fast, slow) in [(t2, t1), (t4, t2), (t8, t4)] {
+            let ratio = slow as f64 / fast as f64;
+            assert!(
+                (1.7..=2.2).contains(&ratio),
+                "speedup {ratio} out of expected band (t1={t1} t2={t2} t4={t4} t8={t8})"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_zero_length() {
+        let mut m = mem(2);
+        let cap = m.capacity_bytes();
+        assert!(matches!(
+            m.submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: cap - 8,
+                len: 16,
+                arrival: 0
+            }),
+            Err(ChannelError::AddressOutOfRange { .. })
+        ));
+        assert!(m
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 0,
+                arrival: 0
+            })
+            .is_err());
+        assert!(m
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: u64::MAX,
+                len: 16,
+                arrival: 0
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = MemoryConfig::paper(4, 400);
+        cfg.granule_bytes = 8; // below the 16 B burst
+        assert!(MemorySubsystem::new(&cfg).is_err());
+
+        let mut cfg = MemoryConfig::paper(4, 400);
+        cfg.clock_mhz = 333; // disagrees with controller template
+        assert!(MemorySubsystem::new(&cfg).is_err());
+
+        let cfg = MemoryConfig::paper(3, 400);
+        assert!(MemorySubsystem::new(&cfg).is_err());
+    }
+
+    #[test]
+    fn report_aggregates_energy_and_bytes() {
+        let mut m = mem(2);
+        m.submit(MasterTransaction {
+            op: AccessOp::Read,
+            addr: 0,
+            len: 4096,
+            arrival: 0,
+        })
+        .unwrap();
+        m.submit(MasterTransaction {
+            op: AccessOp::Write,
+            addr: 4096,
+            len: 4096,
+            arrival: 0,
+        })
+        .unwrap();
+        let rep = m.finish(1_000_000).unwrap();
+        assert_eq!(rep.bytes_read, 4096);
+        assert_eq!(rep.bytes_written, 4096);
+        assert_eq!(rep.channels.len(), 2);
+        assert!(rep.core_energy_pj > 0.0);
+        assert!(rep.access_time > SimTime::ZERO);
+        assert!(rep.achieved_bandwidth_bytes_per_s() > 0.0);
+    }
+
+    #[test]
+    fn channel_accessor_bounds() {
+        let m = mem(2);
+        assert!(m.controller(1).is_ok());
+        assert!(matches!(
+            m.controller(2),
+            Err(ChannelError::BadChannel { .. })
+        ));
+    }
+}

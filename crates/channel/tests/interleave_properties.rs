@@ -1,0 +1,101 @@
+//! Property tests for the Table II interleaving and the subsystem's
+//! conservation invariants.
+
+use mcm_channel::{InterleaveMap, MasterTransaction, MemoryConfig, MemorySubsystem};
+use mcm_ctrl::AccessOp;
+use proptest::prelude::*;
+
+fn arb_map() -> impl Strategy<Value = InterleaveMap> {
+    (0u32..=4, 4u32..=10).prop_map(|(ch_log2, gran_log2)| {
+        InterleaveMap::new(1 << ch_log2, 1u64 << gran_log2).expect("powers of two")
+    })
+}
+
+proptest! {
+    #[test]
+    fn split_join_is_a_bijection(map in arb_map(), addr in 0u64..(1 << 40)) {
+        let (ch, local) = map.split(addr);
+        prop_assert!(ch < map.channels());
+        prop_assert_eq!(map.join(ch, local).unwrap(), addr);
+    }
+
+    #[test]
+    fn distinct_addresses_never_collide(map in arb_map(), a in 0u64..(1 << 32), b in 0u64..(1 << 32)) {
+        prop_assume!(a != b);
+        let sa = map.split(a);
+        let sb = map.split(b);
+        prop_assert_ne!(sa, sb, "two global addresses mapped to the same (channel, local) slot");
+    }
+
+    #[test]
+    fn split_range_conserves_bytes_and_stays_dense(
+        map in arb_map(),
+        addr in 0u64..(1 << 30),
+        len in 1u64..100_000,
+    ) {
+        let slices = map.split_range(addr, len);
+        prop_assert_eq!(slices.len(), map.channels() as usize);
+        let total: u64 = slices.iter().flatten().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, len);
+        // A transaction spanning >= channels x granule bytes touches every
+        // channel.
+        if len >= map.channels() as u64 * map.granule_bytes() {
+            prop_assert!(slices.iter().all(Option::is_some));
+        }
+        // Per-channel slice lengths differ by at most one granule + edges.
+        let lens: Vec<u64> = slices.iter().flatten().map(|&(_, l)| l).collect();
+        if let (Some(&max), Some(&min)) = (lens.iter().max(), lens.iter().min()) {
+            prop_assert!(max - min <= 2 * map.granule_bytes());
+        }
+    }
+
+    #[test]
+    fn split_range_slices_cover_exactly_the_input_range(
+        map in arb_map(),
+        addr in 0u64..(1 << 20),
+        len in 1u64..8_192,
+    ) {
+        // Reconstruct the global byte set from the per-channel slices.
+        let slices = map.split_range(addr, len);
+        let mut covered = vec![false; len as usize];
+        for (ch, slice) in slices.iter().enumerate() {
+            let Some((local, l)) = *slice else { continue };
+            for off in 0..l {
+                let global = map.join(ch as u32, local + off).unwrap();
+                prop_assert!(global >= addr && global < addr + len,
+                    "slice byte {global} escapes [{addr}, {})", addr + len);
+                let idx = (global - addr) as usize;
+                prop_assert!(!covered[idx], "byte {global} covered twice");
+                covered[idx] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c), "range not fully covered");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn subsystem_conserves_bytes_for_random_transactions(
+        channels_log2 in 0u32..=3,
+        txns in prop::collection::vec((0u64..(1 << 20), 1u64..2_048, any::<bool>()), 1..40),
+    ) {
+        let mut mem = MemorySubsystem::new(&MemoryConfig::paper(1 << channels_log2, 400)).unwrap();
+        let mut expect_read = 0u64;
+        let mut expect_written = 0u64;
+        for &(addr, len, write) in &txns {
+            mem.submit(MasterTransaction {
+                op: if write { AccessOp::Write } else { AccessOp::Read },
+                addr,
+                len,
+                arrival: 0,
+            }).unwrap();
+            if write { expect_written += len } else { expect_read += len }
+        }
+        let rep = mem.finish(0).unwrap();
+        prop_assert_eq!(rep.bytes_read, expect_read);
+        prop_assert_eq!(rep.bytes_written, expect_written);
+        prop_assert!(rep.core_energy_pj > 0.0);
+    }
+}

@@ -1,0 +1,520 @@
+//! Argument parsing for the `mcm` binary.
+
+use core::fmt;
+
+use mcm_core::{ChunkPolicy, Pacing};
+use mcm_ctrl::{PagePolicy, PowerDownPolicy};
+use mcm_dram::AddressMapping;
+use mcm_load::HdOperatingPoint;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Regenerate Table I.
+    Table1,
+    /// Regenerate Table II.
+    Table2,
+    /// Regenerate Fig. 3.
+    Fig3,
+    /// Regenerate Fig. 4.
+    Fig4,
+    /// Regenerate Fig. 5.
+    Fig5,
+    /// Regenerate the XDR comparison.
+    Xdr,
+    /// Regenerate everything in paper order.
+    Repro,
+    /// Run one ad-hoc experiment.
+    Run(RunOptions),
+    /// Report the maximum sustainable frame rate for a configuration.
+    Headroom(RunOptions),
+    /// Run a multi-frame steady-state session.
+    Steady {
+        /// The configuration.
+        options: RunOptions,
+        /// Number of consecutive frames.
+        frames: u32,
+    },
+    /// Print a per-stage memory-time profile for a configuration.
+    Profile(RunOptions),
+    /// Render the first cycles of channel 0's command schedule.
+    Timeline {
+        /// The configuration.
+        options: RunOptions,
+        /// Cycle window width.
+        cycles: u64,
+    },
+    /// Print the resolved device datasheet.
+    Datasheet {
+        /// Device preset name.
+        device: String,
+        /// Interface clock, MHz.
+        clock_mhz: u64,
+    },
+    /// Print the experiment configuration as editable JSON.
+    ConfigDump(RunOptions),
+    /// Run an experiment described by a JSON config file.
+    ConfigRun {
+        /// Path to the JSON experiment file.
+        path: String,
+    },
+    /// Dump one frame's operation stream to a trace file.
+    TraceDump {
+        /// The configuration (format, chunking).
+        options: RunOptions,
+        /// Output path (`-` = stdout).
+        out: String,
+    },
+    /// Replay a trace file against a memory configuration.
+    TraceRun {
+        /// The memory configuration.
+        options: RunOptions,
+        /// Input path.
+        input: String,
+    },
+}
+
+/// Options of `mcm run` / `mcm headroom`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Operating point.
+    pub point: HdOperatingPoint,
+    /// Channel count.
+    pub channels: u32,
+    /// Interface clock, MHz.
+    pub clock_mhz: u64,
+    /// Address multiplexing.
+    pub mapping: AddressMapping,
+    /// Row-buffer policy.
+    pub page: PagePolicy,
+    /// CKE policy.
+    pub power_down: PowerDownPolicy,
+    /// Interleave granule, bytes.
+    pub granule: u64,
+    /// Master transaction sizing.
+    pub chunk: ChunkPolicy,
+    /// Arrival pacing.
+    pub pacing: Pacing,
+    /// Emit machine-readable JSON instead of text.
+    pub json: bool,
+    /// Viewfinder-only mode (no encoding/storage traffic).
+    pub viewfinder: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            point: HdOperatingPoint::Hd1080p30,
+            channels: 4,
+            clock_mhz: 400,
+            mapping: AddressMapping::Rbc,
+            page: PagePolicy::Open,
+            power_down: PowerDownPolicy::immediate(),
+            granule: 16,
+            chunk: ChunkPolicy::PerChannel(64),
+            pacing: Pacing::Greedy,
+            json: false,
+            viewfinder: false,
+        }
+    }
+}
+
+/// A CLI parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_point(s: &str) -> Result<HdOperatingPoint, CliError> {
+    match s {
+        "720p30" => Ok(HdOperatingPoint::Hd720p30),
+        "720p60" => Ok(HdOperatingPoint::Hd720p60),
+        "1080p30" => Ok(HdOperatingPoint::Hd1080p30),
+        "1080p60" => Ok(HdOperatingPoint::Hd1080p60),
+        "2160p30" => Ok(HdOperatingPoint::Uhd2160p30),
+        _ => Err(CliError(format!(
+            "unknown format '{s}' (expected 720p30, 720p60, 1080p30, 1080p60 or 2160p30)"
+        ))),
+    }
+}
+
+fn parse_power_down(s: &str) -> Result<PowerDownPolicy, CliError> {
+    if s == "immediate" {
+        return Ok(PowerDownPolicy::immediate());
+    }
+    if s == "never" {
+        return Ok(PowerDownPolicy::Never);
+    }
+    if let Some(n) = s.strip_prefix("idle:") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| CliError(format!("bad idle threshold in '{s}'")))?;
+        return Ok(PowerDownPolicy::AfterIdleCycles(n));
+    }
+    if let Some(n) = s.strip_prefix("sr:") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| CliError(format!("bad self-refresh threshold in '{s}'")))?;
+        return Ok(PowerDownPolicy::PowerDownThenSelfRefresh {
+            pd_after: 1,
+            sr_after: n,
+        });
+    }
+    Err(CliError(format!(
+        "unknown power-down policy '{s}' (expected immediate, never, idle:N or sr:N)"
+    )))
+}
+
+fn parse_chunk(s: &str) -> Result<ChunkPolicy, CliError> {
+    if let Some(n) = s.strip_prefix("perch:") {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| CliError(format!("bad per-channel chunk in '{s}'")))?;
+        return Ok(ChunkPolicy::PerChannel(n));
+    }
+    if let Some(n) = s.strip_prefix("fixed:") {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| CliError(format!("bad fixed chunk in '{s}'")))?;
+        return Ok(ChunkPolicy::Fixed(n));
+    }
+    Err(CliError(format!(
+        "unknown chunk policy '{s}' (expected perch:N or fixed:N)"
+    )))
+}
+
+fn parse_run_options<'a>(
+    mut args: impl Iterator<Item = &'a str>,
+) -> Result<RunOptions, CliError> {
+    let mut opts = RunOptions::default();
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| CliError(format!("flag '{flag}' needs a value")))
+        };
+        match flag {
+            "--format" => opts.point = parse_point(value()?)?,
+            "--channels" => {
+                opts.channels = value()?
+                    .parse()
+                    .map_err(|_| CliError("bad --channels value".into()))?
+            }
+            "--clock" => {
+                opts.clock_mhz = value()?
+                    .parse()
+                    .map_err(|_| CliError("bad --clock value".into()))?
+            }
+            "--mapping" => {
+                opts.mapping = match value()? {
+                    "rbc" => AddressMapping::Rbc,
+                    "brc" => AddressMapping::Brc,
+                    other => return Err(CliError(format!("unknown mapping '{other}'"))),
+                }
+            }
+            "--page" => {
+                opts.page = match value()? {
+                    "open" => PagePolicy::Open,
+                    "closed" => PagePolicy::Closed,
+                    other => return Err(CliError(format!("unknown page policy '{other}'"))),
+                }
+            }
+            "--power-down" => opts.power_down = parse_power_down(value()?)?,
+            "--granule" => {
+                opts.granule = value()?
+                    .parse()
+                    .map_err(|_| CliError("bad --granule value".into()))?
+            }
+            "--chunk" => opts.chunk = parse_chunk(value()?)?,
+            "--paced" => opts.pacing = Pacing::Paced,
+            "--json" => opts.json = true,
+            "--viewfinder" => opts.viewfinder = true,
+            other => return Err(CliError(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses an argument list (without the program name).
+pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, CliError> {
+    let mut it = args.into_iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "table1" => Ok(Command::Table1),
+        "table2" => Ok(Command::Table2),
+        "fig3" => Ok(Command::Fig3),
+        "fig4" => Ok(Command::Fig4),
+        "fig5" => Ok(Command::Fig5),
+        "xdr" => Ok(Command::Xdr),
+        "repro" => Ok(Command::Repro),
+        "run" => Ok(Command::Run(parse_run_options(it)?)),
+        "headroom" => Ok(Command::Headroom(parse_run_options(it)?)),
+        "profile" => Ok(Command::Profile(parse_run_options(it)?)),
+        "config-dump" => Ok(Command::ConfigDump(parse_run_options(it)?)),
+        "datasheet" => {
+            let mut device = "mobile".to_string();
+            let mut clock = 400u64;
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--device" => {
+                        device = rest
+                            .get(i + 1)
+                            .ok_or_else(|| CliError("--device needs a value".into()))?
+                            .to_string();
+                        i += 2;
+                    }
+                    "--clock" => {
+                        clock = rest
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError("bad --clock value".into()))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Datasheet {
+                device,
+                clock_mhz: clock,
+            })
+        }
+        "timeline" => {
+            let rest: Vec<&str> = it.collect();
+            let mut cycles = 120u64;
+            let mut filtered = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == "--cycles" {
+                    let v = rest
+                        .get(i + 1)
+                        .ok_or_else(|| CliError("--cycles needs a value".into()))?;
+                    cycles = v
+                        .parse()
+                        .map_err(|_| CliError(format!("bad --cycles value '{v}'")))?;
+                    i += 2;
+                } else {
+                    filtered.push(rest[i]);
+                    i += 1;
+                }
+            }
+            Ok(Command::Timeline {
+                options: parse_run_options(filtered.into_iter())?,
+                cycles,
+            })
+        }
+        "config-run" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("config-run requires a path".into()))?;
+            Ok(Command::ConfigRun { path: path.to_string() })
+        }
+        "trace-dump" | "trace-run" => {
+            let rest: Vec<&str> = it.collect();
+            let mut path: Option<String> = None;
+            let mut filtered = Vec::new();
+            let mut i = 0;
+            let flag = if cmd == "trace-dump" { "--out" } else { "--in" };
+            while i < rest.len() {
+                if rest[i] == flag {
+                    let v = rest
+                        .get(i + 1)
+                        .ok_or_else(|| CliError(format!("{flag} needs a value")))?;
+                    path = Some((*v).to_string());
+                    i += 2;
+                } else {
+                    filtered.push(rest[i]);
+                    i += 1;
+                }
+            }
+            let path = path.ok_or_else(|| CliError(format!("{cmd} requires {flag} <path>")))?;
+            let options = parse_run_options(filtered.into_iter())?;
+            Ok(if cmd == "trace-dump" {
+                Command::TraceDump { options, out: path }
+            } else {
+                Command::TraceRun { options, input: path }
+            })
+        }
+        "steady" => {
+            // Extract --frames N, pass the rest to the run-option parser.
+            let rest: Vec<&str> = it.collect();
+            let mut frames = 30u32;
+            let mut filtered = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == "--frames" {
+                    let v = rest
+                        .get(i + 1)
+                        .ok_or_else(|| CliError("--frames needs a value".into()))?;
+                    frames = v
+                        .parse()
+                        .map_err(|_| CliError(format!("bad --frames value '{v}'")))?;
+                    i += 2;
+                } else {
+                    filtered.push(rest[i]);
+                    i += 1;
+                }
+            }
+            Ok(Command::Steady {
+                options: parse_run_options(filtered.into_iter())?,
+                frames,
+            })
+        }
+        other => Err(CliError(format!(
+            "unknown command '{other}' (try 'mcm help')"
+        ))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mcm — multi-channel memories for video recording (DATE 2009 reproduction)
+
+USAGE:
+    mcm <COMMAND> [OPTIONS]
+
+COMMANDS:
+    repro       regenerate every paper table and figure
+    table1      Table I  — per-stage memory bandwidth requirements
+    table2      Table II — memory mapping over channels
+    fig3        Fig. 3   — access time vs clock (720p30)
+    fig4        Fig. 4   — access time vs format (400 MHz)
+    fig5        Fig. 5   — power vs format (400 MHz)
+    xdr         the XDR comparison
+    run         run one experiment (see OPTIONS)
+    headroom    maximum sustainable fps for a configuration
+    steady      multi-frame session (add --frames N, default 30)
+    profile     per-stage memory-time profile
+    timeline    ASCII command waveform of channel 0 (--cycles N)
+    datasheet   resolved device parameters (--device mobile|ddr2|future, --clock MHz)
+    config-dump print an experiment as editable JSON
+    config-run  run an experiment from a JSON file
+    trace-dump  write one frame's ops to a trace file (--out <path>)
+    trace-run   replay a trace file (--in <path>)
+    help        this text
+
+OPTIONS (run / headroom):
+    --format <720p30|720p60|1080p30|1080p60|2160p30>   [1080p30]
+    --channels <N>                                     [4]
+    --clock <MHz>                                      [400]
+    --mapping <rbc|brc>                                [rbc]
+    --page <open|closed>                               [open]
+    --power-down <immediate|never|idle:N|sr:N>         [immediate]
+    --granule <bytes>                                  [16]
+    --chunk <perch:N|fixed:N>                          [perch:64]
+    --paced                                            [greedy]
+    --viewfinder                                       [recording]
+    --json                                             [text]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_invocation_is_help() {
+        assert_eq!(parse_args([]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn figure_commands() {
+        assert_eq!(parse_args(["fig3"]).unwrap(), Command::Fig3);
+        assert_eq!(parse_args(["table1"]).unwrap(), Command::Table1);
+        assert_eq!(parse_args(["repro"]).unwrap(), Command::Repro);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(o) = parse_args(["run"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o, RunOptions::default());
+    }
+
+    #[test]
+    fn run_with_everything() {
+        let Command::Run(o) = parse_args([
+            "run",
+            "--format", "720p60",
+            "--channels", "2",
+            "--clock", "333",
+            "--mapping", "brc",
+            "--page", "closed",
+            "--power-down", "sr:4096",
+            "--granule", "64",
+            "--chunk", "fixed:256",
+            "--paced",
+            "--json",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.point, HdOperatingPoint::Hd720p60);
+        assert_eq!(o.channels, 2);
+        assert_eq!(o.clock_mhz, 333);
+        assert_eq!(o.mapping, AddressMapping::Brc);
+        assert_eq!(o.page, PagePolicy::Closed);
+        assert_eq!(
+            o.power_down,
+            PowerDownPolicy::PowerDownThenSelfRefresh {
+                pd_after: 1,
+                sr_after: 4096
+            }
+        );
+        assert_eq!(o.granule, 64);
+        assert_eq!(o.chunk, ChunkPolicy::Fixed(256));
+        assert_eq!(o.pacing, Pacing::Paced);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn power_down_forms() {
+        assert_eq!(
+            parse_power_down("immediate").unwrap(),
+            PowerDownPolicy::immediate()
+        );
+        assert_eq!(parse_power_down("never").unwrap(), PowerDownPolicy::Never);
+        assert_eq!(
+            parse_power_down("idle:64").unwrap(),
+            PowerDownPolicy::AfterIdleCycles(64)
+        );
+        assert!(parse_power_down("idle:x").is_err());
+        assert!(parse_power_down("deep").is_err());
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        let e = parse_args(["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+        let e = parse_args(["run", "--format", "480p"]).unwrap_err();
+        assert!(e.to_string().contains("480p"));
+        let e = parse_args(["run", "--channels"]).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+        let e = parse_args(["run", "--bogus", "1"]).unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn headroom_parses_like_run() {
+        let Command::Headroom(o) =
+            parse_args(["headroom", "--format", "2160p30", "--channels", "8"]).unwrap()
+        else {
+            panic!("expected headroom");
+        };
+        assert_eq!(o.point, HdOperatingPoint::Uhd2160p30);
+        assert_eq!(o.channels, 8);
+    }
+}

@@ -1,0 +1,475 @@
+//! Command execution for the `mcm` binary.
+
+use mcm_core::{analysis, figures, CoreError, Experiment};
+use mcm_load::UseCase;
+
+use crate::args::{CliError, Command, RunOptions, USAGE};
+
+fn build_experiment(o: &RunOptions) -> Experiment {
+    let mut exp = Experiment::paper(o.point, o.channels, o.clock_mhz);
+    if o.viewfinder {
+        exp.use_case = UseCase::viewfinder(o.point);
+    }
+    exp.memory.controller.mapping = o.mapping;
+    exp.memory.controller.page_policy = o.page;
+    exp.memory.controller.power_down = o.power_down;
+    exp.memory.granule_bytes = o.granule;
+    exp.chunk = o.chunk;
+    exp.pacing = o.pacing;
+    exp
+}
+
+fn run_one(o: &RunOptions) -> Result<String, CoreError> {
+    let exp = build_experiment(o);
+    let r = exp.run()?;
+    if o.json {
+        let p99 = r
+            .report
+            .channels
+            .iter()
+            .filter_map(|c| c.latency_p99)
+            .max()
+            .map(|t| t.as_ns_f64());
+        Ok(serde_json::json!({
+            "format": o.point.to_string(),
+            "channels": o.channels,
+            "clock_mhz": o.clock_mhz,
+            "access_time_ms": r.access_time.as_ms_f64(),
+            "frame_budget_ms": r.frame_budget.as_ms_f64(),
+            "verdict": r.verdict.to_string(),
+            "core_power_mw": r.power.core_mw,
+            "interface_power_mw": r.power.interface_mw,
+            "total_power_mw": r.power.total_mw(),
+            "efficiency": r.efficiency(),
+            "peak_bandwidth_gbps": r.peak_bandwidth_bytes_per_s / 1e9,
+            "achieved_bandwidth_gbps": r.achieved_bandwidth_bytes_per_s() / 1e9,
+            "latency_p99_ns": p99,
+            "bytes_per_frame": r.planned_bytes,
+        })
+        .to_string())
+    } else {
+        let row = UseCase::hd(o.point).table_row();
+        let mut out = String::new();
+        out += &format!(
+            "{} on {} ch x 32-bit mobile DDR @ {} MHz ({}, {}, {})\n",
+            o.point, o.channels, o.clock_mhz, o.mapping, o.page, o.power_down
+        );
+        out += &format!(
+            "  load:        {:.2} GB/s ({:.0} Mb/frame)\n",
+            row.gbytes_per_second(),
+            row.bits_per_frame() as f64 / 1e6
+        );
+        out += &format!(
+            "  access time: {:.2} ms of {:.2} ms budget [{}]\n",
+            r.access_time.as_ms_f64(),
+            r.frame_budget.as_ms_f64(),
+            r.verdict
+        );
+        out += &format!(
+            "  bandwidth:   {:.1} / {:.1} GB/s ({:.0}% efficiency)\n",
+            r.achieved_bandwidth_bytes_per_s() / 1e9,
+            r.peak_bandwidth_bytes_per_s / 1e9,
+            r.efficiency() * 100.0
+        );
+        out += &format!("  power:       {}\n", r.power);
+        Ok(out)
+    }
+}
+
+fn run_headroom(o: &RunOptions) -> Result<String, CoreError> {
+    let exp = build_experiment(o);
+    let fps = analysis::max_sustainable_fps(&exp)?;
+    Ok(match fps {
+        Some(f) => format!(
+            "{} x {} ch @ {} MHz sustains up to {f} fps (real time with 15% margin)\n",
+            o.point.format(),
+            o.channels,
+            o.clock_mhz
+        ),
+        None => format!(
+            "{} x {} ch @ {} MHz cannot sustain real-time recording\n",
+            o.point.format(),
+            o.channels,
+            o.clock_mhz
+        ),
+    })
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    let sim_err = |e: CoreError| CliError(format!("simulation failed: {e}"));
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Table1 => Ok(figures::render_table1(&figures::table1_data())),
+        Command::Table2 => Ok([2u32, 4, 8]
+            .iter()
+            .map(|&c| figures::render_table2(c))
+            .collect::<Vec<_>>()
+            .join("\n")),
+        Command::Fig3 => {
+            let d = figures::fig3_data().map_err(sim_err)?;
+            Ok(figures::render_fig3(&d))
+        }
+        Command::Fig4 => {
+            let d = figures::format_grid_data().map_err(sim_err)?;
+            Ok(figures::render_fig4(&d))
+        }
+        Command::Fig5 => {
+            let d = figures::format_grid_data().map_err(sim_err)?;
+            Ok(figures::render_fig5(&d))
+        }
+        Command::Xdr => {
+            let d = figures::xdr_data().map_err(sim_err)?;
+            Ok(figures::render_xdr(&d))
+        }
+        Command::Repro => {
+            let mut out = String::new();
+            out += &figures::render_table1(&figures::table1_data());
+            out += "\n";
+            out += &figures::render_table2(4);
+            out += "\n";
+            let f3 = figures::fig3_data().map_err(sim_err)?;
+            out += &figures::render_fig3(&f3);
+            let grid = figures::format_grid_data().map_err(sim_err)?;
+            out += "\n";
+            out += &figures::render_fig4(&grid);
+            out += "\n";
+            out += &figures::render_fig5(&grid);
+            out += "\n";
+            let xdr = figures::xdr_data().map_err(sim_err)?;
+            out += &figures::render_xdr(&xdr);
+            Ok(out)
+        }
+        Command::Run(o) => run_one(o).map_err(sim_err),
+        Command::Headroom(o) => run_headroom(o).map_err(sim_err),
+        Command::Steady { options, frames } => run_steady(options, *frames).map_err(sim_err),
+        Command::Profile(o) => {
+            let exp = build_experiment(o);
+            let p = mcm_core::profile::run_profiled(&exp).map_err(sim_err)?;
+            Ok(p.render())
+        }
+        Command::Timeline { options, cycles } => timeline(options, *cycles),
+        Command::Datasheet { device, clock_mhz } => {
+            let cfg = match device.as_str() {
+                "mobile" => mcm_dram::ClusterConfig::next_gen_mobile_ddr(*clock_mhz),
+                "ddr2" => mcm_dram::ClusterConfig::standard_ddr2(*clock_mhz),
+                "future" => mcm_dram::ClusterConfig::future_lpddr2(*clock_mhz),
+                other => {
+                    return Err(CliError(format!(
+                        "unknown device '{other}' (expected mobile, ddr2 or future)"
+                    )))
+                }
+            };
+            mcm_dram::datasheet::render_datasheet(&cfg)
+                .map_err(|e| CliError(format!("datasheet: {e}")))
+        }
+        Command::ConfigDump(o) => {
+            let exp = build_experiment(o);
+            serde_json::to_string_pretty(&exp)
+                .map(|mut s| {
+                    s.push('\n');
+                    s
+                })
+                .map_err(|e| CliError(format!("serialization failed: {e}")))
+        }
+        Command::ConfigRun { path } => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read '{path}': {e}")))?;
+            let exp: Experiment = serde_json::from_str(&text)
+                .map_err(|e| CliError(format!("bad experiment config: {e}")))?;
+            let r = exp.run().map_err(sim_err)?;
+            Ok(format!(
+                "access time {:.2} ms of {:.2} ms [{}], {}\n",
+                r.access_time.as_ms_f64(),
+                r.frame_budget.as_ms_f64(),
+                r.verdict,
+                r.power
+            ))
+        }
+        Command::TraceDump { options, out } => trace_dump(options, out),
+        Command::TraceRun { options, input } => trace_run(options, input),
+    }
+}
+
+fn timeline(o: &RunOptions, cycles: u64) -> Result<String, CliError> {
+    use mcm_ctrl::{ChannelRequest, Controller};
+    use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions};
+    let exp = build_experiment(o);
+    let geometry = exp.memory.controller.cluster.geometry;
+    let mut ctrl = Controller::new(&exp.memory.controller)
+        .map_err(|e| CliError(format!("controller: {e}")))?;
+    ctrl.enable_trace();
+    // Feed channel 0's share of the frame until the window is covered.
+    let layout = FrameLayout::with_options(
+        &exp.use_case,
+        &LayoutOptions::bank_staggered(
+            geometry.capacity_bytes() * o.channels as u64,
+            geometry.page_bytes() as u64,
+            o.channels,
+            geometry.banks,
+        ),
+    )
+    .map_err(|e| CliError(format!("layout: {e}")))?;
+    let interleave = mcm_channel::InterleaveMap::new(o.channels, exp.memory.granule_bytes)
+        .map_err(|e| CliError(format!("interleave: {e}")))?;
+    let traffic = FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(o.channels))
+        .map_err(|e| CliError(format!("traffic: {e}")))?;
+    for op in traffic {
+        if ctrl.busy_until() > cycles + 64 {
+            break;
+        }
+        for (ch, slice) in interleave.split_range(op.addr, op.len as u64).into_iter().enumerate() {
+            let Some((local, len)) = slice else { continue };
+            if ch != 0 {
+                continue;
+            }
+            ctrl.access(ChannelRequest {
+                op: if op.write {
+                    mcm_ctrl::AccessOp::Write
+                } else {
+                    mcm_ctrl::AccessOp::Read
+                },
+                addr: local,
+                len: len as u32,
+                arrival: 0,
+            })
+            .map_err(|e| CliError(format!("access: {e}")))?;
+        }
+    }
+    let trace = ctrl.device().trace().expect("trace enabled");
+    let mut out = format!(
+        "channel 0 command schedule, cycles 0..{cycles} ({} on {} ch @ {} MHz)\n\n",
+        o.point, o.channels, o.clock_mhz
+    );
+    out += &mcm_dram::timeline::render_timeline(trace, geometry.banks, 0, cycles, 200);
+    out += "\nA activate, r read, w write, P precharge, F refresh, D/U power-down\nenter/exit, S/X self-refresh enter/exit, '-' row open.\n";
+    Ok(out)
+}
+
+fn trace_dump(o: &RunOptions, out: &str) -> Result<String, CliError> {
+    use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions};
+    let exp = build_experiment(o);
+    let geometry = exp.memory.controller.cluster.geometry;
+    let capacity = geometry.capacity_bytes() * o.channels as u64;
+    let layout = FrameLayout::with_options(
+        &exp.use_case,
+        &LayoutOptions::bank_staggered(
+            capacity,
+            geometry.page_bytes() as u64,
+            o.channels,
+            geometry.banks,
+        ),
+    )
+    .map_err(|e| CliError(format!("layout failed: {e}")))?;
+    let traffic = FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(o.channels))
+        .map_err(|e| CliError(format!("traffic failed: {e}")))?;
+    let io_err = |e: std::io::Error| CliError(format!("cannot write '{out}': {e}"));
+    let n = if out == "-" {
+        let stdout = std::io::stdout();
+        mcm_load::write_trace(traffic, &mut stdout.lock()).map_err(io_err)?
+    } else {
+        let file = std::fs::File::create(out).map_err(io_err)?;
+        let mut w = std::io::BufWriter::new(file);
+        mcm_load::write_trace(traffic, &mut w).map_err(io_err)?
+    };
+    Ok(format!("wrote {n} operations to {out}\n"))
+}
+
+fn trace_run(o: &RunOptions, input: &str) -> Result<String, CliError> {
+    let exp = build_experiment(o);
+    let file = std::fs::File::open(input)
+        .map_err(|e| CliError(format!("cannot read '{input}': {e}")))?;
+    let ops = mcm_load::read_trace(std::io::BufReader::new(file))
+        .map_err(|e| CliError(format!("bad trace: {e}")))?;
+    let r = mcm_core::tracerun::run_trace(&exp.memory, ops, &exp.interface)
+        .map_err(|e| CliError(format!("replay failed: {e}")))?;
+    Ok(format!(
+        "replayed {} ops ({:.1} MB) on {} ch @ {} MHz:\n  drain time {:.3} ms, {:.2} GB/s, {}\n",
+        r.ops,
+        r.bytes as f64 / 1e6,
+        o.channels,
+        o.clock_mhz,
+        r.access_time.as_ms_f64(),
+        r.bandwidth_bytes_per_s / 1e9,
+        r.power
+    ))
+}
+
+fn run_steady(o: &RunOptions, frames: u32) -> Result<String, CoreError> {
+    let exp = build_experiment(o);
+    let r = mcm_core::steady::run_steady_state(&exp, frames)?;
+    let mut out = format!(
+        "{} x {} ch @ {} MHz, {frames} consecutive frames\n",
+        o.point, o.channels, o.clock_mhz
+    );
+    if let Some(steady) = r.steady_access_time() {
+        out += &format!("  steady access time: {steady}\n");
+    }
+    let worst = r.frames.iter().map(|f| f.access_time).max().unwrap();
+    out += &format!("  worst frame:        {worst}\n");
+    out += &format!("  all real-time:      {}\n", r.all_real_time());
+    out += &format!("  sustained power:    {}\n", r.power);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn help_contains_all_commands() {
+        let out = execute(&Command::Help).unwrap();
+        for c in ["repro", "fig3", "run", "headroom", "--power-down"] {
+            assert!(out.contains(c), "usage text missing {c}");
+        }
+    }
+
+    #[test]
+    fn table_commands_render_without_simulation() {
+        let out = execute(&Command::Table1).unwrap();
+        assert!(out.contains("Video encoder"));
+        let out = execute(&Command::Table2).unwrap();
+        assert!(out.contains("BC0"));
+    }
+
+    #[test]
+    fn run_command_produces_text_and_json() {
+        // Small/fast configuration.
+        let cmd = parse_args(["run", "--format", "720p30", "--channels", "8", "--clock", "533"])
+            .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("access time"));
+
+        let cmd = parse_args([
+            "run", "--format", "720p30", "--channels", "8", "--clock", "533", "--json",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["channels"], 8);
+        assert!(v["access_time_ms"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_run_reports_cleanly() {
+        let cmd = parse_args(["run", "--format", "2160p30", "--channels", "1"]).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.to_string().contains("simulation failed"));
+    }
+}
+
+#[cfg(test)]
+mod steady_and_viewfinder_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn steady_command_runs() {
+        let cmd = parse_args([
+            "steady", "--format", "720p30", "--channels", "8", "--clock", "533",
+            "--frames", "3",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("3 consecutive frames"));
+        assert!(out.contains("steady access time"));
+    }
+
+    #[test]
+    fn viewfinder_flag_cuts_the_load() {
+        let json = |extra: &[&str]| {
+            let mut args = vec!["run", "--format", "720p30", "--channels", "8",
+                                "--clock", "533", "--json"];
+            args.extend_from_slice(extra);
+            let out = execute(&parse_args(args).unwrap()).unwrap();
+            serde_json::from_str::<serde_json::Value>(&out).unwrap()
+        };
+        let rec = json(&[]);
+        let vf = json(&["--viewfinder"]);
+        let rec_bytes = rec["bytes_per_frame"].as_u64().unwrap();
+        let vf_bytes = vf["bytes_per_frame"].as_u64().unwrap();
+        assert!(vf_bytes * 2 < rec_bytes, "viewfinder {vf_bytes} vs recording {rec_bytes}");
+    }
+}
+
+#[cfg(test)]
+mod trace_cli_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn dump_then_replay_roundtrips() {
+        let dir = std::env::temp_dir().join("mcm_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.trace");
+        let path_s = path.to_str().unwrap();
+
+        let cmd = parse_args([
+            "trace-dump", "--format", "720p30", "--channels", "2",
+            "--chunk", "fixed:4096", "--out", path_s,
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("wrote"));
+
+        let cmd = parse_args([
+            "trace-run", "--channels", "2", "--clock", "533", "--in", path_s,
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("replayed"), "{out}");
+        assert!(out.contains("GB/s"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_trace_paths_error_cleanly() {
+        let err = parse_args(["trace-dump", "--format", "720p30"]).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+        let cmd = parse_args(["trace-run", "--in", "/nonexistent/file"]).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+}
+
+#[cfg(test)]
+mod config_cli_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn config_dump_then_run_roundtrips() {
+        let cmd = parse_args([
+            "config-dump", "--format", "720p30", "--channels", "8", "--clock", "533",
+        ])
+        .unwrap();
+        let json = execute(&cmd).unwrap();
+        assert!(json.contains("\"width\": 1280"), "{json}");
+
+        let dir = std::env::temp_dir().join("mcm_cli_config_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exp.json");
+        // Truncate the run so the test stays fast.
+        let mut exp: Experiment = serde_json::from_str(&json).unwrap();
+        exp.op_limit = Some(2_000);
+        std::fs::write(&path, serde_json::to_string(&exp).unwrap()).unwrap();
+
+        let cmd = parse_args(["config-run", path.to_str().unwrap()]).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("access time"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_config_file_errors_cleanly() {
+        let err = execute(&Command::ConfigRun { path: "/nonexistent.json".into() }).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcm_bad_config.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = execute(&Command::ConfigRun { path: path.to_str().unwrap().into() }).unwrap_err();
+        assert!(err.to_string().contains("bad experiment config"));
+        std::fs::remove_file(&path).ok();
+    }
+}

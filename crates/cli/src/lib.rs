@@ -1,0 +1,25 @@
+//! # mcm-cli — command-line interface to the `mcmem` simulator
+//!
+//! The `mcm` binary exposes the reproduction harness and ad-hoc experiment
+//! runs without writing Rust:
+//!
+//! ```console
+//! $ mcm repro                       # every paper table and figure
+//! $ mcm fig3                        # one table/figure at a time
+//! $ mcm run --format 1080p30 --channels 4 --clock 400
+//! $ mcm run --format 720p60 --channels 2 --clock 333 --mapping brc --json
+//! $ mcm headroom --format 2160p30 --channels 8 --clock 400
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace is dependency-minimal);
+//! [`parse_args`] turns an argument list into a [`Command`], and
+//! [`execute`] runs it.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod args;
+mod commands;
+
+pub use args::{parse_args, CliError, Command, RunOptions};
+pub use commands::execute;

@@ -1,0 +1,24 @@
+//! The `mcm` binary: see `mcm help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match mcm_cli::parse_args(args.iter().map(String::as_str)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("mcm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mcm_cli::execute(&cmd) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mcm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

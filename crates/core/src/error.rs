@@ -1,0 +1,73 @@
+//! Top-level experiment errors.
+
+use core::fmt;
+
+use mcm_channel::ChannelError;
+use mcm_load::LoadError;
+
+/// Errors raised while configuring or running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The load model rejected the use case or layout.
+    Load(LoadError),
+    /// The memory subsystem rejected the configuration or a transaction.
+    Memory(ChannelError),
+    /// An experiment parameter failed validation.
+    BadParam {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Load(e) => write!(f, "load model: {e}"),
+            CoreError::Memory(e) => write!(f, "memory subsystem: {e}"),
+            CoreError::BadParam { reason } => write!(f, "bad experiment parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Load(e) => Some(e),
+            CoreError::Memory(e) => Some(e),
+            CoreError::BadParam { .. } => None,
+        }
+    }
+}
+
+impl From<LoadError> for CoreError {
+    fn from(e: LoadError) -> Self {
+        CoreError::Load(e)
+    }
+}
+
+impl From<ChannelError> for CoreError {
+    fn from(e: ChannelError) -> Self {
+        CoreError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: CoreError = LoadError::BadParam {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("load model"));
+        let e: CoreError = ChannelError::BadConfig {
+            reason: "y".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("memory subsystem"));
+    }
+}

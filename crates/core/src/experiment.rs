@@ -1,0 +1,496 @@
+//! One simulated experiment: a video-recording use case running against a
+//! multi-channel memory configuration for one frame, evaluated the way the
+//! paper's Section IV evaluates it — per-frame memory access time against
+//! the real-time budget (with the 15 % data-processing margin), and average
+//! power over the frame period with the equation (1) interface power added.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mcm_channel::{MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport};
+use mcm_ctrl::AccessOp;
+use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, UseCase};
+use mcm_power::{InterfacePowerModel, PowerSummary};
+use mcm_sim::SimTime;
+
+use crate::error::CoreError;
+
+/// How a configuration fares against the frame's real-time budget.
+///
+/// The paper suppresses Fig. 5 bars that "cannot meet the real time
+/// requirements with a 15 % margin for the data processing" and flags
+/// configurations that only just meet it as MARGINAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RealTimeVerdict {
+    /// Access time fits within the budget minus the margin.
+    Meets,
+    /// Access time fits the budget but not the margin (the paper's
+    /// "MARGINAL" annotation).
+    Marginal,
+    /// Access time exceeds the frame budget outright.
+    Fails,
+}
+
+impl RealTimeVerdict {
+    /// Whether the configuration is usable at all (meets or marginal).
+    pub fn is_real_time(self) -> bool {
+        !matches!(self, RealTimeVerdict::Fails)
+    }
+}
+
+impl fmt::Display for RealTimeVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RealTimeVerdict::Meets => write!(f, "meets"),
+            RealTimeVerdict::Marginal => write!(f, "MARGINAL"),
+            RealTimeVerdict::Fails => write!(f, "FAILS"),
+        }
+    }
+}
+
+/// How large the master transactions the SMP side emits are.
+///
+/// The paper's load is "very regular and foreseeable … relatively large data
+/// amounts resulting in several memory accesses to sequential memory
+/// locations", interleaved so that "all the channels can be used in a single
+/// master transaction". Its uniform ≈2× speedup per channel doubling implies
+/// the per-channel sequential run length stays constant as channels are
+/// added — that is [`ChunkPolicy::PerChannel`], the default. A fixed
+/// cache-line master ([`ChunkPolicy::Fixed`]`(64)`) is kept for the
+/// transaction-size ablation; it makes multi-channel efficiency collapse
+/// into read/write turnarounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChunkPolicy {
+    /// Master transactions of exactly this many bytes.
+    Fixed(u32),
+    /// Master transactions of `bytes_per_channel × channels` bytes, keeping
+    /// each channel's burst-run length constant as the channel count grows.
+    PerChannel(u32),
+}
+
+impl ChunkPolicy {
+    /// The concrete transaction size for a `channels`-channel memory.
+    pub fn bytes(self, channels: u32) -> u32 {
+        match self {
+            ChunkPolicy::Fixed(n) => n,
+            ChunkPolicy::PerChannel(n) => n * channels,
+        }
+    }
+}
+
+/// How the master paces its memory operations within the frame budget.
+///
+/// The paper measures pure memory access time: the master issues the
+/// frame's operations as fast as the memory accepts them and the subsystem
+/// then idles (race-to-sleep). [`Pacing::Paced`] is this repo's extension:
+/// a rate-controlled master that spreads the same operations evenly over
+/// the frame budget, exposing the energy/latency trade between racing to
+/// power-down and running just-in-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Pacing {
+    /// Issue everything back-to-back, then idle (the paper's model).
+    #[default]
+    Greedy,
+    /// Spread arrivals uniformly over the frame budget.
+    Paced,
+}
+
+/// A fully specified experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment {
+    /// The video-recording load.
+    pub use_case: UseCase,
+    /// The memory subsystem under test.
+    pub memory: MemoryConfig,
+    /// Master transaction sizing.
+    pub chunk: ChunkPolicy,
+    /// Arrival pacing (paper: greedy).
+    pub pacing: Pacing,
+    /// Data-processing margin on the real-time budget (paper: 0.15).
+    pub margin: f64,
+    /// Interface power model (equation (1)).
+    pub interface: InterfacePowerModel,
+    /// Optional cap on the number of load operations simulated, with the
+    /// access time extrapolated linearly from the simulated prefix. `None`
+    /// simulates the whole frame. Intended for quick tests only.
+    pub op_limit: Option<u64>,
+}
+
+impl Experiment {
+    /// The paper's experiment at one Table I operating point: `channels` ×
+    /// next-generation mobile DDR at `clock_mhz`, 64 bytes per channel per
+    /// master transaction, 15 % margin.
+    pub fn paper(point: HdOperatingPoint, channels: u32, clock_mhz: u64) -> Self {
+        Experiment {
+            use_case: UseCase::hd(point),
+            memory: MemoryConfig::paper(channels, clock_mhz),
+            chunk: ChunkPolicy::PerChannel(64),
+            pacing: Pacing::Greedy,
+            margin: 0.15,
+            interface: InterfacePowerModel::paper(),
+            op_limit: None,
+        }
+    }
+
+    /// Runs one frame and evaluates it.
+    pub fn run(&self) -> Result<FrameResult, CoreError> {
+        if !(0.0..1.0).contains(&self.margin) {
+            return Err(CoreError::BadParam {
+                reason: format!("margin {} must be in [0, 1)", self.margin),
+            });
+        }
+        let mut memory = MemorySubsystem::new(&self.memory)?;
+        // Bank-staggered placement: concurrently streamed buffers land in
+        // different banks, as any locality-aware allocator arranges.
+        let geometry = self.memory.controller.cluster.geometry;
+        let layout = FrameLayout::with_options(
+            &self.use_case,
+            &LayoutOptions::bank_staggered(
+                memory.capacity_bytes(),
+                geometry.page_bytes() as u64,
+                memory.channels(),
+                geometry.banks,
+            ),
+        )?;
+        let traffic = FrameTraffic::new(
+            &self.use_case,
+            &layout,
+            self.chunk.bytes(memory.channels()),
+        )?;
+        let planned_bytes = traffic.total_bytes();
+
+        let fps = self.use_case.fps;
+        let frame_budget = SimTime::from_ps(1_000_000_000_000u64 / fps as u64);
+        let budget_cycles = memory.clock().cycles_at(frame_budget);
+
+        let mut simulated_bytes = 0u64;
+        let mut ops = 0u64;
+        for op in traffic {
+            if let Some(limit) = self.op_limit {
+                if ops >= limit {
+                    break;
+                }
+            }
+            let arrival = match self.pacing {
+                Pacing::Greedy => 0,
+                Pacing::Paced => {
+                    // Arrival proportional to the share of the frame's bytes
+                    // already issued: a constant-rate master.
+                    (simulated_bytes as u128 * budget_cycles as u128
+                        / planned_bytes.max(1) as u128) as u64
+                }
+            };
+            memory.submit(MasterTransaction {
+                op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                addr: op.addr,
+                len: op.len as u64,
+                arrival,
+            })?;
+            simulated_bytes += op.len as u64;
+            ops += 1;
+        }
+        // Power is averaged over the frame period; if the frame overruns,
+        // over the actual access time.
+        let busy = memory.busy_until();
+        let horizon_cycles = memory
+            .clock()
+            .cycles_ceil(frame_budget)
+            .max(busy);
+        let report = memory.finish(horizon_cycles)?;
+
+        // Extrapolate when only a prefix was simulated.
+        let scale = if simulated_bytes > 0 && simulated_bytes < planned_bytes {
+            planned_bytes as f64 / simulated_bytes as f64
+        } else {
+            1.0
+        };
+        let access_time =
+            SimTime::from_ps((report.access_time.as_ps() as f64 * scale) as u64);
+
+        let verdict = if access_time > frame_budget {
+            RealTimeVerdict::Fails
+        } else if access_time.as_ps() as f64 > frame_budget.as_ps() as f64 * (1.0 - self.margin) {
+            RealTimeVerdict::Marginal
+        } else {
+            RealTimeVerdict::Meets
+        };
+
+        let horizon = memory.clock().time_of_cycles(horizon_cycles);
+        let core_mw = report.core_energy_pj * scale / horizon.as_ns_f64() / 1e3 * 1e3;
+        let interface_mw = self
+            .interface
+            .total_power_mw(memory.clock().frequency(), memory.channels());
+        Ok(FrameResult {
+            access_time,
+            frame_budget,
+            verdict,
+            power: PowerSummary {
+                core_mw,
+                interface_mw,
+            },
+            planned_bytes,
+            simulated_bytes,
+            peak_bandwidth_bytes_per_s: memory.peak_bandwidth_bytes_per_s(),
+            report,
+        })
+    }
+}
+
+/// Everything measured about one simulated frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Time to perform all of the frame's memory accesses.
+    pub access_time: SimTime,
+    /// The real-time budget (1/fps).
+    pub frame_budget: SimTime,
+    /// Verdict against the budget with the experiment's margin.
+    pub verdict: RealTimeVerdict,
+    /// Average power over the frame period (core + interface).
+    pub power: PowerSummary,
+    /// Bytes the full frame moves.
+    pub planned_bytes: u64,
+    /// Bytes actually simulated (smaller only under an op limit).
+    pub simulated_bytes: u64,
+    /// Theoretical peak bandwidth of the configuration.
+    pub peak_bandwidth_bytes_per_s: f64,
+    /// The raw subsystem report (per-channel stats, energies).
+    pub report: SubsystemReport,
+}
+
+impl FrameResult {
+    /// Achieved bandwidth while busy, bytes/s.
+    pub fn achieved_bandwidth_bytes_per_s(&self) -> f64 {
+        let t = self.access_time.as_s_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.planned_bytes as f64 / t
+    }
+
+    /// Bus efficiency: achieved ÷ peak bandwidth.
+    pub fn efficiency(&self) -> f64 {
+        self.achieved_bandwidth_bytes_per_s() / self.peak_bandwidth_bytes_per_s
+    }
+
+    /// Energy cost per transferred bit, picojoules — the figure of merit
+    /// memory-interface papers compare on (the XDR interface of the
+    /// comparison runs at ~195 pJ/bit; this subsystem at 400 MHz lands
+    /// around 10-30 pJ/bit depending on utilization).
+    pub fn energy_per_bit_pj(&self) -> f64 {
+        if self.planned_bytes == 0 {
+            return 0.0;
+        }
+        // Average power over the frame period × period = energy per frame.
+        let energy_pj = self.power.total_mw() * self.frame_budget.as_ns_f64();
+        energy_pj / (self.planned_bytes as f64 * 8.0)
+    }
+
+    /// The Fig. 5 convention: reported power, or `None` (suppressed bar)
+    /// when the configuration misses real time with the margin.
+    pub fn reported_power_mw(&self) -> Option<f64> {
+        match self.verdict {
+            RealTimeVerdict::Fails => None,
+            _ => Some(self.power.total_mw()),
+        }
+    }
+}
+
+impl fmt::Display for FrameResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / budget {} [{}], {}, eff {:.0}%",
+            self.access_time,
+            self.frame_budget,
+            self.verdict,
+            self.power,
+            self.efficiency() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(point: HdOperatingPoint, channels: u32, clock: u64) -> FrameResult {
+        let mut e = Experiment::paper(point, channels, clock);
+        e.op_limit = Some(40_000);
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn verdict_thresholds() {
+        assert!(RealTimeVerdict::Meets.is_real_time());
+        assert!(RealTimeVerdict::Marginal.is_real_time());
+        assert!(!RealTimeVerdict::Fails.is_real_time());
+        assert_eq!(RealTimeVerdict::Marginal.to_string(), "MARGINAL");
+    }
+
+    #[test]
+    fn one_channel_200mhz_fails_720p30() {
+        let r = quick(HdOperatingPoint::Hd720p30, 1, 200);
+        assert_eq!(r.verdict, RealTimeVerdict::Fails, "{r}");
+        assert!(r.reported_power_mw().is_none());
+    }
+
+    #[test]
+    fn four_channels_400mhz_meet_720p30() {
+        let r = quick(HdOperatingPoint::Hd720p30, 4, 400);
+        assert_eq!(r.verdict, RealTimeVerdict::Meets, "{r}");
+        assert!(r.reported_power_mw().is_some());
+    }
+
+    #[test]
+    fn access_time_halves_with_channel_doubling() {
+        // Equalize the simulated byte count: the per-channel chunk policy
+        // doubles the transaction size at two channels.
+        let mut e1 = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 400);
+        e1.op_limit = Some(80_000);
+        let mut e2 = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+        e2.op_limit = Some(40_000);
+        let t1 = e1.run().unwrap().access_time;
+        let t2 = e2.run().unwrap().access_time;
+        let ratio = t1.as_ps() as f64 / t2.as_ps() as f64;
+        assert!((1.7..=2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn access_time_halves_with_clock_doubling() {
+        let slow = quick(HdOperatingPoint::Hd720p30, 2, 200).access_time;
+        let fast = quick(HdOperatingPoint::Hd720p30, 2, 400).access_time;
+        let ratio = slow.as_ps() as f64 / fast.as_ps() as f64;
+        assert!((1.7..=2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn efficiency_is_high_but_below_peak() {
+        let r = quick(HdOperatingPoint::Hd720p30, 1, 400);
+        let eff = r.efficiency();
+        assert!((0.55..0.999).contains(&eff), "efficiency {eff}");
+    }
+
+    #[test]
+    fn op_limit_extrapolates_close_to_full_run() {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+        e.op_limit = Some(60_000);
+        let partial = e.run().unwrap();
+        assert!(partial.simulated_bytes < partial.planned_bytes);
+        // The stage mix varies along the frame, so prefix extrapolation is
+        // only approximate; a longer prefix must stay within ~2x.
+        e.op_limit = Some(240_000);
+        let fuller = e.run().unwrap();
+        let a = partial.access_time.as_ps() as f64;
+        let b = fuller.access_time.as_ps() as f64;
+        assert!((0.5..2.0).contains(&(a / b)), "{a} vs {b}");
+    }
+
+    #[test]
+    fn bad_margin_rejected() {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 400);
+        e.margin = 1.5;
+        assert!(matches!(e.run(), Err(CoreError::BadParam { .. })));
+    }
+
+    #[test]
+    fn power_includes_interface_share() {
+        let r = quick(HdOperatingPoint::Hd720p30, 4, 400);
+        assert!(r.power.interface_mw > 0.0);
+        assert!(r.power.core_mw > r.power.interface_mw);
+        // 4 channels at 400 MHz: 4 × 4.15 mW.
+        assert!((r.power.interface_mw - 16.59).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_per_bit_is_in_a_sane_band() {
+        let r = quick(HdOperatingPoint::Hd720p30, 4, 400);
+        let pj = r.energy_per_bit_pj();
+        assert!((5.0..100.0).contains(&pj), "pj/bit = {pj}");
+        // And far below the XDR interface's ~195 pJ/bit.
+        let xdr_pj_per_bit = 5.0e3 / (25.6e9 * 8.0) * 1e12;
+        assert!(pj < xdr_pj_per_bit);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = quick(HdOperatingPoint::Hd720p30, 4, 400);
+        let s = r.to_string();
+        assert!(s.contains("budget"));
+        assert!(s.contains("eff"));
+    }
+}
+
+#[cfg(test)]
+mod pacing_tests {
+    use super::*;
+
+    fn run(pacing: Pacing) -> FrameResult {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+        e.pacing = pacing;
+        e.op_limit = Some(50_000);
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn paced_master_bounds_request_latency() {
+        let greedy = run(Pacing::Greedy);
+        let paced = run(Pacing::Paced);
+        let p99 = |r: &FrameResult| {
+            r.report
+                .channels
+                .iter()
+                .filter_map(|c| c.latency_p99)
+                .max()
+                .unwrap()
+        };
+        assert!(
+            p99(&paced).as_ps() * 10 < p99(&greedy).as_ps(),
+            "paced p99 {} should be far below greedy {}",
+            p99(&paced),
+            p99(&greedy)
+        );
+    }
+
+    #[test]
+    fn latency_summaries_are_populated() {
+        let r = run(Pacing::Greedy);
+        let ch = &r.report.channels[0];
+        assert!(ch.latency_mean.is_some());
+        assert!(ch.latency_max > mcm_sim::SimTime::ZERO);
+        assert!(ch.latency_p99.unwrap() >= ch.latency_mean.unwrap());
+    }
+
+    #[test]
+    fn default_pacing_is_greedy() {
+        assert_eq!(Pacing::default(), Pacing::Greedy);
+        let e = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 400);
+        assert_eq!(e.pacing, Pacing::Greedy);
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn experiment_roundtrips_through_json() {
+        let mut exp = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+        exp.chunk = ChunkPolicy::Fixed(256);
+        exp.pacing = Pacing::Paced;
+        exp.op_limit = Some(123);
+        let json = serde_json::to_string_pretty(&exp).unwrap();
+        assert!(json.contains("\"width\": 1920"), "{json}");
+        let back: Experiment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.chunk, exp.chunk);
+        assert_eq!(back.pacing, exp.pacing);
+        assert_eq!(back.op_limit, Some(123));
+        assert_eq!(back.use_case, exp.use_case);
+        assert_eq!(back.memory.channels, 4);
+        assert_eq!(back.memory.controller.mapping, exp.memory.controller.mapping);
+        // The deserialized experiment runs.
+        let mut quick = back;
+        quick.op_limit = Some(2_000);
+        quick.run().unwrap();
+    }
+}

@@ -1,0 +1,597 @@
+//! Data builders and text renderers for every table and figure of the
+//! paper's evaluation (Section IV), plus the Section II/III tables.
+//!
+//! Each `figN_data` function runs the corresponding simulation grid; each
+//! `render` produces the same rows/series the paper reports, as text.
+
+use serde::Serialize;
+
+use mcm_load::{HdOperatingPoint, Stage, UseCase};
+use mcm_power::XdrReference;
+
+use crate::error::CoreError;
+use crate::experiment::{Experiment, RealTimeVerdict};
+
+/// The clock frequencies of Fig. 3's x-axis (the DDR2 span the paper
+/// restricts the interface clock to).
+pub const FIG3_CLOCKS_MHZ: [u64; 6] = [200, 266, 333, 400, 466, 533];
+
+/// The channel counts evaluated throughout Section IV.
+pub const CHANNELS: [u32; 4] = [1, 2, 4, 8];
+
+/// The Fig. 4/5 clock frequency.
+pub const FIG45_CLOCK_MHZ: u64 = 400;
+
+/// One simulated grid cell, distilled for serialization and rendering.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Whether the configuration could be built and hold the frame buffers.
+    pub feasible: bool,
+    /// Access time for one frame, ms (when feasible).
+    pub access_ms: Option<f64>,
+    /// Real-time verdict (when feasible).
+    pub verdict: Option<String>,
+    /// Average DRAM core power over the frame period, mW.
+    pub core_mw: Option<f64>,
+    /// Interface power (equation 1), mW.
+    pub interface_mw: Option<f64>,
+    /// Bus efficiency (achieved / peak bandwidth).
+    pub efficiency: Option<f64>,
+    /// Why the cell is infeasible, if it is.
+    pub infeasible_reason: Option<String>,
+    marginal: bool,
+    fails: bool,
+}
+
+impl Cell {
+    fn from_run(exp: &Experiment) -> Result<Cell, CoreError> {
+        match exp.run() {
+            Ok(r) => Ok(Cell {
+                feasible: true,
+                access_ms: Some(r.access_time.as_ms_f64()),
+                verdict: Some(r.verdict.to_string()),
+                core_mw: Some(r.power.core_mw),
+                interface_mw: Some(r.power.interface_mw),
+                efficiency: Some(r.efficiency()),
+                infeasible_reason: None,
+                marginal: r.verdict == RealTimeVerdict::Marginal,
+                fails: r.verdict == RealTimeVerdict::Fails,
+            }),
+            // A 2160p frame simply does not fit in one or two 512 Mb
+            // channels; the paper's figures leave such bars out too.
+            Err(CoreError::Load(mcm_load::LoadError::LayoutOverflow { needed, capacity })) => {
+                Ok(Cell {
+                    feasible: false,
+                    access_ms: None,
+                    verdict: None,
+                    core_mw: None,
+                    interface_mw: None,
+                    efficiency: None,
+                    infeasible_reason: Some(format!(
+                        "frame buffers need {} MiB, capacity is {} MiB",
+                        needed >> 20,
+                        capacity >> 20
+                    )),
+                    marginal: false,
+                    fails: true,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn synthetic_for_tests(access_ms: f64) -> Cell {
+        Cell {
+            feasible: true,
+            access_ms: Some(access_ms),
+            verdict: Some("meets".into()),
+            core_mw: Some(100.0),
+            interface_mw: Some(4.0),
+            efficiency: Some(0.75),
+            infeasible_reason: None,
+            marginal: false,
+            fails: false,
+        }
+    }
+
+    /// The Fig. 5 bar value: total power, suppressed (None) when the
+    /// configuration misses real time with the margin.
+    pub fn fig5_power_mw(&self) -> Option<f64> {
+        if self.fails {
+            return None;
+        }
+        Some(self.core_mw? + self.interface_mw?)
+    }
+
+    /// Whether the cell would carry the paper's MARGINAL annotation.
+    pub fn is_marginal(&self) -> bool {
+        self.marginal
+    }
+}
+
+/// Fig. 3: access time vs. interface clock for the 720p30 load.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Data {
+    /// Clock frequencies, MHz (columns).
+    pub clocks_mhz: Vec<u64>,
+    /// Channel counts (rows).
+    pub channels: Vec<u32>,
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<Cell>>,
+    /// The 30 fps real-time requirement, ms.
+    pub realtime_ms: f64,
+}
+
+/// Runs the Fig. 3 grid: one 720p30 frame per (channel count, clock).
+pub fn fig3_data() -> Result<Fig3Data, CoreError> {
+    let mut cells = Vec::new();
+    for &ch in &CHANNELS {
+        let mut row = Vec::new();
+        for &clk in &FIG3_CLOCKS_MHZ {
+            row.push(Cell::from_run(&Experiment::paper(
+                HdOperatingPoint::Hd720p30,
+                ch,
+                clk,
+            ))?);
+        }
+        cells.push(row);
+    }
+    Ok(Fig3Data {
+        clocks_mhz: FIG3_CLOCKS_MHZ.to_vec(),
+        channels: CHANNELS.to_vec(),
+        cells,
+        realtime_ms: 1000.0 / 30.0,
+    })
+}
+
+/// Renders Fig. 3 as the paper's series (one row per channel count).
+pub fn render_fig3(d: &Fig3Data) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Fig. 3 — Effect of memory clock frequency on memory access time.\n\
+         One 720p30 frame encoded (H.264/AVC level 3.1). Access time [ms].\n\n",
+    );
+    out.push_str("  channels |");
+    for clk in &d.clocks_mhz {
+        out.push_str(&format!(" {clk:>7}"));
+    }
+    out.push_str(" MHz\n  ---------+");
+    out.push_str(&"-".repeat(8 * d.clocks_mhz.len() + 4));
+    out.push('\n');
+    for (i, ch) in d.channels.iter().enumerate() {
+        out.push_str(&format!("  {ch:>8} |"));
+        for cell in &d.cells[i] {
+            match cell.access_ms {
+                Some(ms) => out.push_str(&format!(" {ms:>7.2}")),
+                None => out.push_str("       -"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\n  Real-time requirement for 30 fps: {:.1} ms",
+        d.realtime_ms
+    ));
+    out.push_str(&format!(
+        " (with the 15% data-processing margin: {:.2} ms)\n",
+        d.realtime_ms * 0.85
+    ));
+    out
+}
+
+/// Fig. 4 (access time) and Fig. 5 (power) share a grid: all five formats ×
+/// all channel counts at 400 MHz.
+#[derive(Debug, Clone, Serialize)]
+pub struct FormatGridData {
+    /// Operating-point labels (columns).
+    pub points: Vec<String>,
+    /// Channel counts (rows).
+    pub channels: Vec<u32>,
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<Cell>>,
+}
+
+/// Runs the Fig. 4/Fig. 5 grid at 400 MHz.
+pub fn format_grid_data() -> Result<FormatGridData, CoreError> {
+    let mut cells = Vec::new();
+    for &ch in &CHANNELS {
+        let mut row = Vec::new();
+        for p in HdOperatingPoint::ALL {
+            row.push(Cell::from_run(&Experiment::paper(p, ch, FIG45_CLOCK_MHZ))?);
+        }
+        cells.push(row);
+    }
+    Ok(FormatGridData {
+        points: HdOperatingPoint::ALL.iter().map(|p| p.to_string()).collect(),
+        channels: CHANNELS.to_vec(),
+        cells,
+    })
+}
+
+/// Renders Fig. 4: access time per format at 400 MHz.
+pub fn render_fig4(d: &FormatGridData) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Fig. 4 — Effect of encoding format on memory access time (400 MHz).\n\
+         Access time [ms]; '-' = frame buffers exceed capacity.\n\n",
+    );
+    out.push_str("  channels |");
+    for p in &d.points {
+        out.push_str(&format!(" {p:>22}"));
+    }
+    out.push('\n');
+    out.push_str("  ---------+");
+    out.push_str(&"-".repeat(23 * d.points.len()));
+    out.push('\n');
+    for (i, ch) in d.channels.iter().enumerate() {
+        out.push_str(&format!("  {ch:>8} |"));
+        for cell in &d.cells[i] {
+            match (cell.access_ms, &cell.verdict) {
+                (Some(ms), Some(v)) => out.push_str(&format!(" {:>13.2} ({:>6})", ms, v)),
+                _ => out.push_str(&format!(" {:>22}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("\n  Real-time requirement: 33.3 ms at 30 fps, 16.7 ms at 60 fps.\n");
+    out
+}
+
+/// Renders Fig. 5: power per format at 400 MHz, interface power stacked,
+/// bars suppressed when real time (with margin) is missed.
+pub fn render_fig5(d: &FormatGridData) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Fig. 5 — Effect of encoding format on memory power consumption (400 MHz).\n\
+         Total power [mW] = core + interface (eq. 1). 0 = fails real time\n\
+         with the 15% data-processing margin (bar suppressed, as in the paper).\n\n",
+    );
+    out.push_str("  channels |");
+    for p in &d.points {
+        out.push_str(&format!(" {p:>22}"));
+    }
+    out.push('\n');
+    out.push_str("  ---------+");
+    out.push_str(&"-".repeat(23 * d.points.len()));
+    out.push('\n');
+    for (i, ch) in d.channels.iter().enumerate() {
+        out.push_str(&format!("  {ch:>8} |"));
+        for cell in &d.cells[i] {
+            let text = match cell.fig5_power_mw() {
+                Some(mw) => {
+                    let tag = if cell.is_marginal() { " MARGINAL" } else { "" };
+                    format!(
+                        "{:.0} (if {:.0}){tag}",
+                        mw,
+                        cell.interface_mw.unwrap_or(0.0)
+                    )
+                }
+                None => "0".to_string(),
+            };
+            out.push_str(&format!(" {text:>22}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The XDR comparison: the 8-channel 400 MHz subsystem against the Cell BE
+/// XDR interface (25.6 GB/s, 5 W).
+#[derive(Debug, Clone, Serialize)]
+pub struct XdrComparison {
+    /// Subsystem peak bandwidth, GB/s.
+    pub peak_gbps: f64,
+    /// XDR bandwidth, GB/s.
+    pub xdr_gbps: f64,
+    /// Per-format total power, mW, and its fraction of the XDR 5 W.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Runs the XDR comparison over all feasible formats at 8 × 400 MHz.
+pub fn xdr_data() -> Result<XdrComparison, CoreError> {
+    let xdr = XdrReference::cell_be();
+    let mut rows = Vec::new();
+    let mut peak = 0.0;
+    for p in HdOperatingPoint::ALL {
+        let exp = Experiment::paper(p, 8, FIG45_CLOCK_MHZ);
+        let r = exp.run()?;
+        peak = r.peak_bandwidth_bytes_per_s;
+        let mw = r.power.total_mw();
+        rows.push((p.to_string(), mw, xdr.power_fraction(mw)));
+    }
+    Ok(XdrComparison {
+        peak_gbps: peak / 1e9,
+        xdr_gbps: xdr.bandwidth_bytes_per_s / 1e9,
+        rows,
+    })
+}
+
+/// Renders the XDR comparison paragraph's numbers.
+pub fn render_xdr(d: &XdrComparison) -> String {
+    let mut out = String::new();
+    out.push_str("XDR comparison (Section IV):\n");
+    out.push_str(&format!(
+        "  8 channels @ 400 MHz: {:.1} GB/s peak vs XDR {:.1} GB/s @ 5 W\n\n",
+        d.peak_gbps, d.xdr_gbps
+    ));
+    for (label, mw, frac) in &d.rows {
+        out.push_str(&format!(
+            "  {label:>22}: {mw:>6.0} mW = {:>4.1}% of XDR\n",
+            frac * 100.0
+        ));
+    }
+    out
+}
+
+/// Table I: per-stage memory traffic for the five operating points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Data {
+    /// Column labels.
+    pub points: Vec<String>,
+    /// Stage rows: (label, megabits per frame per point).
+    pub stage_mbits: Vec<(String, Vec<f64>)>,
+    /// Image-processing subtotal per point, Mb.
+    pub image_total_mbits: Vec<f64>,
+    /// Video-coding subtotal per point, Mb.
+    pub coding_total_mbits: Vec<f64>,
+    /// Total load per point, MB/s.
+    pub total_mb_per_s: Vec<f64>,
+}
+
+/// Computes Table I (pure arithmetic — no simulation).
+pub fn table1_data() -> Table1Data {
+    let cases: Vec<UseCase> = HdOperatingPoint::ALL.iter().map(|&p| UseCase::hd(p)).collect();
+    let mut stage_mbits: Vec<(String, Vec<f64>)> = Stage::ALL
+        .iter()
+        .map(|s| (s.label().to_string(), Vec::new()))
+        .collect();
+    let mut image = Vec::new();
+    let mut coding = Vec::new();
+    let mut mbs = Vec::new();
+    for uc in &cases {
+        for (i, t) in uc.stage_traffic().iter().enumerate() {
+            stage_mbits[i].1.push(t.total_mbits());
+        }
+        let row = uc.table_row();
+        image.push(row.image_bits_per_frame as f64 / 1e6);
+        coding.push(row.coding_bits_per_frame as f64 / 1e6);
+        mbs.push(row.mbytes_per_second());
+    }
+    Table1Data {
+        points: HdOperatingPoint::ALL.iter().map(|p| p.to_string()).collect(),
+        stage_mbits,
+        image_total_mbits: image,
+        coding_total_mbits: coding,
+        total_mb_per_s: mbs,
+    }
+}
+
+/// Renders Table I in the paper's layout.
+pub fn render_table1(d: &Table1Data) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table I — Memory bandwidth requirement for the stages of the video\n\
+         recording use case (bits per frame, in Mb; totals in MB/s).\n\n",
+    );
+    out.push_str(&format!("  {:<24}", "H.264/AVC level / format"));
+    for p in &d.points {
+        out.push_str(&format!(" {p:>22}"));
+    }
+    out.push('\n');
+    for (label, vals) in &d.stage_mbits {
+        out.push_str(&format!("  {label:<24}"));
+        for v in vals {
+            out.push_str(&format!(" {v:>22.2}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  {:<24}", "Image proc. total"));
+    for v in &d.image_total_mbits {
+        out.push_str(&format!(" {v:>22.2}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("  {:<24}", "Video coding total"));
+    for v in &d.coding_total_mbits {
+        out.push_str(&format!(" {v:>22.2}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("  {:<24}", "Data mem. load [MB/s]"));
+    for v in &d.total_mb_per_s {
+        out.push_str(&format!(" {v:>22.0}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Fig. 3 as CSV (`clock_mhz,channels,access_ms,verdict`), for plotting.
+pub fn fig3_csv(d: &Fig3Data) -> String {
+    let mut out = String::from("clock_mhz,channels,access_ms,verdict\n");
+    for (ri, ch) in d.channels.iter().enumerate() {
+        for (ci, clk) in d.clocks_mhz.iter().enumerate() {
+            let cell = &d.cells[ri][ci];
+            out.push_str(&format!(
+                "{clk},{ch},{},{}\n",
+                cell.access_ms.map_or(String::new(), |v| format!("{v:.4}")),
+                cell.verdict.as_deref().unwrap_or("infeasible"),
+            ));
+        }
+    }
+    out
+}
+
+/// The Fig. 4/5 grid as CSV
+/// (`format,channels,access_ms,core_mw,interface_mw,verdict`).
+pub fn format_grid_csv(d: &FormatGridData) -> String {
+    let mut out = String::from("format,channels,access_ms,core_mw,interface_mw,verdict\n");
+    for (ri, ch) in d.channels.iter().enumerate() {
+        for (ci, point) in d.points.iter().enumerate() {
+            let cell = &d.cells[ri][ci];
+            out.push_str(&format!(
+                "{point},{ch},{},{},{},{}\n",
+                cell.access_ms.map_or(String::new(), |v| format!("{v:.4}")),
+                cell.core_mw.map_or(String::new(), |v| format!("{v:.2}")),
+                cell.interface_mw.map_or(String::new(), |v| format!("{v:.2}")),
+                cell.verdict.as_deref().unwrap_or("infeasible"),
+            ));
+        }
+    }
+    out
+}
+
+/// Table I as CSV (`stage,<one column per operating point>` in Mb/frame).
+pub fn table1_csv(d: &Table1Data) -> String {
+    let mut out = String::from("stage");
+    for p in &d.points {
+        out.push_str(&format!(",{p}"));
+    }
+    out.push('\n');
+    for (label, vals) in &d.stage_mbits {
+        out.push_str(label);
+        for v in vals {
+            out.push_str(&format!(",{v:.3}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("total_mb_per_s");
+    for v in &d.total_mb_per_s {
+        out.push_str(&format!(",{v:.1}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table II: the memory mapping over channels.
+pub fn render_table2(channels: u32) -> String {
+    let map = mcm_channel::InterleaveMap::paper(channels)
+        .expect("paper channel counts are powers of two");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table II — Memory mapping over {channels} channels (16-byte granules).\n\n  "
+    ));
+    let g = map.granule_bytes();
+    for i in 0..(2 * channels as u64) {
+        let (ch, _) = map.split(i * g);
+        out.push_str(&format!("[{}..{}) -> BC{ch}  ", i * g, (i + 1) * g));
+        if (i + 1) % 4 == 0 {
+            out.push_str("\n  ");
+        }
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Grid tests run one quick cell each; full grids are exercised by the
+    // bench harness and the integration suite (release mode).
+
+    #[test]
+    fn cell_from_infeasible_config_reports_reason() {
+        // 2160p in one 64 MiB channel.
+        let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 1, 400);
+        let cell = Cell::from_run(&exp).unwrap();
+        assert!(!cell.feasible);
+        assert_eq!(cell.fig5_power_mw(), None);
+        assert!(cell.infeasible_reason.unwrap().contains("MiB"));
+    }
+
+    #[test]
+    fn cell_from_quick_run() {
+        let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+        exp.op_limit = Some(20_000);
+        let cell = Cell::from_run(&exp).unwrap();
+        assert!(cell.feasible);
+        assert!(cell.access_ms.unwrap() > 0.0);
+        assert!(cell.fig5_power_mw().is_some());
+    }
+
+    #[test]
+    fn table1_matches_use_case_totals() {
+        let d = table1_data();
+        assert_eq!(d.points.len(), 5);
+        assert_eq!(d.stage_mbits.len(), 11);
+        // 720p30 ≈ 1.9 GB/s; 1080p60 ≈ 8.6 GB/s (paper's prose anchors).
+        assert!((1_700.0..2_100.0).contains(&d.total_mb_per_s[0]));
+        assert!((7_700.0..9_200.0).contains(&d.total_mb_per_s[3]));
+        let rendered = render_table1(&d);
+        assert!(rendered.contains("Video encoder"));
+        assert!(rendered.contains("MB/s"));
+    }
+
+    #[test]
+    fn fig3_and_fig4_render_synthetic_grids() {
+        let d = Fig3Data {
+            clocks_mhz: vec![200, 400],
+            channels: vec![1, 2],
+            cells: vec![
+                vec![Cell::synthetic_for_tests(46.9), Cell::synthetic_for_tests(26.2)],
+                vec![Cell::synthetic_for_tests(23.4), Cell::synthetic_for_tests(13.1)],
+            ],
+            realtime_ms: 33.3,
+        };
+        let text = render_fig3(&d);
+        assert!(text.contains("46.88") || text.contains("46.90"), "{text}");
+        assert!(text.contains("Real-time requirement"));
+        assert!(text.contains("200"));
+
+        let grid = FormatGridData {
+            points: vec!["720p30".into(), "1080p30".into()],
+            channels: vec![1, 2],
+            cells: vec![
+                vec![Cell::synthetic_for_tests(26.2), Cell::synthetic_for_tests(56.9)],
+                vec![Cell::synthetic_for_tests(13.1), Cell::synthetic_for_tests(28.5)],
+            ],
+        };
+        let f4 = render_fig4(&grid);
+        assert!(f4.contains("720p30") && f4.contains("56.90"), "{f4}");
+        let f5 = render_fig5(&grid);
+        assert!(f5.contains("104")); // synthetic 100 core + 4 interface
+    }
+
+    #[test]
+    fn csv_exports_are_well_formed() {
+        let t1 = table1_data();
+        let csv = table1_csv(&t1);
+        let lines: Vec<&str> = csv.lines().collect();
+        let cols = lines[0].split(',').count();
+        assert_eq!(cols, 6); // stage + 5 points
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+        assert!(csv.contains("Video encoder"));
+
+        let d = Fig3Data {
+            clocks_mhz: vec![200, 400],
+            channels: vec![1, 2],
+            cells: vec![
+                vec![Cell::synthetic_for_tests(46.9), Cell::synthetic_for_tests(26.2)],
+                vec![Cell::synthetic_for_tests(23.4), Cell::synthetic_for_tests(13.1)],
+            ],
+            realtime_ms: 33.3,
+        };
+        let csv = fig3_csv(&d);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("400,1,26.2000,meets"));
+    }
+
+    #[test]
+    fn table2_renders_rotation() {
+        let t = render_table2(4);
+        assert!(t.contains("[0..16) -> BC0"));
+        assert!(t.contains("[16..32) -> BC1"));
+        assert!(t.contains("[64..80) -> BC0"));
+    }
+
+    #[test]
+    fn xdr_render_shape() {
+        // Use the real XDR math on fabricated rows to keep the test quick.
+        let d = XdrComparison {
+            peak_gbps: 25.6,
+            xdr_gbps: 25.6,
+            rows: vec![("720p".into(), 205.0, 0.041)],
+        };
+        let s = render_xdr(&d);
+        assert!(s.contains("4.1% of XDR"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mcm-core — the experiment API
+//!
+//! Reproduces the evaluation of *"A case for multi-channel memories in
+//! video recording"* (DATE 2009) on top of the `mcmem` substrates:
+//!
+//! * [`Experiment`] — one video-recording frame ([`mcm_load`]) against one
+//!   multi-channel memory configuration ([`mcm_channel`]), reporting
+//!   per-frame access time, the real-time verdict with the paper's 15 %
+//!   data-processing margin, and average power (DRAM core + equation (1)
+//!   interface power);
+//! * [`figures`] — data builders and text renderers for Table I, Table II,
+//!   Fig. 3, Fig. 4, Fig. 5 and the XDR comparison;
+//! * [`analysis`] — the conclusions' derived claims (≈2× speedup per
+//!   channel/clock doubling, minimum channels per H.264 level).
+//!
+//! # Examples
+//!
+//! ```
+//! use mcm_core::{ChunkPolicy, Experiment};
+//! use mcm_load::HdOperatingPoint;
+//!
+//! // 720p30 on the paper's 4-channel, 400 MHz memory (truncated run for
+//! // the doctest; drop `op_limit` to simulate the whole frame).
+//! let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+//! exp.op_limit = Some(10_000);
+//! let result = exp.run().unwrap();
+//! assert!(result.access_time < result.frame_budget);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod charts;
+mod error;
+pub mod eventsim;
+mod experiment;
+pub mod figures;
+pub mod profile;
+pub mod steady;
+pub mod tracerun;
+
+pub use error::CoreError;
+pub use experiment::{ChunkPolicy, Experiment, FrameResult, Pacing, RealTimeVerdict};

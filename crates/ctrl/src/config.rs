@@ -1,0 +1,296 @@
+//! Controller policies and configuration.
+
+use core::fmt;
+
+use mcm_dram::{AddressMapping, ClusterConfig};
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy.
+///
+/// The paper uses **open page** for all reported results: the sequential
+/// video-recording traffic has high row locality, so rows are left open
+/// between column accesses. Closed page is provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Leave rows open after column accesses (paper's choice).
+    #[default]
+    Open,
+    /// Precharge a row as soon as its burst completes.
+    Closed,
+}
+
+impl fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagePolicy::Open => write!(f, "open-page"),
+            PagePolicy::Closed => write!(f, "closed-page"),
+        }
+    }
+}
+
+/// When the controller drops CKE to put the bank cluster into power-down.
+///
+/// The paper assumes maximum energy savings: "bank clusters go to power down
+/// states after the first idle clock cycle" — that is
+/// [`PowerDownPolicy::AfterIdleCycles`]`(1)`, available as
+/// [`PowerDownPolicy::immediate`]. The other variants exist for the
+/// power-management ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerDownPolicy {
+    /// Enter power-down once the device has been idle for this many cycles.
+    AfterIdleCycles(u64),
+    /// Enter power-down after `pd_after` idle cycles and escalate to
+    /// self-refresh after `sr_after` idle cycles (`sr_after >= pd_after`).
+    /// Self-refresh is the deepest idle mode: the device refreshes itself
+    /// at IDD6 and the controller's tREFI obligations are suspended —
+    /// an extension beyond the paper's power-down-only scheme.
+    PowerDownThenSelfRefresh {
+        /// Idle cycles before CKE drops (power-down entry).
+        pd_after: u64,
+        /// Idle cycles before escalating to self-refresh.
+        sr_after: u64,
+    },
+    /// Never power down (standby during idle).
+    Never,
+}
+
+impl PowerDownPolicy {
+    /// The paper's policy: power down after the first idle clock cycle.
+    pub fn immediate() -> Self {
+        PowerDownPolicy::AfterIdleCycles(1)
+    }
+
+    /// The power-down idle threshold in cycles, if any.
+    pub fn threshold(&self) -> Option<u64> {
+        match *self {
+            PowerDownPolicy::AfterIdleCycles(n) => Some(n),
+            PowerDownPolicy::PowerDownThenSelfRefresh { pd_after, .. } => Some(pd_after),
+            PowerDownPolicy::Never => None,
+        }
+    }
+
+    /// The self-refresh idle threshold in cycles, if any.
+    pub fn self_refresh_threshold(&self) -> Option<u64> {
+        match *self {
+            PowerDownPolicy::PowerDownThenSelfRefresh { sr_after, .. } => Some(sr_after),
+            _ => None,
+        }
+    }
+}
+
+impl Default for PowerDownPolicy {
+    fn default() -> Self {
+        Self::immediate()
+    }
+}
+
+impl fmt::Display for PowerDownPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerDownPolicy::AfterIdleCycles(1) => write!(f, "power-down after first idle cycle"),
+            PowerDownPolicy::AfterIdleCycles(n) => write!(f, "power-down after {n} idle cycles"),
+            PowerDownPolicy::PowerDownThenSelfRefresh { pd_after, sr_after } => write!(
+                f,
+                "power-down after {pd_after}, self-refresh after {sr_after} idle cycles"
+            ),
+            PowerDownPolicy::Never => write!(f, "never power down"),
+        }
+    }
+}
+
+/// The channel's DRAM interconnect (the middle box of the paper's Fig. 2
+/// channel: memory controller → *DRAM interconnect* → bank cluster).
+///
+/// Modeled as a fixed pipeline latency each way. Die stacking — the paper's
+/// enabling technology — makes this a cycle; an off-chip (package + PCB)
+/// channel costs several cycles each way and, with a latency-bound master,
+/// eats the multi-channel speedup (see the `ext_stacking` bench target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterconnectModel {
+    /// Cycles from the controller issuing a request to the command reaching
+    /// the device.
+    pub request_ck: u64,
+    /// Cycles from the last data beat to the data reaching the master.
+    pub response_ck: u64,
+}
+
+impl InterconnectModel {
+    /// A 3-D die-stacked channel: one cycle each way (paper's assumption).
+    pub fn die_stacked() -> Self {
+        InterconnectModel {
+            request_ck: 1,
+            response_ck: 1,
+        }
+    }
+
+    /// A conventional off-chip channel (package balls + PCB trace +
+    /// registered interface): several cycles each way at DDR2-range clocks.
+    pub fn off_chip() -> Self {
+        InterconnectModel {
+            request_ck: 8,
+            response_ck: 8,
+        }
+    }
+
+    /// Round-trip latency in cycles.
+    pub fn round_trip_ck(&self) -> u64 {
+        self.request_ck + self.response_ck
+    }
+}
+
+impl Default for InterconnectModel {
+    fn default() -> Self {
+        Self::die_stacked()
+    }
+}
+
+impl fmt::Display for InterconnectModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interconnect {}+{} ck",
+            self.request_ck, self.response_ck
+        )
+    }
+}
+
+/// How writes are scheduled relative to reads.
+///
+/// The paper's controller (and this crate's default) issues every access in
+/// arrival order. Real controllers post writes into a write buffer and
+/// drain them in batches, amortizing the expensive read↔write bus
+/// turnarounds; reads that hit a buffered write flush it first
+/// (read-own-write hazard). Available as an ablation of the paper's
+/// in-order assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Issue writes immediately, in arrival order (the paper's model).
+    #[default]
+    Immediate,
+    /// Post writes into a buffer of this many bursts; drain when full, on a
+    /// read-own-write hazard, or at idle.
+    Batched(u32),
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WritePolicy::Immediate => write!(f, "writes in order"),
+            WritePolicy::Batched(n) => write!(f, "writes batched x{n}"),
+        }
+    }
+}
+
+/// Auto-refresh management.
+///
+/// One refresh obligation matures every tREFI; the controller may postpone
+/// up to `max_postpone` obligations (as real DDR controllers may postpone up
+/// to eight) before forcing a refresh in the middle of traffic. Idle periods
+/// are used to catch up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RefreshPolicy {
+    /// Whether refresh is modeled at all (disabled only in experiments that
+    /// isolate other effects).
+    pub enabled: bool,
+    /// Maximum matured-but-unserved obligations before refresh preempts
+    /// traffic.
+    pub max_postpone: u32,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        RefreshPolicy {
+            enabled: true,
+            max_postpone: 8,
+        }
+    }
+}
+
+/// Full configuration of one channel's memory controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// The attached DRAM device (bank cluster).
+    pub cluster: ClusterConfig,
+    /// Address multiplexing type (paper: RBC).
+    pub mapping: AddressMapping,
+    /// Row-buffer policy (paper: open page).
+    pub page_policy: PagePolicy,
+    /// CKE management (paper: power down after first idle cycle).
+    pub power_down: PowerDownPolicy,
+    /// Refresh management.
+    pub refresh: RefreshPolicy,
+    /// The DRAM interconnect between controller and bank cluster.
+    pub interconnect: InterconnectModel,
+    /// Write scheduling (paper: in order).
+    pub write_policy: WritePolicy,
+}
+
+impl ControllerConfig {
+    /// The paper's configuration at a given interface clock:
+    /// next-generation mobile DDR, RBC mapping, open page, immediate
+    /// power-down, standard refresh.
+    pub fn paper_default(clock_mhz: u64) -> Self {
+        ControllerConfig {
+            cluster: ClusterConfig::next_gen_mobile_ddr(clock_mhz),
+            mapping: AddressMapping::Rbc,
+            page_policy: PagePolicy::Open,
+            power_down: PowerDownPolicy::immediate(),
+            refresh: RefreshPolicy::default(),
+            interconnect: InterconnectModel::die_stacked(),
+            write_policy: WritePolicy::Immediate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ControllerConfig::paper_default(400);
+        assert_eq!(c.mapping, AddressMapping::Rbc);
+        assert_eq!(c.page_policy, PagePolicy::Open);
+        assert_eq!(c.power_down, PowerDownPolicy::AfterIdleCycles(1));
+        assert!(c.refresh.enabled);
+        assert_eq!(c.interconnect, InterconnectModel::die_stacked());
+    }
+
+    #[test]
+    fn interconnect_presets() {
+        assert_eq!(InterconnectModel::die_stacked().round_trip_ck(), 2);
+        assert_eq!(InterconnectModel::off_chip().round_trip_ck(), 16);
+        assert_eq!(
+            InterconnectModel::die_stacked().to_string(),
+            "interconnect 1+1 ck"
+        );
+    }
+
+    #[test]
+    fn policy_displays() {
+        assert_eq!(PagePolicy::Open.to_string(), "open-page");
+        assert_eq!(
+            PowerDownPolicy::immediate().to_string(),
+            "power-down after first idle cycle"
+        );
+        assert_eq!(
+            PowerDownPolicy::AfterIdleCycles(64).to_string(),
+            "power-down after 64 idle cycles"
+        );
+        assert_eq!(PowerDownPolicy::Never.to_string(), "never power down");
+    }
+
+    #[test]
+    fn thresholds() {
+        assert_eq!(PowerDownPolicy::immediate().threshold(), Some(1));
+        assert_eq!(PowerDownPolicy::Never.threshold(), None);
+        let deep = PowerDownPolicy::PowerDownThenSelfRefresh {
+            pd_after: 1,
+            sr_after: 10_000,
+        };
+        assert_eq!(deep.threshold(), Some(1));
+        assert_eq!(deep.self_refresh_threshold(), Some(10_000));
+        assert_eq!(PowerDownPolicy::immediate().self_refresh_threshold(), None);
+        assert!(deep.to_string().contains("self-refresh after 10000"));
+    }
+}

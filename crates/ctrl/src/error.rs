@@ -1,0 +1,66 @@
+//! Controller error type.
+
+use core::fmt;
+
+use mcm_dram::DramError;
+
+/// Errors raised by the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlError {
+    /// The underlying device rejected a command or configuration.
+    Dram(DramError),
+    /// A request had zero length.
+    EmptyRequest,
+    /// Requests must arrive in non-decreasing time order on an FCFS channel.
+    NonMonotonicArrival {
+        /// The offending arrival cycle.
+        arrival: u64,
+        /// The previous request's arrival cycle.
+        previous: u64,
+    },
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::Dram(e) => write!(f, "DRAM error: {e}"),
+            CtrlError::EmptyRequest => write!(f, "zero-length memory request"),
+            CtrlError::NonMonotonicArrival { arrival, previous } => write!(
+                f,
+                "request arrival {arrival} precedes previous arrival {previous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtrlError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for CtrlError {
+    fn from(e: DramError) -> Self {
+        CtrlError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_dram_errors_with_source() {
+        use std::error::Error;
+        let e: CtrlError = DramError::InvalidGeometry {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("DRAM error"));
+        assert!(e.source().is_some());
+        assert!(CtrlError::EmptyRequest.source().is_none());
+    }
+}

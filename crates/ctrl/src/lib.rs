@@ -1,0 +1,41 @@
+//! # mcm-ctrl — per-channel memory controller
+//!
+//! Implements the paper's channel controller (Section III): address mapping
+//! onto banks/rows/columns, precharge/activate/read/write command
+//! generation, periodic refresh, and the aggressive power-down scheme
+//! ("bank clusters go to power down states after the first idle clock
+//! cycle"). Row-buffer policy, power-down policy and refresh policy are all
+//! configurable to support the ablation studies.
+//!
+//! The controller is in-order (FCFS): the paper's memory master is a single
+//! SMP cache-miss stream, so requests arrive — and are served — in program
+//! order. Every command is committed at the earliest cycle the device
+//! declares legal, which lets activates to other banks overlap in-flight
+//! data transfers.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcm_ctrl::{AccessOp, ChannelRequest, Controller, ControllerConfig};
+//!
+//! let mut ctrl = Controller::new(&ControllerConfig::paper_default(400)).unwrap();
+//! // Sweep 2 KiB sequentially: one activate, then 127 row hits.
+//! let res = ctrl.access(ChannelRequest {
+//!     op: AccessOp::Read, addr: 0, len: 2048, arrival: 0,
+//! }).unwrap();
+//! assert_eq!(res.bursts, 128);
+//! assert_eq!(ctrl.stats().row_hits, 127);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod controller;
+mod error;
+mod request;
+
+pub use config::{ControllerConfig, InterconnectModel, PagePolicy, PowerDownPolicy, RefreshPolicy, WritePolicy};
+pub use controller::{AccessResult, ChannelReport, Controller, CtrlStats};
+pub use error::CtrlError;
+pub use request::{AccessOp, ChannelRequest};

@@ -1,0 +1,199 @@
+//! Property tests for the controller's command scheduling.
+//!
+//! The central invariant: for *any* stream of requests — random addresses,
+//! lengths, directions, arrival gaps, policies — every command the
+//! controller commits must be legal under the independent timing oracle
+//! (`mcm_dram::TraceValidator`), and the accounting must balance.
+
+use mcm_ctrl::{
+    AccessOp, ChannelRequest, Controller, ControllerConfig, PagePolicy, PowerDownPolicy,
+    RefreshPolicy, WritePolicy,
+};
+use mcm_dram::{AddressMapping, TraceValidator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    write: bool,
+    addr_frac: f64,
+    len: u32,
+    gap: u64,
+}
+
+fn arb_request() -> impl Strategy<Value = ReqSpec> {
+    (
+        any::<bool>(),
+        0.0f64..1.0,
+        1u32..512,
+        prop_oneof![
+            4 => Just(0u64),           // back-to-back (the common case)
+            2 => 1u64..64,             // short think time
+            1 => 1_000u64..20_000,     // long idle: power-down + refresh
+        ],
+    )
+        .prop_map(|(write, addr_frac, len, gap)| ReqSpec {
+            write,
+            addr_frac,
+            len,
+            gap,
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = ControllerConfig> {
+    (
+        prop_oneof![Just(200u64), Just(333), Just(400), Just(533)],
+        any::<bool>(), // mapping
+        any::<bool>(), // page policy
+        prop_oneof![
+            Just(PowerDownPolicy::AfterIdleCycles(1)),
+            Just(PowerDownPolicy::AfterIdleCycles(64)),
+            Just(PowerDownPolicy::PowerDownThenSelfRefresh { pd_after: 1, sr_after: 2_000 }),
+            Just(PowerDownPolicy::Never),
+        ],
+        any::<bool>(), // refresh enabled
+        prop_oneof![
+            Just(WritePolicy::Immediate),
+            Just(WritePolicy::Batched(8)),
+            Just(WritePolicy::Batched(64)),
+        ],
+    )
+        .prop_map(|(clock, rbc, open, power_down, refresh, write_policy)| {
+            let mut cfg = ControllerConfig::paper_default(clock);
+            cfg.mapping = if rbc {
+                AddressMapping::Rbc
+            } else {
+                AddressMapping::Brc
+            };
+            cfg.page_policy = if open {
+                PagePolicy::Open
+            } else {
+                PagePolicy::Closed
+            };
+            cfg.power_down = power_down;
+            cfg.refresh = RefreshPolicy {
+                enabled: refresh,
+                max_postpone: 8,
+            };
+            cfg.write_policy = write_policy;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_committed_command_is_legal(
+        cfg in arb_config(),
+        reqs in prop::collection::vec(arb_request(), 1..120),
+    ) {
+        let mut ctrl = Controller::new(&cfg).unwrap();
+        ctrl.enable_trace();
+        let capacity = ctrl.device().geometry().capacity_bytes();
+        let mut arrival = 0u64;
+        let mut requested_bytes = 0u64;
+        for r in &reqs {
+            arrival += r.gap;
+            let addr = ((capacity - r.len as u64 - 1) as f64 * r.addr_frac) as u64;
+            let res = ctrl.access(ChannelRequest {
+                op: if r.write { AccessOp::Write } else { AccessOp::Read },
+                addr,
+                len: r.len,
+                arrival,
+            }).unwrap();
+            prop_assert!(res.done_cycle >= arrival);
+            requested_bytes += r.len as u64;
+        }
+        let end = ctrl.busy_until() + 50_000;
+        let report = ctrl.finish(end).unwrap();
+
+        // Independent legality oracle over the executed trace.
+        let validator = TraceValidator::new(*ctrl.device().timing(), *ctrl.device().geometry());
+        let trace = ctrl.device().trace().expect("trace enabled");
+        let violations = validator.check(trace);
+        prop_assert!(
+            violations.is_empty(),
+            "scheduler produced illegal commands: {:?}",
+            &violations[..violations.len().min(3)]
+        );
+
+        // Accounting balances: bursts cover the requested bytes.
+        let burst = ctrl.device().geometry().burst_bytes() as u64;
+        let bursts = report.ctrl.read_bursts + report.ctrl.write_bursts;
+        prop_assert!(bursts * burst >= requested_bytes);
+        // Over-fetch is bounded by one burst per request end.
+        prop_assert!(bursts * burst < requested_bytes + 2 * burst * reqs.len() as u64);
+
+        // Energy is positive, finite and decomposes.
+        prop_assert!(report.total_energy_pj.is_finite());
+        prop_assert!(report.total_energy_pj > 0.0);
+        let sum = report.background_energy_pj + report.event_energy_pj;
+        prop_assert!((report.total_energy_pj - sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_cycles_are_monotone_for_fcfs(
+        reqs in prop::collection::vec(arb_request(), 1..80),
+    ) {
+        let mut ctrl = Controller::new(&ControllerConfig::paper_default(400)).unwrap();
+        let capacity = ctrl.device().geometry().capacity_bytes();
+        let mut arrival = 0u64;
+        let mut last_done = 0u64;
+        for r in &reqs {
+            arrival += r.gap;
+            let addr = ((capacity - r.len as u64 - 1) as f64 * r.addr_frac) as u64;
+            let res = ctrl.access(ChannelRequest {
+                op: if r.write { AccessOp::Write } else { AccessOp::Read },
+                addr,
+                len: r.len,
+                arrival,
+            }).unwrap();
+            // In-order service: a later request's data never completes
+            // before an earlier one's.
+            prop_assert!(res.done_cycle >= last_done);
+            last_done = res.done_cycle;
+        }
+    }
+
+    #[test]
+    fn row_outcomes_partition_bursts(
+        reqs in prop::collection::vec(arb_request(), 1..100),
+    ) {
+        let mut ctrl = Controller::new(&ControllerConfig::paper_default(400)).unwrap();
+        let capacity = ctrl.device().geometry().capacity_bytes();
+        let mut arrival = 0u64;
+        for r in &reqs {
+            arrival += r.gap;
+            let addr = ((capacity - r.len as u64 - 1) as f64 * r.addr_frac) as u64;
+            ctrl.access(ChannelRequest {
+                op: if r.write { AccessOp::Write } else { AccessOp::Read },
+                addr,
+                len: r.len,
+                arrival,
+            }).unwrap();
+        }
+        let s = ctrl.stats();
+        prop_assert_eq!(
+            s.row_hits + s.row_misses + s.row_conflicts,
+            s.read_bursts + s.write_bursts
+        );
+    }
+
+    #[test]
+    fn refresh_obligations_are_served(
+        gap in 100_000u64..2_000_000,
+    ) {
+        // After a long idle period every matured refresh obligation must
+        // have been issued (the controller catches up during idle).
+        let mut ctrl = Controller::new(&ControllerConfig::paper_default(400)).unwrap();
+        ctrl.access(ChannelRequest { op: AccessOp::Read, addr: 0, len: 16, arrival: 0 }).unwrap();
+        ctrl.access(ChannelRequest { op: AccessOp::Read, addr: 64, len: 16, arrival: gap }).unwrap();
+        let t_refi = ctrl.device().timing().t_refi;
+        let due = gap / t_refi;
+        let served = ctrl.device().stats().refreshes;
+        prop_assert!(
+            served + 1 >= due,
+            "due {due}, served {served}"
+        );
+    }
+}

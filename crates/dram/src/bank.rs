@@ -1,0 +1,165 @@
+//! Per-bank state and timing windows.
+//!
+//! A bank is either idle (no open row) or active (one open row). All timing
+//! legality is expressed as *earliest legal cycle* watermarks that commands
+//! push forward; a command is legal at cycle `c` iff `c` is at or beyond
+//! every watermark that applies to it. This representation makes the
+//! scheduler O(1) per command and easy to property-test.
+
+/// The row-state of a single DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankPhase {
+    /// No open row.
+    Idle,
+    /// `row` is open and column commands may target it (after tRCD).
+    Active {
+        /// The open row.
+        row: u32,
+    },
+}
+
+/// One bank's timing bookkeeping (cycle-indexed watermarks).
+#[derive(Debug, Clone, Copy)]
+pub struct Bank {
+    phase: BankPhase,
+    /// Earliest cycle a new ACT may issue (pushed by PRE+tRP, own ACT+tRC,
+    /// REF+tRFC).
+    earliest_act: u64,
+    /// Earliest cycle a column command may issue (pushed by ACT+tRCD).
+    earliest_col: u64,
+    /// Earliest cycle a PRE may issue (pushed by ACT+tRAS, RD+tRTP,
+    /// WR data end+tWR).
+    earliest_pre: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// A fresh, idle bank with no pending constraints.
+    pub fn new() -> Self {
+        Bank {
+            phase: BankPhase::Idle,
+            earliest_act: 0,
+            earliest_col: 0,
+            earliest_pre: 0,
+        }
+    }
+
+    /// Current row-state.
+    #[inline]
+    pub fn phase(&self) -> BankPhase {
+        self.phase
+    }
+
+    /// The open row, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<u32> {
+        match self.phase {
+            BankPhase::Idle => None,
+            BankPhase::Active { row } => Some(row),
+        }
+    }
+
+    /// Whether the bank has an open row.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        matches!(self.phase, BankPhase::Active { .. })
+    }
+
+    /// Earliest legal cycle for an ACT to this bank.
+    #[inline]
+    pub fn earliest_act(&self) -> u64 {
+        self.earliest_act
+    }
+
+    /// Earliest legal cycle for a RD/WR to this bank.
+    #[inline]
+    pub fn earliest_col(&self) -> u64 {
+        self.earliest_col
+    }
+
+    /// Earliest legal cycle for a PRE to this bank.
+    #[inline]
+    pub fn earliest_pre(&self) -> u64 {
+        self.earliest_pre
+    }
+
+    /// Applies an ACT at `cycle`: opens `row`, arms tRCD/tRAS/tRC windows.
+    pub fn apply_activate(&mut self, cycle: u64, row: u32, t_rcd: u64, t_ras: u64, t_rc: u64) {
+        debug_assert!(!self.is_active(), "ACT to an active bank must be rejected by caller");
+        self.phase = BankPhase::Active { row };
+        self.earliest_col = cycle + t_rcd;
+        self.earliest_pre = self.earliest_pre.max(cycle + t_ras);
+        self.earliest_act = self.earliest_act.max(cycle + t_rc);
+    }
+
+    /// Applies a column command at `cycle`, pushing the PRE watermark to
+    /// `cycle + pre_gap` (tRTP for reads, WL+BL/2+tWR for writes).
+    pub fn apply_column(&mut self, cycle: u64, pre_gap: u64) {
+        debug_assert!(self.is_active(), "column command to idle bank must be rejected by caller");
+        self.earliest_pre = self.earliest_pre.max(cycle + pre_gap);
+    }
+
+    /// Applies a PRE at `cycle`: closes the row and arms tRP.
+    pub fn apply_precharge(&mut self, cycle: u64, t_rp: u64) {
+        self.phase = BankPhase::Idle;
+        self.earliest_act = self.earliest_act.max(cycle + t_rp);
+    }
+
+    /// Pushes the ACT watermark (used by REF, which blocks rows for tRFC).
+    pub fn push_act_watermark(&mut self, cycle: u64) {
+        self.earliest_act = self.earliest_act.max(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_idle_and_unconstrained() {
+        let b = Bank::new();
+        assert!(!b.is_active());
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.earliest_act(), 0);
+    }
+
+    #[test]
+    fn activate_opens_row_and_arms_windows() {
+        let mut b = Bank::new();
+        b.apply_activate(100, 42, 3, 8, 11);
+        assert_eq!(b.open_row(), Some(42));
+        assert_eq!(b.earliest_col(), 103);
+        assert_eq!(b.earliest_pre(), 108);
+        assert_eq!(b.earliest_act(), 111);
+    }
+
+    #[test]
+    fn column_pushes_pre_watermark_monotonically() {
+        let mut b = Bank::new();
+        b.apply_activate(0, 1, 3, 8, 11);
+        assert_eq!(b.earliest_pre(), 8);
+        b.apply_column(3, 2); // 3+2=5 < 8: watermark unchanged
+        assert_eq!(b.earliest_pre(), 8);
+        b.apply_column(10, 9); // 10+9=19 > 8
+        assert_eq!(b.earliest_pre(), 19);
+    }
+
+    #[test]
+    fn precharge_closes_and_arms_trp() {
+        let mut b = Bank::new();
+        b.apply_activate(0, 1, 3, 8, 11);
+        b.apply_precharge(8, 3);
+        assert!(!b.is_active());
+        // tRC from the ACT still dominates: max(11, 8+3) = 11.
+        assert_eq!(b.earliest_act(), 11);
+        let mut b2 = Bank::new();
+        b2.apply_activate(0, 1, 3, 8, 11);
+        b2.apply_precharge(20, 3);
+        assert_eq!(b2.earliest_act(), 23);
+    }
+}

@@ -1,0 +1,136 @@
+//! DRAM command vocabulary.
+//!
+//! The paper's memory controller "manages all the DRAM operations:
+//! precharges, activations, reads, writes, refreshes, and power downs" —
+//! this enum is exactly that vocabulary.
+
+use core::fmt;
+
+/// A command as placed on a channel's command bus on one clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Open `row` in `bank` (RAS): moves the bank from idle to active after
+    /// tRCD.
+    Activate {
+        /// Target bank.
+        bank: u32,
+        /// Row to open.
+        row: u32,
+    },
+    /// Burst read of `burst_len` words starting at `col` of the open row in
+    /// `bank`. Data appears CL cycles later, for BL/2 clock cycles.
+    Read {
+        /// Target bank.
+        bank: u32,
+        /// Starting column.
+        col: u32,
+    },
+    /// Burst write, mirror of [`DramCommand::Read`] with write latency.
+    Write {
+        /// Target bank.
+        bank: u32,
+        /// Starting column.
+        col: u32,
+    },
+    /// Close the open row of `bank` (takes tRP before the next ACT).
+    Precharge {
+        /// Target bank.
+        bank: u32,
+    },
+    /// Close all open rows (takes tRP before any next ACT).
+    PrechargeAll,
+    /// Auto-refresh: requires all banks precharged, occupies the device for
+    /// tRFC. One refresh retires one of the tREFI-periodic obligations.
+    Refresh,
+    /// Enter power-down (CKE low). Whether it is *active* or *precharge*
+    /// power-down depends on whether any row is open.
+    PowerDownEnter,
+    /// Exit power-down (CKE high); the next command is legal tXP later.
+    PowerDownExit,
+    /// Enter self-refresh: the device refreshes itself internally at the
+    /// lowest possible current. Requires all banks precharged; suspends the
+    /// controller's tREFI obligations.
+    SelfRefreshEnter,
+    /// Exit self-refresh; the next command is legal tXSR later.
+    SelfRefreshExit,
+}
+
+impl DramCommand {
+    /// The bank this command addresses, if it is bank-scoped.
+    pub fn bank(&self) -> Option<u32> {
+        match *self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. }
+            | DramCommand::Precharge { bank } => Some(bank),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a data-transferring command (READ or WRITE).
+    pub fn is_column(&self) -> bool {
+        matches!(self, DramCommand::Read { .. } | DramCommand::Write { .. })
+    }
+
+    /// Short mnemonic (ACT/RD/WR/PRE/PREA/REF/PDE/PDX) used in traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Activate { .. } => "ACT",
+            DramCommand::Read { .. } => "RD",
+            DramCommand::Write { .. } => "WR",
+            DramCommand::Precharge { .. } => "PRE",
+            DramCommand::PrechargeAll => "PREA",
+            DramCommand::Refresh => "REF",
+            DramCommand::PowerDownEnter => "PDE",
+            DramCommand::PowerDownExit => "PDX",
+            DramCommand::SelfRefreshEnter => "SRE",
+            DramCommand::SelfRefreshExit => "SRX",
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DramCommand::Activate { bank, row } => write!(f, "ACT b{bank} r{row}"),
+            DramCommand::Read { bank, col } => write!(f, "RD b{bank} c{col}"),
+            DramCommand::Write { bank, col } => write!(f, "WR b{bank} c{col}"),
+            DramCommand::Precharge { bank } => write!(f, "PRE b{bank}"),
+            DramCommand::PrechargeAll => write!(f, "PREA"),
+            DramCommand::Refresh => write!(f, "REF"),
+            DramCommand::PowerDownEnter => write!(f, "PDE"),
+            DramCommand::PowerDownExit => write!(f, "PDX"),
+            DramCommand::SelfRefreshEnter => write!(f, "SRE"),
+            DramCommand::SelfRefreshExit => write!(f, "SRX"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_scope() {
+        assert_eq!(DramCommand::Activate { bank: 2, row: 5 }.bank(), Some(2));
+        assert_eq!(DramCommand::Refresh.bank(), None);
+        assert_eq!(DramCommand::PrechargeAll.bank(), None);
+    }
+
+    #[test]
+    fn column_commands() {
+        assert!(DramCommand::Read { bank: 0, col: 0 }.is_column());
+        assert!(DramCommand::Write { bank: 0, col: 0 }.is_column());
+        assert!(!DramCommand::Precharge { bank: 0 }.is_column());
+    }
+
+    #[test]
+    fn display_and_mnemonics() {
+        let c = DramCommand::Activate { bank: 1, row: 42 };
+        assert_eq!(c.to_string(), "ACT b1 r42");
+        assert_eq!(c.mnemonic(), "ACT");
+        assert_eq!(DramCommand::PowerDownEnter.mnemonic(), "PDE");
+        assert_eq!(DramCommand::SelfRefreshEnter.mnemonic(), "SRE");
+        assert_eq!(DramCommand::SelfRefreshExit.to_string(), "SRX");
+    }
+}

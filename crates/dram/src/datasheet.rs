@@ -1,0 +1,114 @@
+//! Datasheet rendering: the resolved parameter set of a device
+//! configuration, laid out the way a DRAM datasheet's AC/DC tables are.
+//!
+//! The paper's device is *theoretical* — "estimation is necessary since no
+//! 3D integration compatible standard memory components exist at this
+//! time" — so being able to print exactly what was estimated, at any
+//! clock, is part of reproducing it honestly.
+
+use crate::device::ClusterConfig;
+use crate::error::DramError;
+use crate::power::EnergyModel;
+
+/// Renders the full resolved datasheet of `config` as text.
+pub fn render_datasheet(config: &ClusterConfig) -> Result<String, DramError> {
+    let g = config.geometry;
+    let t = config.timing.resolve(config.clock_mhz, &g)?;
+    let e = EnergyModel::resolve(&config.idd, &config.op, &config.timing, &g, config.clock_mhz)?;
+    let tck_ns = 1_000.0 / config.clock_mhz as f64;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "DEVICE — {} Mb bank cluster, {} banks x {} rows x {} cols x{}, BL{}\n",
+        g.capacity_bits() >> 20,
+        g.banks,
+        g.rows,
+        g.cols,
+        g.word_bits,
+        g.burst_len
+    ));
+    out.push_str(&format!(
+        "  page size {} B, burst {} B, peak {:.2} GB/s per channel\n\n",
+        g.page_bytes(),
+        g.burst_bytes(),
+        g.word_bytes() as f64 * 2.0 * config.clock_mhz as f64 / 1e3
+    ));
+
+    out.push_str(&format!(
+        "AC TIMING @ {} MHz (tCK = {:.3} ns)\n",
+        config.clock_mhz, tck_ns
+    ));
+    let row = |name: &str, ck: u64| format!("  {name:<6} {ck:>4} ck  = {:>8.2} ns\n", ck as f64 * tck_ns);
+    out.push_str(&row("CL", t.cl));
+    out.push_str(&row("WL", t.wl));
+    out.push_str(&row("tRCD", t.t_rcd));
+    out.push_str(&row("tRP", t.t_rp));
+    out.push_str(&row("tRAS", t.t_ras));
+    out.push_str(&row("tRC", t.t_rc));
+    out.push_str(&row("tRRD", t.t_rrd));
+    out.push_str(&row("tWR", t.t_wr));
+    out.push_str(&row("tWTR", t.t_wtr));
+    out.push_str(&row("tRTP", t.t_rtp));
+    out.push_str(&row("tRFC", t.t_rfc));
+    out.push_str(&row("tREFI", t.t_refi));
+    out.push_str(&row("tXP", t.t_xp));
+    out.push_str(&row("tXSR", t.t_xsr));
+    out.push_str(&format!(
+        "  turnaround: RD->WR {} ck, WR->RD {} ck\n\n",
+        t.rd_to_wr(),
+        t.wr_to_rd()
+    ));
+
+    out.push_str(&format!(
+        "DC / ENERGY @ {:.2} V core (IDD specified at {:.2} V / {:.0} MHz)\n",
+        config.op.vdd_op_v, config.op.vdd_meas_v, config.op.f_meas_mhz
+    ));
+    out.push_str(&format!("  activate+precharge {:>8.0} pJ\n", e.e_act_pj));
+    out.push_str(&format!("  read burst         {:>8.0} pJ ({:.1} pJ/bit)\n",
+        e.e_rd_burst_pj, e.e_rd_burst_pj / (g.burst_bytes() as f64 * 8.0)));
+    out.push_str(&format!("  write burst        {:>8.0} pJ ({:.1} pJ/bit)\n",
+        e.e_wr_burst_pj, e.e_wr_burst_pj / (g.burst_bytes() as f64 * 8.0)));
+    out.push_str(&format!("  refresh            {:>8.0} pJ\n", e.e_ref_pj));
+    let states = [
+        "precharge standby",
+        "active standby",
+        "precharge pwr-down",
+        "active pwr-down",
+        "self-refresh",
+    ];
+    for (name, p) in states.iter().zip(e.p_bg_mw.iter()) {
+        out.push_str(&format!("  {name:<18} {p:>8.2} mW\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_paper_device() {
+        let text = render_datasheet(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
+        assert!(text.contains("512 Mb bank cluster"));
+        assert!(text.contains("tCK = 2.500 ns"));
+        assert!(text.contains("tRCD      6 ck")); // 15 ns at 400 MHz
+        assert!(text.contains("self-refresh"));
+        assert!(text.contains("3.20 GB/s per channel"));
+    }
+
+    #[test]
+    fn rejects_out_of_window_clocks() {
+        assert!(render_datasheet(&ClusterConfig::next_gen_mobile_ddr(100)).is_err());
+    }
+
+    #[test]
+    fn renders_the_other_presets() {
+        for cfg in [
+            ClusterConfig::standard_ddr2(400),
+            ClusterConfig::future_lpddr2(800),
+        ] {
+            let text = render_datasheet(&cfg).unwrap();
+            assert!(text.contains("AC TIMING"));
+        }
+    }
+}

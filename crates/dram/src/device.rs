@@ -1,0 +1,683 @@
+//! The bank cluster: one channel's DRAM device.
+//!
+//! A cluster owns four banks (paper configuration), the shared command and
+//! data buses, the power-down state, refresh bookkeeping and the energy
+//! account. It is a *passive* model: a memory controller asks for the
+//! earliest legal cycle of a candidate command ([`BankCluster::earliest_issue`])
+//! and then commits it ([`BankCluster::issue`]); the cluster enforces every
+//! timing window and state rule, returning a typed error on violations, so
+//! controller bugs cannot silently produce impossible schedules.
+
+use mcm_sim::{SimTime, Frequency};
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::command::DramCommand;
+use crate::error::DramError;
+use crate::params::{Geometry, ResolvedTiming, TimingParams};
+use crate::power::{BackgroundState, EnergyAccount, EnergyModel, IddValues, OperatingPoint};
+
+/// What a committed command produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueOutcome {
+    /// For column commands: the cycle at which the last data beat completes
+    /// (read: CL + BL/2 after the command; write: WL + BL/2 after it).
+    pub data_end_cycle: Option<u64>,
+}
+
+/// Aggregate command counts for one cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Activates issued.
+    pub activates: u64,
+    /// Read bursts issued.
+    pub reads: u64,
+    /// Write bursts issued.
+    pub writes: u64,
+    /// Precharges issued (including per-bank effects of PREA).
+    pub precharges: u64,
+    /// Refreshes issued.
+    pub refreshes: u64,
+    /// Power-down entries.
+    pub power_downs: u64,
+    /// Self-refresh entries.
+    pub self_refreshes: u64,
+}
+
+/// Builder-style configuration for a [`BankCluster`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Physical organization.
+    pub geometry: Geometry,
+    /// Raw timing parameters.
+    pub timing: TimingParams,
+    /// Datasheet currents.
+    pub idd: IddValues,
+    /// Voltage/frequency conditions.
+    pub op: OperatingPoint,
+    /// Interface clock, MHz.
+    pub clock_mhz: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's device at a given interface clock.
+    pub fn next_gen_mobile_ddr(clock_mhz: u64) -> Self {
+        ClusterConfig {
+            geometry: Geometry::next_gen_mobile_ddr(),
+            timing: TimingParams::next_gen_mobile_ddr(),
+            idd: IddValues::mobile_ddr_512mb(),
+            op: OperatingPoint::next_gen_mobile_ddr(),
+            clock_mhz,
+        }
+    }
+
+    /// The projected future LPDDR2-class device (see
+    /// [`TimingParams::future_lpddr2`]) at a 1.2 V core.
+    pub fn future_lpddr2(clock_mhz: u64) -> Self {
+        ClusterConfig {
+            geometry: Geometry::next_gen_mobile_ddr(),
+            timing: TimingParams::future_lpddr2(),
+            idd: IddValues::mobile_ddr_512mb(),
+            op: OperatingPoint {
+                vdd_meas_v: 1.8,
+                f_meas_mhz: 200.0,
+                vdd_op_v: 1.2,
+            },
+            clock_mhz,
+        }
+    }
+
+    /// A commodity DDR2-class device over the same clock window, kept at
+    /// its native 1.8 V (no low-power voltage projection). The comparison
+    /// point for the low-power-vs-standard study.
+    pub fn standard_ddr2(clock_mhz: u64) -> Self {
+        ClusterConfig {
+            geometry: Geometry::next_gen_mobile_ddr(),
+            timing: TimingParams::standard_ddr2(),
+            idd: IddValues::standard_ddr2_512mb(),
+            op: OperatingPoint {
+                vdd_meas_v: 1.8,
+                f_meas_mhz: 200.0,
+                vdd_op_v: 1.8,
+            },
+            clock_mhz,
+        }
+    }
+}
+
+/// One channel's DRAM device: banks + buses + power-down + energy.
+#[derive(Debug, Clone)]
+pub struct BankCluster {
+    geometry: Geometry,
+    timing: ResolvedTiming,
+    banks: Vec<Bank>,
+    /// Earliest cycle for the next command of any kind (command bus is one
+    /// command per cycle; REF and power-down exit also push this).
+    earliest_cmd: u64,
+    /// Earliest cycle for an ACT to any bank (tRRD).
+    earliest_any_act: u64,
+    /// Earliest cycle for the next READ command (bus occupancy/turnaround).
+    earliest_rd: u64,
+    /// Earliest cycle for the next WRITE command.
+    earliest_wr: u64,
+    /// Cycle at which in-flight data finishes on the DQ bus.
+    data_busy_until: u64,
+    powered_down: bool,
+    pd_since: u64,
+    self_refreshing: bool,
+    sr_since: u64,
+    energy: EnergyAccount,
+    stats: ClusterStats,
+    last_state_cycle: u64,
+    trace: Option<Vec<crate::validate::TracedCommand>>,
+}
+
+impl BankCluster {
+    /// Builds the device; validates geometry, timing, currents and clock.
+    pub fn new(config: &ClusterConfig) -> Result<Self, DramError> {
+        let timing = config.timing.resolve(config.clock_mhz, &config.geometry)?;
+        let model = EnergyModel::resolve(
+            &config.idd,
+            &config.op,
+            &config.timing,
+            &config.geometry,
+            config.clock_mhz,
+        )?;
+        Ok(BankCluster {
+            geometry: config.geometry,
+            timing,
+            banks: vec![Bank::new(); config.geometry.banks as usize],
+            earliest_cmd: 0,
+            earliest_any_act: 0,
+            earliest_rd: 0,
+            earliest_wr: 0,
+            data_busy_until: 0,
+            powered_down: false,
+            pd_since: 0,
+            self_refreshing: false,
+            sr_since: 0,
+            energy: EnergyAccount::new(model, BackgroundState::PrechargeStandby),
+            stats: ClusterStats::default(),
+            last_state_cycle: 0,
+            trace: None,
+        })
+    }
+
+    /// Starts recording every committed command (for validation/debugging).
+    /// Costs one `Vec` push per command; off by default.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded command trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[crate::validate::TracedCommand]> {
+        self.trace.as_deref()
+    }
+
+    /// Resolved timing in use.
+    pub fn timing(&self) -> &ResolvedTiming {
+        &self.timing
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The open row of `bank`, if any.
+    pub fn open_row(&self, bank: u32) -> Result<Option<u32>, DramError> {
+        self.bank(bank).map(Bank::open_row)
+    }
+
+    /// Whether the device is in a power-down state.
+    pub fn is_powered_down(&self) -> bool {
+        self.powered_down
+    }
+
+    /// Whether the device is in self-refresh.
+    pub fn is_self_refreshing(&self) -> bool {
+        self.self_refreshing
+    }
+
+    /// Whether any bank has an open row.
+    pub fn any_bank_open(&self) -> bool {
+        self.banks.iter().any(Bank::is_active)
+    }
+
+    /// Cycle at which all in-flight data beats have completed.
+    pub fn data_busy_until(&self) -> u64 {
+        self.data_busy_until
+    }
+
+    /// Command counts so far.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    fn bank(&self, bank: u32) -> Result<&Bank, DramError> {
+        self.banks
+            .get(bank as usize)
+            .ok_or(DramError::BadBank {
+                bank,
+                banks: self.geometry.banks,
+            })
+    }
+
+    /// Earliest legal cycle, at or after `not_before`, at which `cmd` could
+    /// issue. Errors if `cmd` is illegal in the current state regardless of
+    /// timing.
+    pub fn earliest_issue(&self, cmd: DramCommand, not_before: u64) -> Result<u64, DramError> {
+        let base = self.earliest_cmd.max(not_before);
+        if self.self_refreshing {
+            return match cmd {
+                DramCommand::SelfRefreshExit => {
+                    Ok(base.max(self.sr_since + self.timing.t_cke_min))
+                }
+                _ => Err(DramError::IllegalCommand {
+                    cmd,
+                    reason: "device is in self-refresh; only SRX is legal".into(),
+                }),
+            };
+        }
+        if self.powered_down {
+            return match cmd {
+                DramCommand::PowerDownExit => {
+                    Ok(base.max(self.pd_since + self.timing.t_cke_min))
+                }
+                _ => Err(DramError::IllegalCommand {
+                    cmd,
+                    reason: "device is powered down; only PDX is legal".into(),
+                }),
+            };
+        }
+        match cmd {
+            DramCommand::Activate { bank, .. } => {
+                let b = self.bank(bank)?;
+                if b.is_active() {
+                    return Err(DramError::IllegalCommand {
+                        cmd,
+                        reason: format!("bank {bank} already has an open row"),
+                    });
+                }
+                Ok(base.max(b.earliest_act()).max(self.earliest_any_act))
+            }
+            DramCommand::Read { bank, col } | DramCommand::Write { bank, col } => {
+                if col >= self.geometry.cols {
+                    return Err(DramError::IllegalCommand {
+                        cmd,
+                        reason: format!("column {col} out of range"),
+                    });
+                }
+                let b = self.bank(bank)?;
+                if !b.is_active() {
+                    return Err(DramError::IllegalCommand {
+                        cmd,
+                        reason: format!("bank {bank} has no open row"),
+                    });
+                }
+                let bus = if matches!(cmd, DramCommand::Read { .. }) {
+                    self.earliest_rd
+                } else {
+                    self.earliest_wr
+                };
+                Ok(base.max(b.earliest_col()).max(bus))
+            }
+            DramCommand::Precharge { bank } => {
+                let b = self.bank(bank)?;
+                // PRE to an idle bank is a legal no-op on real parts.
+                Ok(base.max(if b.is_active() { b.earliest_pre() } else { 0 }))
+            }
+            DramCommand::PrechargeAll => {
+                let mut t = base;
+                for b in &self.banks {
+                    if b.is_active() {
+                        t = t.max(b.earliest_pre());
+                    }
+                }
+                Ok(t)
+            }
+            DramCommand::Refresh => {
+                if self.any_bank_open() {
+                    return Err(DramError::IllegalCommand {
+                        cmd,
+                        reason: "REF requires all banks precharged".into(),
+                    });
+                }
+                let mut t = base;
+                for b in &self.banks {
+                    t = t.max(b.earliest_act());
+                }
+                Ok(t)
+            }
+            DramCommand::PowerDownEnter => {
+                // CKE may only drop once in-flight data has drained.
+                Ok(base.max(self.data_busy_until))
+            }
+            DramCommand::PowerDownExit => Err(DramError::IllegalCommand {
+                cmd,
+                reason: "device is not powered down".into(),
+            }),
+            DramCommand::SelfRefreshEnter => {
+                if self.any_bank_open() {
+                    return Err(DramError::IllegalCommand {
+                        cmd,
+                        reason: "SRE requires all banks precharged".into(),
+                    });
+                }
+                let mut t = base.max(self.data_busy_until);
+                for b in &self.banks {
+                    t = t.max(b.earliest_act());
+                }
+                Ok(t)
+            }
+            DramCommand::SelfRefreshExit => Err(DramError::IllegalCommand {
+                cmd,
+                reason: "device is not in self-refresh".into(),
+            }),
+        }
+    }
+
+    /// Commits `cmd` at `cycle`.
+    ///
+    /// `cycle` must be at or beyond [`BankCluster::earliest_issue`] for the
+    /// same command, and at or beyond every previously issued command
+    /// (commands are committed in program order).
+    pub fn issue(&mut self, cmd: DramCommand, cycle: u64) -> Result<IssueOutcome, DramError> {
+        let earliest = self.earliest_issue(cmd, 0)?;
+        if cycle < earliest {
+            return Err(DramError::TimingViolation {
+                cmd,
+                at_cycle: cycle,
+                earliest,
+            });
+        }
+        if cycle < self.last_state_cycle {
+            return Err(DramError::TimingViolation {
+                cmd,
+                at_cycle: cycle,
+                earliest: self.last_state_cycle,
+            });
+        }
+        self.last_state_cycle = cycle;
+        if let Some(trace) = &mut self.trace {
+            trace.push(crate::validate::TracedCommand { cycle, cmd });
+        }
+        let t = self.timing;
+        let mut outcome = IssueOutcome {
+            data_end_cycle: None,
+        };
+        match cmd {
+            DramCommand::Activate { bank, row } => {
+                if row >= self.geometry.rows {
+                    return Err(DramError::IllegalCommand {
+                        cmd,
+                        reason: format!("row {row} out of range"),
+                    });
+                }
+                self.banks[bank as usize].apply_activate(cycle, row, t.t_rcd, t.t_ras, t.t_rc);
+                self.earliest_any_act = self.earliest_any_act.max(cycle + t.t_rrd);
+                self.energy.record_activate();
+                self.stats.activates += 1;
+            }
+            DramCommand::Read { bank, .. } => {
+                self.banks[bank as usize].apply_column(cycle, t.t_rtp);
+                self.earliest_rd = self.earliest_rd.max(cycle + t.bl_ck);
+                self.earliest_wr = self.earliest_wr.max(cycle + t.rd_to_wr());
+                let end = cycle + t.cl + t.bl_ck;
+                self.data_busy_until = self.data_busy_until.max(end);
+                self.energy.record_read_burst();
+                self.stats.reads += 1;
+                outcome.data_end_cycle = Some(end);
+            }
+            DramCommand::Write { bank, .. } => {
+                self.banks[bank as usize].apply_column(cycle, t.wr_to_pre());
+                self.earliest_wr = self.earliest_wr.max(cycle + t.bl_ck);
+                self.earliest_rd = self.earliest_rd.max(cycle + t.wr_to_rd());
+                let end = cycle + t.wl + t.bl_ck;
+                self.data_busy_until = self.data_busy_until.max(end);
+                self.energy.record_write_burst();
+                self.stats.writes += 1;
+                outcome.data_end_cycle = Some(end);
+            }
+            DramCommand::Precharge { bank } => {
+                if self.banks[bank as usize].is_active() {
+                    self.banks[bank as usize].apply_precharge(cycle, t.t_rp);
+                    self.stats.precharges += 1;
+                }
+            }
+            DramCommand::PrechargeAll => {
+                for b in &mut self.banks {
+                    if b.is_active() {
+                        b.apply_precharge(cycle, t.t_rp);
+                        self.stats.precharges += 1;
+                    }
+                }
+            }
+            DramCommand::Refresh => {
+                self.earliest_cmd = self.earliest_cmd.max(cycle + t.t_rfc);
+                for b in &mut self.banks {
+                    b.push_act_watermark(cycle + t.t_rfc);
+                }
+                self.energy.record_refresh();
+                self.stats.refreshes += 1;
+            }
+            DramCommand::PowerDownEnter => {
+                self.powered_down = true;
+                self.pd_since = cycle;
+                self.stats.power_downs += 1;
+            }
+            DramCommand::PowerDownExit => {
+                self.powered_down = false;
+                self.earliest_cmd = self.earliest_cmd.max(cycle + t.t_xp);
+            }
+            DramCommand::SelfRefreshEnter => {
+                self.self_refreshing = true;
+                self.sr_since = cycle;
+                self.stats.self_refreshes += 1;
+            }
+            DramCommand::SelfRefreshExit => {
+                self.self_refreshing = false;
+                self.earliest_cmd = self.earliest_cmd.max(cycle + t.t_xsr);
+            }
+        }
+        // Command bus: one command per cycle.
+        self.earliest_cmd = self.earliest_cmd.max(cycle + 1);
+        // Background-state bookkeeping at the command's wall-clock time.
+        let now = self.time_of_cycle(cycle);
+        let state = if self.self_refreshing {
+            BackgroundState::SelfRefresh
+        } else {
+            BackgroundState::from_flags(self.any_bank_open(), self.powered_down)
+        };
+        self.energy.switch_state(state, now);
+        Ok(outcome)
+    }
+
+    /// Wall-clock time of a cycle index on this device's interface clock.
+    pub fn time_of_cycle(&self, cycle: u64) -> SimTime {
+        self.timing.clock.time_of_cycles(cycle)
+    }
+
+    /// The interface clock frequency.
+    pub fn clock_frequency(&self) -> Frequency {
+        self.timing.clock.frequency()
+    }
+
+    /// Total core energy up to `end_cycle`, picojoules.
+    pub fn total_energy_pj(&mut self, end_cycle: u64) -> f64 {
+        let t = self.time_of_cycle(end_cycle);
+        self.energy.total_pj(t)
+    }
+
+    /// Background-only energy up to `end_cycle`, picojoules.
+    pub fn background_energy_pj(&mut self, end_cycle: u64) -> f64 {
+        let t = self.time_of_cycle(end_cycle);
+        self.energy.background_pj(t)
+    }
+
+    /// Per-event (activate/burst/refresh) energy so far, picojoules.
+    pub fn event_energy_pj(&self) -> f64 {
+        self.energy.event_pj()
+    }
+
+    /// Per-event energy split by command class, picojoules:
+    /// (activate, read burst, write burst, refresh).
+    pub fn event_breakdown_pj(&self) -> (f64, f64, f64, f64) {
+        self.energy.event_breakdown_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> BankCluster {
+        BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_clock() {
+        assert!(BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(100)).is_err());
+        assert!(BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).is_ok());
+    }
+
+    #[test]
+    fn basic_open_read_close_sequence() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::Activate { bank: 0, row: 7 }, 0).unwrap();
+        assert_eq!(c.open_row(0).unwrap(), Some(7));
+        // Read must wait tRCD.
+        let err = c.issue(DramCommand::Read { bank: 0, col: 0 }, 1).unwrap_err();
+        assert!(matches!(err, DramError::TimingViolation { earliest, .. } if earliest == t.t_rcd));
+        let out = c
+            .issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
+            .unwrap();
+        assert_eq!(out.data_end_cycle, Some(t.t_rcd + t.cl + t.bl_ck));
+        // Precharge must wait tRAS.
+        let e = c.earliest_issue(DramCommand::Precharge { bank: 0 }, 0).unwrap();
+        assert_eq!(e, t.t_ras);
+        c.issue(DramCommand::Precharge { bank: 0 }, t.t_ras).unwrap();
+        assert_eq!(c.open_row(0).unwrap(), None);
+    }
+
+    #[test]
+    fn read_to_closed_row_is_illegal() {
+        let mut c = cluster();
+        let err = c.issue(DramCommand::Read { bank: 0, col: 0 }, 0).unwrap_err();
+        assert!(matches!(err, DramError::IllegalCommand { .. }));
+    }
+
+    #[test]
+    fn act_to_open_bank_is_illegal() {
+        let mut c = cluster();
+        c.issue(DramCommand::Activate { bank: 1, row: 0 }, 0).unwrap();
+        let err = c
+            .earliest_issue(DramCommand::Activate { bank: 1, row: 5 }, 0)
+            .unwrap_err();
+        assert!(matches!(err, DramError::IllegalCommand { .. }));
+    }
+
+    #[test]
+    fn trrd_spaces_cross_bank_activates() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        let e = c
+            .earliest_issue(DramCommand::Activate { bank: 1, row: 0 }, 0)
+            .unwrap();
+        assert_eq!(e, t.t_rrd);
+    }
+
+    #[test]
+    fn back_to_back_reads_space_by_burst_length() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
+        let e = c.earliest_issue(DramCommand::Read { bank: 0, col: 4 }, 0).unwrap();
+        assert_eq!(e, t.t_rcd + t.bl_ck);
+    }
+
+    #[test]
+    fn write_read_turnaround_exceeds_burst_spacing() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        c.issue(DramCommand::Write { bank: 0, col: 0 }, t.t_rcd).unwrap();
+        let rd = c.earliest_issue(DramCommand::Read { bank: 0, col: 4 }, 0).unwrap();
+        let wr = c.earliest_issue(DramCommand::Write { bank: 0, col: 4 }, 0).unwrap();
+        assert_eq!(wr, t.t_rcd + t.bl_ck);
+        assert_eq!(rd, t.t_rcd + t.wr_to_rd());
+        assert!(rd > wr);
+    }
+
+    #[test]
+    fn refresh_requires_all_banks_closed_and_blocks_trfc() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        assert!(matches!(
+            c.earliest_issue(DramCommand::Refresh, 0),
+            Err(DramError::IllegalCommand { .. })
+        ));
+        c.issue(DramCommand::Precharge { bank: 0 }, t.t_ras).unwrap();
+        let e = c.earliest_issue(DramCommand::Refresh, 0).unwrap();
+        // After PRE at tRAS, REF must wait tRP (via the bank ACT watermark).
+        assert_eq!(e, t.t_ras + t.t_rp);
+        c.issue(DramCommand::Refresh, e).unwrap();
+        let next = c
+            .earliest_issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        assert_eq!(next, e + t.t_rfc);
+    }
+
+    #[test]
+    fn power_down_gates_everything_but_pdx() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::PowerDownEnter, 5).unwrap();
+        assert!(c.is_powered_down());
+        assert!(matches!(
+            c.earliest_issue(DramCommand::Activate { bank: 0, row: 0 }, 0),
+            Err(DramError::IllegalCommand { .. })
+        ));
+        let e = c.earliest_issue(DramCommand::PowerDownExit, 0).unwrap();
+        assert_eq!(e, 5 + t.t_cke_min);
+        c.issue(DramCommand::PowerDownExit, e).unwrap();
+        assert!(!c.is_powered_down());
+        // tXP gates the next command.
+        let act = c
+            .earliest_issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        assert_eq!(act, e + t.t_xp);
+    }
+
+    #[test]
+    fn power_down_enter_waits_for_data_drain() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        let out = c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
+        let e = c.earliest_issue(DramCommand::PowerDownEnter, 0).unwrap();
+        assert_eq!(e, out.data_end_cycle.unwrap());
+    }
+
+    #[test]
+    fn pdx_when_not_powered_down_is_illegal() {
+        let c = cluster();
+        assert!(matches!(
+            c.earliest_issue(DramCommand::PowerDownExit, 0),
+            Err(DramError::IllegalCommand { .. })
+        ));
+    }
+
+    #[test]
+    fn commands_cannot_go_backwards_in_time() {
+        let mut c = cluster();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 100).unwrap();
+        let err = c.issue(DramCommand::Precharge { bank: 1 }, 50).unwrap_err();
+        assert!(matches!(err, DramError::TimingViolation { .. }));
+    }
+
+    #[test]
+    fn precharge_to_idle_bank_is_noop() {
+        let mut c = cluster();
+        c.issue(DramCommand::Precharge { bank: 0 }, 0).unwrap();
+        assert_eq!(c.stats().precharges, 0);
+    }
+
+    #[test]
+    fn stats_and_energy_accumulate() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
+        c.issue(DramCommand::Write { bank: 0, col: 4 }, t.t_rcd + t.rd_to_wr()).unwrap();
+        let s = c.stats();
+        assert_eq!((s.activates, s.reads, s.writes), (1, 1, 1));
+        assert!(c.event_energy_pj() > 0.0);
+        assert!(c.total_energy_pj(10_000) > c.event_energy_pj());
+    }
+
+    #[test]
+    fn bad_bank_and_column_are_rejected() {
+        let mut c = cluster();
+        assert!(matches!(
+            c.issue(DramCommand::Activate { bank: 9, row: 0 }, 0),
+            Err(DramError::BadBank { .. })
+        ));
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        assert!(matches!(
+            c.earliest_issue(DramCommand::Read { bank: 0, col: 512 }, 0),
+            Err(DramError::IllegalCommand { .. })
+        ));
+        let mut c2 = cluster();
+        assert!(matches!(
+            c2.issue(DramCommand::Activate { bank: 0, row: 8192 }, 0),
+            Err(DramError::IllegalCommand { .. })
+        ));
+    }
+}

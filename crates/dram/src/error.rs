@@ -1,0 +1,130 @@
+//! Typed errors for device construction and command legality.
+
+use core::fmt;
+
+use crate::command::DramCommand;
+
+/// Errors raised by the DRAM device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// Device geometry is inconsistent (e.g. capacity not a power of two, or
+    /// rows × cols × width × banks ≠ capacity).
+    InvalidGeometry {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// The interface clock is outside the supported range
+    /// (the paper restricts it to the DDR2 span, 200–533 MHz).
+    ClockOutOfRange {
+        /// Requested clock in MHz.
+        requested_mhz: u64,
+        /// Lowest supported clock in MHz.
+        min_mhz: u64,
+        /// Highest supported clock in MHz.
+        max_mhz: u64,
+    },
+    /// A timing parameter failed validation (e.g. tRAS + tRP > tRC).
+    InvalidTiming {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// A command was issued before its earliest legal cycle.
+    TimingViolation {
+        /// The offending command.
+        cmd: DramCommand,
+        /// The cycle at which issue was attempted.
+        at_cycle: u64,
+        /// The earliest cycle at which the command would have been legal.
+        earliest: u64,
+    },
+    /// A command is illegal in the bank's / device's current state
+    /// regardless of timing (e.g. READ to a closed row, ACT to an open bank,
+    /// any command while powered down).
+    IllegalCommand {
+        /// The offending command.
+        cmd: DramCommand,
+        /// Description of the state conflict.
+        reason: String,
+    },
+    /// An address exceeds the device capacity.
+    AddressOutOfRange {
+        /// The offending byte address.
+        addr: u64,
+        /// Device capacity in bytes.
+        capacity_bytes: u64,
+    },
+    /// Bank index out of range.
+    BadBank {
+        /// The offending bank index.
+        bank: u32,
+        /// Number of banks in the device.
+        banks: u32,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::InvalidGeometry { reason } => write!(f, "invalid DRAM geometry: {reason}"),
+            DramError::ClockOutOfRange {
+                requested_mhz,
+                min_mhz,
+                max_mhz,
+            } => write!(
+                f,
+                "interface clock {requested_mhz} MHz outside supported range {min_mhz}-{max_mhz} MHz"
+            ),
+            DramError::InvalidTiming { reason } => {
+                write!(f, "invalid DRAM timing parameters: {reason}")
+            }
+            DramError::TimingViolation {
+                cmd,
+                at_cycle,
+                earliest,
+            } => write!(
+                f,
+                "{cmd} issued at cycle {at_cycle}, earliest legal cycle is {earliest}"
+            ),
+            DramError::IllegalCommand { cmd, reason } => {
+                write!(f, "{cmd} illegal in current state: {reason}")
+            }
+            DramError::AddressOutOfRange {
+                addr,
+                capacity_bytes,
+            } => write!(
+                f,
+                "address {addr:#x} out of range for {capacity_bytes}-byte device"
+            ),
+            DramError::BadBank { bank, banks } => {
+                write!(f, "bank {bank} out of range (device has {banks} banks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::DramCommand;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DramError::TimingViolation {
+            cmd: DramCommand::Activate { bank: 1, row: 7 },
+            at_cycle: 10,
+            earliest: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cycle 10"));
+        assert!(s.contains("12"));
+
+        let e = DramError::ClockOutOfRange {
+            requested_mhz: 700,
+            min_mhz: 200,
+            max_mhz: 533,
+        };
+        assert!(e.to_string().contains("700"));
+    }
+}

@@ -1,0 +1,519 @@
+//! Device geometry and timing parameters for the paper's *theoretical
+//! next-generation mobile DDR SDRAM*, plus the estimation rules used to
+//! derive them.
+//!
+//! The paper's procedure (Section III):
+//!
+//! * capacity 512 Mbit per bank cluster, four banks, ×32 data, DDR;
+//! * interface clock restricted to the DDR2 span, **200–533 MHz**;
+//! * timing/power values taken from contemporary Micron Mobile DDR SDRAM
+//!   datasheets at 200 MHz; "the parameters with clear connection to clock
+//!   frequency are extrapolated accordingly" — i.e. analog parameters are
+//!   held constant in nanoseconds and re-expressed in clock cycles at the
+//!   target frequency (rounding up), while fixed-cycle parameters stay in
+//!   cycles;
+//! * operating voltage projected to **1.35 V** per the ITRS 2007 system
+//!   drivers chapter.
+
+use mcm_sim::{ClockDomain, Frequency};
+use serde::{Deserialize, Serialize};
+
+use crate::error::DramError;
+
+/// Physical organization of one bank cluster (one channel's memory device).
+///
+/// # Examples
+///
+/// ```
+/// use mcm_dram::Geometry;
+///
+/// let g = Geometry::next_gen_mobile_ddr();
+/// assert_eq!(g.capacity_bytes(), 512 * 1024 * 1024 / 8);
+/// assert_eq!(g.burst_bytes(), 16); // BL4 × 32 bit — the interleave granule
+/// assert_eq!(g.page_bytes(), 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of independent banks in the cluster (paper: 4).
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Columns per row (each column is one word).
+    pub cols: u32,
+    /// Data bus width in bits (paper: 32).
+    pub word_bits: u32,
+    /// Burst length in words (paper: minimum DRAM burst size 4).
+    pub burst_len: u32,
+}
+
+impl Geometry {
+    /// The paper's bank cluster: 512 Mb, 4 banks, ×32, BL4
+    /// (8192 rows × 512 columns per bank).
+    pub fn next_gen_mobile_ddr() -> Self {
+        Geometry {
+            banks: 4,
+            rows: 8192,
+            cols: 512,
+            word_bits: 32,
+            burst_len: 4,
+        }
+    }
+
+    /// Validates internal consistency (powers of two where addressing
+    /// requires them, non-zero sizes, burst no longer than a row).
+    pub fn validate(&self) -> Result<(), DramError> {
+        let fields = [
+            ("banks", self.banks),
+            ("rows", self.rows),
+            ("cols", self.cols),
+            ("word_bits", self.word_bits),
+            ("burst_len", self.burst_len),
+        ];
+        for (name, v) in fields {
+            if v == 0 {
+                return Err(DramError::InvalidGeometry {
+                    reason: format!("{name} must be non-zero"),
+                });
+            }
+            if !v.is_power_of_two() {
+                return Err(DramError::InvalidGeometry {
+                    reason: format!("{name} = {v} must be a power of two"),
+                });
+            }
+        }
+        if self.word_bits % 8 != 0 {
+            return Err(DramError::InvalidGeometry {
+                reason: format!("word_bits = {} must be a whole number of bytes", self.word_bits),
+            });
+        }
+        if self.burst_len > self.cols {
+            return Err(DramError::InvalidGeometry {
+                reason: format!(
+                    "burst_len {} exceeds columns per row {}",
+                    self.burst_len, self.cols
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.banks as u64 * self.rows as u64 * self.cols as u64 * self.word_bits as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bits() / 8
+    }
+
+    /// Bytes per word (data-bus width in bytes).
+    pub fn word_bytes(&self) -> u32 {
+        self.word_bits / 8
+    }
+
+    /// Bytes per burst — the minimum practical transfer and, per Table II,
+    /// the channel interleaving granule (16 B for the paper's device).
+    pub fn burst_bytes(&self) -> u32 {
+        self.burst_len * self.word_bytes()
+    }
+
+    /// Bytes per open page (row): columns × word bytes.
+    pub fn page_bytes(&self) -> u32 {
+        self.cols * self.word_bytes()
+    }
+
+    /// Clock cycles of data-bus occupancy per burst (two beats per cycle on
+    /// a DDR interface).
+    pub fn burst_cycles(&self) -> u64 {
+        (self.burst_len as u64).div_ceil(2)
+    }
+}
+
+/// Raw timing parameters, split into the analog (nanosecond) domain and the
+/// clock (cycle) domain, plus the legal interface-clock range.
+///
+/// Defaults follow the Micron 512 Mb Mobile DDR SDRAM datasheet class at
+/// 200 MHz, which is exactly where the paper takes them from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// ACT to RD/WR delay (row to column), ns.
+    pub t_rcd_ns: f64,
+    /// PRE to ACT delay (row precharge), ns.
+    pub t_rp_ns: f64,
+    /// Minimum ACT to PRE (row active time), ns.
+    pub t_ras_ns: f64,
+    /// Minimum ACT to ACT in the same bank (row cycle), ns.
+    pub t_rc_ns: f64,
+    /// Minimum ACT to ACT across different banks, ns.
+    pub t_rrd_ns: f64,
+    /// Write recovery: last write data beat to PRE, ns.
+    pub t_wr_ns: f64,
+    /// Auto-refresh cycle time, ns.
+    pub t_rfc_ns: f64,
+    /// Average refresh interval (one REF due every tREFI), ns.
+    pub t_refi_ns: f64,
+    /// CAS latency expressed in ns; converted to a whole CL at resolve time
+    /// (15 ns ⇒ CL3 at 200 MHz … CL8 at 533 MHz).
+    pub cas_latency_ns: f64,
+    /// Write latency in cycles (Mobile DDR: 1).
+    pub write_latency_ck: u64,
+    /// Write-to-read turnaround beyond the data burst, cycles.
+    pub t_wtr_ck: u64,
+    /// Read-to-precharge spacing beyond BL/2, cycles.
+    pub t_rtp_extra_ck: u64,
+    /// Power-down exit to first command, cycles.
+    pub t_xp_ck: u64,
+    /// Self-refresh exit to first command, ns (tXSR).
+    pub t_xsr_ns: f64,
+    /// Minimum power-down residency (CKE low pulse width), cycles.
+    pub t_cke_min_ck: u64,
+    /// Lowest legal interface clock, MHz (paper: DDR2 span ⇒ 200).
+    pub min_clock_mhz: u64,
+    /// Highest legal interface clock, MHz (paper: DDR2 span ⇒ 533).
+    pub max_clock_mhz: u64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::next_gen_mobile_ddr()
+    }
+}
+
+impl TimingParams {
+    /// Datasheet-class Mobile DDR timings at the 200 MHz anchor, with the
+    /// paper's DDR2 clock window.
+    pub fn next_gen_mobile_ddr() -> Self {
+        TimingParams {
+            t_rcd_ns: 15.0,
+            t_rp_ns: 15.0,
+            t_ras_ns: 40.0,
+            t_rc_ns: 55.0,
+            t_rrd_ns: 10.0,
+            t_wr_ns: 15.0,
+            t_rfc_ns: 110.0,
+            t_refi_ns: 7_812.5, // 8192 rows refreshed per 64 ms
+            cas_latency_ns: 15.0,
+            write_latency_ck: 1,
+            t_wtr_ck: 2,
+            t_rtp_extra_ck: 0,
+            t_xp_ck: 2,
+            t_xsr_ns: 120.0,
+            t_cke_min_ck: 1,
+            min_clock_mhz: 200,
+            max_clock_mhz: 533,
+        }
+    }
+
+    /// The contemporary (2008-era) Mobile DDR part the estimates derive
+    /// from: same analog timings, but clock window restricted to the
+    /// 133–200 MHz the real datasheets support. Useful as a baseline.
+    pub fn contemporary_mobile_ddr() -> Self {
+        TimingParams {
+            min_clock_mhz: 133,
+            max_clock_mhz: 200,
+            ..Self::next_gen_mobile_ddr()
+        }
+    }
+
+    /// A projected *next-next-generation* low-power part (LPDDR2-class):
+    /// the same analog core pushed to an 800 MHz interface window with
+    /// slightly tightened row timings from a process shrink. Used by the
+    /// "future needs" study (`ext_future`).
+    pub fn future_lpddr2() -> Self {
+        TimingParams {
+            t_rcd_ns: 12.0,
+            t_rp_ns: 12.0,
+            t_ras_ns: 36.0,
+            t_rc_ns: 48.0,
+            t_rrd_ns: 8.0,
+            cas_latency_ns: 12.5,
+            min_clock_mhz: 333,
+            max_clock_mhz: 800,
+            ..Self::next_gen_mobile_ddr()
+        }
+    }
+
+    /// A commodity (non-low-power) DDR2-class part over the same clock
+    /// window: comparable analog timings, but a slower self-refresh exit
+    /// and DLL-bound power-down exit. Used by the device-class comparison
+    /// the paper motivates with Micron's "Low-Power Versus Standard DDR
+    /// SDRAM" note.
+    pub fn standard_ddr2() -> Self {
+        TimingParams {
+            t_rfc_ns: 105.0,
+            t_xp_ck: 3,
+            t_xsr_ns: 200.0,
+            t_wtr_ck: 3,
+            write_latency_ck: 2,
+            ..Self::next_gen_mobile_ddr()
+        }
+    }
+
+    /// Checks parameter consistency.
+    pub fn validate(&self) -> Result<(), DramError> {
+        let nonneg = [
+            ("t_rcd_ns", self.t_rcd_ns),
+            ("t_rp_ns", self.t_rp_ns),
+            ("t_ras_ns", self.t_ras_ns),
+            ("t_rc_ns", self.t_rc_ns),
+            ("t_rrd_ns", self.t_rrd_ns),
+            ("t_wr_ns", self.t_wr_ns),
+            ("t_rfc_ns", self.t_rfc_ns),
+            ("t_refi_ns", self.t_refi_ns),
+            ("cas_latency_ns", self.cas_latency_ns),
+        ];
+        for (name, v) in nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(DramError::InvalidTiming {
+                    reason: format!("{name} = {v} must be finite and non-negative"),
+                });
+            }
+        }
+        if self.t_ras_ns + self.t_rp_ns > self.t_rc_ns + 1e-9 {
+            return Err(DramError::InvalidTiming {
+                reason: format!(
+                    "tRAS ({}) + tRP ({}) exceeds tRC ({})",
+                    self.t_ras_ns, self.t_rp_ns, self.t_rc_ns
+                ),
+            });
+        }
+        if self.t_refi_ns <= self.t_rfc_ns {
+            return Err(DramError::InvalidTiming {
+                reason: format!(
+                    "tREFI ({}) must exceed tRFC ({}) or refresh starves the device",
+                    self.t_refi_ns, self.t_rfc_ns
+                ),
+            });
+        }
+        if self.min_clock_mhz == 0 || self.min_clock_mhz > self.max_clock_mhz {
+            return Err(DramError::InvalidTiming {
+                reason: format!(
+                    "clock window {}-{} MHz is empty",
+                    self.min_clock_mhz, self.max_clock_mhz
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves the analog parameters into whole cycle counts at `clock_mhz`,
+    /// enforcing the device's legal clock window. This is the paper's
+    /// extrapolation rule made executable.
+    pub fn resolve(
+        &self,
+        clock_mhz: u64,
+        geometry: &Geometry,
+    ) -> Result<ResolvedTiming, DramError> {
+        self.validate()?;
+        geometry.validate()?;
+        if clock_mhz < self.min_clock_mhz || clock_mhz > self.max_clock_mhz {
+            return Err(DramError::ClockOutOfRange {
+                requested_mhz: clock_mhz,
+                min_mhz: self.min_clock_mhz,
+                max_mhz: self.max_clock_mhz,
+            });
+        }
+        let clock = ClockDomain::new(Frequency::from_mhz(clock_mhz))
+            .expect("non-zero MHz was validated above");
+        let ck = |ns: f64| clock.ns_to_cycles_ceil(ns);
+        let bl_ck = geometry.burst_cycles();
+        let cl = ck(self.cas_latency_ns).max(2);
+        Ok(ResolvedTiming {
+            clock,
+            clock_mhz,
+            cl,
+            wl: self.write_latency_ck,
+            bl_ck,
+            t_rcd: ck(self.t_rcd_ns),
+            t_rp: ck(self.t_rp_ns),
+            t_ras: ck(self.t_ras_ns),
+            t_rc: ck(self.t_rc_ns),
+            t_rrd: ck(self.t_rrd_ns),
+            t_wr: ck(self.t_wr_ns),
+            t_rfc: ck(self.t_rfc_ns),
+            t_refi: ck(self.t_refi_ns),
+            t_wtr: self.t_wtr_ck,
+            t_rtp: bl_ck + self.t_rtp_extra_ck,
+            t_xp: self.t_xp_ck,
+            t_xsr: ck(self.t_xsr_ns),
+            t_cke_min: self.t_cke_min_ck,
+        })
+    }
+}
+
+/// Timing parameters resolved to whole clock cycles at one interface clock.
+///
+/// All values are minimum command spacings in cycles of [`ResolvedTiming::clock`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedTiming {
+    /// The interface clock domain.
+    pub clock: ClockDomain,
+    /// The interface clock in MHz (for display).
+    pub clock_mhz: u64,
+    /// CAS (read) latency, cycles.
+    pub cl: u64,
+    /// Write latency, cycles.
+    pub wl: u64,
+    /// Data-bus occupancy per burst, cycles (BL/2 on DDR).
+    pub bl_ck: u64,
+    /// ACT → RD/WR, cycles.
+    pub t_rcd: u64,
+    /// PRE → ACT, cycles.
+    pub t_rp: u64,
+    /// ACT → PRE minimum, cycles.
+    pub t_ras: u64,
+    /// ACT → ACT same bank, cycles.
+    pub t_rc: u64,
+    /// ACT → ACT different bank, cycles.
+    pub t_rrd: u64,
+    /// End of write data → PRE, cycles.
+    pub t_wr: u64,
+    /// REF duration, cycles.
+    pub t_rfc: u64,
+    /// Refresh obligation period, cycles.
+    pub t_refi: u64,
+    /// End of write data → RD, cycles.
+    pub t_wtr: u64,
+    /// RD command → PRE, cycles.
+    pub t_rtp: u64,
+    /// Power-down exit → any command, cycles.
+    pub t_xp: u64,
+    /// Self-refresh exit → any command, cycles (tXSR).
+    pub t_xsr: u64,
+    /// Minimum power-down residency, cycles.
+    pub t_cke_min: u64,
+}
+
+impl ResolvedTiming {
+    /// Gap required between a READ command and a following WRITE command on
+    /// the same channel (bus turnaround): the read data must clear the bus
+    /// before write data is driven.
+    pub fn rd_to_wr(&self) -> u64 {
+        self.cl + self.bl_ck + 1 - self.wl.min(self.cl)
+    }
+
+    /// Gap required between a WRITE command and a following READ command
+    /// (write data beats plus tWTR recovery).
+    pub fn wr_to_rd(&self) -> u64 {
+        self.wl + self.bl_ck + self.t_wtr
+    }
+
+    /// Earliest PRE after a WRITE command: write data end plus tWR.
+    pub fn wr_to_pre(&self) -> u64 {
+        self.wl + self.bl_ck + self.t_wr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_geometry_is_512mbit() {
+        let g = Geometry::next_gen_mobile_ddr();
+        g.validate().unwrap();
+        assert_eq!(g.capacity_bits(), 512 * 1024 * 1024);
+        assert_eq!(g.burst_bytes(), 16);
+        assert_eq!(g.page_bytes(), 2048);
+        assert_eq!(g.burst_cycles(), 2);
+    }
+
+    #[test]
+    fn geometry_rejects_non_power_of_two() {
+        let mut g = Geometry::next_gen_mobile_ddr();
+        g.rows = 1000;
+        let err = g.validate().unwrap_err();
+        assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn geometry_rejects_burst_longer_than_row() {
+        let mut g = Geometry::next_gen_mobile_ddr();
+        g.burst_len = 1024;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn resolve_at_200mhz_matches_datasheet_cycles() {
+        let t = TimingParams::next_gen_mobile_ddr();
+        let g = Geometry::next_gen_mobile_ddr();
+        let r = t.resolve(200, &g).unwrap();
+        assert_eq!(r.cl, 3);
+        assert_eq!(r.t_rcd, 3);
+        assert_eq!(r.t_rp, 3);
+        assert_eq!(r.t_ras, 8);
+        assert_eq!(r.t_rc, 11);
+        assert_eq!(r.t_rrd, 2);
+        assert_eq!(r.t_rfc, 22);
+        // tREFI = 7812.5 ns at 5 ns/ck = 1562.5 -> 1563
+        assert_eq!(r.t_refi, 1563);
+    }
+
+    #[test]
+    fn resolve_extrapolates_with_frequency() {
+        let t = TimingParams::next_gen_mobile_ddr();
+        let g = Geometry::next_gen_mobile_ddr();
+        let r400 = t.resolve(400, &g).unwrap();
+        assert_eq!(r400.cl, 6); // 15 ns at 2.5 ns/ck
+        assert_eq!(r400.t_rc, 22);
+        let r533 = t.resolve(533, &g).unwrap();
+        assert_eq!(r533.cl, 8); // 15 ns at 1.876 ns/ck = 7.995 -> 8
+    }
+
+    #[test]
+    fn resolve_enforces_ddr2_clock_window() {
+        let t = TimingParams::next_gen_mobile_ddr();
+        let g = Geometry::next_gen_mobile_ddr();
+        assert!(matches!(
+            t.resolve(100, &g),
+            Err(DramError::ClockOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.resolve(667, &g),
+            Err(DramError::ClockOutOfRange { .. })
+        ));
+        assert!(t.resolve(200, &g).is_ok());
+        assert!(t.resolve(533, &g).is_ok());
+    }
+
+    #[test]
+    fn contemporary_part_tops_out_at_200() {
+        let t = TimingParams::contemporary_mobile_ddr();
+        let g = Geometry::next_gen_mobile_ddr();
+        assert!(t.resolve(166, &g).is_ok());
+        assert!(t.resolve(266, &g).is_err());
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_windows() {
+        let mut t = TimingParams::next_gen_mobile_ddr();
+        t.t_ras_ns = 50.0; // 50 + 15 > 55
+        assert!(matches!(t.validate(), Err(DramError::InvalidTiming { .. })));
+
+        let mut t = TimingParams::next_gen_mobile_ddr();
+        t.t_refi_ns = 50.0;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::next_gen_mobile_ddr();
+        t.t_rcd_ns = f64::NAN;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::next_gen_mobile_ddr();
+        t.min_clock_mhz = 600;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn turnaround_gaps_are_sane() {
+        let t = TimingParams::next_gen_mobile_ddr();
+        let g = Geometry::next_gen_mobile_ddr();
+        let r = t.resolve(400, &g).unwrap();
+        // rd->wr: CL(6) + BL/2(2) + 1 - WL(1) = 8
+        assert_eq!(r.rd_to_wr(), 8);
+        // wr->rd: WL(1) + BL/2(2) + tWTR(2) = 5
+        assert_eq!(r.wr_to_rd(), 5);
+        // wr->pre: WL(1) + BL/2(2) + tWR(6) = 9
+        assert_eq!(r.wr_to_pre(), 9);
+    }
+}

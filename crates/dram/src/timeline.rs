@@ -1,0 +1,170 @@
+//! ASCII command-timeline rendering — a text "waveform" of a recorded
+//! command trace, for debugging schedules and for documentation.
+//!
+//! One row per bank plus a device row (REF/power-down/self-refresh), one
+//! column per clock cycle:
+//!
+//! ```text
+//! cycle 0        10        20
+//! bank0 A--r-r-r-P..........
+//! bank1 ....A--r-r-r-P......
+//! dev   ....................
+//! ```
+//!
+//! `A` activate, `r` read, `w` write, `P` precharge, `F` refresh,
+//! `D`/`U` power-down enter/exit, `S`/`X` self-refresh enter/exit,
+//! `-` bank open, `.` idle.
+
+use crate::command::DramCommand;
+use crate::validate::TracedCommand;
+
+/// Renders `trace` over the cycle window `[from, to)` for a device with
+/// `banks` banks. Windows wider than `max_width` columns are truncated.
+pub fn render_timeline(
+    trace: &[TracedCommand],
+    banks: u32,
+    from: u64,
+    to: u64,
+    max_width: usize,
+) -> String {
+    let to = to.min(from + max_width as u64);
+    if to <= from {
+        return String::from("(empty window)\n");
+    }
+    let width = (to - from) as usize;
+    let mut rows: Vec<Vec<char>> = vec![vec!['.'; width]; banks as usize + 1];
+    let dev_row = banks as usize;
+    // Track open intervals to draw '-' while a row is open.
+    let mut open_since: Vec<Option<u64>> = vec![None; banks as usize];
+
+    let mark = |rows: &mut Vec<Vec<char>>, row: usize, cycle: u64, ch: char| {
+        if cycle >= from && cycle < to {
+            rows[row][(cycle - from) as usize] = ch;
+        }
+    };
+    let fill_open = |rows: &mut Vec<Vec<char>>, bank: usize, start: u64, end: u64| {
+        let lo = start.max(from);
+        let hi = end.min(to);
+        for c in lo..hi {
+            let idx = (c - from) as usize;
+            if rows[bank][idx] == '.' {
+                rows[bank][idx] = '-';
+            }
+        }
+    };
+
+    for &TracedCommand { cycle, cmd } in trace {
+        match cmd {
+            DramCommand::Activate { bank, .. } => {
+                open_since[bank as usize] = Some(cycle);
+                mark(&mut rows, bank as usize, cycle, 'A');
+            }
+            DramCommand::Read { bank, .. } => mark(&mut rows, bank as usize, cycle, 'r'),
+            DramCommand::Write { bank, .. } => mark(&mut rows, bank as usize, cycle, 'w'),
+            DramCommand::Precharge { bank } => {
+                if let Some(start) = open_since[bank as usize].take() {
+                    fill_open(&mut rows, bank as usize, start, cycle);
+                }
+                mark(&mut rows, bank as usize, cycle, 'P');
+            }
+            DramCommand::PrechargeAll => {
+                for b in 0..banks as usize {
+                    if let Some(start) = open_since[b].take() {
+                        fill_open(&mut rows, b, start, cycle);
+                    }
+                    mark(&mut rows, b, cycle, 'P');
+                }
+            }
+            DramCommand::Refresh => mark(&mut rows, dev_row, cycle, 'F'),
+            DramCommand::PowerDownEnter => mark(&mut rows, dev_row, cycle, 'D'),
+            DramCommand::PowerDownExit => mark(&mut rows, dev_row, cycle, 'U'),
+            DramCommand::SelfRefreshEnter => mark(&mut rows, dev_row, cycle, 'S'),
+            DramCommand::SelfRefreshExit => mark(&mut rows, dev_row, cycle, 'X'),
+        }
+    }
+    // Banks still open at the window end.
+    for b in 0..banks as usize {
+        if let Some(start) = open_since[b] {
+            fill_open(&mut rows, b, start, to);
+        }
+    }
+
+    let mut out = String::new();
+    // Cycle ruler every 10 columns.
+    out.push_str("cycle ");
+    let mut ruler = vec![' '; width];
+    let mut c = from.div_ceil(10) * 10;
+    while c < to {
+        let label = c.to_string();
+        let pos = (c - from) as usize;
+        for (i, ch) in label.chars().enumerate() {
+            if pos + i < width {
+                ruler[pos + i] = ch;
+            }
+        }
+        c += 10;
+    }
+    out.extend(ruler);
+    out.push('\n');
+    for (i, row) in rows.iter().enumerate() {
+        if i == dev_row {
+            out.push_str("dev   ");
+        } else {
+            out.push_str(&format!("bank{i} "));
+        }
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{BankCluster, ClusterConfig};
+
+    fn tc(cycle: u64, cmd: DramCommand) -> TracedCommand {
+        TracedCommand { cycle, cmd }
+    }
+
+    #[test]
+    fn renders_a_small_schedule() {
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+            tc(6, DramCommand::Read { bank: 0, col: 0 }),
+            tc(8, DramCommand::Read { bank: 0, col: 4 }),
+            tc(16, DramCommand::Precharge { bank: 0 }),
+            tc(20, DramCommand::PowerDownEnter),
+        ];
+        let t = render_timeline(&trace, 4, 0, 24, 80);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6); // ruler + 4 banks + dev
+        assert!(lines[1].starts_with("bank0 A"));
+        assert_eq!(lines[1].chars().nth(6 + 6).unwrap(), 'r');
+        assert_eq!(lines[1].chars().nth(6 + 16).unwrap(), 'P');
+        // The row is drawn open between ACT and PRE.
+        assert_eq!(lines[1].chars().nth(6 + 3).unwrap(), '-');
+        // The device row shows the power-down entry.
+        assert_eq!(lines[5].chars().nth(6 + 20).unwrap(), 'D');
+    }
+
+    #[test]
+    fn renders_a_real_device_trace() {
+        let mut dev = BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
+        dev.enable_trace();
+        let t = *dev.timing();
+        dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        dev.issue(DramCommand::Activate { bank: 1, row: 0 }, t.t_rrd).unwrap();
+        dev.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
+        let text = render_timeline(dev.trace().unwrap(), 4, 0, 30, 120);
+        assert!(text.contains("bank0 A"));
+        assert!(text.contains("bank1"));
+    }
+
+    #[test]
+    fn truncates_wide_windows_and_handles_empty() {
+        let t = render_timeline(&[], 2, 0, 1_000_000, 40);
+        assert!(t.lines().all(|l| l.len() <= 46));
+        assert_eq!(render_timeline(&[], 2, 10, 10, 40), "(empty window)\n");
+    }
+}

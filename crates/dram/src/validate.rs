@@ -1,0 +1,482 @@
+//! Independent command-trace validation.
+//!
+//! [`BankCluster`](crate::BankCluster) enforces timing legality with
+//! earliest-cycle watermarks, which is fast but shares code with the very
+//! scheduler it constrains. This module provides a *second, independent*
+//! implementation of the JEDEC-style rules: a [`TraceValidator`] that
+//! replays a recorded command trace and checks every window pairwise
+//! against the resolved timing parameters. Property tests drive random
+//! request streams through the controller and then assert that the trace
+//! the device actually executed is legal under this oracle — any
+//! disagreement between the two implementations is a bug in one of them.
+
+use crate::command::DramCommand;
+use crate::params::{Geometry, ResolvedTiming};
+
+/// One committed command with its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracedCommand {
+    /// Interface-clock cycle of the command.
+    pub cycle: u64,
+    /// The command.
+    pub cmd: DramCommand,
+}
+
+/// A timing-rule violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending command in the trace.
+    pub index: usize,
+    /// The offending command.
+    pub cmd: DramCommand,
+    /// Cycle at which it was issued.
+    pub cycle: u64,
+    /// Which rule it broke.
+    pub rule: String,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "command #{} ({} @ cycle {}): {}",
+            self.index, self.cmd, self.cycle, self.rule
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankView {
+    open: bool,
+    last_act: Option<u64>,
+    last_pre: Option<u64>,
+    last_rd: Option<u64>,
+    last_wr: Option<u64>,
+}
+
+impl BankView {
+    fn new() -> Self {
+        BankView {
+            open: false,
+            last_act: None,
+            last_pre: None,
+            last_rd: None,
+            last_wr: None,
+        }
+    }
+}
+
+/// Replays a command trace and reports every timing/state violation.
+///
+/// The validator is deliberately written as pairwise "last event of kind X
+/// → candidate command" checks straight from the rule definitions, with no
+/// shared state machinery with the device model.
+#[derive(Debug)]
+pub struct TraceValidator {
+    t: ResolvedTiming,
+    geometry: Geometry,
+}
+
+impl TraceValidator {
+    /// Creates a validator for one device configuration.
+    pub fn new(timing: ResolvedTiming, geometry: Geometry) -> Self {
+        TraceValidator {
+            t: timing,
+            geometry,
+        }
+    }
+
+    /// Checks `trace` (commands in issue order) and returns all violations.
+    pub fn check(&self, trace: &[TracedCommand]) -> Vec<Violation> {
+        let t = self.t;
+        let mut v = Vec::new();
+        let mut banks = vec![BankView::new(); self.geometry.banks as usize];
+        let mut last_cmd_cycle: Option<u64> = None;
+        let mut last_any_act: Option<u64> = None;
+        let mut last_ref: Option<u64> = None;
+        let mut last_rd_any: Option<u64> = None;
+        let mut last_wr_any: Option<u64> = None;
+        let mut powered_down_since: Option<u64> = None;
+        let mut last_pdx: Option<u64> = None;
+        let mut self_refresh_since: Option<u64> = None;
+        let mut last_srx: Option<u64> = None;
+
+        fn push(v: &mut Vec<Violation>, index: usize, cmd: DramCommand, cycle: u64, rule: String) {
+            v.push(Violation {
+                index,
+                cmd,
+                cycle,
+                rule,
+            });
+        }
+
+        for (i, &TracedCommand { cycle, cmd }) in trace.iter().enumerate() {
+            // Global rules.
+            if let Some(prev) = last_cmd_cycle {
+                if cycle < prev {
+                    push(&mut v, i, cmd, cycle, format!("trace goes backwards (prev {prev})"));
+                } else if cycle == prev {
+                    push(&mut v, i, cmd, cycle, "command bus carries one command per cycle".into());
+                }
+            }
+            if let Some(r) = last_ref {
+                if cycle < r + t.t_rfc && !matches!(cmd, DramCommand::PowerDownExit) {
+                    push(&mut v, i, cmd, cycle, format!("tRFC: REF at {r} blocks until {}", r + t.t_rfc));
+                }
+            }
+            if let Some(x) = last_pdx {
+                if cycle < x + t.t_xp {
+                    push(&mut v, i, cmd, cycle, format!("tXP: PDX at {x} blocks until {}", x + t.t_xp));
+                }
+            }
+            if powered_down_since.is_some() && !matches!(cmd, DramCommand::PowerDownExit) {
+                push(&mut v, i, cmd, cycle, "device is powered down; only PDX is legal".into());
+            }
+            if self_refresh_since.is_some() && !matches!(cmd, DramCommand::SelfRefreshExit) {
+                push(&mut v, i, cmd, cycle, "device is in self-refresh; only SRX is legal".into());
+            }
+            if let Some(x) = last_srx {
+                if cycle < x + t.t_xsr {
+                    push(&mut v, i, cmd, cycle, format!("tXSR: SRX at {x} blocks until {}", x + t.t_xsr));
+                }
+            }
+
+            match cmd {
+                DramCommand::Activate { bank, row } => {
+                    let Some(b) = banks.get(bank as usize).copied() else {
+                        push(&mut v, i, cmd, cycle, format!("bank {bank} out of range"));
+                        continue;
+                    };
+                    if row >= self.geometry.rows {
+                        push(&mut v, i, cmd, cycle, format!("row {row} out of range"));
+                    }
+                    if b.open {
+                        push(&mut v, i, cmd, cycle, "ACT to a bank with an open row".into());
+                    }
+                    if let Some(a) = b.last_act {
+                        if cycle < a + t.t_rc {
+                            push(&mut v, i, cmd, cycle, format!("tRC: prior ACT at {a}"));
+                        }
+                    }
+                    if let Some(p) = b.last_pre {
+                        if cycle < p + t.t_rp {
+                            push(&mut v, i, cmd, cycle, format!("tRP: prior PRE at {p}"));
+                        }
+                    }
+                    if let Some(a) = last_any_act {
+                        if cycle < a + t.t_rrd {
+                            push(&mut v, i, cmd, cycle, format!("tRRD: prior ACT (any bank) at {a}"));
+                        }
+                    }
+                    banks[bank as usize].open = true;
+                    banks[bank as usize].last_act = Some(cycle);
+                    last_any_act = Some(cycle);
+                }
+                DramCommand::Read { bank, col } | DramCommand::Write { bank, col } => {
+                    let is_read = matches!(cmd, DramCommand::Read { .. });
+                    let Some(b) = banks.get(bank as usize).copied() else {
+                        push(&mut v, i, cmd, cycle, format!("bank {bank} out of range"));
+                        continue;
+                    };
+                    if col >= self.geometry.cols {
+                        push(&mut v, i, cmd, cycle, format!("column {col} out of range"));
+                    }
+                    if !b.open {
+                        push(&mut v, i, cmd, cycle, "column command to a closed bank".into());
+                    }
+                    if let Some(a) = b.last_act {
+                        if cycle < a + t.t_rcd {
+                            push(&mut v, i, cmd, cycle, format!("tRCD: ACT at {a}"));
+                        }
+                    }
+                    if is_read {
+                        if let Some(r) = last_rd_any {
+                            if cycle < r + t.bl_ck {
+                                push(&mut v, i, cmd, cycle, format!("data bus: prior RD at {r}"));
+                            }
+                        }
+                        if let Some(w) = last_wr_any {
+                            if cycle < w + t.wr_to_rd() {
+                                push(&mut v, i, cmd, cycle, format!("tWTR turnaround: prior WR at {w}"));
+                            }
+                        }
+                        banks[bank as usize].last_rd = Some(cycle);
+                        last_rd_any = Some(cycle);
+                    } else {
+                        if let Some(w) = last_wr_any {
+                            if cycle < w + t.bl_ck {
+                                push(&mut v, i, cmd, cycle, format!("data bus: prior WR at {w}"));
+                            }
+                        }
+                        if let Some(r) = last_rd_any {
+                            if cycle < r + t.rd_to_wr() {
+                                push(&mut v, i, cmd, cycle, format!("bus turnaround: prior RD at {r}"));
+                            }
+                        }
+                        banks[bank as usize].last_wr = Some(cycle);
+                        last_wr_any = Some(cycle);
+                    }
+                }
+                DramCommand::Precharge { bank } => {
+                    let Some(b) = banks.get(bank as usize).copied() else {
+                        push(&mut v, i, cmd, cycle, format!("bank {bank} out of range"));
+                        continue;
+                    };
+                    if b.open {
+                        self.check_pre_windows(i, cmd, cycle, &b, &mut v);
+                        banks[bank as usize].open = false;
+                        banks[bank as usize].last_pre = Some(cycle);
+                    }
+                    // PRE to an idle bank is a legal no-op.
+                }
+                DramCommand::PrechargeAll => {
+                    for bi in 0..banks.len() {
+                        let b = banks[bi];
+                        if b.open {
+                            self.check_pre_windows(i, cmd, cycle, &b, &mut v);
+                            banks[bi].open = false;
+                            banks[bi].last_pre = Some(cycle);
+                        }
+                    }
+                }
+                DramCommand::Refresh => {
+                    if banks.iter().any(|b| b.open) {
+                        push(&mut v, i, cmd, cycle, "REF with an open bank".into());
+                    }
+                    for b in &banks {
+                        if let Some(p) = b.last_pre {
+                            if cycle < p + t.t_rp {
+                                push(&mut v, i, cmd, cycle, format!("tRP before REF: PRE at {p}"));
+                            }
+                        }
+                    }
+                    last_ref = Some(cycle);
+                }
+                DramCommand::PowerDownEnter => {
+                    if powered_down_since.is_some() {
+                        push(&mut v, i, cmd, cycle, "PDE while already powered down".into());
+                    }
+                    // In-flight data must have drained.
+                    let data_end = last_rd_any
+                        .map(|r| r + t.cl + t.bl_ck)
+                        .into_iter()
+                        .chain(last_wr_any.map(|w| w + t.wl + t.bl_ck))
+                        .max();
+                    if let Some(end) = data_end {
+                        if cycle < end {
+                            push(&mut v, i, cmd, cycle, format!("PDE before data drained (until {end})"));
+                        }
+                    }
+                    powered_down_since = Some(cycle);
+                }
+                DramCommand::PowerDownExit => {
+                    match powered_down_since {
+                        None => push(&mut v, i, cmd, cycle, "PDX while not powered down".into()),
+                        Some(e) => {
+                            if cycle < e + t.t_cke_min {
+                                push(&mut v, i, cmd, cycle, format!("tCKE: PDE at {e}"));
+                            }
+                        }
+                    }
+                    powered_down_since = None;
+                    last_pdx = Some(cycle);
+                }
+                DramCommand::SelfRefreshEnter => {
+                    if self_refresh_since.is_some() {
+                        push(&mut v, i, cmd, cycle, "SRE while already in self-refresh".into());
+                    }
+                    if powered_down_since.is_some() {
+                        push(&mut v, i, cmd, cycle, "SRE while powered down".into());
+                    }
+                    if banks.iter().any(|b| b.open) {
+                        push(&mut v, i, cmd, cycle, "SRE with an open bank".into());
+                    }
+                    for b in &banks {
+                        if let Some(p) = b.last_pre {
+                            if cycle < p + t.t_rp {
+                                push(&mut v, i, cmd, cycle, format!("tRP before SRE: PRE at {p}"));
+                            }
+                        }
+                    }
+                    self_refresh_since = Some(cycle);
+                }
+                DramCommand::SelfRefreshExit => {
+                    match self_refresh_since {
+                        None => push(&mut v, i, cmd, cycle, "SRX while not in self-refresh".into()),
+                        Some(e) => {
+                            if cycle < e + t.t_cke_min {
+                                push(&mut v, i, cmd, cycle, format!("tCKE: SRE at {e}"));
+                            }
+                        }
+                    }
+                    self_refresh_since = None;
+                    last_srx = Some(cycle);
+                }
+            }
+            last_cmd_cycle = Some(cycle);
+        }
+        v
+    }
+
+    fn check_pre_windows(
+        &self,
+        index: usize,
+        cmd: DramCommand,
+        cycle: u64,
+        b: &BankView,
+        v: &mut Vec<Violation>,
+    ) {
+        let t = self.t;
+        let mut report = |rule: String| {
+            v.push(Violation {
+                index,
+                cmd,
+                cycle,
+                rule,
+            });
+        };
+        if let Some(a) = b.last_act {
+            if cycle < a + t.t_ras {
+                report(format!("tRAS: ACT at {a}"));
+            }
+        }
+        if let Some(r) = b.last_rd {
+            if cycle < r + t.t_rtp {
+                report(format!("tRTP: RD at {r}"));
+            }
+        }
+        if let Some(w) = b.last_wr {
+            if cycle < w + t.wr_to_pre() {
+                report(format!("tWR: WR at {w}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TimingParams;
+
+    fn validator() -> TraceValidator {
+        let g = Geometry::next_gen_mobile_ddr();
+        let t = TimingParams::next_gen_mobile_ddr().resolve(400, &g).unwrap();
+        TraceValidator::new(t, g)
+    }
+
+    fn tc(cycle: u64, cmd: DramCommand) -> TracedCommand {
+        TracedCommand { cycle, cmd }
+    }
+
+    #[test]
+    fn legal_open_read_close_passes() {
+        let v = validator();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+            tc(6, DramCommand::Read { bank: 0, col: 0 }),
+            tc(16, DramCommand::Precharge { bank: 0 }),
+        ];
+        assert!(v.check(&trace).is_empty());
+    }
+
+    #[test]
+    fn trcd_violation_is_caught() {
+        let v = validator();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+            tc(3, DramCommand::Read { bank: 0, col: 0 }), // tRCD = 6
+        ];
+        let errs = v.check(&trace);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].rule.contains("tRCD"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn tras_violation_is_caught() {
+        let v = validator();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+            tc(10, DramCommand::Precharge { bank: 0 }), // tRAS = 16 @ 400 MHz
+        ];
+        let errs = v.check(&trace);
+        assert!(errs.iter().any(|e| e.rule.contains("tRAS")));
+    }
+
+    #[test]
+    fn same_cycle_commands_are_flagged() {
+        let v = validator();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+            tc(0, DramCommand::Activate { bank: 1, row: 1 }),
+        ];
+        let errs = v.check(&trace);
+        assert!(errs.iter().any(|e| e.rule.contains("one command per cycle")));
+    }
+
+    #[test]
+    fn read_to_closed_bank_is_flagged() {
+        let v = validator();
+        let errs = v.check(&[tc(0, DramCommand::Read { bank: 2, col: 0 })]);
+        assert!(errs.iter().any(|e| e.rule.contains("closed bank")));
+    }
+
+    #[test]
+    fn power_down_rules() {
+        let v = validator();
+        let trace = [
+            tc(0, DramCommand::PowerDownEnter),
+            tc(5, DramCommand::Activate { bank: 0, row: 0 }), // illegal: PD
+        ];
+        let errs = v.check(&trace);
+        assert!(errs.iter().any(|e| e.rule.contains("powered down")));
+
+        let trace = [
+            tc(0, DramCommand::PowerDownEnter),
+            tc(2, DramCommand::PowerDownExit),
+            tc(3, DramCommand::Activate { bank: 0, row: 0 }), // tXP = 2
+        ];
+        let errs = v.check(&trace);
+        assert!(errs.iter().any(|e| e.rule.contains("tXP")));
+    }
+
+    #[test]
+    fn refresh_rules() {
+        let v = validator();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 0 }),
+            tc(100, DramCommand::Refresh), // bank open
+        ];
+        let errs = v.check(&trace);
+        assert!(errs.iter().any(|e| e.rule.contains("open bank")));
+
+        let trace = [
+            tc(0, DramCommand::Refresh),
+            tc(10, DramCommand::Activate { bank: 0, row: 0 }), // tRFC = 44
+        ];
+        let errs = v.check(&trace);
+        assert!(errs.iter().any(|e| e.rule.contains("tRFC")));
+    }
+
+    #[test]
+    fn turnaround_rules() {
+        let v = validator();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 0 }),
+            tc(6, DramCommand::Write { bank: 0, col: 0 }),
+            tc(8, DramCommand::Read { bank: 0, col: 4 }), // wr_to_rd = 5
+        ];
+        let errs = v.check(&trace);
+        assert!(errs.iter().any(|e| e.rule.contains("tWTR")), "{errs:?}");
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            index: 3,
+            cmd: DramCommand::Refresh,
+            cycle: 17,
+            rule: "tRFC".into(),
+        };
+        assert_eq!(v.to_string(), "command #3 (REF @ cycle 17): tRFC");
+    }
+}

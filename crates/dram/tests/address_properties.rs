@@ -1,0 +1,75 @@
+//! Property tests for DRAM address multiplexing: decode/encode must be a
+//! bijection over the device capacity for both RBC and BRC, and the two
+//! mappings must agree on the column (low-order) bits.
+
+use mcm_dram::{AddressDecoder, AddressMapping, DecodedAddress, Geometry};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    // Powers of two within realistic mobile-DRAM ranges.
+    (
+        1u32..=3,  // banks: 2^1..2^3
+        8u32..=14, // rows: 2^8..2^14
+        6u32..=10, // cols: 2^6..2^10
+        prop_oneof![Just(16u32), Just(32u32)],
+        prop_oneof![Just(2u32), Just(4u32), Just(8u32)],
+    )
+        .prop_map(|(b, r, c, w, bl)| Geometry {
+            banks: 1 << b,
+            rows: 1 << r,
+            cols: 1 << c,
+            word_bits: w,
+            burst_len: bl,
+        })
+}
+
+proptest! {
+    #[test]
+    fn decode_encode_roundtrip(geometry in arb_geometry(), frac in 0.0f64..1.0, mapping_rbc in any::<bool>()) {
+        let mapping = if mapping_rbc { AddressMapping::Rbc } else { AddressMapping::Brc };
+        let dec = AddressDecoder::new(geometry, mapping).unwrap();
+        let words = geometry.capacity_bytes() / geometry.word_bytes() as u64;
+        let word = ((words as f64 - 1.0) * frac) as u64;
+        let addr = word * geometry.word_bytes() as u64;
+        let d = dec.decode(addr).unwrap();
+        prop_assert!(d.bank < geometry.banks);
+        prop_assert!(d.row < geometry.rows);
+        prop_assert!(d.col < geometry.cols);
+        prop_assert_eq!(dec.encode(d).unwrap(), addr);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(geometry in arb_geometry(), bank in any::<u32>(), row in any::<u32>(), col in any::<u32>(), mapping_rbc in any::<bool>()) {
+        let mapping = if mapping_rbc { AddressMapping::Rbc } else { AddressMapping::Brc };
+        let dec = AddressDecoder::new(geometry, mapping).unwrap();
+        let d = DecodedAddress {
+            bank: bank % geometry.banks,
+            row: row % geometry.rows,
+            col: col % geometry.cols,
+        };
+        let addr = dec.encode(d).unwrap();
+        prop_assert!(addr < geometry.capacity_bytes());
+        prop_assert_eq!(dec.decode(addr).unwrap(), d);
+    }
+
+    #[test]
+    fn mappings_agree_on_column_bits(geometry in arb_geometry(), frac in 0.0f64..1.0) {
+        let rbc = AddressDecoder::new(geometry, AddressMapping::Rbc).unwrap();
+        let brc = AddressDecoder::new(geometry, AddressMapping::Brc).unwrap();
+        let words = geometry.capacity_bytes() / geometry.word_bytes() as u64;
+        let addr = (((words as f64 - 1.0) * frac) as u64) * geometry.word_bytes() as u64;
+        prop_assert_eq!(rbc.decode(addr).unwrap().col, brc.decode(addr).unwrap().col);
+    }
+
+    #[test]
+    fn sequential_addresses_fill_pages_before_switching_rows(geometry in arb_geometry(), mapping_rbc in any::<bool>()) {
+        let mapping = if mapping_rbc { AddressMapping::Rbc } else { AddressMapping::Brc };
+        let dec = AddressDecoder::new(geometry, mapping).unwrap();
+        let page = geometry.page_bytes() as u64;
+        // Every address within the first page decodes to bank 0, row 0.
+        for addr in (0..page).step_by(geometry.burst_bytes() as usize) {
+            let d = dec.decode(addr).unwrap();
+            prop_assert_eq!((d.bank, d.row), (0, 0));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Device-level fuzzing: random walks over the command space.
+//!
+//! At every step we draw a random command; if the device declares it legal
+//! we commit it at its earliest cycle (plus a random dither) and record it.
+//! At the end the whole executed trace must satisfy the independent
+//! pairwise-rule oracle, and the device's statistics must agree with the
+//! trace. This exercises command interleavings the controller never
+//! generates (e.g. PREA with several open banks, refresh storms,
+//! power-down entry directly after writes).
+
+use mcm_dram::{
+    BankCluster, ClusterConfig, DramCommand, TraceValidator, TracedCommand,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Pick {
+    Act { bank: u32, row: u32 },
+    Read { bank: u32, col: u32 },
+    Write { bank: u32, col: u32 },
+    Pre { bank: u32 },
+    PreAll,
+    Refresh,
+    Pde,
+    Pdx,
+    Sre,
+    Srx,
+}
+
+fn arb_pick() -> impl Strategy<Value = Pick> {
+    prop_oneof![
+        3 => (0u32..4, 0u32..8192).prop_map(|(bank, row)| Pick::Act { bank, row }),
+        6 => (0u32..4, 0u32..512).prop_map(|(bank, col)| Pick::Read { bank, col }),
+        6 => (0u32..4, 0u32..512).prop_map(|(bank, col)| Pick::Write { bank, col }),
+        2 => (0u32..4).prop_map(|bank| Pick::Pre { bank }),
+        1 => Just(Pick::PreAll),
+        1 => Just(Pick::Refresh),
+        1 => Just(Pick::Pde),
+        1 => Just(Pick::Pdx),
+        1 => Just(Pick::Sre),
+        1 => Just(Pick::Srx),
+    ]
+}
+
+fn to_cmd(p: Pick) -> DramCommand {
+    match p {
+        Pick::Act { bank, row } => DramCommand::Activate { bank, row },
+        Pick::Read { bank, col } => DramCommand::Read { bank, col },
+        Pick::Write { bank, col } => DramCommand::Write { bank, col },
+        Pick::Pre { bank } => DramCommand::Precharge { bank },
+        Pick::PreAll => DramCommand::PrechargeAll,
+        Pick::Refresh => DramCommand::Refresh,
+        Pick::Pde => DramCommand::PowerDownEnter,
+        Pick::Pdx => DramCommand::PowerDownExit,
+        Pick::Sre => DramCommand::SelfRefreshEnter,
+        Pick::Srx => DramCommand::SelfRefreshExit,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_legal_walks_satisfy_the_oracle(
+        clock in prop_oneof![Just(200u64), Just(400), Just(533)],
+        picks in prop::collection::vec((arb_pick(), 0u64..8), 1..300),
+    ) {
+        let mut dev = BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(clock)).unwrap();
+        dev.enable_trace();
+        let mut committed = 0usize;
+        for (pick, dither) in picks {
+            let cmd = to_cmd(pick);
+            match dev.earliest_issue(cmd, 0) {
+                Ok(earliest) => {
+                    dev.issue(cmd, earliest + dither).unwrap();
+                    committed += 1;
+                }
+                Err(_) => continue, // illegal in this state: skip
+            }
+        }
+        let trace: Vec<TracedCommand> = dev.trace().unwrap().to_vec();
+        prop_assert_eq!(trace.len(), committed);
+
+        // Oracle agreement.
+        let validator = TraceValidator::new(*dev.timing(), *dev.geometry());
+        let violations = validator.check(&trace);
+        prop_assert!(
+            violations.is_empty(),
+            "device committed an illegal trace: {:?}",
+            &violations[..violations.len().min(3)]
+        );
+
+        // Stats agree with the trace.
+        let stats = dev.stats();
+        let count = |m: &str| trace.iter().filter(|t| t.cmd.mnemonic() == m).count() as u64;
+        prop_assert_eq!(stats.activates, count("ACT"));
+        prop_assert_eq!(stats.reads, count("RD"));
+        prop_assert_eq!(stats.writes, count("WR"));
+        prop_assert_eq!(stats.refreshes, count("REF"));
+        prop_assert_eq!(stats.power_downs, count("PDE"));
+        prop_assert_eq!(stats.self_refreshes, count("SRE"));
+
+        // Energy is finite and monotone with the horizon.
+        let e1 = dev.total_energy_pj(1_000_000);
+        let e2 = dev.total_energy_pj(2_000_000);
+        prop_assert!(e1.is_finite() && e2.is_finite());
+        prop_assert!(e2 >= e1);
+    }
+
+    #[test]
+    fn earliest_issue_is_idempotent_and_consistent(
+        picks in prop::collection::vec(arb_pick(), 1..100),
+    ) {
+        // earliest_issue must not mutate state: asking twice gives the same
+        // answer, and issuing at exactly that cycle always succeeds.
+        let mut dev = BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
+        for pick in picks {
+            let cmd = to_cmd(pick);
+            let first = dev.earliest_issue(cmd, 0);
+            let second = dev.earliest_issue(cmd, 0);
+            match (first, second) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a, b, "earliest_issue changed the device");
+                    dev.issue(cmd, a).unwrap();
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "inconsistent legality: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn a_x16_device_works_end_to_end() {
+    // A narrower part: x16 bus, BL8 -> the same 16-byte burst granule.
+    use mcm_dram::{ClusterConfig, Geometry};
+    let mut cfg = ClusterConfig::next_gen_mobile_ddr(400);
+    cfg.geometry = Geometry {
+        banks: 4,
+        rows: 8192,
+        cols: 1024,
+        word_bits: 16,
+        burst_len: 8,
+    };
+    assert_eq!(cfg.geometry.capacity_bits(), 512 * 1024 * 1024);
+    assert_eq!(cfg.geometry.burst_bytes(), 16);
+    let mut dev = BankCluster::new(&cfg).unwrap();
+    let t = *dev.timing();
+    // BL8 on a DDR bus occupies 4 clock cycles.
+    assert_eq!(t.bl_ck, 4);
+    dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+    let out = dev
+        .issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
+        .unwrap();
+    assert_eq!(out.data_end_cycle, Some(t.t_rcd + t.cl + 4));
+}

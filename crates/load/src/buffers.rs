@@ -1,0 +1,300 @@
+//! Frame-buffer layout in the execution-memory address space.
+//!
+//! The load model does not fabricate random addresses: every stage of Fig. 1
+//! reads and writes *specific buffers* (the raw capture, the YUV
+//! intermediates, the reference frames, the bitstream rings…), and their
+//! placement determines which rows and banks the traffic touches. The
+//! layout here packs each logical buffer into a page-aligned region, in the
+//! order the pipeline produces them.
+
+use crate::error::LoadError;
+use crate::formats::PixelFormat;
+use crate::usecase::UseCase;
+
+/// A contiguous region of execution memory owned by one logical buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte address.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `self` and `other` share any byte.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// The buffers of one frame's processing chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// Bordered Bayer capture buffer (camera I/F output).
+    pub camera: Region,
+    /// Preprocessed (noise-filtered) Bayer buffer.
+    pub preprocessed: Region,
+    /// Bordered YUV 4:2:2 buffer (demosaic output).
+    pub yuv_bordered: Region,
+    /// Stabilized (cropped to W×H) YUV 4:2:2 buffer.
+    pub stabilized: Region,
+    /// Post-processed/zoomed YUV 4:2:2 buffer (encoder input).
+    pub postprocessed: Region,
+    /// Double-buffered WVGA RGB888 display frame buffers.
+    pub display: [Region; 2],
+    /// H.264 reference frames (YUV 4:2:0), one region per reference.
+    pub references: Vec<Region>,
+    /// Reconstructed-frame buffer (YUV 4:2:0).
+    pub reconstructed: Region,
+    /// Encoded video bitstream ring.
+    pub bitstream: Region,
+    /// Audio sample/stream ring.
+    pub audio: Region,
+    /// Multiplexed A/V container ring.
+    pub mux: Region,
+    total: u64,
+}
+
+/// Alignment for buffer starts: one DRAM page interleaved over channels is
+/// at most 2 KiB × 8; 16 KiB keeps every buffer page- and channel-aligned
+/// in all evaluated configurations.
+const BUFFER_ALIGN: u64 = 16 * 1024;
+
+fn align_up(x: u64, a: u64) -> u64 {
+    x.div_ceil(a) * a
+}
+
+/// Placement options for [`FrameLayout::with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutOptions {
+    /// Bytes available for the buffers.
+    pub capacity_bytes: u64,
+    /// Bank stagger: consecutive buffers are offset by this many bytes so
+    /// that streams read and written concurrently land in different DRAM
+    /// banks (what any locality-aware allocator achieves). The natural
+    /// value is one DRAM page spread over all channels —
+    /// `page_bytes × channels`. Zero disables staggering.
+    pub bank_stagger_bytes: u64,
+    /// The stagger wraps after this many buffers (the device's bank count).
+    pub stagger_period: u32,
+}
+
+impl LayoutOptions {
+    /// No staggering; buffers are merely aligned.
+    pub fn tight(capacity_bytes: u64) -> Self {
+        LayoutOptions {
+            capacity_bytes,
+            bank_stagger_bytes: 0,
+            stagger_period: 4,
+        }
+    }
+
+    /// Bank-staggered placement for a memory of `channels` channels with
+    /// `page_bytes` DRAM pages and `banks` banks per device.
+    pub fn bank_staggered(capacity_bytes: u64, page_bytes: u64, channels: u32, banks: u32) -> Self {
+        LayoutOptions {
+            capacity_bytes,
+            bank_stagger_bytes: page_bytes * channels as u64,
+            stagger_period: banks.max(1),
+        }
+    }
+}
+
+impl FrameLayout {
+    /// Packs the use case's buffers into `[0, capacity_bytes)` with plain
+    /// alignment (no bank staggering).
+    ///
+    /// Fails with [`LoadError::LayoutOverflow`] when the buffers do not fit
+    /// (e.g. 2160p recording needs more than one 64 MiB channel).
+    pub fn new(use_case: &UseCase, capacity_bytes: u64) -> Result<Self, LoadError> {
+        Self::with_options(use_case, &LayoutOptions::tight(capacity_bytes))
+    }
+
+    /// Packs the buffers with explicit [`LayoutOptions`].
+    pub fn with_options(use_case: &UseCase, options: &LayoutOptions) -> Result<Self, LoadError> {
+        use_case.validate()?;
+        if options.stagger_period == 0 {
+            return Err(LoadError::BadParam {
+                reason: "stagger_period must be non-zero".into(),
+            });
+        }
+        let bordered = use_case.video.with_stabilization_border();
+        let bayer = align_up(bordered.bytes(PixelFormat::BayerRgb16), BUFFER_ALIGN);
+        let yuv422_bordered = align_up(bordered.bytes(PixelFormat::Yuv422), BUFFER_ALIGN);
+        let yuv422 = align_up(use_case.video.bytes(PixelFormat::Yuv422), BUFFER_ALIGN);
+        let yuv420 = align_up(use_case.video.bytes(PixelFormat::Yuv420), BUFFER_ALIGN);
+        let wvga = align_up(use_case.display.bytes(PixelFormat::Rgb888), BUFFER_ALIGN);
+        // Stream rings: two frames' worth, at least 64 KiB.
+        let ring = |bits_per_frame: u64| {
+            align_up((bits_per_frame / 4).max(64 * 1024), BUFFER_ALIGN)
+        };
+        let v_ring = ring(use_case.video_kbps * 1_000 / use_case.fps as u64);
+        let a_ring = ring(use_case.audio_kbps * 1_000 / use_case.fps as u64);
+        let mux_ring = v_ring + a_ring;
+
+        let mut cursor = 0u64;
+        let mut index = 0u32;
+        let mut take = |len: u64| {
+            let stagger = (index % options.stagger_period) as u64 * options.bank_stagger_bytes;
+            let start = align_up(cursor, BUFFER_ALIGN.max(options.bank_stagger_bytes * options.stagger_period as u64).max(1)) + stagger;
+            index += 1;
+            cursor = start + len;
+            Region { start, len }
+        };
+        let camera = take(bayer);
+        let preprocessed = take(bayer);
+        let yuv_bordered = take(yuv422_bordered);
+        let stabilized = take(yuv422);
+        let postprocessed = take(yuv422);
+        let display = [take(wvga), take(wvga)];
+        // Viewfinder mode encodes nothing: no reference frames exist.
+        let references = if use_case.mode == crate::usecase::UseCaseMode::Viewfinder {
+            Vec::new()
+        } else {
+            (0..use_case.resolved_ref_frames())
+                .map(|_| take(yuv420))
+                .collect()
+        };
+        let reconstructed = take(yuv420);
+        let bitstream = take(v_ring);
+        let audio = take(a_ring);
+        let mux = take(mux_ring);
+        let total = cursor;
+        if total > options.capacity_bytes {
+            return Err(LoadError::LayoutOverflow {
+                needed: total,
+                capacity: options.capacity_bytes,
+            });
+        }
+        Ok(FrameLayout {
+            camera,
+            preprocessed,
+            yuv_bordered,
+            stabilized,
+            postprocessed,
+            display,
+            references,
+            reconstructed,
+            bitstream,
+            audio,
+            mux,
+            total,
+        })
+    }
+
+    /// Total bytes the layout occupies.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// All regions, for overlap/invariant checks.
+    pub fn regions(&self) -> Vec<Region> {
+        let mut v = vec![
+            self.camera,
+            self.preprocessed,
+            self.yuv_bordered,
+            self.stabilized,
+            self.postprocessed,
+            self.display[0],
+            self.display[1],
+            self.reconstructed,
+            self.bitstream,
+            self.audio,
+            self.mux,
+        ];
+        v.extend(self.references.iter().copied());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::HdOperatingPoint;
+
+    fn layout(p: HdOperatingPoint, capacity: u64) -> Result<FrameLayout, LoadError> {
+        FrameLayout::new(&UseCase::hd(p), capacity)
+    }
+
+    #[test]
+    fn hd720_fits_one_channel() {
+        // One 512 Mb channel = 64 MiB.
+        let l = layout(HdOperatingPoint::Hd720p30, 64 << 20).unwrap();
+        assert!(l.total_bytes() <= 64 << 20);
+        assert_eq!(l.references.len(), 4);
+    }
+
+    #[test]
+    fn uhd_needs_more_than_one_channel() {
+        let err = layout(HdOperatingPoint::Uhd2160p30, 64 << 20).unwrap_err();
+        assert!(matches!(err, LoadError::LayoutOverflow { .. }));
+        // Eight channels = 512 MiB: fits.
+        assert!(layout(HdOperatingPoint::Uhd2160p30, 512 << 20).is_ok());
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let l = layout(HdOperatingPoint::Hd1080p30, 512 << 20).unwrap();
+        let regions = l.regions();
+        for (i, a) in regions.iter().enumerate() {
+            assert_eq!(a.start % BUFFER_ALIGN, 0, "region {i} misaligned");
+            assert!(a.len > 0);
+            for (j, b) in regions.iter().enumerate() {
+                if i != j {
+                    assert!(!a.overlaps(b), "regions {i} and {j} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_sizes_match_pixel_formats() {
+        let l = layout(HdOperatingPoint::Hd720p30, 64 << 20).unwrap();
+        // Bordered Bayer: 1536*864*2 bytes, aligned.
+        assert!(l.camera.len >= 1536 * 864 * 2);
+        assert!(l.camera.len < 1536 * 864 * 2 + BUFFER_ALIGN);
+        // Reference frames: 12 bpp.
+        assert!(l.references[0].len >= 1280 * 720 * 12 / 8);
+        // Display: WVGA RGB888.
+        assert!(l.display[0].len >= 800 * 480 * 3);
+    }
+
+    #[test]
+    fn region_overlap_predicate() {
+        let a = Region { start: 0, len: 10 };
+        let b = Region { start: 10, len: 5 };
+        let c = Region { start: 9, len: 2 };
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert_eq!(a.end(), 10);
+    }
+}
+
+#[cfg(test)]
+mod viewfinder_layout_tests {
+    use super::*;
+    use crate::levels::HdOperatingPoint;
+
+    #[test]
+    fn viewfinder_layout_has_no_references_and_is_smaller() {
+        let rec = FrameLayout::new(
+            &UseCase::hd(HdOperatingPoint::Hd1080p30),
+            1 << 30,
+        )
+        .unwrap();
+        let vf = FrameLayout::new(
+            &UseCase::viewfinder(HdOperatingPoint::Hd1080p30),
+            1 << 30,
+        )
+        .unwrap();
+        assert!(vf.references.is_empty());
+        assert_eq!(rec.references.len(), 4);
+        assert!(vf.total_bytes() < rec.total_bytes());
+    }
+}

@@ -1,0 +1,90 @@
+//! Errors for the load model.
+
+use core::fmt;
+
+use crate::levels::H264Level;
+
+/// Errors raised while building or validating the video-recording use case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// A parameter failed validation.
+    BadParam {
+        /// Explanation.
+        reason: String,
+    },
+    /// No H.264 level supports the requested format/rate.
+    NoLevelSupports {
+        /// Frame width, pixels.
+        width: u32,
+        /// Frame height, pixels.
+        height: u32,
+        /// Requested rate, fps.
+        fps: u32,
+    },
+    /// The chosen level cannot sustain the requested format/rate.
+    LevelExceeded {
+        /// The level that was requested.
+        level: H264Level,
+        /// Frame width, pixels.
+        width: u32,
+        /// Frame height, pixels.
+        height: u32,
+        /// Requested rate, fps.
+        fps: u32,
+    },
+    /// The frame buffers do not fit in the memory capacity provided.
+    LayoutOverflow {
+        /// Bytes the layout needs.
+        needed: u64,
+        /// Bytes available.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::BadParam { reason } => write!(f, "bad use-case parameter: {reason}"),
+            LoadError::NoLevelSupports { width, height, fps } => {
+                write!(f, "no H.264 level supports {width}x{height}@{fps}")
+            }
+            LoadError::LevelExceeded {
+                level,
+                width,
+                height,
+                fps,
+            } => write!(
+                f,
+                "H.264 level {level} cannot sustain {width}x{height}@{fps}"
+            ),
+            LoadError::LayoutOverflow { needed, capacity } => write!(
+                f,
+                "frame buffers need {needed} bytes but only {capacity} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = LoadError::LevelExceeded {
+            level: H264Level::L3_1,
+            width: 1920,
+            height: 1088,
+            fps: 60,
+        };
+        assert!(e.to_string().contains("3.1"));
+        assert!(e.to_string().contains("1920x1088@60"));
+        let e = LoadError::LayoutOverflow {
+            needed: 100,
+            capacity: 50,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Pixel formats and frame formats used along the video-recording chain.
+//!
+//! The paper's data path (Fig. 1) moves through four encodings: the sensor's
+//! Bayer RGB and the intermediate YUV 4:2:2 both store a pixel in 16 bits,
+//! H.264 works on YUV 4:2:0 frames at 12 bits per pixel, and the display
+//! consumes RGB888 at 24 bits per pixel.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LoadError;
+
+/// A pixel encoding with its storage cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PixelFormat {
+    /// Raw sensor data, one color component per site (16 bits stored).
+    BayerRgb16,
+    /// YUV 4:2:2, 16 bits per pixel.
+    Yuv422,
+    /// YUV 4:2:0 (H.264 frame stores), 12 bits per pixel.
+    Yuv420,
+    /// Display RGB, 24 bits per pixel.
+    Rgb888,
+}
+
+impl PixelFormat {
+    /// Storage cost in bits per pixel.
+    pub fn bits_per_pixel(self) -> u32 {
+        match self {
+            PixelFormat::BayerRgb16 | PixelFormat::Yuv422 => 16,
+            PixelFormat::Yuv420 => 12,
+            PixelFormat::Rgb888 => 24,
+        }
+    }
+}
+
+impl fmt::Display for PixelFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PixelFormat::BayerRgb16 => write!(f, "Bayer RGB (16 bpp)"),
+            PixelFormat::Yuv422 => write!(f, "YUV 4:2:2 (16 bpp)"),
+            PixelFormat::Yuv420 => write!(f, "YUV 4:2:0 (12 bpp)"),
+            PixelFormat::Rgb888 => write!(f, "RGB888 (24 bpp)"),
+        }
+    }
+}
+
+/// A frame geometry in pixels.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_load::{FrameFormat, PixelFormat};
+///
+/// let hd = FrameFormat::HD_1080;
+/// assert_eq!(hd.pixels(), 1920 * 1088);
+/// assert_eq!(hd.bits(PixelFormat::Yuv420), 1920 * 1088 * 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameFormat {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl FrameFormat {
+    /// 720p HD as used by the paper (1280×720).
+    pub const HD_720: FrameFormat = FrameFormat {
+        width: 1280,
+        height: 720,
+    };
+    /// 1080p HD as used by the paper — note the paper's 1920×**1088**
+    /// (macroblock-aligned height).
+    pub const HD_1080: FrameFormat = FrameFormat {
+        width: 1920,
+        height: 1088,
+    };
+    /// The paper's UHD format, 3840×2160.
+    pub const UHD_2160: FrameFormat = FrameFormat {
+        width: 3840,
+        height: 2160,
+    };
+    /// The device display: WVGA (800×480).
+    pub const WVGA: FrameFormat = FrameFormat {
+        width: 800,
+        height: 480,
+    };
+
+    /// Creates a format, rejecting zero dimensions.
+    pub fn new(width: u32, height: u32) -> Result<Self, LoadError> {
+        if width == 0 || height == 0 {
+            return Err(LoadError::BadParam {
+                reason: format!("frame {width}x{height} must have non-zero dimensions"),
+            });
+        }
+        Ok(FrameFormat { width, height })
+    }
+
+    /// Number of pixels.
+    pub fn pixels(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Macroblocks (16×16 pixel blocks, dimensions rounded up) — the unit of
+    /// the H.264 level limits.
+    pub fn macroblocks(&self) -> u64 {
+        (self.width as u64).div_ceil(16) * (self.height as u64).div_ceil(16)
+    }
+
+    /// Storage cost of one frame in bits under `format`.
+    pub fn bits(&self, format: PixelFormat) -> u64 {
+        self.pixels() * format.bits_per_pixel() as u64
+    }
+
+    /// Storage cost of one frame in bytes under `format` (rounded up).
+    pub fn bytes(&self, format: PixelFormat) -> u64 {
+        self.bits(format).div_ceil(8)
+    }
+
+    /// The format grown by the paper's 20 % stabilization border
+    /// (1.2 W × 1.2 H).
+    pub fn with_stabilization_border(&self) -> FrameFormat {
+        FrameFormat {
+            width: self.width + self.width / 5,
+            height: self.height + self.height / 5,
+        }
+    }
+}
+
+impl fmt::Display for FrameFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_pixel_match_paper() {
+        assert_eq!(PixelFormat::BayerRgb16.bits_per_pixel(), 16);
+        assert_eq!(PixelFormat::Yuv422.bits_per_pixel(), 16);
+        assert_eq!(PixelFormat::Yuv420.bits_per_pixel(), 12);
+        assert_eq!(PixelFormat::Rgb888.bits_per_pixel(), 24);
+    }
+
+    #[test]
+    fn preset_dimensions() {
+        assert_eq!(FrameFormat::HD_720.pixels(), 921_600);
+        assert_eq!(FrameFormat::HD_1080.pixels(), 2_088_960);
+        assert_eq!(FrameFormat::UHD_2160.pixels(), 8_294_400);
+        assert_eq!(FrameFormat::WVGA.pixels(), 384_000);
+    }
+
+    #[test]
+    fn macroblock_counts_match_h264_arithmetic() {
+        assert_eq!(FrameFormat::HD_720.macroblocks(), 3_600);
+        assert_eq!(FrameFormat::HD_1080.macroblocks(), 8_160);
+        assert_eq!(FrameFormat::UHD_2160.macroblocks(), 32_400);
+    }
+
+    #[test]
+    fn stabilization_border_is_twenty_percent() {
+        let b = FrameFormat::HD_720.with_stabilization_border();
+        assert_eq!((b.width, b.height), (1536, 864));
+        assert_eq!(b.pixels(), 1_327_104); // 1.44x
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(FrameFormat::new(0, 100).is_err());
+        assert!(FrameFormat::new(100, 0).is_err());
+        assert!(FrameFormat::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FrameFormat::HD_1080.to_string(), "1920x1088");
+        assert_eq!(PixelFormat::Yuv420.to_string(), "YUV 4:2:0 (12 bpp)");
+    }
+
+    #[test]
+    fn frame_bytes_round_up() {
+        let odd = FrameFormat::new(3, 3).unwrap();
+        // 9 pixels * 12 bits = 108 bits = 13.5 bytes -> 14.
+        assert_eq!(odd.bytes(PixelFormat::Yuv420), 14);
+    }
+}

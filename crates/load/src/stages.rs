@@ -1,0 +1,148 @@
+//! The processing stages of the video-recording use case (Fig. 1) and their
+//! per-frame execution-memory traffic.
+
+use core::fmt;
+
+/// A stage of the Fig. 1 video-recording chain that touches execution
+/// memory. Cache hits are, per the paper's assumption, free — each stage's
+/// traffic below is exactly the part that must reach DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Sensor data lands in the execution memory.
+    CameraIf,
+    /// Noise filtering etc. over the raw frame.
+    Preprocess,
+    /// Demosaic: Bayer RGB to YUV 4:2:2.
+    BayerToYuv,
+    /// Digital video stabilization; consumes the 20 % border.
+    Stabilization,
+    /// Post-processing and digital zoom.
+    PostProcDigizoom,
+    /// Scaling the recorded frame to the WVGA display size.
+    ScaleToDisplay,
+    /// Display refresh at the panel rate (60 Hz regardless of capture fps).
+    DisplayCtrl,
+    /// H.264/AVC encoding: reference-frame traffic and reconstructed-frame
+    /// write-back, plus the output bitstream.
+    VideoEncoder,
+    /// Audio capture path.
+    Audio,
+    /// A/V multiplexing.
+    Multiplex,
+    /// Writing the container stream to removable media.
+    MemoryCard,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 11] = [
+        Stage::CameraIf,
+        Stage::Preprocess,
+        Stage::BayerToYuv,
+        Stage::Stabilization,
+        Stage::PostProcDigizoom,
+        Stage::ScaleToDisplay,
+        Stage::DisplayCtrl,
+        Stage::VideoEncoder,
+        Stage::Audio,
+        Stage::Multiplex,
+        Stage::MemoryCard,
+    ];
+
+    /// Whether the stage belongs to Table I's "image processing" group
+    /// (otherwise it is "video coding", which is where the paper also files
+    /// the audio/mux/media traffic).
+    pub fn is_image_processing(self) -> bool {
+        matches!(
+            self,
+            Stage::CameraIf
+                | Stage::Preprocess
+                | Stage::BayerToYuv
+                | Stage::Stabilization
+                | Stage::PostProcDigizoom
+                | Stage::ScaleToDisplay
+                | Stage::DisplayCtrl
+        )
+    }
+
+    /// Table I row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::CameraIf => "Camera I/F",
+            Stage::Preprocess => "Preprocess",
+            Stage::BayerToYuv => "Bayer to YUV",
+            Stage::Stabilization => "Video stabilization",
+            Stage::PostProcDigizoom => "Post proc & digizoom",
+            Stage::ScaleToDisplay => "Scaling to display",
+            Stage::DisplayCtrl => "DisplayCtrl",
+            Stage::VideoEncoder => "Video encoder",
+            Stage::Audio => "Audio",
+            Stage::Multiplex => "Multiplex",
+            Stage::MemoryCard => "Memory card",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Execution-memory traffic of one stage for one captured frame.
+///
+/// Reads and writes are "identical operations with respect to examining the
+/// memory bandwidth" (paper), so Table I reports their sum; both directions
+/// are kept separate here because the simulator needs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTraffic {
+    /// The stage.
+    pub stage: Stage,
+    /// Bits read from execution memory per frame.
+    pub read_bits: u64,
+    /// Bits written to execution memory per frame.
+    pub write_bits: u64,
+}
+
+impl StageTraffic {
+    /// Combined traffic (the Table I number), bits per frame.
+    pub fn total_bits(&self) -> u64 {
+        self.read_bits + self.write_bits
+    }
+
+    /// Combined traffic in megabits (Table I's unit).
+    pub fn total_mbits(&self) -> f64 {
+        self.total_bits() as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_matches_table_i() {
+        let image: Vec<_> = Stage::ALL.iter().filter(|s| s.is_image_processing()).collect();
+        assert_eq!(image.len(), 7);
+        assert!(!Stage::VideoEncoder.is_image_processing());
+        assert!(!Stage::MemoryCard.is_image_processing());
+        assert!(!Stage::Audio.is_image_processing());
+    }
+
+    #[test]
+    fn labels_are_table_rows() {
+        assert_eq!(Stage::CameraIf.to_string(), "Camera I/F");
+        assert_eq!(Stage::PostProcDigizoom.label(), "Post proc & digizoom");
+    }
+
+    #[test]
+    fn traffic_sums() {
+        let t = StageTraffic {
+            stage: Stage::Preprocess,
+            read_bits: 1_000_000,
+            write_bits: 500_000,
+        };
+        assert_eq!(t.total_bits(), 1_500_000);
+        assert!((t.total_mbits() - 1.5).abs() < 1e-12);
+    }
+}

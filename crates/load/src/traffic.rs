@@ -1,0 +1,375 @@
+//! The load-model state machine: turns one captured frame's use case into a
+//! concrete stream of memory operations.
+//!
+//! "Within the load model, the processing chain of the video recording is
+//! described as a state machine. Each state results in memory access
+//! requests." (paper, Section III). Here each Fig. 1 stage is a state; a
+//! state emits cache-line-sized operations against the stage's source and
+//! destination buffers, interleaving reads and writes proportionally to
+//! their volumes — the pattern a write-allocate cache in front of a
+//! streaming kernel produces. The H.264 encoder state sweeps all reference
+//! buffers in a block-interleaved pattern (motion search touches every
+//! reference repeatedly), wrapping over each buffer `encoder_factor` times.
+
+use crate::buffers::FrameLayout;
+use crate::error::LoadError;
+use crate::stages::Stage;
+use crate::usecase::UseCase;
+
+/// One memory operation emitted by the load model.
+///
+/// Addresses are global (pre-interleaving); the multi-channel subsystem
+/// spreads them over channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOp {
+    /// `true` for a write, `false` for a read.
+    pub write: bool,
+    /// Global byte address.
+    pub addr: u64,
+    /// Length in bytes (at most the configured chunk size).
+    pub len: u32,
+}
+
+/// A single sequential (possibly wrapping) access stream within a stage.
+#[derive(Debug, Clone)]
+struct StreamPlan {
+    write: bool,
+    start: u64,
+    /// Wrap length: addresses advance modulo this many bytes from `start`.
+    wrap_len: u64,
+    /// Total bytes this stream must move.
+    total: u64,
+    /// Bytes already emitted.
+    pos: u64,
+}
+
+impl StreamPlan {
+    fn remaining(&self) -> u64 {
+        self.total - self.pos
+    }
+
+    /// Emits the next chunk of at most `chunk` bytes, truncated at the wrap
+    /// boundary so every op stays within the buffer.
+    fn next_op(&mut self, chunk: u32) -> LoadOp {
+        debug_assert!(self.remaining() > 0);
+        let offset = self.pos % self.wrap_len;
+        let until_wrap = self.wrap_len - offset;
+        let len = (chunk as u64).min(self.remaining()).min(until_wrap) as u32;
+        let op = LoadOp {
+            write: self.write,
+            addr: self.start + offset,
+            len,
+        };
+        self.pos += len as u64;
+        op
+    }
+}
+
+/// All streams of one pipeline state.
+#[derive(Debug, Clone)]
+struct StagePlan {
+    stage: Stage,
+    streams: Vec<StreamPlan>,
+}
+
+impl StagePlan {
+    fn remaining(&self) -> u64 {
+        self.streams.iter().map(StreamPlan::remaining).sum()
+    }
+
+    /// Proportional interleaving: pick the stream that is furthest behind
+    /// its fair share (largest remaining fraction), so a stage that reads
+    /// 1.44 MB and writes 1.0 MB alternates ops roughly 1.44:1.
+    fn next_op(&mut self, chunk: u32) -> Option<LoadOp> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.streams.iter().enumerate() {
+            if s.remaining() == 0 {
+                continue;
+            }
+            let frac = s.remaining() as f64 / s.total as f64;
+            if best.map_or(true, |(_, b)| frac > b) {
+                best = Some((i, frac));
+            }
+        }
+        best.map(|(i, _)| self.streams[i].next_op(chunk))
+    }
+}
+
+/// Iterator over the memory operations of one captured frame.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, UseCase};
+///
+/// let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+/// let layout = FrameLayout::new(&uc, 64 << 20).unwrap();
+/// let traffic = FrameTraffic::new(&uc, &layout, 64).unwrap();
+/// let planned = traffic.total_bytes();
+/// let emitted: u64 = traffic.map(|op| op.len as u64).sum();
+/// assert_eq!(emitted, planned);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTraffic {
+    stages: Vec<StagePlan>,
+    current: usize,
+    chunk: u32,
+    total: u64,
+}
+
+impl FrameTraffic {
+    /// Builds the frame's operation stream with `chunk_bytes`-sized
+    /// operations (the master's transaction size; 64 B models a cache-line
+    /// master).
+    pub fn new(
+        use_case: &UseCase,
+        layout: &FrameLayout,
+        chunk_bytes: u32,
+    ) -> Result<Self, LoadError> {
+        if chunk_bytes == 0 {
+            return Err(LoadError::BadParam {
+                reason: "chunk_bytes must be non-zero".into(),
+            });
+        }
+        use_case.validate()?;
+        let traffic = use_case.stage_traffic();
+        let bytes = |bits: u64| bits / 8;
+        let rd = |region: &crate::buffers::Region, total: u64| StreamPlan {
+            write: false,
+            start: region.start,
+            wrap_len: region.len,
+            total,
+            pos: 0,
+        };
+        let wr = |region: &crate::buffers::Region, total: u64| StreamPlan {
+            write: true,
+            start: region.start,
+            wrap_len: region.len,
+            total,
+            pos: 0,
+        };
+
+        let mut stages = Vec::with_capacity(traffic.len());
+        for t in &traffic {
+            let streams = match t.stage {
+                Stage::CameraIf => vec![wr(&layout.camera, bytes(t.write_bits))],
+                Stage::Preprocess => vec![
+                    rd(&layout.camera, bytes(t.read_bits)),
+                    wr(&layout.preprocessed, bytes(t.write_bits)),
+                ],
+                Stage::BayerToYuv => vec![
+                    rd(&layout.preprocessed, bytes(t.read_bits)),
+                    wr(&layout.yuv_bordered, bytes(t.write_bits)),
+                ],
+                Stage::Stabilization => vec![
+                    rd(&layout.yuv_bordered, bytes(t.read_bits)),
+                    wr(&layout.stabilized, bytes(t.write_bits)),
+                ],
+                Stage::PostProcDigizoom => vec![
+                    rd(&layout.stabilized, bytes(t.read_bits)),
+                    wr(&layout.postprocessed, bytes(t.write_bits)),
+                ],
+                Stage::ScaleToDisplay => vec![
+                    rd(&layout.postprocessed, bytes(t.read_bits)),
+                    wr(&layout.display[0], bytes(t.write_bits)),
+                ],
+                Stage::DisplayCtrl => vec![rd(&layout.display[1], bytes(t.read_bits))],
+                Stage::VideoEncoder => {
+                    let refs = layout.references.len() as u64;
+                    let per_ref = bytes(t.read_bits) / refs.max(1);
+                    let mut v: Vec<StreamPlan> = layout
+                        .references
+                        .iter()
+                        .map(|r| rd(r, per_ref))
+                        .collect();
+                    // Reconstructed frame, then the bitstream share.
+                    let recon = bytes(use_case.video.bits(crate::formats::PixelFormat::Yuv420));
+                    let bits = bytes(t.write_bits).saturating_sub(recon);
+                    v.push(wr(&layout.reconstructed, recon));
+                    if bits > 0 {
+                        v.push(wr(&layout.bitstream, bits));
+                    }
+                    v
+                }
+                Stage::Audio => vec![wr(&layout.audio, bytes(t.write_bits))],
+                Stage::Multiplex => {
+                    let a = bytes(use_case.audio_kbps * 1_000 / use_case.fps as u64);
+                    let v_share = bytes(t.read_bits).saturating_sub(a);
+                    vec![
+                        rd(&layout.bitstream, v_share),
+                        rd(&layout.audio, a),
+                        wr(&layout.mux, bytes(t.write_bits)),
+                    ]
+                }
+                Stage::MemoryCard => vec![rd(&layout.mux, bytes(t.read_bits))],
+            };
+            stages.push(StagePlan {
+                stage: t.stage,
+                streams: streams.into_iter().filter(|s| s.total > 0).collect(),
+            });
+        }
+        let total = stages.iter().map(StagePlan::remaining).sum();
+        Ok(FrameTraffic {
+            stages,
+            current: 0,
+            chunk: chunk_bytes,
+            total,
+        })
+    }
+
+    /// Total bytes the whole frame will move (matches Table I up to the
+    /// sub-byte rounding of bits to bytes).
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// The stage currently emitting, if any.
+    pub fn current_stage(&self) -> Option<Stage> {
+        self.stages.get(self.current).map(|s| s.stage)
+    }
+}
+
+impl Iterator for FrameTraffic {
+    type Item = LoadOp;
+
+    fn next(&mut self) -> Option<LoadOp> {
+        while self.current < self.stages.len() {
+            if let Some(op) = self.stages[self.current].next_op(self.chunk) {
+                return Some(op);
+            }
+            self.current += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::HdOperatingPoint;
+
+    fn traffic(chunk: u32) -> FrameTraffic {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let layout = FrameLayout::new(&uc, 64 << 20).unwrap();
+        FrameTraffic::new(&uc, &layout, chunk).unwrap()
+    }
+
+    #[test]
+    fn emitted_bytes_equal_plan() {
+        let t = traffic(64);
+        let planned = t.total_bytes();
+        let emitted: u64 = t.map(|op| op.len as u64).sum();
+        assert_eq!(emitted, planned);
+    }
+
+    #[test]
+    fn plan_matches_table_i_within_rounding() {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let t = traffic(64);
+        let table_bytes = uc.table_row().bits_per_frame() / 8;
+        let diff = (t.total_bytes() as i64 - table_bytes as i64).unsigned_abs();
+        // Each stream rounds bits down to whole bytes; a handful of streams.
+        assert!(diff < 64, "traffic {} vs table {}", t.total_bytes(), table_bytes);
+    }
+
+    #[test]
+    fn ops_respect_chunk_size() {
+        for op in traffic(64).take(100_000) {
+            assert!(op.len > 0 && op.len <= 64);
+        }
+    }
+
+    #[test]
+    fn ops_stay_inside_layout_regions() {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let layout = FrameLayout::new(&uc, 64 << 20).unwrap();
+        let regions = layout.regions();
+        let t = FrameTraffic::new(&uc, &layout, 64).unwrap();
+        for op in t {
+            let inside = regions
+                .iter()
+                .any(|r| op.addr >= r.start && op.addr + op.len as u64 <= r.end());
+            assert!(inside, "op at {:#x}+{} escapes all regions", op.addr, op.len);
+        }
+    }
+
+    #[test]
+    fn stages_emit_in_pipeline_order() {
+        let mut t = traffic(64);
+        let mut last_stage_idx = 0usize;
+        let order: Vec<Stage> = Stage::ALL.to_vec();
+        // Walk and ensure the current stage index is monotone.
+        while let Some(_) = t.next() {
+            if let Some(s) = t.current_stage() {
+                let idx = order.iter().position(|&x| x == s).unwrap();
+                assert!(idx >= last_stage_idx);
+                last_stage_idx = idx;
+            }
+        }
+    }
+
+    #[test]
+    fn preprocess_interleaves_reads_and_writes() {
+        // Skip the camera stage, then observe the read/write mix.
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let layout = FrameLayout::new(&uc, 64 << 20).unwrap();
+        let camera_bytes = uc.stage_traffic()[0].write_bits / 8;
+        let skip = camera_bytes.div_ceil(64) as usize;
+        let ops: Vec<LoadOp> = FrameTraffic::new(&uc, &layout, 64)
+            .unwrap()
+            .skip(skip)
+            .take(100)
+            .collect();
+        let writes = ops.iter().filter(|o| o.write).count();
+        // Preprocess is 1:1 read/write.
+        assert!((40..=60).contains(&writes), "writes = {writes}");
+        // And the directions alternate rather than batch up.
+        let flips = ops.windows(2).filter(|w| w[0].write != w[1].write).count();
+        assert!(flips > 30, "only {flips} direction changes in 100 ops");
+    }
+
+    #[test]
+    fn encoder_reads_rotate_across_reference_buffers() {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let layout = FrameLayout::new(&uc, 64 << 20).unwrap();
+        let t = FrameTraffic::new(&uc, &layout, 64).unwrap();
+        let mut touched = vec![false; layout.references.len()];
+        for op in t {
+            if !op.write {
+                for (i, r) in layout.references.iter().enumerate() {
+                    if op.addr >= r.start && op.addr < r.end() {
+                        touched[i] = true;
+                    }
+                }
+            }
+        }
+        assert!(touched.iter().all(|&t| t), "all references must be read");
+    }
+
+    #[test]
+    fn wrapping_streams_stay_in_bounds() {
+        // The encoder reads each reference 6x its size; DisplayCtrl re-reads
+        // the display buffer. Covered by ops_stay_inside_layout_regions, but
+        // verify wrap actually happens: encoder per-ref read > buffer size.
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let enc = uc.stage_traffic()[7];
+        let per_ref = enc.read_bits / 8 / 4;
+        let buf = uc.video.bits(crate::formats::PixelFormat::Yuv420) / 8;
+        assert!(per_ref > buf, "per-ref read {per_ref} must exceed buffer {buf}");
+    }
+
+    #[test]
+    fn zero_chunk_rejected() {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let layout = FrameLayout::new(&uc, 64 << 20).unwrap();
+        assert!(FrameTraffic::new(&uc, &layout, 0).is_err());
+    }
+
+    #[test]
+    fn op_count_is_tractable() {
+        let t = traffic(64);
+        let ops = t.count();
+        // 720p30 frame ≈ 61 MB / 64 B ≈ 1M ops.
+        assert!((800_000..1_300_000).contains(&ops), "ops = {ops}");
+    }
+}

@@ -1,0 +1,475 @@
+//! The video-recording use case: parameters and the Table I traffic model.
+//!
+//! The model follows Fig. 1 literally. With `N` the recorded pixel count,
+//! `B = 1.44·N` the 20 %-bordered capture size, `z` the digizoom factor,
+//! `V`/`A` the video/audio stream rates and `refs` the reference-frame
+//! count, the per-frame execution-memory traffic is:
+//!
+//! | stage | read | write |
+//! |---|---|---|
+//! | Camera I/F            | —                | B × 16 |
+//! | Preprocess            | B × 16           | B × 16 |
+//! | Bayer to YUV          | B × 16           | B × 16 |
+//! | Video stabilization   | B × 16           | N × 16 |
+//! | Post proc & digizoom  | (N/z²) × 16      | N × 16 |
+//! | Scaling to display    | N × 16           | WVGA × 24 |
+//! | DisplayCtrl           | WVGA × 24 × 60/fps | — |
+//! | Video encoder         | 6 · refs · N × 12 | N × 12 + V/fps |
+//! | Audio                 | —                | A/fps |
+//! | Multiplex             | (V+A)/fps        | (V+A)/fps |
+//! | Memory card           | (V+A)/fps        | — |
+//!
+//! The encoder's constant factor six is the paper's own estimate ("the video
+//! encoding exhibits an implementation dependent constant factor that is
+//! estimated to be six"); it covers current-frame reads and motion-search
+//! overfetch. With **four reference frames per HD level** this model lands
+//! on the paper's prose anchors: ≈1.9 GB/s for 720p30, ≈4.3 GB/s (2.2×) for
+//! 1080p30 and ≈8.6 GB/s for 1080p60 — see EXPERIMENTS.md.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LoadError;
+use crate::formats::{FrameFormat, PixelFormat};
+use crate::levels::{H264Level, HdOperatingPoint};
+use crate::stages::{Stage, StageTraffic};
+
+/// What the device is doing with the captured stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum UseCaseMode {
+    /// Full recording: encode, multiplex, write to removable media
+    /// (the paper's use case).
+    #[default]
+    Recording,
+    /// Viewfinder only: the image-processing chain runs and the display
+    /// refreshes, but nothing is encoded or stored. The video-coding
+    /// stages contribute no memory traffic.
+    Viewfinder,
+}
+
+/// How the reference-frame count is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefFrames {
+    /// A fixed count (the paper's Table I reports its own row of values;
+    /// four per HD level reproduces the prose anchors).
+    Fixed(u32),
+    /// The maximum the level's decoded-picture-buffer limit allows for the
+    /// recorded format.
+    DpbMax,
+}
+
+/// Full parameter set of the recording use case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UseCase {
+    /// Recorded frame format.
+    pub video: FrameFormat,
+    /// Capture rate, fps.
+    pub fps: u32,
+    /// H.264 level (bounds bitrate and DPB).
+    pub level: H264Level,
+    /// Digital zoom factor `z ≥ 1` (Fig. 1's post-processing stage reads
+    /// `N/z²` source pixels).
+    pub digizoom: f64,
+    /// Device display format (paper: WVGA).
+    pub display: FrameFormat,
+    /// Display refresh rate, Hz (paper: 60).
+    pub display_hz: u32,
+    /// Output video bitrate, kbit/s (defaults to the level maximum).
+    pub video_kbps: u64,
+    /// Audio bitrate, kbit/s.
+    pub audio_kbps: u64,
+    /// Reference-frame selection.
+    pub ref_frames: RefFrames,
+    /// The encoder's implementation-dependent traffic factor (paper: 6).
+    pub encoder_factor: u32,
+    /// Recording or viewfinder-only operation.
+    pub mode: UseCaseMode,
+}
+
+impl UseCase {
+    /// The paper's use case at one of the five Table I operating points.
+    pub fn hd(point: HdOperatingPoint) -> Self {
+        UseCase {
+            video: point.format(),
+            fps: point.fps(),
+            level: point.level(),
+            digizoom: 1.0,
+            display: FrameFormat::WVGA,
+            display_hz: 60,
+            video_kbps: point.level().limits().max_br_kbps,
+            audio_kbps: 128,
+            ref_frames: RefFrames::Fixed(4),
+            encoder_factor: 6,
+            mode: UseCaseMode::Recording,
+        }
+    }
+
+    /// The same chain in viewfinder mode: capture, process and display, but
+    /// encode/store nothing.
+    pub fn viewfinder(point: HdOperatingPoint) -> Self {
+        UseCase {
+            mode: UseCaseMode::Viewfinder,
+            ..Self::hd(point)
+        }
+    }
+
+    /// Validates parameter consistency against the H.264 level limits.
+    pub fn validate(&self) -> Result<(), LoadError> {
+        if self.fps == 0 || self.display_hz == 0 {
+            return Err(LoadError::BadParam {
+                reason: "fps and display_hz must be non-zero".into(),
+            });
+        }
+        if !(self.digizoom >= 1.0) || !self.digizoom.is_finite() {
+            return Err(LoadError::BadParam {
+                reason: format!("digizoom {} must be finite and >= 1", self.digizoom),
+            });
+        }
+        if self.encoder_factor == 0 {
+            return Err(LoadError::BadParam {
+                reason: "encoder_factor must be non-zero".into(),
+            });
+        }
+        if !self.level.supports(self.video, self.fps) {
+            return Err(LoadError::LevelExceeded {
+                level: self.level,
+                width: self.video.width,
+                height: self.video.height,
+                fps: self.fps,
+            });
+        }
+        if self.video_kbps > self.level.limits().max_br_kbps {
+            return Err(LoadError::BadParam {
+                reason: format!(
+                    "bitrate {} kbps exceeds level {} maximum {} kbps",
+                    self.video_kbps,
+                    self.level,
+                    self.level.limits().max_br_kbps
+                ),
+            });
+        }
+        let refs = self.resolved_ref_frames();
+        if refs == 0 {
+            return Err(LoadError::BadParam {
+                reason: "reference frame count must be non-zero".into(),
+            });
+        }
+        let dpb_max = self.level.max_ref_frames(self.video);
+        if refs > dpb_max {
+            return Err(LoadError::BadParam {
+                reason: format!(
+                    "{refs} reference frames exceed the level {} DPB limit of {dpb_max}",
+                    self.level
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The concrete reference-frame count in effect.
+    pub fn resolved_ref_frames(&self) -> u32 {
+        match self.ref_frames {
+            RefFrames::Fixed(n) => n,
+            RefFrames::DpbMax => self.level.max_ref_frames(self.video),
+        }
+    }
+
+    /// Video bits per captured frame (bitstream share).
+    fn video_bits_per_frame(&self) -> u64 {
+        self.video_kbps * 1_000 / self.fps as u64
+    }
+
+    /// Audio bits per captured frame.
+    fn audio_bits_per_frame(&self) -> u64 {
+        self.audio_kbps * 1_000 / self.fps as u64
+    }
+
+    /// Per-stage execution-memory traffic for one captured frame.
+    pub fn stage_traffic(&self) -> Vec<StageTraffic> {
+        let n16 = self.video.bits(PixelFormat::Yuv422); // N x 16 (also Bayer)
+        let n12 = self.video.bits(PixelFormat::Yuv420);
+        let b16 = self
+            .video
+            .with_stabilization_border()
+            .bits(PixelFormat::BayerRgb16);
+        let zoom_read = (self.video.pixels() as f64 / (self.digizoom * self.digizoom)) as u64
+            * PixelFormat::Yuv422.bits_per_pixel() as u64;
+        let wvga24 = self.display.bits(PixelFormat::Rgb888);
+        let display_per_frame = wvga24 * self.display_hz as u64 / self.fps as u64;
+        let v = self.video_bits_per_frame();
+        let a = self.audio_bits_per_frame();
+        let refs = self.resolved_ref_frames() as u64;
+        let coding = self.mode == UseCaseMode::Recording;
+        let gate = |bits: u64| if coding { bits } else { 0 };
+        let enc_read = gate(self.encoder_factor as u64 * refs * n12);
+
+        let t = |stage, read_bits, write_bits| StageTraffic {
+            stage,
+            read_bits,
+            write_bits,
+        };
+        vec![
+            t(Stage::CameraIf, 0, b16),
+            t(Stage::Preprocess, b16, b16),
+            t(Stage::BayerToYuv, b16, b16),
+            t(Stage::Stabilization, b16, n16),
+            t(Stage::PostProcDigizoom, zoom_read, n16),
+            t(Stage::ScaleToDisplay, n16, wvga24),
+            t(Stage::DisplayCtrl, display_per_frame, 0),
+            t(Stage::VideoEncoder, enc_read, gate(n12 + v)),
+            t(Stage::Audio, 0, gate(a)),
+            t(Stage::Multiplex, gate(v + a), gate(v + a)),
+            t(Stage::MemoryCard, gate(v + a), 0),
+        ]
+    }
+
+    /// Table I summary for this use case.
+    pub fn table_row(&self) -> TableRow {
+        let traffic = self.stage_traffic();
+        let image: u64 = traffic
+            .iter()
+            .filter(|t| t.stage.is_image_processing())
+            .map(StageTraffic::total_bits)
+            .sum();
+        let coding: u64 = traffic
+            .iter()
+            .filter(|t| !t.stage.is_image_processing())
+            .map(StageTraffic::total_bits)
+            .sum();
+        TableRow {
+            image_bits_per_frame: image,
+            coding_bits_per_frame: coding,
+            fps: self.fps,
+        }
+    }
+}
+
+/// The bottom rows of Table I: per-frame and per-second totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableRow {
+    /// "Image proc. total (1 frame)", bits.
+    pub image_bits_per_frame: u64,
+    /// "Video coding total (1 frame)", bits.
+    pub coding_bits_per_frame: u64,
+    /// Capture rate the totals scale by.
+    pub fps: u32,
+}
+
+impl TableRow {
+    /// "Data Mem. load (1 frame)", bits.
+    pub fn bits_per_frame(&self) -> u64 {
+        self.image_bits_per_frame + self.coding_bits_per_frame
+    }
+
+    /// "Data Mem. load (1 frame)", bytes.
+    pub fn bytes_per_frame(&self) -> u64 {
+        self.bits_per_frame().div_ceil(8)
+    }
+
+    /// "Data Mem. load (1 s)", bits.
+    pub fn bits_per_second(&self) -> u64 {
+        self.bits_per_frame() * self.fps as u64
+    }
+
+    /// "Data Mem. load [MB/s]" (decimal megabytes, as in the paper).
+    pub fn mbytes_per_second(&self) -> f64 {
+        self.bits_per_second() as f64 / 8.0 / 1e6
+    }
+
+    /// Total load in GB/s (decimal), the unit of the paper's prose.
+    pub fn gbytes_per_second(&self) -> f64 {
+        self.bits_per_second() as f64 / 8.0 / 1e9
+    }
+}
+
+impl fmt::Display for TableRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} Mb/frame ({:.2} GB/s)",
+            self.bits_per_frame() as f64 / 1e6,
+            self.gbytes_per_second()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_720p30_is_about_1_9_gbps() {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.validate().unwrap();
+        let row = uc.table_row();
+        let gbps = row.gbytes_per_second();
+        assert!(
+            (1.7..=2.1).contains(&gbps),
+            "720p30 load {gbps} GB/s should be near the paper's 1.9"
+        );
+    }
+
+    #[test]
+    fn paper_anchor_1080p30_is_about_4_3_gbps_and_2_2x_720p() {
+        let p720 = UseCase::hd(HdOperatingPoint::Hd720p30).table_row();
+        let p1080 = UseCase::hd(HdOperatingPoint::Hd1080p30).table_row();
+        let gbps = p1080.gbytes_per_second();
+        assert!(
+            (3.9..=4.6).contains(&gbps),
+            "1080p30 load {gbps} GB/s should be near the paper's 4.3"
+        );
+        let ratio = gbps / p720.gbytes_per_second();
+        assert!(
+            (2.0..=2.4).contains(&ratio),
+            "1080p/720p ratio {ratio} should be near the paper's 2.2"
+        );
+    }
+
+    #[test]
+    fn paper_anchor_1080p60_is_about_8_6_gbps() {
+        let row = UseCase::hd(HdOperatingPoint::Hd1080p60).table_row();
+        let gbps = row.gbytes_per_second();
+        assert!(
+            (7.7..=9.2).contains(&gbps),
+            "1080p60 load {gbps} GB/s should be near the paper's 8.6"
+        );
+    }
+
+    #[test]
+    fn sixty_fps_halves_display_share_not_total() {
+        // At 60 fps the display refresh contributes one WVGA read per frame
+        // instead of two.
+        let t30 = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let t60 = UseCase::hd(HdOperatingPoint::Hd720p60);
+        let d30 = t30.stage_traffic()[6];
+        let d60 = t60.stage_traffic()[6];
+        assert_eq!(d30.stage, Stage::DisplayCtrl);
+        assert_eq!(d30.read_bits, 2 * d60.read_bits);
+    }
+
+    #[test]
+    fn encoder_dominates_the_frame_load() {
+        // "The single most memory intensive part is the video encoding."
+        for p in HdOperatingPoint::ALL {
+            let uc = UseCase::hd(p);
+            let traffic = uc.stage_traffic();
+            let enc = traffic
+                .iter()
+                .find(|t| t.stage == Stage::VideoEncoder)
+                .unwrap()
+                .total_bits();
+            for t in &traffic {
+                if t.stage != Stage::VideoEncoder {
+                    assert!(enc > t.total_bits(), "{p}: {} out-trafficked encoder", t.stage);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digizoom_reduces_postproc_reads_only() {
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let base = uc.stage_traffic();
+        uc.digizoom = 2.0;
+        uc.validate().unwrap();
+        let zoomed = uc.stage_traffic();
+        let idx = Stage::ALL
+            .iter()
+            .position(|&s| s == Stage::PostProcDigizoom)
+            .unwrap();
+        assert_eq!(zoomed[idx].read_bits * 4, base[idx].read_bits);
+        assert_eq!(zoomed[idx].write_bits, base[idx].write_bits);
+        // Everything else unchanged.
+        for (b, z) in base.iter().zip(&zoomed) {
+            if b.stage != Stage::PostProcDigizoom {
+                assert_eq!(b, z);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_parameters() {
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.fps = 0;
+        assert!(uc.validate().is_err());
+
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.digizoom = 0.5;
+        assert!(uc.validate().is_err());
+
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.fps = 120; // exceeds level 3.1 throughput
+        assert!(matches!(uc.validate(), Err(LoadError::LevelExceeded { .. })));
+
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.video_kbps = 1_000_000;
+        assert!(uc.validate().is_err());
+
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.ref_frames = RefFrames::Fixed(0);
+        assert!(uc.validate().is_err());
+
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.ref_frames = RefFrames::Fixed(9); // DPB allows 5 at 720p L3.1
+        assert!(uc.validate().is_err());
+    }
+
+    #[test]
+    fn dpb_max_resolves_per_level() {
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        uc.ref_frames = RefFrames::DpbMax;
+        assert_eq!(uc.resolved_ref_frames(), 5);
+        uc.validate().unwrap();
+        let mut uc = UseCase::hd(HdOperatingPoint::Hd1080p30);
+        uc.ref_frames = RefFrames::DpbMax;
+        assert_eq!(uc.resolved_ref_frames(), 4);
+    }
+
+    #[test]
+    fn table_row_units_are_consistent() {
+        let row = UseCase::hd(HdOperatingPoint::Hd720p30).table_row();
+        assert_eq!(row.bits_per_frame(), row.image_bits_per_frame + row.coding_bits_per_frame);
+        assert_eq!(row.bits_per_second(), row.bits_per_frame() * 30);
+        let mbs = row.mbytes_per_second();
+        assert!((row.gbytes_per_second() - mbs / 1e3).abs() < 1e-9);
+        assert!(row.to_string().contains("GB/s"));
+    }
+}
+
+#[cfg(test)]
+mod viewfinder_tests {
+    use super::*;
+    use crate::levels::HdOperatingPoint;
+
+    #[test]
+    fn viewfinder_has_no_coding_traffic() {
+        let vf = UseCase::viewfinder(HdOperatingPoint::Hd1080p30);
+        vf.validate().unwrap();
+        let row = vf.table_row();
+        assert_eq!(row.coding_bits_per_frame, 0);
+        assert!(row.image_bits_per_frame > 0);
+        // The coding stages' rows are all zero.
+        for t in vf.stage_traffic() {
+            if !t.stage.is_image_processing() {
+                assert_eq!(t.total_bits(), 0, "{} should be gated", t.stage);
+            }
+        }
+    }
+
+    #[test]
+    fn viewfinder_is_a_fraction_of_recording() {
+        let rec = UseCase::hd(HdOperatingPoint::Hd1080p30).table_row();
+        let vf = UseCase::viewfinder(HdOperatingPoint::Hd1080p30).table_row();
+        assert_eq!(vf.bits_per_frame(), rec.image_bits_per_frame);
+        let share = vf.bits_per_frame() as f64 / rec.bits_per_frame() as f64;
+        // Image processing is roughly 40% of the total at 1080p30.
+        assert!((0.3..0.55).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn default_mode_is_recording() {
+        assert_eq!(UseCaseMode::default(), UseCaseMode::Recording);
+        assert_eq!(UseCase::hd(HdOperatingPoint::Hd720p30).mode, UseCaseMode::Recording);
+    }
+}

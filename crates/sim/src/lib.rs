@@ -1,0 +1,41 @@
+//! # mcm-sim — discrete-event simulation kernel
+//!
+//! The foundation of the `mcmem` workspace, which reproduces
+//! *"A case for multi-channel memories in video recording"* (Aho, Nikara,
+//! Tuominen, Kuusilinna — DATE 2009).
+//!
+//! The paper built its models in a commercial SystemC electronic-system-level
+//! environment as untimed transaction-level models with separate timing and
+//! power annotations. This crate provides the equivalent substrate from
+//! scratch:
+//!
+//! * [`SimTime`] / [`Frequency`] / [`ClockDomain`] — picosecond-exact time
+//!   and clock arithmetic (no cumulative rounding across millions of DRAM
+//!   cycles).
+//! * [`Simulation`] / [`Component`] / [`Ctx`] — a deterministic event queue
+//!   delivering timestamped messages between registered components.
+//! * [`stats`] — counters, running scalars, state-residency tracking (the
+//!   basis of DRAM background-power accounting) and latency histograms.
+//! * [`trace`] — an optional bounded command trace for debugging and tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcm_sim::{ClockDomain, Frequency, SimTime};
+//!
+//! // A 400 MHz DDR interface clock: tRCD = 15 ns is 6 clock cycles.
+//! let clk = ClockDomain::new(Frequency::from_mhz(400)).unwrap();
+//! assert_eq!(clk.ns_to_cycles_ceil(15.0), 6);
+//! assert_eq!(clk.time_of_cycles(6), SimTime::from_ns(15));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+pub mod stats;
+mod time;
+pub mod trace;
+
+pub use engine::{Component, ComponentId, Ctx, SimError, Simulation};
+pub use time::{ClockDomain, Frequency, SimTime, ZeroFrequencyError};

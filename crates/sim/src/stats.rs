@@ -1,0 +1,368 @@
+//! Lightweight statistics primitives used by the memory-system models:
+//! event counters, running scalar statistics, time-weighted state residency,
+//! and fixed-bucket latency histograms.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_sim::stats::Counter;
+///
+/// let mut reads = Counter::new("reads");
+/// reads.add(3);
+/// reads.inc();
+/// assert_eq!(reads.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// Running min/max/mean over a stream of `f64` samples (Welford mean).
+#[derive(Debug, Clone, Default)]
+pub struct Scalar {
+    count: u64,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Scalar {
+    /// Creates an empty statistic.
+    pub fn new() -> Self {
+        Scalar::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` before any sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Minimum sample, or `None` before any sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, or `None` before any sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Tracks how long a model spends in each of a small fixed set of states —
+/// the backbone of the DRAM background-power accounting (standby vs.
+/// power-down residency).
+///
+/// States are indexed `0..N`. Residency is closed out lazily: call
+/// [`StateResidency::switch`] on every transition and
+/// [`StateResidency::finish`] once at the end of the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_sim::stats::StateResidency;
+/// use mcm_sim::SimTime;
+///
+/// let mut r = StateResidency::<2>::new(0, SimTime::ZERO);
+/// r.switch(1, SimTime::from_ns(40));
+/// r.finish(SimTime::from_ns(100));
+/// assert_eq!(r.time_in(0), SimTime::from_ns(40));
+/// assert_eq!(r.time_in(1), SimTime::from_ns(60));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateResidency<const N: usize> {
+    current: usize,
+    since: SimTime,
+    total: [SimTime; N],
+    finished: bool,
+}
+
+impl<const N: usize> StateResidency<N> {
+    /// Starts tracking in `initial` state at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial >= N`.
+    pub fn new(initial: usize, at: SimTime) -> Self {
+        assert!(initial < N, "state index {initial} out of range 0..{N}");
+        StateResidency {
+            current: initial,
+            since: at,
+            total: [SimTime::ZERO; N],
+            finished: false,
+        }
+    }
+
+    /// The state being accumulated right now.
+    #[inline]
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Switches to `state` at time `at`, closing out the previous interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= N`, if `at` precedes the last transition, or if
+    /// the tracker was already finished.
+    pub fn switch(&mut self, state: usize, at: SimTime) {
+        assert!(state < N, "state index {state} out of range 0..{N}");
+        assert!(!self.finished, "residency tracker already finished");
+        assert!(
+            at >= self.since,
+            "residency switch going backwards: {} < {}",
+            at,
+            self.since
+        );
+        self.total[self.current] += at - self.since;
+        self.current = state;
+        self.since = at;
+    }
+
+    /// Closes the final interval at `at`. Further switches panic.
+    pub fn finish(&mut self, at: SimTime) {
+        assert!(!self.finished, "residency tracker already finished");
+        assert!(at >= self.since, "finish time precedes last switch");
+        self.total[self.current] += at - self.since;
+        self.since = at;
+        self.finished = true;
+    }
+
+    /// Total time accumulated in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= N`.
+    pub fn time_in(&self, state: usize) -> SimTime {
+        self.total[state]
+    }
+
+    /// Sum of the residencies over all states.
+    pub fn total_tracked(&self) -> SimTime {
+        self.total
+            .iter()
+            .fold(SimTime::ZERO, |acc, &t| acc + t)
+    }
+}
+
+/// A latency histogram with logarithmic (power-of-two nanosecond) buckets.
+///
+/// Bucket `i` covers latencies in `[2^i, 2^(i+1))` nanoseconds, with bucket 0
+/// additionally covering everything below 1 ns.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ps: u128,
+    max: SimTime,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of logarithmic buckets (covers up to ~2^40 ns ≈ 18 minutes).
+    pub const BUCKETS: usize = 40;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            sum_ps: 0,
+            max: SimTime::ZERO,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        let ns = latency.as_ps() / 1_000;
+        let idx = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(Self::BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ps += latency.as_ps() as u128;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or `None` before any sample.
+    pub fn mean(&self) -> Option<SimTime> {
+        (self.count > 0).then(|| SimTime::from_ps((self.sum_ps / self.count as u128) as u64))
+    }
+
+    /// Maximum recorded latency.
+    #[inline]
+    pub fn max(&self) -> SimTime {
+        self.max
+    }
+
+    /// Approximate latency at quantile `q` in `[0, 1]`, resolved to bucket
+    /// upper bounds. Returns `None` before any sample.
+    pub fn quantile(&self, q: f64) -> Option<SimTime> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(SimTime::from_ns(1u64 << (i + 1)));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.value(), 11);
+        assert_eq!(c.to_string(), "x = 11");
+    }
+
+    #[test]
+    fn scalar_tracks_min_max_mean() {
+        let mut s = Scalar::new();
+        assert_eq!(s.mean(), None);
+        for x in [2.0, 4.0, 6.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn residency_partitions_time() {
+        let mut r = StateResidency::<3>::new(0, SimTime::from_ns(10));
+        r.switch(2, SimTime::from_ns(30));
+        r.switch(1, SimTime::from_ns(30)); // zero-length stay is fine
+        r.finish(SimTime::from_ns(100));
+        assert_eq!(r.time_in(0), SimTime::from_ns(20));
+        assert_eq!(r.time_in(2), SimTime::ZERO);
+        assert_eq!(r.time_in(1), SimTime::from_ns(70));
+        assert_eq!(r.total_tracked(), SimTime::from_ns(90));
+    }
+
+    #[test]
+    #[should_panic(expected = "going backwards")]
+    fn residency_rejects_backwards_switch() {
+        let mut r = StateResidency::<2>::new(0, SimTime::from_ns(10));
+        r.switch(1, SimTime::from_ns(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn residency_rejects_bad_state() {
+        let _ = StateResidency::<2>::new(2, SimTime::ZERO);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.mean(), None);
+        for ns in [10u64, 20, 30, 40] {
+            h.record(SimTime::from_ns(ns));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(SimTime::from_ns(25)));
+        assert_eq!(h.max(), SimTime::from_ns(40));
+        // All samples are below 64 ns, so p100 resolves to a <=64 ns bucket.
+        assert!(h.quantile(1.0).unwrap() <= SimTime::from_ns(64));
+        assert!(h.quantile(0.0).is_some());
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn histogram_sub_ns_goes_to_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_ps(500));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0).unwrap() >= SimTime::from_ps(500));
+    }
+}

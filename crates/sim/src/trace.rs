@@ -1,0 +1,157 @@
+//! Optional command/event tracing.
+//!
+//! Models push [`TraceRecord`]s into a [`Tracer`]; the tracer either drops
+//! them (disabled — the default, zero allocation on the hot path) or retains
+//! the most recent `capacity` records in a ring buffer for post-mortem
+//! inspection in tests and debugging sessions.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// One traced occurrence: a timestamped, labelled event with an optional
+/// numeric payload (e.g. an address or a bank index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// Which model produced it (static label, e.g. `"ch0.ctrl"`).
+    pub source: &'static str,
+    /// What happened (static label, e.g. `"ACT"`).
+    pub kind: &'static str,
+    /// Free-form payload (address, bank, row…).
+    pub detail: u64,
+}
+
+/// A bounded trace sink.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_sim::trace::Tracer;
+/// use mcm_sim::SimTime;
+///
+/// let mut t = Tracer::enabled(2);
+/// t.record(SimTime::from_ns(1), "ctrl", "ACT", 3);
+/// t.record(SimTime::from_ns(2), "ctrl", "RD", 3);
+/// t.record(SimTime::from_ns(3), "ctrl", "PRE", 3);
+/// // Capacity 2: the oldest record was evicted.
+/// assert_eq!(t.records().len(), 2);
+/// assert_eq!(t.records()[0].kind, "RD");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buf: Option<VecDeque<TraceRecord>>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A disabled tracer: all records are discarded without allocation.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// An enabled tracer retaining the last `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Tracer {
+            buf: Some(VecDeque::with_capacity(capacity)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether records are being retained.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Records one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, at: SimTime, source: &'static str, kind: &'static str, detail: u64) {
+        if let Some(buf) = &mut self.buf {
+            if buf.len() == self.capacity {
+                buf.pop_front();
+                self.dropped += 1;
+            }
+            buf.push_back(TraceRecord {
+                at,
+                source,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    /// The retained records, oldest first. Empty when disabled.
+    pub fn records(&self) -> Vec<&TraceRecord> {
+        match &self.buf {
+            Some(buf) => buf.iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of records evicted due to the capacity bound.
+    #[inline]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records of a given kind, oldest first.
+    pub fn records_of_kind(&self, kind: &str) -> Vec<&TraceRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.kind == kind)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_drops_everything() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime::ZERO, "a", "X", 0);
+        assert!(!t.is_enabled());
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Tracer::enabled(3);
+        for i in 0..5 {
+            t.record(SimTime::from_ns(i), "src", "K", i);
+        }
+        let recs = t.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].detail, 2);
+        assert_eq!(recs[2].detail, 4);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let mut t = Tracer::enabled(10);
+        t.record(SimTime::ZERO, "src", "ACT", 1);
+        t.record(SimTime::ZERO, "src", "RD", 2);
+        t.record(SimTime::ZERO, "src", "ACT", 3);
+        let acts = t.records_of_kind("ACT");
+        assert_eq!(acts.len(), 2);
+        assert_eq!(acts[1].detail, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Tracer::enabled(0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the simulation kernel: delivery order, determinism,
+//! and clock-conversion round trips.
+
+use mcm_sim::{ClockDomain, Component, Ctx, Frequency, SimTime, Simulation};
+use proptest::prelude::*;
+
+struct Recorder {
+    seen: Vec<(SimTime, u64)>,
+}
+
+impl Component<u64> for Recorder {
+    fn handle(&mut self, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        self.seen.push((ctx.now(), msg));
+    }
+}
+
+proptest! {
+    #[test]
+    fn events_always_fire_in_nondecreasing_time_order(
+        times in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut sim = Simulation::new();
+        let c = sim.add_component(Recorder { seen: vec![] });
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule(SimTime::from_ps(t), c, i as u64);
+        }
+        sim.run().unwrap();
+        let rec: &mut Recorder = sim.component_mut(c).unwrap();
+        prop_assert_eq!(rec.seen.len(), times.len());
+        for w in rec.seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+        }
+        // Ties break in scheduling order.
+        for w in rec.seen.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        times in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let run = || {
+            let mut sim = Simulation::new();
+            let c = sim.add_component(Recorder { seen: vec![] });
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule(SimTime::from_ps(t), c, i as u64);
+            }
+            sim.run().unwrap();
+            let rec: &mut Recorder = sim.component_mut(c).unwrap();
+            rec.seen.clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clock_conversions_round_trip(
+        mhz in 100u64..2_000,
+        cycles in 0u64..1_000_000_000,
+    ) {
+        let clk = ClockDomain::new(Frequency::from_mhz(mhz)).unwrap();
+        let t = clk.time_of_cycles(cycles);
+        // cycles_at(time_of(n)) is n or n-1 (edge rounding), never more.
+        let back = clk.cycles_at(t);
+        prop_assert!(back == cycles || back + 1 == cycles, "{cycles} -> {t} -> {back}");
+        // ceil is always >= floor, by at most 1.
+        let ceil = clk.cycles_ceil(t);
+        prop_assert!(ceil >= back && ceil - back <= 1);
+    }
+
+    #[test]
+    fn cycle_times_are_strictly_monotone(
+        mhz in 100u64..2_000,
+        n in 0u64..1_000_000,
+    ) {
+        let clk = ClockDomain::new(Frequency::from_mhz(mhz)).unwrap();
+        prop_assert!(clk.time_of_cycles(n) < clk.time_of_cycles(n + 1));
+        prop_assert!(clk.time_of_half_cycles(2 * n) == clk.time_of_cycles(n));
+    }
+
+    #[test]
+    fn ns_to_cycles_ceil_is_sufficient(
+        mhz in 100u64..2_000,
+        ns_tenths in 0u64..10_000,
+    ) {
+        // The cycle count returned must span at least the requested time.
+        let ns = ns_tenths as f64 / 10.0;
+        let clk = ClockDomain::new(Frequency::from_mhz(mhz)).unwrap();
+        let cycles = clk.ns_to_cycles_ceil(ns);
+        let spanned = clk.time_of_cycles(cycles).as_ns_f64();
+        prop_assert!(spanned + 1e-6 >= ns, "{cycles} cycles = {spanned} ns < {ns} ns");
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's future-work proposal, running: divide a large multi-channel
+//! memory into independent channel clusters so idle clusters stay in
+//! power-down while one cluster serves the active use case.
+//!
+//! We compare one 8-channel memory against 2 clusters x 4 channels serving
+//! a 1080p30 recording (which needs only 4 channels), with the load placed
+//! entirely in cluster 0.
+//!
+//! Run with: `cargo run --release --example channel_clusters`
+
+use mcm::prelude::*;
+
+fn main() {
+    let use_case = UseCase::hd(HdOperatingPoint::Hd1080p30);
+    let budget_cycles = 13_333_333; // 33.3 ms at 400 MHz
+
+    // Flat 8-channel memory.
+    let flat = Experiment::paper(HdOperatingPoint::Hd1080p30, 8, 400)
+        .run()
+        .expect("flat 8-channel run");
+    println!(
+        "flat 8-channel:       {:>6.2} ms, {}",
+        flat.access_time.as_ms_f64(),
+        flat.power
+    );
+
+    // Clustered: 2 x 4 channels; the recording lives in cluster 0 and
+    // cluster 1 spends the frame in power-down.
+    let mut clustered = ClusteredMemory::new(&MemoryConfig::paper(4, 400), 2)
+        .expect("2 clusters x 4 channels");
+    let geometry = Geometry::next_gen_mobile_ddr();
+    let layout = FrameLayout::with_options(
+        &use_case,
+        &mcm_load::LayoutOptions::bank_staggered(
+            clustered.cluster_capacity_bytes(),
+            geometry.page_bytes() as u64,
+            4,
+            geometry.banks,
+        ),
+    )
+    .expect("1080p fits one 4-channel cluster");
+    let traffic = FrameTraffic::new(&use_case, &layout, 64 * 4).expect("traffic plan");
+    for op in traffic {
+        clustered
+            .submit(MasterTransaction {
+                op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                addr: op.addr,
+                len: op.len as u64,
+                arrival: 0,
+            })
+            .expect("transaction within cluster 0");
+    }
+    let reports = clustered.finish(budget_cycles).expect("cluster reports");
+    let frame_ns = 1e9 / 30.0;
+    let active_mw = reports[0].core_energy_pj / frame_ns;
+    let idle_mw = reports[1].core_energy_pj / frame_ns;
+    let interface = InterfacePowerModel::paper();
+    // Only the active cluster's interface toggles.
+    let if_mw = interface.total_power_mw(Frequency::from_mhz(400), 4);
+    println!(
+        "clustered 2x4:        {:>6.2} ms, {:.0} mW (active {:.0} + idle {:.0} + interface {:.0})",
+        reports[0].access_time.as_ms_f64(),
+        active_mw + idle_mw + if_mw,
+        active_mw,
+        idle_mw,
+        if_mw
+    );
+    println!(
+        "\nidle cluster overhead: {:.1} mW — the cost of keeping 4 spare channels\n\
+         in power-down, vs. widening every access across all 8 channels",
+        idle_mw
+    );
+}

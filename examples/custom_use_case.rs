@@ -1,0 +1,77 @@
+//! Going beyond the paper's five Table I columns: build a custom recording
+//! use case (1440p30 with 2x digital zoom, DPB-maximum reference frames),
+//! validate it against the H.264 level system, and size a memory for it.
+//!
+//! Run with: `cargo run --release --example custom_use_case`
+
+use mcm::prelude::*;
+use mcm_core::ChunkPolicy;
+use mcm_power::InterfacePowerModel;
+
+fn main() {
+    // A 2560x1440 (QHD) 30 fps recorder with 2x digizoom. The level system
+    // tells us the smallest H.264 level that can carry it.
+    let format = FrameFormat::new(2560, 1440).expect("non-zero dimensions");
+    let level = H264Level::minimum_for(format, 30).expect("QHD30 fits level 5");
+    println!("2560x1440@30 requires H.264 level {level}");
+    println!(
+        "  level limits: {} kbps max bitrate, DPB allows {} reference frames",
+        level.limits().max_br_kbps,
+        level.max_ref_frames(format)
+    );
+
+    let use_case = UseCase {
+        video: format,
+        fps: 30,
+        level,
+        digizoom: 2.0,
+        display: FrameFormat::WVGA,
+        display_hz: 60,
+        video_kbps: 50_000, // a practical rate well under the level cap
+        audio_kbps: 256,
+        ref_frames: RefFrames::DpbMax,
+        encoder_factor: 6,
+        mode: mcm_load::UseCaseMode::Recording,
+    };
+    use_case.validate().expect("parameters are consistent");
+
+    let row = use_case.table_row();
+    println!(
+        "\nExecution-memory load: {:.0} Mb/frame = {:.2} GB/s",
+        row.bits_per_frame() as f64 / 1e6,
+        row.gbytes_per_second()
+    );
+    println!("Per-stage traffic (Mb/frame):");
+    for t in use_case.stage_traffic() {
+        println!("  {:<22} {:>8.2}", t.stage.label(), t.total_mbits());
+    }
+
+    // Size the memory: walk up the channel counts at 400 MHz.
+    println!("\nSizing a 400 MHz multi-channel memory:");
+    for channels in [1u32, 2, 4, 8] {
+        let exp = Experiment {
+            use_case,
+            memory: MemoryConfig::paper(channels, 400),
+            chunk: ChunkPolicy::PerChannel(64),
+            pacing: mcm_core::Pacing::Greedy,
+            margin: 0.15,
+            interface: InterfacePowerModel::paper(),
+            op_limit: None,
+        };
+        match exp.run() {
+            Ok(r) => {
+                println!(
+                    "  {channels} ch: {:>6.2} ms [{}] {}",
+                    r.access_time.as_ms_f64(),
+                    r.verdict,
+                    r.power
+                );
+                if r.verdict == RealTimeVerdict::Meets {
+                    println!("  -> {channels} channels suffice for QHD30 with 2x zoom");
+                    break;
+                }
+            }
+            Err(e) => println!("  {channels} ch: {e}"),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Sweep every HD operating point over channel counts and clocks — a
+//! superset of the paper's Figs. 3 and 4 — and print which configurations
+//! record in real time.
+//!
+//! Run with: `cargo run --release --example hd_sweep`
+
+use mcm::prelude::*;
+
+const CLOCKS_MHZ: [u64; 6] = [200, 266, 333, 400, 466, 533];
+const CHANNELS: [u32; 4] = [1, 2, 4, 8];
+
+fn main() {
+    for point in HdOperatingPoint::ALL {
+        let budget_ms = point.frame_budget().as_ms_f64();
+        println!(
+            "\n=== {point} — frame budget {budget_ms:.2} ms (margin {:.2} ms) ===",
+            budget_ms * 0.85
+        );
+        print!("  ch\\MHz |");
+        for clk in CLOCKS_MHZ {
+            print!(" {clk:>9}");
+        }
+        println!();
+        for ch in CHANNELS {
+            print!("  {ch:>6} |");
+            for clk in CLOCKS_MHZ {
+                match Experiment::paper(point, ch, clk).run() {
+                    Ok(r) => {
+                        let mark = match r.verdict {
+                            RealTimeVerdict::Meets => ' ',
+                            RealTimeVerdict::Marginal => '~',
+                            RealTimeVerdict::Fails => '!',
+                        };
+                        print!(" {:>7.2}{mark} ", r.access_time.as_ms_f64());
+                    }
+                    Err(CoreError::Load(_)) => print!(" {:>9}", "n/a"),
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            println!();
+        }
+        // The paper's conclusion per level: the minimum channel count.
+        let min = mcm_core::analysis::min_channels_meeting(point, 400)
+            .expect("sweep at 400 MHz");
+        match min {
+            Some(ch) => println!("  -> needs {ch} channel(s) at 400 MHz"),
+            None => println!("  -> no evaluated configuration meets real time at 400 MHz"),
+        }
+    }
+    println!("\n(~ marginal: misses the 15% data-processing margin; ! fails real time)");
+}

@@ -1,0 +1,55 @@
+//! Power-aware configuration search: for each recording format, find the
+//! cheapest (lowest-power) multi-channel configuration that still records
+//! in real time — the engineering question behind the paper's Fig. 5 — and
+//! compare the winner against the Cell BE XDR interface.
+//!
+//! Run with: `cargo run --release --example power_budget`
+
+use mcm::prelude::*;
+
+const CLOCKS_MHZ: [u64; 6] = [200, 266, 333, 400, 466, 533];
+const CHANNELS: [u32; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let xdr = XdrReference::cell_be();
+    println!("Cheapest real-time configuration per format (search space:");
+    println!("  {{1,2,4,8}} channels x {{200..533}} MHz, meets-with-margin only)\n");
+
+    for point in HdOperatingPoint::ALL {
+        let mut best: Option<(u32, u64, f64, f64)> = None; // ch, clk, mW, ms
+        for ch in CHANNELS {
+            for clk in CLOCKS_MHZ {
+                let Ok(result) = Experiment::paper(point, ch, clk).run() else {
+                    continue; // frame buffers exceed this capacity
+                };
+                if result.verdict != RealTimeVerdict::Meets {
+                    continue;
+                }
+                let mw = result.power.total_mw();
+                if best.map_or(true, |(_, _, b, _)| mw < b) {
+                    best = Some((ch, clk, mw, result.access_time.as_ms_f64()));
+                }
+            }
+        }
+        match best {
+            Some((ch, clk, mw, ms)) => println!(
+                "  {point}: {ch} ch @ {clk} MHz -> {mw:>5.0} mW, {ms:>5.2} ms \
+                 ({:.1}% of the XDR interface's 5 W)",
+                xdr.power_fraction(mw) * 100.0
+            ),
+            None => println!("  {point}: no evaluated configuration meets real time"),
+        }
+    }
+
+    println!("\nFixed 8-channel 400 MHz memory across formats (the paper's XDR point):");
+    for point in HdOperatingPoint::ALL {
+        if let Ok(result) = Experiment::paper(point, 8, 400).run() {
+            let mw = result.power.total_mw();
+            println!(
+                "  {point}: {mw:>5.0} mW = {:>4.1}% of XDR at {:.1} GB/s peak",
+                xdr.power_fraction(mw) * 100.0,
+                result.peak_bandwidth_bytes_per_s / 1e9
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: simulate the paper's headline configuration.
+//!
+//! Full-HD (1080p) H.264/AVC recording at 30 fps needs ≈ 4.3 GB/s of
+//! execution-memory bandwidth; the paper's answer is a four-channel 400 MHz
+//! next-generation mobile DDR memory at ≈ 345 mW. This example runs exactly
+//! that experiment and prints what the simulator sees.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mcm::prelude::*;
+
+fn main() {
+    // The recording use case: 1920x1088 @ 30 fps, H.264 level 4 (Table I
+    // column four), with the paper's defaults (digizoom 1, WVGA display at
+    // 60 Hz, four reference frames, encoder traffic factor six).
+    let use_case = UseCase::hd(HdOperatingPoint::Hd1080p30);
+    let row = use_case.table_row();
+    println!("Use case: 1080p30 H.264/AVC level 4 video recording");
+    println!(
+        "  execution-memory load: {:.0} Mb/frame = {:.2} GB/s\n",
+        row.bits_per_frame() as f64 / 1e6,
+        row.gbytes_per_second()
+    );
+
+    // The memory: 4 channels x (memory controller + DRAM interconnect +
+    // 512 Mb bank cluster), 400 MHz DDR, 16-byte channel interleaving.
+    let experiment = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+    let result = experiment.run().expect("the paper configuration is valid");
+
+    println!("Memory: 4 channels x 32-bit mobile DDR @ 400 MHz");
+    println!(
+        "  peak bandwidth:    {:.1} GB/s",
+        result.peak_bandwidth_bytes_per_s / 1e9
+    );
+    println!(
+        "  achieved:          {:.1} GB/s ({:.0}% efficiency)",
+        result.achieved_bandwidth_bytes_per_s() / 1e9,
+        result.efficiency() * 100.0
+    );
+    println!(
+        "  frame access time: {:.2} ms (budget {:.2} ms) -> {}",
+        result.access_time.as_ms_f64(),
+        result.frame_budget.as_ms_f64(),
+        result.verdict
+    );
+    println!("  average power:     {}", result.power);
+
+    // Per-channel row-buffer behaviour, straight from the controllers.
+    let ch0 = &result.report.channels[0];
+    println!(
+        "\nChannel 0: {} row hits / {} misses / {} conflicts, {} refreshes, {} wakeups",
+        ch0.ctrl.row_hits,
+        ch0.ctrl.row_misses,
+        ch0.ctrl.row_conflicts,
+        ch0.ctrl.refreshes_forced + ch0.ctrl.refreshes_idle,
+        ch0.ctrl.wakeups,
+    );
+}

@@ -1,0 +1,63 @@
+//! # mcm — multi-channel memories for video recording
+//!
+//! A complete, from-scratch reproduction of *"A case for multi-channel
+//! memories in video recording"* (E. Aho, J. Nikara, P. A. Tuominen,
+//! K. Kuusilinna — DATE 2009, Nokia Research Center): a transaction-level
+//! simulator for multi-channel mobile DDR SDRAM subsystems driven by the
+//! paper's HD video-recording load model.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sim`] | discrete-event kernel, time/clock arithmetic, statistics |
+//! | [`dram`] | the next-generation mobile DDR SDRAM device model |
+//! | [`ctrl`] | the per-channel memory controller |
+//! | [`channel`] | Table II interleaving, the M-channel subsystem, clusters |
+//! | [`load`] | the Fig. 1 / Table I video-recording load model |
+//! | [`power`] | equation (1) interface power, XDR comparison |
+//! | [`core`] | experiments, figures, analyses |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mcm::prelude::*;
+//!
+//! // The paper's headline configuration: full-HD 1080p30 recording on a
+//! // 4-channel, 400 MHz multi-channel memory.
+//! let mut exp = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+//! exp.op_limit = Some(20_000); // doctest-sized prefix; drop for full runs
+//! let result = exp.run().unwrap();
+//! assert!(result.verdict.is_real_time());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mcm_channel as channel;
+pub use mcm_core as core;
+pub use mcm_ctrl as ctrl;
+pub use mcm_dram as dram;
+pub use mcm_load as load;
+pub use mcm_power as power;
+pub use mcm_sim as sim;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use mcm_channel::{
+        ClusteredMemory, InterleaveMap, MasterTransaction, MemoryConfig, MemorySubsystem,
+    };
+    pub use mcm_core::{ChunkPolicy, CoreError, Experiment, FrameResult, RealTimeVerdict};
+    pub use mcm_ctrl::{
+        AccessOp, ChannelRequest, Controller, ControllerConfig, PagePolicy, PowerDownPolicy,
+    };
+    pub use mcm_dram::{
+        AddressMapping, BankCluster, ClusterConfig, DramCommand, Geometry, IddValues,
+        TimingParams,
+    };
+    pub use mcm_load::{
+        FrameFormat, FrameLayout, FrameTraffic, H264Level, HdOperatingPoint, PixelFormat,
+        RefFrames, Stage, UseCase,
+    };
+    pub use mcm_power::{BondingTechnique, InterfacePowerModel, PowerSummary, XdrReference};
+    pub use mcm_sim::{ClockDomain, Frequency, SimTime};
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the repository's extensions beyond the paper —
+//! each one pins the qualitative claim its bench target prints.
+
+use mcm::core::eventsim::run_event_driven;
+use mcm::core::steady::run_steady_state;
+use mcm::core::{analysis, ChunkPolicy, Pacing};
+use mcm::prelude::*;
+use mcm_ctrl::{InterconnectModel, WritePolicy};
+use mcm_dram::ClusterConfig;
+
+fn quick(channels: u32) -> Experiment {
+    let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, channels, 400);
+    e.op_limit = Some(40_000);
+    e
+}
+
+#[test]
+fn e4_event_kernel_cross_validates_the_direct_path() {
+    let e = quick(2);
+    let direct = e.run().unwrap();
+    let scale = direct.planned_bytes as f64 / direct.simulated_bytes as f64;
+    let direct_raw = direct.access_time.as_ps() as f64 / scale;
+    let event = run_event_driven(&e, u32::MAX).unwrap();
+    let ratio = direct_raw / event.access_time.as_ps() as f64;
+    assert!((ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+}
+
+#[test]
+fn e7_steady_state_stays_real_time_for_720p() {
+    let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+    e.op_limit = Some(60_000);
+    let r = run_steady_state(&e, 4).unwrap();
+    assert!(r.all_real_time());
+    assert!(r.steady_access_time().is_some());
+}
+
+#[test]
+fn e8_viewfinder_fits_one_channel_where_recording_needs_four() {
+    let mut rec = Experiment::paper(HdOperatingPoint::Hd1080p30, 1, 400);
+    rec.op_limit = Some(60_000);
+    assert_eq!(rec.run().unwrap().verdict, RealTimeVerdict::Fails);
+    let mut vf = rec.clone();
+    vf.use_case = UseCase::viewfinder(HdOperatingPoint::Hd1080p30);
+    let r = vf.run().unwrap();
+    assert!(r.verdict.is_real_time(), "viewfinder 1ch: {}", r.access_time);
+}
+
+#[test]
+fn e9_off_chip_interconnect_costs_power_not_bandwidth() {
+    let stacked = quick(4).run().unwrap();
+    let mut off = quick(4);
+    off.memory.controller.interconnect = InterconnectModel::off_chip();
+    off.interface = InterfacePowerModel::with_bonding(BondingTechnique::OffChipPcb);
+    let off = off.run().unwrap();
+    // Bandwidth-bound access time within 2%.
+    let ratio = off.access_time.as_ps() as f64 / stacked.access_time.as_ps() as f64;
+    assert!((0.98..=1.02).contains(&ratio), "access ratio {ratio}");
+    // Interface power an order of magnitude worse.
+    assert!(off.power.interface_mw > 10.0 * stacked.power.interface_mw);
+}
+
+#[test]
+fn e11_future_device_outruns_the_paper_device() {
+    let mut paper = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 533);
+    paper.op_limit = Some(40_000);
+    let t_paper = paper.run().unwrap().access_time;
+    let mut future = paper.clone();
+    future.memory.clock_mhz = 800;
+    future.memory.controller.cluster = ClusterConfig::future_lpddr2(800);
+    let t_future = future.run().unwrap().access_time;
+    let speedup = t_paper.as_ps() as f64 / t_future.as_ps() as f64;
+    assert!((1.3..=1.7).contains(&speedup), "speedup {speedup}");
+}
+
+#[test]
+fn a7_write_batching_speeds_up_the_frame_without_losing_bytes() {
+    let base = quick(2).run().unwrap();
+    let mut batched = quick(2);
+    batched.memory.controller.write_policy = WritePolicy::Batched(32);
+    let b = batched.run().unwrap();
+    assert!(b.access_time < base.access_time);
+    // Byte conservation holds across the posted-write path.
+    assert_eq!(
+        b.report.bytes_read + b.report.bytes_written,
+        base.report.bytes_read + base.report.bytes_written
+    );
+    let bursts: u64 = b
+        .report
+        .channels
+        .iter()
+        .map(|c| c.ctrl.read_bursts + c.ctrl.write_bursts)
+        .sum();
+    assert_eq!(bursts * 16, b.simulated_bytes);
+}
+
+#[test]
+fn pacing_and_batching_compose() {
+    let mut e = quick(4);
+    e.pacing = Pacing::Paced;
+    e.memory.controller.write_policy = WritePolicy::Batched(16);
+    let r = e.run().unwrap();
+    assert!(r.access_time > mcm_sim::SimTime::ZERO);
+    assert!(r.power.core_mw > 0.0);
+}
+
+#[test]
+fn headroom_uses_the_experiment_configuration() {
+    // Batching raises the sustainable frame rate.
+    let mut base = quick(1);
+    base.op_limit = Some(120_000);
+    let plain = analysis::max_sustainable_fps(&base).unwrap().unwrap();
+    let mut batched = base.clone();
+    batched.memory.controller.write_policy = WritePolicy::Batched(32);
+    let better = analysis::max_sustainable_fps(&batched).unwrap().unwrap();
+    assert!(better > plain, "{better} vs {plain}");
+}
+
+#[test]
+fn mlp_window_one_hurts_most_at_eight_channels() {
+    let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 8, 400);
+    e.chunk = ChunkPolicy::Fixed(64);
+    e.op_limit = Some(30_000);
+    let narrow = run_event_driven(&e, 1).unwrap().access_time;
+    let wide = run_event_driven(&e, 64).unwrap().access_time;
+    assert!(
+        narrow.as_ps() as f64 > 1.8 * wide.as_ps() as f64,
+        "narrow {narrow} vs wide {wide}"
+    );
+}

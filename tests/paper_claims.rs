@@ -1,0 +1,174 @@
+//! Integration tests asserting the paper's qualitative claims end-to-end —
+//! the anchor table from DESIGN.md §1. Each test runs the full simulator
+//! stack (load model → interleaver → controllers → DRAM devices → power).
+
+use mcm::prelude::*;
+
+fn run(point: HdOperatingPoint, channels: u32, clock: u64) -> FrameResult {
+    Experiment::paper(point, channels, clock)
+        .run()
+        .expect("paper configuration must be runnable")
+}
+
+#[test]
+fn table_i_anchor_720p30_needs_about_1_9_gbps() {
+    let row = UseCase::hd(HdOperatingPoint::Hd720p30).table_row();
+    let gbps = row.gbytes_per_second();
+    assert!((1.7..=2.1).contains(&gbps), "720p30 {gbps} GB/s vs paper 1.9");
+}
+
+#[test]
+fn table_i_anchor_1080p30_needs_about_4_3_gbps_at_2_2x() {
+    let p720 = UseCase::hd(HdOperatingPoint::Hd720p30).table_row();
+    let p1080 = UseCase::hd(HdOperatingPoint::Hd1080p30).table_row();
+    let gbps = p1080.gbytes_per_second();
+    assert!((3.9..=4.6).contains(&gbps), "1080p30 {gbps} GB/s vs paper 4.3");
+    let ratio = gbps / p720.gbytes_per_second();
+    assert!((2.0..=2.4).contains(&ratio), "ratio {ratio} vs paper 2.2");
+}
+
+#[test]
+fn table_i_anchor_1080p60_needs_about_8_6_gbps() {
+    let gbps = UseCase::hd(HdOperatingPoint::Hd1080p60)
+        .table_row()
+        .gbytes_per_second();
+    assert!((7.7..=9.2).contains(&gbps), "1080p60 {gbps} GB/s vs paper 8.6");
+}
+
+#[test]
+fn fig3_one_channel_low_clocks_miss_720p30_real_time() {
+    // "the first two frequencies 200 and 266 MHz cannot meet the
+    // performance requirements"
+    assert_eq!(run(HdOperatingPoint::Hd720p30, 1, 200).verdict, RealTimeVerdict::Fails);
+    assert_eq!(run(HdOperatingPoint::Hd720p30, 1, 266).verdict, RealTimeVerdict::Fails);
+}
+
+#[test]
+fn fig3_one_channel_333mhz_is_marginal_for_720p30() {
+    // "the first clock frequency with the 1-channel configuration meeting
+    // the requirement from the access time perspective (333 MHz, marked
+    // marginal) is on the edge"
+    assert_eq!(
+        run(HdOperatingPoint::Hd720p30, 1, 333).verdict,
+        RealTimeVerdict::Marginal
+    );
+}
+
+#[test]
+fn fig3_two_channels_meet_720p30_at_every_clock() {
+    // "at least two channels are required to satisfy the real-time
+    // requirements of the 720p HDTV with all the examined DDR2 clock
+    // frequencies"
+    for clock in [200u64, 266, 333, 400, 466, 533] {
+        let r = run(HdOperatingPoint::Hd720p30, 2, clock);
+        assert!(
+            r.verdict.is_real_time(),
+            "2ch @ {clock} MHz: {} should satisfy 720p30",
+            r.access_time
+        );
+    }
+}
+
+#[test]
+fn fig3_channel_doubling_gives_about_2x_speedup() {
+    // "close to 2x speedup can be achieved by using double clock frequency
+    // or double the number of exploited channels"
+    let t1 = run(HdOperatingPoint::Hd720p30, 1, 400).access_time;
+    let t2 = run(HdOperatingPoint::Hd720p30, 2, 400).access_time;
+    let t4 = run(HdOperatingPoint::Hd720p30, 4, 400).access_time;
+    for (slow, fast) in [(t1, t2), (t2, t4)] {
+        let ratio = slow.as_ps() as f64 / fast.as_ps() as f64;
+        assert!((1.85..=2.15).contains(&ratio), "speedup {ratio}");
+    }
+}
+
+#[test]
+fn fig3_clock_doubling_gives_about_2x_speedup() {
+    let slow = run(HdOperatingPoint::Hd720p30, 2, 200).access_time;
+    let fast = run(HdOperatingPoint::Hd720p30, 2, 400).access_time;
+    let ratio = slow.as_ps() as f64 / fast.as_ps() as f64;
+    assert!((1.7..=2.1).contains(&ratio), "speedup {ratio}");
+}
+
+#[test]
+fn fig4_720p60_requires_two_channels_at_400mhz() {
+    // "Level 3.2 (720p@60 fps) requires at least two channels"
+    assert_eq!(run(HdOperatingPoint::Hd720p60, 1, 400).verdict, RealTimeVerdict::Fails);
+    assert_eq!(run(HdOperatingPoint::Hd720p60, 2, 400).verdict, RealTimeVerdict::Meets);
+}
+
+#[test]
+fn fig4_1080p30_employs_four_channels_at_400mhz() {
+    // "In order to be on the safe side regarding the real time
+    // requirements, 1080p employs at minimum four channels."
+    let two = run(HdOperatingPoint::Hd1080p30, 2, 400);
+    assert_eq!(two.verdict, RealTimeVerdict::Marginal, "{}", two.access_time);
+    let four = run(HdOperatingPoint::Hd1080p30, 4, 400);
+    assert_eq!(four.verdict, RealTimeVerdict::Meets, "{}", four.access_time);
+}
+
+#[test]
+fn fig4_2160p30_needs_all_eight_channels() {
+    // "The frame format 3840x2160 need[s] all eight channels" — with fewer
+    // channels the frame buffers do not even fit (1-2 ch) or the access
+    // time fails outright (4 ch).
+    let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 2, 400);
+    assert!(exp.run().is_err(), "2160p should not fit 2 channels");
+    assert_eq!(run(HdOperatingPoint::Uhd2160p30, 4, 400).verdict, RealTimeVerdict::Fails);
+    let eight = run(HdOperatingPoint::Uhd2160p30, 8, 400);
+    assert!(
+        eight.verdict.is_real_time(),
+        "8ch 2160p30: {}",
+        eight.access_time
+    );
+    // "2160p format starts to be already doubtful": within 5 % of the
+    // margin boundary.
+    let ms = eight.access_time.as_ms_f64();
+    assert!((26.5..33.4).contains(&ms), "2160p 8ch {ms} ms should be near the edge");
+}
+
+#[test]
+fn fig5_power_anchors() {
+    // Paper: 720p ~150 mW (1ch) -> ~205 mW (8ch); 1080p30 4ch ~345 mW;
+    // 2160p 8ch ~1280 mW. Allow ±20 % — our device is an estimate of the
+    // same theoretical part.
+    let p = run(HdOperatingPoint::Hd720p30, 1, 400).power.total_mw();
+    assert!((120.0..=180.0).contains(&p), "720p 1ch {p} mW vs paper 150");
+    let p8 = run(HdOperatingPoint::Hd720p30, 8, 400).power.total_mw();
+    assert!((164.0..=246.0).contains(&p8), "720p 8ch {p8} mW vs paper 205");
+    assert!(p8 > p, "multi-channel costs moderately more ({p} -> {p8})");
+    let p1080 = run(HdOperatingPoint::Hd1080p30, 4, 400).power.total_mw();
+    assert!((276.0..=414.0).contains(&p1080), "1080p 4ch {p1080} mW vs paper 345");
+    let p2160 = run(HdOperatingPoint::Uhd2160p30, 8, 400).power.total_mw();
+    assert!((1024.0..=1536.0).contains(&p2160), "2160p 8ch {p2160} mW vs paper 1280");
+}
+
+#[test]
+fn interface_power_is_about_5mw_per_channel_at_400mhz() {
+    let p = InterfacePowerModel::paper().power_mw(Frequency::from_mhz(400));
+    assert!((4.0..=5.0).contains(&p), "{p} mW vs paper's ~5 mW");
+}
+
+#[test]
+fn xdr_comparison_bandwidth_and_power_fractions() {
+    // "eight channels and 400 MHz … similar bandwidth (25.0 GB/s) but power
+    // consumption from 4% to 25% of the XDR value"
+    let r = run(HdOperatingPoint::Hd720p30, 8, 400);
+    assert!((r.peak_bandwidth_bytes_per_s / 1e9 - 25.6).abs() < 0.01);
+    let xdr = XdrReference::cell_be();
+    let low = xdr.power_fraction(r.power.total_mw());
+    let high = xdr.power_fraction(run(HdOperatingPoint::Uhd2160p30, 8, 400).power.total_mw());
+    assert!((0.025..=0.06).contains(&low), "720p fraction {low} vs paper 4%");
+    assert!((0.18..=0.30).contains(&high), "2160p fraction {high} vs paper 25%");
+}
+
+#[test]
+fn conclusions_minimum_channel_counts_at_400mhz() {
+    use mcm::core::analysis::min_channels_real_time;
+    let min = |p| min_channels_real_time(p, 400).unwrap();
+    assert_eq!(min(HdOperatingPoint::Hd720p30), Some(1));
+    assert_eq!(min(HdOperatingPoint::Hd720p60), Some(2));
+    assert_eq!(min(HdOperatingPoint::Hd1080p30), Some(2)); // marginal at 2, safe at 4
+    assert_eq!(min(HdOperatingPoint::Hd1080p60), Some(4));
+    assert_eq!(min(HdOperatingPoint::Uhd2160p30), Some(8));
+}
