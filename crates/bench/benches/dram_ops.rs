@@ -4,18 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mcm_dram::{
-    AddressDecoder, AddressMapping, BankCluster, ClusterConfig, DramCommand, Geometry,
-};
+use mcm_dram::{AddressDecoder, AddressMapping, BankCluster, ClusterConfig, DramCommand, Geometry};
 
 fn bench_device(c: &mut Criterion) {
     let mut g = c.benchmark_group("dram_device");
     g.bench_function("sequential_read_burst", |b| {
         b.iter_batched(
             || {
-                let mut dev =
-                    BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
-                dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+                let mut dev = BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
+                dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+                    .unwrap();
                 (dev, 6u64, 0u32)
             },
             |(mut dev, mut cycle, mut col)| {
@@ -32,8 +30,12 @@ fn bench_device(c: &mut Criterion) {
     });
     g.bench_function("earliest_issue_only", |b| {
         let mut dev = BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
-        dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        b.iter(|| dev.earliest_issue(DramCommand::Read { bank: 0, col: 0 }, 0).unwrap());
+        dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        b.iter(|| {
+            dev.earliest_issue(DramCommand::Read { bank: 0, col: 0 }, 0)
+                .unwrap()
+        });
     });
     g.finish();
 }

@@ -14,7 +14,11 @@ fn stream(mem: &mut MemorySubsystem, n: u64, chunk: u64) -> u64 {
     let span = mem.capacity_bytes() / 2;
     for i in 0..n {
         mem.submit(MasterTransaction {
-            op: if i % 4 == 3 { AccessOp::Write } else { AccessOp::Read },
+            op: if i % 4 == 3 {
+                AccessOp::Write
+            } else {
+                AccessOp::Read
+            },
             addr,
             len: chunk,
             arrival: 0,
@@ -47,11 +51,13 @@ fn bench_channels(c: &mut Criterion) {
     g.finish();
 }
 
+type ConfigFactory = Box<dyn Fn() -> MemoryConfig>;
+
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("subsystem_policies");
     g.sample_size(10);
     const N: u64 = 20_000;
-    let variants: [(&str, Box<dyn Fn() -> MemoryConfig>); 3] = [
+    let variants: [(&str, ConfigFactory); 3] = [
         ("rbc_open", Box::new(|| MemoryConfig::paper(4, 400))),
         (
             "brc_open",

@@ -12,9 +12,23 @@ use mcm_load::HdOperatingPoint;
 fn densities() -> Vec<(&'static str, Geometry, f64)> {
     let base = Geometry::next_gen_mobile_ddr();
     vec![
-        ("256Mb", Geometry { rows: base.rows / 2, ..base }, 75.0),
+        (
+            "256Mb",
+            Geometry {
+                rows: base.rows / 2,
+                ..base
+            },
+            75.0,
+        ),
         ("512Mb", base, 110.0),
-        ("1Gb", Geometry { rows: base.rows * 2, ..base }, 140.0),
+        (
+            "1Gb",
+            Geometry {
+                rows: base.rows * 2,
+                ..base
+            },
+            140.0,
+        ),
     ]
 }
 

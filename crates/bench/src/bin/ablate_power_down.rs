@@ -17,7 +17,10 @@ fn main() {
         PowerDownPolicy::AfterIdleCycles(1),
         PowerDownPolicy::AfterIdleCycles(64),
         PowerDownPolicy::AfterIdleCycles(4096),
-        PowerDownPolicy::PowerDownThenSelfRefresh { pd_after: 1, sr_after: 4_096 },
+        PowerDownPolicy::PowerDownThenSelfRefresh {
+            pd_after: 1,
+            sr_after: 4_096,
+        },
         PowerDownPolicy::Never,
     ];
     for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30] {

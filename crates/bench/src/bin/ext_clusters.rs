@@ -36,7 +36,11 @@ fn main() {
     for op in FrameTraffic::new(&use_case, &layout, 256).expect("traffic") {
         clustered
             .submit(MasterTransaction {
-                op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                op: if op.write {
+                    AccessOp::Write
+                } else {
+                    AccessOp::Read
+                },
                 addr: op.addr,
                 len: op.len as u64,
                 arrival: 0,

@@ -35,8 +35,8 @@ fn frame_ops(
     let mut sent = 0u64;
     traffic
         .map(|op| {
-            let arrival = (sent as u128 * (budget_cycles * 85 / 100) as u128
-                / total as u128) as u64;
+            let arrival =
+                (sent as u128 * (budget_cycles * 85 / 100) as u128 / total as u128) as u64;
             sent += op.len as u64;
             (arrival, op.write, base + op.addr, op.len)
         })
@@ -59,7 +59,11 @@ fn main() {
         {
             let r = rec_mem
                 .submit(MasterTransaction {
-                    op: if write { AccessOp::Write } else { AccessOp::Read },
+                    op: if write {
+                        AccessOp::Write
+                    } else {
+                        AccessOp::Read
+                    },
                     addr,
                     len: len as u64,
                     arrival,
@@ -73,7 +77,11 @@ fn main() {
         {
             let r = vf_mem
                 .submit(MasterTransaction {
-                    op: if write { AccessOp::Write } else { AccessOp::Read },
+                    op: if write {
+                        AccessOp::Write
+                    } else {
+                        AccessOp::Read
+                    },
                     addr,
                     len: len as u64,
                     arrival,
@@ -84,8 +92,7 @@ fn main() {
         let rec_rep = rec_mem.finish(budget).unwrap();
         let vf_rep = vf_mem.finish(budget).unwrap();
         let frame_ns = budget as f64 * 2.5;
-        let power = (rec_rep.core_energy_pj + vf_rep.core_energy_pj) / frame_ns
-            + 6.0 * 4.1472; // eq. (1) for 6 active channels
+        let power = (rec_rep.core_energy_pj + vf_rep.core_energy_pj) / frame_ns + 6.0 * 4.1472; // eq. (1) for 6 active channels
         println!(
             "  clusters 4+2: recording done {:.2} ms, viewfinder {:.2} ms, {power:.0} mW",
             rec_done as f64 / 400e3,
@@ -106,7 +113,11 @@ fn main() {
         for (arrival, write, addr, len) in ops {
             let r = mem
                 .submit(MasterTransaction {
-                    op: if write { AccessOp::Write } else { AccessOp::Read },
+                    op: if write {
+                        AccessOp::Write
+                    } else {
+                        AccessOp::Read
+                    },
                     addr,
                     len: len as u64,
                     arrival,

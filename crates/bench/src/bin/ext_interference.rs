@@ -10,8 +10,8 @@
 
 use mcm_channel::{MasterTransaction, MemoryConfig, MemorySubsystem};
 use mcm_ctrl::AccessOp;
-use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, UseCase};
 use mcm_dram::Geometry;
+use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, UseCase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,8 +26,8 @@ fn main() {
     println!("  background MB/s | video finished at [ms] | budget 33.33 ms");
 
     for bg_mb_s in [0u64, 200, 400, 800, 1600, 3200] {
-        let mut mem = MemorySubsystem::new(&MemoryConfig::paper(channels, clock_mhz))
-            .expect("subsystem");
+        let mut mem =
+            MemorySubsystem::new(&MemoryConfig::paper(channels, clock_mhz)).expect("subsystem");
         let layout = FrameLayout::with_options(
             &use_case,
             &LayoutOptions::bank_staggered(
@@ -76,7 +76,11 @@ fn main() {
         for (arrival, write, addr, len) in merged {
             let res = mem
                 .submit(MasterTransaction {
-                    op: if write { AccessOp::Write } else { AccessOp::Read },
+                    op: if write {
+                        AccessOp::Write
+                    } else {
+                        AccessOp::Read
+                    },
                     addr,
                     len: len as u64,
                     arrival,

@@ -12,7 +12,9 @@ use mcm_load::HdOperatingPoint;
 
 fn main() {
     println!("Race-to-sleep (greedy) vs. paced master @ 400 MHz\n");
-    println!("  format / ch              |  power greedy |  power paced | p99 latency greedy/paced");
+    println!(
+        "  format / ch              |  power greedy |  power paced | p99 latency greedy/paced"
+    );
     for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30] {
         for ch in [1u32, 4] {
             let run = |pacing: Pacing| {

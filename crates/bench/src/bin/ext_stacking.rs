@@ -17,7 +17,11 @@ use mcm_power::{BondingTechnique, InterfacePowerModel};
 fn main() {
     println!("Die-stacked vs off-chip channels (1080p30, 4 ch @ 400 MHz)\n");
     let variants = [
-        ("3-D stacked", InterconnectModel::die_stacked(), InterfacePowerModel::paper()),
+        (
+            "3-D stacked",
+            InterconnectModel::die_stacked(),
+            InterfacePowerModel::paper(),
+        ),
         (
             "off-chip",
             InterconnectModel::off_chip(),

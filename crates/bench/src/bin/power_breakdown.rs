@@ -11,7 +11,11 @@ use mcm_load::HdOperatingPoint;
 fn main() {
     println!("Average power breakdown over the frame period [mW] @ 400 MHz\n");
     println!("  format / ch              |   bg  |  act |  read | write |  ref |  i/f | total");
-    for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30, HdOperatingPoint::Uhd2160p30] {
+    for p in [
+        HdOperatingPoint::Hd720p30,
+        HdOperatingPoint::Hd1080p30,
+        HdOperatingPoint::Uhd2160p30,
+    ] {
         for ch in [1u32, 4, 8] {
             let Ok(r) = Experiment::paper(p, ch, 400).run() else {
                 continue;

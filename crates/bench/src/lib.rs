@@ -83,7 +83,10 @@ mod tests {
         // Deterministic across parallel executions.
         let again = run_parallel(vec![mk(1), mk(2), mk(4)]);
         for (a, b) in results.iter().zip(&again) {
-            assert_eq!(a.as_ref().unwrap().access_time, b.as_ref().unwrap().access_time);
+            assert_eq!(
+                a.as_ref().unwrap().access_time,
+                b.as_ref().unwrap().access_time
+            );
         }
     }
 
@@ -91,11 +94,9 @@ mod tests {
     fn formatters() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 8, 400);
         e.op_limit = Some(1_000);
-        let ok = e.run().map_err(CoreError::from);
+        let ok = e.run();
         assert!(fmt_ms(&ok).trim().parse::<f64>().is_ok());
-        let err: Result<FrameResult, CoreError> = Err(CoreError::BadParam {
-            reason: "x".into(),
-        });
+        let err: Result<FrameResult, CoreError> = Err(CoreError::BadParam { reason: "x".into() });
         assert_eq!(fmt_ms(&err).trim(), "n/a");
         assert_eq!(fmt_mw(&err).trim(), "0");
     }

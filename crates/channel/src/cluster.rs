@@ -14,7 +14,9 @@
 use mcm_sim::SimTime;
 
 use crate::error::ChannelError;
-use crate::subsystem::{MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport, TransactionResult};
+use crate::subsystem::{
+    MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport, TransactionResult,
+};
 
 /// A memory built from independent channel clusters.
 ///
@@ -119,15 +121,15 @@ impl ClusteredMemory {
     /// Closes the run on every cluster and returns per-cluster reports.
     /// Idle clusters report near-pure power-down energy.
     pub fn finish(&mut self, end_cycle: u64) -> Result<Vec<SubsystemReport>, ChannelError> {
-        self.clusters.iter_mut().map(|c| c.finish(end_cycle)).collect()
+        self.clusters
+            .iter_mut()
+            .map(|c| c.finish(end_cycle))
+            .collect()
     }
 
     /// Total core energy across clusters up to `end_cycle`, picojoules, plus
     /// the overall access time (max over clusters).
-    pub fn finish_aggregate(
-        &mut self,
-        end_cycle: u64,
-    ) -> Result<(f64, SimTime), ChannelError> {
+    pub fn finish_aggregate(&mut self, end_cycle: u64) -> Result<(f64, SimTime), ChannelError> {
         let reports = self.finish(end_cycle)?;
         let energy = reports.iter().map(|r| r.core_energy_pj).sum();
         let time = reports

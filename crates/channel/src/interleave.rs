@@ -96,8 +96,10 @@ impl InterleaveMap {
             });
         }
         let granule_idx = local / self.granule;
-        Ok((granule_idx * self.channels as u64 + channel as u64) * self.granule
-            + local % self.granule)
+        Ok(
+            (granule_idx * self.channels as u64 + channel as u64) * self.granule
+                + local % self.granule,
+        )
     }
 
     /// Splits the byte range `[addr, addr + len)` into at most one
@@ -133,7 +135,11 @@ impl InterleaveMap {
 
 impl fmt::Display for InterleaveMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} channels × {} B granules", self.channels, self.granule)
+        write!(
+            f,
+            "{} channels × {} B granules",
+            self.channels, self.granule
+        )
     }
 }
 

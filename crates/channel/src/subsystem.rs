@@ -5,8 +5,8 @@
 
 use mcm_ctrl::{AccessOp, ChannelReport, ChannelRequest, Controller, ControllerConfig};
 use mcm_dram::AddressMapping;
-use serde::{Deserialize, Serialize};
 use mcm_sim::{ClockDomain, Frequency, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::error::ChannelError;
 use crate::interleave::InterleaveMap;
@@ -135,7 +135,7 @@ impl MemorySubsystem {
     pub fn new(config: &MemoryConfig) -> Result<Self, ChannelError> {
         let interleave = InterleaveMap::new(config.channels, config.granule_bytes)?;
         let burst = config.controller.cluster.geometry.burst_bytes() as u64;
-        if config.granule_bytes % burst != 0 {
+        if !config.granule_bytes.is_multiple_of(burst) {
             return Err(ChannelError::BadConfig {
                 reason: format!(
                     "granule {} B must be a multiple of the {} B DRAM burst",
@@ -153,14 +153,18 @@ impl MemorySubsystem {
         }
         let mut controllers = Vec::with_capacity(config.channels as usize);
         for channel in 0..config.channels {
-            controllers.push(Controller::new(&config.controller).map_err(|source| {
-                ChannelError::Ctrl { channel, source }
-            })?);
+            controllers.push(
+                Controller::new(&config.controller)
+                    .map_err(|source| ChannelError::Ctrl { channel, source })?,
+            );
         }
-        let clock = ClockDomain::new(Frequency::from_mhz(config.clock_mhz))
-            .map_err(|e| ChannelError::BadConfig { reason: e.to_string() })?;
-        let capacity_bytes = controllers[0].device().geometry().capacity_bytes()
-            * config.channels as u64;
+        let clock = ClockDomain::new(Frequency::from_mhz(config.clock_mhz)).map_err(|e| {
+            ChannelError::BadConfig {
+                reason: e.to_string(),
+            }
+        })?;
+        let capacity_bytes =
+            controllers[0].device().geometry().capacity_bytes() * config.channels as u64;
         Ok(MemorySubsystem {
             controllers,
             interleave,
@@ -197,6 +201,15 @@ impl MemorySubsystem {
         self.channels() as f64 * word * 2.0 * self.clock.frequency().as_hz() as f64
     }
 
+    /// Turns on command tracing in every channel's controller so the
+    /// per-channel traces can later be audited (e.g. by `mcm-verify`).
+    /// Full-frame traces are large; bound the run with an op limit.
+    pub fn enable_trace(&mut self) {
+        for ctrl in &mut self.controllers {
+            ctrl.enable_trace();
+        }
+    }
+
     /// Access to one channel's controller (e.g. for statistics).
     pub fn controller(&self, channel: u32) -> Result<&Controller, ChannelError> {
         self.controllers
@@ -216,10 +229,13 @@ impl MemorySubsystem {
                 reason: "zero-length master transaction".into(),
             });
         }
-        let end = txn.addr.checked_add(txn.len).ok_or(ChannelError::AddressOutOfRange {
-            addr: txn.addr,
-            capacity_bytes: self.capacity_bytes,
-        })?;
+        let end = txn
+            .addr
+            .checked_add(txn.len)
+            .ok_or(ChannelError::AddressOutOfRange {
+                addr: txn.addr,
+                capacity_bytes: self.capacity_bytes,
+            })?;
         if end > self.capacity_bytes {
             return Err(ChannelError::AddressOutOfRange {
                 addr: txn.addr,

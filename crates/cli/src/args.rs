@@ -74,6 +74,9 @@ pub enum Command {
         /// Input path.
         input: String,
     },
+    /// Conformance-check a configuration: config lints, cross-channel
+    /// invariants and a bounded trace audit.
+    Check(RunOptions),
 }
 
 /// Options of `mcm run` / `mcm headroom`.
@@ -101,6 +104,8 @@ pub struct RunOptions {
     pub json: bool,
     /// Viewfinder-only mode (no encoding/storage traffic).
     pub viewfinder: bool,
+    /// Run the conformance checks alongside the simulation.
+    pub verify: bool,
 }
 
 impl Default for RunOptions {
@@ -117,6 +122,7 @@ impl Default for RunOptions {
             pacing: Pacing::Greedy,
             json: false,
             viewfinder: false,
+            verify: false,
         }
     }
 }
@@ -191,9 +197,7 @@ fn parse_chunk(s: &str) -> Result<ChunkPolicy, CliError> {
     )))
 }
 
-fn parse_run_options<'a>(
-    mut args: impl Iterator<Item = &'a str>,
-) -> Result<RunOptions, CliError> {
+fn parse_run_options<'a>(mut args: impl Iterator<Item = &'a str>) -> Result<RunOptions, CliError> {
     let mut opts = RunOptions::default();
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -236,6 +240,7 @@ fn parse_run_options<'a>(
             "--paced" => opts.pacing = Pacing::Paced,
             "--json" => opts.json = true,
             "--viewfinder" => opts.viewfinder = true,
+            "--verify" => opts.verify = true,
             other => return Err(CliError(format!("unknown flag '{other}'"))),
         }
     }
@@ -258,6 +263,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
         "xdr" => Ok(Command::Xdr),
         "repro" => Ok(Command::Repro),
         "run" => Ok(Command::Run(parse_run_options(it)?)),
+        "check" => Ok(Command::Check(parse_run_options(it)?)),
         "headroom" => Ok(Command::Headroom(parse_run_options(it)?)),
         "profile" => Ok(Command::Profile(parse_run_options(it)?)),
         "config-dump" => Ok(Command::ConfigDump(parse_run_options(it)?)),
@@ -318,7 +324,9 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             let path = it
                 .next()
                 .ok_or_else(|| CliError("config-run requires a path".into()))?;
-            Ok(Command::ConfigRun { path: path.to_string() })
+            Ok(Command::ConfigRun {
+                path: path.to_string(),
+            })
         }
         "trace-dump" | "trace-run" => {
             let rest: Vec<&str> = it.collect();
@@ -343,7 +351,10 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             Ok(if cmd == "trace-dump" {
                 Command::TraceDump { options, out: path }
             } else {
-                Command::TraceRun { options, input: path }
+                Command::TraceRun {
+                    options,
+                    input: path,
+                }
             })
         }
         "steady" => {
@@ -393,6 +404,7 @@ COMMANDS:
     fig5        Fig. 5   — power vs format (400 MHz)
     xdr         the XDR comparison
     run         run one experiment (see OPTIONS)
+    check       conformance-check a configuration (MCMxxx rules; --json for machines)
     headroom    maximum sustainable fps for a configuration
     steady      multi-frame session (add --frames N, default 30)
     profile     per-stage memory-time profile
@@ -415,6 +427,7 @@ OPTIONS (run / headroom):
     --chunk <perch:N|fixed:N>                          [perch:64]
     --paced                                            [greedy]
     --viewfinder                                       [recording]
+    --verify    run the MCMxxx conformance checks too   [off]
     --json                                             [text]
 ";
 
@@ -448,14 +461,22 @@ mod tests {
     fn run_with_everything() {
         let Command::Run(o) = parse_args([
             "run",
-            "--format", "720p60",
-            "--channels", "2",
-            "--clock", "333",
-            "--mapping", "brc",
-            "--page", "closed",
-            "--power-down", "sr:4096",
-            "--granule", "64",
-            "--chunk", "fixed:256",
+            "--format",
+            "720p60",
+            "--channels",
+            "2",
+            "--clock",
+            "333",
+            "--mapping",
+            "brc",
+            "--page",
+            "closed",
+            "--power-down",
+            "sr:4096",
+            "--granule",
+            "64",
+            "--chunk",
+            "fixed:256",
             "--paced",
             "--json",
         ])
@@ -505,6 +526,19 @@ mod tests {
         assert!(e.to_string().contains("needs a value"));
         let e = parse_args(["run", "--bogus", "1"]).unwrap_err();
         assert!(e.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn check_and_verify_parse() {
+        let Command::Check(o) = parse_args(["check", "--channels", "8", "--json"]).unwrap() else {
+            panic!("expected check");
+        };
+        assert_eq!(o.channels, 8);
+        assert!(o.json);
+        let Command::Run(o) = parse_args(["run", "--verify"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(o.verify);
     }
 
     #[test]

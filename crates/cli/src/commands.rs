@@ -19,9 +19,24 @@ fn build_experiment(o: &RunOptions) -> Experiment {
     exp
 }
 
+/// Cap on simulated operations when a trace-keeping verified run has no
+/// explicit op limit: full frames are millions of commands and the trace
+/// must stay in memory for the audit.
+const VERIFY_OP_LIMIT: u64 = 50_000;
+
 fn run_one(o: &RunOptions) -> Result<String, CoreError> {
-    let exp = build_experiment(o);
-    let r = exp.run()?;
+    let mut exp = build_experiment(o);
+    let (r, findings) = if o.verify {
+        // Keep the command traces bounded; the access time is extrapolated
+        // from the simulated prefix either way.
+        if exp.op_limit.is_none() {
+            exp.op_limit = Some(VERIFY_OP_LIMIT);
+        }
+        let (r, findings) = exp.run_verified()?;
+        (r, Some(findings))
+    } else {
+        (exp.run()?, None)
+    };
     if o.json {
         let p99 = r
             .report
@@ -30,7 +45,7 @@ fn run_one(o: &RunOptions) -> Result<String, CoreError> {
             .filter_map(|c| c.latency_p99)
             .max()
             .map(|t| t.as_ns_f64());
-        Ok(serde_json::json!({
+        let mut j = serde_json::json!({
             "format": o.point.to_string(),
             "channels": o.channels,
             "clock_mhz": o.clock_mhz,
@@ -45,8 +60,13 @@ fn run_one(o: &RunOptions) -> Result<String, CoreError> {
             "achieved_bandwidth_gbps": r.achieved_bandwidth_bytes_per_s() / 1e9,
             "latency_p99_ns": p99,
             "bytes_per_frame": r.planned_bytes,
-        })
-        .to_string())
+        });
+        if let Some(findings) = &findings {
+            if let serde_json::Value::Object(m) = &mut j {
+                m.insert("verify".to_string(), findings.to_json());
+            }
+        }
+        Ok(j.to_string())
     } else {
         let row = UseCase::hd(o.point).table_row();
         let mut out = String::new();
@@ -72,6 +92,12 @@ fn run_one(o: &RunOptions) -> Result<String, CoreError> {
             r.efficiency() * 100.0
         );
         out += &format!("  power:       {}\n", r.power);
+        if let Some(findings) = &findings {
+            out += "verify:\n";
+            for line in findings.render_human().lines() {
+                out += &format!("  {line}\n");
+            }
+        }
         Ok(out)
     }
 }
@@ -188,7 +214,99 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         }
         Command::TraceDump { options, out } => trace_dump(options, out),
         Command::TraceRun { options, input } => trace_run(options, input),
+        Command::Check(o) => run_check(o),
     }
+}
+
+/// `mcm check`: config lints, cross-channel invariants and a bounded
+/// simulated trace audit. Error findings make the command itself fail,
+/// so scripts get a non-zero exit; the full report is in the error text.
+fn run_check(o: &RunOptions) -> Result<String, CliError> {
+    let mut findings = check_findings(o);
+    findings.sort_by_severity();
+    let out = if o.json {
+        let mut j = serde_json::json!({
+            "format": o.point.to_string(),
+            "channels": o.channels,
+            "clock_mhz": o.clock_mhz,
+            "rules_checked": mcm_verify::rule_catalogue().len(),
+        });
+        if let serde_json::Value::Object(m) = &mut j {
+            m.insert("check".to_string(), findings.to_json());
+        }
+        let mut s = j.to_string();
+        s.push('\n');
+        s
+    } else {
+        let mut s = format!(
+            "mcm check: {} on {} ch @ {} MHz ({}, {}, {}; {} rules)\n",
+            o.point,
+            o.channels,
+            o.clock_mhz,
+            o.mapping,
+            o.page,
+            o.power_down,
+            mcm_verify::rule_catalogue().len()
+        );
+        s += &findings.render_human();
+        s
+    };
+    if findings.has_errors() {
+        Err(CliError(out))
+    } else {
+        Ok(out)
+    }
+}
+
+/// The report behind `mcm check`, in pass order: configuration lints,
+/// cross-channel invariants, then (when the config is viable) a bounded
+/// simulation with the trace audit and traffic-balance checks.
+fn check_findings(o: &RunOptions) -> mcm_verify::Report {
+    use mcm_dram::AddressMapping;
+    use mcm_verify::{check_address_roundtrip, check_interleave, Diagnostic, Severity};
+
+    let mut exp = build_experiment(o);
+    exp.op_limit = Some(exp.op_limit.unwrap_or(VERIFY_OP_LIMIT).min(VERIFY_OP_LIMIT));
+    let geometry = exp.memory.controller.cluster.geometry;
+
+    let mut findings = mcm_verify::Report::new();
+    match mcm_channel::InterleaveMap::new(o.channels, exp.memory.granule_bytes) {
+        Ok(map) => findings.merge(check_interleave(&map, 64)),
+        Err(e) => findings.push(Diagnostic::new(
+            "MCM201",
+            Severity::Error,
+            format!("interleave construction failed: {e}"),
+        )),
+    }
+    findings.merge(check_address_roundtrip(
+        &geometry,
+        &[AddressMapping::Rbc, AddressMapping::Brc],
+        64,
+    ));
+
+    let lints = mcm_verify::lint_all(&exp.use_case, &exp.memory, &exp.interface);
+    if lints.has_errors() {
+        // The simulation would only fail or mislead; report what the
+        // lints found and say why no trace was audited.
+        findings.merge(lints);
+        findings.push(Diagnostic::new(
+            "MCM101",
+            Severity::Note,
+            "trace audit skipped: the configuration errors above must be fixed first",
+        ));
+    } else {
+        // run_verified repeats the lints, so any warnings they produced
+        // are still reported exactly once.
+        match exp.run_verified() {
+            Ok((_, sim_findings)) => findings.merge(sim_findings),
+            Err(e) => findings.push(Diagnostic::new(
+                "MCM101",
+                Severity::Error,
+                format!("verification run failed on a lint-clean configuration: {e}"),
+            )),
+        }
+    }
+    findings
 }
 
 fn timeline(o: &RunOptions, cycles: u64) -> Result<String, CliError> {
@@ -218,7 +336,11 @@ fn timeline(o: &RunOptions, cycles: u64) -> Result<String, CliError> {
         if ctrl.busy_until() > cycles + 64 {
             break;
         }
-        for (ch, slice) in interleave.split_range(op.addr, op.len as u64).into_iter().enumerate() {
+        for (ch, slice) in interleave
+            .split_range(op.addr, op.len as u64)
+            .into_iter()
+            .enumerate()
+        {
             let Some((local, len)) = slice else { continue };
             if ch != 0 {
                 continue;
@@ -277,8 +399,8 @@ fn trace_dump(o: &RunOptions, out: &str) -> Result<String, CliError> {
 
 fn trace_run(o: &RunOptions, input: &str) -> Result<String, CliError> {
     let exp = build_experiment(o);
-    let file = std::fs::File::open(input)
-        .map_err(|e| CliError(format!("cannot read '{input}': {e}")))?;
+    let file =
+        std::fs::File::open(input).map_err(|e| CliError(format!("cannot read '{input}': {e}")))?;
     let ops = mcm_load::read_trace(std::io::BufReader::new(file))
         .map_err(|e| CliError(format!("bad trace: {e}")))?;
     let r = mcm_core::tracerun::run_trace(&exp.memory, ops, &exp.interface)
@@ -336,13 +458,28 @@ mod tests {
     #[test]
     fn run_command_produces_text_and_json() {
         // Small/fast configuration.
-        let cmd = parse_args(["run", "--format", "720p30", "--channels", "8", "--clock", "533"])
-            .unwrap();
+        let cmd = parse_args([
+            "run",
+            "--format",
+            "720p30",
+            "--channels",
+            "8",
+            "--clock",
+            "533",
+        ])
+        .unwrap();
         let out = execute(&cmd).unwrap();
         assert!(out.contains("access time"));
 
         let cmd = parse_args([
-            "run", "--format", "720p30", "--channels", "8", "--clock", "533", "--json",
+            "run",
+            "--format",
+            "720p30",
+            "--channels",
+            "8",
+            "--clock",
+            "533",
+            "--json",
         ])
         .unwrap();
         let out = execute(&cmd).unwrap();
@@ -360,6 +497,85 @@ mod tests {
 }
 
 #[cfg(test)]
+mod check_cli_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn options(args: &[&str]) -> RunOptions {
+        let mut full = vec!["check"];
+        full.extend_from_slice(args);
+        let Command::Check(o) = parse_args(full).unwrap() else {
+            panic!("expected check");
+        };
+        o
+    }
+
+    #[test]
+    fn default_config_checks_clean() {
+        let cmd = parse_args(["check"]).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("check clean: 0 findings"), "{out}");
+    }
+
+    #[test]
+    fn json_output_is_parseable_and_clean() {
+        let cmd = parse_args(["check", "--json"]).unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["check"]["summary"]["clean"], true, "{out}");
+        assert!(v["rules_checked"].as_u64().unwrap() >= 23);
+    }
+
+    #[test]
+    fn infeasible_config_fails_with_mcm102() {
+        let cmd = parse_args([
+            "check",
+            "--format",
+            "2160p30",
+            "--channels",
+            "1",
+            "--clock",
+            "200",
+        ])
+        .unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.to_string().contains("MCM102"), "{err}");
+        assert!(err.to_string().contains("trace audit skipped"), "{err}");
+    }
+
+    #[test]
+    fn policy_findings_reach_the_report() {
+        let findings = check_findings(&options(&["--power-down", "sr:0"]));
+        // sr_after 0 < pd_after 1: the escalation can never fire.
+        assert!(
+            findings.ids().contains(&"MCM105"),
+            "{}",
+            findings.render_human()
+        );
+        assert!(findings.has_errors());
+    }
+
+    #[test]
+    fn verified_run_flag_reports_clean() {
+        let cmd = parse_args([
+            "run",
+            "--format",
+            "720p30",
+            "--channels",
+            "8",
+            "--clock",
+            "533",
+            "--verify",
+            "--json",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["verify"]["summary"]["clean"], true, "{out}");
+    }
+}
+
+#[cfg(test)]
 mod steady_and_viewfinder_tests {
     use super::*;
     use crate::args::parse_args;
@@ -367,8 +583,15 @@ mod steady_and_viewfinder_tests {
     #[test]
     fn steady_command_runs() {
         let cmd = parse_args([
-            "steady", "--format", "720p30", "--channels", "8", "--clock", "533",
-            "--frames", "3",
+            "steady",
+            "--format",
+            "720p30",
+            "--channels",
+            "8",
+            "--clock",
+            "533",
+            "--frames",
+            "3",
         ])
         .unwrap();
         let out = execute(&cmd).unwrap();
@@ -379,8 +602,16 @@ mod steady_and_viewfinder_tests {
     #[test]
     fn viewfinder_flag_cuts_the_load() {
         let json = |extra: &[&str]| {
-            let mut args = vec!["run", "--format", "720p30", "--channels", "8",
-                                "--clock", "533", "--json"];
+            let mut args = vec![
+                "run",
+                "--format",
+                "720p30",
+                "--channels",
+                "8",
+                "--clock",
+                "533",
+                "--json",
+            ];
             args.extend_from_slice(extra);
             let out = execute(&parse_args(args).unwrap()).unwrap();
             serde_json::from_str::<serde_json::Value>(&out).unwrap()
@@ -389,7 +620,10 @@ mod steady_and_viewfinder_tests {
         let vf = json(&["--viewfinder"]);
         let rec_bytes = rec["bytes_per_frame"].as_u64().unwrap();
         let vf_bytes = vf["bytes_per_frame"].as_u64().unwrap();
-        assert!(vf_bytes * 2 < rec_bytes, "viewfinder {vf_bytes} vs recording {rec_bytes}");
+        assert!(
+            vf_bytes * 2 < rec_bytes,
+            "viewfinder {vf_bytes} vs recording {rec_bytes}"
+        );
     }
 }
 
@@ -406,15 +640,28 @@ mod trace_cli_tests {
         let path_s = path.to_str().unwrap();
 
         let cmd = parse_args([
-            "trace-dump", "--format", "720p30", "--channels", "2",
-            "--chunk", "fixed:4096", "--out", path_s,
+            "trace-dump",
+            "--format",
+            "720p30",
+            "--channels",
+            "2",
+            "--chunk",
+            "fixed:4096",
+            "--out",
+            path_s,
         ])
         .unwrap();
         let out = execute(&cmd).unwrap();
         assert!(out.contains("wrote"));
 
         let cmd = parse_args([
-            "trace-run", "--channels", "2", "--clock", "533", "--in", path_s,
+            "trace-run",
+            "--channels",
+            "2",
+            "--clock",
+            "533",
+            "--in",
+            path_s,
         ])
         .unwrap();
         let out = execute(&cmd).unwrap();
@@ -441,7 +688,13 @@ mod config_cli_tests {
     #[test]
     fn config_dump_then_run_roundtrips() {
         let cmd = parse_args([
-            "config-dump", "--format", "720p30", "--channels", "8", "--clock", "533",
+            "config-dump",
+            "--format",
+            "720p30",
+            "--channels",
+            "8",
+            "--clock",
+            "533",
         ])
         .unwrap();
         let json = execute(&cmd).unwrap();
@@ -463,12 +716,18 @@ mod config_cli_tests {
 
     #[test]
     fn bad_config_file_errors_cleanly() {
-        let err = execute(&Command::ConfigRun { path: "/nonexistent.json".into() }).unwrap_err();
+        let err = execute(&Command::ConfigRun {
+            path: "/nonexistent.json".into(),
+        })
+        .unwrap_err();
         assert!(err.to_string().contains("cannot read"));
         let dir = std::env::temp_dir();
         let path = dir.join("mcm_bad_config.json");
         std::fs::write(&path, "{not json").unwrap();
-        let err = execute(&Command::ConfigRun { path: path.to_str().unwrap().into() }).unwrap_err();
+        let err = execute(&Command::ConfigRun {
+            path: path.to_str().unwrap().into(),
+        })
+        .unwrap_err();
         assert!(err.to_string().contains("bad experiment config"));
         std::fs::remove_file(&path).ok();
     }

@@ -103,7 +103,12 @@ mod tests {
             cells: (0..4)
                 .map(|r| {
                     (0..6)
-                        .map(|c| cell(40.0 / (1 << r) as f64 * 200.0 / [200.0, 266.0, 333.0, 400.0, 466.0, 533.0][c]))
+                        .map(|c| {
+                            cell(
+                                40.0 / (1 << r) as f64 * 200.0
+                                    / [200.0, 266.0, 333.0, 400.0, 466.0, 533.0][c],
+                            )
+                        })
                         .collect()
                 })
                 .collect(),
@@ -124,9 +129,7 @@ mod tests {
 /// display-refresh share and the bitstream, so the estimate iterates:
 /// simulate at a rate, derive the implied sustainable rate from the access
 /// time, re-simulate, until it converges (a few rounds).
-pub fn max_sustainable_fps(
-    base: &Experiment,
-) -> Result<Option<u32>, CoreError> {
+pub fn max_sustainable_fps(base: &Experiment) -> Result<Option<u32>, CoreError> {
     let mut fps = base.use_case.fps;
     let mut result = None;
     for _ in 0..5 {
@@ -137,10 +140,7 @@ pub fn max_sustainable_fps(
         match mcm_load::H264Level::minimum_for(exp.use_case.video, fps) {
             Ok(level) => {
                 exp.use_case.level = level;
-                exp.use_case.video_kbps = exp
-                    .use_case
-                    .video_kbps
-                    .min(level.limits().max_br_kbps);
+                exp.use_case.video_kbps = exp.use_case.video_kbps.min(level.limits().max_br_kbps);
             }
             Err(_) => return Ok(result),
         }
@@ -195,10 +195,7 @@ pub fn predicted_min_channels(
     efficiency: f64,
     margin: f64,
 ) -> u32 {
-    let load = mcm_load::UseCase::hd(point)
-        .table_row()
-        .bits_per_second() as f64
-        / 8.0;
+    let load = mcm_load::UseCase::hd(point).table_row().bits_per_second() as f64 / 8.0;
     let per_channel = 4.0 * 2.0 * clock_mhz as f64 * 1e6 * efficiency * (1.0 - margin);
     (load / per_channel).ceil().max(1.0) as u32
 }

@@ -28,12 +28,7 @@ fn bar(value: f64, max: f64, width: usize) -> String {
 /// assert!(chart.contains("1 ch"));
 /// assert!(chart.contains("46.9"));
 /// ```
-pub fn hbar_chart(
-    rows: &[(String, f64)],
-    mark: Option<f64>,
-    width: usize,
-    unit: &str,
-) -> String {
+pub fn hbar_chart(rows: &[(String, f64)], mark: Option<f64>, width: usize, unit: &str) -> String {
     let max = rows
         .iter()
         .map(|&(_, v)| v)
@@ -43,7 +38,8 @@ pub fn hbar_chart(
         return String::from("  (no data)\n");
     }
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-    let mark_col = mark.map(|m| (((m / max) * width as f64).round() as usize).min(width.saturating_sub(1)));
+    let mark_col =
+        mark.map(|m| (((m / max) * width as f64).round() as usize).min(width.saturating_sub(1)));
     let mut out = String::new();
     for (label, value) in rows {
         let mut b = format!("{:<w$}", bar(*value, max, width), w = width);
@@ -55,9 +51,7 @@ pub fn hbar_chart(
                 b = chars.into_iter().collect();
             }
         }
-        out.push_str(&format!(
-            "  {label:<label_w$} {b} {value:.1} {unit}\n"
-        ));
+        out.push_str(&format!("  {label:<label_w$} {b} {value:.1} {unit}\n"));
     }
     if let Some(m) = mark {
         out.push_str(&format!(

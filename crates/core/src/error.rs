@@ -58,16 +58,10 @@ mod tests {
     #[test]
     fn conversions_and_sources() {
         use std::error::Error;
-        let e: CoreError = LoadError::BadParam {
-            reason: "x".into(),
-        }
-        .into();
+        let e: CoreError = LoadError::BadParam { reason: "x".into() }.into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("load model"));
-        let e: CoreError = ChannelError::BadConfig {
-            reason: "y".into(),
-        }
-        .into();
+        let e: CoreError = ChannelError::BadConfig { reason: "y".into() }.into();
         assert!(e.to_string().contains("memory subsystem"));
     }
 }

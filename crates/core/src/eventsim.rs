@@ -111,7 +111,11 @@ impl MasterComp {
                     Msg::Request {
                         txn,
                         req: ChannelRequest {
-                            op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                            op: if op.write {
+                                AccessOp::Write
+                            } else {
+                                AccessOp::Read
+                            },
                             addr: local,
                             len: len as u32,
                             arrival,
@@ -177,8 +181,8 @@ pub fn run_event_driven(exp: &Experiment, window: u32) -> Result<EventDrivenResu
     }
     let channels = exp.memory.channels;
     let clock_mhz = exp.memory.clock_mhz;
-    let interleave = InterleaveMap::new(channels, exp.memory.granule_bytes)
-        .map_err(CoreError::Memory)?;
+    let interleave =
+        InterleaveMap::new(channels, exp.memory.granule_bytes).map_err(CoreError::Memory)?;
     let geometry = exp.memory.controller.cluster.geometry;
     let capacity = geometry.capacity_bytes() * channels as u64;
     let layout = FrameLayout::with_options(
@@ -190,11 +194,7 @@ pub fn run_event_driven(exp: &Experiment, window: u32) -> Result<EventDrivenResu
             geometry.banks,
         ),
     )?;
-    let traffic = FrameTraffic::new(
-        &exp.use_case,
-        &layout,
-        exp.chunk.bytes(channels),
-    )?;
+    let traffic = FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(channels))?;
     let mut ops: Vec<LoadOp> = traffic.collect();
     if let Some(limit) = exp.op_limit {
         ops.truncate(limit as usize);

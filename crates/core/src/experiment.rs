@@ -13,6 +13,7 @@ use mcm_ctrl::AccessOp;
 use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, UseCase};
 use mcm_power::{InterfacePowerModel, PowerSummary};
 use mcm_sim::SimTime;
+use mcm_verify::{audit_trace, check_traffic_balance, lint_all, Report, TraceAuditOptions};
 
 use crate::error::CoreError;
 
@@ -135,12 +136,33 @@ impl Experiment {
 
     /// Runs one frame and evaluates it.
     pub fn run(&self) -> Result<FrameResult, CoreError> {
+        self.run_inner(None)
+    }
+
+    /// Runs one frame with conformance checking: configuration lints
+    /// before the run, the per-channel command traces replayed through
+    /// the `mcm-verify` timing oracle after it, plus a cross-channel
+    /// traffic-balance check.
+    ///
+    /// Tracing keeps every DRAM command in memory, so bound full-frame
+    /// workloads with [`Experiment::op_limit`]. Findings do not abort the
+    /// run; inspect the returned [`Report`].
+    pub fn run_verified(&self) -> Result<(FrameResult, Report), CoreError> {
+        let mut findings = lint_all(&self.use_case, &self.memory, &self.interface);
+        let result = self.run_inner(Some(&mut findings))?;
+        Ok((result, findings))
+    }
+
+    fn run_inner(&self, verify: Option<&mut Report>) -> Result<FrameResult, CoreError> {
         if !(0.0..1.0).contains(&self.margin) {
             return Err(CoreError::BadParam {
                 reason: format!("margin {} must be in [0, 1)", self.margin),
             });
         }
         let mut memory = MemorySubsystem::new(&self.memory)?;
+        if verify.is_some() {
+            memory.enable_trace();
+        }
         // Bank-staggered placement: concurrently streamed buffers land in
         // different banks, as any locality-aware allocator arranges.
         let geometry = self.memory.controller.cluster.geometry;
@@ -153,11 +175,8 @@ impl Experiment {
                 geometry.banks,
             ),
         )?;
-        let traffic = FrameTraffic::new(
-            &self.use_case,
-            &layout,
-            self.chunk.bytes(memory.channels()),
-        )?;
+        let traffic =
+            FrameTraffic::new(&self.use_case, &layout, self.chunk.bytes(memory.channels()))?;
         let planned_bytes = traffic.total_bytes();
 
         let fps = self.use_case.fps;
@@ -165,10 +184,9 @@ impl Experiment {
         let budget_cycles = memory.clock().cycles_at(frame_budget);
 
         let mut simulated_bytes = 0u64;
-        let mut ops = 0u64;
-        for op in traffic {
+        for (ops, op) in traffic.enumerate() {
             if let Some(limit) = self.op_limit {
-                if ops >= limit {
+                if ops as u64 >= limit {
                     break;
                 }
             }
@@ -177,27 +195,54 @@ impl Experiment {
                 Pacing::Paced => {
                     // Arrival proportional to the share of the frame's bytes
                     // already issued: a constant-rate master.
-                    (simulated_bytes as u128 * budget_cycles as u128
-                        / planned_bytes.max(1) as u128) as u64
+                    (simulated_bytes as u128 * budget_cycles as u128 / planned_bytes.max(1) as u128)
+                        as u64
                 }
             };
             memory.submit(MasterTransaction {
-                op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                op: if op.write {
+                    AccessOp::Write
+                } else {
+                    AccessOp::Read
+                },
                 addr: op.addr,
                 len: op.len as u64,
                 arrival,
             })?;
             simulated_bytes += op.len as u64;
-            ops += 1;
         }
         // Power is averaged over the frame period; if the frame overruns,
         // over the actual access time.
         let busy = memory.busy_until();
-        let horizon_cycles = memory
-            .clock()
-            .cycles_ceil(frame_budget)
-            .max(busy);
+        let horizon_cycles = memory.clock().cycles_ceil(frame_budget).max(busy);
         let report = memory.finish(horizon_cycles)?;
+
+        if let Some(findings) = verify {
+            let budget = self
+                .memory
+                .controller
+                .refresh
+                .enabled
+                .then_some(self.memory.controller.refresh.max_postpone);
+            for ch in 0..memory.channels() {
+                let device = memory.controller(ch)?.device();
+                if let Some(trace) = device.trace() {
+                    let opts = TraceAuditOptions {
+                        refresh_budget: budget,
+                        channel: Some(ch),
+                        ..TraceAuditOptions::default()
+                    };
+                    findings.merge(audit_trace(device.timing(), &geometry, trace, &opts));
+                }
+            }
+            let burst = geometry.burst_bytes() as u64;
+            let per_channel: Vec<u64> = report
+                .channels
+                .iter()
+                .map(|c| (c.device.reads + c.device.writes) * burst)
+                .collect();
+            findings.merge(check_traffic_balance(&per_channel, 0.25));
+        }
 
         // Extrapolate when only a prefix was simulated.
         let scale = if simulated_bytes > 0 && simulated_bytes < planned_bytes {
@@ -205,8 +250,7 @@ impl Experiment {
         } else {
             1.0
         };
-        let access_time =
-            SimTime::from_ps((report.access_time.as_ps() as f64 * scale) as u64);
+        let access_time = SimTime::from_ps((report.access_time.as_ps() as f64 * scale) as u64);
 
         let verdict = if access_time > frame_budget {
             RealTimeVerdict::Fails
@@ -318,6 +362,28 @@ mod tests {
         let mut e = Experiment::paper(point, channels, clock);
         e.op_limit = Some(40_000);
         e.run().unwrap()
+    }
+
+    #[test]
+    fn verified_run_is_clean_on_the_paper_config() {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+        e.op_limit = Some(4_000);
+        let (result, findings) = e.run_verified().unwrap();
+        assert!(result.simulated_bytes > 0);
+        assert!(findings.is_clean(), "{}", findings.render_human());
+    }
+
+    #[test]
+    fn verified_run_reports_config_findings() {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+        e.op_limit = Some(1_000);
+        e.memory.controller.refresh.max_postpone = 64;
+        let (_, findings) = e.run_verified().unwrap();
+        assert!(
+            findings.ids().contains(&"MCM105"),
+            "{}",
+            findings.render_human()
+        );
     }
 
     #[test]
@@ -487,7 +553,10 @@ mod serde_tests {
         assert_eq!(back.op_limit, Some(123));
         assert_eq!(back.use_case, exp.use_case);
         assert_eq!(back.memory.channels, 4);
-        assert_eq!(back.memory.controller.mapping, exp.memory.controller.mapping);
+        assert_eq!(
+            back.memory.controller.mapping,
+            exp.memory.controller.mapping
+        );
         // The deserialized experiment runs.
         let mut quick = back;
         quick.op_limit = Some(2_000);

@@ -203,7 +203,10 @@ pub fn format_grid_data() -> Result<FormatGridData, CoreError> {
         cells.push(row);
     }
     Ok(FormatGridData {
-        points: HdOperatingPoint::ALL.iter().map(|p| p.to_string()).collect(),
+        points: HdOperatingPoint::ALL
+            .iter()
+            .map(|p| p.to_string())
+            .collect(),
         channels: CHANNELS.to_vec(),
         cells,
     })
@@ -341,7 +344,10 @@ pub struct Table1Data {
 
 /// Computes Table I (pure arithmetic — no simulation).
 pub fn table1_data() -> Table1Data {
-    let cases: Vec<UseCase> = HdOperatingPoint::ALL.iter().map(|&p| UseCase::hd(p)).collect();
+    let cases: Vec<UseCase> = HdOperatingPoint::ALL
+        .iter()
+        .map(|&p| UseCase::hd(p))
+        .collect();
     let mut stage_mbits: Vec<(String, Vec<f64>)> = Stage::ALL
         .iter()
         .map(|s| (s.label().to_string(), Vec::new()))
@@ -359,7 +365,10 @@ pub fn table1_data() -> Table1Data {
         mbs.push(row.mbytes_per_second());
     }
     Table1Data {
-        points: HdOperatingPoint::ALL.iter().map(|p| p.to_string()).collect(),
+        points: HdOperatingPoint::ALL
+            .iter()
+            .map(|p| p.to_string())
+            .collect(),
         stage_mbits,
         image_total_mbits: image,
         coding_total_mbits: coding,
@@ -431,7 +440,8 @@ pub fn format_grid_csv(d: &FormatGridData) -> String {
                 "{point},{ch},{},{},{},{}\n",
                 cell.access_ms.map_or(String::new(), |v| format!("{v:.4}")),
                 cell.core_mw.map_or(String::new(), |v| format!("{v:.2}")),
-                cell.interface_mw.map_or(String::new(), |v| format!("{v:.2}")),
+                cell.interface_mw
+                    .map_or(String::new(), |v| format!("{v:.2}")),
                 cell.verdict.as_deref().unwrap_or("infeasible"),
             ));
         }
@@ -527,8 +537,14 @@ mod tests {
             clocks_mhz: vec![200, 400],
             channels: vec![1, 2],
             cells: vec![
-                vec![Cell::synthetic_for_tests(46.9), Cell::synthetic_for_tests(26.2)],
-                vec![Cell::synthetic_for_tests(23.4), Cell::synthetic_for_tests(13.1)],
+                vec![
+                    Cell::synthetic_for_tests(46.9),
+                    Cell::synthetic_for_tests(26.2),
+                ],
+                vec![
+                    Cell::synthetic_for_tests(23.4),
+                    Cell::synthetic_for_tests(13.1),
+                ],
             ],
             realtime_ms: 33.3,
         };
@@ -541,8 +557,14 @@ mod tests {
             points: vec!["720p30".into(), "1080p30".into()],
             channels: vec![1, 2],
             cells: vec![
-                vec![Cell::synthetic_for_tests(26.2), Cell::synthetic_for_tests(56.9)],
-                vec![Cell::synthetic_for_tests(13.1), Cell::synthetic_for_tests(28.5)],
+                vec![
+                    Cell::synthetic_for_tests(26.2),
+                    Cell::synthetic_for_tests(56.9),
+                ],
+                vec![
+                    Cell::synthetic_for_tests(13.1),
+                    Cell::synthetic_for_tests(28.5),
+                ],
             ],
         };
         let f4 = render_fig4(&grid);
@@ -565,8 +587,14 @@ mod tests {
             clocks_mhz: vec![200, 400],
             channels: vec![1, 2],
             cells: vec![
-                vec![Cell::synthetic_for_tests(46.9), Cell::synthetic_for_tests(26.2)],
-                vec![Cell::synthetic_for_tests(23.4), Cell::synthetic_for_tests(13.1)],
+                vec![
+                    Cell::synthetic_for_tests(46.9),
+                    Cell::synthetic_for_tests(26.2),
+                ],
+                vec![
+                    Cell::synthetic_for_tests(23.4),
+                    Cell::synthetic_for_tests(13.1),
+                ],
             ],
             realtime_ms: 33.3,
         };

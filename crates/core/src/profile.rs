@@ -54,9 +54,8 @@ impl FrameProfile {
 
     /// Renders the profile as an aligned text table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "  stage                  |    bytes [MB] | time [ms] |  GB/s | share\n",
-        );
+        let mut out =
+            String::from("  stage                  |    bytes [MB] | time [ms] |  GB/s | share\n");
         out.push_str(&format!("  {}\n", "-".repeat(68)));
         for s in &self.stages {
             out.push_str(&format!(
@@ -91,11 +90,8 @@ pub fn run_profiled(exp: &Experiment) -> Result<FrameProfile, CoreError> {
             geometry.banks,
         ),
     )?;
-    let mut traffic = FrameTraffic::new(
-        &exp.use_case,
-        &layout,
-        exp.chunk.bytes(memory.channels()),
-    )?;
+    let mut traffic =
+        FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(memory.channels()))?;
 
     let clock = memory.clock();
     let mut stages: Vec<StageProfile> = Vec::new();
@@ -130,7 +126,11 @@ pub fn run_profiled(exp: &Experiment) -> Result<FrameProfile, CoreError> {
             stage_started = last_done;
         }
         let res = memory.submit(MasterTransaction {
-            op: if op.write { AccessOp::Write } else { AccessOp::Read },
+            op: if op.write {
+                AccessOp::Write
+            } else {
+                AccessOp::Read
+            },
             addr: op.addr,
             len: op.len as u64,
             arrival: 0,

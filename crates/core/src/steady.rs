@@ -53,10 +53,7 @@ impl SteadyStateResult {
         if self.frames.len() < 2 {
             return None;
         }
-        let sum: u64 = self.frames[1..]
-            .iter()
-            .map(|f| f.access_time.as_ps())
-            .sum();
+        let sum: u64 = self.frames[1..].iter().map(|f| f.access_time.as_ps()).sum();
         Some(SimTime::from_ps(sum / (self.frames.len() - 1) as u64))
     }
 }
@@ -77,10 +74,7 @@ fn rotated_layout(base: &FrameLayout, frame: usize) -> FrameLayout {
 
 /// Runs `frames` consecutive frames of `exp` against one persistent memory
 /// subsystem.
-pub fn run_steady_state(
-    exp: &Experiment,
-    frames: u32,
-) -> Result<SteadyStateResult, CoreError> {
+pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResult, CoreError> {
     if frames == 0 {
         return Err(CoreError::BadParam {
             reason: "steady-state run needs at least one frame".into(),
@@ -108,26 +102,28 @@ pub fn run_steady_state(
         let layout = rotated_layout(&base_layout, f as usize);
         let traffic = FrameTraffic::new(&exp.use_case, &layout, chunk)?;
         let mut done = start;
-        let mut ops = 0u64;
-        for op in traffic {
+        for (ops, op) in traffic.enumerate() {
             if let Some(limit) = exp.op_limit {
-                if ops >= limit {
+                if ops as u64 >= limit {
                     break;
                 }
             }
             let res = memory.submit(MasterTransaction {
-                op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                op: if op.write {
+                    AccessOp::Write
+                } else {
+                    AccessOp::Read
+                },
                 addr: op.addr,
                 len: op.len as u64,
                 arrival: start,
             })?;
             done = done.max(res.done_cycle);
             bytes += op.len as u64;
-            ops += 1;
         }
         let access_cycles = done - start;
-        let access_time = memory.clock().time_of_cycles(done)
-            - memory.clock().time_of_cycles(start);
+        let access_time =
+            memory.clock().time_of_cycles(done) - memory.clock().time_of_cycles(start);
         let verdict = if access_cycles > budget_cycles {
             RealTimeVerdict::Fails
         } else if access_cycles as f64 > budget_cycles as f64 * (1.0 - exp.margin) {
@@ -143,7 +139,9 @@ pub fn run_steady_state(
     }
     let horizon = frames as u64 * budget_cycles;
     let report = memory.finish(horizon)?;
-    let horizon_time = memory.clock().time_of_cycles(horizon.max(memory.busy_until()));
+    let horizon_time = memory
+        .clock()
+        .time_of_cycles(horizon.max(memory.busy_until()));
     let core_mw = report.core_energy_pj / horizon_time.as_ns_f64();
     let interface_mw = exp
         .interface
@@ -209,11 +207,8 @@ mod tests {
 
     #[test]
     fn reference_rotation_cycles_through_the_pool() {
-        let base = FrameLayout::new(
-            &mcm_load::UseCase::hd(HdOperatingPoint::Hd720p30),
-            1 << 30,
-        )
-        .unwrap();
+        let base =
+            FrameLayout::new(&mcm_load::UseCase::hd(HdOperatingPoint::Hd720p30), 1 << 30).unwrap();
         let n = base.references.len() + 1;
         // After n rotations the layout returns to the start.
         let l0 = rotated_layout(&base, 0);

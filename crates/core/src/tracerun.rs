@@ -35,7 +35,11 @@ pub fn run_trace(
     let mut count = 0u64;
     for op in ops {
         memory.submit(MasterTransaction {
-            op: if op.write { AccessOp::Write } else { AccessOp::Read },
+            op: if op.write {
+                AccessOp::Write
+            } else {
+                AccessOp::Read
+            },
             addr: op.addr,
             len: op.len as u64,
             arrival: 0,
@@ -50,8 +54,7 @@ pub fn run_trace(
     } else {
         0.0
     };
-    let interface_mw =
-        interface.total_power_mw(memory.clock().frequency(), memory.channels());
+    let interface_mw = interface.total_power_mw(memory.clock().frequency(), memory.channels());
     Ok(TraceRunResult {
         access_time: report.access_time,
         bytes,
@@ -71,8 +74,16 @@ mod tests {
     #[test]
     fn replay_matches_manual_submission() {
         let ops = vec![
-            LoadOp { write: false, addr: 0, len: 4096 },
-            LoadOp { write: true, addr: 8192, len: 4096 },
+            LoadOp {
+                write: false,
+                addr: 0,
+                len: 4096,
+            },
+            LoadOp {
+                write: true,
+                addr: 8192,
+                len: 4096,
+            },
         ];
         let r = run_trace(
             &MemoryConfig::paper(2, 400),
@@ -89,7 +100,11 @@ mod tests {
 
     #[test]
     fn out_of_range_trace_is_a_typed_error() {
-        let ops = vec![LoadOp { write: false, addr: u64::MAX - 8, len: 64 }];
+        let ops = vec![LoadOp {
+            write: false,
+            addr: u64::MAX - 8,
+            len: 64,
+        }];
         let err = run_trace(
             &MemoryConfig::paper(1, 400),
             ops,

@@ -17,7 +17,9 @@
 use mcm_dram::{AddressDecoder, BankCluster, ClusterStats, DramCommand, IssueOutcome};
 use mcm_sim::stats::LatencyHistogram;
 
-use crate::config::{ControllerConfig, InterconnectModel, PagePolicy, PowerDownPolicy, WritePolicy};
+use crate::config::{
+    ControllerConfig, InterconnectModel, PagePolicy, PowerDownPolicy, WritePolicy,
+};
 use crate::error::CtrlError;
 use crate::request::{AccessOp, ChannelRequest};
 
@@ -190,7 +192,11 @@ impl Controller {
         &self.latency
     }
 
-    fn issue(&mut self, cmd: DramCommand, not_before: u64) -> Result<(u64, IssueOutcome), CtrlError> {
+    fn issue(
+        &mut self,
+        cmd: DramCommand,
+        not_before: u64,
+    ) -> Result<(u64, IssueOutcome), CtrlError> {
         let at = self.device.earliest_issue(cmd, not_before)?;
         let out = self.device.issue(cmd, at)?;
         Ok((at, out))
@@ -366,10 +372,10 @@ impl Controller {
         if self.page_policy == PagePolicy::Closed {
             let (_, _) = self.issue(DramCommand::Precharge { bank: d.bank }, not_before)?;
         }
-        Ok((
-            first_cmd,
-            out.data_end_cycle.expect("column command returns data end"),
-        ))
+        let data_end = out.data_end_cycle.ok_or_else(|| CtrlError::Internal {
+            reason: "column command returned no data-end cycle".into(),
+        })?;
+        Ok((first_cmd, data_end))
     }
 
     /// Drains the posted-write buffer.
@@ -384,10 +390,7 @@ impl Controller {
             let (_, d) = self.issue_burst(true, addr, not_before)?;
             done = done.max(d);
         }
-        self.busy_until = self
-            .busy_until
-            .max(done)
-            .max(self.device.data_busy_until());
+        self.busy_until = self.busy_until.max(done).max(self.device.data_busy_until());
         self.idle_handled_to = self.idle_handled_to.max(self.busy_until);
         Ok(())
     }
@@ -487,8 +490,7 @@ impl Controller {
         // Data crosses the interconnect back to the master.
         let done_at_master = done + self.interconnect.response_ck;
         let clock = self.device.timing().clock;
-        let latency =
-            clock.time_of_cycles(done_at_master) - clock.time_of_cycles(req.arrival);
+        let latency = clock.time_of_cycles(done_at_master) - clock.time_of_cycles(req.arrival);
         self.latency.record(latency);
         Ok(AccessResult {
             first_cmd_cycle: first_cmd,
@@ -751,7 +753,11 @@ mod tests {
         })
         .unwrap();
         let s = c.stats();
-        assert!(s.refreshes_idle >= 9, "idle refreshes = {}", s.refreshes_idle);
+        assert!(
+            s.refreshes_idle >= 9,
+            "idle refreshes = {}",
+            s.refreshes_idle
+        );
         assert_eq!(s.refreshes_forced, 0);
     }
 
@@ -897,8 +903,7 @@ mod self_refresh_tests {
         assert!(s.wakeups >= 1);
         assert_eq!(c.device().stats().self_refreshes, 1);
         // And the whole command trace is legal under the oracle.
-        let validator =
-            TraceValidator::new(*c.device().timing(), *c.device().geometry());
+        let validator = TraceValidator::new(*c.device().timing(), *c.device().geometry());
         let trace = c.device().trace().unwrap();
         assert!(validator.check(trace).is_empty());
     }

@@ -18,6 +18,12 @@ pub enum CtrlError {
         /// The previous request's arrival cycle.
         previous: u64,
     },
+    /// An internal invariant of the controller/device contract was broken
+    /// (a bug in one of them, not a caller error).
+    Internal {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CtrlError {
@@ -29,6 +35,9 @@ impl fmt::Display for CtrlError {
                 f,
                 "request arrival {arrival} precedes previous arrival {previous}"
             ),
+            CtrlError::Internal { reason } => {
+                write!(f, "internal controller invariant broken: {reason}")
+            }
         }
     }
 }
@@ -55,10 +64,7 @@ mod tests {
     #[test]
     fn wraps_dram_errors_with_source() {
         use std::error::Error;
-        let e: CtrlError = DramError::InvalidGeometry {
-            reason: "x".into(),
-        }
-        .into();
+        let e: CtrlError = DramError::InvalidGeometry { reason: "x".into() }.into();
         assert!(e.to_string().contains("DRAM error"));
         assert!(e.source().is_some());
         assert!(CtrlError::EmptyRequest.source().is_none());

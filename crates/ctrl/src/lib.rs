@@ -35,7 +35,9 @@ mod controller;
 mod error;
 mod request;
 
-pub use config::{ControllerConfig, InterconnectModel, PagePolicy, PowerDownPolicy, RefreshPolicy, WritePolicy};
+pub use config::{
+    ControllerConfig, InterconnectModel, PagePolicy, PowerDownPolicy, RefreshPolicy, WritePolicy,
+};
 pub use controller::{AccessResult, ChannelReport, Controller, CtrlStats};
 pub use error::CtrlError;
 pub use request::{AccessOp, ChannelRequest};

@@ -47,7 +47,10 @@ fn arb_config() -> impl Strategy<Value = ControllerConfig> {
         prop_oneof![
             Just(PowerDownPolicy::AfterIdleCycles(1)),
             Just(PowerDownPolicy::AfterIdleCycles(64)),
-            Just(PowerDownPolicy::PowerDownThenSelfRefresh { pd_after: 1, sr_after: 2_000 }),
+            Just(PowerDownPolicy::PowerDownThenSelfRefresh {
+                pd_after: 1,
+                sr_after: 2_000
+            }),
             Just(PowerDownPolicy::Never),
         ],
         any::<bool>(), // refresh enabled

@@ -90,7 +90,10 @@ impl Bank {
 
     /// Applies an ACT at `cycle`: opens `row`, arms tRCD/tRAS/tRC windows.
     pub fn apply_activate(&mut self, cycle: u64, row: u32, t_rcd: u64, t_ras: u64, t_rc: u64) {
-        debug_assert!(!self.is_active(), "ACT to an active bank must be rejected by caller");
+        debug_assert!(
+            !self.is_active(),
+            "ACT to an active bank must be rejected by caller"
+        );
         self.phase = BankPhase::Active { row };
         self.earliest_col = cycle + t_rcd;
         self.earliest_pre = self.earliest_pre.max(cycle + t_ras);
@@ -100,7 +103,10 @@ impl Bank {
     /// Applies a column command at `cycle`, pushing the PRE watermark to
     /// `cycle + pre_gap` (tRTP for reads, WL+BL/2+tWR for writes).
     pub fn apply_column(&mut self, cycle: u64, pre_gap: u64) {
-        debug_assert!(self.is_active(), "column command to idle bank must be rejected by caller");
+        debug_assert!(
+            self.is_active(),
+            "column command to idle bank must be rejected by caller"
+        );
         self.earliest_pre = self.earliest_pre.max(cycle + pre_gap);
     }
 

@@ -14,7 +14,13 @@ use crate::power::EnergyModel;
 pub fn render_datasheet(config: &ClusterConfig) -> Result<String, DramError> {
     let g = config.geometry;
     let t = config.timing.resolve(config.clock_mhz, &g)?;
-    let e = EnergyModel::resolve(&config.idd, &config.op, &config.timing, &g, config.clock_mhz)?;
+    let e = EnergyModel::resolve(
+        &config.idd,
+        &config.op,
+        &config.timing,
+        &g,
+        config.clock_mhz,
+    )?;
     let tck_ns = 1_000.0 / config.clock_mhz as f64;
 
     let mut out = String::new();
@@ -38,7 +44,8 @@ pub fn render_datasheet(config: &ClusterConfig) -> Result<String, DramError> {
         "AC TIMING @ {} MHz (tCK = {:.3} ns)\n",
         config.clock_mhz, tck_ns
     ));
-    let row = |name: &str, ck: u64| format!("  {name:<6} {ck:>4} ck  = {:>8.2} ns\n", ck as f64 * tck_ns);
+    let row =
+        |name: &str, ck: u64| format!("  {name:<6} {ck:>4} ck  = {:>8.2} ns\n", ck as f64 * tck_ns);
     out.push_str(&row("CL", t.cl));
     out.push_str(&row("WL", t.wl));
     out.push_str(&row("tRCD", t.t_rcd));
@@ -64,10 +71,16 @@ pub fn render_datasheet(config: &ClusterConfig) -> Result<String, DramError> {
         config.op.vdd_op_v, config.op.vdd_meas_v, config.op.f_meas_mhz
     ));
     out.push_str(&format!("  activate+precharge {:>8.0} pJ\n", e.e_act_pj));
-    out.push_str(&format!("  read burst         {:>8.0} pJ ({:.1} pJ/bit)\n",
-        e.e_rd_burst_pj, e.e_rd_burst_pj / (g.burst_bytes() as f64 * 8.0)));
-    out.push_str(&format!("  write burst        {:>8.0} pJ ({:.1} pJ/bit)\n",
-        e.e_wr_burst_pj, e.e_wr_burst_pj / (g.burst_bytes() as f64 * 8.0)));
+    out.push_str(&format!(
+        "  read burst         {:>8.0} pJ ({:.1} pJ/bit)\n",
+        e.e_rd_burst_pj,
+        e.e_rd_burst_pj / (g.burst_bytes() as f64 * 8.0)
+    ));
+    out.push_str(&format!(
+        "  write burst        {:>8.0} pJ ({:.1} pJ/bit)\n",
+        e.e_wr_burst_pj,
+        e.e_wr_burst_pj / (g.burst_bytes() as f64 * 8.0)
+    ));
     out.push_str(&format!("  refresh            {:>8.0} pJ\n", e.e_ref_pj));
     let states = [
         "precharge standby",

@@ -8,7 +8,9 @@
 //! timing window and state rule, returning a typed error on violations, so
 //! controller bugs cannot silently produce impossible schedules.
 
-use mcm_sim::{SimTime, Frequency};
+use std::collections::VecDeque;
+
+use mcm_sim::{Frequency, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::bank::Bank;
@@ -116,6 +118,9 @@ pub struct BankCluster {
     earliest_cmd: u64,
     /// Earliest cycle for an ACT to any bank (tRRD).
     earliest_any_act: u64,
+    /// Cycles of the (up to) four most recent ACTs, oldest first, for the
+    /// four-activate window (tFAW).
+    recent_acts: VecDeque<u64>,
     /// Earliest cycle for the next READ command (bus occupancy/turnaround).
     earliest_rd: u64,
     /// Earliest cycle for the next WRITE command.
@@ -149,6 +154,7 @@ impl BankCluster {
             banks: vec![Bank::new(); config.geometry.banks as usize],
             earliest_cmd: 0,
             earliest_any_act: 0,
+            recent_acts: VecDeque::with_capacity(4),
             earliest_rd: 0,
             earliest_wr: 0,
             data_busy_until: 0,
@@ -217,12 +223,10 @@ impl BankCluster {
     }
 
     fn bank(&self, bank: u32) -> Result<&Bank, DramError> {
-        self.banks
-            .get(bank as usize)
-            .ok_or(DramError::BadBank {
-                bank,
-                banks: self.geometry.banks,
-            })
+        self.banks.get(bank as usize).ok_or(DramError::BadBank {
+            bank,
+            banks: self.geometry.banks,
+        })
     }
 
     /// Earliest legal cycle, at or after `not_before`, at which `cmd` could
@@ -232,9 +236,7 @@ impl BankCluster {
         let base = self.earliest_cmd.max(not_before);
         if self.self_refreshing {
             return match cmd {
-                DramCommand::SelfRefreshExit => {
-                    Ok(base.max(self.sr_since + self.timing.t_cke_min))
-                }
+                DramCommand::SelfRefreshExit => Ok(base.max(self.sr_since + self.timing.t_cke_min)),
                 _ => Err(DramError::IllegalCommand {
                     cmd,
                     reason: "device is in self-refresh; only SRX is legal".into(),
@@ -243,9 +245,7 @@ impl BankCluster {
         }
         if self.powered_down {
             return match cmd {
-                DramCommand::PowerDownExit => {
-                    Ok(base.max(self.pd_since + self.timing.t_cke_min))
-                }
+                DramCommand::PowerDownExit => Ok(base.max(self.pd_since + self.timing.t_cke_min)),
                 _ => Err(DramError::IllegalCommand {
                     cmd,
                     reason: "device is powered down; only PDX is legal".into(),
@@ -261,7 +261,11 @@ impl BankCluster {
                         reason: format!("bank {bank} already has an open row"),
                     });
                 }
-                Ok(base.max(b.earliest_act()).max(self.earliest_any_act))
+                let mut earliest = base.max(b.earliest_act()).max(self.earliest_any_act);
+                if self.recent_acts.len() == 4 {
+                    earliest = earliest.max(self.recent_acts[0] + self.timing.t_faw);
+                }
+                Ok(earliest)
             }
             DramCommand::Read { bank, col } | DramCommand::Write { bank, col } => {
                 if col >= self.geometry.cols {
@@ -378,6 +382,10 @@ impl BankCluster {
                 }
                 self.banks[bank as usize].apply_activate(cycle, row, t.t_rcd, t.t_ras, t.t_rc);
                 self.earliest_any_act = self.earliest_any_act.max(cycle + t.t_rrd);
+                if self.recent_acts.len() == 4 {
+                    self.recent_acts.pop_front();
+                }
+                self.recent_acts.push_back(cycle);
                 self.energy.record_activate();
                 self.stats.activates += 1;
             }
@@ -507,33 +515,42 @@ mod tests {
     fn basic_open_read_close_sequence() {
         let mut c = cluster();
         let t = *c.timing();
-        c.issue(DramCommand::Activate { bank: 0, row: 7 }, 0).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 7 }, 0)
+            .unwrap();
         assert_eq!(c.open_row(0).unwrap(), Some(7));
         // Read must wait tRCD.
-        let err = c.issue(DramCommand::Read { bank: 0, col: 0 }, 1).unwrap_err();
+        let err = c
+            .issue(DramCommand::Read { bank: 0, col: 0 }, 1)
+            .unwrap_err();
         assert!(matches!(err, DramError::TimingViolation { earliest, .. } if earliest == t.t_rcd));
         let out = c
             .issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
             .unwrap();
         assert_eq!(out.data_end_cycle, Some(t.t_rcd + t.cl + t.bl_ck));
         // Precharge must wait tRAS.
-        let e = c.earliest_issue(DramCommand::Precharge { bank: 0 }, 0).unwrap();
+        let e = c
+            .earliest_issue(DramCommand::Precharge { bank: 0 }, 0)
+            .unwrap();
         assert_eq!(e, t.t_ras);
-        c.issue(DramCommand::Precharge { bank: 0 }, t.t_ras).unwrap();
+        c.issue(DramCommand::Precharge { bank: 0 }, t.t_ras)
+            .unwrap();
         assert_eq!(c.open_row(0).unwrap(), None);
     }
 
     #[test]
     fn read_to_closed_row_is_illegal() {
         let mut c = cluster();
-        let err = c.issue(DramCommand::Read { bank: 0, col: 0 }, 0).unwrap_err();
+        let err = c
+            .issue(DramCommand::Read { bank: 0, col: 0 }, 0)
+            .unwrap_err();
         assert!(matches!(err, DramError::IllegalCommand { .. }));
     }
 
     #[test]
     fn act_to_open_bank_is_illegal() {
         let mut c = cluster();
-        c.issue(DramCommand::Activate { bank: 1, row: 0 }, 0).unwrap();
+        c.issue(DramCommand::Activate { bank: 1, row: 0 }, 0)
+            .unwrap();
         let err = c
             .earliest_issue(DramCommand::Activate { bank: 1, row: 5 }, 0)
             .unwrap_err();
@@ -544,7 +561,8 @@ mod tests {
     fn trrd_spaces_cross_bank_activates() {
         let mut c = cluster();
         let t = *c.timing();
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
         let e = c
             .earliest_issue(DramCommand::Activate { bank: 1, row: 0 }, 0)
             .unwrap();
@@ -555,9 +573,13 @@ mod tests {
     fn back_to_back_reads_space_by_burst_length() {
         let mut c = cluster();
         let t = *c.timing();
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
-        let e = c.earliest_issue(DramCommand::Read { bank: 0, col: 4 }, 0).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
+            .unwrap();
+        let e = c
+            .earliest_issue(DramCommand::Read { bank: 0, col: 4 }, 0)
+            .unwrap();
         assert_eq!(e, t.t_rcd + t.bl_ck);
     }
 
@@ -565,10 +587,16 @@ mod tests {
     fn write_read_turnaround_exceeds_burst_spacing() {
         let mut c = cluster();
         let t = *c.timing();
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        c.issue(DramCommand::Write { bank: 0, col: 0 }, t.t_rcd).unwrap();
-        let rd = c.earliest_issue(DramCommand::Read { bank: 0, col: 4 }, 0).unwrap();
-        let wr = c.earliest_issue(DramCommand::Write { bank: 0, col: 4 }, 0).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        c.issue(DramCommand::Write { bank: 0, col: 0 }, t.t_rcd)
+            .unwrap();
+        let rd = c
+            .earliest_issue(DramCommand::Read { bank: 0, col: 4 }, 0)
+            .unwrap();
+        let wr = c
+            .earliest_issue(DramCommand::Write { bank: 0, col: 4 }, 0)
+            .unwrap();
         assert_eq!(wr, t.t_rcd + t.bl_ck);
         assert_eq!(rd, t.t_rcd + t.wr_to_rd());
         assert!(rd > wr);
@@ -578,12 +606,14 @@ mod tests {
     fn refresh_requires_all_banks_closed_and_blocks_trfc() {
         let mut c = cluster();
         let t = *c.timing();
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
         assert!(matches!(
             c.earliest_issue(DramCommand::Refresh, 0),
             Err(DramError::IllegalCommand { .. })
         ));
-        c.issue(DramCommand::Precharge { bank: 0 }, t.t_ras).unwrap();
+        c.issue(DramCommand::Precharge { bank: 0 }, t.t_ras)
+            .unwrap();
         let e = c.earliest_issue(DramCommand::Refresh, 0).unwrap();
         // After PRE at tRAS, REF must wait tRP (via the bank ACT watermark).
         assert_eq!(e, t.t_ras + t.t_rp);
@@ -619,8 +649,11 @@ mod tests {
     fn power_down_enter_waits_for_data_drain() {
         let mut c = cluster();
         let t = *c.timing();
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        let out = c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        let out = c
+            .issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
+            .unwrap();
         let e = c.earliest_issue(DramCommand::PowerDownEnter, 0).unwrap();
         assert_eq!(e, out.data_end_cycle.unwrap());
     }
@@ -637,7 +670,8 @@ mod tests {
     #[test]
     fn commands_cannot_go_backwards_in_time() {
         let mut c = cluster();
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 100).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 100)
+            .unwrap();
         let err = c.issue(DramCommand::Precharge { bank: 1 }, 50).unwrap_err();
         assert!(matches!(err, DramError::TimingViolation { .. }));
     }
@@ -653,9 +687,15 @@ mod tests {
     fn stats_and_energy_accumulate() {
         let mut c = cluster();
         let t = *c.timing();
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
-        c.issue(DramCommand::Write { bank: 0, col: 4 }, t.t_rcd + t.rd_to_wr()).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        c.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
+            .unwrap();
+        c.issue(
+            DramCommand::Write { bank: 0, col: 4 },
+            t.t_rcd + t.rd_to_wr(),
+        )
+        .unwrap();
         let s = c.stats();
         assert_eq!((s.activates, s.reads, s.writes), (1, 1, 1));
         assert!(c.event_energy_pj() > 0.0);
@@ -669,7 +709,8 @@ mod tests {
             c.issue(DramCommand::Activate { bank: 9, row: 0 }, 0),
             Err(DramError::BadBank { .. })
         ));
-        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
         assert!(matches!(
             c.earliest_issue(DramCommand::Read { bank: 0, col: 512 }, 0),
             Err(DramError::IllegalCommand { .. })

@@ -13,8 +13,8 @@
 //! * [`AddressDecoder`] with the paper's two address-multiplexing types
 //!   ([`AddressMapping::Rbc`] and [`AddressMapping::Brc`]);
 //! * [`BankCluster`] — the command-level device state machine enforcing
-//!   every timing window (tRCD, tRP, tRAS, tRC, tRRD, tWR, tWTR, tRTP,
-//!   tRFC, tXP, bus occupancy and read/write turnaround);
+//!   every timing window (tRCD, tRP, tRAS, tRC, tRRD, tFAW, tWR, tWTR,
+//!   tRTP, tRFC, tXP, bus occupancy and read/write turnaround);
 //! * the Micron TN-46-03-style power model ([`IddValues`], [`EnergyModel`],
 //!   [`EnergyAccount`]) with background-state residency accounting and
 //!   frequency/voltage scaling.
@@ -39,8 +39,8 @@
 
 mod address;
 mod bank;
-pub mod datasheet;
 mod command;
+pub mod datasheet;
 mod device;
 mod error;
 mod params;
@@ -54,7 +54,5 @@ pub use command::DramCommand;
 pub use device::{BankCluster, ClusterConfig, ClusterStats, IssueOutcome};
 pub use error::DramError;
 pub use params::{Geometry, ResolvedTiming, TimingParams};
-pub use power::{
-    BackgroundState, EnergyAccount, EnergyModel, IddValues, OperatingPoint,
-};
-pub use validate::{TraceValidator, TracedCommand, Violation};
+pub use power::{BackgroundState, EnergyAccount, EnergyModel, IddValues, OperatingPoint};
+pub use validate::{RuleKind, TraceValidator, TracedCommand, Violation};

@@ -81,9 +81,12 @@ impl Geometry {
                 });
             }
         }
-        if self.word_bits % 8 != 0 {
+        if !self.word_bits.is_multiple_of(8) {
             return Err(DramError::InvalidGeometry {
-                reason: format!("word_bits = {} must be a whole number of bytes", self.word_bits),
+                reason: format!(
+                    "word_bits = {} must be a whole number of bytes",
+                    self.word_bits
+                ),
             });
         }
         if self.burst_len > self.cols {
@@ -147,6 +150,9 @@ pub struct TimingParams {
     pub t_rc_ns: f64,
     /// Minimum ACT to ACT across different banks, ns.
     pub t_rrd_ns: f64,
+    /// Four-activate window: at most four ACTs (any banks) may fall inside
+    /// any window of this length, ns (tFAW).
+    pub t_faw_ns: f64,
     /// Write recovery: last write data beat to PRE, ns.
     pub t_wr_ns: f64,
     /// Auto-refresh cycle time, ns.
@@ -190,6 +196,7 @@ impl TimingParams {
             t_ras_ns: 40.0,
             t_rc_ns: 55.0,
             t_rrd_ns: 10.0,
+            t_faw_ns: 45.0,
             t_wr_ns: 15.0,
             t_rfc_ns: 110.0,
             t_refi_ns: 7_812.5, // 8192 rows refreshed per 64 ms
@@ -227,6 +234,7 @@ impl TimingParams {
             t_ras_ns: 36.0,
             t_rc_ns: 48.0,
             t_rrd_ns: 8.0,
+            t_faw_ns: 48.0,
             cas_latency_ns: 12.5,
             min_clock_mhz: 333,
             max_clock_mhz: 800,
@@ -242,6 +250,7 @@ impl TimingParams {
     pub fn standard_ddr2() -> Self {
         TimingParams {
             t_rfc_ns: 105.0,
+            t_faw_ns: 50.0,
             t_xp_ck: 3,
             t_xsr_ns: 200.0,
             t_wtr_ck: 3,
@@ -258,6 +267,7 @@ impl TimingParams {
             ("t_ras_ns", self.t_ras_ns),
             ("t_rc_ns", self.t_rc_ns),
             ("t_rrd_ns", self.t_rrd_ns),
+            ("t_faw_ns", self.t_faw_ns),
             ("t_wr_ns", self.t_wr_ns),
             ("t_rfc_ns", self.t_rfc_ns),
             ("t_refi_ns", self.t_refi_ns),
@@ -269,6 +279,14 @@ impl TimingParams {
                     reason: format!("{name} = {v} must be finite and non-negative"),
                 });
             }
+        }
+        if self.t_faw_ns + 1e-9 < self.t_rrd_ns {
+            return Err(DramError::InvalidTiming {
+                reason: format!(
+                    "tFAW ({}) must be at least tRRD ({})",
+                    self.t_faw_ns, self.t_rrd_ns
+                ),
+            });
         }
         if self.t_ras_ns + self.t_rp_ns > self.t_rc_ns + 1e-9 {
             return Err(DramError::InvalidTiming {
@@ -314,8 +332,11 @@ impl TimingParams {
                 max_mhz: self.max_clock_mhz,
             });
         }
-        let clock = ClockDomain::new(Frequency::from_mhz(clock_mhz))
-            .expect("non-zero MHz was validated above");
+        let clock = ClockDomain::new(Frequency::from_mhz(clock_mhz)).map_err(|e| {
+            DramError::InvalidTiming {
+                reason: format!("interface clock {clock_mhz} MHz: {e}"),
+            }
+        })?;
         let ck = |ns: f64| clock.ns_to_cycles_ceil(ns);
         let bl_ck = geometry.burst_cycles();
         let cl = ck(self.cas_latency_ns).max(2);
@@ -330,6 +351,7 @@ impl TimingParams {
             t_ras: ck(self.t_ras_ns),
             t_rc: ck(self.t_rc_ns),
             t_rrd: ck(self.t_rrd_ns),
+            t_faw: ck(self.t_faw_ns),
             t_wr: ck(self.t_wr_ns),
             t_rfc: ck(self.t_rfc_ns),
             t_refi: ck(self.t_refi_ns),
@@ -367,6 +389,9 @@ pub struct ResolvedTiming {
     pub t_rc: u64,
     /// ACT → ACT different bank, cycles.
     pub t_rrd: u64,
+    /// Four-activate window, cycles (tFAW): a fifth ACT must wait until
+    /// this many cycles after the fourth-most-recent ACT.
+    pub t_faw: u64,
     /// End of write data → PRE, cycles.
     pub t_wr: u64,
     /// REF duration, cycles.
@@ -445,6 +470,7 @@ mod tests {
         assert_eq!(r.t_ras, 8);
         assert_eq!(r.t_rc, 11);
         assert_eq!(r.t_rrd, 2);
+        assert_eq!(r.t_faw, 9); // 45 ns at 5 ns/ck
         assert_eq!(r.t_rfc, 22);
         // tREFI = 7812.5 ns at 5 ns/ck = 1562.5 -> 1563
         assert_eq!(r.t_refi, 1563);
@@ -501,6 +527,10 @@ mod tests {
 
         let mut t = TimingParams::next_gen_mobile_ddr();
         t.min_clock_mhz = 600;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::next_gen_mobile_ddr();
+        t.t_faw_ns = 5.0; // below tRRD
         assert!(t.validate().is_err());
     }
 

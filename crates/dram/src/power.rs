@@ -223,7 +223,10 @@ impl EnergyModel {
         idd.validate()?;
         timing.validate()?;
         geometry.validate()?;
-        if !(op.vdd_meas_v > 0.0) || !(op.vdd_op_v > 0.0) || !(op.f_meas_mhz > 0.0) {
+        let all_positive = [op.vdd_meas_v, op.vdd_op_v, op.f_meas_mhz]
+            .iter()
+            .all(|v| *v > 0.0);
+        if !all_positive {
             return Err(DramError::InvalidTiming {
                 reason: "operating point voltages and frequency must be positive".into(),
             });
@@ -481,7 +484,10 @@ mod tests {
     fn burst_energy_magnitude_is_plausible() {
         // (105-20) mA * 1.8 V * 10 ns * 0.5625 ≈ 0.86 nJ per 16-byte burst.
         let m = model_at(400);
-        assert!(m.e_rd_burst_pj > 500.0 && m.e_rd_burst_pj < 1500.0,
-            "e_rd_burst_pj = {}", m.e_rd_burst_pj);
+        assert!(
+            m.e_rd_burst_pj > 500.0 && m.e_rd_burst_pj < 1500.0,
+            "e_rd_burst_pj = {}",
+            m.e_rd_burst_pj
+        );
     }
 }

@@ -68,8 +68,8 @@ pub fn render_timeline(
                 mark(&mut rows, bank as usize, cycle, 'P');
             }
             DramCommand::PrechargeAll => {
-                for b in 0..banks as usize {
-                    if let Some(start) = open_since[b].take() {
+                for (b, slot) in open_since.iter_mut().enumerate() {
+                    if let Some(start) = slot.take() {
                         fill_open(&mut rows, b, start, cycle);
                     }
                     mark(&mut rows, b, cycle, 'P');
@@ -83,8 +83,8 @@ pub fn render_timeline(
         }
     }
     // Banks still open at the window end.
-    for b in 0..banks as usize {
-        if let Some(start) = open_since[b] {
+    for (b, slot) in open_since.iter().enumerate() {
+        if let Some(start) = *slot {
             fill_open(&mut rows, b, start, to);
         }
     }
@@ -153,9 +153,12 @@ mod tests {
         let mut dev = BankCluster::new(&ClusterConfig::next_gen_mobile_ddr(400)).unwrap();
         dev.enable_trace();
         let t = *dev.timing();
-        dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        dev.issue(DramCommand::Activate { bank: 1, row: 0 }, t.t_rrd).unwrap();
-        dev.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd).unwrap();
+        dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        dev.issue(DramCommand::Activate { bank: 1, row: 0 }, t.t_rrd)
+            .unwrap();
+        dev.issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
+            .unwrap();
         let text = render_timeline(dev.trace().unwrap(), 4, 0, 30, 120);
         assert!(text.contains("bank0 A"));
         assert!(text.contains("bank1"));

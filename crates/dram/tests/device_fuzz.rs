@@ -8,9 +8,7 @@
 //! generates (e.g. PREA with several open banks, refresh storms,
 //! power-down entry directly after writes).
 
-use mcm_dram::{
-    BankCluster, ClusterConfig, DramCommand, TraceValidator, TracedCommand,
-};
+use mcm_dram::{BankCluster, ClusterConfig, DramCommand, TraceValidator, TracedCommand};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -148,7 +146,8 @@ fn a_x16_device_works_end_to_end() {
     let t = *dev.timing();
     // BL8 on a DDR bus occupies 4 clock cycles.
     assert_eq!(t.bl_ck, 4);
-    dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+    dev.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+        .unwrap();
     let out = dev
         .issue(DramCommand::Read { bank: 0, col: 0 }, t.t_rcd)
         .unwrap();

@@ -130,9 +130,8 @@ impl FrameLayout {
         let yuv420 = align_up(use_case.video.bytes(PixelFormat::Yuv420), BUFFER_ALIGN);
         let wvga = align_up(use_case.display.bytes(PixelFormat::Rgb888), BUFFER_ALIGN);
         // Stream rings: two frames' worth, at least 64 KiB.
-        let ring = |bits_per_frame: u64| {
-            align_up((bits_per_frame / 4).max(64 * 1024), BUFFER_ALIGN)
-        };
+        let ring =
+            |bits_per_frame: u64| align_up((bits_per_frame / 4).max(64 * 1024), BUFFER_ALIGN);
         let v_ring = ring(use_case.video_kbps * 1_000 / use_case.fps as u64);
         let a_ring = ring(use_case.audio_kbps * 1_000 / use_case.fps as u64);
         let mux_ring = v_ring + a_ring;
@@ -141,7 +140,12 @@ impl FrameLayout {
         let mut index = 0u32;
         let mut take = |len: u64| {
             let stagger = (index % options.stagger_period) as u64 * options.bank_stagger_bytes;
-            let start = align_up(cursor, BUFFER_ALIGN.max(options.bank_stagger_bytes * options.stagger_period as u64).max(1)) + stagger;
+            let start = align_up(
+                cursor,
+                BUFFER_ALIGN
+                    .max(options.bank_stagger_bytes * options.stagger_period as u64)
+                    .max(1),
+            ) + stagger;
             index += 1;
             cursor = start + len;
             Region { start, len }
@@ -283,16 +287,9 @@ mod viewfinder_layout_tests {
 
     #[test]
     fn viewfinder_layout_has_no_references_and_is_smaller() {
-        let rec = FrameLayout::new(
-            &UseCase::hd(HdOperatingPoint::Hd1080p30),
-            1 << 30,
-        )
-        .unwrap();
-        let vf = FrameLayout::new(
-            &UseCase::viewfinder(HdOperatingPoint::Hd1080p30),
-            1 << 30,
-        )
-        .unwrap();
+        let rec = FrameLayout::new(&UseCase::hd(HdOperatingPoint::Hd1080p30), 1 << 30).unwrap();
+        let vf =
+            FrameLayout::new(&UseCase::viewfinder(HdOperatingPoint::Hd1080p30), 1 << 30).unwrap();
         assert!(vf.references.is_empty());
         assert_eq!(rec.references.len(), 4);
         assert!(vf.total_bytes() < rec.total_bytes());

@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn grouping_matches_table_i() {
-        let image: Vec<_> = Stage::ALL.iter().filter(|s| s.is_image_processing()).collect();
+        let image: Vec<_> = Stage::ALL
+            .iter()
+            .filter(|s| s.is_image_processing())
+            .collect();
         assert_eq!(image.len(), 7);
         assert!(!Stage::VideoEncoder.is_image_processing());
         assert!(!Stage::MemoryCard.is_image_processing());

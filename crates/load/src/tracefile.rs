@@ -91,9 +91,21 @@ mod tests {
     #[test]
     fn roundtrip_preserves_ops() {
         let ops = vec![
-            LoadOp { write: false, addr: 0x1000, len: 64 },
-            LoadOp { write: true, addr: 0x2040, len: 16 },
-            LoadOp { write: false, addr: 12345, len: 100 },
+            LoadOp {
+                write: false,
+                addr: 0x1000,
+                len: 64,
+            },
+            LoadOp {
+                write: true,
+                addr: 0x2040,
+                len: 16,
+            },
+            LoadOp {
+                write: false,
+                addr: 12345,
+                len: 100,
+            },
         ];
         let mut buf = Vec::new();
         let n = write_trace(ops.clone(), &mut buf).unwrap();
@@ -131,8 +143,16 @@ w 0X200 8
         assert_eq!(
             ops,
             vec![
-                LoadOp { write: false, addr: 100, len: 4 },
-                LoadOp { write: true, addr: 0x200, len: 8 },
+                LoadOp {
+                    write: false,
+                    addr: 100,
+                    len: 4
+                },
+                LoadOp {
+                    write: true,
+                    addr: 0x200,
+                    len: 8
+                },
             ]
         );
     }

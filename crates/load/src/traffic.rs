@@ -87,7 +87,7 @@ impl StagePlan {
                 continue;
             }
             let frac = s.remaining() as f64 / s.total as f64;
-            if best.map_or(true, |(_, b)| frac > b) {
+            if best.is_none_or(|(_, b)| frac > b) {
                 best = Some((i, frac));
             }
         }
@@ -177,11 +177,8 @@ impl FrameTraffic {
                 Stage::VideoEncoder => {
                     let refs = layout.references.len() as u64;
                     let per_ref = bytes(t.read_bits) / refs.max(1);
-                    let mut v: Vec<StreamPlan> = layout
-                        .references
-                        .iter()
-                        .map(|r| rd(r, per_ref))
-                        .collect();
+                    let mut v: Vec<StreamPlan> =
+                        layout.references.iter().map(|r| rd(r, per_ref)).collect();
                     // Reconstructed frame, then the bitstream share.
                     let recon = bytes(use_case.video.bits(crate::formats::PixelFormat::Yuv420));
                     let bits = bytes(t.write_bits).saturating_sub(recon);
@@ -269,7 +266,12 @@ mod tests {
         let table_bytes = uc.table_row().bits_per_frame() / 8;
         let diff = (t.total_bytes() as i64 - table_bytes as i64).unsigned_abs();
         // Each stream rounds bits down to whole bytes; a handful of streams.
-        assert!(diff < 64, "traffic {} vs table {}", t.total_bytes(), table_bytes);
+        assert!(
+            diff < 64,
+            "traffic {} vs table {}",
+            t.total_bytes(),
+            table_bytes
+        );
     }
 
     #[test]
@@ -289,7 +291,11 @@ mod tests {
             let inside = regions
                 .iter()
                 .any(|r| op.addr >= r.start && op.addr + op.len as u64 <= r.end());
-            assert!(inside, "op at {:#x}+{} escapes all regions", op.addr, op.len);
+            assert!(
+                inside,
+                "op at {:#x}+{} escapes all regions",
+                op.addr, op.len
+            );
         }
     }
 
@@ -355,7 +361,10 @@ mod tests {
         let enc = uc.stage_traffic()[7];
         let per_ref = enc.read_bits / 8 / 4;
         let buf = uc.video.bits(crate::formats::PixelFormat::Yuv420) / 8;
-        assert!(per_ref > buf, "per-ref read {per_ref} must exceed buffer {buf}");
+        assert!(
+            per_ref > buf,
+            "per-ref read {per_ref} must exceed buffer {buf}"
+        );
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl UseCase {
                 reason: "fps and display_hz must be non-zero".into(),
             });
         }
-        if !(self.digizoom >= 1.0) || !self.digizoom.is_finite() {
+        if !self.digizoom.is_finite() || self.digizoom < 1.0 {
             return Err(LoadError::BadParam {
                 reason: format!("digizoom {} must be finite and >= 1", self.digizoom),
             });
@@ -361,7 +361,11 @@ mod tests {
                 .total_bits();
             for t in &traffic {
                 if t.stage != Stage::VideoEncoder {
-                    assert!(enc > t.total_bits(), "{p}: {} out-trafficked encoder", t.stage);
+                    assert!(
+                        enc > t.total_bits(),
+                        "{p}: {} out-trafficked encoder",
+                        t.stage
+                    );
                 }
             }
         }
@@ -400,7 +404,10 @@ mod tests {
 
         let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
         uc.fps = 120; // exceeds level 3.1 throughput
-        assert!(matches!(uc.validate(), Err(LoadError::LevelExceeded { .. })));
+        assert!(matches!(
+            uc.validate(),
+            Err(LoadError::LevelExceeded { .. })
+        ));
 
         let mut uc = UseCase::hd(HdOperatingPoint::Hd720p30);
         uc.video_kbps = 1_000_000;
@@ -429,7 +436,10 @@ mod tests {
     #[test]
     fn table_row_units_are_consistent() {
         let row = UseCase::hd(HdOperatingPoint::Hd720p30).table_row();
-        assert_eq!(row.bits_per_frame(), row.image_bits_per_frame + row.coding_bits_per_frame);
+        assert_eq!(
+            row.bits_per_frame(),
+            row.image_bits_per_frame + row.coding_bits_per_frame
+        );
         assert_eq!(row.bits_per_second(), row.bits_per_frame() * 30);
         let mbs = row.mbytes_per_second();
         assert!((row.gbytes_per_second() - mbs / 1e3).abs() < 1e-9);
@@ -470,6 +480,9 @@ mod viewfinder_tests {
     #[test]
     fn default_mode_is_recording() {
         assert_eq!(UseCaseMode::default(), UseCaseMode::Recording);
-        assert_eq!(UseCase::hd(HdOperatingPoint::Hd720p30).mode, UseCaseMode::Recording);
+        assert_eq!(
+            UseCase::hd(HdOperatingPoint::Hd720p30).mode,
+            UseCaseMode::Recording
+        );
     }
 }

@@ -16,28 +16,31 @@ fn arb_use_case() -> impl Strategy<Value = UseCase> {
         1u32..=4,
         Just(()),
     )
-        .prop_filter_map("format must fit some level", |((w, h), fps, zoom, refs, ())| {
-            let w = w & !15; // macroblock-align to keep sizes sane
-            let h = h & !15;
-            let video = FrameFormat::new(w.max(16), h.max(16)).ok()?;
-            let level = H264Level::minimum_for(video, fps).ok()?;
-            let refs = refs.min(level.max_ref_frames(video)).max(1);
-            let uc = UseCase {
-                video,
-                fps,
-                level,
-                digizoom: zoom,
-                display: FrameFormat::WVGA,
-                display_hz: 60,
-                video_kbps: level.limits().max_br_kbps,
-                audio_kbps: 128,
-                ref_frames: RefFrames::Fixed(refs),
-                encoder_factor: 6,
-                mode: mcm_load::UseCaseMode::Recording,
-            };
-            uc.validate().ok()?;
-            Some(uc)
-        })
+        .prop_filter_map(
+            "format must fit some level",
+            |((w, h), fps, zoom, refs, ())| {
+                let w = w & !15; // macroblock-align to keep sizes sane
+                let h = h & !15;
+                let video = FrameFormat::new(w.max(16), h.max(16)).ok()?;
+                let level = H264Level::minimum_for(video, fps).ok()?;
+                let refs = refs.min(level.max_ref_frames(video)).max(1);
+                let uc = UseCase {
+                    video,
+                    fps,
+                    level,
+                    digizoom: zoom,
+                    display: FrameFormat::WVGA,
+                    display_hz: 60,
+                    video_kbps: level.limits().max_br_kbps,
+                    audio_kbps: 128,
+                    ref_frames: RefFrames::Fixed(refs),
+                    encoder_factor: 6,
+                    mode: mcm_load::UseCaseMode::Recording,
+                };
+                uc.validate().ok()?;
+                Some(uc)
+            },
+        )
 }
 
 proptest! {

@@ -204,9 +204,7 @@ impl<const N: usize> StateResidency<N> {
 
     /// Sum of the residencies over all states.
     pub fn total_tracked(&self) -> SimTime {
-        self.total
-            .iter()
-            .fold(SimTime::ZERO, |acc, &t| acc + t)
+        self.total.iter().fold(SimTime::ZERO, |acc, &t| acc + t)
     }
 }
 

@@ -255,7 +255,7 @@ impl Frequency {
 
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 && self.0 % 100_000_000 == 0 {
+        if self.0 >= 1_000_000_000 && self.0.is_multiple_of(100_000_000) {
             write!(f, "{:.1} GHz", self.0 as f64 / 1e9)
         } else if self.0 >= 1_000_000 {
             write!(f, "{} MHz", self.0 / 1_000_000)

@@ -1,0 +1,351 @@
+//! Cross-channel invariant checks (`MCM201`–`MCM203`).
+//!
+//! The paper's multi-channel design rests on three structural properties:
+//! low-order interleaving sends every 16-byte chunk to exactly one channel
+//! with a dense local address space, the per-channel address decode is a
+//! bijection, and sequential traffic loads all channels evenly. These
+//! checks state those properties over *any* mapping function, so tests can
+//! inject deliberately broken mappings and assert the right rule fires.
+
+use std::collections::HashMap;
+
+use mcm_channel::InterleaveMap;
+use mcm_dram::{AddressDecoder, AddressMapping, Geometry};
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+
+/// Rule identifiers owned by this module: `(id, what it checks)`.
+pub const CHANNEL_RULES: [(&str, &str); 3] = [
+    (
+        "MCM201",
+        "interleave coverage: every chunk maps to exactly one channel, local space dense",
+    ),
+    (
+        "MCM202",
+        "address decode round-trip: decode∘encode is the identity under every mapping mode",
+    ),
+    (
+        "MCM203",
+        "traffic balance: per-channel byte counts stay within tolerance of the mean",
+    ),
+];
+
+/// Cap on findings per check; the excess becomes one summarizing note.
+const MAX_FINDINGS: usize = 16;
+
+fn cap_note(report: &mut Report, id: &'static str, total: usize) {
+    if total > MAX_FINDINGS {
+        report.push(Diagnostic::new(
+            id,
+            Severity::Note,
+            format!("{} further finding(s) suppressed", total - MAX_FINDINGS),
+        ));
+    }
+}
+
+/// `MCM201`: checks that `map` sends every granule-sized chunk of
+/// `[0, span_bytes)` to exactly one in-range channel, injectively, and
+/// that each channel's local granule addresses are dense from zero.
+///
+/// The mapping is passed as a function so a test can hand in a broken one;
+/// production callers wrap an [`InterleaveMap`] via [`check_interleave`].
+pub fn check_chunk_coverage(
+    channels: u32,
+    granule_bytes: u64,
+    span_bytes: u64,
+    map: impl Fn(u64) -> (u32, u64),
+) -> Report {
+    let mut report = Report::new();
+    if channels == 0 || granule_bytes == 0 {
+        report.push(Diagnostic::new(
+            "MCM201",
+            Severity::Error,
+            format!("degenerate interleave: {channels} channels × {granule_bytes} B granule"),
+        ));
+        return report;
+    }
+    let mut claimed: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut locals: Vec<Vec<u64>> = vec![Vec::new(); channels as usize];
+    let mut failures = 0usize;
+    let mut fail = |report: &mut Report, ch: Option<u32>, msg: String| {
+        failures += 1;
+        if failures <= MAX_FINDINGS {
+            let mut d = Diagnostic::new("MCM201", Severity::Error, msg);
+            if let Some(ch) = ch {
+                d = d.at(Location::channel(ch));
+            }
+            report.push(d);
+        }
+    };
+    let mut addr = 0u64;
+    while addr < span_bytes {
+        let (ch, local) = map(addr);
+        if ch >= channels {
+            fail(
+                &mut report,
+                None,
+                format!("chunk at {addr:#x} maps to channel {ch}, but only {channels} exist"),
+            );
+        } else if local % granule_bytes != 0 {
+            fail(
+                &mut report,
+                Some(ch),
+                format!("chunk at {addr:#x} lands mid-granule at local {local:#x}"),
+            );
+        } else if let Some(prev) = claimed.insert((ch, local), addr) {
+            fail(
+                &mut report,
+                Some(ch),
+                format!(
+                    "chunks at {prev:#x} and {addr:#x} collide on channel {ch} local {local:#x}"
+                ),
+            );
+        } else {
+            locals[ch as usize].push(local);
+        }
+        addr += granule_bytes;
+    }
+    // Even distribution: over whole stripes, a correct rotation hands every
+    // channel exactly the same number of chunks.
+    let stripe = granule_bytes * channels as u64;
+    let expected = (span_bytes % stripe == 0).then(|| span_bytes / stripe);
+    // Density: a correct rotation leaves no holes in any channel's local
+    // granule sequence.
+    for (ch, mut ls) in locals.into_iter().enumerate() {
+        if let Some(expected) = expected {
+            if ls.len() as u64 != expected {
+                fail(
+                    &mut report,
+                    Some(ch as u32),
+                    format!(
+                        "channel {ch} received {} chunk(s), expected {expected}",
+                        ls.len()
+                    ),
+                );
+            }
+        }
+        ls.sort_unstable();
+        for (k, l) in ls.iter().enumerate() {
+            if *l != k as u64 * granule_bytes {
+                fail(
+                    &mut report,
+                    Some(ch as u32),
+                    format!(
+                        "channel {ch} local space has a hole: expected {:#x}, found {l:#x}",
+                        k as u64 * granule_bytes
+                    ),
+                );
+                break;
+            }
+        }
+    }
+    cap_note(&mut report, "MCM201", failures);
+    report
+}
+
+/// [`check_chunk_coverage`] over a real [`InterleaveMap`], spanning
+/// `stripes` full rotations, plus the `split`/`join` round-trip (`MCM202`
+/// applied to the interleave layer).
+pub fn check_interleave(map: &InterleaveMap, stripes: u64) -> Report {
+    let granule = map.granule_bytes();
+    let span = granule * map.channels() as u64 * stripes;
+    let mut report = check_chunk_coverage(map.channels(), granule, span, |a| map.split(a));
+    let mut failures = 0usize;
+    let mut addr = 0u64;
+    while addr < span {
+        let (ch, local) = map.split(addr);
+        match map.join(ch, local) {
+            Ok(back) if back == addr => {}
+            Ok(back) => {
+                failures += 1;
+                if failures <= MAX_FINDINGS {
+                    report.push(
+                        Diagnostic::new(
+                            "MCM202",
+                            Severity::Error,
+                            format!(
+                                "interleave round-trip: {addr:#x} → ({ch}, {local:#x}) → {back:#x}"
+                            ),
+                        )
+                        .at(Location::channel(ch)),
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                if failures <= MAX_FINDINGS {
+                    report.push(Diagnostic::new(
+                        "MCM202",
+                        Severity::Error,
+                        format!("interleave join({ch}, {local:#x}) failed: {e}"),
+                    ));
+                }
+            }
+        }
+        addr += granule;
+    }
+    cap_note(&mut report, "MCM202", failures);
+    report
+}
+
+/// `MCM202`: checks that `encode(decode(addr)) == addr` over a structured
+/// address sample for every requested [`AddressMapping`] mode.
+///
+/// The sample walks every bank/row boundary region plus a uniform stride,
+/// which is where mapping bugs (swapped fields, off-by-one shifts) bite.
+pub fn check_address_roundtrip(
+    geometry: &Geometry,
+    mappings: &[AddressMapping],
+    samples_per_mode: u64,
+) -> Report {
+    let mut report = Report::new();
+    let capacity = geometry.capacity_bytes();
+    let burst = geometry.burst_bytes() as u64;
+    let page = geometry.page_bytes() as u64;
+    for &mapping in mappings {
+        let decoder = match AddressDecoder::new(*geometry, mapping) {
+            Ok(d) => d,
+            Err(e) => {
+                report.push(Diagnostic::new(
+                    "MCM202",
+                    Severity::Error,
+                    format!("decoder construction failed for {mapping:?}: {e}"),
+                ));
+                continue;
+            }
+        };
+        let mut failures = 0usize;
+        let stride = (capacity / samples_per_mode.max(1)).max(burst) & !(burst - 1);
+        let mut probe = |addr: u64, report: &mut Report| {
+            if addr >= capacity {
+                return;
+            }
+            let outcome = decoder
+                .decode(addr)
+                .and_then(|d| decoder.encode(d).map(|back| (d, back)));
+            let ok = matches!(outcome, Ok((_, back)) if back == addr);
+            if !ok {
+                failures += 1;
+                if failures <= MAX_FINDINGS {
+                    report.push(Diagnostic::new(
+                        "MCM202",
+                        Severity::Error,
+                        match outcome {
+                            Ok((d, back)) => format!(
+                                "{mapping:?}: {addr:#x} → bank {} row {} col {} → {back:#x}",
+                                d.bank, d.row, d.col
+                            ),
+                            Err(e) => {
+                                format!("{mapping:?}: decode/encode of {addr:#x} failed: {e}")
+                            }
+                        },
+                    ));
+                }
+            }
+        };
+        for k in 0..samples_per_mode {
+            probe(k * stride, &mut report);
+        }
+        // Boundary probes: around each page edge of bank 0 and the very top.
+        for edge in [
+            page,
+            page * 2,
+            capacity / geometry.banks as u64,
+            capacity - burst,
+        ] {
+            probe(edge.saturating_sub(burst), &mut report);
+            probe(edge, &mut report);
+        }
+        cap_note(&mut report, "MCM202", failures);
+    }
+    report
+}
+
+/// `MCM203`: checks that per-channel traffic (bytes or bursts) stays
+/// within `tolerance` (relative) of the mean. Imbalance is a warning, not
+/// an error — it wastes parallelism but breaks no rule.
+pub fn check_traffic_balance(per_channel: &[u64], tolerance: f64) -> Report {
+    let mut report = Report::new();
+    if per_channel.is_empty() {
+        return report;
+    }
+    let total: u64 = per_channel.iter().sum();
+    let mean = total as f64 / per_channel.len() as f64;
+    if mean == 0.0 {
+        return report;
+    }
+    for (ch, &n) in per_channel.iter().enumerate() {
+        let deviation = (n as f64 - mean).abs() / mean;
+        if deviation > tolerance {
+            report.push(
+                Diagnostic::new(
+                    "MCM203",
+                    Severity::Warning,
+                    format!(
+                        "channel {ch} carried {n} of mean {mean:.0} ({:+.1}% vs ±{:.1}% tolerance)",
+                        (n as f64 / mean - 1.0) * 100.0,
+                        tolerance * 100.0
+                    ),
+                )
+                .at(Location::channel(ch as u32)),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_interleave_is_clean() {
+        for channels in [1u32, 2, 4, 8] {
+            let map = InterleaveMap::paper(channels).unwrap();
+            let r = check_interleave(&map, 64);
+            assert!(r.is_clean(), "{channels} ch:\n{}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn broken_mapping_trips_mcm201() {
+        // Everything to channel 0, locally dense: injectivity and density
+        // hold, but the stripes are not distributed.
+        let r = check_chunk_coverage(4, 16, 4 * 16 * 8, |a| (0, a));
+        assert!(r.has_errors());
+        assert!(r.ids().contains(&"MCM201"), "{}", r.render_human());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("expected 8")));
+
+        // Channel out of range.
+        let r = check_chunk_coverage(2, 16, 64, |a| ((a / 16) as u32, 0));
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("only 2 exist")));
+
+        // Two chunks collide on one local granule.
+        let r = check_chunk_coverage(2, 16, 64, |a| ((a / 16 % 2) as u32, 0));
+        assert!(r.diagnostics.iter().any(|d| d.message.contains("collide")));
+    }
+
+    #[test]
+    fn address_roundtrip_clean_on_real_decoders() {
+        let g = Geometry::next_gen_mobile_ddr();
+        let r = check_address_roundtrip(&g, &[AddressMapping::Rbc, AddressMapping::Brc], 64);
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn balance_flags_a_skewed_channel() {
+        // Mean 105: the three 100s sit within 10 %, the 120 does not.
+        let r = check_traffic_balance(&[100, 100, 100, 120], 0.10);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.diagnostics[0].location.channel, Some(3));
+        assert!(check_traffic_balance(&[100, 100, 100, 104], 0.10).is_clean());
+        assert!(check_traffic_balance(&[], 0.10).is_clean());
+        assert!(check_traffic_balance(&[0, 0], 0.10).is_clean());
+    }
+}

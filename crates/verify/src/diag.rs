@@ -1,0 +1,308 @@
+//! Diagnostic types shared by every pass: severity, location, report,
+//! and the human/JSON renderings `mcm check` prints.
+
+use core::fmt;
+
+use serde_json::{json, Value};
+
+/// How bad a finding is.
+///
+/// `Error` findings fail a check run (non-zero exit from `mcm check`);
+/// warnings and notes are informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The model is wrong: a rule the hardware or the paper mandates is
+    /// broken.
+    Error,
+    /// Legal but suspicious; likely to produce misleading results.
+    Warning,
+    /// Context the reader may want (e.g. suppressed-finding counts).
+    Note,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where in the simulated system a finding points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Memory channel, when the finding is per-channel.
+    pub channel: Option<u32>,
+    /// Interface-clock cycle, for trace findings.
+    pub cycle: Option<u64>,
+    /// Index of the offending command in its trace.
+    pub command_index: Option<usize>,
+}
+
+impl Location {
+    /// A channel-only location.
+    pub fn channel(ch: u32) -> Self {
+        Location {
+            channel: Some(ch),
+            ..Location::default()
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.channel.is_none() && self.cycle.is_none() && self.command_index.is_none()
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(ch) = self.channel {
+            parts.push(format!("channel {ch}"));
+        }
+        if let Some(c) = self.cycle {
+            parts.push(format!("cycle {c}"));
+        }
+        if let Some(i) = self.command_index {
+            parts.push(format!("command #{i}"));
+        }
+        f.write_str(&parts.join(", "))
+    }
+}
+
+/// One finding from any pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `MCM002` or `MCM102`.
+    pub id: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// One-line human-readable description of this particular finding.
+    pub message: String,
+    /// Where it points, if anywhere specific.
+    pub location: Location,
+    /// Optional multi-line context (e.g. an ASCII waveform excerpt).
+    pub context: Option<String>,
+}
+
+impl Diagnostic {
+    /// A context-free finding.
+    pub fn new(id: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            id,
+            severity,
+            message: message.into(),
+            location: Location::default(),
+            context: None,
+        }
+    }
+
+    /// Attaches a location.
+    pub fn at(mut self, location: Location) -> Self {
+        self.location = location;
+        self
+    }
+
+    /// Attaches rendered context.
+    pub fn with_context(mut self, context: impl Into<String>) -> Self {
+        self.context = Some(context.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.severity, self.id, self.message)?;
+        if !self.location.is_empty() {
+            write!(f, " ({})", self.location)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of findings from one or more passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The findings, in the order the passes produced them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether the report carries no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The distinct rule ids present, in first-seen order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        let mut ids = Vec::new();
+        for d in &self.diagnostics {
+            if !ids.contains(&d.id) {
+                ids.push(d.id);
+            }
+        }
+        ids
+    }
+
+    /// Orders findings most-severe first (stable within a severity).
+    pub fn sort_by_severity(&mut self) {
+        self.diagnostics.sort_by_key(|d| d.severity);
+    }
+
+    /// The human rendering `mcm check` prints: one line per finding plus
+    /// indented context blocks, then a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+            if let Some(ctx) = &d.context {
+                for line in ctx.lines() {
+                    out.push_str("    ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        let (e, w, n) = (
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+        );
+        if self.is_clean() {
+            out.push_str("check clean: 0 findings\n");
+        } else {
+            out.push_str(&format!(
+                "check found {e} error(s), {w} warning(s), {n} note(s)\n"
+            ));
+        }
+        out
+    }
+
+    /// The machine rendering behind `mcm check --json`.
+    pub fn to_json(&self) -> Value {
+        let findings: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                json!({
+                    "id": d.id,
+                    "severity": d.severity.label(),
+                    "message": d.message,
+                    "channel": d.location.channel,
+                    "cycle": d.location.cycle,
+                    "command_index": d.location.command_index,
+                    "context": d.context,
+                })
+            })
+            .collect();
+        json!({
+            "findings": findings,
+            "summary": {
+                "errors": self.error_count(),
+                "warnings": self.count(Severity::Warning),
+                "notes": self.count(Severity::Note),
+                "clean": self.is_clean(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Note);
+    }
+
+    #[test]
+    fn display_includes_id_and_location() {
+        let d = Diagnostic::new("MCM002", Severity::Error, "tRCD: ACT at 3").at(Location {
+            channel: Some(1),
+            cycle: Some(9),
+            command_index: Some(4),
+        });
+        assert_eq!(
+            d.to_string(),
+            "error [MCM002]: tRCD: ACT at 3 (channel 1, cycle 9, command #4)"
+        );
+    }
+
+    #[test]
+    fn report_counts_and_sorting() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new("MCM203", Severity::Note, "n"));
+        r.push(Diagnostic::new("MCM102", Severity::Error, "e"));
+        r.push(Diagnostic::new("MCM105", Severity::Warning, "w"));
+        assert_eq!(r.error_count(), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        r.sort_by_severity();
+        assert_eq!(r.diagnostics[0].id, "MCM102");
+        assert_eq!(r.ids(), vec!["MCM102", "MCM105", "MCM203"]);
+    }
+
+    #[test]
+    fn renders_human_and_json() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new("MCM012", Severity::Error, "refresh budget")
+                .with_context("ruler\nwave"),
+        );
+        let human = r.render_human();
+        assert!(human.contains("error [MCM012]"));
+        assert!(human.contains("    wave"));
+        assert!(human.contains("1 error(s)"));
+        let j = r.to_json();
+        let s = j.to_string();
+        assert!(s.contains("\"MCM012\""));
+        assert!(s.contains("\"clean\":false"));
+
+        let clean = Report::new();
+        assert!(clean.render_human().contains("check clean"));
+    }
+}

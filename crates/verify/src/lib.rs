@@ -1,0 +1,73 @@
+//! `mcm-verify`: the conformance-checking and lint subsystem.
+//!
+//! Three static-analysis passes over the rest of the workspace, each
+//! producing [`Diagnostic`]s with stable `MCMxxx` identifiers:
+//!
+//! * **Trace audit** ([`audit_trace`]): replays a recorded DRAM command
+//!   trace through the independent timing oracle
+//!   ([`mcm_dram::TraceValidator`]) and renders each violation with its
+//!   rule identifier (`MCM001`–`MCM015`), severity and a cycle-accurate
+//!   ASCII-waveform excerpt of the offending window.
+//! * **Config lint** ([`config`]): statically validates a
+//!   datasheet/controller/use-case combination *before* simulation —
+//!   resolved-timing consistency (`MCM101`), Table I bandwidth feasibility
+//!   against the channel count (`MCM102`), use-case/H.264-level legality
+//!   (`MCM103`), interface-power parameter sanity (`MCM104`) and
+//!   controller policy sanity (`MCM105`).
+//! * **Cross-channel invariants** ([`channels`]): every 16-byte chunk maps
+//!   to exactly one channel (`MCM201`), address decode round-trips under
+//!   all mapping modes (`MCM202`), and per-channel traffic stays balanced
+//!   within tolerance (`MCM203`).
+//!
+//! The `mcm check` CLI subcommand drives all three; the simulation engine
+//! can run the trace audit inline behind a `--verify` flag.
+//!
+//! Identifier ranges are a contract: `MCM0xx` trace rules, `MCM1xx`
+//! configuration lint, `MCM2xx` cross-channel invariants. Never renumber.
+
+pub mod channels;
+pub mod config;
+pub mod diag;
+pub mod trace;
+
+pub use channels::{
+    check_address_roundtrip, check_chunk_coverage, check_interleave, check_traffic_balance,
+};
+pub use config::{lint_all, lint_feasibility, lint_interface, lint_memory_config, lint_use_case};
+pub use diag::{Diagnostic, Location, Report, Severity};
+pub use trace::{audit_trace, TraceAuditOptions};
+
+/// The full rule catalogue: `(id, what the rule checks)`, in id order.
+pub fn rule_catalogue() -> Vec<(&'static str, &'static str)> {
+    let mut rules: Vec<(&'static str, &'static str)> = mcm_dram::RuleKind::ALL
+        .iter()
+        .map(|k| (k.id(), k.describe()))
+        .collect();
+    rules.extend_from_slice(&config::CONFIG_RULES);
+    rules.extend_from_slice(&channels::CHANNEL_RULES);
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_ids_are_unique_and_ordered() {
+        let rules = rule_catalogue();
+        assert!(
+            rules.len() >= 23,
+            "expected full catalogue, got {}",
+            rules.len()
+        );
+        let mut ids: Vec<&str> = rules.iter().map(|(id, _)| *id).collect();
+        let sorted = {
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(ids, sorted, "catalogue must be in id order");
+        ids.dedup();
+        assert_eq!(ids.len(), rules.len(), "duplicate rule ids");
+    }
+}

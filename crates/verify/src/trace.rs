@@ -1,0 +1,160 @@
+//! Trace audit: the timing oracle rendered as diagnostics.
+//!
+//! Wraps [`mcm_dram::TraceValidator`] — the independent, pairwise
+//! re-implementation of the JEDEC-style timing rules — and turns each
+//! [`mcm_dram::Violation`] into a [`Diagnostic`] carrying the stable
+//! `MCM0xx` identifier of its [`mcm_dram::RuleKind`], the offending
+//! channel/cycle/command location, and (optionally) an ASCII-waveform
+//! excerpt of the cycles around the violation rendered with
+//! [`mcm_dram::timeline::render_timeline`].
+
+use mcm_dram::timeline::render_timeline;
+use mcm_dram::{Geometry, ResolvedTiming, TraceValidator, TracedCommand};
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+
+/// How [`audit_trace`] runs and renders.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceAuditOptions {
+    /// Enforce the refresh-interval budget rule (`MCM012`) with this
+    /// postpone allowance (a controller's `RefreshPolicy::max_postpone`).
+    /// `None` skips the rule — right for trace fragments that carry no
+    /// refresh obligations.
+    pub refresh_budget: Option<u32>,
+    /// Attach a waveform excerpt around each violation.
+    pub waveforms: bool,
+    /// Which channel the trace belongs to (labelling only).
+    pub channel: Option<u32>,
+    /// Cap on rendered findings per trace; the excess is summarized in a
+    /// single note so nothing is dropped silently.
+    pub max_findings: usize,
+}
+
+impl Default for TraceAuditOptions {
+    fn default() -> Self {
+        TraceAuditOptions {
+            refresh_budget: None,
+            waveforms: true,
+            channel: None,
+            max_findings: 32,
+        }
+    }
+}
+
+/// Cycles of context rendered before/after a violation.
+const WAVE_BEFORE: u64 = 24;
+const WAVE_AFTER: u64 = 8;
+
+/// Replays `trace` through the timing oracle and reports every violation
+/// as a diagnostic.
+pub fn audit_trace(
+    timing: &ResolvedTiming,
+    geometry: &Geometry,
+    trace: &[TracedCommand],
+    opts: &TraceAuditOptions,
+) -> Report {
+    let mut validator = TraceValidator::new(*timing, *geometry);
+    if let Some(allowance) = opts.refresh_budget {
+        validator = validator.with_refresh_budget(allowance);
+    }
+    let violations = validator.check(trace);
+
+    let mut report = Report::new();
+    let rendered = violations.len().min(opts.max_findings);
+    for v in &violations[..rendered] {
+        let mut d = Diagnostic::new(v.kind.id(), Severity::Error, v.to_string()).at(Location {
+            channel: opts.channel,
+            cycle: Some(v.cycle),
+            command_index: Some(v.index),
+        });
+        if opts.waveforms {
+            let from = v.cycle.saturating_sub(WAVE_BEFORE);
+            let to = v.cycle + WAVE_AFTER;
+            d = d.with_context(render_timeline(trace, geometry.banks, from, to, 100));
+        }
+        report.push(d);
+    }
+    if violations.len() > rendered {
+        report.push(Diagnostic::new(
+            "MCM001",
+            Severity::Note,
+            format!(
+                "{} further trace violation(s) suppressed (max_findings = {})",
+                violations.len() - rendered,
+                opts.max_findings
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_dram::{DramCommand, TimingParams};
+
+    fn setup() -> (ResolvedTiming, Geometry) {
+        let g = Geometry::next_gen_mobile_ddr();
+        let t = TimingParams::next_gen_mobile_ddr()
+            .resolve(400, &g)
+            .unwrap();
+        (t, g)
+    }
+
+    fn tc(cycle: u64, cmd: DramCommand) -> TracedCommand {
+        TracedCommand { cycle, cmd }
+    }
+
+    #[test]
+    fn clean_trace_audits_clean() {
+        let (t, g) = setup();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+            tc(6, DramCommand::Read { bank: 0, col: 0 }),
+            tc(16, DramCommand::Precharge { bank: 0 }),
+        ];
+        let r = audit_trace(&t, &g, &trace, &TraceAuditOptions::default());
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn violation_carries_id_location_and_waveform() {
+        let (t, g) = setup();
+        let trace = [
+            tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+            tc(3, DramCommand::Read { bank: 0, col: 0 }), // tRCD = 6
+        ];
+        let opts = TraceAuditOptions {
+            channel: Some(2),
+            ..TraceAuditOptions::default()
+        };
+        let r = audit_trace(&t, &g, &trace, &opts);
+        assert_eq!(r.error_count(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.id, "MCM002");
+        assert_eq!(d.location.channel, Some(2));
+        assert_eq!(d.location.cycle, Some(3));
+        let wave = d.context.as_deref().unwrap();
+        // The excerpt shows the bank rows and the offending read.
+        assert!(wave.contains("bank"), "{wave}");
+        assert!(wave.contains('r'), "{wave}");
+    }
+
+    #[test]
+    fn finding_cap_is_reported_not_silent() {
+        let (t, g) = setup();
+        // Every command re-reads a closed bank: one violation each.
+        let trace: Vec<TracedCommand> = (0..10)
+            .map(|k| tc(k * 30, DramCommand::Read { bank: 0, col: 0 }))
+            .collect();
+        let opts = TraceAuditOptions {
+            waveforms: false,
+            max_findings: 3,
+            ..TraceAuditOptions::default()
+        };
+        let r = audit_trace(&t, &g, &trace, &opts);
+        assert_eq!(r.error_count(), 3);
+        assert_eq!(r.count(Severity::Note), 1);
+        assert!(r.render_human().contains("suppressed"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Mutation-style conformance tests: start from a known-legal command
+//! trace (or a known-good configuration), inject exactly one violation
+//! class, and assert that `mcm-verify` reports exactly that rule ID —
+//! no more, no less. This pins both the detection power and the
+//! precision of the checker: a rule that also fires on legal traces
+//! would break the `ids() == [..]` equalities below.
+
+use mcm_dram::{DramCommand, Geometry, ResolvedTiming, TimingParams, TracedCommand};
+use mcm_verify::{audit_trace, Report, TraceAuditOptions};
+
+fn setup() -> (ResolvedTiming, Geometry) {
+    let g = Geometry::next_gen_mobile_ddr();
+    let t = TimingParams::next_gen_mobile_ddr()
+        .resolve(400, &g)
+        .unwrap();
+    (t, g)
+}
+
+fn tc(cycle: u64, cmd: DramCommand) -> TracedCommand {
+    TracedCommand { cycle, cmd }
+}
+
+fn audit(t: &ResolvedTiming, g: &Geometry, trace: &[TracedCommand]) -> Report {
+    audit_trace(t, g, trace, &TraceAuditOptions::default())
+}
+
+/// A legal open-read-close round on bank 0, repeated twice.
+fn legal_trace(t: &ResolvedTiming) -> Vec<TracedCommand> {
+    let round = t.t_rc + t.t_rp;
+    let mut trace = Vec::new();
+    for k in 0..2u64 {
+        let base = k * round;
+        trace.push(tc(base, DramCommand::Activate { bank: 0, row: 1 }));
+        trace.push(tc(base + t.t_rcd, DramCommand::Read { bank: 0, col: 0 }));
+        trace.push(tc(base + t.t_rc, DramCommand::Precharge { bank: 0 }));
+    }
+    trace
+}
+
+#[test]
+fn the_legal_base_trace_is_clean() {
+    let (t, g) = setup();
+    let r = audit(&t, &g, &legal_trace(&t));
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn mcm001_two_commands_in_one_cycle() {
+    let (t, g) = setup();
+    // A PRE to an idle bank is a legal no-op, so sharing cycle 0 with the
+    // ACT trips only the command-bus rule.
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(0, DramCommand::Precharge { bank: 1 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM001"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm002_read_inside_trcd() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(t.t_rcd - 1, DramCommand::Read { bank: 0, col: 0 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM002"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm003_precharge_inside_tras() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(t.t_ras - 1, DramCommand::Precharge { bank: 0 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM003"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm005_activate_inside_trp() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(t.t_rc, DramCommand::Precharge { bank: 0 }),
+        // tRC from the first ACT is already satisfied; only tRP is short.
+        tc(
+            t.t_rc + t.t_rp - 1,
+            DramCommand::Activate { bank: 0, row: 2 },
+        ),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM005"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm006_activate_inside_trrd() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(t.t_rrd - 1, DramCommand::Activate { bank: 1, row: 1 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM006"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm007_column_command_to_a_closed_bank() {
+    let (t, g) = setup();
+    let trace = [tc(10, DramCommand::Read { bank: 0, col: 0 })];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM007"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm008_reads_overlap_on_the_data_bus() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(t.t_rcd, DramCommand::Read { bank: 0, col: 0 }),
+        tc(t.t_rcd + t.bl_ck - 1, DramCommand::Read { bank: 0, col: 4 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM008"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm009_read_inside_write_turnaround() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(t.t_rcd, DramCommand::Write { bank: 0, col: 0 }),
+        // One cycle after the write: inside tWTR, outside every other rule.
+        tc(t.t_rcd + 1, DramCommand::Read { bank: 0, col: 4 }),
+    ];
+    assert!(t.wr_to_rd() > 1, "preset sanity");
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM009"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm010_precharge_inside_write_recovery() {
+    let (t, g) = setup();
+    // Write late enough that tRAS is satisfied at the precharge and only
+    // the write-recovery window is cut short.
+    let wr = t.t_ras;
+    let pre = wr + t.wl + t.bl_ck + t.t_wr - 1;
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(wr, DramCommand::Write { bank: 0, col: 0 }),
+        tc(pre, DramCommand::Precharge { bank: 0 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM010"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm011_activate_inside_trfc() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::Refresh),
+        tc(t.t_rfc - 1, DramCommand::Activate { bank: 0, row: 1 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM011"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm012_refresh_budget_exceeded() {
+    let (t, g) = setup();
+    // A legal but refresh-free trace spanning three tREFI intervals.
+    let trace = [
+        tc(0, DramCommand::Activate { bank: 0, row: 1 }),
+        tc(t.t_ras, DramCommand::Precharge { bank: 0 }),
+        tc(3 * t.t_refi, DramCommand::Activate { bank: 0, row: 2 }),
+    ];
+    // Without the budget rule the trace is clean...
+    let r = audit(&t, &g, &trace);
+    assert!(r.is_clean(), "{}", r.render_human());
+    // ...with it (allowance 0) the overdue refreshes are the only finding.
+    let opts = TraceAuditOptions {
+        refresh_budget: Some(0),
+        ..TraceAuditOptions::default()
+    };
+    let r = audit_trace(&t, &g, &trace, &opts);
+    assert_eq!(r.ids(), vec!["MCM012"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm013_activate_while_powered_down() {
+    let (t, g) = setup();
+    let trace = [
+        tc(0, DramCommand::PowerDownEnter),
+        tc(t.t_cke_min + 4, DramCommand::Activate { bank: 0, row: 1 }),
+    ];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM013"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm014_srx_without_self_refresh() {
+    let (t, g) = setup();
+    let trace = [tc(10, DramCommand::SelfRefreshExit)];
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM014"], "{}", r.render_human());
+}
+
+#[test]
+fn mcm015_fifth_activate_inside_tfaw() {
+    // Needs more than four banks, or tRC masks the window.
+    let mut g = Geometry::next_gen_mobile_ddr();
+    g.banks = 8;
+    g.rows = 4096;
+    let t = TimingParams::next_gen_mobile_ddr()
+        .resolve(400, &g)
+        .unwrap();
+    let trace: Vec<TracedCommand> = (0u64..5)
+        .map(|k| {
+            tc(
+                k * t.t_rrd,
+                DramCommand::Activate {
+                    bank: k as u32,
+                    row: 0,
+                },
+            )
+        })
+        .collect();
+    let r = audit(&t, &g, &trace);
+    assert_eq!(r.ids(), vec!["MCM015"], "{}", r.render_human());
+}
+
+mod config_and_channel_mutations {
+    use mcm_channel::MemoryConfig;
+    use mcm_load::{HdOperatingPoint, UseCase};
+    use mcm_power::InterfacePowerModel;
+    use mcm_verify::{check_chunk_coverage, check_traffic_balance, lint_all, lint_feasibility};
+
+    #[test]
+    fn the_paper_config_lints_clean() {
+        let r = lint_all(
+            &UseCase::hd(HdOperatingPoint::Hd1080p30),
+            &MemoryConfig::paper(4, 400),
+            &InterfacePowerModel::paper(),
+        );
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn mcm102_uhd_on_a_single_slow_channel() {
+        let r = lint_feasibility(
+            &UseCase::hd(HdOperatingPoint::Uhd2160p30),
+            &MemoryConfig::paper(1, 200),
+        );
+        assert_eq!(r.ids(), vec!["MCM102"], "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn mcm201_mapping_that_skips_a_channel() {
+        // Rotation over 3 of 4 channels: channel 3 starves, locals collide.
+        let r = check_chunk_coverage(4, 16, 4 * 16 * 16, |a| {
+            let chunk = a / 16;
+            ((chunk % 3) as u32, chunk / 3 * 16)
+        });
+        assert_eq!(r.ids(), vec!["MCM201"], "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn mcm203_unbalanced_traffic() {
+        let r = check_traffic_balance(&[1000, 1000, 1000, 1500], 0.10);
+        assert_eq!(r.ids(), vec!["MCM203"], "{}", r.render_human());
+    }
+}

@@ -26,8 +26,8 @@ fn main() {
 
     // Clustered: 2 x 4 channels; the recording lives in cluster 0 and
     // cluster 1 spends the frame in power-down.
-    let mut clustered = ClusteredMemory::new(&MemoryConfig::paper(4, 400), 2)
-        .expect("2 clusters x 4 channels");
+    let mut clustered =
+        ClusteredMemory::new(&MemoryConfig::paper(4, 400), 2).expect("2 clusters x 4 channels");
     let geometry = Geometry::next_gen_mobile_ddr();
     let layout = FrameLayout::with_options(
         &use_case,
@@ -43,7 +43,11 @@ fn main() {
     for op in traffic {
         clustered
             .submit(MasterTransaction {
-                op: if op.write { AccessOp::Write } else { AccessOp::Read },
+                op: if op.write {
+                    AccessOp::Write
+                } else {
+                    AccessOp::Read
+                },
                 addr: op.addr,
                 len: op.len as u64,
                 arrival: 0,

@@ -40,8 +40,7 @@ fn main() {
             println!();
         }
         // The paper's conclusion per level: the minimum channel count.
-        let min = mcm_core::analysis::min_channels_meeting(point, 400)
-            .expect("sweep at 400 MHz");
+        let min = mcm_core::analysis::min_channels_meeting(point, 400).expect("sweep at 400 MHz");
         match min {
             Some(ch) => println!("  -> needs {ch} channel(s) at 400 MHz"),
             None => println!("  -> no evaluated configuration meets real time at 400 MHz"),

@@ -26,7 +26,7 @@ fn main() {
                     continue;
                 }
                 let mw = result.power.total_mw();
-                if best.map_or(true, |(_, _, b, _)| mw < b) {
+                if best.is_none_or(|(_, _, b, _)| mw < b) {
                     best = Some((ch, clk, mw, result.access_time.as_ms_f64()));
                 }
             }

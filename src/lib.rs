@@ -16,6 +16,7 @@
 //! | [`channel`] | Table II interleaving, the M-channel subsystem, clusters |
 //! | [`load`] | the Fig. 1 / Table I video-recording load model |
 //! | [`power`] | equation (1) interface power, XDR comparison |
+//! | [`verify`] | conformance checks and lints (`mcm check`, `MCMxxx` rules) |
 //! | [`core`] | experiments, figures, analyses |
 //!
 //! # Quickstart
@@ -40,6 +41,7 @@ pub use mcm_dram as dram;
 pub use mcm_load as load;
 pub use mcm_power as power;
 pub use mcm_sim as sim;
+pub use mcm_verify as verify;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -51,8 +53,7 @@ pub mod prelude {
         AccessOp, ChannelRequest, Controller, ControllerConfig, PagePolicy, PowerDownPolicy,
     };
     pub use mcm_dram::{
-        AddressMapping, BankCluster, ClusterConfig, DramCommand, Geometry, IddValues,
-        TimingParams,
+        AddressMapping, BankCluster, ClusterConfig, DramCommand, Geometry, IddValues, TimingParams,
     };
     pub use mcm_load::{
         FrameFormat, FrameLayout, FrameTraffic, H264Level, HdOperatingPoint, PixelFormat,
@@ -60,4 +61,5 @@ pub mod prelude {
     };
     pub use mcm_power::{BondingTechnique, InterfacePowerModel, PowerSummary, XdrReference};
     pub use mcm_sim::{ClockDomain, Frequency, SimTime};
+    pub use mcm_verify::{Diagnostic, Report, Severity, TraceAuditOptions};
 }

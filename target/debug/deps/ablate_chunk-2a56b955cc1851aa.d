@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_chunk-2a56b955cc1851aa.d: crates/bench/src/bin/ablate_chunk.rs
+
+/root/repo/target/debug/deps/ablate_chunk-2a56b955cc1851aa: crates/bench/src/bin/ablate_chunk.rs
+
+crates/bench/src/bin/ablate_chunk.rs:

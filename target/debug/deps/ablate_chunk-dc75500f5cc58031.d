@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_chunk-dc75500f5cc58031.d: crates/bench/src/bin/ablate_chunk.rs
+
+/root/repo/target/debug/deps/ablate_chunk-dc75500f5cc58031: crates/bench/src/bin/ablate_chunk.rs
+
+crates/bench/src/bin/ablate_chunk.rs:

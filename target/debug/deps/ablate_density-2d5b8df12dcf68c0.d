@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_density-2d5b8df12dcf68c0.d: crates/bench/src/bin/ablate_density.rs
+
+/root/repo/target/debug/deps/ablate_density-2d5b8df12dcf68c0: crates/bench/src/bin/ablate_density.rs
+
+crates/bench/src/bin/ablate_density.rs:

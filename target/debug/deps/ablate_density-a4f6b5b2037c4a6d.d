@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_density-a4f6b5b2037c4a6d.d: crates/bench/src/bin/ablate_density.rs
+
+/root/repo/target/debug/deps/ablate_density-a4f6b5b2037c4a6d: crates/bench/src/bin/ablate_density.rs
+
+crates/bench/src/bin/ablate_density.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_density-d239ad7eff7e3c9c.d: crates/bench/src/bin/ablate_density.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_density-d239ad7eff7e3c9c.rmeta: crates/bench/src/bin/ablate_density.rs Cargo.toml
+
+crates/bench/src/bin/ablate_density.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_device-0efa0d4e72d99f30.d: crates/bench/src/bin/ablate_device.rs
+
+/root/repo/target/debug/deps/ablate_device-0efa0d4e72d99f30: crates/bench/src/bin/ablate_device.rs
+
+crates/bench/src/bin/ablate_device.rs:

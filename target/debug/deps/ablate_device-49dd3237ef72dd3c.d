@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_device-49dd3237ef72dd3c.d: crates/bench/src/bin/ablate_device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_device-49dd3237ef72dd3c.rmeta: crates/bench/src/bin/ablate_device.rs Cargo.toml
+
+crates/bench/src/bin/ablate_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

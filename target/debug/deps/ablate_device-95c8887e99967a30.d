@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_device-95c8887e99967a30.d: crates/bench/src/bin/ablate_device.rs
+
+/root/repo/target/debug/deps/ablate_device-95c8887e99967a30: crates/bench/src/bin/ablate_device.rs
+
+crates/bench/src/bin/ablate_device.rs:

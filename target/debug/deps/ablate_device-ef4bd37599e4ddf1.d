@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_device-ef4bd37599e4ddf1.d: crates/bench/src/bin/ablate_device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_device-ef4bd37599e4ddf1.rmeta: crates/bench/src/bin/ablate_device.rs Cargo.toml
+
+crates/bench/src/bin/ablate_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_interleave-f36a5664d700a1b1.d: crates/bench/src/bin/ablate_interleave.rs
+
+/root/repo/target/debug/deps/ablate_interleave-f36a5664d700a1b1: crates/bench/src/bin/ablate_interleave.rs
+
+crates/bench/src/bin/ablate_interleave.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_interleave-fbb931743737fef7.d: crates/bench/src/bin/ablate_interleave.rs
+
+/root/repo/target/debug/deps/ablate_interleave-fbb931743737fef7: crates/bench/src/bin/ablate_interleave.rs
+
+crates/bench/src/bin/ablate_interleave.rs:

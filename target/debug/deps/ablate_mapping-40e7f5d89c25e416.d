@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_mapping-40e7f5d89c25e416.d: crates/bench/src/bin/ablate_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_mapping-40e7f5d89c25e416.rmeta: crates/bench/src/bin/ablate_mapping.rs Cargo.toml
+
+crates/bench/src/bin/ablate_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

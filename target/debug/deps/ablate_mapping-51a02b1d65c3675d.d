@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_mapping-51a02b1d65c3675d.d: crates/bench/src/bin/ablate_mapping.rs
+
+/root/repo/target/debug/deps/ablate_mapping-51a02b1d65c3675d: crates/bench/src/bin/ablate_mapping.rs
+
+crates/bench/src/bin/ablate_mapping.rs:

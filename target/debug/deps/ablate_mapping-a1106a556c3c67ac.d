@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_mapping-a1106a556c3c67ac.d: crates/bench/src/bin/ablate_mapping.rs
+
+/root/repo/target/debug/deps/ablate_mapping-a1106a556c3c67ac: crates/bench/src/bin/ablate_mapping.rs
+
+crates/bench/src/bin/ablate_mapping.rs:

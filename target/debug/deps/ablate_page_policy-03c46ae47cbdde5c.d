@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_page_policy-03c46ae47cbdde5c.d: crates/bench/src/bin/ablate_page_policy.rs
+
+/root/repo/target/debug/deps/ablate_page_policy-03c46ae47cbdde5c: crates/bench/src/bin/ablate_page_policy.rs
+
+crates/bench/src/bin/ablate_page_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_page_policy-b69236196dc11c63.d: crates/bench/src/bin/ablate_page_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_page_policy-b69236196dc11c63.rmeta: crates/bench/src/bin/ablate_page_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablate_page_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

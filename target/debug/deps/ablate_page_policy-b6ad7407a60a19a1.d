@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_page_policy-b6ad7407a60a19a1.d: crates/bench/src/bin/ablate_page_policy.rs
+
+/root/repo/target/debug/deps/ablate_page_policy-b6ad7407a60a19a1: crates/bench/src/bin/ablate_page_policy.rs
+
+crates/bench/src/bin/ablate_page_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_power_down-43af526342b87301.d: crates/bench/src/bin/ablate_power_down.rs
+
+/root/repo/target/debug/deps/ablate_power_down-43af526342b87301: crates/bench/src/bin/ablate_power_down.rs
+
+crates/bench/src/bin/ablate_power_down.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_power_down-ef8eb9edbde5a0d7.d: crates/bench/src/bin/ablate_power_down.rs
+
+/root/repo/target/debug/deps/ablate_power_down-ef8eb9edbde5a0d7: crates/bench/src/bin/ablate_power_down.rs
+
+crates/bench/src/bin/ablate_power_down.rs:

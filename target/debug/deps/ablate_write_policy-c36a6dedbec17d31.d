@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_write_policy-c36a6dedbec17d31.d: crates/bench/src/bin/ablate_write_policy.rs
+
+/root/repo/target/debug/deps/ablate_write_policy-c36a6dedbec17d31: crates/bench/src/bin/ablate_write_policy.rs
+
+crates/bench/src/bin/ablate_write_policy.rs:

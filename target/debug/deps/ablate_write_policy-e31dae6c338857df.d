@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_write_policy-e31dae6c338857df.d: crates/bench/src/bin/ablate_write_policy.rs
+
+/root/repo/target/debug/deps/ablate_write_policy-e31dae6c338857df: crates/bench/src/bin/ablate_write_policy.rs
+
+crates/bench/src/bin/ablate_write_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/address_properties-3f58f292182c0c3f.d: crates/dram/tests/address_properties.rs
+
+/root/repo/target/debug/deps/address_properties-3f58f292182c0c3f: crates/dram/tests/address_properties.rs
+
+crates/dram/tests/address_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/address_properties-e63b9190aa49bbb8.d: crates/dram/tests/address_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaddress_properties-e63b9190aa49bbb8.rmeta: crates/dram/tests/address_properties.rs Cargo.toml
+
+crates/dram/tests/address_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device_fuzz-2bafe7ef6461b493.d: crates/dram/tests/device_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice_fuzz-2bafe7ef6461b493.rmeta: crates/dram/tests/device_fuzz.rs Cargo.toml
+
+crates/dram/tests/device_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_fuzz-5b5d647934c79471.d: crates/dram/tests/device_fuzz.rs
+
+/root/repo/target/debug/deps/device_fuzz-5b5d647934c79471: crates/dram/tests/device_fuzz.rs
+
+crates/dram/tests/device_fuzz.rs:

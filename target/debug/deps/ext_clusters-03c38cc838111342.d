@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_clusters-03c38cc838111342.d: crates/bench/src/bin/ext_clusters.rs
+
+/root/repo/target/debug/deps/ext_clusters-03c38cc838111342: crates/bench/src/bin/ext_clusters.rs
+
+crates/bench/src/bin/ext_clusters.rs:

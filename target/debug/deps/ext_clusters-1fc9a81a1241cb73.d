@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_clusters-1fc9a81a1241cb73.d: crates/bench/src/bin/ext_clusters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_clusters-1fc9a81a1241cb73.rmeta: crates/bench/src/bin/ext_clusters.rs Cargo.toml
+
+crates/bench/src/bin/ext_clusters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_clusters-40a742976d51106b.d: crates/bench/src/bin/ext_clusters.rs
+
+/root/repo/target/debug/deps/ext_clusters-40a742976d51106b: crates/bench/src/bin/ext_clusters.rs
+
+crates/bench/src/bin/ext_clusters.rs:

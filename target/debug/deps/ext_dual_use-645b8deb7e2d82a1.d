@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dual_use-645b8deb7e2d82a1.d: crates/bench/src/bin/ext_dual_use.rs
+
+/root/repo/target/debug/deps/ext_dual_use-645b8deb7e2d82a1: crates/bench/src/bin/ext_dual_use.rs
+
+crates/bench/src/bin/ext_dual_use.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dual_use-d4d881ad68151088.d: crates/bench/src/bin/ext_dual_use.rs
+
+/root/repo/target/debug/deps/ext_dual_use-d4d881ad68151088: crates/bench/src/bin/ext_dual_use.rs
+
+crates/bench/src/bin/ext_dual_use.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dvfs-455d18a1a42d1024.d: crates/bench/src/bin/ext_dvfs.rs
+
+/root/repo/target/debug/deps/ext_dvfs-455d18a1a42d1024: crates/bench/src/bin/ext_dvfs.rs
+
+crates/bench/src/bin/ext_dvfs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dvfs-88c06748e0e7b41d.d: crates/bench/src/bin/ext_dvfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dvfs-88c06748e0e7b41d.rmeta: crates/bench/src/bin/ext_dvfs.rs Cargo.toml
+
+crates/bench/src/bin/ext_dvfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

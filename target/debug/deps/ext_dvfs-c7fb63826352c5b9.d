@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dvfs-c7fb63826352c5b9.d: crates/bench/src/bin/ext_dvfs.rs
+
+/root/repo/target/debug/deps/ext_dvfs-c7fb63826352c5b9: crates/bench/src/bin/ext_dvfs.rs
+
+crates/bench/src/bin/ext_dvfs.rs:

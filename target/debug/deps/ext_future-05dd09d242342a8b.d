@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_future-05dd09d242342a8b.d: crates/bench/src/bin/ext_future.rs
+
+/root/repo/target/debug/deps/ext_future-05dd09d242342a8b: crates/bench/src/bin/ext_future.rs
+
+crates/bench/src/bin/ext_future.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_future-c67fb369b82a1af6.d: crates/bench/src/bin/ext_future.rs
+
+/root/repo/target/debug/deps/ext_future-c67fb369b82a1af6: crates/bench/src/bin/ext_future.rs
+
+crates/bench/src/bin/ext_future.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_headroom-a9567191d785fe1a.d: crates/bench/src/bin/ext_headroom.rs
+
+/root/repo/target/debug/deps/ext_headroom-a9567191d785fe1a: crates/bench/src/bin/ext_headroom.rs
+
+crates/bench/src/bin/ext_headroom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_headroom-f5b278452acb363f.d: crates/bench/src/bin/ext_headroom.rs
+
+/root/repo/target/debug/deps/ext_headroom-f5b278452acb363f: crates/bench/src/bin/ext_headroom.rs
+
+crates/bench/src/bin/ext_headroom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_interference-40655d915219efe9.d: crates/bench/src/bin/ext_interference.rs
+
+/root/repo/target/debug/deps/ext_interference-40655d915219efe9: crates/bench/src/bin/ext_interference.rs
+
+crates/bench/src/bin/ext_interference.rs:

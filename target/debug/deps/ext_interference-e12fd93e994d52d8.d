@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_interference-e12fd93e994d52d8.d: crates/bench/src/bin/ext_interference.rs
+
+/root/repo/target/debug/deps/ext_interference-e12fd93e994d52d8: crates/bench/src/bin/ext_interference.rs
+
+crates/bench/src/bin/ext_interference.rs:

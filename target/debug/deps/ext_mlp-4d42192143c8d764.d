@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_mlp-4d42192143c8d764.d: crates/bench/src/bin/ext_mlp.rs
+
+/root/repo/target/debug/deps/ext_mlp-4d42192143c8d764: crates/bench/src/bin/ext_mlp.rs
+
+crates/bench/src/bin/ext_mlp.rs:

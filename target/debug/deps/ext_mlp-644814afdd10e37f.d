@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_mlp-644814afdd10e37f.d: crates/bench/src/bin/ext_mlp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_mlp-644814afdd10e37f.rmeta: crates/bench/src/bin/ext_mlp.rs Cargo.toml
+
+crates/bench/src/bin/ext_mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

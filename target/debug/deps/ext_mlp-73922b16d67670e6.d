@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_mlp-73922b16d67670e6.d: crates/bench/src/bin/ext_mlp.rs
+
+/root/repo/target/debug/deps/ext_mlp-73922b16d67670e6: crates/bench/src/bin/ext_mlp.rs
+
+crates/bench/src/bin/ext_mlp.rs:

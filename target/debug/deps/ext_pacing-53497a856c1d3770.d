@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pacing-53497a856c1d3770.d: crates/bench/src/bin/ext_pacing.rs
+
+/root/repo/target/debug/deps/ext_pacing-53497a856c1d3770: crates/bench/src/bin/ext_pacing.rs
+
+crates/bench/src/bin/ext_pacing.rs:

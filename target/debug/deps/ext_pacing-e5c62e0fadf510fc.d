@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pacing-e5c62e0fadf510fc.d: crates/bench/src/bin/ext_pacing.rs
+
+/root/repo/target/debug/deps/ext_pacing-e5c62e0fadf510fc: crates/bench/src/bin/ext_pacing.rs
+
+crates/bench/src/bin/ext_pacing.rs:

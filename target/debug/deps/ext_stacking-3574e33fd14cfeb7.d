@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_stacking-3574e33fd14cfeb7.d: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_stacking-3574e33fd14cfeb7.rmeta: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+crates/bench/src/bin/ext_stacking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

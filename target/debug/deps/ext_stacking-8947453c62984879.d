@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_stacking-8947453c62984879.d: crates/bench/src/bin/ext_stacking.rs
+
+/root/repo/target/debug/deps/ext_stacking-8947453c62984879: crates/bench/src/bin/ext_stacking.rs
+
+crates/bench/src/bin/ext_stacking.rs:

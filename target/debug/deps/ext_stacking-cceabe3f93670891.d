@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_stacking-cceabe3f93670891.d: crates/bench/src/bin/ext_stacking.rs
+
+/root/repo/target/debug/deps/ext_stacking-cceabe3f93670891: crates/bench/src/bin/ext_stacking.rs
+
+crates/bench/src/bin/ext_stacking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_stacking-eccfb2285d4ffc48.d: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_stacking-eccfb2285d4ffc48.rmeta: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+crates/bench/src/bin/ext_stacking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_steady-45dcd4770c1123a4.d: crates/bench/src/bin/ext_steady.rs
+
+/root/repo/target/debug/deps/ext_steady-45dcd4770c1123a4: crates/bench/src/bin/ext_steady.rs
+
+crates/bench/src/bin/ext_steady.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_steady-97c065a54f5431ad.d: crates/bench/src/bin/ext_steady.rs
+
+/root/repo/target/debug/deps/ext_steady-97c065a54f5431ad: crates/bench/src/bin/ext_steady.rs
+
+crates/bench/src/bin/ext_steady.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_viewfinder-7e36b8b9732896a0.d: crates/bench/src/bin/ext_viewfinder.rs
+
+/root/repo/target/debug/deps/ext_viewfinder-7e36b8b9732896a0: crates/bench/src/bin/ext_viewfinder.rs
+
+crates/bench/src/bin/ext_viewfinder.rs:

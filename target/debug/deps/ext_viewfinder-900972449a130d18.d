@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_viewfinder-900972449a130d18.d: crates/bench/src/bin/ext_viewfinder.rs
+
+/root/repo/target/debug/deps/ext_viewfinder-900972449a130d18: crates/bench/src/bin/ext_viewfinder.rs
+
+crates/bench/src/bin/ext_viewfinder.rs:

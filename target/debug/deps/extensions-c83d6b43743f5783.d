@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c83d6b43743f5783.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c83d6b43743f5783: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-eaa201f922cd970f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-eaa201f922cd970f: tests/extensions.rs
+
+tests/extensions.rs:

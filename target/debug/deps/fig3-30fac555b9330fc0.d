@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-30fac555b9330fc0.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-30fac555b9330fc0: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

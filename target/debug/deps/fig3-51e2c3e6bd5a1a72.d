@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-51e2c3e6bd5a1a72.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-51e2c3e6bd5a1a72: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

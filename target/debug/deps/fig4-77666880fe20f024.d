@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-77666880fe20f024.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-77666880fe20f024: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

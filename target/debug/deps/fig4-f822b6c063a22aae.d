@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-f822b6c063a22aae.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-f822b6c063a22aae: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-4ec01e9fbcd2b565.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-4ec01e9fbcd2b565: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-ac02078c3cce142f.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-ac02078c3cce142f: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-a2e14e7bba68fdd5.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-a2e14e7bba68fdd5: tests/full_stack.rs
+
+tests/full_stack.rs:

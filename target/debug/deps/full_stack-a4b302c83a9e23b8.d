@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-a4b302c83a9e23b8.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-a4b302c83a9e23b8: tests/full_stack.rs
+
+tests/full_stack.rs:

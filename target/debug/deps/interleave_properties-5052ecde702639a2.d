@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interleave_properties-5052ecde702639a2.d: crates/channel/tests/interleave_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterleave_properties-5052ecde702639a2.rmeta: crates/channel/tests/interleave_properties.rs Cargo.toml
+
+crates/channel/tests/interleave_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interleave_properties-a95170b09b447a12.d: crates/channel/tests/interleave_properties.rs
+
+/root/repo/target/debug/deps/interleave_properties-a95170b09b447a12: crates/channel/tests/interleave_properties.rs
+
+crates/channel/tests/interleave_properties.rs:

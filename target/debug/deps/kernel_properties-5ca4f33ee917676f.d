@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_properties-5ca4f33ee917676f.d: crates/sim/tests/kernel_properties.rs
+
+/root/repo/target/debug/deps/kernel_properties-5ca4f33ee917676f: crates/sim/tests/kernel_properties.rs
+
+crates/sim/tests/kernel_properties.rs:

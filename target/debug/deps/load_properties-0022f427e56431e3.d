@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_properties-0022f427e56431e3.d: crates/load/tests/load_properties.rs
+
+/root/repo/target/debug/deps/load_properties-0022f427e56431e3: crates/load/tests/load_properties.rs
+
+crates/load/tests/load_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/load_properties-03f4e2bf979ad57e.d: crates/load/tests/load_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libload_properties-03f4e2bf979ad57e.rmeta: crates/load/tests/load_properties.rs Cargo.toml
+
+crates/load/tests/load_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

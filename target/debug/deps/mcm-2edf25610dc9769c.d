@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm-2edf25610dc9769c.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mcm-2edf25610dc9769c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm-3e711d59f252927b.d: src/lib.rs
+
+/root/repo/target/debug/deps/mcm-3e711d59f252927b: src/lib.rs
+
+src/lib.rs:

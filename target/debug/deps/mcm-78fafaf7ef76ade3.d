@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm-78fafaf7ef76ade3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmcm-78fafaf7ef76ade3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmcm-78fafaf7ef76ade3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm-8bbf905151a953e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/mcm-8bbf905151a953e3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm-ed22831aa10c92d0.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm-ed22831aa10c92d0.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm-f07bfc584786b9c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmcm-f07bfc584786b9c6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmcm-f07bfc584786b9c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm-f32b132d94e09997.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mcm-f32b132d94e09997: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

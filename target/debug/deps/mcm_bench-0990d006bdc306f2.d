@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm_bench-0990d006bdc306f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-0990d006bdc306f2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-0990d006bdc306f2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm_bench-43b957113fee8f03.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-43b957113fee8f03.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-43b957113fee8f03.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

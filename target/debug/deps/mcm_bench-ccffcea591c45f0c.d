@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_bench-ccffcea591c45f0c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcm_bench-ccffcea591c45f0c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

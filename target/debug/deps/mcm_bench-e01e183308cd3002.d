@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_bench-e01e183308cd3002.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcm_bench-e01e183308cd3002: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcm_channel-07d44345d4685f84.d: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_channel-07d44345d4685f84.rmeta: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/cluster.rs:
+crates/channel/src/error.rs:
+crates/channel/src/interleave.rs:
+crates/channel/src/subsystem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm_channel-13c91ed6afd8a342.d: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+/root/repo/target/debug/deps/mcm_channel-13c91ed6afd8a342: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/cluster.rs:
+crates/channel/src/error.rs:
+crates/channel/src/interleave.rs:
+crates/channel/src/subsystem.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcm_channel-dddc1f018897c143.d: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+/root/repo/target/debug/deps/libmcm_channel-dddc1f018897c143.rlib: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+/root/repo/target/debug/deps/libmcm_channel-dddc1f018897c143.rmeta: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/cluster.rs:
+crates/channel/src/error.rs:
+crates/channel/src/interleave.rs:
+crates/channel/src/subsystem.rs:

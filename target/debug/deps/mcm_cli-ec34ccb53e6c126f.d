@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm_cli-ec34ccb53e6c126f.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/mcm_cli-ec34ccb53e6c126f: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

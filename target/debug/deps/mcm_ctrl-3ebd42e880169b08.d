@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm_ctrl-3ebd42e880169b08.d: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+/root/repo/target/debug/deps/mcm_ctrl-3ebd42e880169b08: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/config.rs:
+crates/ctrl/src/controller.rs:
+crates/ctrl/src/error.rs:
+crates/ctrl/src/request.rs:

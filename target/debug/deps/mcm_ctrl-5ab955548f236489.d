@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcm_ctrl-5ab955548f236489.d: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_ctrl-5ab955548f236489.rmeta: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs Cargo.toml
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/config.rs:
+crates/ctrl/src/controller.rs:
+crates/ctrl/src/error.rs:
+crates/ctrl/src/request.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

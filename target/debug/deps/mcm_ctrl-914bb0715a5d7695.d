@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcm_ctrl-914bb0715a5d7695.d: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+/root/repo/target/debug/deps/libmcm_ctrl-914bb0715a5d7695.rlib: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+/root/repo/target/debug/deps/libmcm_ctrl-914bb0715a5d7695.rmeta: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/config.rs:
+crates/ctrl/src/controller.rs:
+crates/ctrl/src/error.rs:
+crates/ctrl/src/request.rs:

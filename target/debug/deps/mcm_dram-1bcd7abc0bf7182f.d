@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mcm_dram-1bcd7abc0bf7182f.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_dram-1bcd7abc0bf7182f.rmeta: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+crates/dram/src/address.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/command.rs:
+crates/dram/src/datasheet.rs:
+crates/dram/src/device.rs:
+crates/dram/src/error.rs:
+crates/dram/src/params.rs:
+crates/dram/src/power.rs:
+crates/dram/src/timeline.rs:
+crates/dram/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mcm_dram-e2d33f92d2ff9041.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+/root/repo/target/debug/deps/mcm_dram-e2d33f92d2ff9041: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/address.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/command.rs:
+crates/dram/src/datasheet.rs:
+crates/dram/src/device.rs:
+crates/dram/src/error.rs:
+crates/dram/src/params.rs:
+crates/dram/src/power.rs:
+crates/dram/src/timeline.rs:
+crates/dram/src/validate.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mcm_dram-e6c9ba87ea8fb79f.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+/root/repo/target/debug/deps/libmcm_dram-e6c9ba87ea8fb79f.rlib: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+/root/repo/target/debug/deps/libmcm_dram-e6c9ba87ea8fb79f.rmeta: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/address.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/command.rs:
+crates/dram/src/datasheet.rs:
+crates/dram/src/device.rs:
+crates/dram/src/error.rs:
+crates/dram/src/params.rs:
+crates/dram/src/power.rs:
+crates/dram/src/timeline.rs:
+crates/dram/src/validate.rs:

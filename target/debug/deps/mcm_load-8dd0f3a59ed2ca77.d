@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mcm_load-8dd0f3a59ed2ca77.d: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_load-8dd0f3a59ed2ca77.rmeta: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs Cargo.toml
+
+crates/load/src/lib.rs:
+crates/load/src/buffers.rs:
+crates/load/src/error.rs:
+crates/load/src/formats.rs:
+crates/load/src/levels.rs:
+crates/load/src/stages.rs:
+crates/load/src/tracefile.rs:
+crates/load/src/traffic.rs:
+crates/load/src/usecase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

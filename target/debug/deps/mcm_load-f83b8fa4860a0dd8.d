@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mcm_load-f83b8fa4860a0dd8.d: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+/root/repo/target/debug/deps/libmcm_load-f83b8fa4860a0dd8.rlib: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+/root/repo/target/debug/deps/libmcm_load-f83b8fa4860a0dd8.rmeta: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+crates/load/src/lib.rs:
+crates/load/src/buffers.rs:
+crates/load/src/error.rs:
+crates/load/src/formats.rs:
+crates/load/src/levels.rs:
+crates/load/src/stages.rs:
+crates/load/src/tracefile.rs:
+crates/load/src/traffic.rs:
+crates/load/src/usecase.rs:

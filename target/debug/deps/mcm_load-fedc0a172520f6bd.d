@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcm_load-fedc0a172520f6bd.d: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+/root/repo/target/debug/deps/mcm_load-fedc0a172520f6bd: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+crates/load/src/lib.rs:
+crates/load/src/buffers.rs:
+crates/load/src/error.rs:
+crates/load/src/formats.rs:
+crates/load/src/levels.rs:
+crates/load/src/stages.rs:
+crates/load/src/tracefile.rs:
+crates/load/src/traffic.rs:
+crates/load/src/usecase.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcm_power-2d6d89f2c9cfa8a6.d: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_power-2d6d89f2c9cfa8a6.rmeta: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/interface.rs:
+crates/power/src/report.rs:
+crates/power/src/xdr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

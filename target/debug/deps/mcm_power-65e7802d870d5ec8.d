@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcm_power-65e7802d870d5ec8.d: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+/root/repo/target/debug/deps/libmcm_power-65e7802d870d5ec8.rlib: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+/root/repo/target/debug/deps/libmcm_power-65e7802d870d5ec8.rmeta: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+crates/power/src/lib.rs:
+crates/power/src/interface.rs:
+crates/power/src/report.rs:
+crates/power/src/xdr.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcm_power-8a7e24cdc69c74f3.d: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+/root/repo/target/debug/deps/mcm_power-8a7e24cdc69c74f3: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+crates/power/src/lib.rs:
+crates/power/src/interface.rs:
+crates/power/src/report.rs:
+crates/power/src/xdr.rs:

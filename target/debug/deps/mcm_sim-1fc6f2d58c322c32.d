@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcm_sim-1fc6f2d58c322c32.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_sim-1fc6f2d58c322c32.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcm_sim-8f38a8db3af57ba3.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_sim-8f38a8db3af57ba3.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcm_sim-de9ca128a49bf63c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmcm_sim-de9ca128a49bf63c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmcm_sim-de9ca128a49bf63c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcm_verify-481860a467463c85.d: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+/root/repo/target/debug/deps/libmcm_verify-481860a467463c85.rlib: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+/root/repo/target/debug/deps/libmcm_verify-481860a467463c85.rmeta: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/channels.rs:
+crates/verify/src/config.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/trace.rs:

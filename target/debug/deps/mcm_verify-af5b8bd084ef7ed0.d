@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm_verify-af5b8bd084ef7ed0.d: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+/root/repo/target/debug/deps/mcm_verify-af5b8bd084ef7ed0: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/channels.rs:
+crates/verify/src/config.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/trace.rs:

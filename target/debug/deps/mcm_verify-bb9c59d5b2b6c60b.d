@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcm_verify-bb9c59d5b2b6c60b.d: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_verify-bb9c59d5b2b6c60b.rmeta: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/channels.rs:
+crates/verify/src/config.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutation-1ff9de8e5b627a34.d: crates/verify/tests/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutation-1ff9de8e5b627a34.rmeta: crates/verify/tests/mutation.rs Cargo.toml
+
+crates/verify/tests/mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutation-7ff7f7dc81088aa8.d: crates/verify/tests/mutation.rs
+
+/root/repo/target/debug/deps/mutation-7ff7f7dc81088aa8: crates/verify/tests/mutation.rs
+
+crates/verify/tests/mutation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-a08d6df60e1fa6a1.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-a08d6df60e1fa6a1: tests/paper_claims.rs
+
+tests/paper_claims.rs:

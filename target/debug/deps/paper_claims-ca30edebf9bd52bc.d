@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ca30edebf9bd52bc.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ca30edebf9bd52bc: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_figures-42a11f46885d032d.d: crates/bench/benches/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_figures-42a11f46885d032d.rmeta: crates/bench/benches/paper_figures.rs Cargo.toml
+
+crates/bench/benches/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

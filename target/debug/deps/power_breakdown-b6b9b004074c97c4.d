@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_breakdown-b6b9b004074c97c4.d: crates/bench/src/bin/power_breakdown.rs
+
+/root/repo/target/debug/deps/power_breakdown-b6b9b004074c97c4: crates/bench/src/bin/power_breakdown.rs
+
+crates/bench/src/bin/power_breakdown.rs:

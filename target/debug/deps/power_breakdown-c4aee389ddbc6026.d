@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_breakdown-c4aee389ddbc6026.d: crates/bench/src/bin/power_breakdown.rs
+
+/root/repo/target/debug/deps/power_breakdown-c4aee389ddbc6026: crates/bench/src/bin/power_breakdown.rs
+
+crates/bench/src/bin/power_breakdown.rs:

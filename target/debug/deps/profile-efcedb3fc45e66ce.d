@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-efcedb3fc45e66ce.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-efcedb3fc45e66ce: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-fc0029500e48da18.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-fc0029500e48da18: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

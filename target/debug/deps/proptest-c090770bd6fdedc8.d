@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c090770bd6fdedc8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-c090770bd6fdedc8: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2acbad7ee34e1d62.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2acbad7ee34e1d62: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

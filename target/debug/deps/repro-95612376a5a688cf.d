@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-95612376a5a688cf.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-95612376a5a688cf: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

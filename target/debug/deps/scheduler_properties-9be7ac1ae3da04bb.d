@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_properties-9be7ac1ae3da04bb.d: crates/ctrl/tests/scheduler_properties.rs
+
+/root/repo/target/debug/deps/scheduler_properties-9be7ac1ae3da04bb: crates/ctrl/tests/scheduler_properties.rs
+
+crates/ctrl/tests/scheduler_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_properties-fc98c192dcddfb87.d: crates/ctrl/tests/scheduler_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_properties-fc98c192dcddfb87.rmeta: crates/ctrl/tests/scheduler_properties.rs Cargo.toml
+
+crates/ctrl/tests/scheduler_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2b6e7a30309bba6a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2b6e7a30309bba6a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

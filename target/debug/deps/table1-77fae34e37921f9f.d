@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-77fae34e37921f9f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-77fae34e37921f9f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

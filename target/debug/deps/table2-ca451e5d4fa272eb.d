@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ca451e5d4fa272eb.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ca451e5d4fa272eb: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

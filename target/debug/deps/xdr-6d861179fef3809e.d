@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdr-6d861179fef3809e.d: crates/bench/src/bin/xdr.rs
+
+/root/repo/target/debug/deps/xdr-6d861179fef3809e: crates/bench/src/bin/xdr.rs
+
+crates/bench/src/bin/xdr.rs:

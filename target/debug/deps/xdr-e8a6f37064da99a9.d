@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdr-e8a6f37064da99a9.d: crates/bench/src/bin/xdr.rs
+
+/root/repo/target/debug/deps/xdr-e8a6f37064da99a9: crates/bench/src/bin/xdr.rs
+
+crates/bench/src/bin/xdr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/channel_clusters-44ee35a5f15a81d5.d: examples/channel_clusters.rs
+
+/root/repo/target/debug/examples/channel_clusters-44ee35a5f15a81d5: examples/channel_clusters.rs
+
+examples/channel_clusters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/channel_clusters-6dd19a75f9bf5019.d: examples/channel_clusters.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchannel_clusters-6dd19a75f9bf5019.rmeta: examples/channel_clusters.rs Cargo.toml
+
+examples/channel_clusters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/channel_clusters-cc6565c3e3ab3991.d: examples/channel_clusters.rs
+
+/root/repo/target/debug/examples/channel_clusters-cc6565c3e3ab3991: examples/channel_clusters.rs
+
+examples/channel_clusters.rs:

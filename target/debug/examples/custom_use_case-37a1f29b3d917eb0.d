@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_use_case-37a1f29b3d917eb0.d: examples/custom_use_case.rs
+
+/root/repo/target/debug/examples/custom_use_case-37a1f29b3d917eb0: examples/custom_use_case.rs
+
+examples/custom_use_case.rs:

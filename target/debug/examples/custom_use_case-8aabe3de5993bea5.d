@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_use_case-8aabe3de5993bea5.d: examples/custom_use_case.rs
+
+/root/repo/target/debug/examples/custom_use_case-8aabe3de5993bea5: examples/custom_use_case.rs
+
+examples/custom_use_case.rs:

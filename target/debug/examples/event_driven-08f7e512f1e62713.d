@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_driven-08f7e512f1e62713.d: examples/event_driven.rs
+
+/root/repo/target/debug/examples/event_driven-08f7e512f1e62713: examples/event_driven.rs
+
+examples/event_driven.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_driven-f92a1fd318902c0b.d: examples/event_driven.rs
+
+/root/repo/target/debug/examples/event_driven-f92a1fd318902c0b: examples/event_driven.rs
+
+examples/event_driven.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hd_sweep-1bf70bcc3fdebf53.d: examples/hd_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhd_sweep-1bf70bcc3fdebf53.rmeta: examples/hd_sweep.rs Cargo.toml
+
+examples/hd_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

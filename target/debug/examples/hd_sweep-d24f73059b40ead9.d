@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hd_sweep-d24f73059b40ead9.d: examples/hd_sweep.rs
+
+/root/repo/target/debug/examples/hd_sweep-d24f73059b40ead9: examples/hd_sweep.rs
+
+examples/hd_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hd_sweep-dbfc197d35fbddf5.d: examples/hd_sweep.rs
+
+/root/repo/target/debug/examples/hd_sweep-dbfc197d35fbddf5: examples/hd_sweep.rs
+
+examples/hd_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget-5b0a7ac4c35616b0.d: examples/power_budget.rs
+
+/root/repo/target/debug/examples/power_budget-5b0a7ac4c35616b0: examples/power_budget.rs
+
+examples/power_budget.rs:

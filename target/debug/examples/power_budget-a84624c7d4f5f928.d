@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget-a84624c7d4f5f928.d: examples/power_budget.rs
+
+/root/repo/target/debug/examples/power_budget-a84624c7d4f5f928: examples/power_budget.rs
+
+examples/power_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0afd8676e8208b9d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0afd8676e8208b9d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-41ebe834b97ed390.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-41ebe834b97ed390: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mcm-1eb26791807de730.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mcm-1eb26791807de730: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

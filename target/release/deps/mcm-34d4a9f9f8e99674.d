@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcm-34d4a9f9f8e99674.d: src/lib.rs
+
+/root/repo/target/release/deps/libmcm-34d4a9f9f8e99674.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmcm-34d4a9f9f8e99674.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcm-a65ad3de386614ab.d: src/lib.rs
+
+/root/repo/target/release/deps/libmcm-a65ad3de386614ab.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmcm-a65ad3de386614ab.rmeta: src/lib.rs
+
+src/lib.rs:

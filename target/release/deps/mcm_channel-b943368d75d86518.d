@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcm_channel-b943368d75d86518.d: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+/root/repo/target/release/deps/libmcm_channel-b943368d75d86518.rlib: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+/root/repo/target/release/deps/libmcm_channel-b943368d75d86518.rmeta: crates/channel/src/lib.rs crates/channel/src/cluster.rs crates/channel/src/error.rs crates/channel/src/interleave.rs crates/channel/src/subsystem.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/cluster.rs:
+crates/channel/src/error.rs:
+crates/channel/src/interleave.rs:
+crates/channel/src/subsystem.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcm_ctrl-5f8962ea108ce793.d: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+/root/repo/target/release/deps/libmcm_ctrl-5f8962ea108ce793.rlib: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+/root/repo/target/release/deps/libmcm_ctrl-5f8962ea108ce793.rmeta: crates/ctrl/src/lib.rs crates/ctrl/src/config.rs crates/ctrl/src/controller.rs crates/ctrl/src/error.rs crates/ctrl/src/request.rs
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/config.rs:
+crates/ctrl/src/controller.rs:
+crates/ctrl/src/error.rs:
+crates/ctrl/src/request.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mcm_dram-d07a1d00a6da16fb.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+/root/repo/target/release/deps/libmcm_dram-d07a1d00a6da16fb.rlib: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+/root/repo/target/release/deps/libmcm_dram-d07a1d00a6da16fb.rmeta: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/datasheet.rs crates/dram/src/device.rs crates/dram/src/error.rs crates/dram/src/params.rs crates/dram/src/power.rs crates/dram/src/timeline.rs crates/dram/src/validate.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/address.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/command.rs:
+crates/dram/src/datasheet.rs:
+crates/dram/src/device.rs:
+crates/dram/src/error.rs:
+crates/dram/src/params.rs:
+crates/dram/src/power.rs:
+crates/dram/src/timeline.rs:
+crates/dram/src/validate.rs:

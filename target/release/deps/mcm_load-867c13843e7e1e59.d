@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mcm_load-867c13843e7e1e59.d: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+/root/repo/target/release/deps/libmcm_load-867c13843e7e1e59.rlib: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+/root/repo/target/release/deps/libmcm_load-867c13843e7e1e59.rmeta: crates/load/src/lib.rs crates/load/src/buffers.rs crates/load/src/error.rs crates/load/src/formats.rs crates/load/src/levels.rs crates/load/src/stages.rs crates/load/src/tracefile.rs crates/load/src/traffic.rs crates/load/src/usecase.rs
+
+crates/load/src/lib.rs:
+crates/load/src/buffers.rs:
+crates/load/src/error.rs:
+crates/load/src/formats.rs:
+crates/load/src/levels.rs:
+crates/load/src/stages.rs:
+crates/load/src/tracefile.rs:
+crates/load/src/traffic.rs:
+crates/load/src/usecase.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mcm_power-15f7aae537c14c1c.d: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+/root/repo/target/release/deps/libmcm_power-15f7aae537c14c1c.rlib: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+/root/repo/target/release/deps/libmcm_power-15f7aae537c14c1c.rmeta: crates/power/src/lib.rs crates/power/src/interface.rs crates/power/src/report.rs crates/power/src/xdr.rs
+
+crates/power/src/lib.rs:
+crates/power/src/interface.rs:
+crates/power/src/report.rs:
+crates/power/src/xdr.rs:

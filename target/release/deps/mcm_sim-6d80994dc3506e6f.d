@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcm_sim-6d80994dc3506e6f.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmcm_sim-6d80994dc3506e6f.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmcm_sim-6d80994dc3506e6f.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcm_verify-fc55b6c77154196d.d: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+/root/repo/target/release/deps/libmcm_verify-fc55b6c77154196d.rlib: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+/root/repo/target/release/deps/libmcm_verify-fc55b6c77154196d.rmeta: crates/verify/src/lib.rs crates/verify/src/channels.rs crates/verify/src/config.rs crates/verify/src/diag.rs crates/verify/src/trace.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/channels.rs:
+crates/verify/src/config.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c71d01bb1f67f6cf.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c71d01bb1f67f6cf.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c71d01bb1f67f6cf.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -42,7 +42,11 @@ fn e8_viewfinder_fits_one_channel_where_recording_needs_four() {
     let mut vf = rec.clone();
     vf.use_case = UseCase::viewfinder(HdOperatingPoint::Hd1080p30);
     let r = vf.run().unwrap();
-    assert!(r.verdict.is_real_time(), "viewfinder 1ch: {}", r.access_time);
+    assert!(
+        r.verdict.is_real_time(),
+        "viewfinder 1ch: {}",
+        r.access_time
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! correctly. Runs use truncated frames (`op_limit`) — the full-frame
 //! behaviour is covered by `paper_claims.rs`.
 
-use mcm::prelude::*;
 use mcm::core::ChunkPolicy;
+use mcm::prelude::*;
 
 fn quick_experiment(channels: u32) -> Experiment {
     let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, channels, 400);
@@ -82,7 +82,10 @@ fn rbc_beats_brc_end_to_end() {
     // "somewhat better performance were achieved compared to the BRC type"
     assert!(t_rbc < t_brc, "RBC {t_rbc} should beat BRC {t_brc}");
     let ratio = t_brc.as_ps() as f64 / t_rbc.as_ps() as f64;
-    assert!(ratio < 1.5, "the gap should be 'somewhat', not dramatic: {ratio}");
+    assert!(
+        ratio < 1.5,
+        "the gap should be 'somewhat', not dramatic: {ratio}"
+    );
 }
 
 #[test]
@@ -139,7 +142,11 @@ fn interleave_granularity_roundtrips_through_subsystem() {
         let mut mem = MemorySubsystem::new(&cfg).unwrap();
         for i in 0..64 {
             mem.submit(MasterTransaction {
-                op: if i % 2 == 0 { AccessOp::Read } else { AccessOp::Write },
+                op: if i % 2 == 0 {
+                    AccessOp::Read
+                } else {
+                    AccessOp::Write
+                },
                 addr: i * 1000,
                 len: 333,
                 arrival: 0,
@@ -147,7 +154,11 @@ fn interleave_granularity_roundtrips_through_subsystem() {
             .unwrap();
         }
         let rep = mem.finish(0).unwrap();
-        assert_eq!(rep.bytes_read + rep.bytes_written, 64 * 333, "granule {granule}");
+        assert_eq!(
+            rep.bytes_read + rep.bytes_written,
+            64 * 333,
+            "granule {granule}"
+        );
     }
 }
 
@@ -197,7 +208,11 @@ fn clustered_memory_full_stack() {
     let traffic = FrameTraffic::new(&use_case, &layout, 128).unwrap();
     for op in traffic.take(20_000) {
         mem.submit(MasterTransaction {
-            op: if op.write { AccessOp::Write } else { AccessOp::Read },
+            op: if op.write {
+                AccessOp::Write
+            } else {
+                AccessOp::Read
+            },
             addr: op.addr,
             len: op.len as u64,
             arrival: 0,

@@ -14,7 +14,10 @@ fn run(point: HdOperatingPoint, channels: u32, clock: u64) -> FrameResult {
 fn table_i_anchor_720p30_needs_about_1_9_gbps() {
     let row = UseCase::hd(HdOperatingPoint::Hd720p30).table_row();
     let gbps = row.gbytes_per_second();
-    assert!((1.7..=2.1).contains(&gbps), "720p30 {gbps} GB/s vs paper 1.9");
+    assert!(
+        (1.7..=2.1).contains(&gbps),
+        "720p30 {gbps} GB/s vs paper 1.9"
+    );
 }
 
 #[test]
@@ -22,7 +25,10 @@ fn table_i_anchor_1080p30_needs_about_4_3_gbps_at_2_2x() {
     let p720 = UseCase::hd(HdOperatingPoint::Hd720p30).table_row();
     let p1080 = UseCase::hd(HdOperatingPoint::Hd1080p30).table_row();
     let gbps = p1080.gbytes_per_second();
-    assert!((3.9..=4.6).contains(&gbps), "1080p30 {gbps} GB/s vs paper 4.3");
+    assert!(
+        (3.9..=4.6).contains(&gbps),
+        "1080p30 {gbps} GB/s vs paper 4.3"
+    );
     let ratio = gbps / p720.gbytes_per_second();
     assert!((2.0..=2.4).contains(&ratio), "ratio {ratio} vs paper 2.2");
 }
@@ -32,15 +38,24 @@ fn table_i_anchor_1080p60_needs_about_8_6_gbps() {
     let gbps = UseCase::hd(HdOperatingPoint::Hd1080p60)
         .table_row()
         .gbytes_per_second();
-    assert!((7.7..=9.2).contains(&gbps), "1080p60 {gbps} GB/s vs paper 8.6");
+    assert!(
+        (7.7..=9.2).contains(&gbps),
+        "1080p60 {gbps} GB/s vs paper 8.6"
+    );
 }
 
 #[test]
 fn fig3_one_channel_low_clocks_miss_720p30_real_time() {
     // "the first two frequencies 200 and 266 MHz cannot meet the
     // performance requirements"
-    assert_eq!(run(HdOperatingPoint::Hd720p30, 1, 200).verdict, RealTimeVerdict::Fails);
-    assert_eq!(run(HdOperatingPoint::Hd720p30, 1, 266).verdict, RealTimeVerdict::Fails);
+    assert_eq!(
+        run(HdOperatingPoint::Hd720p30, 1, 200).verdict,
+        RealTimeVerdict::Fails
+    );
+    assert_eq!(
+        run(HdOperatingPoint::Hd720p30, 1, 266).verdict,
+        RealTimeVerdict::Fails
+    );
 }
 
 #[test]
@@ -93,8 +108,14 @@ fn fig3_clock_doubling_gives_about_2x_speedup() {
 #[test]
 fn fig4_720p60_requires_two_channels_at_400mhz() {
     // "Level 3.2 (720p@60 fps) requires at least two channels"
-    assert_eq!(run(HdOperatingPoint::Hd720p60, 1, 400).verdict, RealTimeVerdict::Fails);
-    assert_eq!(run(HdOperatingPoint::Hd720p60, 2, 400).verdict, RealTimeVerdict::Meets);
+    assert_eq!(
+        run(HdOperatingPoint::Hd720p60, 1, 400).verdict,
+        RealTimeVerdict::Fails
+    );
+    assert_eq!(
+        run(HdOperatingPoint::Hd720p60, 2, 400).verdict,
+        RealTimeVerdict::Meets
+    );
 }
 
 #[test]
@@ -102,7 +123,12 @@ fn fig4_1080p30_employs_four_channels_at_400mhz() {
     // "In order to be on the safe side regarding the real time
     // requirements, 1080p employs at minimum four channels."
     let two = run(HdOperatingPoint::Hd1080p30, 2, 400);
-    assert_eq!(two.verdict, RealTimeVerdict::Marginal, "{}", two.access_time);
+    assert_eq!(
+        two.verdict,
+        RealTimeVerdict::Marginal,
+        "{}",
+        two.access_time
+    );
     let four = run(HdOperatingPoint::Hd1080p30, 4, 400);
     assert_eq!(four.verdict, RealTimeVerdict::Meets, "{}", four.access_time);
 }
@@ -114,7 +140,10 @@ fn fig4_2160p30_needs_all_eight_channels() {
     // time fails outright (4 ch).
     let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 2, 400);
     assert!(exp.run().is_err(), "2160p should not fit 2 channels");
-    assert_eq!(run(HdOperatingPoint::Uhd2160p30, 4, 400).verdict, RealTimeVerdict::Fails);
+    assert_eq!(
+        run(HdOperatingPoint::Uhd2160p30, 4, 400).verdict,
+        RealTimeVerdict::Fails
+    );
     let eight = run(HdOperatingPoint::Uhd2160p30, 8, 400);
     assert!(
         eight.verdict.is_real_time(),
@@ -124,7 +153,10 @@ fn fig4_2160p30_needs_all_eight_channels() {
     // "2160p format starts to be already doubtful": within 5 % of the
     // margin boundary.
     let ms = eight.access_time.as_ms_f64();
-    assert!((26.5..33.4).contains(&ms), "2160p 8ch {ms} ms should be near the edge");
+    assert!(
+        (26.5..33.4).contains(&ms),
+        "2160p 8ch {ms} ms should be near the edge"
+    );
 }
 
 #[test]
@@ -135,12 +167,21 @@ fn fig5_power_anchors() {
     let p = run(HdOperatingPoint::Hd720p30, 1, 400).power.total_mw();
     assert!((120.0..=180.0).contains(&p), "720p 1ch {p} mW vs paper 150");
     let p8 = run(HdOperatingPoint::Hd720p30, 8, 400).power.total_mw();
-    assert!((164.0..=246.0).contains(&p8), "720p 8ch {p8} mW vs paper 205");
+    assert!(
+        (164.0..=246.0).contains(&p8),
+        "720p 8ch {p8} mW vs paper 205"
+    );
     assert!(p8 > p, "multi-channel costs moderately more ({p} -> {p8})");
     let p1080 = run(HdOperatingPoint::Hd1080p30, 4, 400).power.total_mw();
-    assert!((276.0..=414.0).contains(&p1080), "1080p 4ch {p1080} mW vs paper 345");
+    assert!(
+        (276.0..=414.0).contains(&p1080),
+        "1080p 4ch {p1080} mW vs paper 345"
+    );
     let p2160 = run(HdOperatingPoint::Uhd2160p30, 8, 400).power.total_mw();
-    assert!((1024.0..=1536.0).contains(&p2160), "2160p 8ch {p2160} mW vs paper 1280");
+    assert!(
+        (1024.0..=1536.0).contains(&p2160),
+        "2160p 8ch {p2160} mW vs paper 1280"
+    );
 }
 
 #[test]
@@ -158,8 +199,14 @@ fn xdr_comparison_bandwidth_and_power_fractions() {
     let xdr = XdrReference::cell_be();
     let low = xdr.power_fraction(r.power.total_mw());
     let high = xdr.power_fraction(run(HdOperatingPoint::Uhd2160p30, 8, 400).power.total_mw());
-    assert!((0.025..=0.06).contains(&low), "720p fraction {low} vs paper 4%");
-    assert!((0.18..=0.30).contains(&high), "2160p fraction {high} vs paper 25%");
+    assert!(
+        (0.025..=0.06).contains(&low),
+        "720p fraction {low} vs paper 4%"
+    );
+    assert!(
+        (0.18..=0.30).contains(&high),
+        "2160p fraction {high} vs paper 25%"
+    );
 }
 
 #[test]

@@ -1,0 +1,57 @@
+//! Offline stand-in for `crossbeam`, vendored because this build environment
+//! has no network access to crates.io. Only `crossbeam::thread::scope` is
+//! provided, implemented over `std::thread::scope` (Rust ≥ 1.63).
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention
+    //! (the spawn closure receives the scope).
+
+    /// Result alias matching `crossbeam::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to `scope` and `spawn` closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (Err on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the scope,
+        /// as in crossbeam (std passes nothing).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins all of them before returning.
+    ///
+    /// Unlike crossbeam this never returns `Err`: panics of threads that the
+    /// caller did not join propagate as panics (std semantics). Callers that
+    /// join every handle — the only pattern in this workspace — see
+    /// identical behavior.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for `rand`, vendored because this build environment has
+//! no network access to crates.io. Implements the subset the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`], and [`thread_rng`]. All randomness is splitmix64;
+//! statistical quality is fine for test-data generation, not cryptography.
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation, mirroring the used subset of `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform draw of a full-range value (bool / integer / unit-interval
+    /// float), mirroring `rand::Rng::gen`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+}
+
+/// Types [`Rng::gen`] can produce. Mirrors the `Standard` distribution.
+pub trait Standard {
+    /// Builds a value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> $t { bits as $t }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges [`Rng::gen_range`] accepts. Mirrors `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Uniform draw from `self`.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+fn below<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo + below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    //! RNG implementations.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator (stand-in for rand's ChaCha-based
+    /// `StdRng` — deterministic for a given seed, like the original).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias: the small-footprint RNG is the same splitmix64 here.
+    pub type SmallRng = StdRng;
+
+    /// Process-global RNG handle returned by [`crate::thread_rng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng {
+        pub(crate) inner: StdRng,
+    }
+
+    impl Rng for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// A fresh RNG seeded from the system clock (mirrors `rand::thread_rng`,
+/// without thread-local caching).
+pub fn thread_rng() -> rngs::ThreadRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    rngs::ThreadRng {
+        inner: SeedableRng::seed_from_u64(nanos),
+    }
+}
+
+pub mod prelude {
+    //! Common imports.
+    pub use super::rngs::{SmallRng, StdRng, ThreadRng};
+    pub use super::{thread_rng, Rng, SeedableRng};
+}

@@ -1,0 +1,345 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input token
+//! stream is walked directly. Supported shapes — non-generic structs with
+//! named fields, and non-generic enums whose variants are unit, tuple, or
+//! struct-like. That covers every derive site in this workspace; anything
+//! else produces a `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips leading attributes (`#[...]` / doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1; // optional `(crate)` etc.
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token slice on top-level commas, tracking `<...>` depth so that
+/// commas inside generic arguments do not split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field names of a `{ ... }` struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for piece in split_top_level_commas(body) {
+        let i = skip_attrs_and_vis(&piece, 0);
+        if i >= piece.len() {
+            continue; // trailing comma
+        }
+        let TokenTree::Ident(name) = &piece[i] else {
+            return Err(format!("unsupported field syntax near `{}`", piece[i]));
+        };
+        match piece.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        fields.push(name.to_string());
+    }
+    Ok(fields)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got `{other}`")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, got `{other}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err(format!(
+            "unsupported body for `{name}` (unit/tuple structs not supported)"
+        ));
+    };
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        }),
+        "enum" => {
+            let mut variants = Vec::new();
+            for piece in split_top_level_commas(&body) {
+                let i = skip_attrs_and_vis(&piece, 0);
+                if i >= piece.len() {
+                    continue;
+                }
+                let TokenTree::Ident(vname) = &piece[i] else {
+                    return Err(format!("unsupported variant syntax near `{}`", piece[i]));
+                };
+                let vname = vname.to_string();
+                match piece.get(i + 1) {
+                    None => variants.push(Variant::Unit(vname)),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        variants.push(Variant::Tuple(vname, split_top_level_commas(&inner).len()));
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        variants.push(Variant::Struct(vname, parse_named_fields(&inner)?));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!("explicit discriminant on `{vname}` not supported"));
+                    }
+                    Some(other) => {
+                        return Err(format!("unsupported variant syntax near `{other}`"));
+                    }
+                }
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return err(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let bind_list = binds.join(", ");
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bind_list}) => {{\n\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert({vn:?}.to_string(), {payload});\n\
+                                 ::serde::Value::Object(m)\n\
+                             }}\n"
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let bind_list = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "inner.insert({f:?}.to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bind_list} }} => {{\n\
+                                 let mut inner = ::serde::Map::new();\n\
+                                 {inserts}\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert({vn:?}.to_string(), ::serde::Value::Object(inner));\n\
+                                 ::serde::Value::Object(m)\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return err(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(obj.get({f:?}).ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(concat!(\"expected object for \", stringify!({name}))))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                        // Also accept the externally-tagged object form.
+                        keyed_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                    }
+                    Variant::Tuple(vn, n) => {
+                        if *n == 1 {
+                            keyed_arms.push_str(&format!(
+                                "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                            ));
+                        } else {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|k| format!(
+                                    "::serde::Deserialize::from_value(arr.get({k}).ok_or_else(|| ::serde::Error::custom(\"tuple variant too short\"))?)?"
+                                ))
+                                .collect();
+                            keyed_arms.push_str(&format!(
+                                "{vn:?} => {{\n\
+                                     let arr = payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?;\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}\n",
+                                gets.join(", ")
+                            ));
+                        }
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.get({f:?}).ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?,\n"
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let inner = payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload\"))?;\n\
+                                 return Ok({name}::{vn} {{\n{inits}}});\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             match s {{\n{unit_arms}_ => return Err(::serde::Error::custom(format!(\"unknown variant `{{s}}` for {name}\"))),\n}}\n\
+                         }}\n\
+                         if let Some(obj) = v.as_object() {{\n\
+                             if obj.len() == 1 {{\n\
+                                 let (tag, payload) = obj.iter().next().ok_or_else(|| ::serde::Error::custom(\"empty variant object\"))?;\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n{keyed_arms}_ => return Err(::serde::Error::custom(format!(\"unknown variant `{{tag}}` for {name}\"))),\n}}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(concat!(\"cannot deserialize \", stringify!({name}))))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
