@@ -5,33 +5,35 @@
 //! (`ChunkPolicy::PerChannel`). A fixed cache-line master shows what
 //! happens otherwise: read/write bus turnarounds eat the added channels.
 
-use mcm_bench::{fmt_ms, run_parallel};
-use mcm_core::{ChunkPolicy, Experiment};
+use mcm_bench::fmt_point_ms;
+use mcm_core::ChunkPolicy;
 use mcm_load::HdOperatingPoint;
+use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Ablation: master transaction sizing (720p30 access time [ms] @ 400 MHz)\n");
     println!("  channels | per-ch 64B  fixed 64B fixed 256B fixed 1KiB");
-    for ch in [1u32, 2, 4, 8] {
-        let policies = [
-            ChunkPolicy::PerChannel(64),
-            ChunkPolicy::Fixed(64),
-            ChunkPolicy::Fixed(256),
-            ChunkPolicy::Fixed(1024),
-        ];
-        let exps: Vec<Experiment> = policies
+    let policies = [
+        ChunkPolicy::PerChannel(64),
+        ChunkPolicy::Fixed(64),
+        ChunkPolicy::Fixed(256),
+        ChunkPolicy::Fixed(1024),
+    ];
+    let spec = SweepSpec {
+        points: vec![HdOperatingPoint::Hd720p30],
+        channels: vec![1, 2, 4, 8],
+        chunks: policies.to_vec(),
+        ..SweepSpec::default()
+    };
+    // Expansion order is channels -> chunk policies: each run of four
+    // results is one printed row.
+    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    for (row, ch) in result.points.chunks(policies.len()).zip([1u32, 2, 4, 8]) {
+        let cells: String = row
             .iter()
-            .map(|&c| {
-                let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, ch, 400);
-                e.chunk = c;
-                e
-            })
+            .map(|c| format!("  {}", fmt_point_ms(c)))
             .collect();
-        let row: String = run_parallel(exps)
-            .iter()
-            .map(|r| format!("  {}", fmt_ms(r)))
-            .collect();
-        println!("  {ch:>8} |{row}");
+        println!("  {ch:>8} |{cells}");
     }
     println!("\nExpectation: per-channel sizing keeps the 2x-per-doubling trend;");
     println!("a fixed 64B master flattens out beyond 2 channels.");

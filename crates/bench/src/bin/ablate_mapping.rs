@@ -4,26 +4,37 @@
 //! multiplexing since somewhat better performance were achieved compared to
 //! the Bank-Row-Column (BRC) multiplexing type."
 
-use mcm_bench::{fmt_ms, run_parallel};
-use mcm_core::Experiment;
+use mcm_bench::fmt_point_ms;
 use mcm_dram::AddressMapping;
 use mcm_load::HdOperatingPoint;
+use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+
+const CLOCKS: [u64; 6] = [200, 266, 333, 400, 466, 533];
+const CHANNELS: [u32; 4] = [1, 2, 4, 8];
 
 fn main() {
     println!("Ablation: address multiplexing (720p30 frame access time [ms])\n");
     println!("  ch\\MHz   |      200      266      333      400      466      533");
-    for mapping in [AddressMapping::Rbc, AddressMapping::Brc] {
+    // One sweep for the whole comparison; expansion order is
+    // channels -> clocks -> mappings, so each mapping's grid is sliced
+    // back out of the ordered results.
+    let spec = SweepSpec {
+        points: vec![HdOperatingPoint::Hd720p30],
+        channels: CHANNELS.to_vec(),
+        clocks_mhz: CLOCKS.to_vec(),
+        mappings: vec![AddressMapping::Rbc, AddressMapping::Brc],
+        ..SweepSpec::default()
+    };
+    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    for (m, mapping) in [AddressMapping::Rbc, AddressMapping::Brc]
+        .iter()
+        .enumerate()
+    {
         println!("  --- {mapping} ---");
-        for ch in [1u32, 2, 4, 8] {
-            let exps: Vec<Experiment> = [200u64, 266, 333, 400, 466, 533]
-                .iter()
-                .map(|&clk| {
-                    let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, ch, clk);
-                    e.memory = e.memory.with_mapping(mapping);
-                    e
-                })
+        for (c, ch) in CHANNELS.iter().enumerate() {
+            let row: String = (0..CLOCKS.len())
+                .map(|k| fmt_point_ms(&result.points[(c * CLOCKS.len() + k) * 2 + m]))
                 .collect();
-            let row: String = run_parallel(exps).iter().map(fmt_ms).collect();
             println!("  {ch:>8} |{row}");
         }
     }

@@ -3,25 +3,28 @@
 //! The paper uses open page throughout ("In all the evaluations, DRAM open
 //! page policy is used") — this ablation shows why.
 
-use mcm_bench::{fmt_ms, run_parallel};
-use mcm_core::Experiment;
+use mcm_bench::fmt_point_ms;
 use mcm_ctrl::PagePolicy;
 use mcm_load::HdOperatingPoint;
+use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Ablation: page policy (frame access time [ms] @ 400 MHz)\n");
     println!("  format / channels        |     open   closed");
-    for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30] {
+    let points = [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30];
+    let spec = SweepSpec {
+        points: points.to_vec(),
+        channels: vec![1, 2, 4, 8],
+        page_policies: vec![PagePolicy::Open, PagePolicy::Closed],
+        ..SweepSpec::default()
+    };
+    // Expansion order is points -> channels -> page policies: every
+    // consecutive pair of results is one printed row.
+    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let mut rows = result.points.chunks(2);
+    for p in points {
         for ch in [1u32, 2, 4, 8] {
-            let exps: Vec<Experiment> = [PagePolicy::Open, PagePolicy::Closed]
-                .iter()
-                .map(|&pol| {
-                    let mut e = Experiment::paper(p, ch, 400);
-                    e.memory.controller.page_policy = pol;
-                    e
-                })
-                .collect();
-            let row: String = run_parallel(exps).iter().map(fmt_ms).collect();
+            let row: String = rows.next().expect("row").iter().map(fmt_point_ms).collect();
             println!("  {p} {ch}ch |{row}");
         }
     }

@@ -5,10 +5,9 @@
 //! conclusions call aggressive power-down "necessary for energy efficient
 //! operation with handheld devices".
 
-use mcm_bench::run_parallel;
-use mcm_core::Experiment;
 use mcm_ctrl::PowerDownPolicy;
 use mcm_load::HdOperatingPoint;
+use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Ablation: power-down policy (total power [mW] @ 400 MHz)\n");
@@ -23,22 +22,29 @@ fn main() {
         },
         PowerDownPolicy::Never,
     ];
-    for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30] {
+    let points = [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30];
+    let spec = SweepSpec {
+        points: points.to_vec(),
+        channels: vec![1, 4, 8],
+        power_down: policies.to_vec(),
+        ..SweepSpec::default()
+    };
+    // Expansion order is points -> channels -> power-down policies: each
+    // run of five results is one printed row.
+    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let mut rows = result.points.chunks(policies.len());
+    for p in points {
         for ch in [1u32, 4, 8] {
-            let exps: Vec<Experiment> = policies
+            let row: String = rows
+                .next()
+                .expect("row")
                 .iter()
-                .map(|&pol| {
-                    let mut e = Experiment::paper(p, ch, 400);
-                    e.memory.controller.power_down = pol;
-                    e
-                })
-                .collect();
-            let row: String = run_parallel(exps)
-                .iter()
-                .map(|r| match r {
-                    Ok(fr) => format!(" {:8.0}", fr.power.total_mw()),
-                    Err(_) => format!(" {:>8}", "n/a"),
-                })
+                .map(
+                    |cell| match cell.outcome.as_ref().ok().and_then(|r| r.total_mw()) {
+                        Some(mw) => format!(" {mw:8.0}"),
+                        None => format!(" {:>8}", "n/a"),
+                    },
+                )
                 .collect();
             println!("  {p} {ch}ch |{row}");
         }

@@ -7,38 +7,50 @@
 //! directly relevant to the conclusions' call for "novel policies" to keep
 //! power manageable.
 
-use mcm_core::{Experiment, Pacing};
+use mcm_core::Pacing;
 use mcm_load::HdOperatingPoint;
+use mcm_sweep::{run_sweep, PointOutcome, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Race-to-sleep (greedy) vs. paced master @ 400 MHz\n");
     println!(
         "  format / ch              |  power greedy |  power paced | p99 latency greedy/paced"
     );
-    for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30] {
+    let points = [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30];
+    let spec = SweepSpec {
+        points: points.to_vec(),
+        channels: vec![1, 4],
+        pacings: vec![Pacing::Greedy, Pacing::Paced],
+        ..SweepSpec::default()
+    };
+    // Expansion order is points -> channels -> pacing: results come back
+    // as (greedy, paced) pairs.
+    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let mw = |c: &PointOutcome| {
+        c.outcome
+            .as_ref()
+            .ok()
+            .and_then(|r| r.total_mw())
+            .unwrap_or(f64::NAN)
+    };
+    let p99 = |c: &PointOutcome| {
+        c.outcome
+            .as_ref()
+            .ok()
+            .and_then(|r| r.latency_p99_ns)
+            .map(|ns| format!("{ns:.0} ns"))
+            .unwrap_or_else(|| "-".into())
+    };
+    let mut pairs = result.points.chunks(2);
+    for p in points {
         for ch in [1u32, 4] {
-            let run = |pacing: Pacing| {
-                let mut e = Experiment::paper(p, ch, 400);
-                e.pacing = pacing;
-                e.run().expect("run")
-            };
-            let g = run(Pacing::Greedy);
-            let pcd = run(Pacing::Paced);
-            let p99 = |r: &mcm_core::FrameResult| {
-                r.report
-                    .channels
-                    .iter()
-                    .filter_map(|c| c.latency_p99)
-                    .max()
-                    .map(|t| format!("{t}"))
-                    .unwrap_or_else(|| "-".into())
-            };
+            let pair = pairs.next().expect("pair");
             println!(
                 "  {p} {ch}ch |   {:>8.0} mW |  {:>8.0} mW | {} / {}",
-                g.power.total_mw(),
-                pcd.power.total_mw(),
-                p99(&g),
-                p99(&pcd),
+                mw(&pair[0]),
+                mw(&pair[1]),
+                p99(&pair[0]),
+                p99(&pair[1]),
             );
         }
     }

@@ -22,24 +22,13 @@
 //! Criterion benches (`cargo bench -p mcm-bench`) measure the simulator
 //! itself (cells simulated per second), not the modelled memory.
 
-use crossbeam::thread;
+use mcm_core::{BatchRunner, CoreError, Experiment, FrameResult};
+use mcm_sweep::{ParallelRunner, PointOutcome};
 
-use mcm_core::{CoreError, Experiment, FrameResult};
-
-/// Runs a set of experiments in parallel (one OS thread per experiment, the
-/// grids here are small) and returns results in input order.
+/// Runs a set of experiments on the `mcm-sweep` thread-pool engine and
+/// returns results in input order (panics become typed errors).
 pub fn run_parallel(experiments: Vec<Experiment>) -> Vec<Result<FrameResult, CoreError>> {
-    thread::scope(|s| {
-        let handles: Vec<_> = experiments
-            .iter()
-            .map(|e| s.spawn(move |_| e.run()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
-    })
-    .expect("scope")
+    ParallelRunner::new().run_batch(&experiments)
 }
 
 /// Formats an access-time cell the way the harness tables print it.
@@ -58,6 +47,27 @@ pub fn fmt_mw(r: &Result<FrameResult, CoreError>) -> String {
             None => format!("{:>8}", 0),
         },
         Err(_) => format!("{:>8}", 0),
+    }
+}
+
+/// Formats a sweep point's access time the way the harness tables print it
+/// (`n/a` for infeasible or failed points).
+pub fn fmt_point_ms(p: &PointOutcome) -> String {
+    match &p.outcome {
+        Ok(r) if r.feasible => format!("{:8.2}", r.access_ms.unwrap_or(0.0)),
+        _ => format!("{:>8}", "n/a"),
+    }
+}
+
+/// Formats a sweep point's total power in mW (`n/a` for infeasible or
+/// failed points).
+pub fn fmt_point_mw(p: &PointOutcome) -> String {
+    match &p.outcome {
+        Ok(r) => match r.total_mw() {
+            Some(mw) => format!("{mw:8.0}"),
+            None => format!("{:>8}", "n/a"),
+        },
+        Err(_) => format!("{:>8}", "n/a"),
     }
 }
 

@@ -77,6 +77,57 @@ pub enum Command {
     /// Conformance-check a configuration: config lints, cross-channel
     /// invariants and a bounded trace audit.
     Check(RunOptions),
+    /// Sweep a grid of configurations on the parallel engine.
+    Sweep(SweepArgs),
+}
+
+/// What `mcm sweep` should export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepOutput {
+    /// Human-readable table plus run statistics.
+    #[default]
+    Text,
+    /// Deterministic JSON rows.
+    Json,
+    /// Deterministic CSV rows.
+    Csv,
+}
+
+/// Options of `mcm sweep`. The default grid is the paper's Fig. 4/5 grid:
+/// all five HD operating points across 1, 2, 4 and 8 channels at 400 MHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Operating points to sweep.
+    pub points: Vec<HdOperatingPoint>,
+    /// Channel counts to sweep.
+    pub channels: Vec<u32>,
+    /// Interface clocks to sweep, MHz.
+    pub clocks: Vec<u64>,
+    /// Worker threads (None = rayon default / RAYON_NUM_THREADS).
+    pub threads: Option<usize>,
+    /// Result cache directory (None = no cache).
+    pub cache: Option<String>,
+    /// Cap on simulated operations per point.
+    pub op_limit: Option<u64>,
+    /// Export format.
+    pub output: SweepOutput,
+    /// Print per-point progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            points: HdOperatingPoint::ALL.to_vec(),
+            channels: vec![1, 2, 4, 8],
+            clocks: vec![400],
+            threads: None,
+            cache: None,
+            op_limit: None,
+            output: SweepOutput::Text,
+            progress: false,
+        }
+    }
 }
 
 /// Options of `mcm run` / `mcm headroom`.
@@ -357,6 +408,59 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                 }
             })
         }
+        "sweep" => {
+            let mut a = SweepArgs::default();
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| CliError(format!("flag '{flag}' needs a value")))
+                };
+                match flag {
+                    "--formats" => {
+                        a.points = value()?
+                            .split(',')
+                            .map(parse_point)
+                            .collect::<Result<_, _>>()?
+                    }
+                    "--channels" => {
+                        a.channels = value()?
+                            .split(',')
+                            .map(|v| {
+                                v.parse()
+                                    .map_err(|_| CliError(format!("bad channel count '{v}'")))
+                            })
+                            .collect::<Result<_, _>>()?
+                    }
+                    "--clocks" => {
+                        a.clocks = value()?
+                            .split(',')
+                            .map(|v| v.parse().map_err(|_| CliError(format!("bad clock '{v}'"))))
+                            .collect::<Result<_, _>>()?
+                    }
+                    "--threads" => {
+                        a.threads = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| CliError("bad --threads value".into()))?,
+                        )
+                    }
+                    "--cache" => a.cache = Some(value()?.to_string()),
+                    "--op-limit" => {
+                        a.op_limit = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| CliError("bad --op-limit value".into()))?,
+                        )
+                    }
+                    "--json" => a.output = SweepOutput::Json,
+                    "--csv" => a.output = SweepOutput::Csv,
+                    "--progress" => a.progress = true,
+                    other => return Err(CliError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Sweep(a))
+        }
         "steady" => {
             // Extract --frames N, pass the rest to the run-option parser.
             let rest: Vec<&str> = it.collect();
@@ -404,6 +508,7 @@ COMMANDS:
     fig5        Fig. 5   — power vs format (400 MHz)
     xdr         the XDR comparison
     run         run one experiment (see OPTIONS)
+    sweep       sweep a grid in parallel (see SWEEP OPTIONS)
     check       conformance-check a configuration (MCMxxx rules; --json for machines)
     headroom    maximum sustainable fps for a configuration
     steady      multi-frame session (add --frames N, default 30)
@@ -429,6 +534,16 @@ OPTIONS (run / headroom):
     --viewfinder                                       [recording]
     --verify    run the MCMxxx conformance checks too   [off]
     --json                                             [text]
+
+SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
+    --formats <comma list of formats>                  [all five]
+    --channels <comma list of channel counts>          [1,2,4,8]
+    --clocks <comma list of MHz>                       [400]
+    --threads <N>     worker threads                   [RAYON_NUM_THREADS]
+    --cache <dir>     content-hash result cache        [off]
+    --op-limit <N>    cap simulated ops per point      [full frame]
+    --progress        per-point progress on stderr     [off]
+    --json | --csv    deterministic machine output     [text table]
 ";
 
 #[cfg(test)]
@@ -539,6 +654,54 @@ mod tests {
             panic!("expected run");
         };
         assert!(o.verify);
+    }
+
+    #[test]
+    fn sweep_defaults_are_the_paper_grid() {
+        let Command::Sweep(a) = parse_args(["sweep"]).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a, SweepArgs::default());
+        assert_eq!(a.points.len(), 5);
+        assert_eq!(a.channels, vec![1, 2, 4, 8]);
+        assert_eq!(a.clocks, vec![400]);
+    }
+
+    #[test]
+    fn sweep_parses_lists_and_knobs() {
+        let Command::Sweep(a) = parse_args([
+            "sweep",
+            "--formats",
+            "720p30,1080p60",
+            "--channels",
+            "2,8",
+            "--clocks",
+            "200,400",
+            "--threads",
+            "4",
+            "--cache",
+            "/tmp/c",
+            "--op-limit",
+            "5000",
+            "--csv",
+            "--progress",
+        ])
+        .unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(
+            a.points,
+            vec![HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p60]
+        );
+        assert_eq!(a.channels, vec![2, 8]);
+        assert_eq!(a.clocks, vec![200, 400]);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.cache.as_deref(), Some("/tmp/c"));
+        assert_eq!(a.op_limit, Some(5000));
+        assert_eq!(a.output, SweepOutput::Csv);
+        assert!(a.progress);
+        assert!(parse_args(["sweep", "--formats", "480i"]).is_err());
+        assert!(parse_args(["sweep", "--channels", "two"]).is_err());
     }
 
     #[test]

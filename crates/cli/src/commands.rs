@@ -2,8 +2,9 @@
 
 use mcm_core::{analysis, figures, CoreError, Experiment};
 use mcm_load::UseCase;
+use mcm_sweep::ParallelRunner;
 
-use crate::args::{CliError, Command, RunOptions, USAGE};
+use crate::args::{CliError, Command, RunOptions, SweepArgs, SweepOutput, USAGE};
 
 fn build_experiment(o: &RunOptions) -> Experiment {
     let mut exp = Experiment::paper(o.point, o.channels, o.clock_mhz);
@@ -133,36 +134,37 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             .collect::<Vec<_>>()
             .join("\n")),
         Command::Fig3 => {
-            let d = figures::fig3_data().map_err(sim_err)?;
+            let d = figures::fig3_data_with(&ParallelRunner::new()).map_err(sim_err)?;
             Ok(figures::render_fig3(&d))
         }
         Command::Fig4 => {
-            let d = figures::format_grid_data().map_err(sim_err)?;
+            let d = figures::format_grid_data_with(&ParallelRunner::new()).map_err(sim_err)?;
             Ok(figures::render_fig4(&d))
         }
         Command::Fig5 => {
-            let d = figures::format_grid_data().map_err(sim_err)?;
+            let d = figures::format_grid_data_with(&ParallelRunner::new()).map_err(sim_err)?;
             Ok(figures::render_fig5(&d))
         }
         Command::Xdr => {
-            let d = figures::xdr_data().map_err(sim_err)?;
+            let d = figures::xdr_data_with(&ParallelRunner::new()).map_err(sim_err)?;
             Ok(figures::render_xdr(&d))
         }
         Command::Repro => {
+            let runner = ParallelRunner::new();
             let mut out = String::new();
             out += &figures::render_table1(&figures::table1_data());
             out += "\n";
             out += &figures::render_table2(4);
             out += "\n";
-            let f3 = figures::fig3_data().map_err(sim_err)?;
+            let f3 = figures::fig3_data_with(&runner).map_err(sim_err)?;
             out += &figures::render_fig3(&f3);
-            let grid = figures::format_grid_data().map_err(sim_err)?;
+            let grid = figures::format_grid_data_with(&runner).map_err(sim_err)?;
             out += "\n";
             out += &figures::render_fig4(&grid);
             out += "\n";
             out += &figures::render_fig5(&grid);
             out += "\n";
-            let xdr = figures::xdr_data().map_err(sim_err)?;
+            let xdr = figures::xdr_data_with(&runner).map_err(sim_err)?;
             out += &figures::render_xdr(&xdr);
             Ok(out)
         }
@@ -215,6 +217,66 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::TraceDump { options, out } => trace_dump(options, out),
         Command::TraceRun { options, input } => trace_run(options, input),
         Command::Check(o) => run_check(o),
+        Command::Sweep(a) => run_sweep_cmd(a),
+    }
+}
+
+/// `mcm sweep`: expand the requested grid, execute it on the parallel
+/// engine (optionally against a content-hash result cache) and render a
+/// table, JSON or CSV.
+fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
+    let spec = mcm_sweep::SweepSpec {
+        points: a.points.clone(),
+        channels: a.channels.clone(),
+        clocks_mhz: a.clocks.clone(),
+        op_limit: a.op_limit,
+        ..mcm_sweep::SweepSpec::default()
+    };
+    let options = mcm_sweep::SweepOptions {
+        threads: a.threads,
+        cache_dir: a.cache.as_ref().map(std::path::PathBuf::from),
+        progress: a.progress,
+        ..mcm_sweep::SweepOptions::default()
+    };
+    let result = mcm_sweep::run_sweep(&spec, &options).map_err(|e| CliError(e.to_string()))?;
+    match a.output {
+        SweepOutput::Json => Ok(result.to_json() + "\n"),
+        SweepOutput::Csv => Ok(result.to_csv()),
+        SweepOutput::Text => {
+            let mut out = format!(
+                "{:<28} {:>4} {:>6} {:>10} {:>10} {:>9} {:>10}\n",
+                "point", "ch", "MHz", "access ms", "budget ms", "verdict", "power mW"
+            );
+            for p in &result.points {
+                let coord = format!("{:<28} {:>4} {:>6}", p.label, p.channels, p.clock_mhz);
+                match &p.outcome {
+                    Ok(r) if r.feasible => {
+                        out += &format!(
+                            "{coord} {:>10.2} {:>10.2} {:>9} {:>10.1}\n",
+                            r.access_ms.unwrap_or(0.0),
+                            r.budget_ms.unwrap_or(0.0),
+                            r.verdict.as_deref().unwrap_or("-"),
+                            r.total_mw().unwrap_or(0.0),
+                        );
+                    }
+                    Ok(r) => {
+                        out += &format!(
+                            "{coord} {:>10} {:>10} {:>9} {:>10}   ({})\n",
+                            "-",
+                            "-",
+                            "infeas",
+                            "-",
+                            r.infeasible_reason.as_deref().unwrap_or("does not fit"),
+                        );
+                    }
+                    Err(e) => {
+                        out += &format!("{coord}   FAILED: {e}\n");
+                    }
+                }
+            }
+            out += &format!("\n{}\n", result.stats);
+            Ok(out)
+        }
     }
 }
 
@@ -572,6 +634,92 @@ mod check_cli_tests {
         let out = execute(&cmd).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
         assert_eq!(v["verify"]["summary"]["clean"], true, "{out}");
+    }
+}
+
+#[cfg(test)]
+mod sweep_cli_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn sweep_text_table_and_stats() {
+        let cmd = parse_args([
+            "sweep",
+            "--formats",
+            "720p30",
+            "--channels",
+            "1,4",
+            "--op-limit",
+            "2000",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("1280x720@30/1ch/400MHz"), "{out}");
+        assert!(out.contains("2 points: 2 simulated"), "{out}");
+    }
+
+    #[test]
+    fn sweep_json_is_parseable_and_csv_has_rows() {
+        let cmd = parse_args([
+            "sweep",
+            "--formats",
+            "720p30",
+            "--channels",
+            "2",
+            "--op-limit",
+            "2000",
+            "--json",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v[0]["channels"], 2);
+        assert!(v[0]["record"]["access_ms"].as_f64().unwrap() > 0.0);
+
+        let cmd = parse_args([
+            "sweep",
+            "--formats",
+            "720p30",
+            "--channels",
+            "2",
+            "--op-limit",
+            "2000",
+            "--csv",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().next().unwrap().starts_with("label,"));
+    }
+
+    #[test]
+    fn sweep_cache_flag_round_trips() {
+        let dir = std::env::temp_dir().join("mcm_cli_sweep_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = [
+            "sweep",
+            "--formats",
+            "720p30",
+            "--channels",
+            "1,2",
+            "--op-limit",
+            "2000",
+            "--cache",
+        ];
+        let run = || {
+            let mut full: Vec<&str> = args.to_vec();
+            let d = dir.to_str().unwrap();
+            full.push(d);
+            execute(&parse_args(full).unwrap()).unwrap()
+        };
+        let cold = run();
+        assert!(cold.contains("2 simulated, 0 cached"), "{cold}");
+        let warm = run();
+        assert!(warm.contains("0 simulated, 2 cached"), "{warm}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -1,0 +1,276 @@
+//! Fluent, validating construction of [`Experiment`]s.
+//!
+//! [`Experiment::paper`] hard-codes the paper's operating assumptions; every
+//! deviation (mapping, page policy, power-down, chunking…) used to be a
+//! field mutation after the fact, with invalid combinations only surfacing
+//! as panics or errors deep inside a run. [`ExperimentBuilder`] makes the
+//! whole configuration space reachable from one fluent chain and moves the
+//! validation to [`ExperimentBuilder::build`], which returns typed
+//! [`CoreError`]s instead.
+//!
+//! ```
+//! use mcm_core::{ChunkPolicy, Experiment};
+//! use mcm_load::HdOperatingPoint;
+//!
+//! let exp = Experiment::builder()
+//!     .point(HdOperatingPoint::Hd720p30)
+//!     .channels(4)
+//!     .clock_mhz(400)
+//!     .chunk(ChunkPolicy::PerChannel(64))
+//!     .op_limit(10_000)
+//!     .build()
+//!     .unwrap();
+//! assert!(exp.run().unwrap().verdict.is_real_time());
+//!
+//! // Invalid configurations fail at build time, not mid-simulation.
+//! assert!(Experiment::builder().channels(3).build().is_err());
+//! ```
+
+use mcm_channel::MemoryConfig;
+use mcm_ctrl::{PagePolicy, PowerDownPolicy};
+use mcm_dram::AddressMapping;
+use mcm_load::{HdOperatingPoint, UseCase};
+use mcm_power::InterfacePowerModel;
+
+use crate::error::CoreError;
+use crate::experiment::{ChunkPolicy, Experiment, Pacing};
+
+/// Fluent builder for [`Experiment`]; obtain one via [`Experiment::builder`].
+///
+/// Defaults are the paper's headline configuration: 1080p30 recording on
+/// 4 × next-generation mobile DDR at 400 MHz, RBC mapping, open page,
+/// immediate power-down, 16-byte interleave granules, 64 bytes per channel
+/// per master transaction, greedy pacing, 15 % data-processing margin.
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    use_case: UseCase,
+    channels: u32,
+    clock_mhz: u64,
+    granule_bytes: u64,
+    mapping: Option<AddressMapping>,
+    page_policy: Option<PagePolicy>,
+    power_down: Option<PowerDownPolicy>,
+    chunk: ChunkPolicy,
+    pacing: Pacing,
+    margin: f64,
+    interface: InterfacePowerModel,
+    op_limit: Option<u64>,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        ExperimentBuilder {
+            use_case: UseCase::hd(HdOperatingPoint::Hd1080p30),
+            channels: 4,
+            clock_mhz: 400,
+            granule_bytes: 16,
+            mapping: None,
+            page_policy: None,
+            power_down: None,
+            chunk: ChunkPolicy::PerChannel(64),
+            pacing: Pacing::Greedy,
+            margin: 0.15,
+            interface: InterfacePowerModel::paper(),
+            op_limit: None,
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// Records `point` with the paper's full recording use case.
+    pub fn point(mut self, point: HdOperatingPoint) -> Self {
+        self.use_case = UseCase::hd(point);
+        self
+    }
+
+    /// Uses `point` in viewfinder-only mode (no encoding/storage traffic).
+    pub fn viewfinder(mut self, point: HdOperatingPoint) -> Self {
+        self.use_case = UseCase::viewfinder(point);
+        self
+    }
+
+    /// Replaces the whole load model (custom use cases).
+    pub fn use_case(mut self, use_case: UseCase) -> Self {
+        self.use_case = use_case;
+        self
+    }
+
+    /// Channel count (must be a non-zero power of two).
+    pub fn channels(mut self, channels: u32) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Interface clock shared by all channels, MHz.
+    pub fn clock_mhz(mut self, clock_mhz: u64) -> Self {
+        self.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Interleave granularity, bytes (must be a non-zero power of two).
+    pub fn granule_bytes(mut self, granule_bytes: u64) -> Self {
+        self.granule_bytes = granule_bytes;
+        self
+    }
+
+    /// Address multiplexing (default: RBC).
+    pub fn mapping(mut self, mapping: AddressMapping) -> Self {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    /// Row-buffer policy (default: open page).
+    pub fn page_policy(mut self, page_policy: PagePolicy) -> Self {
+        self.page_policy = Some(page_policy);
+        self
+    }
+
+    /// CKE policy (default: power down after the first idle cycle).
+    pub fn power_down(mut self, power_down: PowerDownPolicy) -> Self {
+        self.power_down = Some(power_down);
+        self
+    }
+
+    /// Master-transaction sizing.
+    pub fn chunk(mut self, chunk: ChunkPolicy) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Arrival pacing (default: greedy, the paper's model).
+    pub fn pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Data-processing margin on the real-time budget, in `[0, 1)`.
+    pub fn margin(mut self, margin: f64) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Interface power model (default: equation (1) with paper constants).
+    pub fn interface(mut self, interface: InterfacePowerModel) -> Self {
+        self.interface = interface;
+        self
+    }
+
+    /// Caps the number of simulated load operations (quick tests only).
+    pub fn op_limit(mut self, ops: u64) -> Self {
+        self.op_limit = Some(ops);
+        self
+    }
+
+    /// Validates the configuration and produces the [`Experiment`].
+    ///
+    /// Everything [`Experiment::validate`] checks is checked here, so a
+    /// built experiment cannot fail parameter validation later.
+    pub fn build(self) -> Result<Experiment, CoreError> {
+        let mut memory = MemoryConfig::paper(self.channels, self.clock_mhz);
+        memory.granule_bytes = self.granule_bytes;
+        if let Some(mapping) = self.mapping {
+            memory.controller.mapping = mapping;
+        }
+        if let Some(page_policy) = self.page_policy {
+            memory.controller.page_policy = page_policy;
+        }
+        if let Some(power_down) = self.power_down {
+            memory.controller.power_down = power_down;
+        }
+        let exp = Experiment {
+            use_case: self.use_case,
+            memory,
+            chunk: self.chunk,
+            pacing: self.pacing,
+            margin: self.margin,
+            interface: self.interface,
+            op_limit: self.op_limit,
+        };
+        exp.validate()?;
+        Ok(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let built = Experiment::builder().build().unwrap();
+        let paper = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+        assert_eq!(built.memory.channels, paper.memory.channels);
+        assert_eq!(built.memory.clock_mhz, paper.memory.clock_mhz);
+        assert_eq!(built.memory.granule_bytes, paper.memory.granule_bytes);
+        assert_eq!(built.chunk, paper.chunk);
+        assert_eq!(built.pacing, paper.pacing);
+        assert_eq!(built.margin, paper.margin);
+        assert_eq!(built.use_case, paper.use_case);
+    }
+
+    #[test]
+    fn builder_applies_every_knob() {
+        let exp = Experiment::builder()
+            .point(HdOperatingPoint::Hd720p60)
+            .channels(2)
+            .clock_mhz(333)
+            .granule_bytes(64)
+            .mapping(AddressMapping::Brc)
+            .page_policy(PagePolicy::Closed)
+            .power_down(PowerDownPolicy::Never)
+            .chunk(ChunkPolicy::Fixed(256))
+            .pacing(Pacing::Paced)
+            .margin(0.2)
+            .op_limit(123)
+            .build()
+            .unwrap();
+        assert_eq!(exp.memory.channels, 2);
+        assert_eq!(exp.memory.clock_mhz, 333);
+        assert_eq!(exp.memory.granule_bytes, 64);
+        assert_eq!(exp.memory.controller.mapping, AddressMapping::Brc);
+        assert_eq!(exp.memory.controller.page_policy, PagePolicy::Closed);
+        assert_eq!(exp.memory.controller.power_down, PowerDownPolicy::Never);
+        assert_eq!(exp.chunk, ChunkPolicy::Fixed(256));
+        assert_eq!(exp.pacing, Pacing::Paced);
+        assert_eq!(exp.margin, 0.2);
+        assert_eq!(exp.op_limit, Some(123));
+    }
+
+    #[test]
+    fn invalid_configs_fail_at_build_with_typed_errors() {
+        let cases: [(&str, ExperimentBuilder); 5] = [
+            ("channels", Experiment::builder().channels(3)),
+            ("channels", Experiment::builder().channels(0)),
+            ("clock", Experiment::builder().clock_mhz(0)),
+            ("granule", Experiment::builder().granule_bytes(24)),
+            ("margin", Experiment::builder().margin(1.0)),
+        ];
+        for (what, builder) in cases {
+            match builder.build() {
+                Err(CoreError::BadParam { reason }) => {
+                    assert!(reason.contains(what), "{what}: {reason}")
+                }
+                other => panic!("{what}: expected BadParam, got {other:?}"),
+            }
+        }
+        // Zero-byte master transactions are rejected too.
+        assert!(matches!(
+            Experiment::builder().chunk(ChunkPolicy::Fixed(0)).build(),
+            Err(CoreError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn viewfinder_builder_cuts_the_load() {
+        let rec = Experiment::builder()
+            .point(HdOperatingPoint::Hd720p30)
+            .build()
+            .unwrap();
+        let vf = Experiment::builder()
+            .viewfinder(HdOperatingPoint::Hd720p30)
+            .build()
+            .unwrap();
+        let bits = |e: &Experiment| e.use_case.table_row().bits_per_frame();
+        assert!(bits(&vf) * 2 < bits(&rec));
+    }
+}

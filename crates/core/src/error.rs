@@ -17,6 +17,12 @@ pub enum CoreError {
         /// Explanation.
         reason: String,
     },
+    /// An experiment panicked mid-run and the panic was isolated by a batch
+    /// executor (one bad grid point must not kill a whole sweep).
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::Load(e) => write!(f, "load model: {e}"),
             CoreError::Memory(e) => write!(f, "memory subsystem: {e}"),
             CoreError::BadParam { reason } => write!(f, "bad experiment parameter: {reason}"),
+            CoreError::Panicked { message } => write!(f, "experiment panicked: {message}"),
         }
     }
 }
@@ -34,7 +41,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Load(e) => Some(e),
             CoreError::Memory(e) => Some(e),
-            CoreError::BadParam { .. } => None,
+            CoreError::BadParam { .. } | CoreError::Panicked { .. } => None,
         }
     }
 }

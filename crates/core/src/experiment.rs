@@ -118,25 +118,207 @@ pub struct Experiment {
     pub op_limit: Option<u64>,
 }
 
+/// What a [`Experiment::run_with`] call should do beyond the plain
+/// single-frame simulation.
+///
+/// This is the one knob set for every run entry point; the historical
+/// `run` / `run_verified` / `run_steady_state` trio are thin wrappers over
+/// [`Experiment::run_with`] with the corresponding options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Run the `mcm-verify` conformance checks alongside the simulation
+    /// (single-frame runs only).
+    pub verify: bool,
+    /// Number of consecutive frames: `1` is the paper's single-frame
+    /// evaluation, `> 1` a steady-state session with refresh debt and bank
+    /// state carrying across frame boundaries.
+    pub frames: u32,
+    /// Event budget: caps the number of simulated load operations,
+    /// overriding [`Experiment::op_limit`] when set.
+    pub op_limit: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            verify: false,
+            frames: 1,
+            op_limit: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options for a verified single-frame run.
+    pub fn verified() -> Self {
+        RunOptions {
+            verify: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Options for a `frames`-frame steady-state session.
+    pub fn steady(frames: u32) -> Self {
+        RunOptions {
+            frames,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// What [`Experiment::run_with`] produced, matching the requested
+/// [`RunOptions`].
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// A plain single-frame run.
+    Frame(FrameResult),
+    /// A verified single-frame run with its conformance report.
+    Verified {
+        /// The frame measurement.
+        result: FrameResult,
+        /// Conformance findings (lints + trace audit).
+        report: Report,
+    },
+    /// A multi-frame steady-state session.
+    Steady(crate::steady::SteadyStateResult),
+}
+
+impl RunOutcome {
+    /// The single-frame result, if this was a single-frame run.
+    pub fn frame(&self) -> Option<&FrameResult> {
+        match self {
+            RunOutcome::Frame(r) | RunOutcome::Verified { result: r, .. } => Some(r),
+            RunOutcome::Steady(_) => None,
+        }
+    }
+
+    /// Consumes the outcome into its single-frame result, if any.
+    pub fn into_frame(self) -> Option<FrameResult> {
+        match self {
+            RunOutcome::Frame(r) | RunOutcome::Verified { result: r, .. } => Some(r),
+            RunOutcome::Steady(_) => None,
+        }
+    }
+
+    /// The conformance report, if this was a verified run.
+    pub fn verify_report(&self) -> Option<&Report> {
+        match self {
+            RunOutcome::Verified { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The steady-state result, if this was a multi-frame session.
+    pub fn steady(&self) -> Option<&crate::steady::SteadyStateResult> {
+        match self {
+            RunOutcome::Steady(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
 impl Experiment {
     /// The paper's experiment at one Table I operating point: `channels` ×
     /// next-generation mobile DDR at `clock_mhz`, 64 bytes per channel per
     /// master transaction, 15 % margin.
+    ///
+    /// This is a thin wrapper over [`Experiment::builder`]; use the builder
+    /// directly for anything beyond the paper's grid axes — it returns typed
+    /// errors where this constructor panics on invalid channel counts.
     pub fn paper(point: HdOperatingPoint, channels: u32, clock_mhz: u64) -> Self {
-        Experiment {
-            use_case: UseCase::hd(point),
-            memory: MemoryConfig::paper(channels, clock_mhz),
-            chunk: ChunkPolicy::PerChannel(64),
-            pacing: Pacing::Greedy,
-            margin: 0.15,
-            interface: InterfacePowerModel::paper(),
-            op_limit: None,
+        Experiment::builder()
+            .point(point)
+            .channels(channels)
+            .clock_mhz(clock_mhz)
+            .build()
+            .expect("paper-style configuration must be valid")
+    }
+
+    /// Starts a fluent [`crate::ExperimentBuilder`] with the paper's
+    /// defaults.
+    pub fn builder() -> crate::ExperimentBuilder {
+        crate::ExperimentBuilder::default()
+    }
+
+    /// Validates the experiment parameters, returning a typed
+    /// [`CoreError::BadParam`] for anything that would panic or misbehave
+    /// downstream. [`crate::ExperimentBuilder::build`] and every run entry
+    /// point call this.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |reason: String| Err(CoreError::BadParam { reason });
+        if self.memory.channels == 0 || !self.memory.channels.is_power_of_two() {
+            return bad(format!(
+                "channels {} must be a non-zero power of two",
+                self.memory.channels
+            ));
         }
+        if self.memory.clock_mhz == 0 {
+            return bad("clock frequency must be non-zero MHz".into());
+        }
+        if self.memory.granule_bytes == 0 || !self.memory.granule_bytes.is_power_of_two() {
+            return bad(format!(
+                "granule {} bytes must be a non-zero power of two",
+                self.memory.granule_bytes
+            ));
+        }
+        if !(0.0..1.0).contains(&self.margin) {
+            return bad(format!("margin {} must be in [0, 1)", self.margin));
+        }
+        if self.chunk.bytes(self.memory.channels) == 0 {
+            return bad("chunk policy yields zero-byte master transactions".into());
+        }
+        if self.use_case.fps == 0 {
+            return bad("use case fps must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// The unified run entry point: executes the experiment the way
+    /// `options` asks for and returns the matching [`RunOutcome`].
+    ///
+    /// Verified runs keep every DRAM command in memory for the trace audit,
+    /// so bound full-frame workloads with [`RunOptions::op_limit`] (or
+    /// [`Experiment::op_limit`]). Verify findings do not abort the run.
+    pub fn run_with(&self, options: &RunOptions) -> Result<RunOutcome, CoreError> {
+        self.validate()?;
+        if options.frames == 0 {
+            return Err(CoreError::BadParam {
+                reason: "run needs at least one frame".into(),
+            });
+        }
+        if options.verify && options.frames > 1 {
+            return Err(CoreError::BadParam {
+                reason: "verified steady-state runs are not supported; verify single frames".into(),
+            });
+        }
+        let exp = if options.op_limit.is_some() {
+            let mut e = self.clone();
+            e.op_limit = options.op_limit;
+            std::borrow::Cow::Owned(e)
+        } else {
+            std::borrow::Cow::Borrowed(self)
+        };
+        if options.frames > 1 {
+            return crate::steady::run_steady_state(&exp, options.frames).map(RunOutcome::Steady);
+        }
+        if options.verify {
+            let mut findings = lint_all(&exp.use_case, &exp.memory, &exp.interface);
+            let result = exp.run_inner(Some(&mut findings))?;
+            return Ok(RunOutcome::Verified {
+                result,
+                report: findings,
+            });
+        }
+        exp.run_inner(None).map(RunOutcome::Frame)
     }
 
     /// Runs one frame and evaluates it.
+    ///
+    /// Thin wrapper over [`Experiment::run_with`] with default options;
+    /// prefer `run_with` in new code.
     pub fn run(&self) -> Result<FrameResult, CoreError> {
-        self.run_inner(None)
+        self.run_with(&RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"))
     }
 
     /// Runs one frame with conformance checking: configuration lints
@@ -144,21 +326,16 @@ impl Experiment {
     /// the `mcm-verify` timing oracle after it, plus a cross-channel
     /// traffic-balance check.
     ///
-    /// Tracing keeps every DRAM command in memory, so bound full-frame
-    /// workloads with [`Experiment::op_limit`]. Findings do not abort the
-    /// run; inspect the returned [`Report`].
+    /// Thin wrapper over [`Experiment::run_with`] with
+    /// [`RunOptions::verified`]; prefer `run_with` in new code.
     pub fn run_verified(&self) -> Result<(FrameResult, Report), CoreError> {
-        let mut findings = lint_all(&self.use_case, &self.memory, &self.interface);
-        let result = self.run_inner(Some(&mut findings))?;
-        Ok((result, findings))
+        match self.run_with(&RunOptions::verified())? {
+            RunOutcome::Verified { result, report } => Ok((result, report)),
+            _ => unreachable!("verified options yield a verified outcome"),
+        }
     }
 
     fn run_inner(&self, verify: Option<&mut Report>) -> Result<FrameResult, CoreError> {
-        if !(0.0..1.0).contains(&self.margin) {
-            return Err(CoreError::BadParam {
-                reason: format!("margin {} must be in [0, 1)", self.margin),
-            });
-        }
         let mut memory = MemorySubsystem::new(&self.memory)?;
         if verify.is_some() {
             memory.enable_trace();
@@ -313,14 +490,25 @@ impl FrameResult {
     }
 
     /// Bus efficiency: achieved ÷ peak bandwidth.
+    ///
+    /// NaN-free by construction: zero-traffic runs (no planned bytes, zero
+    /// access time) and degenerate zero/non-finite peak bandwidths all
+    /// report `0.0` instead of dividing by zero.
     pub fn efficiency(&self) -> f64 {
-        self.achieved_bandwidth_bytes_per_s() / self.peak_bandwidth_bytes_per_s
+        let peak = self.peak_bandwidth_bytes_per_s;
+        if !peak.is_finite() || peak <= 0.0 {
+            return 0.0;
+        }
+        self.achieved_bandwidth_bytes_per_s() / peak
     }
 
     /// Energy cost per transferred bit, picojoules — the figure of merit
     /// memory-interface papers compare on (the XDR interface of the
     /// comparison runs at ~195 pJ/bit; this subsystem at 400 MHz lands
     /// around 10-30 pJ/bit depending on utilization).
+    ///
+    /// A zero-traffic frame moves no bits, so its energy cost per bit is
+    /// reported as `0.0` (documented convention; never NaN or infinity).
     pub fn energy_per_bit_pj(&self) -> f64 {
         if self.planned_bytes == 0 {
             return 0.0;
@@ -532,6 +720,136 @@ mod pacing_tests {
         assert_eq!(Pacing::default(), Pacing::Greedy);
         let e = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 400);
         assert_eq!(e.pacing, Pacing::Greedy);
+    }
+}
+
+#[cfg(test)]
+mod run_with_tests {
+    use super::*;
+
+    fn quick() -> Experiment {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+        e.op_limit = Some(5_000);
+        e
+    }
+
+    #[test]
+    fn default_options_match_run() {
+        let e = quick();
+        let via_run = e.run().unwrap();
+        let via_with = e
+            .run_with(&RunOptions::default())
+            .unwrap()
+            .into_frame()
+            .unwrap();
+        assert_eq!(via_run.access_time, via_with.access_time);
+        assert_eq!(via_run.verdict, via_with.verdict);
+    }
+
+    #[test]
+    fn verified_options_match_run_verified() {
+        let e = quick();
+        let outcome = e.run_with(&RunOptions::verified()).unwrap();
+        assert!(outcome.frame().is_some());
+        let report = outcome.verify_report().expect("verified outcome");
+        assert!(report.is_clean(), "{}", report.render_human());
+        let (r, _) = e.run_verified().unwrap();
+        assert_eq!(r.access_time, outcome.frame().unwrap().access_time);
+    }
+
+    #[test]
+    fn steady_options_run_a_session() {
+        let e = quick();
+        let outcome = e.run_with(&RunOptions::steady(3)).unwrap();
+        assert!(outcome.frame().is_none());
+        let s = outcome.steady().expect("steady outcome");
+        assert_eq!(s.frames.len(), 3);
+    }
+
+    #[test]
+    fn op_limit_option_overrides_experiment() {
+        let mut e = quick();
+        e.op_limit = None;
+        let opts = RunOptions {
+            op_limit: Some(1_000),
+            ..RunOptions::default()
+        };
+        let r = e.run_with(&opts).unwrap().into_frame().unwrap();
+        assert!(r.simulated_bytes < r.planned_bytes);
+    }
+
+    #[test]
+    fn contradictory_options_rejected() {
+        let e = quick();
+        let opts = RunOptions {
+            verify: true,
+            frames: 2,
+            op_limit: None,
+        };
+        assert!(matches!(e.run_with(&opts), Err(CoreError::BadParam { .. })));
+        assert!(matches!(
+            e.run_with(&RunOptions::steady(0)),
+            Err(CoreError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_validates_hand_mutated_experiments() {
+        let mut e = quick();
+        e.memory.granule_bytes = 0;
+        assert!(matches!(
+            e.run_with(&RunOptions::default()),
+            Err(CoreError::BadParam { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod nan_audit_tests {
+    use super::*;
+    use mcm_channel::SubsystemReport;
+
+    /// A synthetic zero-traffic result with a degenerate peak bandwidth —
+    /// the divide-by-zero cases the derived metrics must tolerate.
+    fn zero_traffic_result(peak: f64) -> FrameResult {
+        FrameResult {
+            access_time: SimTime::ZERO,
+            frame_budget: SimTime::from_ps(33_333_333_333),
+            verdict: RealTimeVerdict::Meets,
+            power: PowerSummary::default(),
+            planned_bytes: 0,
+            simulated_bytes: 0,
+            peak_bandwidth_bytes_per_s: peak,
+            report: SubsystemReport {
+                channels: Vec::new(),
+                busy_until: 0,
+                access_time: SimTime::ZERO,
+                core_energy_pj: 0.0,
+                bytes_read: 0,
+                bytes_written: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn zero_traffic_metrics_are_nan_free() {
+        for peak in [0.0, f64::NAN, f64::INFINITY, 6.4e9] {
+            let r = zero_traffic_result(peak);
+            assert_eq!(r.achieved_bandwidth_bytes_per_s(), 0.0);
+            assert_eq!(r.efficiency(), 0.0, "peak {peak}");
+            assert_eq!(r.energy_per_bit_pj(), 0.0);
+            assert!(r.to_string().contains("eff 0%"), "{r}");
+        }
+    }
+
+    #[test]
+    fn zero_op_limit_run_is_nan_free() {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+        e.op_limit = Some(0);
+        let r = e.run().unwrap();
+        assert_eq!(r.simulated_bytes, 0);
+        assert!(r.efficiency().is_finite());
+        assert!(r.energy_per_bit_pj().is_finite());
     }
 }
 

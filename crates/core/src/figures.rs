@@ -10,7 +10,8 @@ use mcm_load::{HdOperatingPoint, Stage, UseCase};
 use mcm_power::XdrReference;
 
 use crate::error::CoreError;
-use crate::experiment::{Experiment, RealTimeVerdict};
+use crate::experiment::{Experiment, FrameResult, RealTimeVerdict};
+use crate::runner::{BatchRunner, SerialRunner};
 
 /// The clock frequencies of Fig. 3's x-axis (the DDR2 span the paper
 /// restricts the interface clock to).
@@ -44,8 +45,11 @@ pub struct Cell {
 }
 
 impl Cell {
-    fn from_run(exp: &Experiment) -> Result<Cell, CoreError> {
-        match exp.run() {
+    /// Distills one run result (e.g. out of a [`BatchRunner`] batch) into a
+    /// cell, folding capacity overflows into infeasible cells the way the
+    /// paper's figures drop such bars.
+    pub fn from_result(result: Result<FrameResult, CoreError>) -> Result<Cell, CoreError> {
+        match result {
             Ok(r) => Ok(Cell {
                 feasible: true,
                 access_ms: Some(r.access_time.as_ms_f64()),
@@ -125,15 +129,26 @@ pub struct Fig3Data {
 
 /// Runs the Fig. 3 grid: one 720p30 frame per (channel count, clock).
 pub fn fig3_data() -> Result<Fig3Data, CoreError> {
+    fig3_data_with(&SerialRunner)
+}
+
+/// [`fig3_data`] on a caller-chosen executor (e.g. `mcm-sweep`'s parallel,
+/// cached runner). The grid is submitted as one batch in row-major order.
+pub fn fig3_data_with(runner: &dyn BatchRunner) -> Result<Fig3Data, CoreError> {
+    let experiments: Vec<Experiment> = CHANNELS
+        .iter()
+        .flat_map(|&ch| {
+            FIG3_CLOCKS_MHZ
+                .iter()
+                .map(move |&clk| Experiment::paper(HdOperatingPoint::Hd720p30, ch, clk))
+        })
+        .collect();
+    let mut results = runner.run_batch(&experiments).into_iter();
     let mut cells = Vec::new();
-    for &ch in &CHANNELS {
+    for _ in &CHANNELS {
         let mut row = Vec::new();
-        for &clk in &FIG3_CLOCKS_MHZ {
-            row.push(Cell::from_run(&Experiment::paper(
-                HdOperatingPoint::Hd720p30,
-                ch,
-                clk,
-            ))?);
+        for _ in &FIG3_CLOCKS_MHZ {
+            row.push(Cell::from_result(results.next().expect("batch size"))?);
         }
         cells.push(row);
     }
@@ -194,11 +209,25 @@ pub struct FormatGridData {
 
 /// Runs the Fig. 4/Fig. 5 grid at 400 MHz.
 pub fn format_grid_data() -> Result<FormatGridData, CoreError> {
+    format_grid_data_with(&SerialRunner)
+}
+
+/// [`format_grid_data`] on a caller-chosen executor; one batch, row-major.
+pub fn format_grid_data_with(runner: &dyn BatchRunner) -> Result<FormatGridData, CoreError> {
+    let experiments: Vec<Experiment> = CHANNELS
+        .iter()
+        .flat_map(|&ch| {
+            HdOperatingPoint::ALL
+                .iter()
+                .map(move |&p| Experiment::paper(p, ch, FIG45_CLOCK_MHZ))
+        })
+        .collect();
+    let mut results = runner.run_batch(&experiments).into_iter();
     let mut cells = Vec::new();
-    for &ch in &CHANNELS {
+    for _ in &CHANNELS {
         let mut row = Vec::new();
-        for p in HdOperatingPoint::ALL {
-            row.push(Cell::from_run(&Experiment::paper(p, ch, FIG45_CLOCK_MHZ))?);
+        for _ in HdOperatingPoint::ALL {
+            row.push(Cell::from_result(results.next().expect("batch size"))?);
         }
         cells.push(row);
     }
@@ -293,12 +322,23 @@ pub struct XdrComparison {
 
 /// Runs the XDR comparison over all feasible formats at 8 × 400 MHz.
 pub fn xdr_data() -> Result<XdrComparison, CoreError> {
+    xdr_data_with(&SerialRunner)
+}
+
+/// [`xdr_data`] on a caller-chosen executor.
+pub fn xdr_data_with(runner: &dyn BatchRunner) -> Result<XdrComparison, CoreError> {
     let xdr = XdrReference::cell_be();
+    let experiments: Vec<Experiment> = HdOperatingPoint::ALL
+        .iter()
+        .map(|&p| Experiment::paper(p, 8, FIG45_CLOCK_MHZ))
+        .collect();
     let mut rows = Vec::new();
     let mut peak = 0.0;
-    for p in HdOperatingPoint::ALL {
-        let exp = Experiment::paper(p, 8, FIG45_CLOCK_MHZ);
-        let r = exp.run()?;
+    for (p, result) in HdOperatingPoint::ALL
+        .iter()
+        .zip(runner.run_batch(&experiments))
+    {
+        let r = result?;
         peak = r.peak_bandwidth_bytes_per_s;
         let mw = r.power.total_mw();
         rows.push((p.to_string(), mw, xdr.power_fraction(mw)));
@@ -502,7 +542,7 @@ mod tests {
     fn cell_from_infeasible_config_reports_reason() {
         // 2160p in one 64 MiB channel.
         let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 1, 400);
-        let cell = Cell::from_run(&exp).unwrap();
+        let cell = Cell::from_result(exp.run()).unwrap();
         assert!(!cell.feasible);
         assert_eq!(cell.fig5_power_mw(), None);
         assert!(cell.infeasible_reason.unwrap().contains("MiB"));
@@ -512,7 +552,7 @@ mod tests {
     fn cell_from_quick_run() {
         let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
         exp.op_limit = Some(20_000);
-        let cell = Cell::from_run(&exp).unwrap();
+        let cell = Cell::from_result(exp.run()).unwrap();
         assert!(cell.feasible);
         assert!(cell.access_ms.unwrap() > 0.0);
         assert!(cell.fig5_power_mw().is_some());

@@ -31,14 +31,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+mod builder;
 pub mod charts;
 mod error;
 pub mod eventsim;
 mod experiment;
 pub mod figures;
 pub mod profile;
+pub mod runner;
 pub mod steady;
 pub mod tracerun;
 
+pub use builder::ExperimentBuilder;
 pub use error::CoreError;
-pub use experiment::{ChunkPolicy, Experiment, FrameResult, Pacing, RealTimeVerdict};
+pub use experiment::{
+    ChunkPolicy, Experiment, FrameResult, Pacing, RealTimeVerdict, RunOptions, RunOutcome,
+};
+pub use runner::{BatchRunner, SerialRunner};

@@ -1,0 +1,92 @@
+//! Batch execution strategy for experiment grids.
+//!
+//! The figure builders in [`crate::figures`] run dozens of independent
+//! simulations; how those runs are scheduled (serially, on a thread pool,
+//! against a result cache…) is a policy the caller owns. [`BatchRunner`]
+//! is that seam: `mcm-core` ships the obvious [`SerialRunner`], and
+//! `mcm-sweep` plugs its parallel, cached engine into the same trait
+//! without `mcm-core` depending on it.
+
+use crate::error::CoreError;
+use crate::experiment::{Experiment, FrameResult};
+
+/// Executes a batch of independent experiments, returning one result per
+/// experiment **in input order** regardless of execution order.
+pub trait BatchRunner: Sync {
+    /// Runs every experiment and collects results in input order.
+    fn run_batch(&self, experiments: &[Experiment]) -> Vec<Result<FrameResult, CoreError>>;
+}
+
+/// The trivial runner: one experiment after the other on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialRunner;
+
+impl BatchRunner for SerialRunner {
+    fn run_batch(&self, experiments: &[Experiment]) -> Vec<Result<FrameResult, CoreError>> {
+        experiments.iter().map(run_isolated).collect()
+    }
+}
+
+/// Runs one experiment with panic isolation: a panicking model turns into
+/// [`CoreError::Panicked`] instead of unwinding into the caller, so one bad
+/// grid point cannot kill a whole batch.
+pub fn run_isolated(exp: &Experiment) -> Result<FrameResult, CoreError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exp.run())) {
+        Ok(result) => result,
+        Err(payload) => Err(CoreError::Panicked {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_load::HdOperatingPoint;
+
+    #[test]
+    fn serial_runner_matches_direct_runs() {
+        let mk = |ch| {
+            let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, ch, 400);
+            e.op_limit = Some(2_000);
+            e
+        };
+        let exps = vec![mk(1), mk(2)];
+        let batch = SerialRunner.run_batch(&exps);
+        for (exp, got) in exps.iter().zip(&batch) {
+            assert_eq!(
+                exp.run().unwrap().access_time,
+                got.as_ref().unwrap().access_time
+            );
+        }
+    }
+
+    #[test]
+    fn panics_become_typed_errors() {
+        let before = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test log clean
+        let result = std::panic::catch_unwind(|| {
+            // A panicking closure stands in for a panicking model.
+            match std::panic::catch_unwind(|| panic!("boom")) {
+                Ok(()) => unreachable!(),
+                Err(p) => CoreError::Panicked {
+                    message: panic_message(p.as_ref()),
+                },
+            }
+        });
+        std::panic::set_hook(before);
+        let err = result.unwrap();
+        assert_eq!(err.to_string(), "experiment panicked: boom");
+    }
+}

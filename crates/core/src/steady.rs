@@ -75,6 +75,7 @@ fn rotated_layout(base: &FrameLayout, frame: usize) -> FrameLayout {
 /// Runs `frames` consecutive frames of `exp` against one persistent memory
 /// subsystem.
 pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResult, CoreError> {
+    exp.validate()?;
     if frames == 0 {
         return Err(CoreError::BadParam {
             reason: "steady-state run needs at least one frame".into(),

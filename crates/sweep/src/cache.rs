@@ -1,0 +1,257 @@
+//! Content-addressed result cache.
+//!
+//! Every sweep point is keyed by a fingerprint of its **content**: the
+//! canonical JSON of the full [`Experiment`] plus the [`RunOptions`] it ran
+//! under, plus a cache schema version. Re-running a figure or sweep after
+//! editing a spec therefore only simulates the points whose configuration
+//! actually changed; everything else is a disk hit.
+//!
+//! The cache stores one JSON file per fingerprint under its directory.
+//! Unreadable or corrupt entries are treated as misses and rewritten, so a
+//! damaged cache degrades to extra simulation, never to a failed sweep.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mcm_core::{CoreError, Experiment, FrameResult, RunOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SweepError;
+
+/// Bump when [`PointRecord`]'s layout or semantics change: old cache
+/// entries then miss instead of deserializing into the wrong shape.
+const SCHEMA_VERSION: u32 = 1;
+
+/// The distilled, serializable result of one sweep point.
+///
+/// This is deliberately *not* the full [`FrameResult`] (whose subsystem
+/// report is an open-ended simulation artifact): it is the stable set of
+/// metrics the paper's figures and this repo's ablations consume, so cache
+/// entries survive refactors of the simulator internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointRecord {
+    /// Whether the frame buffers fit the configuration at all.
+    pub feasible: bool,
+    /// Why not, when infeasible.
+    pub infeasible_reason: Option<String>,
+    /// Frame access time, ms (feasible points only).
+    pub access_ms: Option<f64>,
+    /// Real-time budget, ms.
+    pub budget_ms: Option<f64>,
+    /// Real-time verdict (`meets` / `marginal` / `fails`).
+    pub verdict: Option<String>,
+    /// Average DRAM core power, mW.
+    pub core_mw: Option<f64>,
+    /// Interface power (equation (1)), mW.
+    pub interface_mw: Option<f64>,
+    /// Bus efficiency (achieved ÷ peak bandwidth).
+    pub efficiency: Option<f64>,
+    /// Energy per transferred bit, pJ.
+    pub energy_per_bit_pj: Option<f64>,
+    /// Worst per-channel p99 request latency, ns (when channels report it).
+    pub latency_p99_ns: Option<f64>,
+    /// Bytes the full frame moves.
+    pub planned_bytes: u64,
+    /// Bytes actually simulated (smaller only under an op limit).
+    pub simulated_bytes: u64,
+    /// Theoretical peak bandwidth, Gbyte/s.
+    pub peak_gbytes_per_s: f64,
+}
+
+impl PointRecord {
+    /// Distills a run result, folding capacity overflows into infeasible
+    /// records the same way the paper's figures drop such bars. Any other
+    /// error passes through.
+    pub fn from_result(result: Result<FrameResult, CoreError>) -> Result<PointRecord, CoreError> {
+        match result {
+            Ok(r) => Ok(PointRecord {
+                feasible: true,
+                infeasible_reason: None,
+                access_ms: Some(r.access_time.as_ms_f64()),
+                budget_ms: Some(r.frame_budget.as_ms_f64()),
+                verdict: Some(r.verdict.to_string()),
+                core_mw: Some(r.power.core_mw),
+                interface_mw: Some(r.power.interface_mw),
+                efficiency: Some(r.efficiency()),
+                energy_per_bit_pj: Some(r.energy_per_bit_pj()),
+                latency_p99_ns: r
+                    .report
+                    .channels
+                    .iter()
+                    .filter_map(|c| c.latency_p99)
+                    .max()
+                    .map(|t| t.as_ns_f64()),
+                planned_bytes: r.planned_bytes,
+                simulated_bytes: r.simulated_bytes,
+                peak_gbytes_per_s: r.peak_bandwidth_bytes_per_s / 1e9,
+            }),
+            Err(CoreError::Load(mcm_load::LoadError::LayoutOverflow { needed, capacity })) => {
+                Ok(PointRecord {
+                    feasible: false,
+                    infeasible_reason: Some(format!(
+                        "frame buffers need {} MiB, capacity is {} MiB",
+                        needed >> 20,
+                        capacity >> 20
+                    )),
+                    access_ms: None,
+                    budget_ms: None,
+                    verdict: None,
+                    core_mw: None,
+                    interface_mw: None,
+                    efficiency: None,
+                    energy_per_bit_pj: None,
+                    latency_p99_ns: None,
+                    planned_bytes: 0,
+                    simulated_bytes: 0,
+                    peak_gbytes_per_s: 0.0,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Total power (core + interface), mW, for feasible points.
+    pub fn total_mw(&self) -> Option<f64> {
+        Some(self.core_mw? + self.interface_mw?)
+    }
+}
+
+/// A directory of fingerprint-keyed [`PointRecord`]s.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<ResultCache, SweepError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| SweepError::Cache {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Content fingerprint of one sweep point: FNV-1a over the canonical
+    /// JSON of the experiment, its run options and the cache schema
+    /// version. Two points share a fingerprint iff their full
+    /// configurations are identical.
+    pub fn fingerprint(exp: &Experiment, run: &RunOptions) -> Result<u64, SweepError> {
+        let json = serde_json::to_string(&(exp, run)).map_err(|e| SweepError::BadOptions {
+            reason: format!("unserializable experiment: {e:?}"),
+        })?;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in json
+            .as_bytes()
+            .iter()
+            .chain(SCHEMA_VERSION.to_le_bytes().iter())
+        {
+            hash ^= *byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(hash)
+    }
+
+    fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.json"))
+    }
+
+    /// Looks a fingerprint up. Missing, unreadable or corrupt entries are
+    /// all misses — the caller re-simulates and overwrites.
+    pub fn load(&self, fingerprint: u64) -> Option<PointRecord> {
+        let text = fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Stores a record under its fingerprint.
+    pub fn store(&self, fingerprint: u64, record: &PointRecord) -> Result<(), SweepError> {
+        let path = self.entry_path(fingerprint);
+        let json = serde_json::to_string_pretty(record).map_err(|e| SweepError::Cache {
+            path: path.display().to_string(),
+            message: format!("{e:?}"),
+        })?;
+        fs::write(&path, json).map_err(|e| SweepError::Cache {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Number of entries on disk (test and stats aid).
+    pub fn entry_count(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter(|e| {
+                    e.as_ref()
+                        .map(|e| e.path().extension().is_some_and(|x| x == "json"))
+                        .unwrap_or(false)
+                })
+                .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_load::HdOperatingPoint;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcm-sweep-cache-test-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let a = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+        let b = Experiment::paper(HdOperatingPoint::Hd720p30, 8, 400);
+        let run = RunOptions::default();
+        let fa = ResultCache::fingerprint(&a, &run).unwrap();
+        assert_eq!(fa, ResultCache::fingerprint(&a, &run).unwrap());
+        assert_ne!(fa, ResultCache::fingerprint(&b, &run).unwrap());
+        // Run options are part of the key.
+        assert_ne!(
+            fa,
+            ResultCache::fingerprint(&a, &RunOptions::verified()).unwrap()
+        );
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = ResultCache::new(tmp_dir("roundtrip")).unwrap();
+        let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+        exp.op_limit = Some(2_000);
+        let record = PointRecord::from_result(exp.run()).unwrap();
+        let fp = ResultCache::fingerprint(&exp, &RunOptions::default()).unwrap();
+        assert!(cache.load(fp).is_none());
+        cache.store(fp, &record).unwrap();
+        assert_eq!(cache.load(fp), Some(record));
+        assert_eq!(cache.entry_count(), 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let cache = ResultCache::new(tmp_dir("corrupt")).unwrap();
+        fs::write(cache.dir().join(format!("{:016x}.json", 7u64)), "{not json").unwrap();
+        assert!(cache.load(7).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn infeasible_points_distill_without_error() {
+        // 2160p30 cannot fit one 512 Mib channel.
+        let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 1, 400);
+        let record = PointRecord::from_result(exp.run()).unwrap();
+        assert!(!record.feasible);
+        assert_eq!(record.total_mw(), None);
+        assert!(record.infeasible_reason.unwrap().contains("MiB"));
+    }
+}

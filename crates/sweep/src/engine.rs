@@ -1,0 +1,450 @@
+//! The parallel, cached sweep executor.
+//!
+//! [`run_sweep`] expands a [`SweepSpec`], consults the optional
+//! [`ResultCache`], simulates the misses on a rayon thread pool, and
+//! returns results **in expansion order** regardless of thread count. A
+//! panicking or erroring point becomes a typed per-point error, not a dead
+//! sweep. The JSON/CSV exports deliberately exclude wall-clock data so a
+//! parallel run's output is byte-identical to a serial run's.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use mcm_core::runner::{panic_message, run_isolated};
+use mcm_core::{BatchRunner, CoreError, Experiment, FrameResult, RunOptions};
+use mcm_load::HdOperatingPoint;
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::cache::{PointRecord, ResultCache};
+use crate::error::SweepError;
+use crate::spec::{SweepPoint, SweepSpec};
+
+/// How a sweep executes: worker threads, caching, per-point run options,
+/// live progress.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker thread count. `None` defers to rayon's default (the
+    /// `RAYON_NUM_THREADS` environment variable, then the machine).
+    pub threads: Option<usize>,
+    /// Directory for the content-hash result cache; `None` disables
+    /// caching and simulates every point.
+    pub cache_dir: Option<PathBuf>,
+    /// Options applied to every point's [`Experiment::run_with`] call.
+    /// Sweeps are single-frame: `frames` must stay `1`.
+    pub run: RunOptions,
+    /// Print one progress line per completed point to stderr.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// Serial, uncached, silent defaults — plus `n` worker threads.
+    pub fn with_threads(threads: usize) -> Self {
+        SweepOptions {
+            threads: Some(threads),
+            ..SweepOptions::default()
+        }
+    }
+}
+
+/// One executed grid point: coordinates plus either its distilled record
+/// or a typed per-point error.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Human-readable coordinates (see [`SweepPoint::label`]).
+    pub label: String,
+    /// Operating point of this cell.
+    pub point: HdOperatingPoint,
+    /// Channel count of this cell.
+    pub channels: u32,
+    /// Interface clock of this cell, MHz.
+    pub clock_mhz: u64,
+    /// The distilled result, or why this point failed.
+    pub outcome: Result<PointRecord, SweepError>,
+    /// Whether the result came from the cache (no simulation ran).
+    pub cached: bool,
+    /// Wall-clock time spent on this point (lookup or simulation).
+    pub elapsed: Duration,
+}
+
+/// Aggregate counters and timing for one sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Points in the sweep.
+    pub total: usize,
+    /// Points actually simulated this run.
+    pub simulated: usize,
+    /// Points answered from the cache.
+    pub cached: usize,
+    /// Points whose configuration cannot hold the frame buffers.
+    pub infeasible: usize,
+    /// Points that errored or panicked.
+    pub failed: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// The single slowest point's time and label.
+    pub slowest: Option<(Duration, String)>,
+}
+
+impl core::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} points: {} simulated, {} cached, {} infeasible, {} failed in {:.2} s",
+            self.total,
+            self.simulated,
+            self.cached,
+            self.infeasible,
+            self.failed,
+            self.wall.as_secs_f64()
+        )?;
+        if let Some((t, label)) = &self.slowest {
+            write!(f, " (slowest {:.0} ms: {label})", t.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+/// A completed sweep: per-point outcomes in expansion order, plus stats.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One outcome per expanded point, in [`SweepSpec::expand`] order.
+    pub points: Vec<PointOutcome>,
+    /// Aggregate counters and timing.
+    pub stats: SweepStats,
+}
+
+/// One row of the deterministic exports. Wall-clock time and cache hits
+/// are intentionally absent: a 16-thread run and a serial run of the same
+/// spec serialize byte-identically.
+#[derive(Debug, Clone, Serialize)]
+struct ExportRow {
+    label: String,
+    format: String,
+    channels: u32,
+    clock_mhz: u64,
+    error: Option<String>,
+    record: Option<PointRecord>,
+}
+
+impl SweepResult {
+    fn export_rows(&self) -> Vec<ExportRow> {
+        self.points
+            .iter()
+            .map(|p| ExportRow {
+                label: p.label.clone(),
+                format: format!("{}@{}", p.point.format(), p.point.fps()),
+                channels: p.channels,
+                clock_mhz: p.clock_mhz,
+                error: p.outcome.as_ref().err().map(|e| e.to_string()),
+                record: p.outcome.as_ref().ok().cloned(),
+            })
+            .collect()
+    }
+
+    /// Deterministic JSON export (no timing, no cache provenance): the
+    /// same spec produces byte-identical output at any thread count and
+    /// any cache temperature.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.export_rows()).expect("export rows are serializable")
+    }
+
+    /// Deterministic CSV export with one row per point.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "label,format,channels,clock_mhz,feasible,verdict,access_ms,budget_ms,core_mw,\
+             interface_mw,total_mw,efficiency,energy_per_bit_pj,planned_bytes,simulated_bytes,\
+             peak_gbytes_per_s,error\n",
+        );
+        let fmt_f64 = |v: Option<f64>| v.map(|v| format!("{v:.6}")).unwrap_or_default();
+        for row in self.export_rows() {
+            let r = row.record.as_ref();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                row.label,
+                row.format,
+                row.channels,
+                row.clock_mhz,
+                r.map(|r| r.feasible.to_string()).unwrap_or_default(),
+                r.and_then(|r| r.verdict.clone()).unwrap_or_default(),
+                fmt_f64(r.and_then(|r| r.access_ms)),
+                fmt_f64(r.and_then(|r| r.budget_ms)),
+                fmt_f64(r.and_then(|r| r.core_mw)),
+                fmt_f64(r.and_then(|r| r.interface_mw)),
+                fmt_f64(r.and_then(|r| r.total_mw())),
+                fmt_f64(r.and_then(|r| r.efficiency)),
+                fmt_f64(r.and_then(|r| r.energy_per_bit_pj)),
+                r.map(|r| r.planned_bytes.to_string()).unwrap_or_default(),
+                r.map(|r| r.simulated_bytes.to_string()).unwrap_or_default(),
+                fmt_f64(r.map(|r| r.peak_gbytes_per_s)),
+                row.error.unwrap_or_default().replace(',', ";"),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs one point with panic isolation, honoring the sweep's run options.
+fn simulate_point(exp: &Experiment, run: &RunOptions) -> Result<FrameResult, CoreError> {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exp.run_with(run)));
+    match attempt {
+        Ok(outcome) => outcome?.into_frame().ok_or_else(|| CoreError::BadParam {
+            reason: "sweep run options must produce a single-frame result".into(),
+        }),
+        Err(payload) => Err(CoreError::Panicked {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Expands `spec` and executes every point under `options`.
+///
+/// Results come back in [`SweepSpec::expand`] order whatever the thread
+/// count; per-point failures are carried in [`PointOutcome::outcome`], and
+/// only sweep-level problems (empty axes, invalid options, an unusable
+/// cache directory) abort the call.
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult, SweepError> {
+    if options.run.frames != 1 {
+        return Err(SweepError::BadOptions {
+            reason: format!(
+                "sweeps are single-frame (got frames = {}); use run_steady_state for sessions",
+                options.run.frames
+            ),
+        });
+    }
+    let points = spec.expand()?;
+    let cache = match &options.cache_dir {
+        Some(dir) => Some(ResultCache::new(dir.clone())?),
+        None => None,
+    };
+    let started = Instant::now();
+    let done = AtomicUsize::new(0);
+    let total = points.len();
+
+    let execute = |point: &SweepPoint| -> PointOutcome {
+        let point_started = Instant::now();
+        let fingerprint = cache
+            .as_ref()
+            .map(|_| ResultCache::fingerprint(&point.experiment, &options.run));
+        let hit = match (&cache, &fingerprint) {
+            (Some(cache), Some(Ok(fp))) => cache.load(*fp),
+            _ => None,
+        };
+        let cached = hit.is_some();
+        let outcome = match hit {
+            Some(record) => Ok(record),
+            None => PointRecord::from_result(simulate_point(&point.experiment, &options.run))
+                .map_err(|source| SweepError::Point {
+                    label: point.label.clone(),
+                    source,
+                }),
+        };
+        if !cached {
+            if let (Some(cache), Some(Ok(fp)), Ok(record)) = (&cache, &fingerprint, &outcome) {
+                // Cache write failures degrade to uncached operation.
+                let _ = cache.store(*fp, record);
+            }
+        }
+        let elapsed = point_started.elapsed();
+        if options.progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let status = match &outcome {
+                Ok(r) if cached => "cached".to_string(),
+                Ok(r) if !r.feasible => "infeasible".to_string(),
+                Ok(r) => r.verdict.clone().unwrap_or_default(),
+                Err(e) => format!("failed: {e}"),
+            };
+            eprintln!(
+                "[{k}/{total}] {} — {status} ({:.0} ms)",
+                point.label,
+                elapsed.as_secs_f64() * 1e3
+            );
+        }
+        PointOutcome {
+            label: point.label.clone(),
+            point: point.point,
+            channels: point.channels,
+            clock_mhz: point.clock_mhz,
+            outcome,
+            cached,
+            elapsed,
+        }
+    };
+
+    let outcomes: Vec<PointOutcome> = match options.threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(|| points.par_iter().map(&execute).collect()),
+        None => points.par_iter().map(&execute).collect(),
+    };
+
+    let mut stats = SweepStats {
+        total,
+        simulated: 0,
+        cached: 0,
+        infeasible: 0,
+        failed: 0,
+        wall: started.elapsed(),
+        slowest: None,
+    };
+    for o in &outcomes {
+        match &o.outcome {
+            Ok(record) => {
+                if o.cached {
+                    stats.cached += 1;
+                } else {
+                    stats.simulated += 1;
+                }
+                if !record.feasible {
+                    stats.infeasible += 1;
+                }
+            }
+            Err(_) => stats.failed += 1,
+        }
+        if stats
+            .slowest
+            .as_ref()
+            .map(|(t, _)| o.elapsed > *t)
+            .unwrap_or(true)
+        {
+            stats.slowest = Some((o.elapsed, o.label.clone()));
+        }
+    }
+    Ok(SweepResult {
+        points: outcomes,
+        stats,
+    })
+}
+
+/// A [`BatchRunner`] that executes batches on a rayon pool with per-point
+/// panic isolation — plug it into `mcm-core`'s figure builders to compute
+/// whole grids in parallel:
+///
+/// ```
+/// use mcm_core::figures;
+/// use mcm_sweep::ParallelRunner;
+///
+/// let grid = figures::fig3_data_with(&ParallelRunner::new()).unwrap();
+/// assert!(!grid.cells.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ParallelRunner {
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl ParallelRunner {
+    /// Uses rayon's default worker count (`RAYON_NUM_THREADS`, then the
+    /// machine).
+    pub fn new() -> Self {
+        ParallelRunner { pool: None }
+    }
+
+    /// Uses exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelRunner {
+            pool: Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("thread pool construction cannot fail"),
+            ),
+        }
+    }
+}
+
+impl BatchRunner for ParallelRunner {
+    fn run_batch(&self, experiments: &[Experiment]) -> Vec<Result<FrameResult, CoreError>> {
+        let work = || experiments.par_iter().map(run_isolated).collect();
+        match &self.pool {
+            Some(pool) => pool.install(work),
+            None => work(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> SweepSpec {
+        SweepSpec {
+            points: vec![HdOperatingPoint::Hd720p30],
+            channels: vec![1, 2, 4],
+            op_limit: Some(2_000),
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn sweep_results_keep_expansion_order() {
+        let result = run_sweep(&quick_spec(), &SweepOptions::with_threads(3)).unwrap();
+        assert_eq!(
+            result.points.iter().map(|p| p.channels).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert_eq!(result.stats.simulated, 3);
+        assert_eq!(result.stats.cached, 0);
+        assert_eq!(result.stats.failed, 0);
+        assert!(result.stats.slowest.is_some());
+    }
+
+    #[test]
+    fn steady_options_are_rejected() {
+        let mut options = SweepOptions::default();
+        options.run.frames = 5;
+        assert!(matches!(
+            run_sweep(&quick_spec(), &options),
+            Err(SweepError::BadOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_points_are_counted_not_fatal() {
+        let spec = SweepSpec {
+            points: vec![HdOperatingPoint::Uhd2160p30],
+            channels: vec![1, 8],
+            op_limit: Some(2_000),
+            ..SweepSpec::default()
+        };
+        let result = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        assert_eq!(result.stats.infeasible, 1);
+        assert_eq!(result.stats.failed, 0);
+        assert!(!result.points[0].outcome.as_ref().unwrap().feasible);
+        assert!(result.points[1].outcome.as_ref().unwrap().feasible);
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial_runner() {
+        let exps: Vec<Experiment> = quick_spec()
+            .expand()
+            .unwrap()
+            .into_iter()
+            .map(|p| p.experiment)
+            .collect();
+        let serial = mcm_core::SerialRunner.run_batch(&exps);
+        let parallel = ParallelRunner::with_threads(2).run_batch(&exps);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.as_ref().unwrap().access_time,
+                p.as_ref().unwrap().access_time
+            );
+        }
+    }
+
+    #[test]
+    fn exports_have_one_row_per_point() {
+        let result = run_sweep(&quick_spec(), &SweepOptions::default()).unwrap();
+        let json = result.to_json();
+        assert_eq!(json.matches("\"label\"").count(), 3);
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 points
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .contains("1280x720@30/1ch/400MHz"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Sweep-level errors.
+//!
+//! A sweep distinguishes *sweep* failures (a spec that expands to nothing,
+//! an unreadable cache directory) from *point* failures (one grid point's
+//! simulation erroring or panicking). The former abort the sweep; the
+//! latter are captured per point so one bad configuration cannot kill a
+//! thousand-point run.
+
+use core::fmt;
+
+use mcm_core::CoreError;
+
+/// Errors raised while expanding or executing a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The spec expanded to zero experiments (some axis was empty).
+    EmptySpec {
+        /// The axis that was empty.
+        axis: &'static str,
+    },
+    /// The engine's run options are outside what a sweep supports.
+    BadOptions {
+        /// Explanation.
+        reason: String,
+    },
+    /// One grid point failed (build-time validation, simulation error, or
+    /// an isolated panic). Carried per point, never aborts the sweep.
+    Point {
+        /// The point's human-readable label.
+        label: String,
+        /// The underlying experiment error.
+        source: CoreError,
+    },
+    /// The result cache could not be read or written.
+    Cache {
+        /// The offending path.
+        path: String,
+        /// The I/O or serialization problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptySpec { axis } => {
+                write!(f, "sweep spec has an empty `{axis}` axis")
+            }
+            SweepError::BadOptions { reason } => write!(f, "bad sweep options: {reason}"),
+            SweepError::Point { label, source } => write!(f, "point `{label}`: {source}"),
+            SweepError::Cache { path, message } => {
+                write!(f, "result cache at `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Point { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let e = SweepError::EmptySpec { axis: "channels" };
+        assert!(e.to_string().contains("channels"));
+        let e = SweepError::Point {
+            label: "720p30/4ch/400MHz".into(),
+            source: CoreError::BadParam { reason: "x".into() },
+        };
+        assert!(e.to_string().contains("720p30/4ch/400MHz"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        let e = SweepError::Cache {
+            path: "/tmp/c".into(),
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/c"));
+    }
+}

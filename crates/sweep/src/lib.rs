@@ -1,0 +1,46 @@
+//! # mcm-sweep — the parallel design-space sweep engine
+//!
+//! The paper's evaluation is a grid: operating points × channel counts ×
+//! clocks (Fig. 3–5), plus this repo's ablation axes (mapping, page
+//! policy, power-down, transaction sizing, pacing). Every consumer used to
+//! hand-roll its own nested loops; this crate gives them one engine:
+//!
+//! * [`SweepSpec`] — a declarative cartesian grid that expands through the
+//!   validating [`ExperimentBuilder`](mcm_core::ExperimentBuilder);
+//! * [`run_sweep`] — parallel execution on a rayon pool with
+//!   **deterministic result order**, per-point panic/error isolation
+//!   ([`SweepError`]), live progress, and per-point timing;
+//! * [`ResultCache`] — a content-hash disk cache: re-running a figure only
+//!   simulates the points whose configuration changed;
+//! * [`ParallelRunner`] — a [`BatchRunner`](mcm_core::BatchRunner) adapter
+//!   that drops the same engine under `mcm-core`'s figure builders.
+//!
+//! ```
+//! use mcm_load::HdOperatingPoint;
+//! use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+//!
+//! let spec = SweepSpec {
+//!     points: vec![HdOperatingPoint::Hd720p30],
+//!     channels: vec![1, 2, 4],
+//!     op_limit: Some(2_000), // truncated run for the doctest
+//!     ..SweepSpec::default()
+//! };
+//! let result = run_sweep(&spec, &SweepOptions::with_threads(2)).unwrap();
+//! assert_eq!(result.points.len(), 3);
+//! // More channels, faster frame: results arrive in expansion order.
+//! let access = |i: usize| result.points[i].outcome.as_ref().unwrap().access_ms.unwrap();
+//! assert!(access(2) < access(0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod engine;
+mod error;
+mod spec;
+
+pub use cache::{PointRecord, ResultCache};
+pub use engine::{run_sweep, ParallelRunner, PointOutcome, SweepOptions, SweepResult, SweepStats};
+pub use error::SweepError;
+pub use spec::{SweepPoint, SweepSpec};

@@ -1,0 +1,328 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names one value list per experiment axis and expands to
+//! the cartesian product via [`ExperimentBuilder`](mcm_core::ExperimentBuilder),
+//! so every expanded point is validated the same way a hand-built
+//! experiment is. Expansion order is deterministic and documented (see
+//! [`SweepSpec::expand`]): results keyed by position are stable across
+//! machines and thread counts.
+
+use mcm_core::{ChunkPolicy, Experiment, Pacing};
+use mcm_ctrl::{PagePolicy, PowerDownPolicy};
+use mcm_dram::AddressMapping;
+use mcm_load::HdOperatingPoint;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SweepError;
+
+/// A cartesian grid over the experiment configuration space.
+///
+/// Every axis defaults to the single paper value, so a spec only names the
+/// axes it actually sweeps:
+///
+/// ```
+/// use mcm_load::HdOperatingPoint;
+/// use mcm_sweep::SweepSpec;
+///
+/// let spec = SweepSpec {
+///     points: vec![HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30],
+///     channels: vec![2, 4],
+///     op_limit: Some(5_000),
+///     ..SweepSpec::default()
+/// };
+/// assert_eq!(spec.expand().unwrap().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// HD operating points (outermost loop).
+    pub points: Vec<HdOperatingPoint>,
+    /// Channel counts.
+    pub channels: Vec<u32>,
+    /// Interface clocks, MHz.
+    pub clocks_mhz: Vec<u64>,
+    /// Address mappings.
+    pub mappings: Vec<AddressMapping>,
+    /// Row-buffer policies.
+    pub page_policies: Vec<PagePolicy>,
+    /// CKE policies.
+    pub power_down: Vec<PowerDownPolicy>,
+    /// Master-transaction sizings.
+    pub chunks: Vec<ChunkPolicy>,
+    /// Arrival pacing (innermost loop).
+    pub pacings: Vec<Pacing>,
+    /// Optional cap on simulated operations, applied to every point
+    /// (quick tests and smoke runs).
+    pub op_limit: Option<u64>,
+}
+
+impl Default for SweepSpec {
+    /// The paper's headline configuration on every axis, one value each.
+    fn default() -> Self {
+        SweepSpec {
+            points: vec![HdOperatingPoint::Hd1080p30],
+            channels: vec![4],
+            clocks_mhz: vec![400],
+            mappings: vec![AddressMapping::Rbc],
+            page_policies: vec![PagePolicy::Open],
+            power_down: vec![PowerDownPolicy::AfterIdleCycles(1)],
+            chunks: vec![ChunkPolicy::PerChannel(64)],
+            pacings: vec![Pacing::Greedy],
+            op_limit: None,
+        }
+    }
+}
+
+/// One expanded grid point: a validated experiment plus its coordinates.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable coordinates, e.g. `720p@30/4ch/400MHz`. Axes the
+    /// spec does not sweep (single-value axes beyond the first three) are
+    /// omitted from the label.
+    pub label: String,
+    /// Operating point of this cell.
+    pub point: HdOperatingPoint,
+    /// Channel count of this cell.
+    pub channels: u32,
+    /// Interface clock of this cell, MHz.
+    pub clock_mhz: u64,
+    /// The validated experiment.
+    pub experiment: Experiment,
+}
+
+impl SweepSpec {
+    /// The paper's Fig. 4/Fig. 5 grid: all five HD operating points across
+    /// 1, 2, 4 and 8 channels at 400 MHz.
+    pub fn paper_grid() -> Self {
+        SweepSpec {
+            points: HdOperatingPoint::ALL.to_vec(),
+            channels: vec![1, 2, 4, 8],
+            ..SweepSpec::default()
+        }
+    }
+
+    /// Number of points the spec expands to.
+    pub fn len(&self) -> usize {
+        self.points.len()
+            * self.channels.len()
+            * self.clocks_mhz.len()
+            * self.mappings.len()
+            * self.page_policies.len()
+            * self.power_down.len()
+            * self.chunks.len()
+            * self.pacings.len()
+    }
+
+    /// Whether any axis is empty (the spec expands to nothing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into validated experiments.
+    ///
+    /// Loop order, outermost first: points → channels → clocks → mappings
+    /// → page policies → power-down policies → chunks → pacings. The
+    /// returned order is the result order of every sweep run, independent
+    /// of thread count.
+    ///
+    /// Any axis left empty yields [`SweepError::EmptySpec`]; a combination
+    /// that fails experiment validation yields [`SweepError::Point`] naming
+    /// the offending coordinates.
+    pub fn expand(&self) -> Result<Vec<SweepPoint>, SweepError> {
+        for (axis, empty) in [
+            ("points", self.points.is_empty()),
+            ("channels", self.channels.is_empty()),
+            ("clocks_mhz", self.clocks_mhz.is_empty()),
+            ("mappings", self.mappings.is_empty()),
+            ("page_policies", self.page_policies.is_empty()),
+            ("power_down", self.power_down.is_empty()),
+            ("chunks", self.chunks.is_empty()),
+            ("pacings", self.pacings.is_empty()),
+        ] {
+            if empty {
+                return Err(SweepError::EmptySpec { axis });
+            }
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for &point in &self.points {
+            for &channels in &self.channels {
+                for &clock_mhz in &self.clocks_mhz {
+                    for &mapping in &self.mappings {
+                        for &page in &self.page_policies {
+                            for &pd in &self.power_down {
+                                for &chunk in &self.chunks {
+                                    for &pacing in &self.pacings {
+                                        let label = self.label(
+                                            point, channels, clock_mhz, mapping, page, pd, chunk,
+                                            pacing,
+                                        );
+                                        let mut builder = Experiment::builder()
+                                            .point(point)
+                                            .channels(channels)
+                                            .clock_mhz(clock_mhz)
+                                            .mapping(mapping)
+                                            .page_policy(page)
+                                            .power_down(pd)
+                                            .chunk(chunk)
+                                            .pacing(pacing);
+                                        if let Some(ops) = self.op_limit {
+                                            builder = builder.op_limit(ops);
+                                        }
+                                        let experiment = builder.build().map_err(|source| {
+                                            SweepError::Point {
+                                                label: label.clone(),
+                                                source,
+                                            }
+                                        })?;
+                                        out.push(SweepPoint {
+                                            label,
+                                            point,
+                                            channels,
+                                            clock_mhz,
+                                            experiment,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn label(
+        &self,
+        point: HdOperatingPoint,
+        channels: u32,
+        clock_mhz: u64,
+        mapping: AddressMapping,
+        page: PagePolicy,
+        pd: PowerDownPolicy,
+        chunk: ChunkPolicy,
+        pacing: Pacing,
+    ) -> String {
+        let mut label = format!(
+            "{}@{}/{}ch/{}MHz",
+            point.format(),
+            point.fps(),
+            channels,
+            clock_mhz
+        );
+        // Secondary axes only show up in labels when actually swept.
+        if self.mappings.len() > 1 {
+            label.push_str(&format!("/{mapping}"));
+        }
+        if self.page_policies.len() > 1 {
+            label.push_str(&format!("/{page}"));
+        }
+        if self.power_down.len() > 1 {
+            label.push_str(&format!("/{pd}"));
+        }
+        if self.chunks.len() > 1 {
+            label.push_str(&match chunk {
+                ChunkPolicy::Fixed(n) => format!("/fixed{n}B"),
+                ChunkPolicy::PerChannel(n) => format!("/{n}B-per-ch"),
+            });
+        }
+        if self.pacings.len() > 1 {
+            label.push_str(match pacing {
+                Pacing::Greedy => "/greedy",
+                Pacing::Paced => "/paced",
+            });
+        }
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_is_five_by_four() {
+        let spec = SweepSpec::paper_grid();
+        assert_eq!(spec.len(), 20);
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), 20);
+        // Outermost loop is the operating point: first four share 720p30.
+        assert!(points[..4]
+            .iter()
+            .all(|p| p.point == HdOperatingPoint::Hd720p30));
+        assert_eq!(
+            points
+                .iter()
+                .map(|p| p.channels)
+                .take(4)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4, 8]
+        );
+        // Labels are unique coordinates.
+        let mut labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 20);
+    }
+
+    #[test]
+    fn empty_axis_is_a_typed_error() {
+        let spec = SweepSpec {
+            channels: vec![],
+            ..SweepSpec::default()
+        };
+        assert!(spec.is_empty());
+        assert_eq!(
+            spec.expand().unwrap_err(),
+            SweepError::EmptySpec { axis: "channels" }
+        );
+    }
+
+    #[test]
+    fn invalid_combination_names_the_point() {
+        let spec = SweepSpec {
+            channels: vec![3],
+            ..SweepSpec::default()
+        };
+        match spec.expand().unwrap_err() {
+            SweepError::Point { label, .. } => assert!(label.contains("3ch"), "{label}"),
+            other => panic!("expected Point error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn secondary_axes_appear_in_labels_only_when_swept() {
+        let plain = SweepSpec::default().expand().unwrap();
+        assert!(!plain[0].label.contains("page"));
+        let swept = SweepSpec {
+            page_policies: vec![PagePolicy::Open, PagePolicy::Closed],
+            ..SweepSpec::default()
+        };
+        let labels: Vec<String> = swept
+            .expand()
+            .unwrap()
+            .into_iter()
+            .map(|p| p.label)
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = SweepSpec::paper_grid();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn op_limit_reaches_every_experiment() {
+        let spec = SweepSpec {
+            op_limit: Some(1_234),
+            ..SweepSpec::default()
+        };
+        let points = spec.expand().unwrap();
+        assert!(points.iter().all(|p| p.experiment.op_limit == Some(1_234)));
+    }
+}

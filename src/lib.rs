@@ -18,6 +18,7 @@
 //! | [`power`] | equation (1) interface power, XDR comparison |
 //! | [`verify`] | conformance checks and lints (`mcm check`, `MCMxxx` rules) |
 //! | [`core`] | experiments, figures, analyses |
+//! | [`sweep`] | parallel design-space sweeps with a disk result cache |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use mcm_dram as dram;
 pub use mcm_load as load;
 pub use mcm_power as power;
 pub use mcm_sim as sim;
+pub use mcm_sweep as sweep;
 pub use mcm_verify as verify;
 
 /// The most commonly used types, re-exported flat.
@@ -48,7 +50,10 @@ pub mod prelude {
     pub use mcm_channel::{
         ClusteredMemory, InterleaveMap, MasterTransaction, MemoryConfig, MemorySubsystem,
     };
-    pub use mcm_core::{ChunkPolicy, CoreError, Experiment, FrameResult, RealTimeVerdict};
+    pub use mcm_core::{
+        ChunkPolicy, CoreError, Experiment, ExperimentBuilder, FrameResult, Pacing,
+        RealTimeVerdict, RunOptions, RunOutcome,
+    };
     pub use mcm_ctrl::{
         AccessOp, ChannelRequest, Controller, ControllerConfig, PagePolicy, PowerDownPolicy,
     };
@@ -61,5 +66,8 @@ pub mod prelude {
     };
     pub use mcm_power::{BondingTechnique, InterfacePowerModel, PowerSummary, XdrReference};
     pub use mcm_sim::{ClockDomain, Frequency, SimTime};
+    pub use mcm_sweep::{
+        run_sweep, ParallelRunner, PointOutcome, SweepOptions, SweepResult, SweepSpec,
+    };
     pub use mcm_verify::{Diagnostic, Report, Severity, TraceAuditOptions};
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_chunk-206f165b4853909d.d: crates/bench/src/bin/ablate_chunk.rs
+
+/root/repo/target/debug/deps/ablate_chunk-206f165b4853909d: crates/bench/src/bin/ablate_chunk.rs
+
+crates/bench/src/bin/ablate_chunk.rs:

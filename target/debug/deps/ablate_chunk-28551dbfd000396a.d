@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_chunk-28551dbfd000396a.d: crates/bench/src/bin/ablate_chunk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_chunk-28551dbfd000396a.rmeta: crates/bench/src/bin/ablate_chunk.rs Cargo.toml
+
+crates/bench/src/bin/ablate_chunk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_chunk-85caf2451adb75b0.d: crates/bench/src/bin/ablate_chunk.rs
+
+/root/repo/target/debug/deps/ablate_chunk-85caf2451adb75b0: crates/bench/src/bin/ablate_chunk.rs
+
+crates/bench/src/bin/ablate_chunk.rs:

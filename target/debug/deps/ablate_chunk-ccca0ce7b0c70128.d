@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_chunk-ccca0ce7b0c70128.d: crates/bench/src/bin/ablate_chunk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_chunk-ccca0ce7b0c70128.rmeta: crates/bench/src/bin/ablate_chunk.rs Cargo.toml
+
+crates/bench/src/bin/ablate_chunk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

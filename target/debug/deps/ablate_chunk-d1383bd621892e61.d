@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_chunk-d1383bd621892e61.d: crates/bench/src/bin/ablate_chunk.rs
+
+/root/repo/target/debug/deps/ablate_chunk-d1383bd621892e61: crates/bench/src/bin/ablate_chunk.rs
+
+crates/bench/src/bin/ablate_chunk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_density-0a8568c26cd6852a.d: crates/bench/src/bin/ablate_density.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_density-0a8568c26cd6852a.rmeta: crates/bench/src/bin/ablate_density.rs Cargo.toml
+
+crates/bench/src/bin/ablate_density.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_density-b574bb31965fb86c.d: crates/bench/src/bin/ablate_density.rs
+
+/root/repo/target/debug/deps/ablate_density-b574bb31965fb86c: crates/bench/src/bin/ablate_density.rs
+
+crates/bench/src/bin/ablate_density.rs:

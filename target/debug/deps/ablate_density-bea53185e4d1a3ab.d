@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_density-bea53185e4d1a3ab.d: crates/bench/src/bin/ablate_density.rs
+
+/root/repo/target/debug/deps/ablate_density-bea53185e4d1a3ab: crates/bench/src/bin/ablate_density.rs
+
+crates/bench/src/bin/ablate_density.rs:

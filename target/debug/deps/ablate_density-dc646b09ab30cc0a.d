@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_density-dc646b09ab30cc0a.d: crates/bench/src/bin/ablate_density.rs
+
+/root/repo/target/debug/deps/ablate_density-dc646b09ab30cc0a: crates/bench/src/bin/ablate_density.rs
+
+crates/bench/src/bin/ablate_density.rs:

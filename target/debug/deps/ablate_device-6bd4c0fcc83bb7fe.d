@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_device-6bd4c0fcc83bb7fe.d: crates/bench/src/bin/ablate_device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_device-6bd4c0fcc83bb7fe.rmeta: crates/bench/src/bin/ablate_device.rs Cargo.toml
+
+crates/bench/src/bin/ablate_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_device-a3dbf0260cd28e06.d: crates/bench/src/bin/ablate_device.rs
+
+/root/repo/target/debug/deps/ablate_device-a3dbf0260cd28e06: crates/bench/src/bin/ablate_device.rs
+
+crates/bench/src/bin/ablate_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_device-eb102ea19acb550a.d: crates/bench/src/bin/ablate_device.rs
+
+/root/repo/target/debug/deps/ablate_device-eb102ea19acb550a: crates/bench/src/bin/ablate_device.rs
+
+crates/bench/src/bin/ablate_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_device-f3efb9215863519b.d: crates/bench/src/bin/ablate_device.rs
+
+/root/repo/target/debug/deps/ablate_device-f3efb9215863519b: crates/bench/src/bin/ablate_device.rs
+
+crates/bench/src/bin/ablate_device.rs:

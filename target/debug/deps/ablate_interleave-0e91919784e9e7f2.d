@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_interleave-0e91919784e9e7f2.d: crates/bench/src/bin/ablate_interleave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_interleave-0e91919784e9e7f2.rmeta: crates/bench/src/bin/ablate_interleave.rs Cargo.toml
+
+crates/bench/src/bin/ablate_interleave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_interleave-2447669023483616.d: crates/bench/src/bin/ablate_interleave.rs
+
+/root/repo/target/debug/deps/ablate_interleave-2447669023483616: crates/bench/src/bin/ablate_interleave.rs
+
+crates/bench/src/bin/ablate_interleave.rs:

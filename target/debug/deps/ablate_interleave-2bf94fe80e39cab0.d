@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_interleave-2bf94fe80e39cab0.d: crates/bench/src/bin/ablate_interleave.rs
+
+/root/repo/target/debug/deps/ablate_interleave-2bf94fe80e39cab0: crates/bench/src/bin/ablate_interleave.rs
+
+crates/bench/src/bin/ablate_interleave.rs:

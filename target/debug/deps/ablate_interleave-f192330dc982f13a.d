@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_interleave-f192330dc982f13a.d: crates/bench/src/bin/ablate_interleave.rs
+
+/root/repo/target/debug/deps/ablate_interleave-f192330dc982f13a: crates/bench/src/bin/ablate_interleave.rs
+
+crates/bench/src/bin/ablate_interleave.rs:

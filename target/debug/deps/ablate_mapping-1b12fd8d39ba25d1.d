@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_mapping-1b12fd8d39ba25d1.d: crates/bench/src/bin/ablate_mapping.rs
+
+/root/repo/target/debug/deps/ablate_mapping-1b12fd8d39ba25d1: crates/bench/src/bin/ablate_mapping.rs
+
+crates/bench/src/bin/ablate_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_mapping-3345c8dc823d2280.d: crates/bench/src/bin/ablate_mapping.rs
+
+/root/repo/target/debug/deps/ablate_mapping-3345c8dc823d2280: crates/bench/src/bin/ablate_mapping.rs
+
+crates/bench/src/bin/ablate_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_mapping-3752850af5e6024b.d: crates/bench/src/bin/ablate_mapping.rs
+
+/root/repo/target/debug/deps/ablate_mapping-3752850af5e6024b: crates/bench/src/bin/ablate_mapping.rs
+
+crates/bench/src/bin/ablate_mapping.rs:

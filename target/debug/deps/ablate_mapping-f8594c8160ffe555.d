@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_mapping-f8594c8160ffe555.d: crates/bench/src/bin/ablate_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_mapping-f8594c8160ffe555.rmeta: crates/bench/src/bin/ablate_mapping.rs Cargo.toml
+
+crates/bench/src/bin/ablate_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_page_policy-13f51c761e61265d.d: crates/bench/src/bin/ablate_page_policy.rs
+
+/root/repo/target/debug/deps/ablate_page_policy-13f51c761e61265d: crates/bench/src/bin/ablate_page_policy.rs
+
+crates/bench/src/bin/ablate_page_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_page_policy-3625def411bf2a49.d: crates/bench/src/bin/ablate_page_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_page_policy-3625def411bf2a49.rmeta: crates/bench/src/bin/ablate_page_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablate_page_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_page_policy-63638be2cf4f10f0.d: crates/bench/src/bin/ablate_page_policy.rs
+
+/root/repo/target/debug/deps/ablate_page_policy-63638be2cf4f10f0: crates/bench/src/bin/ablate_page_policy.rs
+
+crates/bench/src/bin/ablate_page_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_page_policy-93829a9a197e1684.d: crates/bench/src/bin/ablate_page_policy.rs
+
+/root/repo/target/debug/deps/ablate_page_policy-93829a9a197e1684: crates/bench/src/bin/ablate_page_policy.rs
+
+crates/bench/src/bin/ablate_page_policy.rs:

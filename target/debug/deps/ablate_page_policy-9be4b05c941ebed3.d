@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_page_policy-9be4b05c941ebed3.d: crates/bench/src/bin/ablate_page_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_page_policy-9be4b05c941ebed3.rmeta: crates/bench/src/bin/ablate_page_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablate_page_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_power_down-502026623689eb00.d: crates/bench/src/bin/ablate_power_down.rs
+
+/root/repo/target/debug/deps/ablate_power_down-502026623689eb00: crates/bench/src/bin/ablate_power_down.rs
+
+crates/bench/src/bin/ablate_power_down.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_power_down-53cf8407ece722c7.d: crates/bench/src/bin/ablate_power_down.rs
+
+/root/repo/target/debug/deps/ablate_power_down-53cf8407ece722c7: crates/bench/src/bin/ablate_power_down.rs
+
+crates/bench/src/bin/ablate_power_down.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_power_down-94bffe3ddd6b75ab.d: crates/bench/src/bin/ablate_power_down.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_power_down-94bffe3ddd6b75ab.rmeta: crates/bench/src/bin/ablate_power_down.rs Cargo.toml
+
+crates/bench/src/bin/ablate_power_down.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_power_down-c2923c40917c50b5.d: crates/bench/src/bin/ablate_power_down.rs
+
+/root/repo/target/debug/deps/ablate_power_down-c2923c40917c50b5: crates/bench/src/bin/ablate_power_down.rs
+
+crates/bench/src/bin/ablate_power_down.rs:

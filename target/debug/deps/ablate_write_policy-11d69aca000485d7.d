@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_write_policy-11d69aca000485d7.d: crates/bench/src/bin/ablate_write_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_write_policy-11d69aca000485d7.rmeta: crates/bench/src/bin/ablate_write_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablate_write_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

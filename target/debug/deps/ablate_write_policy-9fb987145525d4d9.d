@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_write_policy-9fb987145525d4d9.d: crates/bench/src/bin/ablate_write_policy.rs
+
+/root/repo/target/debug/deps/ablate_write_policy-9fb987145525d4d9: crates/bench/src/bin/ablate_write_policy.rs
+
+crates/bench/src/bin/ablate_write_policy.rs:

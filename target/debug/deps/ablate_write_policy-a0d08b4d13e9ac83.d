@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_write_policy-a0d08b4d13e9ac83.d: crates/bench/src/bin/ablate_write_policy.rs
+
+/root/repo/target/debug/deps/ablate_write_policy-a0d08b4d13e9ac83: crates/bench/src/bin/ablate_write_policy.rs
+
+crates/bench/src/bin/ablate_write_policy.rs:

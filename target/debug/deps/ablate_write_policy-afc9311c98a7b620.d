@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_write_policy-afc9311c98a7b620.d: crates/bench/src/bin/ablate_write_policy.rs
+
+/root/repo/target/debug/deps/ablate_write_policy-afc9311c98a7b620: crates/bench/src/bin/ablate_write_policy.rs
+
+crates/bench/src/bin/ablate_write_policy.rs:

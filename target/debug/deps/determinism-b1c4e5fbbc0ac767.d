@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b1c4e5fbbc0ac767.d: crates/sweep/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b1c4e5fbbc0ac767: crates/sweep/tests/determinism.rs
+
+crates/sweep/tests/determinism.rs:

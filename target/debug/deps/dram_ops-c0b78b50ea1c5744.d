@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dram_ops-c0b78b50ea1c5744.d: crates/bench/benches/dram_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram_ops-c0b78b50ea1c5744.rmeta: crates/bench/benches/dram_ops.rs Cargo.toml
+
+crates/bench/benches/dram_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_clusters-81ed3dc317c50cfd.d: crates/bench/src/bin/ext_clusters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_clusters-81ed3dc317c50cfd.rmeta: crates/bench/src/bin/ext_clusters.rs Cargo.toml
+
+crates/bench/src/bin/ext_clusters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

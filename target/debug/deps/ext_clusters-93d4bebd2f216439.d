@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_clusters-93d4bebd2f216439.d: crates/bench/src/bin/ext_clusters.rs
+
+/root/repo/target/debug/deps/ext_clusters-93d4bebd2f216439: crates/bench/src/bin/ext_clusters.rs
+
+crates/bench/src/bin/ext_clusters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_clusters-97e4de0251aacd08.d: crates/bench/src/bin/ext_clusters.rs
+
+/root/repo/target/debug/deps/ext_clusters-97e4de0251aacd08: crates/bench/src/bin/ext_clusters.rs
+
+crates/bench/src/bin/ext_clusters.rs:

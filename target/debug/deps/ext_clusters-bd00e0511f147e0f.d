@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_clusters-bd00e0511f147e0f.d: crates/bench/src/bin/ext_clusters.rs
+
+/root/repo/target/debug/deps/ext_clusters-bd00e0511f147e0f: crates/bench/src/bin/ext_clusters.rs
+
+crates/bench/src/bin/ext_clusters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_clusters-c5f9a484e5e23a88.d: crates/bench/src/bin/ext_clusters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_clusters-c5f9a484e5e23a88.rmeta: crates/bench/src/bin/ext_clusters.rs Cargo.toml
+
+crates/bench/src/bin/ext_clusters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dual_use-33fdec34b75edcea.d: crates/bench/src/bin/ext_dual_use.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dual_use-33fdec34b75edcea.rmeta: crates/bench/src/bin/ext_dual_use.rs Cargo.toml
+
+crates/bench/src/bin/ext_dual_use.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

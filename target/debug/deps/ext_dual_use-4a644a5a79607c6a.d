@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dual_use-4a644a5a79607c6a.d: crates/bench/src/bin/ext_dual_use.rs
+
+/root/repo/target/debug/deps/ext_dual_use-4a644a5a79607c6a: crates/bench/src/bin/ext_dual_use.rs
+
+crates/bench/src/bin/ext_dual_use.rs:

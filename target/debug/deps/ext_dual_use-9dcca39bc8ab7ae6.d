@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dual_use-9dcca39bc8ab7ae6.d: crates/bench/src/bin/ext_dual_use.rs
+
+/root/repo/target/debug/deps/ext_dual_use-9dcca39bc8ab7ae6: crates/bench/src/bin/ext_dual_use.rs
+
+crates/bench/src/bin/ext_dual_use.rs:

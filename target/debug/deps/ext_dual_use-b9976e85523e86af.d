@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dual_use-b9976e85523e86af.d: crates/bench/src/bin/ext_dual_use.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dual_use-b9976e85523e86af.rmeta: crates/bench/src/bin/ext_dual_use.rs Cargo.toml
+
+crates/bench/src/bin/ext_dual_use.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dual_use-eda29ec55e018e08.d: crates/bench/src/bin/ext_dual_use.rs
+
+/root/repo/target/debug/deps/ext_dual_use-eda29ec55e018e08: crates/bench/src/bin/ext_dual_use.rs
+
+crates/bench/src/bin/ext_dual_use.rs:

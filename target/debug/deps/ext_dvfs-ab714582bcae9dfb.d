@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dvfs-ab714582bcae9dfb.d: crates/bench/src/bin/ext_dvfs.rs
+
+/root/repo/target/debug/deps/ext_dvfs-ab714582bcae9dfb: crates/bench/src/bin/ext_dvfs.rs
+
+crates/bench/src/bin/ext_dvfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dvfs-b46def7a1a0cf75b.d: crates/bench/src/bin/ext_dvfs.rs
+
+/root/repo/target/debug/deps/ext_dvfs-b46def7a1a0cf75b: crates/bench/src/bin/ext_dvfs.rs
+
+crates/bench/src/bin/ext_dvfs.rs:

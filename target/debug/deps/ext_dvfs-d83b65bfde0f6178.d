@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dvfs-d83b65bfde0f6178.d: crates/bench/src/bin/ext_dvfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dvfs-d83b65bfde0f6178.rmeta: crates/bench/src/bin/ext_dvfs.rs Cargo.toml
+
+crates/bench/src/bin/ext_dvfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dvfs-fbf21e3f67b77764.d: crates/bench/src/bin/ext_dvfs.rs
+
+/root/repo/target/debug/deps/ext_dvfs-fbf21e3f67b77764: crates/bench/src/bin/ext_dvfs.rs
+
+crates/bench/src/bin/ext_dvfs.rs:

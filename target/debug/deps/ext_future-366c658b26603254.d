@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_future-366c658b26603254.d: crates/bench/src/bin/ext_future.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_future-366c658b26603254.rmeta: crates/bench/src/bin/ext_future.rs Cargo.toml
+
+crates/bench/src/bin/ext_future.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_future-8b7433f435549967.d: crates/bench/src/bin/ext_future.rs
+
+/root/repo/target/debug/deps/ext_future-8b7433f435549967: crates/bench/src/bin/ext_future.rs
+
+crates/bench/src/bin/ext_future.rs:

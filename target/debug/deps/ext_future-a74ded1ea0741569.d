@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_future-a74ded1ea0741569.d: crates/bench/src/bin/ext_future.rs
+
+/root/repo/target/debug/deps/ext_future-a74ded1ea0741569: crates/bench/src/bin/ext_future.rs
+
+crates/bench/src/bin/ext_future.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_future-d18021a3b6095c3d.d: crates/bench/src/bin/ext_future.rs
+
+/root/repo/target/debug/deps/ext_future-d18021a3b6095c3d: crates/bench/src/bin/ext_future.rs
+
+crates/bench/src/bin/ext_future.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_headroom-34aaa236acb04c40.d: crates/bench/src/bin/ext_headroom.rs
+
+/root/repo/target/debug/deps/ext_headroom-34aaa236acb04c40: crates/bench/src/bin/ext_headroom.rs
+
+crates/bench/src/bin/ext_headroom.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_headroom-3877886635708ca9.d: crates/bench/src/bin/ext_headroom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_headroom-3877886635708ca9.rmeta: crates/bench/src/bin/ext_headroom.rs Cargo.toml
+
+crates/bench/src/bin/ext_headroom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_headroom-38ad7a161da29c4d.d: crates/bench/src/bin/ext_headroom.rs
+
+/root/repo/target/debug/deps/ext_headroom-38ad7a161da29c4d: crates/bench/src/bin/ext_headroom.rs
+
+crates/bench/src/bin/ext_headroom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_headroom-8f3928edf875dbca.d: crates/bench/src/bin/ext_headroom.rs
+
+/root/repo/target/debug/deps/ext_headroom-8f3928edf875dbca: crates/bench/src/bin/ext_headroom.rs
+
+crates/bench/src/bin/ext_headroom.rs:

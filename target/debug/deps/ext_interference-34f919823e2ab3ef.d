@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_interference-34f919823e2ab3ef.d: crates/bench/src/bin/ext_interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_interference-34f919823e2ab3ef.rmeta: crates/bench/src/bin/ext_interference.rs Cargo.toml
+
+crates/bench/src/bin/ext_interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

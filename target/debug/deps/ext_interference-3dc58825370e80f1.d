@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_interference-3dc58825370e80f1.d: crates/bench/src/bin/ext_interference.rs
+
+/root/repo/target/debug/deps/ext_interference-3dc58825370e80f1: crates/bench/src/bin/ext_interference.rs
+
+crates/bench/src/bin/ext_interference.rs:

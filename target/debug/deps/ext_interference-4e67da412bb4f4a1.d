@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_interference-4e67da412bb4f4a1.d: crates/bench/src/bin/ext_interference.rs
+
+/root/repo/target/debug/deps/ext_interference-4e67da412bb4f4a1: crates/bench/src/bin/ext_interference.rs
+
+crates/bench/src/bin/ext_interference.rs:

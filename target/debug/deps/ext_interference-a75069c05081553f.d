@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_interference-a75069c05081553f.d: crates/bench/src/bin/ext_interference.rs
+
+/root/repo/target/debug/deps/ext_interference-a75069c05081553f: crates/bench/src/bin/ext_interference.rs
+
+crates/bench/src/bin/ext_interference.rs:

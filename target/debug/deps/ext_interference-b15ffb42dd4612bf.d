@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_interference-b15ffb42dd4612bf.d: crates/bench/src/bin/ext_interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_interference-b15ffb42dd4612bf.rmeta: crates/bench/src/bin/ext_interference.rs Cargo.toml
+
+crates/bench/src/bin/ext_interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

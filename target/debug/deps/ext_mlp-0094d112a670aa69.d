@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_mlp-0094d112a670aa69.d: crates/bench/src/bin/ext_mlp.rs
+
+/root/repo/target/debug/deps/ext_mlp-0094d112a670aa69: crates/bench/src/bin/ext_mlp.rs
+
+crates/bench/src/bin/ext_mlp.rs:

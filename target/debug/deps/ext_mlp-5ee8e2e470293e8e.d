@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_mlp-5ee8e2e470293e8e.d: crates/bench/src/bin/ext_mlp.rs
+
+/root/repo/target/debug/deps/ext_mlp-5ee8e2e470293e8e: crates/bench/src/bin/ext_mlp.rs
+
+crates/bench/src/bin/ext_mlp.rs:

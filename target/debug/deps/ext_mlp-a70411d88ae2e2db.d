@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_mlp-a70411d88ae2e2db.d: crates/bench/src/bin/ext_mlp.rs
+
+/root/repo/target/debug/deps/ext_mlp-a70411d88ae2e2db: crates/bench/src/bin/ext_mlp.rs
+
+crates/bench/src/bin/ext_mlp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_mlp-f34e476134d33889.d: crates/bench/src/bin/ext_mlp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_mlp-f34e476134d33889.rmeta: crates/bench/src/bin/ext_mlp.rs Cargo.toml
+
+crates/bench/src/bin/ext_mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

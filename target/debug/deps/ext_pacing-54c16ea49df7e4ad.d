@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pacing-54c16ea49df7e4ad.d: crates/bench/src/bin/ext_pacing.rs
+
+/root/repo/target/debug/deps/ext_pacing-54c16ea49df7e4ad: crates/bench/src/bin/ext_pacing.rs
+
+crates/bench/src/bin/ext_pacing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pacing-5ac42882f8b465b1.d: crates/bench/src/bin/ext_pacing.rs
+
+/root/repo/target/debug/deps/ext_pacing-5ac42882f8b465b1: crates/bench/src/bin/ext_pacing.rs
+
+crates/bench/src/bin/ext_pacing.rs:

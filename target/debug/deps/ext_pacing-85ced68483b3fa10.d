@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_pacing-85ced68483b3fa10.d: crates/bench/src/bin/ext_pacing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_pacing-85ced68483b3fa10.rmeta: crates/bench/src/bin/ext_pacing.rs Cargo.toml
+
+crates/bench/src/bin/ext_pacing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pacing-e4b500109badd255.d: crates/bench/src/bin/ext_pacing.rs
+
+/root/repo/target/debug/deps/ext_pacing-e4b500109badd255: crates/bench/src/bin/ext_pacing.rs
+
+crates/bench/src/bin/ext_pacing.rs:

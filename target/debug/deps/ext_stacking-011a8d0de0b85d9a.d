@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_stacking-011a8d0de0b85d9a.d: crates/bench/src/bin/ext_stacking.rs
+
+/root/repo/target/debug/deps/ext_stacking-011a8d0de0b85d9a: crates/bench/src/bin/ext_stacking.rs
+
+crates/bench/src/bin/ext_stacking.rs:

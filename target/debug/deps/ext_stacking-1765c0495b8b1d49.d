@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_stacking-1765c0495b8b1d49.d: crates/bench/src/bin/ext_stacking.rs
+
+/root/repo/target/debug/deps/ext_stacking-1765c0495b8b1d49: crates/bench/src/bin/ext_stacking.rs
+
+crates/bench/src/bin/ext_stacking.rs:

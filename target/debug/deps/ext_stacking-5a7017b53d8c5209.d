@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_stacking-5a7017b53d8c5209.d: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_stacking-5a7017b53d8c5209.rmeta: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+crates/bench/src/bin/ext_stacking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_stacking-a5992b6327ff2606.d: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_stacking-a5992b6327ff2606.rmeta: crates/bench/src/bin/ext_stacking.rs Cargo.toml
+
+crates/bench/src/bin/ext_stacking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_stacking-f03558aef05c9d47.d: crates/bench/src/bin/ext_stacking.rs
+
+/root/repo/target/debug/deps/ext_stacking-f03558aef05c9d47: crates/bench/src/bin/ext_stacking.rs
+
+crates/bench/src/bin/ext_stacking.rs:

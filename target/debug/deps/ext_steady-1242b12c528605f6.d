@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_steady-1242b12c528605f6.d: crates/bench/src/bin/ext_steady.rs
+
+/root/repo/target/debug/deps/ext_steady-1242b12c528605f6: crates/bench/src/bin/ext_steady.rs
+
+crates/bench/src/bin/ext_steady.rs:

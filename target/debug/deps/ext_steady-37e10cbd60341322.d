@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_steady-37e10cbd60341322.d: crates/bench/src/bin/ext_steady.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_steady-37e10cbd60341322.rmeta: crates/bench/src/bin/ext_steady.rs Cargo.toml
+
+crates/bench/src/bin/ext_steady.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_steady-60008be8cfe4e90c.d: crates/bench/src/bin/ext_steady.rs
+
+/root/repo/target/debug/deps/ext_steady-60008be8cfe4e90c: crates/bench/src/bin/ext_steady.rs
+
+crates/bench/src/bin/ext_steady.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_steady-88fe9ceada375c47.d: crates/bench/src/bin/ext_steady.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_steady-88fe9ceada375c47.rmeta: crates/bench/src/bin/ext_steady.rs Cargo.toml
+
+crates/bench/src/bin/ext_steady.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_steady-98f9203e84654b14.d: crates/bench/src/bin/ext_steady.rs
+
+/root/repo/target/debug/deps/ext_steady-98f9203e84654b14: crates/bench/src/bin/ext_steady.rs
+
+crates/bench/src/bin/ext_steady.rs:

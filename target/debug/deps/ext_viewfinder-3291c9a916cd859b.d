@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_viewfinder-3291c9a916cd859b.d: crates/bench/src/bin/ext_viewfinder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_viewfinder-3291c9a916cd859b.rmeta: crates/bench/src/bin/ext_viewfinder.rs Cargo.toml
+
+crates/bench/src/bin/ext_viewfinder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

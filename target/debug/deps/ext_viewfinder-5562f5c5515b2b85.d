@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_viewfinder-5562f5c5515b2b85.d: crates/bench/src/bin/ext_viewfinder.rs
+
+/root/repo/target/debug/deps/ext_viewfinder-5562f5c5515b2b85: crates/bench/src/bin/ext_viewfinder.rs
+
+crates/bench/src/bin/ext_viewfinder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_viewfinder-73b98f962a540ba7.d: crates/bench/src/bin/ext_viewfinder.rs
+
+/root/repo/target/debug/deps/ext_viewfinder-73b98f962a540ba7: crates/bench/src/bin/ext_viewfinder.rs
+
+crates/bench/src/bin/ext_viewfinder.rs:

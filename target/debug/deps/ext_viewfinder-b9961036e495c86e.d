@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_viewfinder-b9961036e495c86e.d: crates/bench/src/bin/ext_viewfinder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_viewfinder-b9961036e495c86e.rmeta: crates/bench/src/bin/ext_viewfinder.rs Cargo.toml
+
+crates/bench/src/bin/ext_viewfinder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

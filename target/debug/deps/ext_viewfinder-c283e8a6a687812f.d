@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_viewfinder-c283e8a6a687812f.d: crates/bench/src/bin/ext_viewfinder.rs
+
+/root/repo/target/debug/deps/ext_viewfinder-c283e8a6a687812f: crates/bench/src/bin/ext_viewfinder.rs
+
+crates/bench/src/bin/ext_viewfinder.rs:

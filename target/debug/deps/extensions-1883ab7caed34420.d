@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1883ab7caed34420.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1883ab7caed34420: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-06ee37f8ef3c93fd.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-06ee37f8ef3c93fd: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

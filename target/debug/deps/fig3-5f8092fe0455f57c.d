@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5f8092fe0455f57c.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5f8092fe0455f57c: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-622cb5654d016296.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-622cb5654d016296: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

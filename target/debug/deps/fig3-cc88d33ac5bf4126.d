@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-cc88d33ac5bf4126.d: crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-cc88d33ac5bf4126.rmeta: crates/bench/src/bin/fig3.rs Cargo.toml
+
+crates/bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

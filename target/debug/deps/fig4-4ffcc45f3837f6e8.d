@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4ffcc45f3837f6e8.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4ffcc45f3837f6e8: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

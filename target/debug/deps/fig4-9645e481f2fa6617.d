@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9645e481f2fa6617.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-9645e481f2fa6617: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

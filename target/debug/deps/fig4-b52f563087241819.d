@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-b52f563087241819.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-b52f563087241819: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-3d663ba5dc3c3c14.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-3d663ba5dc3c3c14: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

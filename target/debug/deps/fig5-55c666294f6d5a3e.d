@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-55c666294f6d5a3e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-55c666294f6d5a3e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

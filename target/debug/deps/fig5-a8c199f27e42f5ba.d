@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a8c199f27e42f5ba.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a8c199f27e42f5ba: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

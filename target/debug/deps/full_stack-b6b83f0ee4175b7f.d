@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-b6b83f0ee4175b7f.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-b6b83f0ee4175b7f: tests/full_stack.rs
+
+tests/full_stack.rs:

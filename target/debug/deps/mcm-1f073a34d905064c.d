@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm-1f073a34d905064c.d: src/lib.rs
+
+/root/repo/target/debug/deps/mcm-1f073a34d905064c: src/lib.rs
+
+src/lib.rs:

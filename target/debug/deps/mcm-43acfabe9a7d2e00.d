@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm-43acfabe9a7d2e00.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm-43acfabe9a7d2e00.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm-4e48c314d1d699d4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm-4e48c314d1d699d4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm-7b6c1bdda14b2388.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmcm-7b6c1bdda14b2388.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmcm-7b6c1bdda14b2388.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm-b5abbd14aeb2118d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mcm-b5abbd14aeb2118d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

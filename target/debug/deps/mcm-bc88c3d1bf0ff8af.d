@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm-bc88c3d1bf0ff8af.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mcm-bc88c3d1bf0ff8af: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

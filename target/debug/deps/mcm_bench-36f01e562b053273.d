@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm_bench-36f01e562b053273.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-36f01e562b053273.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-36f01e562b053273.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_bench-6d4464f36975c5a2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcm_bench-6d4464f36975c5a2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

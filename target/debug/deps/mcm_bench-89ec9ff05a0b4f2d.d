@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm_bench-89ec9ff05a0b4f2d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_bench-89ec9ff05a0b4f2d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_bench-b55622cc06d611c0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcm_bench-b55622cc06d611c0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm_bench-bfd0b5985920fc97.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-bfd0b5985920fc97.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcm_bench-bfd0b5985920fc97.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcm_cli-01f8f175c0abafa2.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/mcm_cli-01f8f175c0abafa2: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,15 +1,17 @@
-/root/repo/target/debug/deps/mcm_core-28a34305ce7b41dc.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/steady.rs crates/core/src/tracerun.rs Cargo.toml
+/root/repo/target/debug/deps/mcm_core-28a34305ce7b41dc.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/builder.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/runner.rs crates/core/src/steady.rs crates/core/src/tracerun.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmcm_core-28a34305ce7b41dc.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/steady.rs crates/core/src/tracerun.rs Cargo.toml
+/root/repo/target/debug/deps/libmcm_core-28a34305ce7b41dc.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/builder.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/runner.rs crates/core/src/steady.rs crates/core/src/tracerun.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
+crates/core/src/builder.rs:
 crates/core/src/charts.rs:
 crates/core/src/error.rs:
 crates/core/src/eventsim.rs:
 crates/core/src/experiment.rs:
 crates/core/src/figures.rs:
 crates/core/src/profile.rs:
+crates/core/src/runner.rs:
 crates/core/src/steady.rs:
 crates/core/src/tracerun.rs:
 Cargo.toml:

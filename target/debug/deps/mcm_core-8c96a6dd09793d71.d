@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/mcm_core-8c96a6dd09793d71.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
+/root/repo/target/debug/deps/mcm_core-8c96a6dd09793d71.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/builder.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/runner.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
 
-/root/repo/target/debug/deps/mcm_core-8c96a6dd09793d71: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
+/root/repo/target/debug/deps/mcm_core-8c96a6dd09793d71: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/builder.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/runner.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
+crates/core/src/builder.rs:
 crates/core/src/charts.rs:
 crates/core/src/error.rs:
 crates/core/src/eventsim.rs:
 crates/core/src/experiment.rs:
 crates/core/src/figures.rs:
 crates/core/src/profile.rs:
+crates/core/src/runner.rs:
 crates/core/src/steady.rs:
 crates/core/src/tracerun.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcm_sweep-5bcc7597fe09e482.d: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/mcm_sweep-5bcc7597fe09e482: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cache.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/error.rs:
+crates/sweep/src/spec.rs:

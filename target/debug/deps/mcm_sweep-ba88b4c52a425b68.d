@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcm_sweep-ba88b4c52a425b68.d: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/libmcm_sweep-ba88b4c52a425b68.rlib: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/libmcm_sweep-ba88b4c52a425b68.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cache.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/error.rs:
+crates/sweep/src/spec.rs:

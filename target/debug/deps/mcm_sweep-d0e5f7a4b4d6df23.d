@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcm_sweep-d0e5f7a4b4d6df23.d: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcm_sweep-d0e5f7a4b4d6df23.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs Cargo.toml
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cache.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/error.rs:
+crates/sweep/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

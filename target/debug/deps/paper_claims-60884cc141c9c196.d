@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-60884cc141c9c196.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-60884cc141c9c196: tests/paper_claims.rs
+
+tests/paper_claims.rs:

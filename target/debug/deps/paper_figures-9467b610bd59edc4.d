@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_figures-9467b610bd59edc4.d: crates/bench/benches/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_figures-9467b610bd59edc4.rmeta: crates/bench/benches/paper_figures.rs Cargo.toml
+
+crates/bench/benches/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_breakdown-3af1644f2a7c424b.d: crates/bench/src/bin/power_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_breakdown-3af1644f2a7c424b.rmeta: crates/bench/src/bin/power_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/power_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_breakdown-9a186aa396ffea5e.d: crates/bench/src/bin/power_breakdown.rs
+
+/root/repo/target/debug/deps/power_breakdown-9a186aa396ffea5e: crates/bench/src/bin/power_breakdown.rs
+
+crates/bench/src/bin/power_breakdown.rs:

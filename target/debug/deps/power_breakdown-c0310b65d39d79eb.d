@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_breakdown-c0310b65d39d79eb.d: crates/bench/src/bin/power_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_breakdown-c0310b65d39d79eb.rmeta: crates/bench/src/bin/power_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/power_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

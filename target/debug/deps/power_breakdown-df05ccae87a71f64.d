@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_breakdown-df05ccae87a71f64.d: crates/bench/src/bin/power_breakdown.rs
+
+/root/repo/target/debug/deps/power_breakdown-df05ccae87a71f64: crates/bench/src/bin/power_breakdown.rs
+
+crates/bench/src/bin/power_breakdown.rs:

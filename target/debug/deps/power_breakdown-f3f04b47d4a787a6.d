@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_breakdown-f3f04b47d4a787a6.d: crates/bench/src/bin/power_breakdown.rs
+
+/root/repo/target/debug/deps/power_breakdown-f3f04b47d4a787a6: crates/bench/src/bin/power_breakdown.rs
+
+crates/bench/src/bin/power_breakdown.rs:

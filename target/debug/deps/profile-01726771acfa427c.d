@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-01726771acfa427c.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-01726771acfa427c: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

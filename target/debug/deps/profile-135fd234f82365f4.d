@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile-135fd234f82365f4.d: crates/bench/src/bin/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile-135fd234f82365f4.rmeta: crates/bench/src/bin/profile.rs Cargo.toml
+
+crates/bench/src/bin/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-18acb430eff4087c.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-18acb430eff4087c: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

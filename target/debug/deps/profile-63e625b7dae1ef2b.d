@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-63e625b7dae1ef2b.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-63e625b7dae1ef2b: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8dffade1780c7b22.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8dffade1780c7b22: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

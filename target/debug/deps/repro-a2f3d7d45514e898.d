@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a2f3d7d45514e898.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a2f3d7d45514e898: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a62a5aaffd5aef07.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a62a5aaffd5aef07: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-85187a51de4fe79d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-85187a51de4fe79d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d7ab004b0f094dbc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d7ab004b0f094dbc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5b40881f513ffc8d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5b40881f513ffc8d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

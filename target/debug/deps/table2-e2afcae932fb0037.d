@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e2afcae932fb0037.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e2afcae932fb0037: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

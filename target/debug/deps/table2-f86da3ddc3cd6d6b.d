@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f86da3ddc3cd6d6b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f86da3ddc3cd6d6b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdr-60bbf14c3b1630a6.d: crates/bench/src/bin/xdr.rs
+
+/root/repo/target/debug/deps/xdr-60bbf14c3b1630a6: crates/bench/src/bin/xdr.rs
+
+crates/bench/src/bin/xdr.rs:

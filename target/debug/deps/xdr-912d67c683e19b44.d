@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xdr-912d67c683e19b44.d: crates/bench/src/bin/xdr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdr-912d67c683e19b44.rmeta: crates/bench/src/bin/xdr.rs Cargo.toml
+
+crates/bench/src/bin/xdr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

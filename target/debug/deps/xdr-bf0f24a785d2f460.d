@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdr-bf0f24a785d2f460.d: crates/bench/src/bin/xdr.rs
+
+/root/repo/target/debug/deps/xdr-bf0f24a785d2f460: crates/bench/src/bin/xdr.rs
+
+crates/bench/src/bin/xdr.rs:

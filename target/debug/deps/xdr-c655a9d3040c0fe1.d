@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdr-c655a9d3040c0fe1.d: crates/bench/src/bin/xdr.rs
+
+/root/repo/target/debug/deps/xdr-c655a9d3040c0fe1: crates/bench/src/bin/xdr.rs
+
+crates/bench/src/bin/xdr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/channel_clusters-5a17c32bdf24efe3.d: examples/channel_clusters.rs
+
+/root/repo/target/debug/examples/channel_clusters-5a17c32bdf24efe3: examples/channel_clusters.rs
+
+examples/channel_clusters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/channel_clusters-b6dd1fdd4929680c.d: examples/channel_clusters.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchannel_clusters-b6dd1fdd4929680c.rmeta: examples/channel_clusters.rs Cargo.toml
+
+examples/channel_clusters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_use_case-82295264efc739d7.d: examples/custom_use_case.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_use_case-82295264efc739d7.rmeta: examples/custom_use_case.rs Cargo.toml
+
+examples/custom_use_case.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_use_case-f2faae0a9512c6fe.d: examples/custom_use_case.rs
+
+/root/repo/target/debug/examples/custom_use_case-f2faae0a9512c6fe: examples/custom_use_case.rs
+
+examples/custom_use_case.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_sweep-32920f54c6f6fef4.d: crates/sweep/examples/dbg_sweep.rs
+
+/root/repo/target/debug/examples/dbg_sweep-32920f54c6f6fef4: crates/sweep/examples/dbg_sweep.rs
+
+crates/sweep/examples/dbg_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/event_driven-a86e4dffea5c45f1.d: examples/event_driven.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevent_driven-a86e4dffea5c45f1.rmeta: examples/event_driven.rs Cargo.toml
+
+examples/event_driven.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

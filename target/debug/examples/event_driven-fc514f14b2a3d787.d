@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_driven-fc514f14b2a3d787.d: examples/event_driven.rs
+
+/root/repo/target/debug/examples/event_driven-fc514f14b2a3d787: examples/event_driven.rs
+
+examples/event_driven.rs:

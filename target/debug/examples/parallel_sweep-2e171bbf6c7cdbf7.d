@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_sweep-2e171bbf6c7cdbf7.d: examples/parallel_sweep.rs
+
+/root/repo/target/debug/examples/parallel_sweep-2e171bbf6c7cdbf7: examples/parallel_sweep.rs
+
+examples/parallel_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_sweep-d4f2d79e65c59a67.d: examples/parallel_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_sweep-d4f2d79e65c59a67.rmeta: examples/parallel_sweep.rs Cargo.toml
+
+examples/parallel_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_budget-78f362c3d5f5bc80.d: examples/power_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_budget-78f362c3d5f5bc80.rmeta: examples/power_budget.rs Cargo.toml
+
+examples/power_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

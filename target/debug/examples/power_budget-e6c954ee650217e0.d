@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget-e6c954ee650217e0.d: examples/power_budget.rs
+
+/root/repo/target/debug/examples/power_budget-e6c954ee650217e0: examples/power_budget.rs
+
+examples/power_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cf8961d6fb0066f1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cf8961d6fb0066f1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mcm-44237933b2c6cd35.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mcm-44237933b2c6cd35: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

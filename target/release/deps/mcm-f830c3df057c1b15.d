@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcm-f830c3df057c1b15.d: src/lib.rs
+
+/root/repo/target/release/deps/libmcm-f830c3df057c1b15.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmcm-f830c3df057c1b15.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,16 +1,18 @@
-/root/repo/target/release/deps/mcm_core-1378bfda1adabea2.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
+/root/repo/target/release/deps/mcm_core-1378bfda1adabea2.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/builder.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/runner.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
 
-/root/repo/target/release/deps/libmcm_core-1378bfda1adabea2.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
+/root/repo/target/release/deps/libmcm_core-1378bfda1adabea2.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/builder.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/runner.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
 
-/root/repo/target/release/deps/libmcm_core-1378bfda1adabea2.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
+/root/repo/target/release/deps/libmcm_core-1378bfda1adabea2.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/builder.rs crates/core/src/charts.rs crates/core/src/error.rs crates/core/src/eventsim.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/profile.rs crates/core/src/runner.rs crates/core/src/steady.rs crates/core/src/tracerun.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
+crates/core/src/builder.rs:
 crates/core/src/charts.rs:
 crates/core/src/error.rs:
 crates/core/src/eventsim.rs:
 crates/core/src/experiment.rs:
 crates/core/src/figures.rs:
 crates/core/src/profile.rs:
+crates/core/src/runner.rs:
 crates/core/src/steady.rs:
 crates/core/src/tracerun.rs:

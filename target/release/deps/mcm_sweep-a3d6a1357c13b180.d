@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcm_sweep-a3d6a1357c13b180.d: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/libmcm_sweep-a3d6a1357c13b180.rlib: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/libmcm_sweep-a3d6a1357c13b180.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cache.rs crates/sweep/src/engine.rs crates/sweep/src/error.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cache.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/error.rs:
+crates/sweep/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-87f2c24d814473d8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-87f2c24d814473d8.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-87f2c24d814473d8.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

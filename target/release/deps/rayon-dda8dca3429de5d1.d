@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-dda8dca3429de5d1.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-dda8dca3429de5d1.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-dda8dca3429de5d1.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

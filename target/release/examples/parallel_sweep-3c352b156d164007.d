@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_sweep-3c352b156d164007.d: examples/parallel_sweep.rs
+
+/root/repo/target/release/examples/parallel_sweep-3c352b156d164007: examples/parallel_sweep.rs
+
+examples/parallel_sweep.rs:

@@ -1,0 +1,345 @@
+//! Offline stand-in for `rayon`, vendored because this build environment has
+//! no network access to crates.io.
+//!
+//! Instead of rayon's work-stealing deque, this implements data parallelism
+//! with the simplest scheme that preserves rayon's observable contract for
+//! the subset this workspace uses: a fixed set of worker threads pulling
+//! items off a shared queue, with results written back by index so that
+//! collected output is always in input order (rayon's `IndexedParallelIterator`
+//! guarantee).
+//!
+//! Implemented subset:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] with [`ThreadPool::install`];
+//! * [`current_num_threads`], honouring `RAYON_NUM_THREADS` exactly like
+//!   rayon's global pool (`0` or unparseable falls back to the number of
+//!   available CPUs);
+//! * `prelude::*` with `into_par_iter()` on `Vec<T>` and `Range<usize>`,
+//!   `par_iter()` on slices, and `map(..).collect::<Vec<_>>()`.
+//!
+//! Differences from real rayon, all irrelevant to the callers here:
+//! `install` runs the closure on the calling thread (only the worker count
+//! is taken from the pool), nested parallelism does not steal across pools,
+//! and a panicking closure aborts the whole parallel call by propagating the
+//! first panic at join (rayon also propagates a panic, just not necessarily
+//! the first).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// Worker count of the innermost `ThreadPool::install`, if any.
+// Thread-local rather than global so concurrent tests with different pool
+// sizes do not interfere.
+thread_local! {
+    static INSTALLED_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn env_threads() -> Option<usize> {
+    let v = std::env::var("RAYON_NUM_THREADS").ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads the current scope's pool would use: the installed
+/// pool's size, else `RAYON_NUM_THREADS`, else the available CPU count.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    if installed > 0 {
+        return installed;
+    }
+    env_threads().unwrap_or_else(available_cpus)
+}
+
+/// Error building a [`ThreadPool`] (this stand-in never actually fails, the
+/// type exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count
+    /// (`RAYON_NUM_THREADS` or the available CPU count).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` means the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            env_threads().unwrap_or_else(available_cpus)
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A pool of a fixed number of worker threads. Workers are spawned per
+/// parallel call (scoped threads), not kept alive — per-call spawn cost is
+/// microseconds against the millisecond-scale jobs this workspace runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool as the ambient pool: parallel iterators
+    /// inside use this pool's thread count.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.get();
+            t.set(self.threads);
+            let result = op();
+            t.set(prev);
+            result
+        })
+    }
+}
+
+/// Runs `f` over `items` on `threads` workers, returning results in input
+/// order. The core primitive behind every parallel iterator here.
+fn run_ordered<I, R, F>(items: Vec<I>, threads: usize, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queue: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = queue[i].lock().unwrap().take().expect("item taken once");
+                let r = f(item);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+pub mod iter {
+    //! The parallel-iterator subset: `into_par_iter` on `Vec`/`Range<usize>`,
+    //! `par_iter` on slices, `map`, and `collect` into `Vec`.
+
+    use super::{current_num_threads, run_ordered};
+
+    /// Conversion into a parallel iterator (rayon's entry point).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Consumes `self` into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    /// Borrowing conversion (`par_iter()` on collections).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed element type.
+        type Item: Send + 'a;
+        /// Parallel iterator over references.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// A materialized parallel iterator (this stand-in holds the items).
+    #[derive(Debug)]
+    pub struct ParIter<I> {
+        items: Vec<I>,
+    }
+
+    impl<I: Send> ParIter<I> {
+        /// Maps each element through `f` (evaluated in parallel at collect).
+        pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+        where
+            R: Send,
+            F: Fn(I) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Collects the (unmapped) elements in order.
+        pub fn collect<C: FromParIter<I>>(self) -> C {
+            C::from_ordered_vec(self.items)
+        }
+    }
+
+    /// The result of [`ParIter::map`]; parallel execution happens on
+    /// `collect`.
+    #[derive(Debug)]
+    pub struct ParMap<I, F> {
+        items: Vec<I>,
+        f: F,
+    }
+
+    impl<I, R, F> ParMap<I, F>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        /// Runs the map on the ambient pool and collects results in input
+        /// order.
+        pub fn collect<C: FromParIter<R>>(self) -> C {
+            let threads = current_num_threads();
+            C::from_ordered_vec(run_ordered(self.items, threads, &self.f))
+        }
+    }
+
+    /// Collection targets for [`ParMap::collect`] (rayon's
+    /// `FromParallelIterator`, reduced to the ordered-vec case).
+    pub trait FromParIter<T> {
+        /// Builds the collection from in-order results.
+        fn from_ordered_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParIter<T> for Vec<T> {
+        fn from_ordered_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, like `rayon::prelude`.
+    pub use crate::iter::{FromParIter, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_install_controls_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_serially() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..8)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.iter().all(|&id| id == ids[0]));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        assert_eq!(data.len(), 3); // still usable
+    }
+
+    #[test]
+    fn parallel_execution_uses_multiple_threads() {
+        // With enough slow items, a 4-thread pool must touch >1 thread.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..16)
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(unique.len() > 1, "expected parallel execution");
+    }
+}
