@@ -3,8 +3,11 @@
 //! fed by master transactions that the Table II interleaving spreads over
 //! all channels.
 
+use std::sync::Arc;
+
 use mcm_ctrl::{AccessOp, ChannelReport, ChannelRequest, Controller, ControllerConfig};
 use mcm_dram::AddressMapping;
+use mcm_obs::{ChannelObs, Recorder};
 use mcm_sim::{ClockDomain, Frequency, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -127,6 +130,7 @@ pub struct MemorySubsystem {
     capacity_bytes: u64,
     bytes_read: u64,
     bytes_written: u64,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl MemorySubsystem {
@@ -172,7 +176,19 @@ impl MemorySubsystem {
             capacity_bytes,
             bytes_read: 0,
             bytes_written: 0,
+            recorder: None,
         })
+    }
+
+    /// Attaches an observability recorder to the whole subsystem: every
+    /// controller and device reports through a per-channel handle, and the
+    /// subsystem itself reports per-slice traffic and one span per master
+    /// transaction. Off by default (the disabled path is one branch).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        for (ch, ctrl) in self.controllers.iter_mut().enumerate() {
+            ctrl.set_obs(ChannelObs::new(Arc::clone(&recorder), ch as u32));
+        }
+        self.recorder = Some(recorder);
     }
 
     /// The interleaving in use.
@@ -258,12 +274,24 @@ impl MemorySubsystem {
                     channel: ch as u32,
                     source,
                 })?;
+            if let Some(rec) = &self.recorder {
+                let at_ps = self.clock.time_of_cycles(res.done_cycle).as_ps();
+                rec.record_bytes(ch as u32, txn.op == AccessOp::Write, len, at_ps);
+            }
             done = done.max(res.done_cycle);
             used += 1;
         }
         match txn.op {
             AccessOp::Read => self.bytes_read += txn.len,
             AccessOp::Write => self.bytes_written += txn.len,
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record_span(
+                "txn",
+                None,
+                self.clock.time_of_cycles(txn.arrival).as_ps(),
+                self.clock.time_of_cycles(done.max(txn.arrival)).as_ps(),
+            );
         }
         Ok(TransactionResult {
             done_cycle: done,
@@ -449,6 +477,62 @@ mod tests {
         assert!(rep.core_energy_pj > 0.0);
         assert!(rep.access_time > SimTime::ZERO);
         assert!(rep.achieved_bandwidth_bytes_per_s() > 0.0);
+    }
+
+    #[test]
+    fn recorder_agrees_with_simulator_statistics() {
+        use mcm_obs::StatsRecorder;
+        let mut m = mem(2);
+        let rec = Arc::new(StatsRecorder::new());
+        m.set_recorder(rec.clone());
+        m.submit(MasterTransaction {
+            op: AccessOp::Read,
+            addr: 0,
+            len: 4096,
+            arrival: 0,
+        })
+        .unwrap();
+        m.submit(MasterTransaction {
+            op: AccessOp::Write,
+            addr: 4096,
+            len: 1024,
+            arrival: 0,
+        })
+        .unwrap();
+        let sub = m.finish(1_000_000).unwrap();
+        let report = rec.report();
+        assert_eq!(report.channels.len(), 2);
+        for obs_ch in &report.channels {
+            let dev = m.controller(obs_ch.channel).unwrap().device().stats();
+            let ctrl = m.controller(obs_ch.channel).unwrap().stats();
+            assert_eq!(obs_ch.counters.commands.activates, dev.activates);
+            assert_eq!(obs_ch.counters.commands.reads, dev.reads);
+            assert_eq!(obs_ch.counters.commands.writes, dev.writes);
+            assert_eq!(obs_ch.counters.rows.hits, ctrl.row_hits);
+            assert_eq!(obs_ch.counters.rows.misses, ctrl.row_misses);
+            // Both transactions sliced onto both channels: two retired
+            // requests, each with a recorded latency.
+            assert_eq!(obs_ch.counters.requests, 2);
+            assert_eq!(obs_ch.latency_ps.count, 2);
+        }
+        let read: u64 = report.channels.iter().map(|c| c.counters.bytes_read).sum();
+        let written: u64 = report
+            .channels
+            .iter()
+            .map(|c| c.counters.bytes_written)
+            .sum();
+        assert_eq!(read, sub.bytes_read);
+        assert_eq!(written, sub.bytes_written);
+        // One span per master transaction, on the master track.
+        assert_eq!(report.spans.len(), 2);
+        assert!(report.spans.iter().all(|s| s.channel.is_none()));
+        // Observed energy matches the subsystem's core energy.
+        let obs_pj: f64 = report.channels.iter().map(|c| c.energy.total_pj()).sum();
+        assert!(
+            (obs_pj - sub.core_energy_pj).abs() < 1e-6 * sub.core_energy_pj.max(1.0),
+            "obs {obs_pj} vs report {}",
+            sub.core_energy_pj
+        );
     }
 
     #[test]

@@ -79,6 +79,49 @@ pub enum Command {
     Check(RunOptions),
     /// Sweep a grid of configurations on the parallel engine.
     Sweep(SweepArgs),
+    /// Run one instrumented experiment and print its observability report.
+    Report(ReportArgs),
+}
+
+/// What `mcm report` should emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportOutput {
+    /// Human-readable counters, percentiles, kernel and span stats.
+    #[default]
+    Text,
+    /// The full observability report as JSON.
+    Json,
+    /// Per-channel counters and latency percentiles as CSV rows.
+    Csv,
+    /// Chrome `trace_event` JSON for Perfetto / `chrome://tracing`.
+    Trace,
+}
+
+/// Options of `mcm report`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// The configuration to instrument (accepts every `mcm run` flag).
+    pub options: RunOptions,
+    /// Timeline bucket width, microseconds.
+    pub timeline_bucket_us: u64,
+    /// Also print the raw latency-histogram buckets (text output only).
+    pub histogram: bool,
+    /// Cap on simulated operations (None = the whole frame).
+    pub op_limit: Option<u64>,
+    /// Export format.
+    pub output: ReportOutput,
+}
+
+impl Default for ReportArgs {
+    fn default() -> Self {
+        ReportArgs {
+            options: RunOptions::default(),
+            timeline_bucket_us: 1,
+            histogram: false,
+            op_limit: None,
+            output: ReportOutput::Text,
+        }
+    }
 }
 
 /// What `mcm sweep` should export.
@@ -461,6 +504,62 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             }
             Ok(Command::Sweep(a))
         }
+        "report" => {
+            // Extract the report-specific flags, pass the rest to the
+            // run-option parser.
+            let rest: Vec<&str> = it.collect();
+            let mut a = ReportArgs::default();
+            let mut filtered = Vec::new();
+            let mut i = 0;
+            let value = |rest: &[&'a str], i: usize, flag: &str| -> Result<&'a str, CliError> {
+                rest.get(i + 1)
+                    .copied()
+                    .ok_or_else(|| CliError(format!("{flag} needs a value")))
+            };
+            while i < rest.len() {
+                match rest[i] {
+                    "--timeline-bucket" => {
+                        let v = value(&rest, i, "--timeline-bucket")?;
+                        a.timeline_bucket_us = v.parse().map_err(|_| {
+                            CliError(format!("bad --timeline-bucket value '{v}' (microseconds)"))
+                        })?;
+                        if a.timeline_bucket_us == 0 {
+                            return Err(CliError("--timeline-bucket must be at least 1 µs".into()));
+                        }
+                        i += 2;
+                    }
+                    "--op-limit" => {
+                        let v = value(&rest, i, "--op-limit")?;
+                        a.op_limit = Some(
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad --op-limit value '{v}'")))?,
+                        );
+                        i += 2;
+                    }
+                    "--histogram" => {
+                        a.histogram = true;
+                        i += 1;
+                    }
+                    "--csv" => {
+                        a.output = ReportOutput::Csv;
+                        i += 1;
+                    }
+                    "--trace" => {
+                        a.output = ReportOutput::Trace;
+                        i += 1;
+                    }
+                    other => {
+                        filtered.push(other);
+                        i += 1;
+                    }
+                }
+            }
+            a.options = parse_run_options(filtered.into_iter())?;
+            if a.options.json && a.output == ReportOutput::Text {
+                a.output = ReportOutput::Json;
+            }
+            Ok(Command::Report(a))
+        }
         "steady" => {
             // Extract --frames N, pass the rest to the run-option parser.
             let rest: Vec<&str> = it.collect();
@@ -508,6 +607,8 @@ COMMANDS:
     fig5        Fig. 5   — power vs format (400 MHz)
     xdr         the XDR comparison
     run         run one experiment (see OPTIONS)
+    report      run one instrumented experiment and print counters,
+                latency percentiles and timelines (see REPORT OPTIONS)
     sweep       sweep a grid in parallel (see SWEEP OPTIONS)
     check       conformance-check a configuration (MCMxxx rules; --json for machines)
     headroom    maximum sustainable fps for a configuration
@@ -534,6 +635,15 @@ OPTIONS (run / headroom):
     --viewfinder                                       [recording]
     --verify    run the MCMxxx conformance checks too   [off]
     --json                                             [text]
+
+REPORT OPTIONS (accepts every run option, plus):
+    --timeline-bucket <us>  bandwidth/energy bucket width  [1]
+    --histogram             raw latency-histogram buckets  [percentiles only]
+    --op-limit <N>          cap simulated ops              [full frame]
+    --json                  full report as JSON            [text]
+    --csv                   per-channel counter rows       [text]
+    --trace                 Chrome trace_event JSON for Perfetto /
+                            chrome://tracing               [text]
 
 SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
     --formats <comma list of formats>                  [all five]
@@ -702,6 +812,56 @@ mod tests {
         assert!(a.progress);
         assert!(parse_args(["sweep", "--formats", "480i"]).is_err());
         assert!(parse_args(["sweep", "--channels", "two"]).is_err());
+    }
+
+    #[test]
+    fn report_defaults_and_knobs() {
+        let Command::Report(a) = parse_args(["report"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(a, ReportArgs::default());
+        assert_eq!(a.output, ReportOutput::Text);
+        assert_eq!(a.timeline_bucket_us, 1);
+
+        let Command::Report(a) = parse_args([
+            "report",
+            "--format",
+            "720p30",
+            "--channels",
+            "2",
+            "--timeline-bucket",
+            "50",
+            "--histogram",
+            "--op-limit",
+            "4000",
+            "--trace",
+        ])
+        .unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(a.options.point, HdOperatingPoint::Hd720p30);
+        assert_eq!(a.options.channels, 2);
+        assert_eq!(a.timeline_bucket_us, 50);
+        assert!(a.histogram);
+        assert_eq!(a.op_limit, Some(4000));
+        assert_eq!(a.output, ReportOutput::Trace);
+    }
+
+    #[test]
+    fn report_output_selection_and_errors() {
+        let Command::Report(a) = parse_args(["report", "--json"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(a.output, ReportOutput::Json);
+        let Command::Report(a) = parse_args(["report", "--csv"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(a.output, ReportOutput::Csv);
+
+        assert!(parse_args(["report", "--timeline-bucket"]).is_err());
+        assert!(parse_args(["report", "--timeline-bucket", "0"]).is_err());
+        assert!(parse_args(["report", "--op-limit", "many"]).is_err());
+        assert!(parse_args(["report", "--bogus"]).is_err());
     }
 
     #[test]

@@ -4,7 +4,9 @@ use mcm_core::{analysis, figures, CoreError, Experiment};
 use mcm_load::UseCase;
 use mcm_sweep::ParallelRunner;
 
-use crate::args::{CliError, Command, RunOptions, SweepArgs, SweepOutput, USAGE};
+use crate::args::{
+    CliError, Command, ReportArgs, ReportOutput, RunOptions, SweepArgs, SweepOutput, USAGE,
+};
 
 fn build_experiment(o: &RunOptions) -> Experiment {
     let mut exp = Experiment::paper(o.point, o.channels, o.clock_mhz);
@@ -218,7 +220,71 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::TraceRun { options, input } => trace_run(options, input),
         Command::Check(o) => run_check(o),
         Command::Sweep(a) => run_sweep_cmd(a),
+        Command::Report(a) => run_report(a),
     }
+}
+
+/// `mcm report`: run one experiment with a [`mcm_obs::StatsRecorder`]
+/// attached and print what it saw — per-channel command counters, latency
+/// and queue-depth percentiles, bandwidth/energy timelines, kernel stats
+/// and spans — as text, JSON, CSV or Chrome `trace_event` JSON.
+fn run_report(a: &ReportArgs) -> Result<String, CliError> {
+    use mcm_obs::{ObsConfig, StatsRecorder};
+
+    let exp = build_experiment(&a.options);
+    let config = ObsConfig {
+        timeline_bucket_ps: a.timeline_bucket_us * 1_000_000,
+        ..ObsConfig::default()
+    };
+    let rec = std::sync::Arc::new(StatsRecorder::with_config(config));
+    let run = mcm_core::RunOptions {
+        op_limit: a.op_limit,
+        ..mcm_core::RunOptions::default()
+    }
+    .with_recorder(rec.clone());
+    exp.run_with(&run)
+        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+
+    let report = rec.report();
+    Ok(match a.output {
+        ReportOutput::Json => report.to_json() + "\n",
+        ReportOutput::Csv => report.to_csv(),
+        ReportOutput::Trace => report.to_chrome_trace() + "\n",
+        ReportOutput::Text => {
+            let o = &a.options;
+            let mut out = format!(
+                "observed {} on {} ch x 32-bit mobile DDR @ {} MHz ({}, {}, {})\n\n",
+                o.point, o.channels, o.clock_mhz, o.mapping, o.page, o.power_down
+            );
+            out += &report.render_text();
+            if a.histogram {
+                for ch in &report.channels {
+                    out += &render_latency_buckets(ch.channel, &rec.latency_buckets(ch.channel));
+                }
+            }
+            out
+        }
+    })
+}
+
+/// The raw latency distribution behind the percentile summary: one row per
+/// non-empty log bucket with a `#` bar scaled to the fullest bucket.
+fn render_latency_buckets(channel: u32, buckets: &[(u64, u64, u64)]) -> String {
+    if buckets.is_empty() {
+        return String::new();
+    }
+    let peak = buckets.iter().map(|&(_, _, n)| n).max().unwrap_or(1);
+    let mut out = format!("\nlatency histogram, channel {channel} (ns):\n");
+    for &(lo, hi, n) in buckets {
+        let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+        out += &format!(
+            "  [{:>9.1}, {:>9.1}]  {:>8}  {bar}\n",
+            lo as f64 / 1e3,
+            hi as f64 / 1e3,
+            n
+        );
+    }
+    out
 }
 
 /// `mcm sweep`: expand the requested grid, execute it on the parallel
@@ -720,6 +786,91 @@ mod sweep_cli_tests {
         let warm = run();
         assert!(warm.contains("0 simulated, 2 cached"), "{warm}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod report_cli_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    const FAST: &[&str] = &[
+        "report",
+        "--format",
+        "720p30",
+        "--channels",
+        "2",
+        "--op-limit",
+        "2000",
+    ];
+
+    fn run(extra: &[&str]) -> String {
+        let mut args: Vec<&str> = FAST.to_vec();
+        args.extend_from_slice(extra);
+        execute(&parse_args(args).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn text_report_shows_counters_and_percentiles() {
+        let out = run(&[]);
+        assert!(out.contains("observed 1280x720@30"), "{out}");
+        assert!(out.contains("on 2 ch"), "{out}");
+        assert!(out.contains("channel 0"), "{out}");
+        assert!(out.contains("channel 1"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        // The direct-call path never touches the event kernel.
+        assert!(!out.contains("kernel:"), "{out}");
+        assert!(out.contains("gauge power.total_mw"), "{out}");
+    }
+
+    #[test]
+    fn histogram_flag_adds_bucket_rows() {
+        let plain = run(&[]);
+        assert!(!plain.contains("latency histogram"), "{plain}");
+        let out = run(&["--histogram"]);
+        assert!(out.contains("latency histogram, channel 0 (ns):"), "{out}");
+        assert!(out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn json_report_is_parseable_with_channels() {
+        let out = run(&["--json"]);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        let channels = v["channels"].as_array().unwrap();
+        assert_eq!(channels.len(), 2);
+        // The 2000-op prefix is all capture writes, so reads may be zero.
+        assert!(channels[0]["counters"]["bytes_written"].as_u64().unwrap() > 0);
+        assert!(channels[0]["counters"]["requests"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn csv_report_has_one_row_per_channel() {
+        let out = run(&["--csv"]);
+        let mut lines = out.lines();
+        assert!(lines.next().unwrap().starts_with("channel,"));
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn trace_report_is_chrome_trace_json() {
+        let out = run(&["--trace"]);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| e["ph"] == "X"));
+    }
+
+    #[test]
+    fn timeline_bucket_flag_coarsens_the_timeline() {
+        let fine = run(&["--json"]);
+        let coarse = run(&["--timeline-bucket", "1000", "--json"]);
+        let bucket = |s: &str| {
+            serde_json::from_str::<serde_json::Value>(s).unwrap()["timeline_bucket_ps"]
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(bucket(&fine), 1_000_000);
+        assert_eq!(bucket(&coarse), 1_000_000_000);
     }
 }
 

@@ -174,6 +174,17 @@ pub struct EventDrivenResult {
 /// `window == u32::MAX` approximates the direct-call flood; `window == 1`
 /// is a fully blocking master.
 pub fn run_event_driven(exp: &Experiment, window: u32) -> Result<EventDrivenResult, CoreError> {
+    run_event_driven_observed(exp, window, None)
+}
+
+/// [`run_event_driven`] with an optional instrumentation sink: the kernel
+/// reports every fired event ([`mcm_obs::Recorder::record_sim_event`]) and
+/// each channel controller reports commands, row outcomes, and latencies.
+pub fn run_event_driven_observed(
+    exp: &Experiment,
+    window: u32,
+    recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
+) -> Result<EventDrivenResult, CoreError> {
     if window == 0 {
         return Err(CoreError::BadParam {
             reason: "outstanding-transaction window must be non-zero".into(),
@@ -202,14 +213,20 @@ pub fn run_event_driven(exp: &Experiment, window: u32) -> Result<EventDrivenResu
     let total_ops = ops.len() as u64;
 
     let mut sim: Simulation<Msg> = Simulation::new();
+    if let Some(rec) = &recorder {
+        sim.set_recorder(rec.clone());
+    }
     let mut channel_ids = Vec::with_capacity(channels as usize);
-    for _ in 0..channels {
-        let ctrl = Controller::new(&exp.memory.controller).map_err(|e| {
+    for ch in 0..channels {
+        let mut ctrl = Controller::new(&exp.memory.controller).map_err(|e| {
             CoreError::Memory(mcm_channel::ChannelError::Ctrl {
                 channel: 0,
                 source: e,
             })
         })?;
+        if let Some(rec) = &recorder {
+            ctrl.set_obs(mcm_obs::ChannelObs::new(rec.clone(), ch));
+        }
         channel_ids.push(sim.add_component(ChannelComp {
             ctrl,
             master: None,
@@ -327,6 +344,25 @@ mod tests {
     #[test]
     fn window_zero_is_rejected() {
         assert!(run_event_driven(&exp(1), 0).is_err());
+    }
+
+    #[test]
+    fn observed_event_run_reports_kernel_and_channels() {
+        let e = exp(2);
+        let rec = std::sync::Arc::new(mcm_obs::StatsRecorder::new());
+        let result = run_event_driven_observed(&e, 8, Some(rec.clone())).unwrap();
+        let report = rec.report();
+        // Every kernel event was recorded, and both channels retired work.
+        assert_eq!(report.kernel.events, result.events);
+        assert_eq!(report.channels.len(), 2);
+        for ch in &report.channels {
+            assert!(ch.counters.requests > 0);
+            assert!(ch.counters.commands.reads + ch.counters.commands.writes > 0);
+        }
+        // Observation must not perturb the simulation itself.
+        let bare = run_event_driven(&e, 8).unwrap();
+        assert_eq!(bare.access_time, result.access_time);
+        assert_eq!(bare.events, result.events);
     }
 
     #[test]

@@ -124,7 +124,29 @@ pub struct Experiment {
 /// This is the one knob set for every run entry point; the historical
 /// `run` / `run_verified` / `run_steady_state` trio are thin wrappers over
 /// [`Experiment::run_with`] with the corresponding options.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// # Examples
+///
+/// Observing a run with a [`StatsRecorder`](mcm_obs::StatsRecorder):
+///
+/// ```
+/// use std::sync::Arc;
+/// use mcm_core::{Experiment, RunOptions};
+/// use mcm_load::HdOperatingPoint;
+/// use mcm_obs::StatsRecorder;
+///
+/// let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+/// exp.op_limit = Some(2_000);
+///
+/// let recorder = Arc::new(StatsRecorder::new());
+/// let options = RunOptions::default().with_recorder(recorder.clone());
+/// exp.run_with(&options).unwrap();
+///
+/// let report = recorder.report();
+/// assert_eq!(report.channels.len(), 2);
+/// assert!(report.channels[0].counters.requests > 0);
+/// ```
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Run the `mcm-verify` conformance checks alongside the simulation
     /// (single-frame runs only).
@@ -136,6 +158,52 @@ pub struct RunOptions {
     /// Event budget: caps the number of simulated load operations,
     /// overriding [`Experiment::op_limit`] when set.
     pub op_limit: Option<u64>,
+    /// Instrumentation sink every simulated layer reports through; `None`
+    /// (the default) skips all recording at the cost of one branch per
+    /// event. Excluded from equality and serialization, so attaching a
+    /// recorder never perturbs sweep cache fingerprints.
+    pub recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
+}
+
+// The recorder is an attachment, not part of the run's identity: equality,
+// hashing-adjacent uses (sweep cache fingerprints), and serialization all
+// see only the three behavioural knobs.
+impl PartialEq for RunOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.verify == other.verify
+            && self.frames == other.frames
+            && self.op_limit == other.op_limit
+    }
+}
+
+impl Eq for RunOptions {}
+
+impl Serialize for RunOptions {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("verify".to_string(), self.verify.to_value());
+        m.insert("frames".to_string(), self.frames.to_value());
+        m.insert("op_limit".to_string(), self.op_limit.to_value());
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for RunOptions {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for RunOptions"))?;
+        let field = |name: &str| {
+            obj.get(name)
+                .ok_or_else(|| serde::Error::missing_field(name))
+        };
+        Ok(RunOptions {
+            verify: Deserialize::from_value(field("verify")?)?,
+            frames: Deserialize::from_value(field("frames")?)?,
+            op_limit: Deserialize::from_value(field("op_limit")?)?,
+            recorder: None,
+        })
+    }
 }
 
 impl Default for RunOptions {
@@ -144,6 +212,7 @@ impl Default for RunOptions {
             verify: false,
             frames: 1,
             op_limit: None,
+            recorder: None,
         }
     }
 }
@@ -163,6 +232,14 @@ impl RunOptions {
             frames,
             ..RunOptions::default()
         }
+    }
+
+    /// Attaches `recorder` as the run's instrumentation sink (builder
+    /// style). Pass an `Arc<`[`StatsRecorder`](mcm_obs::StatsRecorder)`>`
+    /// and query it after the run.
+    pub fn with_recorder(mut self, recorder: std::sync::Arc<dyn mcm_obs::Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 }
 
@@ -299,17 +376,23 @@ impl Experiment {
             std::borrow::Cow::Borrowed(self)
         };
         if options.frames > 1 {
-            return crate::steady::run_steady_state(&exp, options.frames).map(RunOutcome::Steady);
+            return crate::steady::run_steady_state_observed(
+                &exp,
+                options.frames,
+                options.recorder.clone(),
+            )
+            .map(RunOutcome::Steady);
         }
         if options.verify {
             let mut findings = lint_all(&exp.use_case, &exp.memory, &exp.interface);
-            let result = exp.run_inner(Some(&mut findings))?;
+            let result = exp.run_inner(Some(&mut findings), options.recorder.clone())?;
             return Ok(RunOutcome::Verified {
                 result,
                 report: findings,
             });
         }
-        exp.run_inner(None).map(RunOutcome::Frame)
+        exp.run_inner(None, options.recorder.clone())
+            .map(RunOutcome::Frame)
     }
 
     /// Runs one frame and evaluates it.
@@ -335,10 +418,17 @@ impl Experiment {
         }
     }
 
-    fn run_inner(&self, verify: Option<&mut Report>) -> Result<FrameResult, CoreError> {
+    fn run_inner(
+        &self,
+        verify: Option<&mut Report>,
+        recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
+    ) -> Result<FrameResult, CoreError> {
         let mut memory = MemorySubsystem::new(&self.memory)?;
         if verify.is_some() {
             memory.enable_trace();
+        }
+        if let Some(rec) = &recorder {
+            memory.set_recorder(rec.clone());
         }
         // Bank-staggered placement: concurrently streamed buffers land in
         // different banks, as any locality-aware allocator arranges.
@@ -442,14 +532,19 @@ impl Experiment {
         let interface_mw = self
             .interface
             .total_power_mw(memory.clock().frequency(), memory.channels());
+        let power = PowerSummary {
+            core_mw,
+            interface_mw,
+        };
+        if let Some(rec) = &recorder {
+            power.observe(rec.as_ref());
+            rec.record_span("frame", None, 0, report.access_time.as_ps());
+        }
         Ok(FrameResult {
             access_time,
             frame_budget,
             verdict,
-            power: PowerSummary {
-                core_mw,
-                interface_mw,
-            },
+            power,
             planned_bytes,
             simulated_bytes,
             peak_bandwidth_bytes_per_s: memory.peak_bandwidth_bytes_per_s(),
@@ -784,13 +879,75 @@ mod run_with_tests {
         let opts = RunOptions {
             verify: true,
             frames: 2,
-            op_limit: None,
+            ..RunOptions::default()
         };
         assert!(matches!(e.run_with(&opts), Err(CoreError::BadParam { .. })));
         assert!(matches!(
             e.run_with(&RunOptions::steady(0)),
             Err(CoreError::BadParam { .. })
         ));
+    }
+
+    #[test]
+    fn recorder_is_invisible_to_equality_and_serde() {
+        let plain = RunOptions::default();
+        let observed =
+            RunOptions::default().with_recorder(std::sync::Arc::new(mcm_obs::NullRecorder));
+        // The recorder is an attachment: same run identity, same JSON.
+        assert_eq!(plain, observed);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&observed).unwrap()
+        );
+        let back: RunOptions = serde_json::from_str(&serde_json::to_string(&observed).unwrap())
+            .expect("RunOptions round-trips");
+        assert!(back.recorder.is_none());
+        assert_eq!(back, observed);
+    }
+
+    #[test]
+    fn attached_recorder_sees_the_run() {
+        let e = quick();
+        let rec = std::sync::Arc::new(mcm_obs::StatsRecorder::new());
+        let outcome = e
+            .run_with(&RunOptions::default().with_recorder(rec.clone()))
+            .unwrap();
+        let frame = outcome.frame().unwrap();
+        let report = rec.report();
+        assert_eq!(report.channels.len(), 4);
+        let obs_bytes: u64 = report
+            .channels
+            .iter()
+            .map(|c| c.counters.bytes_read + c.counters.bytes_written)
+            .sum();
+        assert_eq!(
+            obs_bytes,
+            frame.report.bytes_read + frame.report.bytes_written
+        );
+        // The power gauges and the frame span were published.
+        assert!(report.gauges.iter().any(|g| g.name == "power.total_mw"));
+        let span = report.spans.iter().find(|s| s.name == "frame").unwrap();
+        assert_eq!(span.end_ps, frame.report.access_time.as_ps());
+    }
+
+    #[test]
+    fn steady_run_observes_each_frame() {
+        let e = quick();
+        let rec = std::sync::Arc::new(mcm_obs::StatsRecorder::new());
+        let outcome = e
+            .run_with(&RunOptions::steady(3).with_recorder(rec.clone()))
+            .unwrap();
+        let steady = outcome.steady().unwrap();
+        let report = rec.report();
+        let frame_spans = report.spans.iter().filter(|s| s.name == "frame").count();
+        assert_eq!(frame_spans, 3);
+        assert!(report.gauges.iter().any(|g| g.name == "power.core_mw"));
+        let obs_bytes: u64 = report
+            .channels
+            .iter()
+            .map(|c| c.counters.bytes_read + c.counters.bytes_written)
+            .sum();
+        assert_eq!(obs_bytes, steady.bytes);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! assert!(result.access_time < result.frame_budget);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;

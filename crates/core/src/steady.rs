@@ -75,6 +75,16 @@ fn rotated_layout(base: &FrameLayout, frame: usize) -> FrameLayout {
 /// Runs `frames` consecutive frames of `exp` against one persistent memory
 /// subsystem.
 pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResult, CoreError> {
+    run_steady_state_observed(exp, frames, None)
+}
+
+/// [`run_steady_state`] with an optional instrumentation sink attached to
+/// the subsystem; each frame is additionally captured as a `"frame"` span.
+pub fn run_steady_state_observed(
+    exp: &Experiment,
+    frames: u32,
+    recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
+) -> Result<SteadyStateResult, CoreError> {
     exp.validate()?;
     if frames == 0 {
         return Err(CoreError::BadParam {
@@ -82,6 +92,9 @@ pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResu
         });
     }
     let mut memory = MemorySubsystem::new(&exp.memory)?;
+    if let Some(rec) = &recorder {
+        memory.set_recorder(rec.clone());
+    }
     let geometry = exp.memory.controller.cluster.geometry;
     let base_layout = FrameLayout::with_options(
         &exp.use_case,
@@ -132,6 +145,10 @@ pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResu
         } else {
             RealTimeVerdict::Meets
         };
+        if let Some(rec) = &recorder {
+            let start_ps = memory.clock().time_of_cycles(start).as_ps();
+            rec.record_span("frame", None, start_ps, start_ps + access_time.as_ps());
+        }
         samples.push(FrameSample {
             start_cycle: start,
             access_time,
@@ -147,12 +164,16 @@ pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResu
     let interface_mw = exp
         .interface
         .total_power_mw(memory.clock().frequency(), memory.channels());
+    let power = PowerSummary {
+        core_mw,
+        interface_mw,
+    };
+    if let Some(rec) = &recorder {
+        power.observe(rec.as_ref());
+    }
     Ok(SteadyStateResult {
         frames: samples,
-        power: PowerSummary {
-            core_mw,
-            interface_mw,
-        },
+        power,
         bytes,
     })
 }

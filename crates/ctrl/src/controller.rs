@@ -15,6 +15,7 @@
 //! BRC on sequential traffic (see `mcm_dram::AddressMapping`).
 
 use mcm_dram::{AddressDecoder, BankCluster, ClusterStats, DramCommand, IssueOutcome};
+use mcm_obs::{ChannelObs, RowOutcome};
 use mcm_sim::stats::LatencyHistogram;
 
 use crate::config::{
@@ -130,6 +131,7 @@ pub struct Controller {
     pending_writes: std::collections::VecDeque<u64>,
     stats: CtrlStats,
     latency: LatencyHistogram,
+    obs: Option<ChannelObs>,
 }
 
 impl Controller {
@@ -157,7 +159,16 @@ impl Controller {
             pending_writes: std::collections::VecDeque::new(),
             stats: CtrlStats::default(),
             latency: LatencyHistogram::new(),
+            obs: None,
         })
+    }
+
+    /// Attaches an observability handle: row-buffer outcomes, request
+    /// latencies and queue depths report through it, and the attached
+    /// device reports every command and energy interval. Off by default.
+    pub fn set_obs(&mut self, obs: ChannelObs) {
+        self.device.set_obs(obs.clone());
+        self.obs = Some(obs);
     }
 
     /// The attached device.
@@ -322,11 +333,19 @@ impl Controller {
             first_cmd = first_cmd.min(c.saturating_sub(self.device.timing().t_rfc));
         }
         let d = self.decoder.decode(burst_addr)?;
-        match self.device.open_row(d.bank)? {
-            Some(row) if row == d.row => {
+        let outcome = match self.device.open_row(d.bank)? {
+            Some(row) if row == d.row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        };
+        if let Some(obs) = &self.obs {
+            obs.row_outcome(d.bank as u8, outcome);
+        }
+        match outcome {
+            RowOutcome::Hit => {
                 self.stats.row_hits += 1;
             }
-            Some(_) => {
+            RowOutcome::Conflict => {
                 self.stats.row_conflicts += 1;
                 let (c, _) = self.issue(DramCommand::Precharge { bank: d.bank }, not_before)?;
                 first_cmd = first_cmd.min(c);
@@ -339,7 +358,7 @@ impl Controller {
                 )?;
                 first_cmd = first_cmd.min(c);
             }
-            None => {
+            RowOutcome::Miss => {
                 self.stats.row_misses += 1;
                 let (c, _) = self.issue(
                     DramCommand::Activate {
@@ -448,9 +467,13 @@ impl Controller {
                 // as the buffer accepts it.
                 let done_at_master = req.arrival + self.interconnect.response_ck;
                 let clock = self.device.timing().clock;
-                self.latency.record(
-                    clock.time_of_cycles(done_at_master) - clock.time_of_cycles(req.arrival),
-                );
+                let latency =
+                    clock.time_of_cycles(done_at_master) - clock.time_of_cycles(req.arrival);
+                self.latency.record(latency);
+                if let Some(obs) = &self.obs {
+                    obs.latency(latency.as_ps());
+                    obs.queue_depth(self.pending_writes.len() as u64);
+                }
                 return Ok(AccessResult {
                     first_cmd_cycle: req.arrival,
                     done_cycle: done_at_master,
@@ -492,6 +515,10 @@ impl Controller {
         let clock = self.device.timing().clock;
         let latency = clock.time_of_cycles(done_at_master) - clock.time_of_cycles(req.arrival);
         self.latency.record(latency);
+        if let Some(obs) = &self.obs {
+            obs.latency(latency.as_ps());
+            obs.queue_depth(self.pending_writes.len() as u64);
+        }
         Ok(AccessResult {
             first_cmd_cycle: first_cmd,
             done_cycle: done_at_master,

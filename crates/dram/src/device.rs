@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use mcm_obs::{ChannelObs, CommandKind};
 use mcm_sim::{Frequency, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +136,24 @@ pub struct BankCluster {
     stats: ClusterStats,
     last_state_cycle: u64,
     trace: Option<Vec<crate::validate::TracedCommand>>,
+    obs: Option<ChannelObs>,
+}
+
+/// Observability classification of a command: its [`CommandKind`] plus the
+/// bank it addresses (0 for rank-wide commands).
+fn obs_kind_of(cmd: DramCommand) -> (CommandKind, u8) {
+    match cmd {
+        DramCommand::Activate { bank, .. } => (CommandKind::Activate, bank as u8),
+        DramCommand::Read { bank, .. } => (CommandKind::Read, bank as u8),
+        DramCommand::Write { bank, .. } => (CommandKind::Write, bank as u8),
+        DramCommand::Precharge { bank } => (CommandKind::Precharge, bank as u8),
+        DramCommand::PrechargeAll => (CommandKind::PrechargeAll, 0),
+        DramCommand::Refresh => (CommandKind::Refresh, 0),
+        DramCommand::PowerDownEnter => (CommandKind::PowerDownEnter, 0),
+        DramCommand::PowerDownExit => (CommandKind::PowerDownExit, 0),
+        DramCommand::SelfRefreshEnter => (CommandKind::SelfRefreshEnter, 0),
+        DramCommand::SelfRefreshExit => (CommandKind::SelfRefreshExit, 0),
+    }
 }
 
 impl BankCluster {
@@ -166,7 +185,15 @@ impl BankCluster {
             stats: ClusterStats::default(),
             last_state_cycle: 0,
             trace: None,
+            obs: None,
         })
+    }
+
+    /// Attaches an observability handle: every committed command, per-event
+    /// energy and closed background-energy interval is reported through it.
+    /// Off by default; the disabled path costs one branch per command.
+    pub fn set_obs(&mut self, obs: ChannelObs) {
+        self.obs = Some(obs);
     }
 
     /// Starts recording every committed command (for validation/debugging).
@@ -459,7 +486,28 @@ impl BankCluster {
         } else {
             BackgroundState::from_flags(self.any_bank_open(), self.powered_down)
         };
-        self.energy.switch_state(state, now);
+        if let Some(obs) = self.obs.clone() {
+            let at_ps = now.as_ps();
+            let (kind, bank) = obs_kind_of(cmd);
+            obs.command(bank, kind, at_ps);
+            let model = self.energy.model();
+            let event_pj = match kind {
+                CommandKind::Activate => model.e_act_pj,
+                CommandKind::Read => model.e_rd_burst_pj,
+                CommandKind::Write => model.e_wr_burst_pj,
+                CommandKind::Refresh => model.e_ref_pj,
+                _ => 0.0,
+            };
+            if event_pj != 0.0 {
+                obs.energy(kind, event_pj, at_ps);
+            }
+            let (from_ps, to_ps, bg_pj) = self.energy.switch_state_traced(state, now);
+            if to_ps > from_ps {
+                obs.background(from_ps, to_ps, bg_pj);
+            }
+        } else {
+            self.energy.switch_state(state, now);
+        }
         Ok(outcome)
     }
 
@@ -473,15 +521,29 @@ impl BankCluster {
         self.timing.clock.frequency()
     }
 
+    /// Reports the background-energy interval `close_traced` just closed,
+    /// so the tail of a run (often a long power-down stretch) shows up on
+    /// observability timelines instead of vanishing at the horizon.
+    fn emit_tail_background(&mut self, t: SimTime) {
+        if let Some(obs) = self.obs.clone() {
+            let (from_ps, to_ps, bg_pj) = self.energy.close_traced(t);
+            if to_ps > from_ps {
+                obs.background(from_ps, to_ps, bg_pj);
+            }
+        }
+    }
+
     /// Total core energy up to `end_cycle`, picojoules.
     pub fn total_energy_pj(&mut self, end_cycle: u64) -> f64 {
         let t = self.time_of_cycle(end_cycle);
+        self.emit_tail_background(t);
         self.energy.total_pj(t)
     }
 
     /// Background-only energy up to `end_cycle`, picojoules.
     pub fn background_energy_pj(&mut self, end_cycle: u64) -> f64 {
         let t = self.time_of_cycle(end_cycle);
+        self.emit_tail_background(t);
         self.energy.background_pj(t)
     }
 

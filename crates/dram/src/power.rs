@@ -317,6 +317,30 @@ impl EnergyAccount {
         self.state = state;
     }
 
+    /// Like [`EnergyAccount::switch_state`], but returns the background
+    /// interval it closed as `(from_ps, to_ps, delta_pj)` so callers can
+    /// attribute the energy elsewhere (e.g. an observability timeline).
+    pub fn switch_state_traced(&mut self, state: BackgroundState, now: SimTime) -> (u64, u64, f64) {
+        let closed = self.close_traced(now);
+        self.state = state;
+        closed
+    }
+
+    /// Closes the open background interval at `now` without changing state
+    /// and returns it as `(from_ps, to_ps, delta_pj)`. A zero-length
+    /// interval returns `delta_pj == 0.0`.
+    pub fn close_traced(&mut self, now: SimTime) -> (u64, u64, f64) {
+        let from_ps = self.state_since_ps;
+        let before = self.bg_pj;
+        self.close_interval(now);
+        (from_ps, self.state_since_ps, self.bg_pj - before)
+    }
+
+    /// The resolved per-event/background energy model in use.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
     /// Records one activate (with its eventual precharge).
     pub fn record_activate(&mut self) {
         self.event_pj += self.model.e_act_pj;

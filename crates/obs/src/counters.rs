@@ -1,0 +1,150 @@
+//! Per-channel and per-bank event counters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::CommandKind;
+
+/// Counts of each DRAM command class.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandCounters {
+    /// Row activations.
+    pub activates: u64,
+    /// Column read bursts.
+    pub reads: u64,
+    /// Column write bursts.
+    pub writes: u64,
+    /// Single-bank precharges.
+    pub precharges: u64,
+    /// All-bank precharges.
+    pub precharge_alls: u64,
+    /// Auto refreshes.
+    pub refreshes: u64,
+    /// Power-down entries.
+    pub power_down_entries: u64,
+    /// Power-down exits.
+    pub power_down_exits: u64,
+    /// Self-refresh entries.
+    pub self_refresh_entries: u64,
+    /// Self-refresh exits.
+    pub self_refresh_exits: u64,
+}
+
+impl CommandCounters {
+    /// Increments the counter matching `kind`.
+    pub fn bump(&mut self, kind: CommandKind) {
+        match kind {
+            CommandKind::Activate => self.activates += 1,
+            CommandKind::Read => self.reads += 1,
+            CommandKind::Write => self.writes += 1,
+            CommandKind::Precharge => self.precharges += 1,
+            CommandKind::PrechargeAll => self.precharge_alls += 1,
+            CommandKind::Refresh => self.refreshes += 1,
+            CommandKind::PowerDownEnter => self.power_down_entries += 1,
+            CommandKind::PowerDownExit => self.power_down_exits += 1,
+            CommandKind::SelfRefreshEnter => self.self_refresh_entries += 1,
+            CommandKind::SelfRefreshExit => self.self_refresh_exits += 1,
+        }
+    }
+
+    /// Sum over every command class.
+    pub fn total(&self) -> u64 {
+        self.activates
+            + self.reads
+            + self.writes
+            + self.precharges
+            + self.precharge_alls
+            + self.refreshes
+            + self.power_down_entries
+            + self.power_down_exits
+            + self.self_refresh_entries
+            + self.self_refresh_exits
+    }
+}
+
+/// Row-buffer outcome tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowOutcomeCounters {
+    /// Accesses that found their row open.
+    pub hits: u64,
+    /// Accesses to an idle bank.
+    pub misses: u64,
+    /// Accesses that had to close another row first.
+    pub conflicts: u64,
+}
+
+impl RowOutcomeCounters {
+    /// Increments the tally matching `outcome`.
+    pub fn bump(&mut self, outcome: crate::RowOutcome) {
+        match outcome {
+            crate::RowOutcome::Hit => self.hits += 1,
+            crate::RowOutcome::Miss => self.misses += 1,
+            crate::RowOutcome::Conflict => self.conflicts += 1,
+        }
+    }
+
+    /// Total decided accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.conflicts
+    }
+
+    /// Hits over total, when any access was decided.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Everything counted for one bank.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankCounters {
+    /// Per-command tallies.
+    pub commands: CommandCounters,
+    /// Row-buffer outcomes.
+    pub rows: RowOutcomeCounters,
+}
+
+/// Everything counted for one channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelCounters {
+    /// Per-command tallies summed over the channel's banks.
+    pub commands: CommandCounters,
+    /// Row-buffer outcomes summed over the channel's banks.
+    pub rows: RowOutcomeCounters,
+    /// Bytes read off the channel.
+    pub bytes_read: u64,
+    /// Bytes written onto the channel.
+    pub bytes_written: u64,
+    /// Requests whose latency was recorded.
+    pub requests: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RowOutcome;
+
+    #[test]
+    fn bump_routes_each_kind() {
+        let mut c = CommandCounters::default();
+        c.bump(CommandKind::Activate);
+        c.bump(CommandKind::Read);
+        c.bump(CommandKind::Read);
+        c.bump(CommandKind::Refresh);
+        assert_eq!(c.activates, 1);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.refreshes, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn hit_rate_is_hits_over_total() {
+        let mut r = RowOutcomeCounters::default();
+        assert_eq!(r.hit_rate(), None);
+        r.bump(RowOutcome::Hit);
+        r.bump(RowOutcome::Hit);
+        r.bump(RowOutcome::Hit);
+        r.bump(RowOutcome::Conflict);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.hit_rate(), Some(0.75));
+    }
+}

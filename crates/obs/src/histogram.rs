@@ -1,0 +1,225 @@
+//! Log-scaled histograms for latencies and queue depths.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets; covers the full `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A base-2 logarithmic histogram over `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Quantiles report the **upper bound** of the bucket
+/// containing the requested rank (clamped to the exact observed maximum),
+/// so they over- rather than under-estimate — the safe direction for
+/// latency summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Upper bound of bucket `index` (inclusive).
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the exact samples (not the bucketed approximation).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`): upper bound of the bucket holding the
+    /// `ceil(q · count)`-th smallest sample, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_upper(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Distills the histogram into the fixed p50/p95/p99/max summary the
+    /// reports print.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Non-empty buckets as `(lower_inclusive, upper_inclusive, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lower = if i == 0 {
+                    0
+                } else {
+                    Self::bucket_upper(i - 1) + 1
+                };
+                (lower, Self::bucket_upper(i), n)
+            })
+            .collect()
+    }
+}
+
+/// Percentile summary of one [`LogHistogram`], in the sample's own unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: Option<f64>,
+    /// Exact minimum.
+    pub min: Option<u64>,
+    /// Median (bucket upper bound).
+    pub p50: Option<u64>,
+    /// 95th percentile (bucket upper bound).
+    pub p95: Option<u64>,
+    /// 99th percentile (bucket upper bound).
+    pub p99: Option<u64>,
+    /// Exact maximum.
+    pub max: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary().p99, None);
+    }
+
+    #[test]
+    fn percentiles_match_hand_computed_buckets() {
+        // 10 samples: 0, 1, 2, 3, 4, 5, 6, 7, 100, 1000.
+        // Buckets: {0}→1, [1,1]→1, [2,3]→2, [4,7]→4, [64,127]→1, [512,1023]→1.
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(1128.0 / 10.0));
+        // p50: rank 5 lands in bucket [4,7] → upper bound 7.
+        assert_eq!(h.quantile(0.50), Some(7));
+        // p95: rank 10 lands in bucket [512,1023], clamped to max 1000.
+        assert_eq!(h.quantile(0.95), Some(1000));
+        // p10: rank 1 is the 0 sample.
+        assert_eq!(h.quantile(0.10), Some(0));
+        // p90: rank 9 lands in bucket [64,127] → upper bound 127.
+        assert_eq!(h.quantile(0.90), Some(127));
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(300);
+        // Bucket [256,511] upper bound 511, clamped to observed max 300.
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(300));
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_samples() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 100, 1000] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, _, n)| n).sum::<u64>(), 10);
+        assert_eq!(buckets[0], (0, 0, 1));
+        assert_eq!(buckets[1], (1, 1, 1));
+        assert_eq!(buckets[2], (2, 3, 2));
+        assert_eq!(buckets[3], (4, 7, 4));
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,183 @@
+//! Time-bucketed bandwidth and energy timelines.
+
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on bucket count so a pathological bucket width cannot eat the
+/// heap; events past the cap fold into the last bucket and set
+/// [`Timeline::clamped`].
+pub const MAX_BUCKETS: usize = 1 << 20;
+
+/// One fixed-width slice of simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimelineBucket {
+    /// Bytes read during the bucket.
+    pub read_bytes: u64,
+    /// Bytes written during the bucket.
+    pub write_bytes: u64,
+    /// Energy (event + background) attributed to the bucket, pJ.
+    pub energy_pj: f64,
+}
+
+impl TimelineBucket {
+    /// Whether anything landed in this bucket.
+    pub fn is_empty(&self) -> bool {
+        self.read_bytes == 0 && self.write_bytes == 0 && self.energy_pj == 0.0
+    }
+}
+
+/// A growable sequence of fixed-width [`TimelineBucket`]s starting at t = 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    bucket_ps: u64,
+    buckets: Vec<TimelineBucket>,
+    /// True when an event fell past [`MAX_BUCKETS`] and was folded into the
+    /// last bucket — the timeline tail is then unreliable.
+    pub clamped: bool,
+}
+
+impl Timeline {
+    /// A timeline with `bucket_ps`-wide buckets (minimum 1 ps).
+    pub fn new(bucket_ps: u64) -> Timeline {
+        Timeline {
+            bucket_ps: bucket_ps.max(1),
+            buckets: Vec::new(),
+            clamped: false,
+        }
+    }
+
+    /// Bucket width in picoseconds.
+    pub fn bucket_ps(&self) -> u64 {
+        self.bucket_ps
+    }
+
+    /// The buckets recorded so far (index `i` covers
+    /// `[i·bucket_ps, (i+1)·bucket_ps)`).
+    pub fn buckets(&self) -> &[TimelineBucket] {
+        &self.buckets
+    }
+
+    fn index_of(&mut self, at_ps: u64) -> usize {
+        let raw = (at_ps / self.bucket_ps) as usize;
+        let idx = if raw >= MAX_BUCKETS {
+            self.clamped = true;
+            MAX_BUCKETS - 1
+        } else {
+            raw
+        };
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, TimelineBucket::default());
+        }
+        idx
+    }
+
+    /// Adds `bytes` of traffic at `at_ps`.
+    pub fn add_bytes(&mut self, at_ps: u64, write: bool, bytes: u64) {
+        let idx = self.index_of(at_ps);
+        if write {
+            self.buckets[idx].write_bytes += bytes;
+        } else {
+            self.buckets[idx].read_bytes += bytes;
+        }
+    }
+
+    /// Adds `pj` of energy at the instant `at_ps`.
+    pub fn add_energy(&mut self, at_ps: u64, pj: f64) {
+        let idx = self.index_of(at_ps);
+        self.buckets[idx].energy_pj += pj;
+    }
+
+    /// Spreads `pj` uniformly over `[from_ps, to_ps)`, splitting it across
+    /// every bucket the interval overlaps. Long idle intervals therefore
+    /// show as a flat background floor instead of one spike at the end.
+    pub fn add_energy_span(&mut self, from_ps: u64, to_ps: u64, pj: f64) {
+        if to_ps <= from_ps {
+            if pj != 0.0 {
+                self.add_energy(from_ps, pj);
+            }
+            return;
+        }
+        let total_ps = (to_ps - from_ps) as f64;
+        let first = from_ps / self.bucket_ps;
+        let last = (to_ps - 1) / self.bucket_ps;
+        for b in first..=last {
+            let bucket_start = b * self.bucket_ps;
+            let bucket_end = bucket_start.saturating_add(self.bucket_ps);
+            let overlap = to_ps.min(bucket_end) - from_ps.max(bucket_start);
+            let share = pj * overlap as f64 / total_ps;
+            self.add_energy(bucket_start, share);
+            if (b as usize) >= MAX_BUCKETS - 1 {
+                // Everything further folds into the last bucket anyway.
+                let rest_start = bucket_end.min(to_ps);
+                if rest_start < to_ps {
+                    let rest = pj * (to_ps - rest_start) as f64 / total_ps;
+                    self.add_energy(bucket_start, rest);
+                }
+                break;
+            }
+        }
+    }
+
+    /// Mean bandwidth of bucket `index`, bytes per second.
+    pub fn bandwidth_bytes_per_s(&self, index: usize) -> Option<f64> {
+        let b = self.buckets.get(index)?;
+        let seconds = self.bucket_ps as f64 * 1e-12;
+        Some((b.read_bytes + b.write_bytes) as f64 / seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_land_in_their_bucket() {
+        let mut t = Timeline::new(1_000);
+        t.add_bytes(0, false, 64);
+        t.add_bytes(999, true, 32);
+        t.add_bytes(1_000, false, 16);
+        assert_eq!(t.buckets().len(), 2);
+        assert_eq!(t.buckets()[0].read_bytes, 64);
+        assert_eq!(t.buckets()[0].write_bytes, 32);
+        assert_eq!(t.buckets()[1].read_bytes, 16);
+    }
+
+    #[test]
+    fn energy_span_spreads_uniformly() {
+        let mut t = Timeline::new(1_000);
+        // 3 pJ over [500, 3500): 2/6 in bucket 0 is wrong — overlaps are
+        // 500, 1000, 1000, 500 ps of a 3000 ps interval → 0.5, 1, 1, 0.5 pJ.
+        t.add_energy_span(500, 3_500, 3.0);
+        let e: Vec<f64> = t.buckets().iter().map(|b| b.energy_pj).collect();
+        assert_eq!(e.len(), 4);
+        assert!((e[0] - 0.5).abs() < 1e-12);
+        assert!((e[1] - 1.0).abs() < 1e-12);
+        assert!((e[2] - 1.0).abs() < 1e-12);
+        assert!((e[3] - 0.5).abs() < 1e-12);
+        let total: f64 = e.iter().sum();
+        assert!((total - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_span_degrades_to_instant() {
+        let mut t = Timeline::new(1_000);
+        t.add_energy_span(2_500, 2_500, 1.5);
+        assert!((t.buckets()[2].energy_pj - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_future_events_clamp_instead_of_allocating() {
+        let mut t = Timeline::new(1);
+        t.add_bytes(u64::MAX, false, 1);
+        assert!(t.clamped);
+        assert_eq!(t.buckets().len(), MAX_BUCKETS);
+        assert_eq!(t.buckets()[MAX_BUCKETS - 1].read_bytes, 1);
+    }
+
+    #[test]
+    fn bandwidth_uses_bucket_width() {
+        let mut t = Timeline::new(1_000_000); // 1 µs buckets
+        t.add_bytes(0, false, 1_000); // 1000 B / µs = 1e9 B/s
+        let bw = t.bandwidth_bytes_per_s(0).unwrap();
+        assert!((bw - 1e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Golden-file coverage for the Chrome `trace_event` export.
+//!
+//! Regenerate the golden after an intentional format change with
+//! `MCM_OBS_BLESS=1 cargo test -p mcm-obs --test chrome_trace_golden`.
+
+use mcm_obs::{CommandKind, ObsConfig, Recorder, StatsRecorder};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("chrome_trace.json")
+}
+
+/// A fixed two-channel scenario; every timestamp is hard-coded so the
+/// exported trace is byte-for-byte deterministic.
+fn deterministic_trace() -> String {
+    let rec = StatsRecorder::with_config(ObsConfig {
+        timeline_bucket_ps: 1_000_000,
+        max_spans: 16,
+    });
+    rec.record_command(0, 0, CommandKind::Activate, 0);
+    rec.record_command(0, 0, CommandKind::Read, 5_000_000);
+    rec.record_bytes(0, false, 64, 5_000_000);
+    rec.record_command(1, 3, CommandKind::Write, 2_500_000);
+    rec.record_bytes(1, true, 32, 2_500_000);
+    rec.record_energy(0, CommandKind::Activate, 12.5, 0);
+    rec.record_background(1, 0, 2_000_000, 3.0);
+    rec.record_span("txn", Some(0), 0, 7_000_000);
+    rec.record_span("frame", None, 0, 10_000_000);
+    rec.report().to_chrome_trace()
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let trace = deterministic_trace();
+    let path = golden_path();
+    if std::env::var_os("MCM_OBS_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &trace).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); bless first", path.display()));
+    assert_eq!(trace, golden, "trace export drifted from the golden file");
+}
+
+#[test]
+fn chrome_trace_parses_and_round_trips() {
+    let trace = deterministic_trace();
+    let value: serde_json::Value = serde_json::from_str(&trace).expect("export must be valid JSON");
+
+    // The object form Perfetto accepts: a traceEvents array whose entries
+    // all carry a phase, pid and tid.
+    let events = value["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for event in events {
+        assert!(event["ph"].as_str().is_some());
+        assert!(event["pid"].as_u64().is_some());
+        assert!(event["tid"].as_u64().is_some());
+    }
+    // Both spans survived with their durations (µs).
+    let txn = events
+        .iter()
+        .find(|e| e["ph"] == "X" && e["name"] == "txn")
+        .expect("txn span");
+    assert_eq!(txn["dur"].as_f64(), Some(7.0));
+
+    // Round-trip: parse → serialize → parse is a fixed point.
+    let again: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string_pretty(&value).unwrap()).unwrap();
+    assert_eq!(value, again);
+}

@@ -28,6 +28,14 @@ impl PowerSummary {
             self.interface_mw / t
         }
     }
+
+    /// Publishes the breakdown as run-wide gauges (`power.core_mw`,
+    /// `power.interface_mw`, `power.total_mw`) on `recorder`.
+    pub fn observe(&self, recorder: &dyn mcm_obs::Recorder) {
+        recorder.record_gauge("power.core_mw", None, self.core_mw);
+        recorder.record_gauge("power.interface_mw", None, self.interface_mw);
+        recorder.record_gauge("power.total_mw", None, self.total_mw());
+    }
 }
 
 impl fmt::Display for PowerSummary {
@@ -45,6 +53,22 @@ impl fmt::Display for PowerSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn observe_publishes_all_three_gauges() {
+        let p = PowerSummary {
+            core_mw: 320.0,
+            interface_mw: 16.6,
+        };
+        let rec = mcm_obs::StatsRecorder::new();
+        p.observe(&rec);
+        let report = rec.report();
+        assert_eq!(report.gauges.len(), 3);
+        assert_eq!(report.gauges[0].name, "power.core_mw");
+        assert_eq!(report.gauges[0].value, 320.0);
+        assert_eq!(report.gauges[2].name, "power.total_mw");
+        assert!((report.gauges[2].value - 336.6).abs() < 1e-12);
+    }
 
     #[test]
     fn totals_and_shares() {

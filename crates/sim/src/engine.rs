@@ -14,6 +14,9 @@
 use core::fmt;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use mcm_obs::Recorder;
 
 use crate::time::SimTime;
 
@@ -221,6 +224,7 @@ pub struct Simulation<M> {
     events_fired: u64,
     event_budget: Option<u64>,
     outbox: Vec<(SimTime, ComponentId, M)>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<M> fmt::Debug for Simulation<M> {
@@ -251,7 +255,15 @@ impl<M> Simulation<M> {
             events_fired: 0,
             event_budget: None,
             outbox: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a recorder; every fired event reports the remaining queue
+    /// depth through [`Recorder::record_sim_event`]. Without one, the
+    /// kernel's hot path pays a single branch.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Limits the total number of events the simulation may fire; exceeding
@@ -322,6 +334,9 @@ impl<M> Simulation<M> {
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
         self.events_fired += 1;
+        if let Some(recorder) = &self.recorder {
+            recorder.record_sim_event(self.queue.len() as u64, ev.at.as_ps());
+        }
         if let Some(budget) = self.event_budget {
             if self.events_fired > budget {
                 return Err(SimError::EventBudgetExhausted { budget });
@@ -498,6 +513,25 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(sim.pending_events(), 0);
         assert_eq!(sim.now(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn recorder_sees_every_fired_event() {
+        let recorder = Arc::new(mcm_obs::StatsRecorder::new());
+        let mut sim = Simulation::new();
+        let c = sim.add_component(Counter {
+            fired_at: vec![],
+            reschedule: true,
+        });
+        sim.set_recorder(recorder.clone());
+        sim.schedule(SimTime::ZERO, c, Msg::Tick(0));
+        sim.run().unwrap();
+        let report = recorder.report();
+        assert_eq!(report.kernel.events, sim.events_fired());
+        assert_eq!(report.kernel.pending.count, sim.events_fired());
+        // The self-rescheduling counter schedules its next tick only after
+        // the current one fires, so the queue is empty at every fire.
+        assert_eq!(report.kernel.pending.max, Some(0));
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct SweepOptions {
     pub run: RunOptions,
     /// Print one progress line per completed point to stderr.
     pub progress: bool,
+    /// Attach a fresh [`mcm_obs::StatsRecorder`] to every freshly simulated
+    /// point and distill it into [`PointOutcome::obs`]. Cached points carry
+    /// `None` (no simulation ran), as do all points when
+    /// [`SweepOptions::run`] already brings its own recorder — a shared
+    /// recorder cannot be split back into per-point summaries.
+    pub observe: bool,
 }
 
 impl SweepOptions {
@@ -66,6 +72,11 @@ pub struct PointOutcome {
     pub cached: bool,
     /// Wall-clock time spent on this point (lookup or simulation).
     pub elapsed: Duration,
+    /// Observability distillation of this point's simulation, when
+    /// [`SweepOptions::observe`] was set and the point actually simulated.
+    /// Like [`PointOutcome::elapsed`], this is run provenance, not result
+    /// data: the deterministic exports exclude it.
+    pub obs: Option<mcm_obs::ObsSummary>,
 }
 
 /// Aggregate counters and timing for one sweep run.
@@ -232,13 +243,24 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
             _ => None,
         };
         let cached = hit.is_some();
+        let mut obs = None;
         let outcome = match hit {
             Some(record) => Ok(record),
-            None => PointRecord::from_result(simulate_point(&point.experiment, &options.run))
-                .map_err(|source| SweepError::Point {
-                    label: point.label.clone(),
-                    source,
-                }),
+            None => {
+                let point_recorder = (options.observe && options.run.recorder.is_none())
+                    .then(|| std::sync::Arc::new(mcm_obs::StatsRecorder::new()));
+                let run = match &point_recorder {
+                    Some(rec) => options.run.clone().with_recorder(rec.clone()),
+                    None => options.run.clone(),
+                };
+                let outcome = PointRecord::from_result(simulate_point(&point.experiment, &run))
+                    .map_err(|source| SweepError::Point {
+                        label: point.label.clone(),
+                        source,
+                    });
+                obs = point_recorder.map(|rec| rec.report().summary());
+                outcome
+            }
         };
         if !cached {
             if let (Some(cache), Some(Ok(fp)), Ok(record)) = (&cache, &fingerprint, &outcome) {
@@ -269,6 +291,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
             outcome,
             cached,
             elapsed,
+            obs,
         }
     };
 
@@ -432,6 +455,30 @@ mod tests {
                 p.as_ref().unwrap().access_time
             );
         }
+    }
+
+    #[test]
+    fn observe_attaches_per_point_summaries() {
+        let dir = std::env::temp_dir().join(format!("mcm-sweep-obs-{}", std::process::id()));
+        let options = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            observe: true,
+            ..SweepOptions::default()
+        };
+        let fresh = run_sweep(&quick_spec(), &options).unwrap();
+        for p in &fresh.points {
+            let s = p.obs.as_ref().expect("simulated point carries obs");
+            assert!(s.requests > 0, "{}", p.label);
+            assert!(s.bytes_read + s.bytes_written > 0);
+        }
+        // Cached re-run: no simulation, no summaries — and the
+        // deterministic exports never mention obs either way.
+        let warm = run_sweep(&quick_spec(), &options).unwrap();
+        assert_eq!(warm.stats.cached, 3);
+        assert!(warm.points.iter().all(|p| p.obs.is_none()));
+        assert_eq!(fresh.to_json(), warm.to_json());
+        assert!(!fresh.to_json().contains("\"requests\""));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`load`] | the Fig. 1 / Table I video-recording load model |
 //! | [`power`] | equation (1) interface power, XDR comparison |
 //! | [`verify`] | conformance checks and lints (`mcm check`, `MCMxxx` rules) |
+//! | [`obs`] | observability: counters, histograms, timelines, trace export |
 //! | [`core`] | experiments, figures, analyses |
 //! | [`sweep`] | parallel design-space sweeps with a disk result cache |
 //!
@@ -40,6 +41,7 @@ pub use mcm_core as core;
 pub use mcm_ctrl as ctrl;
 pub use mcm_dram as dram;
 pub use mcm_load as load;
+pub use mcm_obs as obs;
 pub use mcm_power as power;
 pub use mcm_sim as sim;
 pub use mcm_sweep as sweep;
@@ -64,6 +66,7 @@ pub mod prelude {
         FrameFormat, FrameLayout, FrameTraffic, H264Level, HdOperatingPoint, PixelFormat,
         RefFrames, Stage, UseCase,
     };
+    pub use mcm_obs::{NullRecorder, ObsConfig, ObsReport, ObsSummary, Recorder, StatsRecorder};
     pub use mcm_power::{BondingTechnique, InterfacePowerModel, PowerSummary, XdrReference};
     pub use mcm_sim::{ClockDomain, Frequency, SimTime};
     pub use mcm_sweep::{
