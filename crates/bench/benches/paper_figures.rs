@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use mcm_core::figures;
 use mcm_core::Experiment;
+use mcm_core::RunOptions;
 use mcm_load::{HdOperatingPoint, UseCase};
 
 fn bench_table1(c: &mut Criterion) {
@@ -28,14 +29,20 @@ fn bench_figure_cells(c: &mut Criterion) {
         b.iter(|| {
             let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
             e.op_limit = Some(50_000);
-            e.run().expect("cell")
+            e.run_with(&RunOptions::default())
+                .expect("cell")
+                .into_frame()
+                .expect("single-frame outcome")
         });
     });
     g.bench_function("fig4_cell_1080p30_4ch_400", |b| {
         b.iter(|| {
             let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
             e.op_limit = Some(50_000);
-            e.run().expect("cell")
+            e.run_with(&RunOptions::default())
+                .expect("cell")
+                .into_frame()
+                .expect("single-frame outcome")
         });
     });
     g.finish();

@@ -5,7 +5,7 @@
 //! penalty grows with density). This target sweeps 256 Mb / 512 Mb / 1 Gb
 //! clusters over the channel counts for the two largest formats.
 
-use mcm_core::Experiment;
+use mcm_core::{Experiment, RunOptions};
 use mcm_dram::Geometry;
 use mcm_load::HdOperatingPoint;
 
@@ -42,7 +42,10 @@ fn main() {
                 let mut e = Experiment::paper(p, ch, 400);
                 e.memory.controller.cluster.geometry = geometry;
                 e.memory.controller.cluster.timing.t_rfc_ns = t_rfc_ns;
-                match e.run() {
+                let r = e
+                    .run_with(&RunOptions::default())
+                    .map(|o| o.into_frame().expect("single-frame outcome"));
+                match r {
                     Ok(r) => row += &format!(" {:>8.2} |", r.access_time.as_ms_f64()),
                     Err(_) => row += &format!(" {:>8} |", "no fit"),
                 }

@@ -4,7 +4,7 @@
 //! "Low-Power Versus Standard DDR SDRAM" technical note; this target
 //! quantifies it on the recording load.
 
-use mcm_core::Experiment;
+use mcm_core::{Experiment, RunOptions};
 use mcm_dram::ClusterConfig;
 use mcm_load::HdOperatingPoint;
 
@@ -19,7 +19,10 @@ fn main() {
                 if standard {
                     e.memory.controller.cluster = ClusterConfig::standard_ddr2(400);
                 }
-                match e.run() {
+                let r = e
+                    .run_with(&RunOptions::default())
+                    .map(|o| o.into_frame().expect("single-frame outcome"));
+                match r {
                     Ok(r) => {
                         row += &format!(
                             " {:>5.0} / {:>5.2} |",

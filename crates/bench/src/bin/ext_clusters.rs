@@ -12,8 +12,10 @@ fn main() {
     println!("Extension: channel clusters (1080p30 @ 400 MHz)\n");
 
     let flat = Experiment::paper(HdOperatingPoint::Hd1080p30, 8, 400)
-        .run()
-        .expect("flat run");
+        .run_with(&RunOptions::default())
+        .expect("flat run")
+        .into_frame()
+        .expect("single-frame outcome");
     println!(
         "  flat 8ch:      {:>6.2} ms, {:>4.0} mW total ({:.0} interface)",
         flat.access_time.as_ms_f64(),

@@ -6,7 +6,7 @@
 //! lowest clock that still meets real time? This target prints energy per
 //! frame across the DDR2 clock range.
 
-use mcm_core::Experiment;
+use mcm_core::{Experiment, RunOptions};
 use mcm_load::HdOperatingPoint;
 
 fn main() {
@@ -14,7 +14,11 @@ fn main() {
     println!("  MHz | access [ms] |  power [mW] | energy/frame [mJ] | verdict");
     for clk in [200u64, 266, 333, 400, 466, 533] {
         let e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, clk);
-        let r = e.run().expect("run");
+        let r = e
+            .run_with(&RunOptions::default())
+            .expect("run")
+            .into_frame()
+            .expect("single-frame outcome");
         // Average power over the frame period x the period = energy.
         let energy_mj = r.power.total_mw() * r.frame_budget.as_s_f64();
         println!(

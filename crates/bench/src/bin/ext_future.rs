@@ -7,7 +7,12 @@
 //! and what does a projected LPDDR2-class successor (up to 800 MHz,
 //! 1.2 V core) need?
 
-use mcm_core::Experiment;
+use mcm_core::{CoreError, Experiment, FrameResult, RunOptions};
+
+fn frame(exp: &Experiment) -> Result<FrameResult, CoreError> {
+    exp.run_with(&RunOptions::default())
+        .map(|o| o.into_frame().expect("single-frame outcome"))
+}
 use mcm_dram::ClusterConfig;
 use mcm_load::{FrameFormat, H264Level, HdOperatingPoint, RefFrames, UseCase, UseCaseMode};
 
@@ -39,7 +44,7 @@ fn main() {
     // The paper's device at its best configuration.
     let mut exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 8, 533);
     exp.use_case = uc;
-    let r = exp.run().expect("paper device run");
+    let r = frame(&exp).expect("paper device run");
     println!(
         "  paper device, 533 MHz, 8ch |  {:>6.2} [{}] | {}",
         r.access_time.as_ms_f64(),
@@ -53,7 +58,7 @@ fn main() {
         exp.use_case = uc;
         exp.memory.clock_mhz = clock;
         exp.memory.controller.cluster = ClusterConfig::future_lpddr2(clock);
-        let r = exp.run().expect("future device run");
+        let r = frame(&exp).expect("future device run");
         println!(
             "  future LPDDR2, {clock} MHz, 8ch |  {:>6.2} [{}] | {}",
             r.access_time.as_ms_f64(),

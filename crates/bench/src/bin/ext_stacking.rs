@@ -9,7 +9,7 @@
 //! latency-bound (low-MLP) master.
 
 use mcm_core::eventsim::run_event_driven;
-use mcm_core::{ChunkPolicy, Experiment};
+use mcm_core::{ChunkPolicy, Experiment, RunOptions};
 use mcm_ctrl::InterconnectModel;
 use mcm_load::HdOperatingPoint;
 use mcm_power::{BondingTechnique, InterfacePowerModel};
@@ -32,7 +32,11 @@ fn main() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
         e.memory.controller.interconnect = interconnect;
         e.interface = interface;
-        let r = e.run().expect("run");
+        let r = e
+            .run_with(&RunOptions::default())
+            .expect("run")
+            .into_frame()
+            .expect("single-frame outcome");
         println!(
             "  {name:<12} bandwidth-bound: {:>6.2} ms [{}], {}",
             r.access_time.as_ms_f64(),

@@ -6,14 +6,17 @@
 //! access times must be stable and the sustained power must match the
 //! single-frame Fig. 5 bars.
 
-use mcm_core::steady::run_steady_state;
-use mcm_core::Experiment;
+use mcm_core::{Experiment, RunOptions};
 use mcm_load::HdOperatingPoint;
 
 fn main() {
     println!("Steady-state session: 30 frames, 1080p30 on 4 ch @ 400 MHz\n");
     let exp = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
-    let r = run_steady_state(&exp, 30).expect("steady run");
+    let r = exp
+        .run_with(&RunOptions::steady(30))
+        .expect("steady run")
+        .into_steady()
+        .expect("steady outcome");
     let first = r.frames[0].access_time;
     let steady = r.steady_access_time().expect(">1 frame");
     let worst = r
@@ -32,7 +35,11 @@ fn main() {
         r.bytes as f64 / 1e9
     );
     println!("\nSingle-frame reference (Fig. 5 cell): ");
-    let single = exp.run().expect("single frame");
+    let single = exp
+        .run_with(&RunOptions::default())
+        .expect("single frame")
+        .into_frame()
+        .expect("single-frame outcome");
     println!(
         "  access {:.2} ms, {}",
         single.access_time.as_ms_f64(),

@@ -6,7 +6,7 @@
 //! away and a single channel suffices even for formats whose recording
 //! needs four or eight.
 
-use mcm_core::Experiment;
+use mcm_core::{Experiment, RunOptions};
 use mcm_load::{HdOperatingPoint, UseCase};
 
 fn main() {
@@ -24,7 +24,10 @@ fn main() {
                 if viewfinder {
                     e.use_case = UseCase::viewfinder(p);
                 }
-                match e.run() {
+                let r = e
+                    .run_with(&RunOptions::default())
+                    .map(|o| o.into_frame().expect("single-frame outcome"));
+                match r {
                     Ok(r) => {
                         row += &format!(
                             " {:>6.2} / {:>4.0} |",

@@ -5,7 +5,7 @@
 //! the equation (1) interface — the decomposition behind the paper's
 //! "moderate increase" claim for multi-channel configurations.
 
-use mcm_core::Experiment;
+use mcm_core::{Experiment, RunOptions};
 use mcm_load::HdOperatingPoint;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
         HdOperatingPoint::Uhd2160p30,
     ] {
         for ch in [1u32, 4, 8] {
-            let Ok(r) = Experiment::paper(p, ch, 400).run() else {
+            let run = Experiment::paper(p, ch, 400)
+                .run_with(&RunOptions::default())
+                .map(|o| o.into_frame().expect("single-frame outcome"));
+            let Ok(r) = run else {
                 continue;
             };
             // Average over the same horizon the Fig. 5 cells use: the

@@ -25,6 +25,8 @@
 use mcm_core::{BatchRunner, CoreError, Experiment, FrameResult};
 use mcm_sweep::{ParallelRunner, PointOutcome};
 
+pub mod perf;
+
 /// Runs a set of experiments on the `mcm-sweep` thread-pool engine and
 /// returns results in input order (panics become typed errors).
 pub fn run_parallel(experiments: Vec<Experiment>) -> Vec<Result<FrameResult, CoreError>> {
@@ -74,6 +76,7 @@ pub fn fmt_point_mw(p: &PointOutcome) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcm_core::RunOptions;
     use mcm_load::HdOperatingPoint;
 
     #[test]
@@ -104,7 +107,9 @@ mod tests {
     fn formatters() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 8, 400);
         e.op_limit = Some(1_000);
-        let ok = e.run();
+        let ok = e
+            .run_with(&RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"));
         assert!(fmt_ms(&ok).trim().parse::<f64>().is_ok());
         let err: Result<FrameResult, CoreError> = Err(CoreError::BadParam { reason: "x".into() });
         assert_eq!(fmt_ms(&err).trim(), "n/a");

@@ -110,26 +110,48 @@ impl InterleaveMap {
     /// each channel receives a single `(local_addr, len)` slice. Channels
     /// not touched get `None`.
     pub fn split_range(&self, addr: u64, len: u64) -> Vec<Option<(u64, u64)>> {
-        let mut out: Vec<Option<(u64, u64)>> = vec![None; self.channels as usize];
-        if len == 0 {
-            return out;
-        }
-        let first = addr / self.granule;
-        let last = (addr + len - 1) / self.granule;
-        for g in first..=last {
-            let lo = (g * self.granule).max(addr);
-            let hi = ((g + 1) * self.granule).min(addr + len);
-            let (ch, local) = self.split(lo);
-            let slice = &mut out[ch as usize];
-            match slice {
-                None => *slice = Some((local, hi - lo)),
-                Some((start, l)) => {
-                    debug_assert_eq!(*start + *l, local, "channel slices must stay contiguous");
-                    *l += hi - lo;
-                }
-            }
-        }
+        let mut out = Vec::new();
+        self.split_range_into(addr, len, &mut out);
         out
+    }
+
+    /// [`InterleaveMap::split_range`] into a caller-owned buffer, cleared
+    /// and resized to the channel count. O(channels) closed form — the cost
+    /// does not depend on how many granules the range spans, and a reused
+    /// buffer makes the subsystem's per-transaction fan-out allocation-free.
+    pub fn split_range_into(&self, addr: u64, len: u64, out: &mut Vec<Option<(u64, u64)>>) {
+        out.clear();
+        out.resize(self.channels as usize, None);
+        if len == 0 {
+            return;
+        }
+        let m = self.channels as u64;
+        let g = self.granule;
+        let end = addr + len;
+        let first = addr / g;
+        let last = (end - 1) / g;
+        // Bytes the transaction does not cover in its first/last granule.
+        let head = addr - first * g;
+        let tail = (last + 1) * g - end;
+        for c in 0..m {
+            // First granule index >= `first` owned by channel `c`.
+            let fc = first + ((c + m - first % m) % m);
+            if fc > last {
+                continue;
+            }
+            // The channel's granules are fc, fc+m, ...: adjacent locally.
+            let count = (last - fc) / m + 1;
+            let mut local = (fc / m) * g;
+            let mut bytes = count * g;
+            if fc == first {
+                local += head;
+                bytes -= head;
+            }
+            if last % m == c {
+                bytes -= tail;
+            }
+            out[c as usize] = Some((local, bytes));
+        }
     }
 }
 
@@ -221,6 +243,35 @@ mod tests {
     fn empty_range_touches_nothing() {
         let map = InterleaveMap::new(4, 16).unwrap();
         assert!(map.split_range(123, 0).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn closed_form_matches_granule_walk() {
+        for m in [1u32, 2, 4, 8] {
+            let map = InterleaveMap::new(m, 16).unwrap();
+            for addr in [0u64, 3, 8, 15, 16, 17, 160, 4095] {
+                for len in [1u64, 7, 16, 17, 40, 64, 256, 1000] {
+                    // Reference: walk every granule and accumulate slices.
+                    let mut expect: Vec<Option<(u64, u64)>> = vec![None; m as usize];
+                    let first = addr / 16;
+                    let last = (addr + len - 1) / 16;
+                    for g in first..=last {
+                        let lo = (g * 16).max(addr);
+                        let hi = ((g + 1) * 16).min(addr + len);
+                        let (ch, local) = map.split(lo);
+                        match &mut expect[ch as usize] {
+                            s @ None => *s = Some((local, hi - lo)),
+                            Some((_, l)) => *l += hi - lo,
+                        }
+                    }
+                    assert_eq!(
+                        map.split_range(addr, len),
+                        expect,
+                        "m={m} addr={addr} len={len}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -131,6 +131,9 @@ pub struct MemorySubsystem {
     bytes_read: u64,
     bytes_written: u64,
     recorder: Option<Arc<dyn Recorder>>,
+    /// Reused per-transaction fan-out buffer (one slot per channel), so
+    /// `submit` never allocates on the hot path.
+    slice_buf: Vec<Option<(u64, u64)>>,
 }
 
 impl MemorySubsystem {
@@ -177,6 +180,7 @@ impl MemorySubsystem {
             bytes_read: 0,
             bytes_written: 0,
             recorder: None,
+            slice_buf: Vec::new(),
         })
     }
 
@@ -258,11 +262,13 @@ impl MemorySubsystem {
                 capacity_bytes: self.capacity_bytes,
             });
         }
-        let slices = self.interleave.split_range(txn.addr, txn.len);
+        let mut slices = std::mem::take(&mut self.slice_buf);
+        self.interleave
+            .split_range_into(txn.addr, txn.len, &mut slices);
         let mut done = 0u64;
         let mut used = 0u32;
-        for (ch, slice) in slices.into_iter().enumerate() {
-            let Some((local, len)) = slice else { continue };
+        for (ch, slice) in slices.iter().enumerate() {
+            let Some((local, len)) = *slice else { continue };
             let res = self.controllers[ch]
                 .access(ChannelRequest {
                     op: txn.op,
@@ -281,6 +287,7 @@ impl MemorySubsystem {
             done = done.max(res.done_cycle);
             used += 1;
         }
+        self.slice_buf = slices;
         match txn.op {
             AccessOp::Read => self.bytes_read += txn.len,
             AccessOp::Write => self.bytes_written += txn.len,
@@ -297,6 +304,21 @@ impl MemorySubsystem {
             done_cycle: done,
             channels_used: used,
         })
+    }
+
+    /// Submits a whole burst of master transactions in one pass and returns
+    /// the cycle at which the last one finished (0 for an empty batch).
+    ///
+    /// Semantically identical to calling [`MemorySubsystem::submit`] per
+    /// transaction and folding `done_cycle` with `max`; batching lets the
+    /// admission loop stay in the subsystem instead of bouncing through the
+    /// caller per transaction.
+    pub fn submit_batch(&mut self, txns: &[MasterTransaction]) -> Result<u64, ChannelError> {
+        let mut done = 0u64;
+        for &txn in txns {
+            done = done.max(self.submit(txn)?.done_cycle);
+        }
+        Ok(done)
     }
 
     /// Cycle at which all channels have drained.

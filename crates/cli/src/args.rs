@@ -81,6 +81,33 @@ pub enum Command {
     Sweep(SweepArgs),
     /// Run one instrumented experiment and print its observability report.
     Report(ReportArgs),
+    /// Measure the simulator's own throughput and write `BENCH_sim.json`.
+    Bench(BenchArgs),
+}
+
+/// Options of `mcm bench`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Trim the grid/session/sweep scenarios for CI smoke runs.
+    pub quick: bool,
+    /// Where the JSON report is written.
+    pub out: String,
+    /// Override the measured repeats per scenario.
+    pub repeats: Option<u32>,
+    /// Prior report to gate against: fail on a >20% headline events/sec
+    /// regression.
+    pub baseline: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            quick: false,
+            out: "BENCH_sim.json".to_string(),
+            repeats: None,
+            baseline: None,
+        }
+    }
 }
 
 /// What `mcm report` should emit.
@@ -504,6 +531,30 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             }
             Ok(Command::Sweep(a))
         }
+        "bench" => {
+            let mut a = BenchArgs::default();
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| CliError(format!("flag '{flag}' needs a value")))
+                };
+                match flag {
+                    "--quick" => a.quick = true,
+                    "--out" => a.out = value()?.to_string(),
+                    "--repeats" => {
+                        a.repeats = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| CliError("bad --repeats value".into()))?,
+                        )
+                    }
+                    "--baseline" => a.baseline = Some(value()?.to_string()),
+                    other => return Err(CliError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Bench(a))
+        }
         "report" => {
             // Extract the report-specific flags, pass the rest to the
             // run-option parser.
@@ -610,6 +661,8 @@ COMMANDS:
     report      run one instrumented experiment and print counters,
                 latency percentiles and timelines (see REPORT OPTIONS)
     sweep       sweep a grid in parallel (see SWEEP OPTIONS)
+    bench       measure simulator throughput, write BENCH_sim.json
+                (see BENCH OPTIONS)
     check       conformance-check a configuration (MCMxxx rules; --json for machines)
     headroom    maximum sustainable fps for a configuration
     steady      multi-frame session (add --frames N, default 30)
@@ -644,6 +697,13 @@ REPORT OPTIONS (accepts every run option, plus):
     --csv                   per-channel counter rows       [text]
     --trace                 Chrome trace_event JSON for Perfetto /
                             chrome://tracing               [text]
+
+BENCH OPTIONS:
+    --quick             trimmed scenario set for CI smoke runs  [full]
+    --out <path>        where the JSON report goes       [BENCH_sim.json]
+    --repeats <N>       measured repeats per scenario    [5, quick: 3]
+    --baseline <path>   fail on >20% headline events/sec regression
+                        against a prior report           [no gate]
 
 SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
     --formats <comma list of formats>                  [all five]
@@ -862,6 +922,38 @@ mod tests {
         assert!(parse_args(["report", "--timeline-bucket", "0"]).is_err());
         assert!(parse_args(["report", "--op-limit", "many"]).is_err());
         assert!(parse_args(["report", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn bench_defaults_and_knobs() {
+        let Command::Bench(a) = parse_args(["bench"]).unwrap() else {
+            panic!("expected bench");
+        };
+        assert_eq!(a, BenchArgs::default());
+        assert!(!a.quick);
+        assert_eq!(a.out, "BENCH_sim.json");
+
+        let Command::Bench(a) = parse_args([
+            "bench",
+            "--quick",
+            "--out",
+            "/tmp/b.json",
+            "--repeats",
+            "2",
+            "--baseline",
+            "BENCH_sim.json",
+        ])
+        .unwrap() else {
+            panic!("expected bench");
+        };
+        assert!(a.quick);
+        assert_eq!(a.out, "/tmp/b.json");
+        assert_eq!(a.repeats, Some(2));
+        assert_eq!(a.baseline.as_deref(), Some("BENCH_sim.json"));
+
+        assert!(parse_args(["bench", "--repeats"]).is_err());
+        assert!(parse_args(["bench", "--repeats", "x"]).is_err());
+        assert!(parse_args(["bench", "--bogus"]).is_err());
     }
 
     #[test]

@@ -35,10 +35,17 @@ fn run_one(o: &RunOptions) -> Result<String, CoreError> {
         if exp.op_limit.is_none() {
             exp.op_limit = Some(VERIFY_OP_LIMIT);
         }
-        let (r, findings) = exp.run_verified()?;
+        let (r, findings) = exp
+            .run_with(&mcm_core::RunOptions::verified())?
+            .into_verified()
+            .expect("verified outcome");
         (r, Some(findings))
     } else {
-        (exp.run()?, None)
+        let r = exp
+            .run_with(&mcm_core::RunOptions::default())?
+            .into_frame()
+            .expect("single-frame outcome");
+        (r, None)
     };
     if o.json {
         let p99 = r
@@ -207,7 +214,11 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 .map_err(|e| CliError(format!("cannot read '{path}': {e}")))?;
             let exp: Experiment = serde_json::from_str(&text)
                 .map_err(|e| CliError(format!("bad experiment config: {e}")))?;
-            let r = exp.run().map_err(sim_err)?;
+            let r = exp
+                .run_with(&mcm_core::RunOptions::default())
+                .map_err(sim_err)?
+                .into_frame()
+                .expect("single-frame outcome");
             Ok(format!(
                 "access time {:.2} ms of {:.2} ms [{}], {}\n",
                 r.access_time.as_ms_f64(),
@@ -221,6 +232,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Check(o) => run_check(o),
         Command::Sweep(a) => run_sweep_cmd(a),
         Command::Report(a) => run_report(a),
+        Command::Bench(a) => run_bench_cmd(a),
     }
 }
 
@@ -290,6 +302,39 @@ fn render_latency_buckets(channel: u32, buckets: &[(u64, u64, u64)]) -> String {
 /// `mcm sweep`: expand the requested grid, execute it on the parallel
 /// engine (optionally against a content-hash result cache) and render a
 /// table, JSON or CSV.
+fn run_bench_cmd(a: &crate::args::BenchArgs) -> Result<String, CliError> {
+    use mcm_bench::perf;
+
+    let mut cfg = if a.quick {
+        perf::BenchConfig::quick()
+    } else {
+        perf::BenchConfig::full()
+    };
+    if let Some(repeats) = a.repeats {
+        cfg = cfg.with_repeats(repeats);
+    }
+    let report = perf::run_bench(&cfg).map_err(|e| CliError(format!("bench failed: {e}")))?;
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError(format!("bench report serialization failed: {e}")))?;
+    std::fs::write(&a.out, json + "\n")
+        .map_err(|e| CliError(format!("cannot write '{}': {e}", a.out)))?;
+    let mut out = perf::render_text(&report);
+    out += &format!("\nreport written to {}\n", a.out);
+    if let Some(path) = &a.baseline {
+        let baseline_json = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read baseline '{path}': {e}")))?;
+        let baseline: perf::BenchReport = serde_json::from_str(&baseline_json)
+            .map_err(|e| CliError(format!("baseline '{path}' is not a bench report: {e}")))?;
+        perf::check_regression(&report, &baseline, perf::REGRESSION_TOLERANCE)
+            .map_err(|e| CliError(format!("throughput regression vs '{path}': {e}")))?;
+        out += &format!(
+            "no headline regression beyond {:.0}% vs {path}\n",
+            perf::REGRESSION_TOLERANCE * 100.0
+        );
+    }
+    Ok(out)
+}
+
 fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
     let spec = mcm_sweep::SweepSpec {
         points: a.points.clone(),
@@ -425,7 +470,10 @@ fn check_findings(o: &RunOptions) -> mcm_verify::Report {
     } else {
         // run_verified repeats the lints, so any warnings they produced
         // are still reported exactly once.
-        match exp.run_verified() {
+        let verified = exp
+            .run_with(&mcm_core::RunOptions::verified())
+            .map(|o| o.into_verified().expect("verified outcome"));
+        match verified {
             Ok((_, sim_findings)) => findings.merge(sim_findings),
             Err(e) => findings.push(Diagnostic::new(
                 "MCM101",
@@ -547,7 +595,10 @@ fn trace_run(o: &RunOptions, input: &str) -> Result<String, CliError> {
 
 fn run_steady(o: &RunOptions, frames: u32) -> Result<String, CoreError> {
     let exp = build_experiment(o);
-    let r = mcm_core::steady::run_steady_state(&exp, frames)?;
+    let r = exp
+        .run_with(&mcm_core::RunOptions::steady(frames))?
+        .into_steady()
+        .expect("steady outcome");
     let mut out = format!(
         "{} x {} ch @ {} MHz, {frames} consecutive frames\n",
         o.point, o.channels, o.clock_mhz
@@ -573,6 +624,37 @@ mod tests {
         for c in ["repro", "fig3", "run", "headroom", "--power-down"] {
             assert!(out.contains(c), "usage text missing {c}");
         }
+    }
+
+    #[test]
+    fn bench_command_writes_the_report_and_gates() {
+        let dir = std::env::temp_dir().join(format!("mcm_cli_bench_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("BENCH_sim.json");
+        let out_str = out_path.to_str().unwrap();
+        // Gating against the report being written compares the run with
+        // itself: the full baseline path executes and must pass.
+        let cmd = parse_args([
+            "bench",
+            "--quick",
+            "--repeats",
+            "1",
+            "--out",
+            out_str,
+            "--baseline",
+            out_str,
+        ])
+        .unwrap();
+        let text = execute(&cmd).unwrap();
+        assert!(text.contains("headline"), "{text}");
+        assert!(text.contains("no headline regression"), "{text}");
+        let report: mcm_bench::perf::BenchReport =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(report.mode, "quick");
+        assert_eq!(report.repeats, 1);
+        assert!(report.headline.direct_events_per_sec > 0.0);
+        assert!(report.scenarios.iter().any(|m| m.kind == "sweep"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub fn min_channels_meeting(
 ) -> Result<Option<u32>, CoreError> {
     for &ch in &CHANNELS {
         let exp = Experiment::paper(point, ch, clock_mhz);
-        match exp.run() {
+        match exp
+            .run_with(&crate::RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"))
+        {
             Ok(r) if r.verdict == RealTimeVerdict::Meets => return Ok(Some(ch)),
             Ok(_) => continue,
             Err(CoreError::Load(mcm_load::LoadError::LayoutOverflow { .. })) => continue,
@@ -75,7 +78,10 @@ pub fn min_channels_real_time(
 ) -> Result<Option<u32>, CoreError> {
     for &ch in &CHANNELS {
         let exp = Experiment::paper(point, ch, clock_mhz);
-        match exp.run() {
+        match exp
+            .run_with(&crate::RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"))
+        {
             Ok(r) if r.verdict.is_real_time() => return Ok(Some(ch)),
             Ok(_) => continue,
             Err(CoreError::Load(mcm_load::LoadError::LayoutOverflow { .. })) => continue,
@@ -144,7 +150,10 @@ pub fn max_sustainable_fps(base: &Experiment) -> Result<Option<u32>, CoreError> 
             }
             Err(_) => return Ok(result),
         }
-        let r = match exp.run() {
+        let r = match exp
+            .run_with(&crate::RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"))
+        {
             Ok(r) => r,
             Err(CoreError::Load(_)) => return Ok(result),
             Err(e) => return Err(e),

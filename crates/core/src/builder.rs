@@ -9,7 +9,7 @@
 //! [`CoreError`]s instead.
 //!
 //! ```
-//! use mcm_core::{ChunkPolicy, Experiment};
+//! use mcm_core::{ChunkPolicy, Experiment, RunOptions};
 //! use mcm_load::HdOperatingPoint;
 //!
 //! let exp = Experiment::builder()
@@ -20,7 +20,8 @@
 //!     .op_limit(10_000)
 //!     .build()
 //!     .unwrap();
-//! assert!(exp.run().unwrap().verdict.is_real_time());
+//! let outcome = exp.run_with(&RunOptions::default()).unwrap();
+//! assert!(outcome.frame().unwrap().verdict.is_real_time());
 //!
 //! // Invalid configurations fail at build time, not mid-simulation.
 //! assert!(Experiment::builder().channels(3).build().is_err());

@@ -1,13 +1,27 @@
 //! Top-level experiment errors.
+//!
+//! Every layer's error converts into [`CoreError`] via `From`, so `?` works
+//! across the whole stack, and each variant's `Display` carries a stable
+//! layer prefix (`sim:`, `dram:`, `ctrl:`, `channel:`, `load:`) that scripts
+//! and tests can match on without parsing the layer's own message.
 
 use core::fmt;
 
 use mcm_channel::ChannelError;
+use mcm_ctrl::CtrlError;
+use mcm_dram::DramError;
 use mcm_load::LoadError;
+use mcm_sim::SimError;
 
 /// Errors raised while configuring or running an experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
+    /// The event kernel rejected the schedule or a component failed.
+    Sim(SimError),
+    /// The DRAM device model rejected a command or configuration.
+    Dram(DramError),
+    /// A channel controller rejected a request or configuration.
+    Ctrl(CtrlError),
     /// The load model rejected the use case or layout.
     Load(LoadError),
     /// The memory subsystem rejected the configuration or a transaction.
@@ -28,8 +42,11 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::Load(e) => write!(f, "load model: {e}"),
-            CoreError::Memory(e) => write!(f, "memory subsystem: {e}"),
+            CoreError::Sim(e) => write!(f, "sim: {e}"),
+            CoreError::Dram(e) => write!(f, "dram: {e}"),
+            CoreError::Ctrl(e) => write!(f, "ctrl: {e}"),
+            CoreError::Load(e) => write!(f, "load: {e}"),
+            CoreError::Memory(e) => write!(f, "channel: {e}"),
             CoreError::BadParam { reason } => write!(f, "bad experiment parameter: {reason}"),
             CoreError::Panicked { message } => write!(f, "experiment panicked: {message}"),
         }
@@ -39,10 +56,31 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Dram(e) => Some(e),
+            CoreError::Ctrl(e) => Some(e),
             CoreError::Load(e) => Some(e),
             CoreError::Memory(e) => Some(e),
             CoreError::BadParam { .. } | CoreError::Panicked { .. } => None,
         }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<DramError> for CoreError {
+    fn from(e: DramError) -> Self {
+        CoreError::Dram(e)
+    }
+}
+
+impl From<CtrlError> for CoreError {
+    fn from(e: CtrlError) -> Self {
+        CoreError::Ctrl(e)
     }
 }
 
@@ -67,8 +105,22 @@ mod tests {
         use std::error::Error;
         let e: CoreError = LoadError::BadParam { reason: "x".into() }.into();
         assert!(e.source().is_some());
-        assert!(e.to_string().contains("load model"));
+        assert!(e.to_string().starts_with("load: "));
         let e: CoreError = ChannelError::BadConfig { reason: "y".into() }.into();
-        assert!(e.to_string().contains("memory subsystem"));
+        assert!(e.to_string().starts_with("channel: "));
+    }
+
+    #[test]
+    fn every_layer_converts_with_a_stable_prefix() {
+        use std::error::Error;
+        let sim: CoreError = SimError::EventBudgetExhausted { budget: 1 }.into();
+        assert!(sim.to_string().starts_with("sim: "), "{sim}");
+        assert!(sim.source().is_some());
+        let dram: CoreError = DramError::BadBank { bank: 9, banks: 4 }.into();
+        assert!(dram.to_string().starts_with("dram: "), "{dram}");
+        assert!(dram.source().is_some());
+        let ctrl: CoreError = CtrlError::EmptyRequest.into();
+        assert!(ctrl.to_string().starts_with("ctrl: "), "{ctrl}");
+        assert!(ctrl.source().is_some());
     }
 }

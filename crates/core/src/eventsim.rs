@@ -18,9 +18,9 @@
 //!   `ext_mlp` bench target sweeps this.
 
 use mcm_channel::InterleaveMap;
-use mcm_ctrl::{AccessOp, ChannelRequest, Controller};
+use mcm_ctrl::{AccessOp, ChannelRequest, Controller, CtrlError};
 use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions, LoadOp};
-use mcm_sim::{Component, ComponentId, Ctx, SimTime, Simulation};
+use mcm_sim::{Component, ComponentId, Ctx, QueueKind, SimTime, Simulation};
 
 use crate::error::CoreError;
 use crate::experiment::Experiment;
@@ -41,7 +41,10 @@ enum Msg {
 struct ChannelComp {
     ctrl: Controller,
     master: Option<ComponentId>,
-    clock_mhz: u64,
+    /// First controller failure, surfaced after the run instead of
+    /// panicking inside the kernel (the request stream is legal by
+    /// construction, but a rejected request must become a typed error).
+    error: Option<CtrlError>,
 }
 
 impl Component<Msg> for ChannelComp {
@@ -50,10 +53,14 @@ impl Component<Msg> for ChannelComp {
             return;
         };
         // The controller speaks cycles; the kernel speaks time.
-        let res = self
-            .ctrl
-            .access(req)
-            .expect("legal request stream by construction");
+        let res = match self.ctrl.access(req) {
+            Ok(res) => res,
+            Err(e) => {
+                self.error.get_or_insert(e);
+                ctx.request_stop();
+                return;
+            }
+        };
         let done_time = self
             .ctrl
             .device()
@@ -71,7 +78,6 @@ impl Component<Msg> for ChannelComp {
                 done_cycle: res.done_cycle,
             },
         );
-        let _ = self.clock_mhz;
     }
 
     fn name(&self) -> &str {
@@ -85,27 +91,36 @@ struct MasterComp {
     ops: std::vec::IntoIter<LoadOp>,
     interleave: InterleaveMap,
     channels: Vec<ComponentId>,
-    clock_mhz: u64,
+    clock: mcm_sim::ClockDomain,
     window: u32,
     next_txn: u64,
-    /// txn id → number of channel slices still in flight.
-    inflight: std::collections::HashMap<u64, u32>,
+    /// Slices still in flight per transaction, indexed by `txn - txn_base`
+    /// (transactions are issued with consecutive ids, so the live set is a
+    /// dense sliding window — no hashing on the hot path). `inflight_live`
+    /// counts entries that have not fully completed.
+    inflight: std::collections::VecDeque<u32>,
+    txn_base: u64,
+    inflight_live: u32,
+    /// Reused per-op fan-out buffer for [`InterleaveMap::split_range_into`].
+    slice_buf: Vec<Option<(u64, u64)>>,
     last_done_cycle: u64,
 }
 
 impl MasterComp {
     fn issue_until_window_full(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        while (self.inflight.len() as u32) < self.window {
+        // All transactions issued in this call share the kernel timestamp,
+        // so the cycle conversion happens once, not per op.
+        let arrival = self.clock.cycles_ceil(ctx.now());
+        while self.inflight_live < self.window {
             let Some(op) = self.ops.next() else { return };
             let txn = self.next_txn;
             self.next_txn += 1;
-            let arrival = mcm_sim::ClockDomain::new(mcm_sim::Frequency::from_mhz(self.clock_mhz))
-                .expect("validated clock")
-                .cycles_ceil(ctx.now());
-            let slices = self.interleave.split_range(op.addr, op.len as u64);
+            let mut slices = std::mem::take(&mut self.slice_buf);
+            self.interleave
+                .split_range_into(op.addr, op.len as u64, &mut slices);
             let mut n = 0;
-            for (ch, slice) in slices.into_iter().enumerate() {
-                let Some((local, len)) = slice else { continue };
+            for (ch, slice) in slices.iter().enumerate() {
+                let Some((local, len)) = *slice else { continue };
                 ctx.send_now(
                     self.channels[ch],
                     Msg::Request {
@@ -124,8 +139,27 @@ impl MasterComp {
                 );
                 n += 1;
             }
-            self.inflight.insert(txn, n);
+            self.slice_buf = slices;
+            self.inflight.push_back(n);
+            self.inflight_live += 1;
         }
+    }
+
+    fn retire_slice(&mut self, txn: u64) -> bool {
+        let idx = (txn - self.txn_base) as usize;
+        let remaining = &mut self.inflight[idx];
+        debug_assert!(*remaining > 0, "completion for a retired transaction");
+        *remaining -= 1;
+        if *remaining > 0 {
+            return false;
+        }
+        self.inflight_live -= 1;
+        // Drop the completed prefix so the deque stays window-sized.
+        while let Some(&0) = self.inflight.front() {
+            self.inflight.pop_front();
+            self.txn_base += 1;
+        }
+        true
     }
 }
 
@@ -134,13 +168,7 @@ impl Component<Msg> for MasterComp {
         match msg {
             Msg::Slice { txn, done_cycle } => {
                 self.last_done_cycle = self.last_done_cycle.max(done_cycle);
-                let remaining = self
-                    .inflight
-                    .get_mut(&txn)
-                    .expect("completion for an unknown transaction");
-                *remaining -= 1;
-                if *remaining == 0 {
-                    self.inflight.remove(&txn);
+                if self.retire_slice(txn) {
                     // A window slot opened: issue more work.
                     self.issue_until_window_full(ctx);
                 }
@@ -174,7 +202,7 @@ pub struct EventDrivenResult {
 /// `window == u32::MAX` approximates the direct-call flood; `window == 1`
 /// is a fully blocking master.
 pub fn run_event_driven(exp: &Experiment, window: u32) -> Result<EventDrivenResult, CoreError> {
-    run_event_driven_observed(exp, window, None)
+    run_event_driven_configured(exp, window, QueueKind::default(), None)
 }
 
 /// [`run_event_driven`] with an optional instrumentation sink: the kernel
@@ -183,6 +211,19 @@ pub fn run_event_driven(exp: &Experiment, window: u32) -> Result<EventDrivenResu
 pub fn run_event_driven_observed(
     exp: &Experiment,
     window: u32,
+    recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
+) -> Result<EventDrivenResult, CoreError> {
+    run_event_driven_configured(exp, window, QueueKind::default(), recorder)
+}
+
+/// [`run_event_driven_observed`] with an explicit kernel event-queue
+/// implementation — the cross-engine parity harness runs the same
+/// experiment on [`QueueKind::Calendar`] and [`QueueKind::BinaryHeap`] and
+/// asserts identical results; benchmarks use it to measure the queue swap.
+pub fn run_event_driven_configured(
+    exp: &Experiment,
+    window: u32,
+    queue: QueueKind,
     recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
 ) -> Result<EventDrivenResult, CoreError> {
     if window == 0 {
@@ -212,7 +253,7 @@ pub fn run_event_driven_observed(
     }
     let total_ops = ops.len() as u64;
 
-    let mut sim: Simulation<Msg> = Simulation::new();
+    let mut sim: Simulation<Msg> = Simulation::with_queue(queue);
     if let Some(rec) = &recorder {
         sim.set_recorder(rec.clone());
     }
@@ -230,17 +271,24 @@ pub fn run_event_driven_observed(
         channel_ids.push(sim.add_component(ChannelComp {
             ctrl,
             master: None,
-            clock_mhz,
+            error: None,
         }));
     }
     let master = sim.add_component(MasterComp {
         ops: ops.into_iter(),
         interleave,
         channels: channel_ids.clone(),
-        clock_mhz,
+        clock: mcm_sim::ClockDomain::new(mcm_sim::Frequency::from_mhz(clock_mhz)).map_err(|e| {
+            CoreError::BadParam {
+                reason: e.to_string(),
+            }
+        })?,
         window,
         next_txn: 0,
-        inflight: std::collections::HashMap::new(),
+        inflight: std::collections::VecDeque::new(),
+        txn_base: 0,
+        inflight_live: 0,
+        slice_buf: Vec::new(),
         last_done_cycle: 0,
     });
     for &ch in &channel_ids {
@@ -262,9 +310,15 @@ pub fn run_event_driven_observed(
             },
         },
     );
-    sim.run().map_err(|e| CoreError::BadParam {
-        reason: format!("event kernel failed: {e}"),
-    })?;
+    sim.run()?;
+    for &ch in &channel_ids {
+        if let Some(e) = sim
+            .component_mut::<ChannelComp>(ch)
+            .and_then(|c| c.error.take())
+        {
+            return Err(e.into());
+        }
+    }
 
     let master_ref = sim
         .component_mut::<MasterComp>(master)
@@ -294,7 +348,11 @@ mod tests {
     #[test]
     fn wide_window_matches_direct_call() {
         let e = exp(2);
-        let direct = e.run().unwrap();
+        let direct = e
+            .run_with(&crate::RunOptions::default())
+            .unwrap()
+            .into_frame()
+            .unwrap();
         // The direct path extrapolates op-limited runs to the full frame;
         // undo the scaling for an apples-to-apples comparison.
         let scale = direct.planned_bytes as f64 / direct.simulated_bytes as f64;

@@ -234,6 +234,27 @@ impl RunOptions {
         }
     }
 
+    /// Enables or disables the `mcm-verify` conformance pass (builder
+    /// style).
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Sets the frame count (builder style): `1` for the paper's
+    /// single-frame evaluation, more for a steady-state session.
+    pub fn with_frames(mut self, frames: u32) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Caps the number of simulated load operations (builder style),
+    /// overriding [`Experiment::op_limit`].
+    pub fn with_op_limit(mut self, op_limit: u64) -> Self {
+        self.op_limit = Some(op_limit);
+        self
+    }
+
     /// Attaches `recorder` as the run's instrumentation sink (builder
     /// style). Pass an `Arc<`[`StatsRecorder`](mcm_obs::StatsRecorder)`>`
     /// and query it after the run.
@@ -285,8 +306,25 @@ impl RunOutcome {
         }
     }
 
+    /// Consumes the outcome into its frame result and conformance report,
+    /// if this was a verified run.
+    pub fn into_verified(self) -> Option<(FrameResult, Report)> {
+        match self {
+            RunOutcome::Verified { result, report } => Some((result, report)),
+            _ => None,
+        }
+    }
+
     /// The steady-state result, if this was a multi-frame session.
     pub fn steady(&self) -> Option<&crate::steady::SteadyStateResult> {
+        match self {
+            RunOutcome::Steady(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its steady-state result, if any.
+    pub fn into_steady(self) -> Option<crate::steady::SteadyStateResult> {
         match self {
             RunOutcome::Steady(s) => Some(s),
             _ => None,
@@ -398,7 +436,9 @@ impl Experiment {
     /// Runs one frame and evaluates it.
     ///
     /// Thin wrapper over [`Experiment::run_with`] with default options;
-    /// prefer `run_with` in new code.
+    /// the [`RunOutcome`] accessors are the supported way to get at the
+    /// [`FrameResult`].
+    #[deprecated(note = "use run_with(&RunOptions::default()) and RunOutcome::into_frame")]
     pub fn run(&self) -> Result<FrameResult, CoreError> {
         self.run_with(&RunOptions::default())
             .map(|o| o.into_frame().expect("single-frame outcome"))
@@ -410,7 +450,9 @@ impl Experiment {
     /// traffic-balance check.
     ///
     /// Thin wrapper over [`Experiment::run_with`] with
-    /// [`RunOptions::verified`]; prefer `run_with` in new code.
+    /// [`RunOptions::verified`]; the [`RunOutcome`] accessors are the
+    /// supported way to get at the [`FrameResult`] and [`Report`].
+    #[deprecated(note = "use run_with(&RunOptions::verified()) and RunOutcome::into_verified")]
     pub fn run_verified(&self) -> Result<(FrameResult, Report), CoreError> {
         match self.run_with(&RunOptions::verified())? {
             RunOutcome::Verified { result, report } => Ok((result, report)),
@@ -642,16 +684,22 @@ mod tests {
     use super::*;
 
     fn quick(point: HdOperatingPoint, channels: u32, clock: u64) -> FrameResult {
-        let mut e = Experiment::paper(point, channels, clock);
-        e.op_limit = Some(40_000);
-        e.run().unwrap()
+        let e = Experiment::paper(point, channels, clock);
+        e.run_with(&RunOptions::default().with_op_limit(40_000))
+            .unwrap()
+            .into_frame()
+            .unwrap()
     }
 
     #[test]
     fn verified_run_is_clean_on_the_paper_config() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
         e.op_limit = Some(4_000);
-        let (result, findings) = e.run_verified().unwrap();
+        let (result, findings) = e
+            .run_with(&RunOptions::verified())
+            .unwrap()
+            .into_verified()
+            .unwrap();
         assert!(result.simulated_bytes > 0);
         assert!(findings.is_clean(), "{}", findings.render_human());
     }
@@ -661,7 +709,11 @@ mod tests {
         let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
         e.op_limit = Some(1_000);
         e.memory.controller.refresh.max_postpone = 64;
-        let (_, findings) = e.run_verified().unwrap();
+        let (_, findings) = e
+            .run_with(&RunOptions::verified())
+            .unwrap()
+            .into_verified()
+            .unwrap();
         assert!(
             findings.ids().contains(&"MCM105"),
             "{}",
@@ -699,8 +751,14 @@ mod tests {
         e1.op_limit = Some(80_000);
         let mut e2 = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
         e2.op_limit = Some(40_000);
-        let t1 = e1.run().unwrap().access_time;
-        let t2 = e2.run().unwrap().access_time;
+        let frame = |e: &Experiment| {
+            e.run_with(&RunOptions::default())
+                .unwrap()
+                .into_frame()
+                .unwrap()
+        };
+        let t1 = frame(&e1).access_time;
+        let t2 = frame(&e2).access_time;
         let ratio = t1.as_ps() as f64 / t2.as_ps() as f64;
         assert!((1.7..=2.2).contains(&ratio), "ratio {ratio}");
     }
@@ -724,12 +782,18 @@ mod tests {
     fn op_limit_extrapolates_close_to_full_run() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
         e.op_limit = Some(60_000);
-        let partial = e.run().unwrap();
+        let frame = |e: &Experiment| {
+            e.run_with(&RunOptions::default())
+                .unwrap()
+                .into_frame()
+                .unwrap()
+        };
+        let partial = frame(&e);
         assert!(partial.simulated_bytes < partial.planned_bytes);
         // The stage mix varies along the frame, so prefix extrapolation is
         // only approximate; a longer prefix must stay within ~2x.
         e.op_limit = Some(240_000);
-        let fuller = e.run().unwrap();
+        let fuller = frame(&e);
         let a = partial.access_time.as_ps() as f64;
         let b = fuller.access_time.as_ps() as f64;
         assert!((0.5..2.0).contains(&(a / b)), "{a} vs {b}");
@@ -739,7 +803,10 @@ mod tests {
     fn bad_margin_rejected() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 400);
         e.margin = 1.5;
-        assert!(matches!(e.run(), Err(CoreError::BadParam { .. })));
+        assert!(matches!(
+            e.run_with(&RunOptions::default()),
+            Err(CoreError::BadParam { .. })
+        ));
     }
 
     #[test]
@@ -778,7 +845,10 @@ mod pacing_tests {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
         e.pacing = pacing;
         e.op_limit = Some(50_000);
-        e.run().unwrap()
+        e.run_with(&RunOptions::default())
+            .unwrap()
+            .into_frame()
+            .unwrap()
     }
 
     #[test]
@@ -829,6 +899,7 @@ mod run_with_tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the wrapper equivalence is exactly what's under test
     fn default_options_match_run() {
         let e = quick();
         let via_run = e.run().unwrap();
@@ -842,6 +913,7 @@ mod run_with_tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the wrapper equivalence is exactly what's under test
     fn verified_options_match_run_verified() {
         let e = quick();
         let outcome = e.run_with(&RunOptions::verified()).unwrap();
@@ -1003,7 +1075,11 @@ mod nan_audit_tests {
     fn zero_op_limit_run_is_nan_free() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
         e.op_limit = Some(0);
-        let r = e.run().unwrap();
+        let r = e
+            .run_with(&RunOptions::default())
+            .unwrap()
+            .into_frame()
+            .unwrap();
         assert_eq!(r.simulated_bytes, 0);
         assert!(r.efficiency().is_finite());
         assert!(r.energy_per_bit_pj().is_finite());
@@ -1035,6 +1111,6 @@ mod serde_tests {
         // The deserialized experiment runs.
         let mut quick = back;
         quick.op_limit = Some(2_000);
-        quick.run().unwrap();
+        quick.run_with(&RunOptions::default()).unwrap();
     }
 }

@@ -542,7 +542,11 @@ mod tests {
     fn cell_from_infeasible_config_reports_reason() {
         // 2160p in one 64 MiB channel.
         let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 1, 400);
-        let cell = Cell::from_result(exp.run()).unwrap();
+        let cell = Cell::from_result(
+            exp.run_with(&crate::RunOptions::default())
+                .map(|o| o.into_frame().expect("single-frame outcome")),
+        )
+        .unwrap();
         assert!(!cell.feasible);
         assert_eq!(cell.fig5_power_mw(), None);
         assert!(cell.infeasible_reason.unwrap().contains("MiB"));
@@ -552,7 +556,11 @@ mod tests {
     fn cell_from_quick_run() {
         let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
         exp.op_limit = Some(20_000);
-        let cell = Cell::from_result(exp.run()).unwrap();
+        let cell = Cell::from_result(
+            exp.run_with(&crate::RunOptions::default())
+                .map(|o| o.into_frame().expect("single-frame outcome")),
+        )
+        .unwrap();
         assert!(cell.feasible);
         assert!(cell.access_ms.unwrap() > 0.0);
         assert!(cell.fig5_power_mw().is_some());

@@ -16,14 +16,18 @@
 //! # Examples
 //!
 //! ```
-//! use mcm_core::{ChunkPolicy, Experiment};
+//! use mcm_core::{ChunkPolicy, Experiment, RunOptions};
 //! use mcm_load::HdOperatingPoint;
 //!
 //! // 720p30 on the paper's 4-channel, 400 MHz memory (truncated run for
 //! // the doctest; drop `op_limit` to simulate the whole frame).
 //! let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
 //! exp.op_limit = Some(10_000);
-//! let result = exp.run().unwrap();
+//! let result = exp
+//!     .run_with(&RunOptions::default())
+//!     .unwrap()
+//!     .into_frame()
+//!     .unwrap();
 //! assert!(result.access_time < result.frame_budget);
 //! ```
 

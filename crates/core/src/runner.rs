@@ -31,7 +31,11 @@ impl BatchRunner for SerialRunner {
 /// [`CoreError::Panicked`] instead of unwinding into the caller, so one bad
 /// grid point cannot kill a whole batch.
 pub fn run_isolated(exp: &Experiment) -> Result<FrameResult, CoreError> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exp.run())) {
+    let run = || {
+        exp.run_with(&crate::RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"))
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
         Ok(result) => result,
         Err(payload) => Err(CoreError::Panicked {
             message: panic_message(payload.as_ref()),
@@ -65,10 +69,12 @@ mod tests {
         let exps = vec![mk(1), mk(2)];
         let batch = SerialRunner.run_batch(&exps);
         for (exp, got) in exps.iter().zip(&batch) {
-            assert_eq!(
-                exp.run().unwrap().access_time,
-                got.as_ref().unwrap().access_time
-            );
+            let direct = exp
+                .run_with(&crate::RunOptions::default())
+                .unwrap()
+                .into_frame()
+                .unwrap();
+            assert_eq!(direct.access_time, got.as_ref().unwrap().access_time);
         }
     }
 

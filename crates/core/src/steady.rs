@@ -74,6 +74,12 @@ fn rotated_layout(base: &FrameLayout, frame: usize) -> FrameLayout {
 
 /// Runs `frames` consecutive frames of `exp` against one persistent memory
 /// subsystem.
+///
+/// Thin wrapper over [`Experiment::run_with`] with
+/// [`RunOptions::steady`](crate::RunOptions::steady); the
+/// [`RunOutcome`](crate::RunOutcome) accessors are the supported way to
+/// get at the [`SteadyStateResult`].
+#[deprecated(note = "use run_with(&RunOptions::steady(frames)) and RunOutcome::into_steady")]
 pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResult, CoreError> {
     run_steady_state_observed(exp, frames, None)
 }
@@ -183,6 +189,11 @@ mod tests {
     use super::*;
     use mcm_load::HdOperatingPoint;
 
+    fn steady(e: &Experiment, frames: u32) -> Result<SteadyStateResult, CoreError> {
+        e.run_with(&crate::RunOptions::steady(frames))
+            .map(|o| o.into_steady().expect("steady outcome"))
+    }
+
     fn exp() -> Experiment {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
         e.op_limit = Some(30_000);
@@ -191,12 +202,12 @@ mod tests {
 
     #[test]
     fn zero_frames_rejected() {
-        assert!(run_steady_state(&exp(), 0).is_err());
+        assert!(steady(&exp(), 0).is_err());
     }
 
     #[test]
     fn frames_are_stable_after_warmup() {
-        let r = run_steady_state(&exp(), 5).unwrap();
+        let r = steady(&exp(), 5).unwrap();
         assert_eq!(r.frames.len(), 5);
         let steady = r.steady_access_time().unwrap();
         for f in &r.frames[1..] {
@@ -214,7 +225,7 @@ mod tests {
 
     #[test]
     fn frame_starts_follow_the_schedule() {
-        let r = run_steady_state(&exp(), 3).unwrap();
+        let r = steady(&exp(), 3).unwrap();
         let budget = 13_333_333 / 4; // not used; check monotone spacing instead
         let _ = budget;
         for pair in r.frames.windows(2) {
@@ -256,7 +267,7 @@ mod tests {
         // take longer than the first as the backlog grows.
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 200);
         e.op_limit = Some(60_000);
-        let r = run_steady_state(&e, 4).unwrap();
+        let r = steady(&e, 4).unwrap();
         // op_limit truncation may keep individual frames under budget, but
         // access times must be non-decreasing once saturated.
         let times: Vec<u64> = r.frames.iter().map(|f| f.access_time.as_ps()).collect();

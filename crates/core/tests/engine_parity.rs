@@ -1,0 +1,171 @@
+//! Cross-engine parity: the optimized hot path must be a pure speedup.
+//!
+//! Three seams changed for throughput and each must be invisible in the
+//! results: the kernel's calendar event queue vs the reference binary
+//! heap, the controller's batched same-row command runs vs per-command
+//! issue (forced onto the slow path by attaching a recorder), and the
+//! event-driven master's dense in-flight tracking. These tests pin
+//! bit-identical outcomes over the paper's whole operating grid and over
+//! proptest-drawn random configurations.
+
+use mcm_core::eventsim::{run_event_driven_configured, EventDrivenResult};
+use mcm_core::{ChunkPolicy, Experiment, Pacing, RunOptions};
+use mcm_ctrl::PagePolicy;
+use mcm_load::HdOperatingPoint;
+use mcm_sim::QueueKind;
+use proptest::prelude::*;
+
+const LEVELS: [HdOperatingPoint; 5] = [
+    HdOperatingPoint::Hd720p30,
+    HdOperatingPoint::Hd720p60,
+    HdOperatingPoint::Hd1080p30,
+    HdOperatingPoint::Hd1080p60,
+    HdOperatingPoint::Uhd2160p30,
+];
+const CHANNELS: [u32; 4] = [1, 2, 4, 8];
+
+fn quick(point: HdOperatingPoint, channels: u32) -> Experiment {
+    let mut e = Experiment::paper(point, channels, 400);
+    e.op_limit = Some(3_000);
+    e
+}
+
+fn event_driven(
+    e: &Experiment,
+    window: u32,
+    queue: QueueKind,
+) -> Result<EventDrivenResult, String> {
+    run_event_driven_configured(e, window, queue, None).map_err(|err| err.to_string())
+}
+
+/// Same experiment, both queue implementations: identical access time,
+/// transaction count, and fired-event count — or the identical error on
+/// infeasible grid cells (2160p does not fit few channels).
+#[test]
+fn calendar_queue_matches_binary_heap_across_the_grid() {
+    for point in LEVELS {
+        for channels in CHANNELS {
+            let e = quick(point, channels);
+            let cal = event_driven(&e, 8, QueueKind::Calendar);
+            let heap = event_driven(&e, 8, QueueKind::BinaryHeap);
+            match (cal, heap) {
+                (Ok(c), Ok(h)) => {
+                    assert_eq!(c.access_time, h.access_time, "{point:?} x {channels}ch");
+                    assert_eq!(c.transactions, h.transactions, "{point:?} x {channels}ch");
+                    assert_eq!(c.events, h.events, "{point:?} x {channels}ch");
+                }
+                (Err(c), Err(h)) => {
+                    assert_eq!(
+                        c, h,
+                        "engines must fail identically at {point:?} x {channels}ch"
+                    )
+                }
+                (c, h) => panic!("engines diverged at {point:?} x {channels}ch: {c:?} vs {h:?}"),
+            }
+        }
+    }
+}
+
+/// Narrow windows serialize the master and exercise queue tie-breaking
+/// hardest (completion and next-issue events collide on one timestamp).
+#[test]
+fn window_extremes_agree_between_queues() {
+    for window in [1, 2, u32::MAX] {
+        let e = quick(HdOperatingPoint::Hd1080p30, 4);
+        let cal = event_driven(&e, window, QueueKind::Calendar).unwrap();
+        let heap = event_driven(&e, window, QueueKind::BinaryHeap).unwrap();
+        assert_eq!(cal.access_time, heap.access_time, "window {window}");
+        assert_eq!(cal.events, heap.events, "window {window}");
+    }
+}
+
+/// Attaching a recorder forces the controller and device onto the
+/// unbatched per-command path; the batched fast path must produce the
+/// same frame, byte for byte and picosecond for picosecond.
+#[test]
+fn batched_admission_matches_per_command_issue() {
+    for point in LEVELS {
+        for channels in [1, 2, 4] {
+            let e = quick(point, channels);
+            let fast = e.run_with(&RunOptions::default());
+            let slow = e.run_with(
+                &RunOptions::default()
+                    .with_recorder(std::sync::Arc::new(mcm_obs::StatsRecorder::new())),
+            );
+            match (fast, slow) {
+                (Ok(f), Ok(s)) => {
+                    let f = f.into_frame().unwrap();
+                    let s = s.into_frame().unwrap();
+                    assert_eq!(f.access_time, s.access_time, "{point:?} x {channels}ch");
+                    assert_eq!(f.verdict, s.verdict, "{point:?} x {channels}ch");
+                    assert_eq!(f.simulated_bytes, s.simulated_bytes);
+                    for (cf, cs) in f.report.channels.iter().zip(&s.report.channels) {
+                        assert_eq!(
+                            cf.ctrl.row_hits, cs.ctrl.row_hits,
+                            "{point:?} x {channels}ch"
+                        );
+                        assert_eq!(cf.ctrl.row_misses, cs.ctrl.row_misses);
+                        assert_eq!(cf.ctrl.row_conflicts, cs.ctrl.row_conflicts);
+                        assert_eq!(cf.device.reads, cs.device.reads);
+                        assert_eq!(cf.device.writes, cs.device.writes);
+                        assert_eq!(cf.device.activates, cs.device.activates);
+                        assert_eq!(cf.device.refreshes, cs.device.refreshes);
+                        assert!((cf.total_energy_pj - cs.total_energy_pj).abs() < 1e-9);
+                    }
+                }
+                (Err(f), Err(s)) => assert_eq!(f.to_string(), s.to_string()),
+                (f, s) => panic!("paths diverged at {point:?} x {channels}ch: {f:?} vs {s:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random valid configurations never diverge between the two queue
+    /// implementations (and infeasible draws fail identically).
+    #[test]
+    fn random_configs_never_diverge(
+        level in 0usize..5,
+        channels_log2 in 0u32..4,
+        clock_idx in 0usize..4,
+        granule_log2 in 4u64..8,
+        closed_page in any::<bool>(),
+        paced in any::<bool>(),
+        chunk_per_channel in any::<bool>(),
+        window in 1u32..12,
+        op_limit in 200u64..1_500,
+    ) {
+        let clocks = [200u64, 266, 333, 400];
+        let mut builder = Experiment::builder()
+            .point(LEVELS[level])
+            .channels(1 << channels_log2)
+            .clock_mhz(clocks[clock_idx])
+            .granule_bytes(1 << granule_log2)
+            .chunk(if chunk_per_channel {
+                ChunkPolicy::PerChannel(64)
+            } else {
+                ChunkPolicy::Fixed(128)
+            })
+            .op_limit(op_limit);
+        if closed_page {
+            builder = builder.page_policy(PagePolicy::Closed);
+        }
+        if paced {
+            builder = builder.pacing(Pacing::Paced);
+        }
+        let e = match builder.build() {
+            Ok(e) => e,
+            // Infeasible draws (layout overflow) are build-time errors and
+            // carry no engine to compare.
+            Err(_) => return Ok(()),
+        };
+        let cal = event_driven(&e, window, QueueKind::Calendar);
+        let heap = event_driven(&e, window, QueueKind::BinaryHeap);
+        prop_assert_eq!(cal.is_ok(), heap.is_ok());
+        if let (Ok(c), Ok(h)) = (cal, heap) {
+            prop_assert_eq!(c.access_time, h.access_time);
+            prop_assert_eq!(c.transactions, h.transactions);
+            prop_assert_eq!(c.events, h.events);
+        }
+    }
+}

@@ -115,6 +115,10 @@ pub struct Controller {
     refresh_max_postpone: u64,
     t_refi: u64,
     refreshes_issued: u64,
+    /// Cached first cycle at which the refresh backlog exceeds the postpone
+    /// budget — the per-burst preemption test is a compare, not a division.
+    /// Recomputed whenever `refreshes_issued` or `sr_cycles_total` changes.
+    next_forced_refresh: u64,
     /// Cycle at which the channel last became idle (all commands issued and
     /// data drained).
     busy_until: u64,
@@ -140,6 +144,11 @@ impl Controller {
         let device = BankCluster::new(&config.cluster)?;
         let decoder = AddressDecoder::new(config.cluster.geometry, config.mapping)?;
         let t_refi = device.timing().t_refi;
+        let next_forced_refresh = if config.refresh.enabled {
+            (config.refresh.max_postpone as u64 + 1).saturating_mul(t_refi)
+        } else {
+            u64::MAX
+        };
         Ok(Controller {
             device,
             decoder,
@@ -150,6 +159,7 @@ impl Controller {
             refresh_max_postpone: config.refresh.max_postpone as u64,
             t_refi,
             refreshes_issued: 0,
+            next_forced_refresh,
             busy_until: 0,
             idle_handled_to: 0,
             last_arrival: 0,
@@ -208,9 +218,7 @@ impl Controller {
         cmd: DramCommand,
         not_before: u64,
     ) -> Result<(u64, IssueOutcome), CtrlError> {
-        let at = self.device.earliest_issue(cmd, not_before)?;
-        let out = self.device.issue(cmd, at)?;
-        Ok((at, out))
+        Ok(self.device.issue_at_earliest(cmd, not_before)?)
     }
 
     /// Wakes the device from self-refresh or power-down, if it sleeps.
@@ -218,6 +226,7 @@ impl Controller {
         if self.device.is_self_refreshing() {
             let (c, _) = self.issue(DramCommand::SelfRefreshExit, not_before)?;
             self.sr_cycles_total += c.saturating_sub(self.sr_entered_at);
+            self.recompute_forced_refresh();
             self.stats.wakeups += 1;
         } else if self.device.is_powered_down() {
             let (_, _) = self.issue(DramCommand::PowerDownExit, not_before)?;
@@ -237,6 +246,22 @@ impl Controller {
             .saturating_sub(self.refreshes_issued)
     }
 
+    /// Refreshes the cached forced-refresh threshold: the first cycle at
+    /// which [`Controller::refresh_backlog`] exceeds the postpone budget.
+    fn recompute_forced_refresh(&mut self) {
+        self.next_forced_refresh = if self.refresh_enabled {
+            (self.refreshes_issued + self.refresh_max_postpone + 1)
+                .saturating_mul(self.t_refi)
+                .saturating_add(self.sr_cycles_total)
+        } else {
+            u64::MAX
+        };
+        debug_assert!(
+            self.next_forced_refresh == u64::MAX
+                || self.refresh_backlog(self.next_forced_refresh) > self.refresh_max_postpone
+        );
+    }
+
     /// Serves one refresh as early as possible at or after `not_before`,
     /// waking the device and closing rows as required.
     fn do_refresh(&mut self, not_before: u64, forced: bool) -> Result<u64, CtrlError> {
@@ -247,6 +272,7 @@ impl Controller {
         }
         let (c, _) = self.issue(DramCommand::Refresh, lower)?;
         self.refreshes_issued += 1;
+        self.recompute_forced_refresh();
         if forced {
             self.stats.refreshes_forced += 1;
         } else {
@@ -328,7 +354,7 @@ impl Controller {
     ) -> Result<(u64, u64), CtrlError> {
         let mut first_cmd = u64::MAX;
         // Refresh preemption when the postpone budget is exhausted.
-        if self.refresh_backlog(self.busy_until.max(not_before)) > self.refresh_max_postpone {
+        if self.busy_until.max(not_before) >= self.next_forced_refresh {
             let c = self.do_refresh(not_before, true)?;
             first_cmd = first_cmd.min(c.saturating_sub(self.device.timing().t_rfc));
         }
@@ -501,12 +527,80 @@ impl Controller {
         let mut first_cmd = u64::MAX;
         let mut done = 0u64;
         let mut bursts = 0u32;
-        for burst in first_burst..=last_burst {
-            let (f, d) =
-                self.issue_burst(req.op == AccessOp::Write, burst * burst_bytes, req.arrival)?;
-            first_cmd = first_cmd.min(f);
-            done = done.max(d);
-            bursts += 1;
+        let write = req.op == AccessOp::Write;
+        let geometry = *self.device.geometry();
+        let bursts_per_page = geometry.page_bytes() as u64 / burst_bytes;
+        let burst_words = (burst_bytes / geometry.word_bytes() as u64) as u32;
+        let mut burst = first_burst;
+        while burst <= last_burst {
+            // Row-hit fast path: under the open-page policy, every burst
+            // after the first within a page is a guaranteed hit on the row
+            // the head burst opened, so the whole page-run is admitted in
+            // one pass. Bursts stay on the one-at-a-time path while a
+            // forced refresh is pending (the budget test can re-trigger
+            // between bursts) or when per-burst observability is attached.
+            let fast = self.page_policy == PagePolicy::Open
+                && self.obs.is_none()
+                && self.busy_until.max(req.arrival) < self.next_forced_refresh;
+            if !fast {
+                let (f, d) = self.issue_burst(write, burst * burst_bytes, req.arrival)?;
+                first_cmd = first_cmd.min(f);
+                done = done.max(d);
+                bursts += 1;
+                burst += 1;
+                continue;
+            }
+            let d = self.decoder.decode(burst * burst_bytes)?;
+            match self.device.open_row(d.bank)? {
+                Some(row) if row == d.row => {
+                    self.stats.row_hits += 1;
+                }
+                Some(_) => {
+                    self.stats.row_conflicts += 1;
+                    let (c, _) =
+                        self.issue(DramCommand::Precharge { bank: d.bank }, req.arrival)?;
+                    first_cmd = first_cmd.min(c);
+                    let (c, _) = self.issue(
+                        DramCommand::Activate {
+                            bank: d.bank,
+                            row: d.row,
+                        },
+                        req.arrival,
+                    )?;
+                    first_cmd = first_cmd.min(c);
+                }
+                None => {
+                    self.stats.row_misses += 1;
+                    let (c, _) = self.issue(
+                        DramCommand::Activate {
+                            bank: d.bank,
+                            row: d.row,
+                        },
+                        req.arrival,
+                    )?;
+                    first_cmd = first_cmd.min(c);
+                }
+            }
+            let run = (last_burst - burst + 1).min(bursts_per_page - burst % bursts_per_page);
+            let (c, data_end) = self.device.issue_column_run(
+                write,
+                d.bank,
+                d.col,
+                burst_words,
+                run as u32,
+                req.arrival,
+            )?;
+            first_cmd = first_cmd.min(c);
+            done = done.max(data_end);
+            // The head burst's outcome was counted above; the rest are hits.
+            self.stats.row_hits += run - 1;
+            if write {
+                self.stats.write_bursts += run;
+            } else {
+                self.stats.read_bursts += run;
+            }
+            bursts += run as u32;
+            burst += run;
         }
         self.busy_until = self.busy_until.max(done).max(self.device.data_busy_until());
         self.idle_handled_to = self.idle_handled_to.max(self.busy_until);

@@ -8,8 +8,6 @@
 //! timing window and state rule, returning a typed error on violations, so
 //! controller bugs cannot silently produce impossible schedules.
 
-use std::collections::VecDeque;
-
 use mcm_obs::{ChannelObs, CommandKind};
 use mcm_sim::{Frequency, SimTime};
 use serde::{Deserialize, Serialize};
@@ -119,9 +117,14 @@ pub struct BankCluster {
     earliest_cmd: u64,
     /// Earliest cycle for an ACT to any bank (tRRD).
     earliest_any_act: u64,
-    /// Cycles of the (up to) four most recent ACTs, oldest first, for the
-    /// four-activate window (tFAW).
-    recent_acts: VecDeque<u64>,
+    /// Fixed ring of the cycles of the (up to) four most recent ACTs for
+    /// the four-activate window (tFAW); `faw_head` indexes the oldest.
+    faw_ring: [u64; 4],
+    faw_head: u8,
+    faw_len: u8,
+    /// Banks with an open row, maintained incrementally so the hot path
+    /// never rescans the bank array.
+    open_banks: u32,
     /// Earliest cycle for the next READ command (bus occupancy/turnaround).
     earliest_rd: u64,
     /// Earliest cycle for the next WRITE command.
@@ -133,6 +136,9 @@ pub struct BankCluster {
     self_refreshing: bool,
     sr_since: u64,
     energy: EnergyAccount,
+    /// Mirror of the energy account's background state; commands that leave
+    /// it unchanged skip wall-clock conversion and interval accounting.
+    bg_state: BackgroundState,
     stats: ClusterStats,
     last_state_cycle: u64,
     trace: Option<Vec<crate::validate::TracedCommand>>,
@@ -173,7 +179,10 @@ impl BankCluster {
             banks: vec![Bank::new(); config.geometry.banks as usize],
             earliest_cmd: 0,
             earliest_any_act: 0,
-            recent_acts: VecDeque::with_capacity(4),
+            faw_ring: [0; 4],
+            faw_head: 0,
+            faw_len: 0,
+            open_banks: 0,
             earliest_rd: 0,
             earliest_wr: 0,
             data_busy_until: 0,
@@ -182,6 +191,7 @@ impl BankCluster {
             self_refreshing: false,
             sr_since: 0,
             energy: EnergyAccount::new(model, BackgroundState::PrechargeStandby),
+            bg_state: BackgroundState::PrechargeStandby,
             stats: ClusterStats::default(),
             last_state_cycle: 0,
             trace: None,
@@ -235,8 +245,9 @@ impl BankCluster {
     }
 
     /// Whether any bank has an open row.
+    #[inline]
     pub fn any_bank_open(&self) -> bool {
-        self.banks.iter().any(Bank::is_active)
+        self.open_banks > 0
     }
 
     /// Cycle at which all in-flight data beats have completed.
@@ -289,8 +300,9 @@ impl BankCluster {
                     });
                 }
                 let mut earliest = base.max(b.earliest_act()).max(self.earliest_any_act);
-                if self.recent_acts.len() == 4 {
-                    earliest = earliest.max(self.recent_acts[0] + self.timing.t_faw);
+                if self.faw_len == 4 {
+                    earliest =
+                        earliest.max(self.faw_ring[self.faw_head as usize] + self.timing.t_faw);
                 }
                 Ok(earliest)
             }
@@ -391,6 +403,148 @@ impl BankCluster {
                 earliest: self.last_state_cycle,
             });
         }
+        self.apply(cmd, cycle)
+    }
+
+    /// Schedules and commits `cmd` in one pass: computes the earliest legal
+    /// cycle at or after `not_before` and issues the command there,
+    /// returning the chosen cycle alongside the outcome.
+    ///
+    /// Equivalent to [`BankCluster::earliest_issue`] followed by
+    /// [`BankCluster::issue`] at the returned cycle, but evaluates the
+    /// timing constraints once instead of twice — the controller's hot path.
+    pub fn issue_at_earliest(
+        &mut self,
+        cmd: DramCommand,
+        not_before: u64,
+    ) -> Result<(u64, IssueOutcome), DramError> {
+        let cycle = self.earliest_issue(cmd, not_before)?;
+        // `earliest_issue` never returns before `earliest_cmd`, which every
+        // commit pushes past itself, so program order holds by construction.
+        debug_assert!(cycle >= self.last_state_cycle);
+        let outcome = self.apply(cmd, cycle)?;
+        Ok((cycle, outcome))
+    }
+
+    /// Issues a run of `n` column bursts to the already-open row of `bank`
+    /// — columns `col0, col0 + col_step, …` — each at its earliest legal
+    /// cycle. Exactly equivalent to `n` successive
+    /// [`BankCluster::issue_at_earliest`] calls with the corresponding
+    /// `Read`/`Write` commands, but scheduled in one pass without
+    /// per-command dispatch: the controller's row-hit fast path.
+    ///
+    /// Returns `(first_cycle, last_data_end)`. With observability attached
+    /// (or when any precondition fails), it falls back to the general
+    /// per-command path so callbacks and error reporting are identical.
+    pub fn issue_column_run(
+        &mut self,
+        write: bool,
+        bank: u32,
+        col0: u32,
+        col_step: u32,
+        n: u32,
+        not_before: u64,
+    ) -> Result<(u64, u64), DramError> {
+        debug_assert!(n > 0, "empty column run");
+        let last_col = col0 as u64 + (n as u64 - 1) * col_step as u64;
+        let fast = self.obs.is_none()
+            && !self.self_refreshing
+            && !self.powered_down
+            && last_col < self.geometry.cols as u64
+            && self.banks.get(bank as usize).is_some_and(|b| b.is_active());
+        if !fast {
+            // General path: per-command issue keeps errors and obs
+            // callbacks exactly as the unbatched controller produced them.
+            let mut first = u64::MAX;
+            let mut last_end = 0;
+            for k in 0..n {
+                let col = col0 + k * col_step;
+                let cmd = if write {
+                    DramCommand::Write { bank, col }
+                } else {
+                    DramCommand::Read { bank, col }
+                };
+                let (c, out) = self.issue_at_earliest(cmd, not_before)?;
+                first = first.min(c);
+                last_end = out.data_end_cycle.expect("column commands return data end");
+            }
+            return Ok((first, last_end));
+        }
+        // The open row never changes during the run, so `earliest_col` is a
+        // constant and every per-burst quantity is a handful of max/adds.
+        debug_assert!(self.bg_state == BackgroundState::from_flags(true, false));
+        let (pre_gap, latency, to_same, to_other) = if write {
+            (
+                self.timing.wr_to_pre_ck,
+                self.timing.wl,
+                self.timing.bl_ck,
+                self.timing.wr_to_rd_ck,
+            )
+        } else {
+            (
+                self.timing.t_rtp,
+                self.timing.cl,
+                self.timing.bl_ck,
+                self.timing.rd_to_wr_ck,
+            )
+        };
+        let bl_ck = self.timing.bl_ck;
+        let mut b = self.banks[bank as usize];
+        let ecol = b.earliest_col();
+        let (mut bus_same, mut bus_other) = if write {
+            (self.earliest_wr, self.earliest_rd)
+        } else {
+            (self.earliest_rd, self.earliest_wr)
+        };
+        let mut ecmd = self.earliest_cmd;
+        let mut first = 0;
+        let mut end = 0;
+        for k in 0..n {
+            let cycle = ecmd.max(not_before).max(ecol).max(bus_same);
+            b.apply_column(cycle, pre_gap);
+            bus_same = bus_same.max(cycle + to_same);
+            bus_other = bus_other.max(cycle + to_other);
+            end = cycle + latency + bl_ck;
+            ecmd = ecmd.max(cycle + 1);
+            if let Some(trace) = &mut self.trace {
+                let col = col0 + k * col_step;
+                let cmd = if write {
+                    DramCommand::Write { bank, col }
+                } else {
+                    DramCommand::Read { bank, col }
+                };
+                trace.push(crate::validate::TracedCommand { cycle, cmd });
+            }
+            if k == 0 {
+                first = cycle;
+            }
+        }
+        self.banks[bank as usize] = b;
+        self.earliest_cmd = ecmd;
+        self.last_state_cycle = ecmd - 1;
+        self.data_busy_until = self.data_busy_until.max(end);
+        if write {
+            self.earliest_wr = bus_same;
+            self.earliest_rd = bus_other;
+            for _ in 0..n {
+                self.energy.record_write_burst();
+            }
+            self.stats.writes += n as u64;
+        } else {
+            self.earliest_rd = bus_same;
+            self.earliest_wr = bus_other;
+            for _ in 0..n {
+                self.energy.record_read_burst();
+            }
+            self.stats.reads += n as u64;
+        }
+        Ok((first, end))
+    }
+
+    /// Commits an already-validated command: mutates bank/bus/power state,
+    /// stats and energy. `cycle` must satisfy `earliest_issue` and program
+    /// order; both entry points guarantee it.
+    fn apply(&mut self, cmd: DramCommand, cycle: u64) -> Result<IssueOutcome, DramError> {
         self.last_state_cycle = cycle;
         if let Some(trace) = &mut self.trace {
             trace.push(crate::validate::TracedCommand { cycle, cmd });
@@ -408,11 +562,15 @@ impl BankCluster {
                     });
                 }
                 self.banks[bank as usize].apply_activate(cycle, row, t.t_rcd, t.t_ras, t.t_rc);
+                self.open_banks += 1;
                 self.earliest_any_act = self.earliest_any_act.max(cycle + t.t_rrd);
-                if self.recent_acts.len() == 4 {
-                    self.recent_acts.pop_front();
+                if self.faw_len == 4 {
+                    self.faw_ring[self.faw_head as usize] = cycle;
+                    self.faw_head = (self.faw_head + 1) & 3;
+                } else {
+                    self.faw_ring[((self.faw_head + self.faw_len) & 3) as usize] = cycle;
+                    self.faw_len += 1;
                 }
-                self.recent_acts.push_back(cycle);
                 self.energy.record_activate();
                 self.stats.activates += 1;
             }
@@ -439,6 +597,7 @@ impl BankCluster {
             DramCommand::Precharge { bank } => {
                 if self.banks[bank as usize].is_active() {
                     self.banks[bank as usize].apply_precharge(cycle, t.t_rp);
+                    self.open_banks -= 1;
                     self.stats.precharges += 1;
                 }
             }
@@ -446,6 +605,7 @@ impl BankCluster {
                 for b in &mut self.banks {
                     if b.is_active() {
                         b.apply_precharge(cycle, t.t_rp);
+                        self.open_banks -= 1;
                         self.stats.precharges += 1;
                     }
                 }
@@ -479,13 +639,26 @@ impl BankCluster {
         }
         // Command bus: one command per cycle.
         self.earliest_cmd = self.earliest_cmd.max(cycle + 1);
-        // Background-state bookkeeping at the command's wall-clock time.
-        let now = self.time_of_cycle(cycle);
+        // Background-state bookkeeping. With observability off, commands
+        // that leave the state unchanged skip the cycle→time conversion and
+        // the interval close entirely: the background integral over a
+        // constant-state stretch is identical whether it is closed per
+        // command or once at the next transition.
         let state = if self.self_refreshing {
             BackgroundState::SelfRefresh
         } else {
-            BackgroundState::from_flags(self.any_bank_open(), self.powered_down)
+            BackgroundState::from_flags(self.open_banks > 0, self.powered_down)
         };
+        if self.obs.is_none() {
+            if state != self.bg_state {
+                self.bg_state = state;
+                let now = self.time_of_cycle(cycle);
+                self.energy.switch_state(state, now);
+            }
+            return Ok(outcome);
+        }
+        self.bg_state = state;
+        let now = self.time_of_cycle(cycle);
         if let Some(obs) = self.obs.clone() {
             let at_ps = now.as_ps();
             let (kind, bank) = obs_kind_of(cmd);
@@ -505,8 +678,6 @@ impl BankCluster {
             if to_ps > from_ps {
                 obs.background(from_ps, to_ps, bg_pj);
             }
-        } else {
-            self.energy.switch_state(state, now);
         }
         Ok(outcome)
     }

@@ -340,7 +340,14 @@ impl TimingParams {
         let ck = |ns: f64| clock.ns_to_cycles_ceil(ns);
         let bl_ck = geometry.burst_cycles();
         let cl = ck(self.cas_latency_ns).max(2);
+        let wl = self.write_latency_ck;
         Ok(ResolvedTiming {
+            // Derived command-to-command deltas, resolved once per datasheet
+            // so the per-command hot path reads a field instead of
+            // recomputing.
+            rd_to_wr_ck: cl + bl_ck + 1 - wl.min(cl),
+            wr_to_rd_ck: wl + bl_ck + self.t_wtr_ck,
+            wr_to_pre_ck: wl + bl_ck + ck(self.t_wr_ns),
             clock,
             clock_mhz,
             cl,
@@ -408,25 +415,35 @@ pub struct ResolvedTiming {
     pub t_xsr: u64,
     /// Minimum power-down residency, cycles.
     pub t_cke_min: u64,
+    /// Precomputed READ → WRITE bus-turnaround gap, cycles
+    /// (`cl + bl_ck + 1 - min(wl, cl)`).
+    pub rd_to_wr_ck: u64,
+    /// Precomputed WRITE → READ gap, cycles (`wl + bl_ck + t_wtr`).
+    pub wr_to_rd_ck: u64,
+    /// Precomputed WRITE → PRE gap, cycles (`wl + bl_ck + t_wr`).
+    pub wr_to_pre_ck: u64,
 }
 
 impl ResolvedTiming {
     /// Gap required between a READ command and a following WRITE command on
     /// the same channel (bus turnaround): the read data must clear the bus
     /// before write data is driven.
+    #[inline]
     pub fn rd_to_wr(&self) -> u64 {
-        self.cl + self.bl_ck + 1 - self.wl.min(self.cl)
+        self.rd_to_wr_ck
     }
 
     /// Gap required between a WRITE command and a following READ command
     /// (write data beats plus tWTR recovery).
+    #[inline]
     pub fn wr_to_rd(&self) -> u64 {
-        self.wl + self.bl_ck + self.t_wtr
+        self.wr_to_rd_ck
     }
 
     /// Earliest PRE after a WRITE command: write data end plus tWR.
+    #[inline]
     pub fn wr_to_pre(&self) -> u64 {
-        self.wl + self.bl_ck + self.t_wr
+        self.wr_to_pre_ck
     }
 }
 

@@ -12,17 +12,17 @@
 //! implementations.
 
 use core::fmt;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use mcm_obs::Recorder;
 
+use crate::queue::{EventQueue, QueuedEvent};
 use crate::time::SimTime;
+use crate::QueueKind;
 
 /// Identifies a component registered with a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ComponentId(usize);
+pub struct ComponentId(pub(crate) usize);
 
 impl ComponentId {
     /// The raw index of this component in registration order.
@@ -160,32 +160,6 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Heap entry; ordered by (time, sequence) so simultaneous events fire in
-/// scheduling order — the engine is fully deterministic.
-struct QueuedEvent<M> {
-    at: SimTime,
-    seq: u64,
-    to: ComponentId,
-    msg: M,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// A deterministic discrete-event simulation over message type `M`.
 ///
 /// # Examples
@@ -218,7 +192,7 @@ impl<M> Ord for QueuedEvent<M> {
 /// ```
 pub struct Simulation<M> {
     now: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    queue: EventQueue<M>,
     components: Vec<Box<dyn ComponentObj<M>>>,
     next_seq: u64,
     events_fired: u64,
@@ -245,11 +219,19 @@ impl<M> Default for Simulation<M> {
 }
 
 impl<M> Simulation<M> {
-    /// Creates an empty simulation at time zero with no event budget.
+    /// Creates an empty simulation at time zero with no event budget, using
+    /// the default [`QueueKind::Calendar`] event queue.
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::default())
+    }
+
+    /// Creates an empty simulation backed by the given event-queue
+    /// implementation. Both kinds deliver events in identical order; see
+    /// [`QueueKind`].
+    pub fn with_queue(kind: QueueKind) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
             components: Vec::new(),
             next_seq: 0,
             events_fired: 0,
@@ -257,6 +239,11 @@ impl<M> Simulation<M> {
             outbox: Vec::new(),
             recorder: None,
         }
+    }
+
+    /// The event-queue implementation this simulation runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Attaches a recorder; every fired event reports the remaining queue
@@ -323,14 +310,20 @@ impl<M> Simulation<M> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, to, msg }));
+        self.queue.push(QueuedEvent { at, seq, to, msg });
     }
 
     /// Fires a single event. Returns `Ok(false)` when the queue is empty.
     pub fn step(&mut self) -> Result<bool, SimError> {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.queue.pop() else {
             return Ok(false);
         };
+        self.fire(ev)?;
+        Ok(true)
+    }
+
+    /// Delivers one already-dequeued event.
+    fn fire(&mut self, ev: QueuedEvent<M>) -> Result<(), SimError> {
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
         self.events_fired += 1;
@@ -360,12 +353,12 @@ impl<M> Simulation<M> {
         for (at, to, msg) in self.outbox.drain(..) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.queue.push(Reverse(QueuedEvent { at, seq, to, msg }));
+            self.queue.push(QueuedEvent { at, seq, to, msg });
         }
         if stop {
             self.queue.clear();
         }
-        Ok(true)
+        Ok(())
     }
 
     /// Runs until the event queue drains, a component requests a stop, or an
@@ -377,13 +370,8 @@ impl<M> Simulation<M> {
 
     /// Runs until `deadline` (inclusive); events after it remain queued.
     pub fn run_until(&mut self, deadline: SimTime) -> Result<SimTime, SimError> {
-        loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
-                    self.step()?;
-                }
-                _ => break,
-            }
+        while let Some(ev) = self.queue.pop_at_or_before(deadline) {
+            self.fire(ev)?;
         }
         Ok(self.now)
     }

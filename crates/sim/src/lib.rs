@@ -33,9 +33,11 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+mod queue;
 pub mod stats;
 mod time;
 pub mod trace;
 
 pub use engine::{Component, ComponentId, Ctx, SimError, Simulation};
+pub use queue::QueueKind;
 pub use time::{ClockDomain, Frequency, SimTime, ZeroFrequencyError};

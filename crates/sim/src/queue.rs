@@ -1,0 +1,422 @@
+//! Pending-event storage for the simulation kernel.
+//!
+//! Two interchangeable implementations live behind [`EventQueue`]:
+//!
+//! * [`QueueKind::Calendar`] — a Brown-style calendar queue: events hash into
+//!   power-of-two time buckets (`(at_ps >> shift) & mask`), so push and pop
+//!   are O(1) amortized instead of the heap's O(log n). The bucket count and
+//!   width adapt to the live event population with purely deterministic
+//!   rules (no randomness, no wall-clock), and ties at the same timestamp
+//!   are broken by scheduling sequence number, so delivery order is
+//!   bit-identical to the binary heap's.
+//! * [`QueueKind::BinaryHeap`] — the original `BinaryHeap<Reverse<…>>`
+//!   ordering, kept selectable for parity tests and benchmarking.
+//!
+//! Both orderings deliver events by ascending `(at, seq)`; the parity tests
+//! in `tests/queue_parity.rs` and the cross-engine suite in `mcm-core` hold
+//! them to that contract.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+use crate::ComponentId;
+
+/// Queue entry; ordered by (time, sequence) so simultaneous events fire in
+/// scheduling order — the engine is fully deterministic.
+pub(crate) struct QueuedEvent<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) to: ComponentId,
+    pub(crate) msg: M,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Selects the pending-event data structure used by a
+/// [`Simulation`](crate::Simulation).
+///
+/// Both kinds deliver events in identical `(time, sequence)` order; the
+/// calendar queue is the faster default, the binary heap is retained as the
+/// reference ordering for parity tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// Adaptive calendar queue with O(1) amortized push/pop (default).
+    #[default]
+    Calendar,
+    /// The original `BinaryHeap<Reverse<…>>` with O(log n) operations.
+    BinaryHeap,
+}
+
+/// Dispatch wrapper over the two queue implementations.
+pub(crate) enum EventQueue<M> {
+    Heap(BinaryHeap<Reverse<QueuedEvent<M>>>),
+    Calendar(CalendarQueue<M>),
+}
+
+impl<M> EventQueue<M> {
+    pub(crate) fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Calendar => EventQueue::Calendar(CalendarQueue::new()),
+            QueueKind::BinaryHeap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> QueueKind {
+        match self {
+            EventQueue::Heap(_) => QueueKind::BinaryHeap,
+            EventQueue::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Calendar(c) => c.len,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: QueuedEvent<M>) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse(ev)),
+            EventQueue::Calendar(c) => c.push(ev),
+        }
+    }
+
+    /// Removes and returns the earliest `(at, seq)` event.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+            EventQueue::Calendar(c) => c.pop(),
+        }
+    }
+
+    /// Removes and returns the earliest event iff its time is `<= deadline`;
+    /// otherwise leaves the queue untouched.
+    pub(crate) fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<QueuedEvent<M>> {
+        match self {
+            EventQueue::Heap(h) => {
+                if matches!(h.peek(), Some(Reverse(ev)) if ev.at <= deadline) {
+                    h.pop().map(|Reverse(ev)| ev)
+                } else {
+                    None
+                }
+            }
+            EventQueue::Calendar(c) => c.pop_at_or_before(deadline),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        match self {
+            EventQueue::Heap(h) => h.clear(),
+            EventQueue::Calendar(c) => c.clear(),
+        }
+    }
+}
+
+/// Smallest bucket count the calendar ever uses.
+const MIN_BUCKETS: usize = 16;
+/// Initial log2 bucket width in picoseconds (8192 ps ≈ a few DRAM cycles);
+/// resizes re-derive it from the live event population.
+const INITIAL_SHIFT: u32 = 13;
+
+/// A deterministic adaptive calendar queue (R. Brown, CACM 1988).
+///
+/// Events with time `t` (in ps) live in bucket `(t >> shift) & mask`; a
+/// "year" is `bucket_count << shift` ps. The only committed scan state is
+/// `floor_ps`, a proven lower bound on every current *and future* event
+/// time: it advances exactly to each popped event's timestamp, which is the
+/// global minimum, and the engine never schedules events before the last
+/// delivery time. Each pop hunts forward from the floor's bucket with local
+/// cursors, so a declined conditional pop or a push "behind" a previous hunt
+/// can never corrupt ordering.
+pub(crate) struct CalendarQueue<M> {
+    buckets: Vec<Vec<QueuedEvent<M>>>,
+    /// `buckets.len() - 1`; the bucket count is always a power of two.
+    mask: usize,
+    /// log2 of the bucket width in picoseconds.
+    shift: u32,
+    len: usize,
+    /// Lower bound (ps) on all queued and future event times.
+    floor_ps: u64,
+}
+
+impl<M> CalendarQueue<M> {
+    fn new() -> Self {
+        let mut buckets = Vec::with_capacity(MIN_BUCKETS);
+        buckets.resize_with(MIN_BUCKETS, Vec::new);
+        CalendarQueue {
+            buckets,
+            mask: MIN_BUCKETS - 1,
+            shift: INITIAL_SHIFT,
+            len: 0,
+            floor_ps: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, at_ps: u64) -> usize {
+        ((at_ps >> self.shift) as usize) & self.mask
+    }
+
+    fn push(&mut self, ev: QueuedEvent<M>) {
+        debug_assert!(ev.at.as_ps() >= self.floor_ps, "push below queue floor");
+        let b = self.bucket_of(ev.at.as_ps());
+        self.buckets[b].push(ev);
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        let (b, i) = self.locate_min()?;
+        self.take(b, i)
+    }
+
+    fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<QueuedEvent<M>> {
+        let (b, i) = self.locate_min()?;
+        if self.buckets[b][i].at > deadline {
+            return None;
+        }
+        self.take(b, i)
+    }
+
+    fn take(&mut self, b: usize, i: usize) -> Option<QueuedEvent<M>> {
+        let ev = self.buckets[b].swap_remove(i);
+        self.len -= 1;
+        // The removed event is the global minimum, and the engine never
+        // schedules before the last delivered time, so its timestamp is a
+        // sound new floor.
+        self.floor_ps = ev.at.as_ps();
+        let n = self.buckets.len();
+        if n > MIN_BUCKETS && self.len * 2 < n {
+            self.resize(n / 2);
+        }
+        Some(ev)
+    }
+
+    /// Finds the earliest `(at, seq)` event and returns its (bucket, index)
+    /// without removing it or mutating any state.
+    fn locate_min(&self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let width = 1u64 << self.shift;
+        let mut cur = self.bucket_of(self.floor_ps);
+        let mut top = ((self.floor_ps >> self.shift) << self.shift).saturating_add(width);
+        // Scan at most one full year bucket-by-bucket; each step only looks
+        // at events belonging to the current year (at < top).
+        for _ in 0..self.buckets.len() {
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, ev) in self.buckets[cur].iter().enumerate() {
+                if ev.at.as_ps() < top {
+                    let key = (ev.at, ev.seq);
+                    if best.is_none_or(|(_, at, seq)| key < (at, seq)) {
+                        best = Some((i, ev.at, ev.seq));
+                    }
+                }
+            }
+            if let Some((i, _, _)) = best {
+                return Some((cur, i));
+            }
+            cur = (cur + 1) & self.mask;
+            top = top.saturating_add(width);
+        }
+        // Sparse tail: nothing within a whole year of the floor. Fall back
+        // to a direct global-minimum search.
+        let mut best: Option<(usize, usize, SimTime, u64)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (i, ev) in bucket.iter().enumerate() {
+                let key = (ev.at, ev.seq);
+                if best.is_none_or(|(_, _, at, seq)| key < (at, seq)) {
+                    best = Some((b, i, ev.at, ev.seq));
+                }
+            }
+        }
+        let (b, i, _, _) = best.expect("len > 0 but no event found");
+        Some((b, i))
+    }
+
+    /// Rebuilds with `new_count` buckets and a bucket width re-derived from
+    /// the live population's time span — entirely deterministic.
+    fn resize(&mut self, new_count: usize) {
+        let mut events: Vec<QueuedEvent<M>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            events.append(bucket);
+        }
+        debug_assert_eq!(events.len(), self.len);
+        if events.len() > 1 {
+            let min = events.iter().map(|e| e.at.as_ps()).min().unwrap();
+            let max = events.iter().map(|e| e.at.as_ps()).max().unwrap();
+            if max > min {
+                // Aim for ~4 average inter-event gaps per bucket.
+                let gap = ((max - min) / events.len() as u64).max(1);
+                let width = gap.saturating_mul(4);
+                self.shift = (63 - width.leading_zeros()).clamp(6, 44);
+            }
+        }
+        self.buckets.clear();
+        self.buckets.resize_with(new_count, Vec::new);
+        self.mask = new_count - 1;
+        for ev in events {
+            let b = ((ev.at.as_ps() >> self.shift) as usize) & self.mask;
+            self.buckets[b].push(ev);
+        }
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ps: u64, seq: u64) -> QueuedEvent<u32> {
+        QueuedEvent {
+            at: SimTime::from_ps(at_ps),
+            seq,
+            to: ComponentId(0),
+            msg: seq as u32,
+        }
+    }
+
+    fn drain<M>(q: &mut EventQueue<M>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.at.as_ps(), e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_mixed_schedule() {
+        let mut cal = EventQueue::new(QueueKind::Calendar);
+        let mut heap = EventQueue::new(QueueKind::BinaryHeap);
+        // Deterministic pseudo-random schedule: clustered, duplicate, and
+        // far-future timestamps.
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut seq = 0u64;
+        for round in 0..5u64 {
+            for _ in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let at = round * 1_000_000 + (x % 50_000);
+                cal.push(ev(at, seq));
+                heap.push(ev(at, seq));
+                seq += 1;
+            }
+            // Same-timestamp burst: FIFO tiebreak must hold.
+            for _ in 0..20 {
+                let at = round * 1_000_000 + 777;
+                cal.push(ev(at, seq));
+                heap.push(ev(at, seq));
+                seq += 1;
+            }
+        }
+        // One event a long "year" away to exercise the sparse-tail search.
+        cal.push(ev(u64::MAX / 2, seq));
+        heap.push(ev(u64::MAX / 2, seq));
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut cal = EventQueue::new(QueueKind::Calendar);
+        let mut heap = EventQueue::new(QueueKind::BinaryHeap);
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut cal_out = Vec::new();
+        let mut heap_out = Vec::new();
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Push 0–2 events at or after `now`, then pop one.
+            for _ in 0..(x % 3) {
+                let at = now + (x % 10_000);
+                cal.push(ev(at, seq));
+                heap.push(ev(at, seq));
+                seq += 1;
+            }
+            if let Some(e) = cal.pop() {
+                now = e.at.as_ps();
+                cal_out.push((e.at.as_ps(), e.seq));
+            }
+            if let Some(e) = heap.pop() {
+                heap_out.push((e.at.as_ps(), e.seq));
+            }
+        }
+        cal_out.extend(drain(&mut cal));
+        heap_out.extend(drain(&mut heap));
+        assert_eq!(cal_out, heap_out);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_deadline() {
+        for kind in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::new(kind);
+            q.push(ev(100, 0));
+            q.push(ev(200, 1));
+            assert!(q.pop_at_or_before(SimTime::from_ps(50)).is_none());
+            assert_eq!(q.len(), 2);
+            let e = q.pop_at_or_before(SimTime::from_ps(150)).unwrap();
+            assert_eq!((e.at.as_ps(), e.seq), (100, 0));
+            assert!(q.pop_at_or_before(SimTime::from_ps(150)).is_none());
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn grow_and_shrink_preserve_order() {
+        let mut q = EventQueue::new(QueueKind::Calendar);
+        for seq in 0..10_000u64 {
+            q.push(ev(seq * 17 % 4096, seq));
+        }
+        assert_eq!(q.len(), 10_000);
+        let drained = drain(&mut q);
+        let mut expect = drained.clone();
+        expect.sort();
+        assert_eq!(drained, expect);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        for kind in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::new(kind);
+            for seq in 0..100 {
+                q.push(ev(seq, seq));
+            }
+            q.clear();
+            assert_eq!(q.len(), 0);
+            assert!(q.pop().is_none());
+            assert_eq!(q.kind(), kind);
+        }
+    }
+}

@@ -298,6 +298,11 @@ impl std::error::Error for ZeroFrequencyError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClockDomain {
     freq: Frequency,
+    /// Clock period in whole picoseconds when the frequency divides 10^12
+    /// evenly (e.g. 400 MHz → 2500 ps), else 0. Caching it turns the hot
+    /// cycle↔time conversions into single u64 multiplies/divides instead of
+    /// 128-bit divisions, with bit-identical results.
+    exact_period_ps: u64,
 }
 
 impl ClockDomain {
@@ -306,7 +311,16 @@ impl ClockDomain {
         if freq.as_hz() == 0 {
             Err(ZeroFrequencyError)
         } else {
-            Ok(ClockDomain { freq })
+            let hz = freq.as_hz();
+            let exact_period_ps = if PS_PER_S.is_multiple_of(hz) {
+                PS_PER_S / hz
+            } else {
+                0
+            };
+            Ok(ClockDomain {
+                freq,
+                exact_period_ps,
+            })
         }
     }
 
@@ -326,6 +340,11 @@ impl ClockDomain {
     /// rounded to the nearest picosecond.
     #[inline]
     pub fn time_of_cycles(self, cycles: u64) -> SimTime {
+        if self.exact_period_ps != 0 {
+            // Wrapping multiply matches the `as u64` truncation of the
+            // general path for (absurd) cycle counts beyond SimTime's range.
+            return SimTime::from_ps(cycles.wrapping_mul(self.exact_period_ps));
+        }
         let hz = self.freq.as_hz() as u128;
         let ps = (cycles as u128 * PS_PER_S as u128 + hz / 2) / hz;
         SimTime::from_ps(ps as u64)
@@ -335,6 +354,9 @@ impl ClockDomain {
     /// clock cycle; DDR data beats occupy one half-cycle each).
     #[inline]
     pub fn time_of_half_cycles(self, half_cycles: u64) -> SimTime {
+        if self.exact_period_ps != 0 && self.exact_period_ps & 1 == 0 {
+            return SimTime::from_ps(half_cycles.wrapping_mul(self.exact_period_ps >> 1));
+        }
         let hz2 = 2 * self.freq.as_hz() as u128;
         let ps = (half_cycles as u128 * PS_PER_S as u128 + hz2 / 2) / hz2;
         SimTime::from_ps(ps as u64)
@@ -344,6 +366,9 @@ impl ClockDomain {
     /// (i.e. `floor(t / period)` computed exactly).
     #[inline]
     pub fn cycles_at(self, t: SimTime) -> u64 {
+        if let Some(cycles) = t.as_ps().checked_div(self.exact_period_ps) {
+            return cycles;
+        }
         let hz = self.freq.as_hz() as u128;
         ((t.as_ps() as u128 * hz) / PS_PER_S as u128) as u64
     }
@@ -352,6 +377,9 @@ impl ClockDomain {
     /// (i.e. `ceil(t / period)` computed exactly).
     #[inline]
     pub fn cycles_ceil(self, t: SimTime) -> u64 {
+        if self.exact_period_ps != 0 {
+            return t.as_ps().div_ceil(self.exact_period_ps);
+        }
         let hz = self.freq.as_hz() as u128;
         let num = t.as_ps() as u128 * hz;
         let den = PS_PER_S as u128;

@@ -228,7 +228,11 @@ mod tests {
         let cache = ResultCache::new(tmp_dir("roundtrip")).unwrap();
         let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
         exp.op_limit = Some(2_000);
-        let record = PointRecord::from_result(exp.run()).unwrap();
+        let record = PointRecord::from_result(
+            exp.run_with(&RunOptions::default())
+                .map(|o| o.into_frame().expect("single-frame outcome")),
+        )
+        .unwrap();
         let fp = ResultCache::fingerprint(&exp, &RunOptions::default()).unwrap();
         assert!(cache.load(fp).is_none());
         cache.store(fp, &record).unwrap();
@@ -249,7 +253,11 @@ mod tests {
     fn infeasible_points_distill_without_error() {
         // 2160p30 cannot fit one 512 Mib channel.
         let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 1, 400);
-        let record = PointRecord::from_result(exp.run()).unwrap();
+        let record = PointRecord::from_result(
+            exp.run_with(&RunOptions::default())
+                .map(|o| o.into_frame().expect("single-frame outcome")),
+        )
+        .unwrap();
         assert!(!record.feasible);
         assert_eq!(record.total_mw(), None);
         assert!(record.infeasible_reason.unwrap().contains("MiB"));

@@ -45,12 +45,37 @@ pub struct SweepOptions {
 }
 
 impl SweepOptions {
-    /// Serial, uncached, silent defaults — plus `n` worker threads.
-    pub fn with_threads(threads: usize) -> Self {
-        SweepOptions {
-            threads: Some(threads),
-            ..SweepOptions::default()
-        }
+    /// Sets the worker thread count (builder style):
+    /// `SweepOptions::default().with_threads(4)`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables the disk result cache under `dir` (builder style).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Replaces the per-point [`RunOptions`] (builder style). Sweeps are
+    /// single-frame: `run.frames` must stay `1`.
+    pub fn with_run(mut self, run: RunOptions) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Enables per-point progress lines on stderr (builder style).
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Enables per-point observability summaries (builder style); see
+    /// [`SweepOptions::observe`] for when summaries are actually attached.
+    pub fn with_observe(mut self, observe: bool) -> Self {
+        self.observe = observe;
+        self
     }
 }
 
@@ -403,7 +428,7 @@ mod tests {
 
     #[test]
     fn sweep_results_keep_expansion_order() {
-        let result = run_sweep(&quick_spec(), &SweepOptions::with_threads(3)).unwrap();
+        let result = run_sweep(&quick_spec(), &SweepOptions::default().with_threads(3)).unwrap();
         assert_eq!(
             result.points.iter().map(|p| p.channels).collect::<Vec<_>>(),
             vec![1, 2, 4]
@@ -460,11 +485,9 @@ mod tests {
     #[test]
     fn observe_attaches_per_point_summaries() {
         let dir = std::env::temp_dir().join(format!("mcm-sweep-obs-{}", std::process::id()));
-        let options = SweepOptions {
-            cache_dir: Some(dir.clone()),
-            observe: true,
-            ..SweepOptions::default()
-        };
+        let options = SweepOptions::default()
+            .with_cache_dir(dir.clone())
+            .with_observe(true);
         let fresh = run_sweep(&quick_spec(), &options).unwrap();
         for p in &fresh.points {
             let s = p.obs.as_ref().expect("simulated point carries obs");

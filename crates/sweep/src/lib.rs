@@ -25,7 +25,7 @@
 //!     op_limit: Some(2_000), // truncated run for the doctest
 //!     ..SweepSpec::default()
 //! };
-//! let result = run_sweep(&spec, &SweepOptions::with_threads(2)).unwrap();
+//! let result = run_sweep(&spec, &SweepOptions::default().with_threads(2)).unwrap();
 //! assert_eq!(result.points.len(), 3);
 //! // More channels, faster frame: results arrive in expansion order.
 //! let access = |i: usize| result.points[i].outcome.as_ref().unwrap().access_ms.unwrap();

@@ -28,8 +28,8 @@ fn tmp_dir(name: &str) -> PathBuf {
 #[test]
 fn parallel_json_is_byte_identical_to_serial() {
     let spec = quick_grid();
-    let serial = run_sweep(&spec, &SweepOptions::with_threads(1)).unwrap();
-    let parallel = run_sweep(&spec, &SweepOptions::with_threads(4)).unwrap();
+    let serial = run_sweep(&spec, &SweepOptions::default().with_threads(1)).unwrap();
+    let parallel = run_sweep(&spec, &SweepOptions::default().with_threads(4)).unwrap();
     assert_eq!(serial.points.len(), 8);
     assert_eq!(
         serial.to_json(),
@@ -124,7 +124,7 @@ fn isolated_failures_do_not_kill_the_sweep() {
         op_limit: Some(3_000),
         ..SweepSpec::default()
     };
-    let result = run_sweep(&spec, &SweepOptions::with_threads(4)).unwrap();
+    let result = run_sweep(&spec, &SweepOptions::default().with_threads(4)).unwrap();
     assert_eq!(result.stats.failed, 0);
     assert_eq!(result.stats.infeasible, 2);
     let feasible: Vec<bool> = result

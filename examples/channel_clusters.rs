@@ -16,8 +16,10 @@ fn main() {
 
     // Flat 8-channel memory.
     let flat = Experiment::paper(HdOperatingPoint::Hd1080p30, 8, 400)
-        .run()
-        .expect("flat 8-channel run");
+        .run_with(&RunOptions::default())
+        .expect("flat 8-channel run")
+        .into_frame()
+        .expect("single-frame outcome");
     println!(
         "flat 8-channel:       {:>6.2} ms, {}",
         flat.access_time.as_ms_f64(),

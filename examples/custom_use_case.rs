@@ -58,7 +58,10 @@ fn main() {
             interface: InterfacePowerModel::paper(),
             op_limit: None,
         };
-        match exp.run() {
+        let r = exp
+            .run_with(&RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"));
+        match r {
             Ok(r) => {
                 println!(
                     "  {channels} ch: {:>6.2} ms [{}] {}",

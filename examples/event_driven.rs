@@ -15,7 +15,11 @@ fn main() {
     exp.op_limit = Some(100_000); // a frame prefix keeps the demo snappy
 
     // The direct path: flood the memory, measure the drain time.
-    let direct = exp.run().expect("direct run");
+    let direct = exp
+        .run_with(&RunOptions::default())
+        .expect("direct run")
+        .into_frame()
+        .expect("single-frame outcome");
     let raw_ms = direct.access_time.as_ms_f64() * direct.simulated_bytes as f64
         / direct.planned_bytes as f64;
     println!("direct (flood):          {raw_ms:.3} ms for the prefix");

@@ -7,7 +7,7 @@
 //! Compared to looping over `Experiment::paper(..).run()` by hand, the
 //! engine runs the grid on a thread pool (results stay in grid order),
 //! isolates per-point failures, and can cache results on disk: point it
-//! at a directory with `SweepOptions { cache_dir: Some(..), .. }` or use
+//! at a directory with `SweepOptions::default().with_cache_dir(..)` or use
 //! the `mcm sweep --cache DIR` CLI and a re-run simulates nothing.
 
 use mcm::prelude::*;

@@ -19,7 +19,10 @@ fn main() {
         let mut best: Option<(u32, u64, f64, f64)> = None; // ch, clk, mW, ms
         for ch in CHANNELS {
             for clk in CLOCKS_MHZ {
-                let Ok(result) = Experiment::paper(point, ch, clk).run() else {
+                let run = Experiment::paper(point, ch, clk)
+                    .run_with(&RunOptions::default())
+                    .map(|o| o.into_frame().expect("single-frame outcome"));
+                let Ok(result) = run else {
                     continue; // frame buffers exceed this capacity
                 };
                 if result.verdict != RealTimeVerdict::Meets {
@@ -43,7 +46,10 @@ fn main() {
 
     println!("\nFixed 8-channel 400 MHz memory across formats (the paper's XDR point):");
     for point in HdOperatingPoint::ALL {
-        if let Ok(result) = Experiment::paper(point, 8, 400).run() {
+        let run = Experiment::paper(point, 8, 400)
+            .run_with(&RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"));
+        if let Ok(result) = run {
             let mw = result.power.total_mw();
             println!(
                 "  {point}: {mw:>5.0} mW = {:>4.1}% of XDR at {:.1} GB/s peak",

@@ -25,7 +25,10 @@ fn main() {
     // The memory: 4 channels x (memory controller + DRAM interconnect +
     // 512 Mb bank cluster), 400 MHz DDR, 16-byte channel interleaving.
     let experiment = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
-    let result = experiment.run().expect("the paper configuration is valid");
+    let outcome = experiment
+        .run_with(&RunOptions::default())
+        .expect("the paper configuration is valid");
+    let result = outcome.into_frame().expect("single-frame outcome");
 
     println!("Memory: 4 channels x 32-bit mobile DDR @ 400 MHz");
     println!(

@@ -28,13 +28,20 @@
 //!
 //! // The paper's headline configuration: full-HD 1080p30 recording on a
 //! // 4-channel, 400 MHz multi-channel memory.
-//! let mut exp = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
-//! exp.op_limit = Some(20_000); // doctest-sized prefix; drop for full runs
-//! let result = exp.run().unwrap();
-//! assert!(result.verdict.is_real_time());
+//! let exp = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+//! // Doctest-sized prefix; drop the op limit for full runs.
+//! let outcome = exp
+//!     .run_with(&RunOptions::default().with_op_limit(20_000))
+//!     .unwrap();
+//! assert!(outcome.frame().unwrap().verdict.is_real_time());
 //! ```
 
 #![warn(missing_docs)]
+
+// The run/sweep API surface, re-exported at the root so downstream code
+// can write `mcm::RunOptions` without spelling out the member crate.
+pub use mcm_core::{CoreError, Experiment, ExperimentBuilder, FrameResult, RunOptions, RunOutcome};
+pub use mcm_sweep::{run_sweep, SweepOptions, SweepResult, SweepSpec};
 
 pub use mcm_channel as channel;
 pub use mcm_core as core;

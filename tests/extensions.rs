@@ -2,7 +2,6 @@
 //! each one pins the qualitative claim its bench target prints.
 
 use mcm::core::eventsim::run_event_driven;
-use mcm::core::steady::run_steady_state;
 use mcm::core::{analysis, ChunkPolicy, Pacing};
 use mcm::prelude::*;
 use mcm_ctrl::{InterconnectModel, WritePolicy};
@@ -14,10 +13,17 @@ fn quick(channels: u32) -> Experiment {
     e
 }
 
+fn frame(e: &Experiment) -> FrameResult {
+    e.run_with(&RunOptions::default())
+        .unwrap()
+        .into_frame()
+        .unwrap()
+}
+
 #[test]
 fn e4_event_kernel_cross_validates_the_direct_path() {
     let e = quick(2);
-    let direct = e.run().unwrap();
+    let direct = frame(&e);
     let scale = direct.planned_bytes as f64 / direct.simulated_bytes as f64;
     let direct_raw = direct.access_time.as_ps() as f64 / scale;
     let event = run_event_driven(&e, u32::MAX).unwrap();
@@ -29,7 +35,11 @@ fn e4_event_kernel_cross_validates_the_direct_path() {
 fn e7_steady_state_stays_real_time_for_720p() {
     let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
     e.op_limit = Some(60_000);
-    let r = run_steady_state(&e, 4).unwrap();
+    let r = e
+        .run_with(&RunOptions::steady(4))
+        .unwrap()
+        .into_steady()
+        .unwrap();
     assert!(r.all_real_time());
     assert!(r.steady_access_time().is_some());
 }
@@ -38,10 +48,10 @@ fn e7_steady_state_stays_real_time_for_720p() {
 fn e8_viewfinder_fits_one_channel_where_recording_needs_four() {
     let mut rec = Experiment::paper(HdOperatingPoint::Hd1080p30, 1, 400);
     rec.op_limit = Some(60_000);
-    assert_eq!(rec.run().unwrap().verdict, RealTimeVerdict::Fails);
+    assert_eq!(frame(&rec).verdict, RealTimeVerdict::Fails);
     let mut vf = rec.clone();
     vf.use_case = UseCase::viewfinder(HdOperatingPoint::Hd1080p30);
-    let r = vf.run().unwrap();
+    let r = frame(&vf);
     assert!(
         r.verdict.is_real_time(),
         "viewfinder 1ch: {}",
@@ -51,11 +61,11 @@ fn e8_viewfinder_fits_one_channel_where_recording_needs_four() {
 
 #[test]
 fn e9_off_chip_interconnect_costs_power_not_bandwidth() {
-    let stacked = quick(4).run().unwrap();
+    let stacked = frame(&quick(4));
     let mut off = quick(4);
     off.memory.controller.interconnect = InterconnectModel::off_chip();
     off.interface = InterfacePowerModel::with_bonding(BondingTechnique::OffChipPcb);
-    let off = off.run().unwrap();
+    let off = frame(&off);
     // Bandwidth-bound access time within 2%.
     let ratio = off.access_time.as_ps() as f64 / stacked.access_time.as_ps() as f64;
     assert!((0.98..=1.02).contains(&ratio), "access ratio {ratio}");
@@ -67,21 +77,21 @@ fn e9_off_chip_interconnect_costs_power_not_bandwidth() {
 fn e11_future_device_outruns_the_paper_device() {
     let mut paper = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 533);
     paper.op_limit = Some(40_000);
-    let t_paper = paper.run().unwrap().access_time;
+    let t_paper = frame(&paper).access_time;
     let mut future = paper.clone();
     future.memory.clock_mhz = 800;
     future.memory.controller.cluster = ClusterConfig::future_lpddr2(800);
-    let t_future = future.run().unwrap().access_time;
+    let t_future = frame(&future).access_time;
     let speedup = t_paper.as_ps() as f64 / t_future.as_ps() as f64;
     assert!((1.3..=1.7).contains(&speedup), "speedup {speedup}");
 }
 
 #[test]
 fn a7_write_batching_speeds_up_the_frame_without_losing_bytes() {
-    let base = quick(2).run().unwrap();
+    let base = frame(&quick(2));
     let mut batched = quick(2);
     batched.memory.controller.write_policy = WritePolicy::Batched(32);
-    let b = batched.run().unwrap();
+    let b = frame(&batched);
     assert!(b.access_time < base.access_time);
     // Byte conservation holds across the posted-write path.
     assert_eq!(
@@ -102,7 +112,7 @@ fn pacing_and_batching_compose() {
     let mut e = quick(4);
     e.pacing = Pacing::Paced;
     e.memory.controller.write_policy = WritePolicy::Batched(16);
-    let r = e.run().unwrap();
+    let r = frame(&e);
     assert!(r.access_time > mcm_sim::SimTime::ZERO);
     assert!(r.power.core_mw > 0.0);
 }

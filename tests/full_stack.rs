@@ -12,11 +12,18 @@ fn quick_experiment(channels: u32) -> Experiment {
     e
 }
 
+fn frame(e: &Experiment) -> FrameResult {
+    e.run_with(&RunOptions::default())
+        .unwrap()
+        .into_frame()
+        .unwrap()
+}
+
 #[test]
 fn determinism_same_experiment_same_result() {
     let e = quick_experiment(4);
-    let a = e.run().unwrap();
-    let b = e.run().unwrap();
+    let a = frame(&e);
+    let b = frame(&e);
     assert_eq!(a.access_time, b.access_time);
     assert_eq!(a.verdict, b.verdict);
     assert!((a.power.total_mw() - b.power.total_mw()).abs() < 1e-12);
@@ -29,7 +36,7 @@ fn determinism_same_experiment_same_result() {
 
 #[test]
 fn energy_decomposition_is_consistent() {
-    let r = quick_experiment(2).run().unwrap();
+    let r = frame(&quick_experiment(2));
     for ch in &r.report.channels {
         let sum = ch.background_energy_pj + ch.event_energy_pj;
         assert!(
@@ -43,7 +50,7 @@ fn energy_decomposition_is_consistent() {
 
 #[test]
 fn bytes_are_conserved_through_the_interleaver() {
-    let r = quick_experiment(8).run().unwrap();
+    let r = frame(&quick_experiment(8));
     let moved = r.report.bytes_read + r.report.bytes_written;
     assert_eq!(moved, r.simulated_bytes);
     // And every byte became a read or write burst on some channel
@@ -59,7 +66,7 @@ fn bytes_are_conserved_through_the_interleaver() {
 
 #[test]
 fn channel_load_is_balanced_by_interleaving() {
-    let r = quick_experiment(4).run().unwrap();
+    let r = frame(&quick_experiment(4));
     let bursts: Vec<u64> = r
         .report
         .channels
@@ -77,8 +84,8 @@ fn rbc_beats_brc_end_to_end() {
     rbc.memory = rbc.memory.with_mapping(AddressMapping::Rbc);
     let mut brc = quick_experiment(2);
     brc.memory = brc.memory.with_mapping(AddressMapping::Brc);
-    let t_rbc = rbc.run().unwrap().access_time;
-    let t_brc = brc.run().unwrap().access_time;
+    let t_rbc = frame(&rbc).access_time;
+    let t_brc = frame(&brc).access_time;
     // "somewhat better performance were achieved compared to the BRC type"
     assert!(t_rbc < t_brc, "RBC {t_rbc} should beat BRC {t_brc}");
     let ratio = t_brc.as_ps() as f64 / t_rbc.as_ps() as f64;
@@ -90,10 +97,10 @@ fn rbc_beats_brc_end_to_end() {
 
 #[test]
 fn open_page_beats_closed_page_end_to_end() {
-    let open = quick_experiment(2).run().unwrap().access_time;
+    let open = frame(&quick_experiment(2)).access_time;
     let mut closed = quick_experiment(2);
     closed.memory.controller.page_policy = PagePolicy::Closed;
-    let t_closed = closed.run().unwrap().access_time;
+    let t_closed = frame(&closed).access_time;
     assert!(open < t_closed);
 }
 
@@ -101,10 +108,10 @@ fn open_page_beats_closed_page_end_to_end() {
 fn power_down_saves_energy_on_light_loads() {
     // A light load (720p30 on 8 channels) idles most of the frame; the
     // paper's immediate power-down policy must beat never powering down.
-    let pd = quick_experiment(8).run().unwrap().power.core_mw;
+    let pd = frame(&quick_experiment(8)).power.core_mw;
     let mut never = quick_experiment(8);
     never.memory.controller.power_down = PowerDownPolicy::Never;
-    let no_pd = never.run().unwrap().power.core_mw;
+    let no_pd = frame(&never).power.core_mw;
     assert!(
         pd < no_pd * 0.8,
         "immediate PD {pd} mW should clearly beat never {no_pd} mW"
@@ -120,7 +127,7 @@ fn per_channel_chunks_keep_efficiency_flat_fixed_chunks_degrade() {
         let bytes_per_op = chunk.bytes(channels) as u64;
         e.op_limit = Some(16 * 1024 * 1024 / bytes_per_op);
         e.chunk = chunk;
-        e.run().unwrap().efficiency()
+        frame(&e).efficiency()
     };
     let flat1 = eff(ChunkPolicy::PerChannel(64), 1);
     let flat8 = eff(ChunkPolicy::PerChannel(64), 8);
@@ -183,11 +190,11 @@ fn contemporary_mobile_ddr_cannot_reach_the_required_clocks() {
     let mut e = quick_experiment(1);
     e.memory.controller.cluster.timing = TimingParams::contemporary_mobile_ddr();
     // 400 MHz is out of range for the contemporary part.
-    assert!(e.run().is_err());
+    assert!(e.run_with(&RunOptions::default()).is_err());
     // At 200 MHz it runs, but fails 720p30 real time on one channel.
     let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, 1, 200);
     e.memory.controller.cluster.timing = TimingParams::contemporary_mobile_ddr();
-    assert_eq!(e.run().unwrap().verdict, RealTimeVerdict::Fails);
+    assert_eq!(frame(&e).verdict, RealTimeVerdict::Fails);
 }
 
 #[test]
@@ -195,7 +202,7 @@ fn wider_interleave_granules_still_work_end_to_end() {
     for granule in [16u64, 64, 256] {
         let mut e = quick_experiment(4);
         e.memory.granule_bytes = granule;
-        let r = e.run().unwrap();
+        let r = frame(&e);
         assert!(r.access_time > SimTime::ZERO, "granule {granule}");
     }
 }
@@ -232,7 +239,7 @@ fn linear_channel_mapping_strands_the_load_in_one_channel() {
         let mut e = Experiment::paper(HdOperatingPoint::Hd720p30, channels, 400);
         e.memory.granule_bytes = granule;
         e.op_limit = Some(30_000);
-        e.run().unwrap().access_time
+        frame(&e).access_time
     };
     let interleaved_4ch = time(16, 4);
     let linear_4ch = time(64 << 20, 4);
@@ -246,7 +253,7 @@ fn linear_channel_mapping_strands_the_load_in_one_channel() {
 
 #[test]
 fn event_energy_breakdown_sums_to_the_event_total() {
-    let r = quick_experiment(2).run().unwrap();
+    let r = frame(&quick_experiment(2));
     for c in &r.report.channels {
         let (a, rd, wr, rf) = c.event_breakdown_pj;
         let sum = a + rd + wr + rf;

@@ -6,8 +6,10 @@ use mcm::prelude::*;
 
 fn run(point: HdOperatingPoint, channels: u32, clock: u64) -> FrameResult {
     Experiment::paper(point, channels, clock)
-        .run()
+        .run_with(&RunOptions::default())
         .expect("paper configuration must be runnable")
+        .into_frame()
+        .expect("single-frame outcome")
 }
 
 #[test]
@@ -139,7 +141,10 @@ fn fig4_2160p30_needs_all_eight_channels() {
     // channels the frame buffers do not even fit (1-2 ch) or the access
     // time fails outright (4 ch).
     let exp = Experiment::paper(HdOperatingPoint::Uhd2160p30, 2, 400);
-    assert!(exp.run().is_err(), "2160p should not fit 2 channels");
+    assert!(
+        exp.run_with(&RunOptions::default()).is_err(),
+        "2160p should not fit 2 channels"
+    );
     assert_eq!(
         run(HdOperatingPoint::Uhd2160p30, 4, 400).verdict,
         RealTimeVerdict::Fails
