@@ -7,8 +7,10 @@
 //! 16 (= 4×4). For example, addresses from 0 to 15 are located in bank
 //! cluster zero and addresses from 16 to 31 in bank cluster one."
 //!
-//! [`InterleaveMap`] implements that mapping for any power-of-two channel
-//! count and granule, with the paper's 16-byte granule as the default.
+//! [`InterleaveMap`] implements that mapping for any non-zero channel
+//! count (the modulo arithmetic does not need a power of two — degraded
+//! subsystems re-interleave over e.g. 3 surviving channels) and any
+//! power-of-two granule, with the paper's 16-byte granule as the default.
 
 use core::fmt;
 
@@ -42,12 +44,15 @@ impl InterleaveMap {
     /// Creates a map over `channels` channels with `granule_bytes`
     /// interleaving granularity.
     ///
-    /// Both must be powers of two (hardware address-bit slicing); the paper
-    /// uses 1–8 channels and a 16-byte granule.
+    /// The granule must be a power of two (hardware address-bit slicing
+    /// within a granule); the channel count may be any non-zero value —
+    /// the rotation is plain modulo arithmetic, which is what lets a
+    /// degraded subsystem re-interleave over, say, 3 surviving channels.
+    /// The paper uses 1–8 channels and a 16-byte granule.
     pub fn new(channels: u32, granule_bytes: u64) -> Result<Self, ChannelError> {
-        if channels == 0 || !channels.is_power_of_two() {
+        if channels == 0 {
             return Err(ChannelError::BadConfig {
-                reason: format!("channel count {channels} must be a non-zero power of two"),
+                reason: "channel count must be non-zero".to_string(),
             });
         }
         if granule_bytes == 0 || !granule_bytes.is_power_of_two() {
@@ -277,9 +282,23 @@ mod tests {
     #[test]
     fn rejects_bad_configs() {
         assert!(InterleaveMap::new(0, 16).is_err());
-        assert!(InterleaveMap::new(3, 16).is_err());
         assert!(InterleaveMap::new(4, 0).is_err());
         assert!(InterleaveMap::new(4, 24).is_err());
+        // Non-power-of-two channel counts are legal (degraded re-interleave
+        // over 3 survivors); only the granule needs hardware bit slicing.
+        assert!(InterleaveMap::new(3, 16).is_ok());
+    }
+
+    #[test]
+    fn non_power_of_two_channels_still_bijective() {
+        for m in [3u32, 5, 6, 7] {
+            let map = InterleaveMap::new(m, 16).unwrap();
+            for addr in [0u64, 1, 15, 16, 47, 48, 160, 4096, (1 << 20) + 13] {
+                let (ch, local) = map.split(addr);
+                assert!(ch < m);
+                assert_eq!(map.join(ch, local).unwrap(), addr, "m={m} addr={addr}");
+            }
+        }
     }
 
     #[test]

@@ -36,5 +36,6 @@ pub use cluster::ClusteredMemory;
 pub use error::ChannelError;
 pub use interleave::InterleaveMap;
 pub use subsystem::{
-    MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport, TransactionResult,
+    DegradeStats, MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport,
+    TransactionResult,
 };

@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use mcm_ctrl::{AccessOp, ChannelReport, ChannelRequest, Controller, ControllerConfig};
 use mcm_dram::AddressMapping;
-use mcm_obs::{ChannelObs, Recorder};
+use mcm_fault::{FaultPlan, WindowSpec};
+use mcm_obs::{ChannelObs, FaultKind, Recorder};
 use mcm_sim::{ClockDomain, Frequency, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +108,38 @@ impl SubsystemReport {
     }
 }
 
+/// Degradation counters accumulated while a fault plan is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Requests that arrived inside a flaky channel's down window.
+    pub flaky_hits: u64,
+    /// Retry attempts made on flaky windows.
+    pub retries: u64,
+    /// Requests remapped to a neighbour channel after retries ran out.
+    pub remaps: u64,
+}
+
+/// Runtime state of an applied [`FaultPlan`]: the degraded interleave over
+/// the surviving channels, per-channel flaky windows, and the per-channel
+/// arrival floors that keep each controller's FCFS invariant intact while
+/// retries and remaps shuffle arrival times.
+#[derive(Debug)]
+struct FaultState {
+    /// Interleave over the survivors (slot-indexed).
+    map: InterleaveMap,
+    /// Slot → physical channel.
+    survivors: Vec<u32>,
+    /// Flaky window per *physical* channel.
+    flaky: Vec<Option<WindowSpec>>,
+    /// Per-physical-channel minimum arrival for the next request. Retries
+    /// and remaps can move one slice's arrival past a later transaction's
+    /// raw arrival; clamping to the floor preserves monotonicity.
+    floors: Vec<u64>,
+    max_retries: u32,
+    backoff: u64,
+    stats: DegradeStats,
+}
+
 /// The paper's Fig. 2 memory subsystem: M channels of memory controller +
 /// DRAM interconnect + bank cluster behind a Table II interleaver.
 ///
@@ -134,12 +167,26 @@ pub struct MemorySubsystem {
     /// Reused per-transaction fan-out buffer (one slot per channel), so
     /// `submit` never allocates on the hot path.
     slice_buf: Vec<Option<(u64, u64)>>,
+    /// Active fault plan state; `None` (healthy) keeps the hot path
+    /// untouched apart from one branch in `submit`.
+    faults: Option<FaultState>,
 }
 
 impl MemorySubsystem {
     /// Builds the subsystem; validates channel count, granule and the
     /// per-channel configuration.
     pub fn new(config: &MemoryConfig) -> Result<Self, ChannelError> {
+        // A healthy subsystem needs a power-of-two channel count (Table II
+        // address-bit slicing); only a *degraded* subsystem re-interleaves
+        // over an arbitrary survivor count.
+        if !config.channels.is_power_of_two() {
+            return Err(ChannelError::BadConfig {
+                reason: format!(
+                    "channel count {} must be a power of two (paper: 1, 2, 4 or 8)",
+                    config.channels
+                ),
+            });
+        }
         let interleave = InterleaveMap::new(config.channels, config.granule_bytes)?;
         let burst = config.controller.cluster.geometry.burst_bytes() as u64;
         if !config.granule_bytes.is_multiple_of(burst) {
@@ -181,7 +228,92 @@ impl MemorySubsystem {
             bytes_written: 0,
             recorder: None,
             slice_buf: Vec::new(),
+            faults: None,
         })
+    }
+
+    /// Applies a fault plan: survivors are re-interleaved to cover the
+    /// (shrunken) address space, flaky windows arm the retry/remap path,
+    /// and bank penalties, refresh pressure and controller stalls are
+    /// pushed down into the affected controllers. Attach a recorder first
+    /// if the one-time fault events should be observed. A plan can be
+    /// applied at most once, before any traffic is submitted.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) -> Result<(), ChannelError> {
+        if self.faults.is_some() {
+            return Err(ChannelError::BadConfig {
+                reason: "a fault plan is already applied".into(),
+            });
+        }
+        if self.bytes_read + self.bytes_written > 0 {
+            return Err(ChannelError::BadConfig {
+                reason: "fault plans must be applied before traffic".into(),
+            });
+        }
+        let channels = self.channels();
+        plan.validate(channels)
+            .map_err(|e| ChannelError::BadConfig {
+                reason: e.to_string(),
+            })?;
+        let survivors = plan.survivors(channels);
+        let map = InterleaveMap::new(survivors.len() as u32, self.interleave.granule_bytes())?;
+        let flaky: Vec<Option<WindowSpec>> = (0..channels).map(|c| plan.flaky_window(c)).collect();
+        // Push the controller-level faults down.
+        let divisor = plan.refresh_divisor();
+        for &ch in &survivors {
+            let ctrl = &mut self.controllers[ch as usize];
+            if divisor > 1 {
+                ctrl.set_refresh_pressure(divisor);
+            }
+            if let Some(w) = plan.stall_window(ch) {
+                ctrl.set_stall_window(w.period, w.down, w.phase);
+            }
+        }
+        for (ch, bank, extra_trcd, extra_trp) in plan.bank_penalties() {
+            self.controllers[ch as usize]
+                .set_bank_penalty(bank, extra_trcd, extra_trp)
+                .map_err(|source| ChannelError::Ctrl {
+                    channel: ch,
+                    source,
+                })?;
+        }
+        // One-time fault events for the observability layer.
+        if let Some(rec) = &self.recorder {
+            for &ch in &plan.lost_channels() {
+                rec.record_fault(ch, FaultKind::ChannelLost, 0);
+            }
+            if divisor > 1 {
+                for &ch in &survivors {
+                    rec.record_fault(ch, FaultKind::RefreshPressure, 0);
+                }
+            }
+            for (ch, _, _, _) in plan.bank_penalties() {
+                rec.record_fault(ch, FaultKind::SlowBank, 0);
+            }
+        }
+        // The degraded subsystem only covers the survivors' capacity.
+        let per_channel = self.capacity_bytes / channels as u64;
+        self.capacity_bytes = per_channel * survivors.len() as u64;
+        self.faults = Some(FaultState {
+            map,
+            survivors,
+            flaky,
+            floors: vec![0; channels as usize],
+            max_retries: plan.policy.max_retries,
+            backoff: plan.policy.backoff_cycles,
+            stats: DegradeStats::default(),
+        });
+        Ok(())
+    }
+
+    /// Degradation counters so far, when a fault plan is applied.
+    pub fn degrade_stats(&self) -> Option<DegradeStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// The surviving physical channels under the applied fault plan, or
+    /// `None` when the subsystem is healthy.
+    pub fn fault_survivors(&self) -> Option<&[u32]> {
+        self.faults.as_ref().map(|f| f.survivors.as_slice())
     }
 
     /// Attaches an observability recorder to the whole subsystem: every
@@ -262,6 +394,14 @@ impl MemorySubsystem {
                 capacity_bytes: self.capacity_bytes,
             });
         }
+        if self.faults.is_some() {
+            // Take the state out so the degraded path can borrow `self`
+            // (controllers, recorder, buffers) freely alongside it.
+            let mut fs = self.faults.take().expect("checked above");
+            let result = self.submit_degraded(&mut fs, txn);
+            self.faults = Some(fs);
+            return result;
+        }
         let mut slices = std::mem::take(&mut self.slice_buf);
         self.interleave
             .split_range_into(txn.addr, txn.len, &mut slices);
@@ -283,6 +423,108 @@ impl MemorySubsystem {
             if let Some(rec) = &self.recorder {
                 let at_ps = self.clock.time_of_cycles(res.done_cycle).as_ps();
                 rec.record_bytes(ch as u32, txn.op == AccessOp::Write, len, at_ps);
+            }
+            done = done.max(res.done_cycle);
+            used += 1;
+        }
+        self.slice_buf = slices;
+        match txn.op {
+            AccessOp::Read => self.bytes_read += txn.len,
+            AccessOp::Write => self.bytes_written += txn.len,
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record_span(
+                "txn",
+                None,
+                self.clock.time_of_cycles(txn.arrival).as_ps(),
+                self.clock.time_of_cycles(done.max(txn.arrival)).as_ps(),
+            );
+        }
+        Ok(TransactionResult {
+            done_cycle: done,
+            channels_used: used,
+        })
+    }
+
+    /// The degraded counterpart of [`MemorySubsystem::submit`]: slices over
+    /// the surviving channels' interleave, retries flaky-window hits with
+    /// linear backoff, and remaps a slice to the next surviving channel
+    /// when retries run out. Per-channel arrival floors keep every
+    /// controller's FCFS arrival invariant intact while the adjustments
+    /// shuffle arrival times.
+    ///
+    /// A remapped slice keeps its local address on the neighbour channel —
+    /// this is a timing model; real hardware would consult a sparse remap
+    /// table for placement.
+    fn submit_degraded(
+        &mut self,
+        fs: &mut FaultState,
+        txn: MasterTransaction,
+    ) -> Result<TransactionResult, ChannelError> {
+        let mut slices = std::mem::take(&mut self.slice_buf);
+        fs.map.split_range_into(txn.addr, txn.len, &mut slices);
+        let mut done = 0u64;
+        let mut used = 0u32;
+        for (slot, slice) in slices.iter().enumerate() {
+            let Some((local, len)) = *slice else { continue };
+            let phys = fs.survivors[slot];
+            let mut target = phys;
+            let mut arrival = txn.arrival.max(fs.floors[phys as usize]);
+            if let Some(w) = fs.flaky[phys as usize] {
+                if w.is_down(arrival) {
+                    fs.stats.flaky_hits += 1;
+                    if let Some(rec) = &self.recorder {
+                        let at_ps = self.clock.time_of_cycles(arrival).as_ps();
+                        rec.record_fault(phys, FaultKind::FlakyHit, at_ps);
+                    }
+                    let mut recovered = false;
+                    for attempt in 1..=fs.max_retries {
+                        fs.stats.retries += 1;
+                        let try_at = arrival + fs.backoff * attempt as u64;
+                        if let Some(rec) = &self.recorder {
+                            let at_ps = self.clock.time_of_cycles(try_at).as_ps();
+                            rec.record_fault(phys, FaultKind::Retry, at_ps);
+                        }
+                        if !w.is_down(try_at) {
+                            arrival = try_at;
+                            recovered = true;
+                            break;
+                        }
+                    }
+                    if !recovered {
+                        // Retries exhausted inside the window: remap the
+                        // slice to the next surviving channel, charged the
+                        // full backoff the retries consumed.
+                        fs.stats.remaps += 1;
+                        arrival += fs.backoff * fs.max_retries as u64;
+                        let next_slot = (slot + 1) % fs.survivors.len();
+                        target = fs.survivors[next_slot];
+                        if let Some(w2) = fs.flaky[target as usize] {
+                            arrival = w2.next_up(arrival);
+                        }
+                        if let Some(rec) = &self.recorder {
+                            let at_ps = self.clock.time_of_cycles(arrival).as_ps();
+                            rec.record_fault(phys, FaultKind::Remap, at_ps);
+                        }
+                    }
+                }
+            }
+            let arrival = arrival.max(fs.floors[target as usize]);
+            fs.floors[target as usize] = arrival;
+            let res = self.controllers[target as usize]
+                .access(ChannelRequest {
+                    op: txn.op,
+                    addr: local,
+                    len: len as u32,
+                    arrival,
+                })
+                .map_err(|source| ChannelError::Ctrl {
+                    channel: target,
+                    source,
+                })?;
+            if let Some(rec) = &self.recorder {
+                let at_ps = self.clock.time_of_cycles(res.done_cycle).as_ps();
+                rec.record_bytes(target, txn.op == AccessOp::Write, len, at_ps);
             }
             done = done.max(res.done_cycle);
             used += 1;
@@ -555,6 +797,167 @@ mod tests {
             "obs {obs_pj} vs report {}",
             sub.core_energy_pj
         );
+    }
+
+    #[test]
+    fn channel_loss_reinterleaves_survivors() {
+        let mut m = mem(4);
+        let full_cap = m.capacity_bytes();
+        m.apply_faults(&FaultPlan::channel_loss(1, 2)).unwrap();
+        // Capacity shrinks to the three survivors.
+        assert_eq!(m.capacity_bytes(), full_cap / 4 * 3);
+        assert_eq!(m.fault_survivors(), Some(&[0u32, 1, 3][..]));
+        // A 48-byte line now spans exactly the three survivors.
+        let r = m
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 48,
+                arrival: 0,
+            })
+            .unwrap();
+        assert_eq!(r.channels_used, 3);
+        // The lost channel saw no traffic.
+        assert_eq!(m.controller(2).unwrap().stats().read_bursts, 0);
+        for ch in [0u32, 1, 3] {
+            assert!(m.controller(ch).unwrap().stats().read_bursts > 0);
+        }
+        let stats = m.degrade_stats().unwrap();
+        assert_eq!(stats.flaky_hits, 0);
+    }
+
+    #[test]
+    fn flaky_channel_retries_then_remaps() {
+        use mcm_fault::{DegradePolicy, FaultSpec, WindowSpec};
+        // Channel 1 is down for the first 5000 of every 10000 cycles; three
+        // 64-cycle backoff retries cannot escape the window, so slices
+        // remap to the next survivor.
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![FaultSpec::FlakyChannel {
+                channel: 1,
+                window: WindowSpec {
+                    period: 10_000,
+                    down: 5_000,
+                    phase: 0,
+                },
+            }],
+            policy: DegradePolicy {
+                max_retries: 3,
+                backoff_cycles: 64,
+                shed_target_pct: 70,
+            },
+        };
+        let mut m = mem(2);
+        m.apply_faults(&plan).unwrap();
+        let r = m
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 32,
+                arrival: 0,
+            })
+            .unwrap();
+        assert_eq!(r.channels_used, 2);
+        let stats = m.degrade_stats().unwrap();
+        assert_eq!(stats.flaky_hits, 1);
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.remaps, 1);
+        // The remapped slice landed on channel 0 alongside its own slice.
+        assert_eq!(m.controller(0).unwrap().stats().read_bursts, 2);
+        assert_eq!(m.controller(1).unwrap().stats().read_bursts, 0);
+        // A transaction arriving in the up half retries once and recovers.
+        let r2 = m
+            .submit(MasterTransaction {
+                op: AccessOp::Read,
+                addr: 32,
+                len: 32,
+                arrival: 6_000,
+            })
+            .unwrap();
+        assert_eq!(r2.channels_used, 2);
+        assert_eq!(m.degrade_stats().unwrap().remaps, 1);
+        assert!(m.controller(1).unwrap().stats().read_bursts > 0);
+    }
+
+    #[test]
+    fn degraded_runs_are_deterministic() {
+        let plan = FaultPlan::seeded(0xbeef, 4).unwrap();
+        let run = || {
+            let mut m = mem(4);
+            m.apply_faults(&plan).unwrap();
+            let mut done = 0;
+            for i in 0..50u64 {
+                done = m
+                    .submit(MasterTransaction {
+                        op: if i % 3 == 0 {
+                            AccessOp::Write
+                        } else {
+                            AccessOp::Read
+                        },
+                        addr: i * 256,
+                        len: 256,
+                        arrival: i * 40,
+                    })
+                    .unwrap()
+                    .done_cycle
+                    .max(done);
+            }
+            (done, m.degrade_stats().unwrap())
+        };
+        let (d1, s1) = run();
+        let (d2, s2) = run();
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn fault_plan_application_rules() {
+        let mut m = mem(2);
+        // Out-of-range channel is rejected.
+        assert!(m.apply_faults(&FaultPlan::channel_loss(0, 7)).is_err());
+        m.submit(MasterTransaction {
+            op: AccessOp::Read,
+            addr: 0,
+            len: 16,
+            arrival: 0,
+        })
+        .unwrap();
+        // Too late: traffic has flowed.
+        assert!(m.apply_faults(&FaultPlan::channel_loss(0, 1)).is_err());
+        // And a second application is rejected.
+        let mut m2 = mem(2);
+        m2.apply_faults(&FaultPlan::channel_loss(0, 1)).unwrap();
+        assert!(m2.apply_faults(&FaultPlan::channel_loss(0, 1)).is_err());
+    }
+
+    #[test]
+    fn degraded_byte_accounting_balances() {
+        use mcm_obs::StatsRecorder;
+        let mut m = mem(4);
+        let rec = Arc::new(StatsRecorder::new());
+        m.set_recorder(rec.clone());
+        m.apply_faults(&FaultPlan::channel_loss(5, 0)).unwrap();
+        m.submit(MasterTransaction {
+            op: AccessOp::Read,
+            addr: 0,
+            len: 4096,
+            arrival: 0,
+        })
+        .unwrap();
+        let sub = m.finish(1_000_000).unwrap();
+        let report = rec.report();
+        // Observed per-channel bytes still sum to the subsystem totals.
+        let read: u64 = report.channels.iter().map(|c| c.counters.bytes_read).sum();
+        assert_eq!(read, sub.bytes_read);
+        assert_eq!(sub.bytes_read, 4096);
+        // The lost channel reported its one-time fault event.
+        let ch0 = report.channels.iter().find(|c| c.channel == 0).unwrap();
+        assert!(ch0
+            .faults
+            .iter()
+            .any(|f| f.kind == mcm_obs::FaultKind::ChannelLost));
+        assert_eq!(ch0.counters.bytes_read, 0);
     }
 
     #[test]

@@ -73,8 +73,104 @@ proptest! {
     }
 }
 
+/// Degraded subsystems re-interleave over whatever survives — any channel
+/// count from 1 to 8, not just the paper's powers of two.
+fn arb_degraded_map() -> impl Strategy<Value = InterleaveMap> {
+    (1u32..=8, 4u32..=8)
+        .prop_map(|(ch, gran_log2)| InterleaveMap::new(ch, 1u64 << gran_log2).expect("valid map"))
+}
+
+proptest! {
+    #[test]
+    fn non_power_of_two_counts_cover_every_byte_exactly_once(
+        map in arb_degraded_map(),
+        addr in 0u64..(1 << 20),
+        len in 1u64..4_096,
+    ) {
+        let slices = map.split_range(addr, len);
+        let mut covered = vec![false; len as usize];
+        for (ch, slice) in slices.iter().enumerate() {
+            let Some((local, l)) = *slice else { continue };
+            for off in 0..l {
+                let global = map.join(ch as u32, local + off).unwrap();
+                prop_assert!(global >= addr && global < addr + len,
+                    "slice byte {global} escapes [{addr}, {})", addr + len);
+                let idx = (global - addr) as usize;
+                prop_assert!(!covered[idx], "byte {global} covered twice");
+                covered[idx] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c), "range not fully covered");
+    }
+
+    #[test]
+    fn sub_granule_transactions_conserve_bytes_on_at_most_two_channels(
+        map in arb_degraded_map(),
+        addr in 0u64..(1 << 20),
+        len in 1u64..16,
+    ) {
+        // Shorter than the smallest (16-byte) granule: the transaction
+        // spans at most two granules, so at most two channels see it.
+        let slices = map.split_range(addr, len);
+        let touched = slices.iter().flatten().count();
+        prop_assert!((1..=2).contains(&touched), "{touched} channels for {len} B");
+        let total: u64 = slices.iter().flatten().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, len);
+    }
+
+    #[test]
+    fn re_interleave_after_channel_removal_stays_bijective(
+        survivors in 1u32..=7,
+        granules in 1u64..512,
+    ) {
+        // After a channel dies the subsystem rebuilds the map over the
+        // survivor count (often non-power-of-two). Walking a contiguous
+        // granule range, every byte must land in a distinct (channel,
+        // local) slot and round-trip back to its global address.
+        let map = InterleaveMap::new(survivors, 16).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..granules {
+            let addr = g * 16;
+            let (ch, local) = map.split(addr);
+            prop_assert!(ch < survivors);
+            prop_assert_eq!(map.join(ch, local).unwrap(), addr);
+            prop_assert!(seen.insert((ch, local)), "granule {g} duplicated a slot");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn degraded_subsystem_conserves_bytes_after_channel_removal(
+        channels_log2 in 1u32..=3,
+        lost_pick in 0u32..8,
+        txns in prop::collection::vec((0u64..(1 << 20), 1u64..2_048, any::<bool>()), 1..30),
+    ) {
+        // No byte is lost or duplicated by the degraded path: totals still
+        // balance and the removed channel carries no traffic.
+        let channels = 1u32 << channels_log2;
+        let lost = lost_pick % channels;
+        let mut mem = MemorySubsystem::new(&MemoryConfig::paper(channels, 400)).unwrap();
+        mem.apply_faults(&mcm_fault::FaultPlan::channel_loss(1, lost)).unwrap();
+        let mut expect_read = 0u64;
+        let mut expect_written = 0u64;
+        for &(addr, len, write) in &txns {
+            mem.submit(MasterTransaction {
+                op: if write { AccessOp::Write } else { AccessOp::Read },
+                addr,
+                len,
+                arrival: 0,
+            }).unwrap();
+            if write { expect_written += len } else { expect_read += len }
+        }
+        let rep = mem.finish(0).unwrap();
+        prop_assert_eq!(rep.bytes_read, expect_read);
+        prop_assert_eq!(rep.bytes_written, expect_written);
+        let dead = &rep.channels[lost as usize].device;
+        prop_assert_eq!(dead.reads + dead.writes, 0, "lost channel saw traffic");
+    }
 
     #[test]
     fn subsystem_conserves_bytes_for_random_transactions(

@@ -83,6 +83,37 @@ pub enum Command {
     Report(ReportArgs),
     /// Measure the simulator's own throughput and write `BENCH_sim.json`.
     Bench(BenchArgs),
+    /// Generate, describe or save a deterministic fault plan.
+    Fault(FaultArgs),
+}
+
+/// Options of `mcm fault`: build a deterministic [`mcm_fault::FaultPlan`]
+/// and describe it, print it as JSON, or write it to a file for
+/// `mcm run --faults <plan.json>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultArgs {
+    /// Seed for the deterministic plan generator.
+    pub seed: u64,
+    /// Channel count the plan must be valid for.
+    pub channels: u32,
+    /// Explicit channels to lose. Empty = the seeded mixed scenario.
+    pub lose: Vec<u32>,
+    /// Where to write the plan JSON (None = describe on stdout).
+    pub out: Option<String>,
+    /// Print the plan as JSON instead of the description.
+    pub json: bool,
+}
+
+impl Default for FaultArgs {
+    fn default() -> Self {
+        FaultArgs {
+            seed: 7,
+            channels: 4,
+            lose: Vec::new(),
+            out: None,
+            json: false,
+        }
+    }
 }
 
 /// Options of `mcm bench`.
@@ -227,6 +258,10 @@ pub struct RunOptions {
     pub viewfinder: bool,
     /// Run the conformance checks alongside the simulation.
     pub verify: bool,
+    /// Path to a fault-plan JSON file to inject (None = healthy).
+    pub faults: Option<String>,
+    /// Cap on simulated operations (None = the whole frame).
+    pub op_limit: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -244,6 +279,8 @@ impl Default for RunOptions {
             json: false,
             viewfinder: false,
             verify: false,
+            faults: None,
+            op_limit: None,
         }
     }
 }
@@ -362,6 +399,14 @@ fn parse_run_options<'a>(mut args: impl Iterator<Item = &'a str>) -> Result<RunO
             "--json" => opts.json = true,
             "--viewfinder" => opts.viewfinder = true,
             "--verify" => opts.verify = true,
+            "--faults" => opts.faults = Some(value()?.to_string()),
+            "--op-limit" => {
+                opts.op_limit = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| CliError("bad --op-limit value".into()))?,
+                )
+            }
             other => return Err(CliError(format!("unknown flag '{other}'"))),
         }
     }
@@ -555,6 +600,46 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             }
             Ok(Command::Bench(a))
         }
+        "fault" => {
+            let mut a = FaultArgs::default();
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| CliError(format!("flag '{flag}' needs a value")))
+                };
+                match flag {
+                    "--seed" => {
+                        let v = value()?;
+                        // Seeds are often quoted in hex in fault reports.
+                        a.seed = if let Some(hex) = v.strip_prefix("0x") {
+                            u64::from_str_radix(hex, 16)
+                        } else {
+                            v.parse()
+                        }
+                        .map_err(|_| CliError(format!("bad --seed value '{v}'")))?
+                    }
+                    "--channels" => {
+                        a.channels = value()?
+                            .parse()
+                            .map_err(|_| CliError("bad --channels value".into()))?
+                    }
+                    "--lose" => {
+                        a.lose = value()?
+                            .split(',')
+                            .map(|v| {
+                                v.parse()
+                                    .map_err(|_| CliError(format!("bad channel number '{v}'")))
+                            })
+                            .collect::<Result<_, _>>()?
+                    }
+                    "--out" => a.out = Some(value()?.to_string()),
+                    "--json" => a.json = true,
+                    other => return Err(CliError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Fault(a))
+        }
         "report" => {
             // Extract the report-specific flags, pass the rest to the
             // run-option parser.
@@ -664,6 +749,8 @@ COMMANDS:
     bench       measure simulator throughput, write BENCH_sim.json
                 (see BENCH OPTIONS)
     check       conformance-check a configuration (MCMxxx rules; --json for machines)
+    fault       build a deterministic fault plan for --faults
+                (see FAULT OPTIONS)
     headroom    maximum sustainable fps for a configuration
     steady      multi-frame session (add --frames N, default 30)
     profile     per-stage memory-time profile
@@ -687,7 +774,17 @@ OPTIONS (run / headroom):
     --paced                                            [greedy]
     --viewfinder                                       [recording]
     --verify    run the MCMxxx conformance checks too   [off]
+    --faults <plan.json>  inject a fault plan (see 'mcm fault')  [healthy]
+    --op-limit <N>        cap simulated ops            [full frame]
     --json                                             [text]
+
+FAULT OPTIONS:
+    --seed <N|0xHEX>    plan generator seed            [7]
+    --channels <N>      channel count to plan against  [4]
+    --lose <list>       lose exactly these channels (comma list)
+                        instead of the seeded mixed scenario
+    --out <path>        write the plan JSON here       [stdout]
+    --json              print the plan as JSON         [description]
 
 REPORT OPTIONS (accepts every run option, plus):
     --timeline-bucket <us>  bandwidth/energy bucket width  [1]
@@ -954,6 +1051,55 @@ mod tests {
         assert!(parse_args(["bench", "--repeats"]).is_err());
         assert!(parse_args(["bench", "--repeats", "x"]).is_err());
         assert!(parse_args(["bench", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn fault_defaults_and_knobs() {
+        let Command::Fault(a) = parse_args(["fault"]).unwrap() else {
+            panic!("expected fault");
+        };
+        assert_eq!(a, FaultArgs::default());
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.channels, 4);
+        assert!(a.lose.is_empty());
+
+        let Command::Fault(a) = parse_args([
+            "fault",
+            "--seed",
+            "0xfeed",
+            "--channels",
+            "8",
+            "--lose",
+            "0,3",
+            "--out",
+            "/tmp/plan.json",
+            "--json",
+        ])
+        .unwrap() else {
+            panic!("expected fault");
+        };
+        assert_eq!(a.seed, 0xfeed);
+        assert_eq!(a.channels, 8);
+        assert_eq!(a.lose, vec![0, 3]);
+        assert_eq!(a.out.as_deref(), Some("/tmp/plan.json"));
+        assert!(a.json);
+
+        assert!(parse_args(["fault", "--seed", "many"]).is_err());
+        assert!(parse_args(["fault", "--lose", "zero"]).is_err());
+        assert!(parse_args(["fault", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_accepts_faults_and_op_limit() {
+        let Command::Run(o) =
+            parse_args(["run", "--faults", "plan.json", "--op-limit", "5000"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(o.faults.as_deref(), Some("plan.json"));
+        assert_eq!(o.op_limit, Some(5000));
+        assert!(parse_args(["run", "--op-limit", "many"]).is_err());
+        assert!(parse_args(["run", "--faults"]).is_err());
     }
 
     #[test]

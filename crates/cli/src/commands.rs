@@ -5,7 +5,8 @@ use mcm_load::UseCase;
 use mcm_sweep::ParallelRunner;
 
 use crate::args::{
-    CliError, Command, ReportArgs, ReportOutput, RunOptions, SweepArgs, SweepOutput, USAGE,
+    CliError, Command, FaultArgs, ReportArgs, ReportOutput, RunOptions, SweepArgs, SweepOutput,
+    USAGE,
 };
 
 fn build_experiment(o: &RunOptions) -> Experiment {
@@ -19,7 +20,39 @@ fn build_experiment(o: &RunOptions) -> Experiment {
     exp.memory.granule_bytes = o.granule;
     exp.chunk = o.chunk;
     exp.pacing = o.pacing;
+    if let Some(n) = o.op_limit {
+        exp.op_limit = Some(n);
+    }
     exp
+}
+
+/// Loads and validates the `--faults <plan.json>` file, when given.
+fn load_fault_plan(o: &RunOptions) -> Result<Option<mcm_fault::FaultPlan>, CliError> {
+    let Some(path) = &o.faults else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read fault plan '{path}': {e}")))?;
+    let plan: mcm_fault::FaultPlan = serde_json::from_str(&text)
+        .map_err(|e| CliError(format!("bad fault plan '{path}': {e}")))?;
+    plan.validate(o.channels).map_err(|e| {
+        CliError(format!(
+            "fault plan '{path}' does not fit {} channel(s): {e}",
+            o.channels
+        ))
+    })?;
+    Ok(Some(plan))
+}
+
+/// Commands that run the healthy single-frame engine reject `--faults`
+/// loudly instead of silently ignoring the plan.
+fn reject_faults(o: &RunOptions, what: &str) -> Result<(), CliError> {
+    if o.faults.is_some() {
+        return Err(CliError(format!(
+            "--faults is not supported by 'mcm {what}' (use 'mcm run' or 'mcm check')"
+        )));
+    }
+    Ok(())
 }
 
 /// Cap on simulated operations when a trace-keeping verified run has no
@@ -27,8 +60,14 @@ fn build_experiment(o: &RunOptions) -> Experiment {
 /// must stay in memory for the audit.
 const VERIFY_OP_LIMIT: u64 = 50_000;
 
-fn run_one(o: &RunOptions) -> Result<String, CoreError> {
+fn run_one(o: &RunOptions) -> Result<String, CliError> {
+    let sim_err = |e: CoreError| CliError(format!("simulation failed: {e}"));
     let mut exp = build_experiment(o);
+    let run = mcm_core::RunOptions {
+        verify: o.verify,
+        faults: load_fault_plan(o)?,
+        ..mcm_core::RunOptions::default()
+    };
     let (r, findings) = if o.verify {
         // Keep the command traces bounded; the access time is extrapolated
         // from the simulated prefix either way.
@@ -36,13 +75,15 @@ fn run_one(o: &RunOptions) -> Result<String, CoreError> {
             exp.op_limit = Some(VERIFY_OP_LIMIT);
         }
         let (r, findings) = exp
-            .run_with(&mcm_core::RunOptions::verified())?
+            .run_with(&run)
+            .map_err(sim_err)?
             .into_verified()
             .expect("verified outcome");
         (r, Some(findings))
     } else {
         let r = exp
-            .run_with(&mcm_core::RunOptions::default())?
+            .run_with(&run)
+            .map_err(sim_err)?
             .into_frame()
             .expect("single-frame outcome");
         (r, None)
@@ -76,6 +117,14 @@ fn run_one(o: &RunOptions) -> Result<String, CoreError> {
                 m.insert("verify".to_string(), findings.to_json());
             }
         }
+        if let Some(d) = &r.degrade {
+            if let serde_json::Value::Object(m) = &mut j {
+                m.insert(
+                    "degrade".to_string(),
+                    serde_json::to_value(d).expect("degrade summary serializes"),
+                );
+            }
+        }
         Ok(j.to_string())
     } else {
         let row = UseCase::hd(o.point).table_row();
@@ -102,6 +151,37 @@ fn run_one(o: &RunOptions) -> Result<String, CoreError> {
             r.efficiency() * 100.0
         );
         out += &format!("  power:       {}\n", r.power);
+        if let Some(d) = &r.degrade {
+            out += &format!(
+                "  degraded:    lost channel(s) {:?}, {} of {} surviving\n",
+                d.lost_channels, d.surviving_channels, o.channels
+            );
+            out += &format!(
+                "  effective:   {:.1} of {} fps{}\n",
+                d.effective_fps,
+                d.nominal_fps,
+                if d.holds_frame_rate() {
+                    ""
+                } else {
+                    " (below real time)"
+                }
+            );
+            if d.shed_bytes > 0 {
+                let stages: Vec<&str> = d.shed.iter().map(|s| s.stage.as_str()).collect();
+                out += &format!(
+                    "  shed:        {:.1} MB over {} stage(s): {}\n",
+                    d.shed_bytes as f64 / 1e6,
+                    d.shed.len(),
+                    stages.join(", ")
+                );
+            }
+            if d.flaky_hits + d.retries + d.remaps > 0 {
+                out += &format!(
+                    "  recovery:    {} flaky hit(s), {} retried, {} remapped\n",
+                    d.flaky_hits, d.retries, d.remaps
+                );
+            }
+        }
         if let Some(findings) = &findings {
             out += "verify:\n";
             for line in findings.render_human().lines() {
@@ -177,15 +257,25 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             out += &figures::render_xdr(&xdr);
             Ok(out)
         }
-        Command::Run(o) => run_one(o).map_err(sim_err),
-        Command::Headroom(o) => run_headroom(o).map_err(sim_err),
-        Command::Steady { options, frames } => run_steady(options, *frames).map_err(sim_err),
+        Command::Run(o) => run_one(o),
+        Command::Headroom(o) => {
+            reject_faults(o, "headroom")?;
+            run_headroom(o).map_err(sim_err)
+        }
+        Command::Steady { options, frames } => {
+            reject_faults(options, "steady")?;
+            run_steady(options, *frames).map_err(sim_err)
+        }
         Command::Profile(o) => {
+            reject_faults(o, "profile")?;
             let exp = build_experiment(o);
             let p = mcm_core::profile::run_profiled(&exp).map_err(sim_err)?;
             Ok(p.render())
         }
-        Command::Timeline { options, cycles } => timeline(options, *cycles),
+        Command::Timeline { options, cycles } => {
+            reject_faults(options, "timeline")?;
+            timeline(options, *cycles)
+        }
         Command::Datasheet { device, clock_mhz } => {
             let cfg = match device.as_str() {
                 "mobile" => mcm_dram::ClusterConfig::next_gen_mobile_ddr(*clock_mhz),
@@ -201,6 +291,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 .map_err(|e| CliError(format!("datasheet: {e}")))
         }
         Command::ConfigDump(o) => {
+            reject_faults(o, "config-dump")?;
             let exp = build_experiment(o);
             serde_json::to_string_pretty(&exp)
                 .map(|mut s| {
@@ -227,13 +318,67 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 r.power
             ))
         }
-        Command::TraceDump { options, out } => trace_dump(options, out),
-        Command::TraceRun { options, input } => trace_run(options, input),
+        Command::TraceDump { options, out } => {
+            reject_faults(options, "trace-dump")?;
+            trace_dump(options, out)
+        }
+        Command::TraceRun { options, input } => {
+            reject_faults(options, "trace-run")?;
+            trace_run(options, input)
+        }
         Command::Check(o) => run_check(o),
         Command::Sweep(a) => run_sweep_cmd(a),
-        Command::Report(a) => run_report(a),
+        Command::Report(a) => {
+            reject_faults(&a.options, "report")?;
+            run_report(a)
+        }
         Command::Bench(a) => run_bench_cmd(a),
+        Command::Fault(a) => run_fault(a),
     }
+}
+
+/// `mcm fault`: build a deterministic fault plan — the seeded mixed
+/// scenario, or an explicit channel-loss list with `--lose` — validate it
+/// against the channel count, then describe it, print it as JSON or write
+/// it to a file for `mcm run --faults <plan.json>`.
+fn run_fault(a: &FaultArgs) -> Result<String, CliError> {
+    use mcm_fault::{DegradePolicy, FaultPlan, FaultSpec};
+
+    let plan = if a.lose.is_empty() {
+        FaultPlan::seeded(a.seed, a.channels)
+            .map_err(|e| CliError(format!("cannot build plan: {e}")))?
+    } else {
+        FaultPlan {
+            seed: a.seed,
+            faults: a
+                .lose
+                .iter()
+                .map(|&channel| FaultSpec::ChannelLoss { channel })
+                .collect(),
+            policy: DegradePolicy::default(),
+        }
+    };
+    plan.validate(a.channels).map_err(|e| {
+        CliError(format!(
+            "plan is invalid for {} channel(s): {e}",
+            a.channels
+        ))
+    })?;
+    let json = serde_json::to_string_pretty(&plan)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| CliError(format!("plan serialization failed: {e}")))?;
+    if let Some(path) = &a.out {
+        std::fs::write(path, &json).map_err(|e| CliError(format!("cannot write '{path}': {e}")))?;
+        return Ok(format!(
+            "wrote fault plan (seed {:#x}, {} fault(s)) to {path}\n",
+            plan.seed,
+            plan.faults.len()
+        ));
+    }
+    Ok(if a.json { json } else { plan.describe() })
 }
 
 /// `mcm report`: run one experiment with a [`mcm_obs::StatsRecorder`]
@@ -395,7 +540,7 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
 /// simulated trace audit. Error findings make the command itself fail,
 /// so scripts get a non-zero exit; the full report is in the error text.
 fn run_check(o: &RunOptions) -> Result<String, CliError> {
-    let mut findings = check_findings(o);
+    let mut findings = check_findings(o)?;
     findings.sort_by_severity();
     let out = if o.json {
         let mut j = serde_json::json!({
@@ -433,11 +578,13 @@ fn run_check(o: &RunOptions) -> Result<String, CliError> {
 
 /// The report behind `mcm check`, in pass order: configuration lints,
 /// cross-channel invariants, then (when the config is viable) a bounded
-/// simulation with the trace audit and traffic-balance checks.
-fn check_findings(o: &RunOptions) -> mcm_verify::Report {
+/// simulation with the trace audit, traffic-balance checks and — under
+/// `--faults` — the MCM3xx degraded-mode rules.
+fn check_findings(o: &RunOptions) -> Result<mcm_verify::Report, CliError> {
     use mcm_dram::AddressMapping;
     use mcm_verify::{check_address_roundtrip, check_interleave, Diagnostic, Severity};
 
+    let plan = load_fault_plan(o)?;
     let mut exp = build_experiment(o);
     exp.op_limit = Some(exp.op_limit.unwrap_or(VERIFY_OP_LIMIT).min(VERIFY_OP_LIMIT));
     let geometry = exp.memory.controller.cluster.geometry;
@@ -470,8 +617,13 @@ fn check_findings(o: &RunOptions) -> mcm_verify::Report {
     } else {
         // run_verified repeats the lints, so any warnings they produced
         // are still reported exactly once.
+        let run = mcm_core::RunOptions {
+            verify: true,
+            faults: plan,
+            ..mcm_core::RunOptions::default()
+        };
         let verified = exp
-            .run_with(&mcm_core::RunOptions::verified())
+            .run_with(&run)
             .map(|o| o.into_verified().expect("verified outcome"));
         match verified {
             Ok((_, sim_findings)) => findings.merge(sim_findings),
@@ -482,7 +634,7 @@ fn check_findings(o: &RunOptions) -> mcm_verify::Report {
             )),
         }
     }
-    findings
+    Ok(findings)
 }
 
 fn timeline(o: &RunOptions, cycles: u64) -> Result<String, CliError> {
@@ -755,7 +907,7 @@ mod check_cli_tests {
 
     #[test]
     fn policy_findings_reach_the_report() {
-        let findings = check_findings(&options(&["--power-down", "sr:0"]));
+        let findings = check_findings(&options(&["--power-down", "sr:0"])).unwrap();
         // sr_after 0 < pd_after 1: the escalation can never fire.
         assert!(
             findings.ids().contains(&"MCM105"),
@@ -1058,6 +1210,223 @@ mod trace_cli_tests {
         let cmd = parse_args(["trace-run", "--in", "/nonexistent/file"]).unwrap();
         let err = execute(&cmd).unwrap_err();
         assert!(err.to_string().contains("cannot read"));
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    //! Golden-stdout shape checks on the fixed 1080p30 x 4 ch default
+    //! config: every user-visible line and JSON key is pinned, so an
+    //! accidental output-format change fails here instead of breaking
+    //! scripts downstream.
+    use super::*;
+    use crate::args::parse_args;
+
+    /// The fixed config: 1080p30 x 4 ch @ 400 MHz is the parser default;
+    /// the op cap keeps each simulation fast.
+    const CFG: &[&str] = &["--op-limit", "4000"];
+
+    fn run(cmd: &str, extra: &[&str]) -> String {
+        let mut args = vec![cmd];
+        args.extend_from_slice(CFG);
+        args.extend_from_slice(extra);
+        execute(&parse_args(args).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn run_text_lines_are_pinned() {
+        let out = run("run", &[]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "1920x1088@30 (L4) on 4 ch x 32-bit mobile DDR @ 400 MHz \
+             (RBC, open-page, power-down after first idle cycle)",
+            "{out}"
+        );
+        let labels: Vec<&str> = lines[1..]
+            .iter()
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(labels, ["load:", "access", "bandwidth:", "power:"], "{out}");
+    }
+
+    #[test]
+    fn run_json_keys_are_pinned() {
+        let out = run("run", &["--json"]);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        let serde_json::Value::Object(m) = &v else {
+            panic!("expected object: {out}");
+        };
+        let mut keys: Vec<&str> = m.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        assert_eq!(
+            keys,
+            [
+                "access_time_ms",
+                "achieved_bandwidth_gbps",
+                "bytes_per_frame",
+                "channels",
+                "clock_mhz",
+                "core_power_mw",
+                "efficiency",
+                "format",
+                "frame_budget_ms",
+                "interface_power_mw",
+                "latency_p99_ns",
+                "peak_bandwidth_gbps",
+                "total_power_mw",
+                "verdict",
+            ],
+            "{out}"
+        );
+        assert_eq!(v["format"], serde_json::json!("1920x1088@30 (L4)"), "{out}");
+    }
+
+    #[test]
+    fn check_text_header_is_pinned() {
+        let out = run("check", &[]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            format!(
+                "mcm check: 1920x1088@30 (L4) on 4 ch @ 400 MHz \
+                 (RBC, open-page, power-down after first idle cycle; {} rules)",
+                mcm_verify::rule_catalogue().len()
+            ),
+            "{out}"
+        );
+        assert_eq!(lines[1], "check clean: 0 findings", "{out}");
+    }
+
+    #[test]
+    fn report_json_keys_are_pinned() {
+        let out = run("report", &["--json"]);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        let serde_json::Value::Object(m) = &v else {
+            panic!("expected object: {out}");
+        };
+        let mut keys: Vec<&str> = m.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        assert_eq!(
+            keys,
+            [
+                "channels",
+                "dropped_spans",
+                "gauges",
+                "kernel",
+                "spans",
+                "timeline_bucket_ps",
+            ],
+            "{out}"
+        );
+        assert_eq!(v["channels"].as_array().unwrap().len(), 4, "{out}");
+    }
+
+    #[test]
+    fn fault_description_is_pinned() {
+        let cmd = parse_args(["fault", "--seed", "7", "--channels", "4"]).unwrap();
+        let out = execute(&cmd).unwrap();
+        let first = out.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "fault plan (seed 0x7): 5 fault(s), policy retries=3 backoff=64ck shed-target=70%",
+            "{out}"
+        );
+        // Same seed, same description, run to run.
+        assert_eq!(out, execute(&cmd).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod fault_cli_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    /// Writes a channel-loss plan via `mcm fault --out` and returns its path.
+    fn plan_file(dir: &std::path::Path, lose: &str) -> String {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join(format!("plan_{}.json", lose.replace(',', "_")));
+        let path_s = path.to_str().unwrap().to_string();
+        let cmd = parse_args(["fault", "--seed", "7", "--lose", lose, "--out", &path_s]).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("wrote fault plan"), "{out}");
+        path_s
+    }
+
+    #[test]
+    fn fault_describe_and_json_round_trip() {
+        let cmd = parse_args(["fault", "--seed", "9", "--channels", "4"]).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("fault plan (seed 0x9)"), "{out}");
+
+        let cmd = parse_args(["fault", "--seed", "9", "--channels", "4", "--json"]).unwrap();
+        let json = execute(&cmd).unwrap();
+        let plan: mcm_fault::FaultPlan = serde_json::from_str(&json).expect("valid plan JSON");
+        assert_eq!(plan, mcm_fault::FaultPlan::seeded(9, 4).unwrap());
+    }
+
+    #[test]
+    fn fault_rejects_plans_that_lose_everything() {
+        let cmd = parse_args(["fault", "--channels", "2", "--lose", "0,1"]).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.to_string().contains("invalid"), "{err}");
+    }
+
+    #[test]
+    fn run_with_faults_reports_degradation_and_is_deterministic() {
+        let dir = std::env::temp_dir().join("mcm_cli_fault_run_test");
+        let plan = plan_file(&dir, "1");
+        // The fixed 1080p30 x 4ch default config, capped for test speed.
+        let args = ["run", "--faults", plan.as_str(), "--op-limit", "4000"];
+
+        let cmd = parse_args(args).unwrap();
+        let text = execute(&cmd).unwrap();
+        assert!(
+            text.contains("degraded:    lost channel(s) [1], 3 of 4 surviving"),
+            "{text}"
+        );
+        assert!(text.contains("effective:"), "{text}");
+
+        let mut json_args = args.to_vec();
+        json_args.push("--json");
+        let cmd = parse_args(json_args.clone()).unwrap();
+        let out1 = execute(&cmd).unwrap();
+        let out2 = execute(&parse_args(json_args).unwrap()).unwrap();
+        assert_eq!(out1, out2, "same plan, same output");
+        let v: serde_json::Value = serde_json::from_str(&out1).expect("valid JSON");
+        assert_eq!(v["degrade"]["lost_channels"][0].as_u64(), Some(1), "{out1}");
+        assert_eq!(v["degrade"]["surviving_channels"].as_u64(), Some(3));
+        assert_eq!(v["degrade"]["nominal_fps"].as_u64(), Some(30));
+        assert!(v["degrade"]["effective_fps"].as_f64().unwrap() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_with_faults_runs_the_degrade_rules_clean() {
+        let dir = std::env::temp_dir().join("mcm_cli_fault_check_test");
+        let plan = plan_file(&dir, "0");
+        let cmd = parse_args(["check", "--faults", plan.as_str(), "--op-limit", "4000"]).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("check clean: 0 findings"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_plans_are_rejected_where_unsupported() {
+        let dir = std::env::temp_dir().join("mcm_cli_fault_reject_test");
+        let plan = plan_file(&dir, "1");
+        for sub in ["steady", "headroom", "profile", "report", "config-dump"] {
+            let cmd = parse_args([sub, "--faults", plan.as_str()]).unwrap();
+            let err = execute(&cmd).unwrap_err();
+            assert!(
+                err.to_string().contains("--faults is not supported"),
+                "{sub}: {err}"
+            );
+        }
+        let cmd = parse_args(["run", "--faults", "/nonexistent/plan.json"]).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.to_string().contains("cannot read fault plan"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -1,6 +1,6 @@
 //! Event-driven execution of an experiment on the `mcm_sim` kernel.
 //!
-//! The direct-call path ([`Experiment::run`](crate::Experiment::run)) floods
+//! The direct-call path ([`Experiment::run_with`](crate::Experiment::run_with)) floods
 //! the memory subsystem with the frame's operations and lets each channel
 //! drain them — the paper's bandwidth-bound access-time measurement. This
 //! module runs the *same* experiment as a discrete-event simulation, the way

@@ -10,10 +10,13 @@ use serde::{Deserialize, Serialize};
 
 use mcm_channel::{MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport};
 use mcm_ctrl::AccessOp;
-use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, UseCase};
+use mcm_fault::{DegradeSummary, FaultPlan, StageShed, SHED_PRIORITY};
+use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, Stage, UseCase};
 use mcm_power::{InterfacePowerModel, PowerSummary};
 use mcm_sim::SimTime;
-use mcm_verify::{audit_trace, check_traffic_balance, lint_all, Report, TraceAuditOptions};
+use mcm_verify::{
+    audit_trace, check_degradation, check_traffic_balance, lint_all, Report, TraceAuditOptions,
+};
 
 use crate::error::CoreError;
 
@@ -121,9 +124,9 @@ pub struct Experiment {
 /// What a [`Experiment::run_with`] call should do beyond the plain
 /// single-frame simulation.
 ///
-/// This is the one knob set for every run entry point; the historical
-/// `run` / `run_verified` / `run_steady_state` trio are thin wrappers over
-/// [`Experiment::run_with`] with the corresponding options.
+/// This is the one knob set for every run entry point: verification,
+/// frame count, op limits, instrumentation and fault injection all hang
+/// off it.
 ///
 /// # Examples
 ///
@@ -158,6 +161,11 @@ pub struct RunOptions {
     /// Event budget: caps the number of simulated load operations,
     /// overriding [`Experiment::op_limit`] when set.
     pub op_limit: Option<u64>,
+    /// Seed-keyed fault plan injected into the memory subsystem before the
+    /// frame runs (single-frame runs only). `None` — the default — runs
+    /// healthy. Part of the run's identity: two runs with the same plan are
+    /// bit-identical, and sweep cache fingerprints include it.
+    pub faults: Option<FaultPlan>,
     /// Instrumentation sink every simulated layer reports through; `None`
     /// (the default) skips all recording at the cost of one branch per
     /// event. Excluded from equality and serialization, so attaching a
@@ -167,12 +175,14 @@ pub struct RunOptions {
 
 // The recorder is an attachment, not part of the run's identity: equality,
 // hashing-adjacent uses (sweep cache fingerprints), and serialization all
-// see only the three behavioural knobs.
+// see only the behavioural knobs. The fault plan, by contrast, changes
+// what the run computes, so it IS part of the identity.
 impl PartialEq for RunOptions {
     fn eq(&self, other: &Self) -> bool {
         self.verify == other.verify
             && self.frames == other.frames
             && self.op_limit == other.op_limit
+            && self.faults == other.faults
     }
 }
 
@@ -184,6 +194,11 @@ impl Serialize for RunOptions {
         m.insert("verify".to_string(), self.verify.to_value());
         m.insert("frames".to_string(), self.frames.to_value());
         m.insert("op_limit".to_string(), self.op_limit.to_value());
+        // Written only when set so healthy runs keep their pre-fault
+        // serialization (and therefore their sweep cache fingerprints).
+        if let Some(plan) = &self.faults {
+            m.insert("faults".to_string(), plan.to_value());
+        }
         serde::Value::Object(m)
     }
 }
@@ -201,6 +216,10 @@ impl Deserialize for RunOptions {
             verify: Deserialize::from_value(field("verify")?)?,
             frames: Deserialize::from_value(field("frames")?)?,
             op_limit: Deserialize::from_value(field("op_limit")?)?,
+            faults: match obj.get("faults") {
+                Some(v) => Some(Deserialize::from_value(v)?),
+                None => None,
+            },
             recorder: None,
         })
     }
@@ -212,6 +231,7 @@ impl Default for RunOptions {
             verify: false,
             frames: 1,
             op_limit: None,
+            faults: None,
             recorder: None,
         }
     }
@@ -260,6 +280,14 @@ impl RunOptions {
     /// and query it after the run.
     pub fn with_recorder(mut self, recorder: std::sync::Arc<dyn mcm_obs::Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Injects `plan` into the memory subsystem before the frame runs
+    /// (builder style). Only single-frame runs accept a plan; the frame
+    /// result then carries a [`DegradeSummary`] describing what degraded.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -406,6 +434,12 @@ impl Experiment {
                 reason: "verified steady-state runs are not supported; verify single frames".into(),
             });
         }
+        if options.faults.is_some() && options.frames > 1 {
+            return Err(CoreError::BadParam {
+                reason: "fault injection is single-frame only; drop the plan or set frames to 1"
+                    .into(),
+            });
+        }
         let exp = if options.op_limit.is_some() {
             let mut e = self.clone();
             e.op_limit = options.op_limit;
@@ -423,47 +457,25 @@ impl Experiment {
         }
         if options.verify {
             let mut findings = lint_all(&exp.use_case, &exp.memory, &exp.interface);
-            let result = exp.run_inner(Some(&mut findings), options.recorder.clone())?;
+            let result = exp.run_inner(
+                Some(&mut findings),
+                options.recorder.clone(),
+                options.faults.as_ref(),
+            )?;
             return Ok(RunOutcome::Verified {
                 result,
                 report: findings,
             });
         }
-        exp.run_inner(None, options.recorder.clone())
+        exp.run_inner(None, options.recorder.clone(), options.faults.as_ref())
             .map(RunOutcome::Frame)
-    }
-
-    /// Runs one frame and evaluates it.
-    ///
-    /// Thin wrapper over [`Experiment::run_with`] with default options;
-    /// the [`RunOutcome`] accessors are the supported way to get at the
-    /// [`FrameResult`].
-    #[deprecated(note = "use run_with(&RunOptions::default()) and RunOutcome::into_frame")]
-    pub fn run(&self) -> Result<FrameResult, CoreError> {
-        self.run_with(&RunOptions::default())
-            .map(|o| o.into_frame().expect("single-frame outcome"))
-    }
-
-    /// Runs one frame with conformance checking: configuration lints
-    /// before the run, the per-channel command traces replayed through
-    /// the `mcm-verify` timing oracle after it, plus a cross-channel
-    /// traffic-balance check.
-    ///
-    /// Thin wrapper over [`Experiment::run_with`] with
-    /// [`RunOptions::verified`]; the [`RunOutcome`] accessors are the
-    /// supported way to get at the [`FrameResult`] and [`Report`].
-    #[deprecated(note = "use run_with(&RunOptions::verified()) and RunOutcome::into_verified")]
-    pub fn run_verified(&self) -> Result<(FrameResult, Report), CoreError> {
-        match self.run_with(&RunOptions::verified())? {
-            RunOutcome::Verified { result, report } => Ok((result, report)),
-            _ => unreachable!("verified options yield a verified outcome"),
-        }
     }
 
     fn run_inner(
         &self,
-        verify: Option<&mut Report>,
+        mut verify: Option<&mut Report>,
         recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
+        faults: Option<&FaultPlan>,
     ) -> Result<FrameResult, CoreError> {
         let mut memory = MemorySubsystem::new(&self.memory)?;
         if verify.is_some() {
@@ -472,8 +484,20 @@ impl Experiment {
         if let Some(rec) = &recorder {
             memory.set_recorder(rec.clone());
         }
+        if let Some(plan) = faults {
+            // After set_recorder, so the one-time fault events (channel
+            // lost, refresh pressure, slow banks) are observable.
+            memory.apply_faults(plan)?;
+        }
+
+        let fps = self.use_case.fps;
+        let frame_budget = SimTime::from_ps(1_000_000_000_000u64 / fps as u64);
+        let budget_cycles = memory.clock().cycles_at(frame_budget);
+
         // Bank-staggered placement: concurrently streamed buffers land in
-        // different banks, as any locality-aware allocator arranges.
+        // different banks, as any locality-aware allocator arranges. Under
+        // channel loss the subsystem reports its shrunken capacity, so the
+        // frame set is laid out over the survivors.
         let geometry = self.memory.controller.cluster.geometry;
         let layout = FrameLayout::with_options(
             &self.use_case,
@@ -484,13 +508,23 @@ impl Experiment {
                 geometry.banks,
             ),
         )?;
-        let traffic =
-            FrameTraffic::new(&self.use_case, &layout, self.chunk.bytes(memory.channels()))?;
-        let planned_bytes = traffic.total_bytes();
+        let chunk = self.chunk.bytes(memory.channels());
+        let full_plan = FrameTraffic::new(&self.use_case, &layout, chunk)?;
+        let full_bytes = full_plan.total_bytes();
 
-        let fps = self.use_case.fps;
-        let frame_budget = SimTime::from_ps(1_000_000_000_000u64 / fps as u64);
-        let budget_cycles = memory.clock().cycles_at(frame_budget);
+        // Load shedding: when the degraded memory cannot carry the full
+        // frame, drop Table I stages in priority order (viewfinder and
+        // display before encoder reference traffic).
+        let (shed_stages, shed_record) = match faults {
+            Some(plan) => self.plan_shedding(&memory, plan, &full_plan, frame_budget),
+            None => (Vec::new(), Vec::new()),
+        };
+        let traffic = if shed_stages.is_empty() {
+            full_plan
+        } else {
+            FrameTraffic::without_stages(&self.use_case, &layout, chunk, &shed_stages)?
+        };
+        let planned_bytes = traffic.total_bytes();
 
         let mut simulated_bytes = 0u64;
         for (ops, op) in traffic.enumerate() {
@@ -526,7 +560,7 @@ impl Experiment {
         let horizon_cycles = memory.clock().cycles_ceil(frame_budget).max(busy);
         let report = memory.finish(horizon_cycles)?;
 
-        if let Some(findings) = verify {
+        if let Some(findings) = verify.as_deref_mut() {
             let budget = self
                 .memory
                 .controller
@@ -544,12 +578,18 @@ impl Experiment {
                     findings.merge(audit_trace(device.timing(), &geometry, trace, &opts));
                 }
             }
+            // Balance is judged over the channels that carry traffic: after
+            // channel loss, only the survivors.
             let burst = geometry.burst_bytes() as u64;
-            let per_channel: Vec<u64> = report
-                .channels
-                .iter()
-                .map(|c| (c.device.reads + c.device.writes) * burst)
-                .collect();
+            let channel_bytes =
+                |c: &mcm_ctrl::ChannelReport| (c.device.reads + c.device.writes) * burst;
+            let per_channel: Vec<u64> = match memory.fault_survivors() {
+                Some(survivors) => survivors
+                    .iter()
+                    .map(|&ch| channel_bytes(&report.channels[ch as usize]))
+                    .collect(),
+                None => report.channels.iter().map(channel_bytes).collect(),
+            };
             findings.merge(check_traffic_balance(&per_channel, 0.25));
         }
 
@@ -582,6 +622,41 @@ impl Experiment {
             power.observe(rec.as_ref());
             rec.record_span("frame", None, 0, report.access_time.as_ps());
         }
+
+        let degrade = faults.map(|plan| {
+            let stats = memory.degrade_stats().unwrap_or_default();
+            let surviving_channels = memory
+                .fault_survivors()
+                .map_or(memory.channels(), |s| s.len() as u32);
+            let shed_bytes: u64 = shed_record.iter().map(|s| s.bytes).sum();
+            // The rate the degraded memory sustains: nominal while the
+            // (possibly shed) frame still fits its budget, else the rate
+            // the achieved access time corresponds to.
+            let effective_fps = if access_time <= frame_budget {
+                f64::from(fps)
+            } else {
+                (1e12 / access_time.as_ps() as f64).min(f64::from(fps))
+            };
+            DegradeSummary {
+                lost_channels: plan.lost_channels(),
+                surviving_channels,
+                flaky_hits: stats.flaky_hits,
+                retries: stats.retries,
+                remaps: stats.remaps,
+                shed: shed_record.clone(),
+                shed_bytes,
+                planned_bytes_full: full_bytes,
+                planned_bytes_after_shed: planned_bytes,
+                effective_fps,
+                nominal_fps: fps,
+            }
+        });
+        if let Some(findings) = verify {
+            if let Some(summary) = &degrade {
+                findings.merge(check_degradation(summary, memory.channels()));
+            }
+        }
+
         Ok(FrameResult {
             access_time,
             frame_budget,
@@ -590,8 +665,65 @@ impl Experiment {
             planned_bytes,
             simulated_bytes,
             peak_bandwidth_bytes_per_s: memory.peak_bandwidth_bytes_per_s(),
+            degrade,
             report,
         })
+    }
+
+    /// Decides which Table I stages to shed for a fault-degraded run.
+    ///
+    /// The degraded delivery estimate is the healthy peak scaled by the
+    /// surviving-channel fraction and the mean availability of the
+    /// survivors' flaky windows; the policy's `shed_target_pct` sets how
+    /// much of that the frame plan may consume. Stages are shed in
+    /// [`SHED_PRIORITY`] order (always a prefix of it — `MCM303`) until the
+    /// plan fits or the shed list is exhausted.
+    fn plan_shedding(
+        &self,
+        memory: &MemorySubsystem,
+        plan: &FaultPlan,
+        full_plan: &FrameTraffic,
+        frame_budget: SimTime,
+    ) -> (Vec<Stage>, Vec<StageShed>) {
+        let channels = memory.channels();
+        let survivors = plan.survivors(channels);
+        let availability = plan.mean_availability(&survivors);
+        let degraded_peak = memory.peak_bandwidth_bytes_per_s() * survivors.len() as f64
+            / f64::from(channels)
+            * availability;
+        let budget_bytes =
+            degraded_peak * frame_budget.as_s_f64() * f64::from(plan.policy.shed_target_pct)
+                / 100.0;
+        let mut remaining = full_plan.total_bytes() as f64;
+        if remaining <= budget_bytes {
+            return (Vec::new(), Vec::new());
+        }
+        let stage_bytes = full_plan.stage_bytes();
+        let mut stages = Vec::new();
+        let mut record = Vec::new();
+        for label in SHED_PRIORITY {
+            if remaining <= budget_bytes {
+                break;
+            }
+            // Stages the use case doesn't exercise shed zero bytes but stay
+            // in the list, keeping the shed set a strict priority prefix.
+            let stage = Stage::ALL
+                .iter()
+                .copied()
+                .find(|s| s.label() == label)
+                .expect("every shed-priority label names a Table I stage");
+            let bytes = stage_bytes
+                .iter()
+                .find(|(s, _)| *s == stage)
+                .map_or(0, |(_, b)| *b);
+            stages.push(stage);
+            record.push(StageShed {
+                stage: label.to_string(),
+                bytes,
+            });
+            remaining -= bytes as f64;
+        }
+        (stages, record)
     }
 }
 
@@ -612,6 +744,10 @@ pub struct FrameResult {
     pub simulated_bytes: u64,
     /// Theoretical peak bandwidth of the configuration.
     pub peak_bandwidth_bytes_per_s: f64,
+    /// What degraded under an injected [`FaultPlan`]: lost channels,
+    /// retry/remap counts, shed stages and the effective frame rate.
+    /// `None` for healthy runs.
+    pub degrade: Option<DegradeSummary>,
     /// The raw subsystem report (per-channel stats, energies).
     pub report: SubsystemReport,
 }
@@ -899,29 +1035,38 @@ mod run_with_tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the wrapper equivalence is exactly what's under test
-    fn default_options_match_run() {
+    fn default_options_are_deterministic() {
         let e = quick();
-        let via_run = e.run().unwrap();
-        let via_with = e
-            .run_with(&RunOptions::default())
-            .unwrap()
-            .into_frame()
-            .unwrap();
-        assert_eq!(via_run.access_time, via_with.access_time);
-        assert_eq!(via_run.verdict, via_with.verdict);
+        let frame = |e: &Experiment| {
+            e.run_with(&RunOptions::default())
+                .unwrap()
+                .into_frame()
+                .unwrap()
+        };
+        let a = frame(&e);
+        let b = frame(&e);
+        assert_eq!(a.access_time, b.access_time);
+        assert_eq!(a.verdict, b.verdict);
+        assert!(
+            a.degrade.is_none(),
+            "healthy run carries no degrade summary"
+        );
     }
 
     #[test]
-    #[allow(deprecated)] // the wrapper equivalence is exactly what's under test
-    fn verified_options_match_run_verified() {
+    fn verified_options_attach_a_clean_report() {
         let e = quick();
         let outcome = e.run_with(&RunOptions::verified()).unwrap();
         assert!(outcome.frame().is_some());
         let report = outcome.verify_report().expect("verified outcome");
         assert!(report.is_clean(), "{}", report.render_human());
-        let (r, _) = e.run_verified().unwrap();
-        assert_eq!(r.access_time, outcome.frame().unwrap().access_time);
+        // The verified run measures the same frame as the plain one.
+        let plain = e
+            .run_with(&RunOptions::default())
+            .unwrap()
+            .into_frame()
+            .unwrap();
+        assert_eq!(plain.access_time, outcome.frame().unwrap().access_time);
     }
 
     #[test]
@@ -1034,6 +1179,120 @@ mod run_with_tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use mcm_fault::{DegradePolicy, FaultSpec};
+
+    fn base() -> Experiment {
+        let mut e = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+        e.op_limit = Some(5_000);
+        e
+    }
+
+    #[test]
+    fn channel_loss_run_reports_degradation() {
+        let e = base();
+        let plan = FaultPlan::channel_loss(7, 3);
+        let r = e
+            .run_with(&RunOptions::default().with_faults(plan))
+            .unwrap()
+            .into_frame()
+            .unwrap();
+        let d = r.degrade.as_ref().expect("faulted run carries a summary");
+        assert_eq!(d.lost_channels, vec![3]);
+        assert_eq!(d.surviving_channels, 3);
+        assert_eq!(d.nominal_fps, 30);
+        assert!(d.effective_fps > 0.0 && d.effective_fps <= 30.0);
+        assert_eq!(
+            d.planned_bytes_after_shed + d.shed_bytes,
+            d.planned_bytes_full
+        );
+        assert!(r.simulated_bytes > 0);
+    }
+
+    #[test]
+    fn same_seed_degraded_runs_are_bit_identical() {
+        let e = base();
+        let plan = FaultPlan::seeded(0xfeed_beef, 4).unwrap();
+        let opts = RunOptions::default().with_faults(plan);
+        let run = || e.run_with(&opts).unwrap().into_frame().unwrap();
+        let a = run();
+        let b = run();
+        assert_eq!(a.access_time, b.access_time);
+        assert_eq!(a.report.bytes_read, b.report.bytes_read);
+        assert_eq!(a.report.bytes_written, b.report.bytes_written);
+        assert_eq!(a.degrade, b.degrade);
+    }
+
+    #[test]
+    fn degraded_verified_run_passes_all_checks() {
+        let mut e = base();
+        e.op_limit = Some(4_000);
+        let opts = RunOptions::verified().with_faults(FaultPlan::channel_loss(1, 0));
+        let (result, findings) = e.run_with(&opts).unwrap().into_verified().unwrap();
+        assert!(result.degrade.is_some());
+        assert!(findings.is_clean(), "{}", findings.render_human());
+    }
+
+    #[test]
+    fn heavy_loss_sheds_stages_in_priority_order() {
+        // Two of four channels gone: 1080p60's plan no longer fits the
+        // degraded delivery estimate and viewfinder traffic is shed first.
+        let mut e = Experiment::paper(HdOperatingPoint::Hd1080p60, 4, 400);
+        e.op_limit = Some(5_000);
+        let plan = FaultPlan {
+            seed: 11,
+            faults: vec![
+                FaultSpec::ChannelLoss { channel: 0 },
+                FaultSpec::ChannelLoss { channel: 1 },
+            ],
+            policy: DegradePolicy::default(),
+        };
+        let r = e
+            .run_with(&RunOptions::default().with_faults(plan))
+            .unwrap()
+            .into_frame()
+            .unwrap();
+        let d = r.degrade.as_ref().unwrap();
+        assert!(!d.shed.is_empty(), "expected load shedding: {d}");
+        assert_eq!(d.shed[0].stage, mcm_fault::SHED_PRIORITY[0]);
+        for (entry, label) in d.shed.iter().zip(mcm_fault::SHED_PRIORITY) {
+            assert_eq!(entry.stage, label, "shed set must be a priority prefix");
+        }
+        assert!(d.shed_bytes > 0);
+        assert_eq!(
+            d.planned_bytes_after_shed + d.shed_bytes,
+            d.planned_bytes_full
+        );
+        assert_eq!(r.planned_bytes, d.planned_bytes_after_shed);
+    }
+
+    #[test]
+    fn faults_are_single_frame_only() {
+        let e = base();
+        let opts = RunOptions::steady(2).with_faults(FaultPlan::channel_loss(1, 0));
+        assert!(matches!(e.run_with(&opts), Err(CoreError::BadParam { .. })));
+    }
+
+    #[test]
+    fn fault_plan_is_part_of_run_identity_and_serde() {
+        let plain = RunOptions::default();
+        let faulted = RunOptions::default().with_faults(FaultPlan::channel_loss(1, 0));
+        assert_ne!(plain, faulted);
+        // Healthy options serialize without a faults key, keeping pre-fault
+        // cache fingerprints stable.
+        assert!(!serde_json::to_string(&plain).unwrap().contains("faults"));
+        let json = serde_json::to_string(&faulted).unwrap();
+        assert!(json.contains("faults"), "{json}");
+        let back: RunOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, faulted);
+        let back_plain: RunOptions =
+            serde_json::from_str(&serde_json::to_string(&plain).unwrap()).unwrap();
+        assert!(back_plain.faults.is_none());
+    }
+}
+
+#[cfg(test)]
 mod nan_audit_tests {
     use super::*;
     use mcm_channel::SubsystemReport;
@@ -1049,6 +1308,7 @@ mod nan_audit_tests {
             planned_bytes: 0,
             simulated_bytes: 0,
             peak_bandwidth_bytes_per_s: peak,
+            degrade: None,
             report: SubsystemReport {
                 channels: Vec::new(),
                 busy_until: 0,

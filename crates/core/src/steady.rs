@@ -73,19 +73,13 @@ fn rotated_layout(base: &FrameLayout, frame: usize) -> FrameLayout {
 }
 
 /// Runs `frames` consecutive frames of `exp` against one persistent memory
-/// subsystem.
+/// subsystem, with an optional instrumentation sink attached; each frame
+/// is additionally captured as a `"frame"` span.
 ///
-/// Thin wrapper over [`Experiment::run_with`] with
-/// [`RunOptions::steady`](crate::RunOptions::steady); the
-/// [`RunOutcome`](crate::RunOutcome) accessors are the supported way to
-/// get at the [`SteadyStateResult`].
-#[deprecated(note = "use run_with(&RunOptions::steady(frames)) and RunOutcome::into_steady")]
-pub fn run_steady_state(exp: &Experiment, frames: u32) -> Result<SteadyStateResult, CoreError> {
-    run_steady_state_observed(exp, frames, None)
-}
-
-/// [`run_steady_state`] with an optional instrumentation sink attached to
-/// the subsystem; each frame is additionally captured as a `"frame"` span.
+/// This is the engine behind
+/// [`RunOptions::steady`](crate::RunOptions::steady); prefer
+/// [`Experiment::run_with`] and the [`RunOutcome`](crate::RunOutcome)
+/// accessors for getting at the [`SteadyStateResult`].
 pub fn run_steady_state_observed(
     exp: &Experiment,
     frames: u32,

@@ -1,0 +1,250 @@
+//! Paper-golden suite: pins the reproduction against the DATE 2009 paper
+//! (Aho, Nikara, Tuominen, Kuusilinna, *A case for multi-channel memories
+//! in video recording*).
+//!
+//! Two kinds of constants live here:
+//!
+//! - **Prose anchors** transcribed from PAPER.md ("Headline anchors")
+//!   carry a loose ±10% tolerance — the paper states them with ≈.
+//! - **Table I cells**: the published table is partly garbled in the
+//!   source text, so the per-stage golden values below are the Section II
+//!   load-model formulas evaluated once and frozen (the same numbers
+//!   `mcm table1` renders). They carry a tight ±0.5% tolerance and exist
+//!   to catch any silent change to the load model.
+//!
+//! Every value cites the table cell (stage row × level column) or the
+//! PAPER.md anchor it pins.
+
+use mcm_channel::InterleaveMap;
+use mcm_dram::{ClusterConfig, Geometry};
+use mcm_load::{HdOperatingPoint, Stage, UseCase};
+
+/// Tight tolerance for frozen Table I cells (model regression guard).
+const CELL_TOL: f64 = 0.005;
+/// Loose tolerance for the paper's ≈-prose anchors.
+const ANCHOR_TOL: f64 = 0.10;
+
+fn assert_close(got: f64, want: f64, rel_tol: f64, what: &str) {
+    // Small cells (audio is ~0.004 Mb/frame) get an absolute floor so a
+    // relative check does not divide by almost-zero.
+    let tol = (want.abs() * rel_tol).max(0.01);
+    assert!(
+        (got - want).abs() <= tol,
+        "{what}: got {got}, want {want} (±{tol})"
+    );
+}
+
+/// One Table I column: per-stage traffic in Mb/frame (read + write), in
+/// the table's row order, plus the bottom "Data mem. load [MB/s]" row.
+struct GoldenColumn {
+    point: HdOperatingPoint,
+    stages: [f64; 11],
+    total_mbytes_per_s: f64,
+}
+
+/// Table I row order (top to bottom).
+const STAGE_ORDER: [Stage; 11] = [
+    Stage::CameraIf,
+    Stage::Preprocess,
+    Stage::BayerToYuv,
+    Stage::Stabilization,
+    Stage::PostProcDigizoom,
+    Stage::ScaleToDisplay,
+    Stage::DisplayCtrl,
+    Stage::VideoEncoder,
+    Stage::Audio,
+    Stage::Multiplex,
+    Stage::MemoryCard,
+];
+
+/// Table I, all five HD-capable H.264/AVC level columns. Stage values are
+/// Mb/frame; comments give the level column. Row order is [`STAGE_ORDER`].
+const TABLE1: [GoldenColumn; 5] = [
+    // Column "1280x720@30 (L3.1)".
+    GoldenColumn {
+        point: HdOperatingPoint::Hd720p30,
+        stages: [
+            21.23,  // Camera I/F: one 16-bit Bayer frame written (with border)
+            42.47,  // Preprocess: Bayer in + out
+            42.47,  // Bayer to YUV
+            35.98,  // Video stabilization: border crop to YUV 4:2:2
+            29.49,  // Post proc & digizoom
+            23.96,  // Scaling to display: YUV in, WVGA RGB888 out
+            18.43,  // DisplayCtrl: WVGA @ 60 Hz refresh / 30 fps capture
+            276.95, // Video encoder: ref reads + recon write + bitstream
+            0.004,  // Audio: 128 kbps / 30 fps
+            0.94,   // Multiplex: A/V bitstream in + out
+            0.47,   // Memory card: muxed stream read
+        ],
+        total_mbytes_per_s: 1846.0, // PAPER.md anchor: ≈ 1.9 GB/s
+    },
+    // Column "1280x720@60 (L3.2)".
+    GoldenColumn {
+        point: HdOperatingPoint::Hd720p60,
+        stages: [
+            21.23, 42.47, 42.47, 35.98, 29.49, 23.96,
+            9.22, // DisplayCtrl halves per frame at 60 fps capture
+            276.81, 0.002, 0.67, 0.34,
+        ],
+        total_mbytes_per_s: 3620.0,
+    },
+    // Column "1920x1088@30 (L4)".
+    GoldenColumn {
+        point: HdOperatingPoint::Hd1080p30,
+        stages: [
+            48.11, 96.22, 96.22, 81.53, 66.85, 42.64, 18.43, 627.35, 0.004, 1.34, 0.67,
+        ],
+        total_mbytes_per_s: 4048.0, // PAPER.md anchor: ≈ 4.3 GB/s
+    },
+    // Column "1920x1088@60 (L4.2)".
+    GoldenColumn {
+        point: HdOperatingPoint::Hd1080p60,
+        stages: [
+            48.11, 96.22, 96.22, 81.53, 66.85, 42.64, 9.22, 627.52, 0.002, 1.67, 0.84,
+        ],
+        total_mbytes_per_s: 8031.0, // PAPER.md anchor: ≈ 8.6 GB/s
+    },
+    // Column "3840x2160@30 (L5.2)".
+    GoldenColumn {
+        point: HdOperatingPoint::Uhd2160p30,
+        stages: [
+            191.10, 382.21, 382.21, 323.81, 265.42, 141.93, 18.43, 2496.32, 0.004, 16.01, 8.00,
+        ],
+        total_mbytes_per_s: 15845.0,
+    },
+];
+
+#[test]
+fn table1_per_stage_bits_per_frame_match_for_all_five_levels() {
+    for col in &TABLE1 {
+        let uc = UseCase::hd(col.point);
+        let traffic = uc.stage_traffic();
+        assert_eq!(traffic.len(), STAGE_ORDER.len(), "{:?}", col.point);
+        for (i, (stage, want)) in STAGE_ORDER.iter().zip(col.stages).enumerate() {
+            assert_eq!(traffic[i].stage, *stage, "{:?} row {i}", col.point);
+            assert_close(
+                traffic[i].total_mbits(),
+                want,
+                CELL_TOL,
+                &format!("Table I, {} × {:?}", stage.label(), col.point),
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_total_mbytes_per_second_matches_for_all_five_levels() {
+    for col in &TABLE1 {
+        let row = UseCase::hd(col.point).table_row();
+        assert_close(
+            row.mbytes_per_second(),
+            col.total_mbytes_per_s,
+            CELL_TOL,
+            &format!("Table I, Data mem. load [MB/s] × {:?}", col.point),
+        );
+        // The per-stage cells and the total must agree with each other,
+        // not just each with its constant.
+        let sum_mb: f64 = col.stages.iter().sum();
+        assert_close(
+            row.bits_per_frame() as f64 / 1e6,
+            sum_mb,
+            CELL_TOL,
+            &format!("Table I column sum × {:?}", col.point),
+        );
+    }
+}
+
+#[test]
+fn paper_prose_anchors_hold() {
+    let gbps = |p| UseCase::hd(p).table_row().gbytes_per_second();
+    // PAPER.md: "720p30 total load ≈ 1.9 GB/s".
+    assert_close(gbps(HdOperatingPoint::Hd720p30), 1.9, ANCHOR_TOL, "720p30");
+    // PAPER.md: "1080p30 total load ≈ 4.3 GB/s (≈ 2.2 × 720p30)".
+    assert_close(
+        gbps(HdOperatingPoint::Hd1080p30),
+        4.3,
+        ANCHOR_TOL,
+        "1080p30",
+    );
+    assert_close(
+        gbps(HdOperatingPoint::Hd1080p30) / gbps(HdOperatingPoint::Hd720p30),
+        2.2,
+        ANCHOR_TOL,
+        "1080p30 / 720p30 ratio",
+    );
+    // PAPER.md: "1080p60 total load ≈ 8.6 GB/s".
+    assert_close(
+        gbps(HdOperatingPoint::Hd1080p60),
+        8.6,
+        ANCHOR_TOL,
+        "1080p60",
+    );
+}
+
+#[test]
+fn table2_device_parameters_match_the_paper() {
+    // Table II / Section III: 512 Mb, 4-bank, ×32 DDR bank cluster.
+    let g = Geometry::next_gen_mobile_ddr();
+    assert_eq!(g.banks, 4, "Table II: 4 banks per cluster");
+    assert_eq!(g.word_bits, 32, "Table II: ×32 data bus");
+    assert_eq!(
+        g.capacity_bytes() * 8,
+        512 << 20,
+        "Table II: 512 Mb per cluster"
+    );
+    assert_eq!(g.burst_len, 4, "Section III: minimum DRAM burst of 4 words");
+
+    // Section III: 200–533 MHz interface clock window.
+    let cfg = ClusterConfig::next_gen_mobile_ddr(400);
+    assert_eq!(cfg.timing.min_clock_mhz, 200, "clock window low end");
+    assert_eq!(cfg.timing.max_clock_mhz, 533, "clock window high end");
+
+    // PAPER.md anchor: 8 channels @ 400 MHz ≈ 25.6 GB/s peak (DDR: two
+    // words per clock per channel).
+    let peak = 8.0 * (g.word_bits as f64 / 8.0) * 2.0 * 400e6;
+    assert_close(peak / 1e9, 25.6, ANCHOR_TOL, "8 ch @ 400 MHz peak GB/s");
+}
+
+#[test]
+fn table2_interleave_maps_16_byte_granules_round_robin() {
+    // Table II: data is interleaved over the channels at 16-byte
+    // granularity — consecutive granules BC0, BC1, … rotate channels.
+    for channels in [1u32, 2, 4, 8] {
+        let map = InterleaveMap::new(channels, 16).unwrap();
+        assert_eq!(map.channels(), channels);
+        assert_eq!(map.granule_bytes(), 16);
+        for granule in 0..(4 * channels as u64) {
+            let addr = granule * 16;
+            let slices = map.split_range(addr, 16);
+            let holders: Vec<u32> = slices
+                .iter()
+                .enumerate()
+                .filter_map(|(ch, s)| s.map(|_| ch as u32))
+                .collect();
+            assert_eq!(
+                holders,
+                vec![(granule % channels as u64) as u32],
+                "granule {granule} on {channels} ch"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_experiment_defaults_match_table2() {
+    // The default experiment is the paper's configuration: 16-byte
+    // interleave granule over the Table II bank clusters.
+    let exp = mcm_core::Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+    assert_eq!(exp.memory.granule_bytes, 16, "Table II: 16 B granule");
+    assert_eq!(
+        exp.memory.controller.cluster.geometry,
+        Geometry::next_gen_mobile_ddr(),
+        "Section III: paper bank cluster"
+    );
+    // Section III: up to eight parallel channels are supported.
+    for channels in [1u32, 2, 4, 8] {
+        mcm_core::Experiment::paper(HdOperatingPoint::Hd720p30, channels, 400)
+            .validate()
+            .unwrap_or_else(|e| panic!("{channels} channels must be valid: {e}"));
+    }
+}

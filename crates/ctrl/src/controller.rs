@@ -15,7 +15,7 @@
 //! BRC on sequential traffic (see `mcm_dram::AddressMapping`).
 
 use mcm_dram::{AddressDecoder, BankCluster, ClusterStats, DramCommand, IssueOutcome};
-use mcm_obs::{ChannelObs, RowOutcome};
+use mcm_obs::{ChannelObs, FaultKind, RowOutcome};
 use mcm_sim::stats::LatencyHistogram;
 
 use crate::config::{
@@ -50,6 +50,8 @@ pub struct CtrlStats {
     pub write_flushes: u64,
     /// Drains forced by a read hitting a buffered write.
     pub hazard_flushes: u64,
+    /// Requests deferred by a controller-stall fault window.
+    pub stalls: u64,
 }
 
 /// Timing result of one request.
@@ -136,6 +138,10 @@ pub struct Controller {
     stats: CtrlStats,
     latency: LatencyHistogram,
     obs: Option<ChannelObs>,
+    /// Periodic controller-stall fault: `(period, stall, phase)` cycles.
+    /// Requests arriving inside the first `stall` cycles of each period are
+    /// deferred to the period's end. `None` (healthy) costs one branch.
+    stall_window: Option<(u64, u64, u64)>,
 }
 
 impl Controller {
@@ -170,7 +176,46 @@ impl Controller {
             stats: CtrlStats::default(),
             latency: LatencyHistogram::new(),
             obs: None,
+            stall_window: None,
         })
+    }
+
+    /// Applies refresh pressure: the effective refresh interval (tREFI) is
+    /// divided by `divisor`, modelling the elevated refresh rate a
+    /// retention or thermal problem forces. Cumulative across calls;
+    /// `divisor` of zero or one leaves the controller unchanged.
+    pub fn set_refresh_pressure(&mut self, divisor: u64) {
+        if divisor > 1 {
+            self.t_refi = (self.t_refi / divisor).max(1);
+            self.recompute_forced_refresh();
+        }
+    }
+
+    /// The effective refresh interval in cycles (tREFI after any applied
+    /// refresh pressure).
+    pub fn refresh_interval(&self) -> u64 {
+        self.t_refi
+    }
+
+    /// Installs a periodic controller-stall fault: requests arriving within
+    /// the first `stall` cycles of each `period`-cycle window (offset by
+    /// `phase`) are deferred to the window's end. Models transient
+    /// controller unavailability; requires `0 < stall < period`.
+    pub fn set_stall_window(&mut self, period: u64, stall: u64, phase: u64) {
+        debug_assert!(stall > 0 && stall < period);
+        self.stall_window = Some((period, stall, phase));
+    }
+
+    /// Degrades one bank of the attached device (extra tRCD/tRP cycles) —
+    /// the fault layer's slow/stuck-row model.
+    pub fn set_bank_penalty(
+        &mut self,
+        bank: u32,
+        extra_trcd: u64,
+        extra_trp: u64,
+    ) -> Result<(), CtrlError> {
+        self.device.set_bank_penalty(bank, extra_trcd, extra_trp)?;
+        Ok(())
     }
 
     /// Attaches an observability handle: row-buffer outcomes, request
@@ -455,6 +500,29 @@ impl Controller {
         }
         let prev_arrival = self.last_arrival;
         self.last_arrival = req.arrival;
+        // Controller-stall fault: defer arrivals inside a stall window to
+        // its end. The map is monotone (everything inside a window lands on
+        // the same end cycle), so FCFS order survives.
+        let req = match self.stall_window {
+            Some((period, stall, phase)) => {
+                let into = (req.arrival + phase) % period;
+                if into < stall {
+                    let deferred = req.arrival + (stall - into);
+                    self.stats.stalls += 1;
+                    if let Some(obs) = &self.obs {
+                        let clock = self.device.timing().clock;
+                        obs.fault(FaultKind::Stall, clock.time_of_cycles(req.arrival).as_ps());
+                    }
+                    ChannelRequest {
+                        arrival: deferred,
+                        ..req
+                    }
+                } else {
+                    req
+                }
+            }
+            None => req,
+        };
         // The request crosses the DRAM interconnect before the controller
         // can act on it.
         let req = ChannelRequest {
@@ -744,6 +812,106 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, CtrlError::NonMonotonicArrival { .. }));
+    }
+
+    #[test]
+    fn stall_window_defers_requests_monotonically() {
+        let mut c = ctrl();
+        // Window: cycles [0, 100) of every 1000 are stalled.
+        c.set_stall_window(1000, 100, 0);
+        let stalled = c
+            .access(ChannelRequest {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 16,
+                arrival: 40,
+            })
+            .unwrap();
+        assert_eq!(c.stats().stalls, 1);
+        // A healthy controller serves the same request earlier.
+        let mut h = ctrl();
+        let healthy = h
+            .access(ChannelRequest {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 16,
+                arrival: 40,
+            })
+            .unwrap();
+        assert_eq!(stalled.done_cycle, healthy.done_cycle + 60);
+        // Arrivals outside the window pass through untouched.
+        let clear = c
+            .access(ChannelRequest {
+                op: AccessOp::Read,
+                addr: 64,
+                len: 16,
+                arrival: 500,
+            })
+            .unwrap();
+        assert!(clear.first_cmd_cycle >= 500);
+        assert_eq!(c.stats().stalls, 1);
+    }
+
+    #[test]
+    fn refresh_pressure_divides_the_interval() {
+        let mut c = ctrl();
+        let base = c.refresh_interval();
+        c.set_refresh_pressure(2);
+        assert_eq!(c.refresh_interval(), base / 2);
+        // A divisor of one (or zero) is a no-op.
+        c.set_refresh_pressure(1);
+        c.set_refresh_pressure(0);
+        assert_eq!(c.refresh_interval(), base / 2);
+        // The pressured controller refreshes more over the same idle span.
+        let mut h = ctrl();
+        for ctl in [&mut c, &mut h] {
+            ctl.access(ChannelRequest {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 16,
+                arrival: 0,
+            })
+            .unwrap();
+            ctl.access(ChannelRequest {
+                op: AccessOp::Read,
+                addr: 16,
+                len: 16,
+                arrival: 20 * base,
+            })
+            .unwrap();
+        }
+        let pressured = c.stats().refreshes_idle + c.stats().refreshes_forced;
+        let healthy = h.stats().refreshes_idle + h.stats().refreshes_forced;
+        assert!(
+            pressured > healthy,
+            "pressured {pressured} <= healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn bank_penalty_reaches_the_device() {
+        let mut c = ctrl();
+        c.set_bank_penalty(0, 4, 2).unwrap();
+        assert!(c.set_bank_penalty(1_000, 1, 1).is_err());
+        // The degraded controller finishes the same cold read later.
+        let mut h = ctrl();
+        let slow = c
+            .access(ChannelRequest {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 16,
+                arrival: 0,
+            })
+            .unwrap();
+        let fast = h
+            .access(ChannelRequest {
+                op: AccessOp::Read,
+                addr: 0,
+                len: 16,
+                arrival: 0,
+            })
+            .unwrap();
+        assert_eq!(slow.done_cycle, fast.done_cycle + 4);
     }
 
     #[test]

@@ -143,6 +143,10 @@ pub struct BankCluster {
     last_state_cycle: u64,
     trace: Option<Vec<crate::validate::TracedCommand>>,
     obs: Option<ChannelObs>,
+    /// Per-bank `(extra tRCD, extra tRP)` cycles modelling degraded ("slow")
+    /// rows — the fault-injection layer's stuck/slow-row model. `None` (the
+    /// healthy default) keeps the hot path to a single branch.
+    bank_penalty: Option<Vec<(u64, u64)>>,
 }
 
 /// Observability classification of a command: its [`CommandKind`] plus the
@@ -196,7 +200,33 @@ impl BankCluster {
             last_state_cycle: 0,
             trace: None,
             obs: None,
+            bank_penalty: None,
         })
+    }
+
+    /// Degrades one bank: every ACT to it takes `extra_trcd` more cycles to
+    /// open the row and every PRE `extra_trp` more to close it. Models the
+    /// fault layer's slow/stuck-row condition; cumulative across calls.
+    pub fn set_bank_penalty(
+        &mut self,
+        bank: u32,
+        extra_trcd: u64,
+        extra_trp: u64,
+    ) -> Result<(), DramError> {
+        if bank >= self.geometry.banks {
+            return Err(DramError::InvalidGeometry {
+                reason: format!(
+                    "bank penalty targets bank {bank} but the device has {} banks",
+                    self.geometry.banks
+                ),
+            });
+        }
+        let penalties = self
+            .bank_penalty
+            .get_or_insert_with(|| vec![(0, 0); self.geometry.banks as usize]);
+        penalties[bank as usize].0 += extra_trcd;
+        penalties[bank as usize].1 += extra_trp;
+        Ok(())
     }
 
     /// Attaches an observability handle: every committed command, per-event
@@ -541,6 +571,12 @@ impl BankCluster {
         Ok((first, end))
     }
 
+    /// `(extra tRCD, extra tRP)` for `bank`; `(0, 0)` when healthy.
+    #[inline]
+    fn penalty_of(&self, bank: usize) -> (u64, u64) {
+        self.bank_penalty.as_ref().map_or((0, 0), |p| p[bank])
+    }
+
     /// Commits an already-validated command: mutates bank/bus/power state,
     /// stats and energy. `cycle` must satisfy `earliest_issue` and program
     /// order; both entry points guarantee it.
@@ -561,7 +597,8 @@ impl BankCluster {
                         reason: format!("row {row} out of range"),
                     });
                 }
-                self.banks[bank as usize].apply_activate(cycle, row, t.t_rcd, t.t_ras, t.t_rc);
+                let t_rcd = t.t_rcd + self.penalty_of(bank as usize).0;
+                self.banks[bank as usize].apply_activate(cycle, row, t_rcd, t.t_ras, t.t_rc);
                 self.open_banks += 1;
                 self.earliest_any_act = self.earliest_any_act.max(cycle + t.t_rrd);
                 if self.faw_len == 4 {
@@ -596,19 +633,23 @@ impl BankCluster {
             }
             DramCommand::Precharge { bank } => {
                 if self.banks[bank as usize].is_active() {
-                    self.banks[bank as usize].apply_precharge(cycle, t.t_rp);
+                    let t_rp = t.t_rp + self.penalty_of(bank as usize).1;
+                    self.banks[bank as usize].apply_precharge(cycle, t_rp);
                     self.open_banks -= 1;
                     self.stats.precharges += 1;
                 }
             }
             DramCommand::PrechargeAll => {
-                for b in &mut self.banks {
+                let penalties = self.bank_penalty.take();
+                for (i, b) in self.banks.iter_mut().enumerate() {
                     if b.is_active() {
-                        b.apply_precharge(cycle, t.t_rp);
+                        let extra = penalties.as_ref().map_or(0, |p| p[i].1);
+                        b.apply_precharge(cycle, t.t_rp + extra);
                         self.open_banks -= 1;
                         self.stats.precharges += 1;
                     }
                 }
+                self.bank_penalty = penalties;
             }
             DramCommand::Refresh => {
                 self.earliest_cmd = self.earliest_cmd.max(cycle + t.t_rfc);
@@ -768,6 +809,38 @@ mod tests {
         c.issue(DramCommand::Precharge { bank: 0 }, t.t_ras)
             .unwrap();
         assert_eq!(c.open_row(0).unwrap(), None);
+    }
+
+    #[test]
+    fn bank_penalty_stretches_trcd_and_trp() {
+        let mut c = cluster();
+        let t = *c.timing();
+        c.set_bank_penalty(0, 5, 3).unwrap();
+        // Degraded bank: the read must now wait tRCD + 5.
+        c.issue(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        let e = c
+            .earliest_issue(DramCommand::Read { bank: 0, col: 0 }, 0)
+            .unwrap();
+        assert_eq!(e, t.t_rcd + 5);
+        // Healthy banks are untouched.
+        c.issue(DramCommand::Activate { bank: 1, row: 0 }, t.t_rrd)
+            .unwrap();
+        let e1 = c
+            .earliest_issue(DramCommand::Read { bank: 1, col: 0 }, 0)
+            .unwrap();
+        assert_eq!(e1, t.t_rrd + t.t_rcd);
+        // Precharge on the slow bank blocks the next ACT for tRP + 3 extra.
+        let pre_at = c
+            .earliest_issue(DramCommand::Precharge { bank: 0 }, 0)
+            .unwrap();
+        c.issue(DramCommand::Precharge { bank: 0 }, pre_at).unwrap();
+        let act = c
+            .earliest_issue(DramCommand::Activate { bank: 0, row: 1 }, 0)
+            .unwrap();
+        assert!(act >= pre_at + t.t_rp + 3);
+        // Out-of-range banks are rejected.
+        assert!(c.set_bank_penalty(99, 1, 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,763 @@
+//! `mcm-fault`: deterministic, seed-driven fault injection and
+//! graceful-degradation plans for the multi-channel memory subsystem.
+//!
+//! The paper argues a multi-channel memory can sustain the Table I load;
+//! a production camera must also answer what happens when part of that
+//! memory *stops* holding up. This crate describes such failures as data:
+//! a [`FaultPlan`] is a serde-serializable list of [`FaultSpec`]s plus a
+//! [`DegradePolicy`], keyed by the `u64` seed that generated it so sweep
+//! cache fingerprints stay stable. The plan carries no behaviour of its
+//! own — the channel subsystem, controller and core interpret it:
+//!
+//! * **Channel loss** ([`FaultSpec::ChannelLoss`]): a channel is dead for
+//!   the whole run; survivors are re-interleaved to cover the address
+//!   space.
+//! * **Flaky channel** ([`FaultSpec::FlakyChannel`]): periodic
+//!   unavailability windows; requests retry with backoff and remap to a
+//!   surviving neighbour when retries run out.
+//! * **Slow bank** ([`FaultSpec::SlowBank`]): degraded tRCD/tRP on one
+//!   bank (stuck/slow rows).
+//! * **Refresh pressure** ([`FaultSpec::RefreshPressure`]): the refresh
+//!   interval divided by a factor — a retention/thermal proxy.
+//! * **Controller stall** ([`FaultSpec::CtrlStall`]): periodic windows in
+//!   which the controller accepts no new requests.
+//!
+//! Degradation outcomes (shed stages, retry/remap counts, effective frame
+//! rate) are reported through [`DegradeSummary`], and the canonical
+//! load-shedding order is [`SHED_PRIORITY`]: viewfinder/display stages
+//! drop before encoder reference traffic, never the capture path.
+
+#![deny(missing_docs)]
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Error raised when a plan is malformed for the subsystem it is applied
+/// to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A fault names a channel the subsystem does not have.
+    BadChannel {
+        /// The out-of-range channel.
+        channel: u32,
+        /// How many channels the subsystem has.
+        channels: u32,
+    },
+    /// The plan is inconsistent (empty windows, zero divisors, …).
+    BadPlan {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Every channel is lost; nothing can degrade gracefully.
+    AllChannelsLost,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::BadChannel { channel, channels } => {
+                write!(f, "fault names channel {channel}, subsystem has {channels}")
+            }
+            FaultError::BadPlan { reason } => write!(f, "bad fault plan: {reason}"),
+            FaultError::AllChannelsLost => write!(f, "fault plan loses every channel"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A periodic unavailability window on the interface clock: cycles `c`
+/// with `(c + phase) % period < down` are inside a down window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Window period, interface-clock cycles.
+    pub period: u64,
+    /// Down time at the start of each period, cycles (`< period`).
+    pub down: u64,
+    /// Phase offset, cycles.
+    pub phase: u64,
+}
+
+impl WindowSpec {
+    /// Whether `cycle` falls inside a down window.
+    pub fn is_down(&self, cycle: u64) -> bool {
+        self.period > 0
+            && self.down > 0
+            && (cycle.wrapping_add(self.phase)) % self.period < self.down
+    }
+
+    /// First cycle at or after `cycle` outside a down window. Monotone in
+    /// `cycle`, so arrival adjustment through it preserves FCFS order.
+    pub fn next_up(&self, cycle: u64) -> u64 {
+        if !self.is_down(cycle) {
+            return cycle;
+        }
+        let into = (cycle.wrapping_add(self.phase)) % self.period;
+        cycle + (self.down - into)
+    }
+
+    /// Fraction of time the window is up, in `[0, 1]`.
+    pub fn availability(&self) -> f64 {
+        if self.period == 0 {
+            return 1.0;
+        }
+        1.0 - self.down.min(self.period) as f64 / self.period as f64
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// The channel is dead for the whole run.
+    ChannelLoss {
+        /// The lost channel.
+        channel: u32,
+    },
+    /// The channel is periodically unavailable.
+    FlakyChannel {
+        /// The flaky channel.
+        channel: u32,
+        /// The unavailability window.
+        window: WindowSpec,
+    },
+    /// One bank responds slowly: extra cycles on row activate and
+    /// precharge (stuck/slow rows).
+    SlowBank {
+        /// The channel whose device degrades.
+        channel: u32,
+        /// The slow bank.
+        bank: u32,
+        /// Extra tRCD cycles.
+        extra_trcd: u64,
+        /// Extra tRP cycles.
+        extra_trp: u64,
+    },
+    /// Elevated refresh rate: the refresh interval is divided by this
+    /// factor on every channel (retention/thermal proxy).
+    RefreshPressure {
+        /// tREFI divisor (≥ 2 to have any effect).
+        divisor: u64,
+    },
+    /// The channel's controller periodically accepts no new requests.
+    CtrlStall {
+        /// The stalling channel.
+        channel: u32,
+        /// The stall window.
+        window: WindowSpec,
+    },
+}
+
+/// How the subsystem degrades when faults bite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradePolicy {
+    /// Retry attempts before a flaky-window request remaps to a surviving
+    /// neighbour channel.
+    pub max_retries: u32,
+    /// Base backoff between retries, interface-clock cycles (attempt `k`
+    /// waits `k × backoff_cycles`).
+    pub backoff_cycles: u64,
+    /// Load-shedding target: shed stages until the planned frame traffic
+    /// fits this percentage of the degraded sustainable byte budget.
+    pub shed_target_pct: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            max_retries: 3,
+            backoff_cycles: 64,
+            shed_target_pct: 70,
+        }
+    }
+}
+
+/// Canonical load-shedding order, first-to-shed first, by Table I row
+/// label. Viewfinder/display stages go before encoder reference traffic;
+/// the capture path (camera, preprocessing, demosaic), audio and the
+/// container/media path are never shed — dropping them would corrupt the
+/// recording rather than degrade it.
+pub const SHED_PRIORITY: [&str; 5] = [
+    "DisplayCtrl",
+    "Scaling to display",
+    "Post proc & digizoom",
+    "Video stabilization",
+    "Video encoder",
+];
+
+/// A complete, deterministic fault scenario.
+///
+/// The `seed` is part of the plan's identity: two plans generated from the
+/// same seed are equal, serialize identically, and therefore hit the same
+/// sweep cache entries.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_fault::FaultPlan;
+///
+/// let plan = FaultPlan::seeded(7, 4).unwrap();
+/// assert_eq!(plan, FaultPlan::seeded(7, 4).unwrap()); // deterministic
+/// assert!(plan.validate(4).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The injected faults.
+    pub faults: Vec<FaultSpec>,
+    /// How the subsystem degrades in response.
+    pub policy: DegradePolicy,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a sweep-axis baseline).
+    pub fn healthy() -> Self {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+            policy: DegradePolicy::default(),
+        }
+    }
+
+    /// A plan that loses exactly one channel.
+    pub fn channel_loss(seed: u64, channel: u32) -> Self {
+        FaultPlan {
+            seed,
+            faults: vec![FaultSpec::ChannelLoss { channel }],
+            policy: DegradePolicy::default(),
+        }
+    }
+
+    /// Generates a mixed-fault scenario deterministically from `seed` for
+    /// a `channels`-channel subsystem: one lost channel (when more than
+    /// one exists), one flaky survivor, one slow bank, refresh pressure
+    /// and one controller stall. Same seed, same plan.
+    pub fn seeded(seed: u64, channels: u32) -> Result<Self, FaultError> {
+        if channels == 0 {
+            return Err(FaultError::BadPlan {
+                reason: "subsystem must have at least one channel".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        let lost = if channels > 1 {
+            let ch = rng.gen_range(0..channels);
+            faults.push(FaultSpec::ChannelLoss { channel: ch });
+            Some(ch)
+        } else {
+            None
+        };
+        // A flaky survivor (skip the lost channel by rotating past it).
+        let survivors = channels - lost.map_or(0, |_| 1);
+        if survivors > 0 {
+            let mut ch = rng.gen_range(0..channels);
+            if Some(ch) == lost {
+                ch = (ch + 1) % channels;
+            }
+            let period = 1u64 << rng.gen_range(10..13u32); // 1024..4096 ck
+            let down = rng.gen_range(period / 8..period / 2);
+            let phase = rng.gen_range(0..period);
+            faults.push(FaultSpec::FlakyChannel {
+                channel: ch,
+                window: WindowSpec {
+                    period,
+                    down,
+                    phase,
+                },
+            });
+        }
+        faults.push(FaultSpec::SlowBank {
+            channel: rng.gen_range(0..channels),
+            bank: rng.gen_range(0..4u32),
+            extra_trcd: rng.gen_range(1..5u64),
+            extra_trp: rng.gen_range(1..5u64),
+        });
+        faults.push(FaultSpec::RefreshPressure {
+            divisor: rng.gen_range(2..4u64),
+        });
+        let mut stall_ch = rng.gen_range(0..channels);
+        if Some(stall_ch) == lost {
+            stall_ch = (stall_ch + 1) % channels;
+        }
+        let period = 8192u64;
+        faults.push(FaultSpec::CtrlStall {
+            channel: stall_ch,
+            window: WindowSpec {
+                period,
+                down: rng.gen_range(64..512u64),
+                phase: rng.gen_range(0..period),
+            },
+        });
+        Ok(FaultPlan {
+            seed,
+            faults,
+            policy: DegradePolicy::default(),
+        })
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Checks the plan against a `channels`-channel subsystem: channel
+    /// indices in range, windows and divisors consistent, at least one
+    /// channel surviving.
+    pub fn validate(&self, channels: u32) -> Result<(), FaultError> {
+        let in_range = |channel: u32| {
+            if channel >= channels {
+                Err(FaultError::BadChannel { channel, channels })
+            } else {
+                Ok(())
+            }
+        };
+        let window_ok = |w: &WindowSpec, what: &str| {
+            if w.period == 0 || w.down == 0 || w.down >= w.period {
+                Err(FaultError::BadPlan {
+                    reason: format!(
+                        "{what} window needs 0 < down < period, got down {} period {}",
+                        w.down, w.period
+                    ),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for f in &self.faults {
+            match f {
+                FaultSpec::ChannelLoss { channel } => in_range(*channel)?,
+                FaultSpec::FlakyChannel { channel, window } => {
+                    in_range(*channel)?;
+                    window_ok(window, "flaky")?;
+                }
+                FaultSpec::SlowBank {
+                    channel,
+                    extra_trcd,
+                    extra_trp,
+                    ..
+                } => {
+                    in_range(*channel)?;
+                    if *extra_trcd == 0 && *extra_trp == 0 {
+                        return Err(FaultError::BadPlan {
+                            reason: "slow bank with no extra latency".into(),
+                        });
+                    }
+                }
+                FaultSpec::RefreshPressure { divisor } => {
+                    if *divisor == 0 {
+                        return Err(FaultError::BadPlan {
+                            reason: "refresh-pressure divisor must be non-zero".into(),
+                        });
+                    }
+                }
+                FaultSpec::CtrlStall { channel, window } => {
+                    in_range(*channel)?;
+                    window_ok(window, "stall")?;
+                }
+            }
+        }
+        if self.policy.max_retries == 0 {
+            return Err(FaultError::BadPlan {
+                reason: "policy needs at least one retry attempt".into(),
+            });
+        }
+        if self.policy.shed_target_pct == 0 || self.policy.shed_target_pct > 100 {
+            return Err(FaultError::BadPlan {
+                reason: format!(
+                    "shed target {} % must be in 1..=100",
+                    self.policy.shed_target_pct
+                ),
+            });
+        }
+        if self.survivors(channels).is_empty() {
+            return Err(FaultError::AllChannelsLost);
+        }
+        Ok(())
+    }
+
+    /// Channels lost for the whole run, sorted and deduplicated.
+    pub fn lost_channels(&self) -> Vec<u32> {
+        let mut lost: Vec<u32> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultSpec::ChannelLoss { channel } => Some(*channel),
+                _ => None,
+            })
+            .collect();
+        lost.sort_unstable();
+        lost.dedup();
+        lost
+    }
+
+    /// Surviving physical channels of a `channels`-channel subsystem, in
+    /// ascending order (the degraded interleave's slot → channel map).
+    pub fn survivors(&self, channels: u32) -> Vec<u32> {
+        let lost = self.lost_channels();
+        (0..channels).filter(|c| !lost.contains(c)).collect()
+    }
+
+    /// The flaky window on `channel`, if one is injected.
+    pub fn flaky_window(&self, channel: u32) -> Option<WindowSpec> {
+        self.faults.iter().find_map(|f| match f {
+            FaultSpec::FlakyChannel { channel: c, window } if *c == channel => Some(*window),
+            _ => None,
+        })
+    }
+
+    /// The controller-stall window on `channel`, if one is injected.
+    pub fn stall_window(&self, channel: u32) -> Option<WindowSpec> {
+        self.faults.iter().find_map(|f| match f {
+            FaultSpec::CtrlStall { channel: c, window } if *c == channel => Some(*window),
+            _ => None,
+        })
+    }
+
+    /// Combined refresh-interval divisor (product of all refresh-pressure
+    /// faults; `1` when none is injected).
+    pub fn refresh_divisor(&self) -> u64 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                FaultSpec::RefreshPressure { divisor } => (*divisor).max(1),
+                _ => 1,
+            })
+            .product()
+    }
+
+    /// Per-bank latency penalties: `(channel, bank, extra_trcd, extra_trp)`.
+    pub fn bank_penalties(&self) -> impl Iterator<Item = (u32, u32, u64, u64)> + '_ {
+        self.faults.iter().filter_map(|f| match f {
+            FaultSpec::SlowBank {
+                channel,
+                bank,
+                extra_trcd,
+                extra_trp,
+            } => Some((*channel, *bank, *extra_trcd, *extra_trp)),
+            _ => None,
+        })
+    }
+
+    /// Mean availability over the given surviving channels (flaky windows
+    /// only; a channel with no flaky fault counts as fully available).
+    pub fn mean_availability(&self, survivors: &[u32]) -> f64 {
+        if survivors.is_empty() {
+            return 0.0;
+        }
+        survivors
+            .iter()
+            .map(|&c| self.flaky_window(c).map_or(1.0, |w| w.availability()))
+            .sum::<f64>()
+            / survivors.len() as f64
+    }
+
+    /// One-line-per-fault human rendering (the `mcm fault` subcommand's
+    /// describe output).
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "fault plan (seed {:#x}): {} fault(s), policy retries={} backoff={}ck shed-target={}%\n",
+            self.seed,
+            self.faults.len(),
+            self.policy.max_retries,
+            self.policy.backoff_cycles,
+            self.policy.shed_target_pct
+        );
+        for f in &self.faults {
+            let line = match f {
+                FaultSpec::ChannelLoss { channel } => {
+                    format!("  channel {channel}: lost for the whole run")
+                }
+                FaultSpec::FlakyChannel { channel, window } => format!(
+                    "  channel {channel}: flaky, down {}/{} ck (phase {}, {:.1}% available)",
+                    window.down,
+                    window.period,
+                    window.phase,
+                    window.availability() * 100.0
+                ),
+                FaultSpec::SlowBank {
+                    channel,
+                    bank,
+                    extra_trcd,
+                    extra_trp,
+                } => format!(
+                    "  channel {channel} bank {bank}: slow rows, +{extra_trcd} ck tRCD, +{extra_trp} ck tRP"
+                ),
+                FaultSpec::RefreshPressure { divisor } => {
+                    format!("  all channels: refresh pressure, tREFI ÷ {divisor}")
+                }
+                FaultSpec::CtrlStall { channel, window } => format!(
+                    "  channel {channel}: controller stalls {}/{} ck (phase {})",
+                    window.down, window.period, window.phase
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-stage shed accounting: a Table I stage dropped by the load-shedding
+/// policy and the bytes it would have moved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageShed {
+    /// Table I row label of the shed stage.
+    pub stage: String,
+    /// Bytes that stage would have moved this frame.
+    pub bytes: u64,
+}
+
+/// What graceful degradation did to one run: reported inside the frame
+/// result so callers (CLI, sweep, verify) see the degraded-mode outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradeSummary {
+    /// Channels lost for the whole run.
+    pub lost_channels: Vec<u32>,
+    /// Channels that carried traffic.
+    pub surviving_channels: u32,
+    /// Flaky-window hits (requests that arrived inside a down window).
+    pub flaky_hits: u64,
+    /// Retry attempts made on flaky windows.
+    pub retries: u64,
+    /// Requests remapped to a neighbour channel after retries ran out.
+    pub remaps: u64,
+    /// Stages shed, in shed order, with their per-stage bytes.
+    pub shed: Vec<StageShed>,
+    /// Total bytes shed (sum over [`DegradeSummary::shed`]).
+    pub shed_bytes: u64,
+    /// Bytes the undegraded frame would have moved.
+    pub planned_bytes_full: u64,
+    /// Bytes planned after shedding (simulated plan).
+    pub planned_bytes_after_shed: u64,
+    /// Frame rate the degraded subsystem actually sustains; equals
+    /// `nominal_fps` when the degraded run still meets its budget.
+    pub effective_fps: f64,
+    /// The use case's nominal capture rate.
+    pub nominal_fps: u32,
+}
+
+impl DegradeSummary {
+    /// Whether the degraded run still delivers the nominal frame rate.
+    pub fn holds_frame_rate(&self) -> bool {
+        self.effective_fps >= self.nominal_fps as f64
+    }
+}
+
+impl fmt::Display for DegradeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}ch surviving, {} shed ({} B), {:.1}/{} fps",
+            self.surviving_channels,
+            self.shed.len(),
+            self.shed_bytes,
+            self.effective_fps,
+            self.nominal_fps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_math() {
+        let w = WindowSpec {
+            period: 100,
+            down: 20,
+            phase: 0,
+        };
+        assert!(w.is_down(0));
+        assert!(w.is_down(19));
+        assert!(!w.is_down(20));
+        assert!(!w.is_down(99));
+        assert!(w.is_down(100));
+        assert_eq!(w.next_up(5), 20);
+        assert_eq!(w.next_up(20), 20);
+        assert_eq!(w.next_up(105), 120);
+        assert!((w.availability() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_up_is_monotone() {
+        let w = WindowSpec {
+            period: 64,
+            down: 16,
+            phase: 7,
+        };
+        let mut prev = 0;
+        for c in 0..1000u64 {
+            let up = w.next_up(c);
+            assert!(up >= c);
+            assert!(!w.is_down(up));
+            assert!(up >= prev, "next_up must be monotone");
+            prev = up;
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 4).unwrap();
+        let b = FaultPlan::seeded(42, 4).unwrap();
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, 4).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seeded_plans_validate_for_their_subsystem() {
+        for seed in 0..50u64 {
+            for channels in [1u32, 2, 4, 8] {
+                let plan = FaultPlan::seeded(seed, channels).unwrap();
+                plan.validate(channels)
+                    .unwrap_or_else(|e| panic!("seed {seed} channels {channels}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn channel_loss_plan_survivors() {
+        let plan = FaultPlan::channel_loss(1, 2);
+        assert_eq!(plan.lost_channels(), vec![2]);
+        assert_eq!(plan.survivors(4), vec![0, 1, 3]);
+        assert!(plan.validate(4).is_ok());
+        assert!(matches!(
+            plan.validate(2),
+            Err(FaultError::BadChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn all_channels_lost_rejected() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![
+                FaultSpec::ChannelLoss { channel: 0 },
+                FaultSpec::ChannelLoss { channel: 1 },
+            ],
+            policy: DegradePolicy::default(),
+        };
+        assert_eq!(plan.validate(2), Err(FaultError::AllChannelsLost));
+    }
+
+    #[test]
+    fn bad_windows_and_policies_rejected() {
+        let mut plan = FaultPlan::healthy();
+        plan.faults.push(FaultSpec::FlakyChannel {
+            channel: 0,
+            window: WindowSpec {
+                period: 10,
+                down: 10,
+                phase: 0,
+            },
+        });
+        assert!(matches!(plan.validate(1), Err(FaultError::BadPlan { .. })));
+
+        let mut plan = FaultPlan::healthy();
+        plan.policy.shed_target_pct = 0;
+        assert!(matches!(plan.validate(1), Err(FaultError::BadPlan { .. })));
+
+        let mut plan = FaultPlan::healthy();
+        plan.policy.max_retries = 0;
+        assert!(matches!(plan.validate(1), Err(FaultError::BadPlan { .. })));
+    }
+
+    #[test]
+    fn accessors_pull_the_right_faults() {
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![
+                FaultSpec::FlakyChannel {
+                    channel: 1,
+                    window: WindowSpec {
+                        period: 100,
+                        down: 10,
+                        phase: 0,
+                    },
+                },
+                FaultSpec::SlowBank {
+                    channel: 0,
+                    bank: 3,
+                    extra_trcd: 2,
+                    extra_trp: 1,
+                },
+                FaultSpec::RefreshPressure { divisor: 2 },
+                FaultSpec::RefreshPressure { divisor: 3 },
+                FaultSpec::CtrlStall {
+                    channel: 2,
+                    window: WindowSpec {
+                        period: 50,
+                        down: 5,
+                        phase: 1,
+                    },
+                },
+            ],
+            policy: DegradePolicy::default(),
+        };
+        assert!(plan.flaky_window(1).is_some());
+        assert!(plan.flaky_window(0).is_none());
+        assert!(plan.stall_window(2).is_some());
+        assert_eq!(plan.refresh_divisor(), 6);
+        assert_eq!(
+            plan.bank_penalties().collect::<Vec<_>>(),
+            vec![(0, 3, 2, 1)]
+        );
+        let avail = plan.mean_availability(&[0, 1]);
+        assert!((avail - 0.95).abs() < 1e-12, "{avail}");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::seeded(0xfeed, 8).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn shed_priority_keeps_the_capture_path() {
+        for stage in SHED_PRIORITY {
+            assert!(!["Camera I/F", "Preprocess", "Bayer to YUV", "Audio"].contains(&stage));
+        }
+        // Display drops before the encoder.
+        let display = SHED_PRIORITY.iter().position(|&s| s == "DisplayCtrl");
+        let encoder = SHED_PRIORITY.iter().position(|&s| s == "Video encoder");
+        assert!(display < encoder);
+    }
+
+    #[test]
+    fn describe_mentions_every_fault() {
+        let plan = FaultPlan::seeded(3, 4).unwrap();
+        let text = plan.describe();
+        assert!(text.contains("seed 0x3"));
+        assert!(text.contains("lost"));
+        assert!(text.contains("flaky"));
+        assert!(text.contains("tREFI"));
+    }
+
+    #[test]
+    fn summary_display_and_frame_rate() {
+        let s = DegradeSummary {
+            lost_channels: vec![1],
+            surviving_channels: 3,
+            flaky_hits: 4,
+            retries: 6,
+            remaps: 1,
+            shed: vec![StageShed {
+                stage: "DisplayCtrl".into(),
+                bytes: 1000,
+            }],
+            shed_bytes: 1000,
+            planned_bytes_full: 10_000,
+            planned_bytes_after_shed: 9_000,
+            effective_fps: 30.0,
+            nominal_fps: 30,
+        };
+        assert!(s.holds_frame_rate());
+        assert!(s.to_string().contains("3ch surviving"));
+    }
+}

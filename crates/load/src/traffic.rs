@@ -126,6 +126,28 @@ impl FrameTraffic {
         layout: &FrameLayout,
         chunk_bytes: u32,
     ) -> Result<Self, LoadError> {
+        Self::build(use_case, layout, chunk_bytes, &[])
+    }
+
+    /// Like [`FrameTraffic::new`], but with the given stages shed: their
+    /// streams are dropped from the plan entirely. The degradation layer
+    /// uses this to shed display/viewfinder traffic when the memory cannot
+    /// sustain the full Table I load.
+    pub fn without_stages(
+        use_case: &UseCase,
+        layout: &FrameLayout,
+        chunk_bytes: u32,
+        shed: &[Stage],
+    ) -> Result<Self, LoadError> {
+        Self::build(use_case, layout, chunk_bytes, shed)
+    }
+
+    fn build(
+        use_case: &UseCase,
+        layout: &FrameLayout,
+        chunk_bytes: u32,
+        shed: &[Stage],
+    ) -> Result<Self, LoadError> {
         if chunk_bytes == 0 {
             return Err(LoadError::BadParam {
                 reason: "chunk_bytes must be non-zero".into(),
@@ -151,6 +173,9 @@ impl FrameTraffic {
 
         let mut stages = Vec::with_capacity(traffic.len());
         for t in &traffic {
+            if shed.contains(&t.stage) {
+                continue;
+            }
             let streams = match t.stage {
                 Stage::CameraIf => vec![wr(&layout.camera, bytes(t.write_bits))],
                 Stage::Preprocess => vec![
@@ -223,6 +248,16 @@ impl FrameTraffic {
     /// The stage currently emitting, if any.
     pub fn current_stage(&self) -> Option<Stage> {
         self.stages.get(self.current).map(|s| s.stage)
+    }
+
+    /// Planned bytes per stage (before any ops are consumed), in pipeline
+    /// order. The degradation layer reads this to decide which stages to
+    /// shed and to account the bytes each shed stage would have moved.
+    pub fn stage_bytes(&self) -> Vec<(Stage, u64)> {
+        self.stages
+            .iter()
+            .map(|s| (s.stage, s.remaining()))
+            .collect()
     }
 }
 
@@ -365,6 +400,29 @@ mod tests {
             per_ref > buf,
             "per-ref read {per_ref} must exceed buffer {buf}"
         );
+    }
+
+    #[test]
+    fn shed_stages_drop_exactly_their_bytes() {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        let layout = FrameLayout::new(&uc, 64 << 20).unwrap();
+        let full = FrameTraffic::new(&uc, &layout, 64).unwrap();
+        let by_stage = full.stage_bytes();
+        let shed = [Stage::DisplayCtrl, Stage::ScaleToDisplay];
+        let shed_bytes: u64 = by_stage
+            .iter()
+            .filter(|(s, _)| shed.contains(s))
+            .map(|&(_, b)| b)
+            .sum();
+        assert!(shed_bytes > 0);
+        let degraded = FrameTraffic::without_stages(&uc, &layout, 64, &shed).unwrap();
+        assert_eq!(degraded.total_bytes(), full.total_bytes() - shed_bytes);
+        // The shed stages emit nothing; the rest emit exactly their plan.
+        let emitted: u64 = degraded.map(|op| op.len as u64).sum();
+        assert_eq!(emitted, full.total_bytes() - shed_bytes);
+        // Shedding nothing is the identity.
+        let same = FrameTraffic::without_stages(&uc, &layout, 64, &[]).unwrap();
+        assert_eq!(same.total_bytes(), full.total_bytes());
     }
 
     #[test]

@@ -50,10 +50,10 @@ mod trace;
 
 pub use counters::{BankCounters, ChannelCounters, CommandCounters, RowOutcomeCounters};
 pub use histogram::{HistogramSummary, LogHistogram, BUCKETS};
-pub use recorder::{ChannelObs, CommandKind, NullRecorder, Recorder, RowOutcome};
+pub use recorder::{ChannelObs, CommandKind, FaultKind, NullRecorder, Recorder, RowOutcome};
 pub use stats::{
-    BankObsReport, ChannelObsReport, EnergyBreakdown, GaugeSample, KernelObsReport, ObsConfig,
-    ObsReport, ObsSummary, StatsRecorder,
+    BankObsReport, ChannelObsReport, EnergyBreakdown, FaultCount, GaugeSample, KernelObsReport,
+    ObsConfig, ObsReport, ObsSummary, StatsRecorder,
 };
 pub use timeline::{Timeline, TimelineBucket, MAX_BUCKETS};
 pub use trace::{chrome_trace, SpanEvent, MASTER_TID};

@@ -74,6 +74,41 @@ pub enum RowOutcome {
     Conflict,
 }
 
+/// Fault and degradation events the fault-injection layer reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A channel was lost for the whole run (reported once, at apply
+    /// time).
+    ChannelLost,
+    /// A request arrived inside a flaky channel's down window.
+    FlakyHit,
+    /// A retry attempt on a flaky window.
+    Retry,
+    /// A request remapped to a neighbour channel after retries ran out.
+    Remap,
+    /// A controller-stall window delayed a request.
+    Stall,
+    /// Refresh pressure was applied to the channel (reported once).
+    RefreshPressure,
+    /// A bank latency penalty was applied to the channel (reported once).
+    SlowBank,
+}
+
+impl FaultKind {
+    /// Short lowercase label for text output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::ChannelLost => "channel-lost",
+            FaultKind::FlakyHit => "flaky-hit",
+            FaultKind::Retry => "retry",
+            FaultKind::Remap => "remap",
+            FaultKind::Stall => "stall",
+            FaultKind::RefreshPressure => "refresh-pressure",
+            FaultKind::SlowBank => "slow-bank",
+        }
+    }
+}
+
 /// Sink for instrumentation events emitted by the simulated memory stack.
 ///
 /// Every method has a no-op default body, so implementations only override
@@ -138,6 +173,11 @@ pub trait Recorder: fmt::Debug + Send + Sync {
     /// events queued behind it.
     fn record_sim_event(&self, pending: u64, at_ps: u64) {
         let _ = (pending, at_ps);
+    }
+
+    /// A fault or degradation event of `kind` on `channel` at `at_ps`.
+    fn record_fault(&self, channel: u32, kind: FaultKind, at_ps: u64) {
+        let _ = (channel, kind, at_ps);
     }
 }
 
@@ -233,6 +273,12 @@ impl ChannelObs {
     #[inline]
     pub fn gauge(&self, name: &str, value: f64) {
         self.recorder.record_gauge(name, Some(self.channel), value);
+    }
+
+    /// Forwards to [`Recorder::record_fault`] with the bound channel.
+    #[inline]
+    pub fn fault(&self, kind: FaultKind, at_ps: u64) {
+        self.recorder.record_fault(self.channel, kind, at_ps);
     }
 }
 

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counters::{BankCounters, ChannelCounters};
 use crate::histogram::{HistogramSummary, LogHistogram};
-use crate::recorder::{CommandKind, Recorder, RowOutcome};
+use crate::recorder::{CommandKind, FaultKind, Recorder, RowOutcome};
 use crate::timeline::{Timeline, TimelineBucket};
 use crate::trace::{chrome_trace, SpanEvent};
 
@@ -80,6 +80,7 @@ struct ChannelStats {
     queue_depth: LogHistogram,
     energy: EnergyBreakdown,
     timeline: Timeline,
+    faults: BTreeMap<FaultKind, u64>,
 }
 
 impl ChannelStats {
@@ -91,6 +92,7 @@ impl ChannelStats {
             queue_depth: LogHistogram::new(),
             energy: EnergyBreakdown::default(),
             timeline: Timeline::new(bucket_ps),
+            faults: BTreeMap::new(),
         }
     }
 }
@@ -187,6 +189,11 @@ impl StatsRecorder {
                 queue_depth: stats.queue_depth.summary(),
                 energy: stats.energy,
                 timeline: stats.timeline.buckets().to_vec(),
+                faults: stats
+                    .faults
+                    .iter()
+                    .map(|(&kind, &count)| FaultCount { kind, count })
+                    .collect(),
             })
             .collect();
         ObsReport {
@@ -283,6 +290,13 @@ impl Recorder for StatsRecorder {
         inner.kernel_events += 1;
         inner.kernel_pending.record(pending);
     }
+
+    fn record_fault(&self, channel: u32, kind: FaultKind, at_ps: u64) {
+        let _ = at_ps;
+        self.with_channel(channel, |stats| {
+            *stats.faults.entry(kind).or_default() += 1;
+        });
+    }
 }
 
 /// One named scalar sampled during a run.
@@ -305,6 +319,15 @@ pub struct BankObsReport {
     pub counters: BankCounters,
 }
 
+/// How often one fault or degradation event fired on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCount {
+    /// The fault/degradation event kind.
+    pub kind: FaultKind,
+    /// How many times it was recorded.
+    pub count: u64,
+}
+
 /// Per-channel slice of an [`ObsReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChannelObsReport {
@@ -323,6 +346,9 @@ pub struct ChannelObsReport {
     /// Bandwidth/energy timeline buckets (width
     /// [`ObsReport::timeline_bucket_ps`]).
     pub timeline: Vec<TimelineBucket>,
+    /// Fault/degradation event counts, ascending [`FaultKind`] order.
+    /// Empty for healthy runs.
+    pub faults: Vec<FaultCount>,
 }
 
 /// Event-kernel statistics: how hard the discrete-event engine itself
@@ -505,6 +531,14 @@ impl ObsReport {
                 e.refresh_pj,
                 e.background_pj,
             );
+            if !ch.faults.is_empty() {
+                let parts: Vec<String> = ch
+                    .faults
+                    .iter()
+                    .map(|f| format!("{} {}", f.kind.label(), f.count))
+                    .collect();
+                let _ = writeln!(out, "  faults     {}", parts.join("  "));
+            }
         }
         if self.kernel.events > 0 {
             let _ = writeln!(
@@ -721,6 +755,39 @@ mod tests {
         assert_eq!(report.kernel.pending.count, 3);
         assert_eq!(report.kernel.pending.max, Some(3));
         assert!(report.render_text().contains("kernel: 3 events fired"));
+    }
+
+    #[test]
+    fn fault_counts_accumulate_per_channel_and_render() {
+        let rec = StatsRecorder::new();
+        rec.record_fault(1, FaultKind::FlakyHit, 100);
+        rec.record_fault(1, FaultKind::FlakyHit, 200);
+        rec.record_fault(1, FaultKind::Retry, 250);
+        rec.record_fault(2, FaultKind::ChannelLost, 0);
+        let report = rec.report();
+        let ch1 = report.channels.iter().find(|c| c.channel == 1).unwrap();
+        assert_eq!(
+            ch1.faults,
+            vec![
+                FaultCount {
+                    kind: FaultKind::FlakyHit,
+                    count: 2
+                },
+                FaultCount {
+                    kind: FaultKind::Retry,
+                    count: 1
+                },
+            ]
+        );
+        let text = report.render_text();
+        assert!(text.contains("faults     flaky-hit 2  retry 1"));
+        assert!(text.contains("faults     channel-lost 1"));
+        // Healthy channels keep the fault line out of the text entirely.
+        let healthy = tiny_trace().report();
+        assert!(!healthy.render_text().contains("faults"));
+        // And the new field round-trips through JSON.
+        let back: ObsReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -260,9 +260,17 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
 
     let execute = |point: &SweepPoint| -> PointOutcome {
         let point_started = Instant::now();
+        // The point's fault plan joins the run options before fingerprinting
+        // so degraded and healthy cells never share a cache entry. Points
+        // without a plan keep the sweep-wide options (and therefore the
+        // pre-fault fingerprints) untouched.
+        let point_run = match &point.faults {
+            Some(plan) => options.run.clone().with_faults(plan.clone()),
+            None => options.run.clone(),
+        };
         let fingerprint = cache
             .as_ref()
-            .map(|_| ResultCache::fingerprint(&point.experiment, &options.run));
+            .map(|_| ResultCache::fingerprint(&point.experiment, &point_run));
         let hit = match (&cache, &fingerprint) {
             (Some(cache), Some(Ok(fp))) => cache.load(*fp),
             _ => None,
@@ -275,8 +283,8 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
                 let point_recorder = (options.observe && options.run.recorder.is_none())
                     .then(|| std::sync::Arc::new(mcm_obs::StatsRecorder::new()));
                 let run = match &point_recorder {
-                    Some(rec) => options.run.clone().with_recorder(rec.clone()),
-                    None => options.run.clone(),
+                    Some(rec) => point_run.clone().with_recorder(rec.clone()),
+                    None => point_run.clone(),
                 };
                 let outcome = PointRecord::from_result(simulate_point(&point.experiment, &run))
                     .map_err(|source| SweepError::Point {
@@ -501,6 +509,44 @@ mod tests {
         assert!(warm.points.iter().all(|p| p.obs.is_none()));
         assert_eq!(fresh.to_json(), warm.to_json());
         assert!(!fresh.to_json().contains("\"requests\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fault_points_run_degraded_and_cache_separately() {
+        let dir = std::env::temp_dir().join(format!("mcm-sweep-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = SweepOptions::default().with_cache_dir(dir.clone());
+        // Multi-channel cells only: losing a channel of one is a plan error.
+        let base = SweepSpec {
+            channels: vec![2, 4],
+            ..quick_spec()
+        };
+        // Warm the cache with a healthy-only sweep.
+        let healthy = run_sweep(&base, &options).unwrap();
+        assert_eq!(healthy.stats.simulated, 2);
+        // The same grid with a fault axis: healthy cells hit the warm cache
+        // (their fingerprints are unchanged), faulted cells simulate fresh.
+        let spec = SweepSpec {
+            faults: vec![None, Some(mcm_fault::FaultPlan::channel_loss(5, 0))],
+            ..base
+        };
+        let mixed = run_sweep(&spec, &options).unwrap();
+        assert_eq!(mixed.stats.total, 4);
+        assert_eq!(mixed.stats.cached, 2, "healthy fingerprints must be stable");
+        assert_eq!(mixed.stats.simulated, 2);
+        assert_eq!(mixed.stats.failed, 0);
+        for pair in mixed.points.chunks(2) {
+            let h = pair[0].outcome.as_ref().unwrap();
+            let f = pair[1].outcome.as_ref().unwrap();
+            assert!(pair[0].cached && !pair[1].cached);
+            // Losing one of N channels can only slow the frame down.
+            assert!(
+                f.access_ms.unwrap() >= h.access_ms.unwrap(),
+                "{}",
+                pair[1].label
+            );
+        }
         let _ = std::fs::remove_dir_all(dir);
     }
 

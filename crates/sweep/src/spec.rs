@@ -10,6 +10,7 @@
 use mcm_core::{ChunkPolicy, Experiment, Pacing};
 use mcm_ctrl::{PagePolicy, PowerDownPolicy};
 use mcm_dram::AddressMapping;
+use mcm_fault::FaultPlan;
 use mcm_load::HdOperatingPoint;
 use serde::{Deserialize, Serialize};
 
@@ -48,8 +49,12 @@ pub struct SweepSpec {
     pub power_down: Vec<PowerDownPolicy>,
     /// Master-transaction sizings.
     pub chunks: Vec<ChunkPolicy>,
-    /// Arrival pacing (innermost loop).
+    /// Arrival pacing.
     pub pacings: Vec<Pacing>,
+    /// Fault plans injected per point (innermost loop): `None` runs
+    /// healthy, `Some(plan)` runs degraded. The default single-`None` axis
+    /// keeps healthy sweeps (and their cache fingerprints) unchanged.
+    pub faults: Vec<Option<FaultPlan>>,
     /// Optional cap on simulated operations, applied to every point
     /// (quick tests and smoke runs).
     pub op_limit: Option<u64>,
@@ -67,6 +72,7 @@ impl Default for SweepSpec {
             power_down: vec![PowerDownPolicy::AfterIdleCycles(1)],
             chunks: vec![ChunkPolicy::PerChannel(64)],
             pacings: vec![Pacing::Greedy],
+            faults: vec![None],
             op_limit: None,
         }
     }
@@ -85,6 +91,8 @@ pub struct SweepPoint {
     pub channels: u32,
     /// Interface clock of this cell, MHz.
     pub clock_mhz: u64,
+    /// Fault plan of this cell (`None` runs healthy).
+    pub faults: Option<FaultPlan>,
     /// The validated experiment.
     pub experiment: Experiment,
 }
@@ -110,6 +118,7 @@ impl SweepSpec {
             * self.power_down.len()
             * self.chunks.len()
             * self.pacings.len()
+            * self.faults.len()
     }
 
     /// Whether any axis is empty (the spec expands to nothing).
@@ -120,9 +129,9 @@ impl SweepSpec {
     /// Expands the cartesian product into validated experiments.
     ///
     /// Loop order, outermost first: points → channels → clocks → mappings
-    /// → page policies → power-down policies → chunks → pacings. The
-    /// returned order is the result order of every sweep run, independent
-    /// of thread count.
+    /// → page policies → power-down policies → chunks → pacings → fault
+    /// plans. The returned order is the result order of every sweep run,
+    /// independent of thread count.
     ///
     /// Any axis left empty yields [`SweepError::EmptySpec`]; a combination
     /// that fails experiment validation yields [`SweepError::Point`] naming
@@ -137,6 +146,7 @@ impl SweepSpec {
             ("power_down", self.power_down.is_empty()),
             ("chunks", self.chunks.is_empty()),
             ("pacings", self.pacings.is_empty()),
+            ("faults", self.faults.is_empty()),
         ] {
             if empty {
                 return Err(SweepError::EmptySpec { axis });
@@ -151,35 +161,45 @@ impl SweepSpec {
                             for &pd in &self.power_down {
                                 for &chunk in &self.chunks {
                                     for &pacing in &self.pacings {
-                                        let label = self.label(
-                                            point, channels, clock_mhz, mapping, page, pd, chunk,
-                                            pacing,
-                                        );
-                                        let mut builder = Experiment::builder()
-                                            .point(point)
-                                            .channels(channels)
-                                            .clock_mhz(clock_mhz)
-                                            .mapping(mapping)
-                                            .page_policy(page)
-                                            .power_down(pd)
-                                            .chunk(chunk)
-                                            .pacing(pacing);
-                                        if let Some(ops) = self.op_limit {
-                                            builder = builder.op_limit(ops);
-                                        }
-                                        let experiment = builder.build().map_err(|source| {
-                                            SweepError::Point {
-                                                label: label.clone(),
-                                                source,
+                                        for plan in &self.faults {
+                                            let label = self.label(
+                                                point,
+                                                channels,
+                                                clock_mhz,
+                                                mapping,
+                                                page,
+                                                pd,
+                                                chunk,
+                                                pacing,
+                                                plan.as_ref(),
+                                            );
+                                            let mut builder = Experiment::builder()
+                                                .point(point)
+                                                .channels(channels)
+                                                .clock_mhz(clock_mhz)
+                                                .mapping(mapping)
+                                                .page_policy(page)
+                                                .power_down(pd)
+                                                .chunk(chunk)
+                                                .pacing(pacing);
+                                            if let Some(ops) = self.op_limit {
+                                                builder = builder.op_limit(ops);
                                             }
-                                        })?;
-                                        out.push(SweepPoint {
-                                            label,
-                                            point,
-                                            channels,
-                                            clock_mhz,
-                                            experiment,
-                                        });
+                                            let experiment = builder.build().map_err(|source| {
+                                                SweepError::Point {
+                                                    label: label.clone(),
+                                                    source,
+                                                }
+                                            })?;
+                                            out.push(SweepPoint {
+                                                label,
+                                                point,
+                                                channels,
+                                                clock_mhz,
+                                                faults: plan.clone(),
+                                                experiment,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -202,6 +222,7 @@ impl SweepSpec {
         pd: PowerDownPolicy,
         chunk: ChunkPolicy,
         pacing: Pacing,
+        plan: Option<&FaultPlan>,
     ) -> String {
         let mut label = format!(
             "{}@{}/{}ch/{}MHz",
@@ -230,6 +251,12 @@ impl SweepSpec {
             label.push_str(match pacing {
                 Pacing::Greedy => "/greedy",
                 Pacing::Paced => "/paced",
+            });
+        }
+        if self.faults.len() > 1 {
+            label.push_str(&match plan {
+                Some(p) => format!("/faults#{:#x}+{}", p.seed, p.faults.len()),
+                None => "/healthy".to_string(),
             });
         }
         label
@@ -311,6 +338,43 @@ mod tests {
     #[test]
     fn spec_round_trips_through_json() {
         let spec = SweepSpec::paper_grid();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn fault_axis_expands_innermost_and_labels_only_when_swept() {
+        let spec = SweepSpec {
+            channels: vec![2, 4],
+            faults: vec![None, Some(FaultPlan::channel_loss(9, 0))],
+            op_limit: Some(1_000),
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.len(), 4);
+        let points = spec.expand().unwrap();
+        // Innermost loop: healthy/faulted alternate within a channel count.
+        assert!(points[0].faults.is_none());
+        assert!(points[1].faults.is_some());
+        assert_eq!(points[0].channels, points[1].channels);
+        assert!(points[0].label.ends_with("/healthy"), "{}", points[0].label);
+        assert!(
+            points[1].label.contains("/faults#0x9"),
+            "{}",
+            points[1].label
+        );
+        // A single-None axis leaves labels untouched.
+        let plain = SweepSpec::default().expand().unwrap();
+        assert!(!plain[0].label.contains("healthy"));
+        assert!(plain[0].faults.is_none());
+    }
+
+    #[test]
+    fn fault_axis_round_trips_through_json() {
+        let spec = SweepSpec {
+            faults: vec![None, Some(FaultPlan::channel_loss(3, 1))],
+            ..SweepSpec::default()
+        };
         let json = serde_json::to_string(&spec).unwrap();
         let back: SweepSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);

@@ -1,0 +1,241 @@
+//! Degraded-mode invariants (`MCM3xx`): checks over a [`DegradeSummary`]
+//! produced by a fault-injected run.
+//!
+//! A run that survives channel loss or flaky windows is only useful if its
+//! accounting still balances and its degradation followed the paper's
+//! priority order (Table I stages, least-important first). These rules make
+//! that a checkable contract:
+//!
+//! * `MCM301` — shed accounting balances: the planned full-frame byte count
+//!   must equal the post-shed plan plus the shed total, and the shed total
+//!   must equal the sum of the per-stage shed entries.
+//! * `MCM302` — degraded-mode sanity: the effective frame rate stays in
+//!   `(0, nominal]` and the survivor count stays in `1..=total`, consistent
+//!   with the recorded channel losses.
+//! * `MCM303` — load shedding follows the canonical priority order: the set
+//!   of shed stages must be a prefix of [`mcm_fault::SHED_PRIORITY`]
+//!   (viewfinder/display traffic is dropped before encoder reference
+//!   traffic, never the other way around).
+
+use crate::diag::{Diagnostic, Report, Severity};
+use mcm_fault::{DegradeSummary, SHED_PRIORITY};
+
+/// The degraded-mode rules: `(id, what the rule checks)`, in id order.
+pub const DEGRADE_RULES: [(&str, &str); 3] = [
+    (
+        "MCM301",
+        "shed accounting balances: planned full bytes = post-shed bytes + shed bytes, \
+         and the shed total equals the sum of per-stage shed entries",
+    ),
+    (
+        "MCM302",
+        "degraded-mode sanity: effective frame rate in (0, nominal] and \
+         survivor count in 1..=total, consistent with recorded losses",
+    ),
+    (
+        "MCM303",
+        "load shedding follows the canonical priority order: shed stages form \
+         a prefix of the Table I shed-priority list",
+    ),
+];
+
+/// Check a fault-injected run's [`DegradeSummary`] against the `MCM3xx` rules.
+///
+/// `total_channels` is the channel count the run was configured with, before
+/// any faults were applied.
+pub fn check_degradation(summary: &DegradeSummary, total_channels: u32) -> Report {
+    let mut report = Report::new();
+
+    // MCM301: byte accounting must balance exactly — shedding is a planning
+    // decision, so there is no tolerance to hide behind.
+    let stage_sum: u64 = summary.shed.iter().map(|s| s.bytes).sum();
+    if stage_sum != summary.shed_bytes {
+        report.push(Diagnostic::new(
+            "MCM301",
+            Severity::Error,
+            format!(
+                "per-stage shed bytes sum to {} but shed_bytes reports {}",
+                stage_sum, summary.shed_bytes
+            ),
+        ));
+    }
+    if summary.planned_bytes_after_shed + summary.shed_bytes != summary.planned_bytes_full {
+        report.push(Diagnostic::new(
+            "MCM301",
+            Severity::Error,
+            format!(
+                "shed accounting does not balance: {} (after shed) + {} (shed) != {} (full plan)",
+                summary.planned_bytes_after_shed, summary.shed_bytes, summary.planned_bytes_full
+            ),
+        ));
+    }
+
+    // MCM302: the summary must describe a physically possible degraded run.
+    if summary.surviving_channels == 0 || summary.surviving_channels > total_channels {
+        report.push(Diagnostic::new(
+            "MCM302",
+            Severity::Error,
+            format!(
+                "surviving channel count {} outside 1..={}",
+                summary.surviving_channels, total_channels
+            ),
+        ));
+    }
+    let lost = summary.lost_channels.len() as u32;
+    if summary.surviving_channels + lost != total_channels {
+        report.push(Diagnostic::new(
+            "MCM302",
+            Severity::Error,
+            format!(
+                "{} survivors + {} recorded losses != {} configured channels",
+                summary.surviving_channels, lost, total_channels
+            ),
+        ));
+    }
+    if !(summary.effective_fps > 0.0 && summary.effective_fps <= f64::from(summary.nominal_fps)) {
+        report.push(Diagnostic::new(
+            "MCM302",
+            Severity::Error,
+            format!(
+                "effective frame rate {} fps outside (0, {}]",
+                summary.effective_fps, summary.nominal_fps
+            ),
+        ));
+    }
+
+    // MCM303: shed stages must be exactly the first N entries of the
+    // priority list, in order — dropping encoder traffic while the
+    // viewfinder still runs would invert the paper's priorities.
+    let shed_labels: Vec<&str> = summary.shed.iter().map(|s| s.stage.as_str()).collect();
+    let prefix: Vec<&str> = SHED_PRIORITY
+        .iter()
+        .take(shed_labels.len())
+        .copied()
+        .collect();
+    if shed_labels != prefix {
+        report.push(Diagnostic::new(
+            "MCM303",
+            Severity::Error,
+            format!(
+                "shed stages {:?} are not a prefix of the priority order {:?}",
+                shed_labels, SHED_PRIORITY
+            ),
+        ));
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_fault::StageShed;
+
+    fn clean_summary() -> DegradeSummary {
+        DegradeSummary {
+            lost_channels: vec![3],
+            surviving_channels: 3,
+            flaky_hits: 2,
+            retries: 4,
+            remaps: 1,
+            shed: vec![
+                StageShed {
+                    stage: SHED_PRIORITY[0].to_string(),
+                    bytes: 1000,
+                },
+                StageShed {
+                    stage: SHED_PRIORITY[1].to_string(),
+                    bytes: 500,
+                },
+            ],
+            shed_bytes: 1500,
+            planned_bytes_full: 10_000,
+            planned_bytes_after_shed: 8_500,
+            effective_fps: 30.0,
+            nominal_fps: 30,
+        }
+    }
+
+    #[test]
+    fn clean_summary_passes_all_rules() {
+        let r = check_degradation(&clean_summary(), 4);
+        assert!(r.is_clean(), "unexpected findings: {:?}", r.ids());
+    }
+
+    #[test]
+    fn unbalanced_shed_accounting_fires_mcm301() {
+        let mut s = clean_summary();
+        s.shed_bytes = 1400; // no longer matches per-stage sum or the plan delta
+        let r = check_degradation(&s, 4);
+        assert!(r.has_errors());
+        assert!(r.ids().contains(&"MCM301"));
+
+        let mut s = clean_summary();
+        s.planned_bytes_after_shed = 9_000;
+        let r = check_degradation(&s, 4);
+        assert!(r.ids().contains(&"MCM301"));
+    }
+
+    #[test]
+    fn impossible_survivors_or_fps_fire_mcm302() {
+        let mut s = clean_summary();
+        s.surviving_channels = 0;
+        let r = check_degradation(&s, 4);
+        assert!(r.ids().contains(&"MCM302"));
+
+        let mut s = clean_summary();
+        s.surviving_channels = 5;
+        assert!(check_degradation(&s, 4).ids().contains(&"MCM302"));
+
+        let mut s = clean_summary();
+        s.lost_channels = vec![2, 3]; // 3 survivors + 2 losses != 4 channels
+        assert!(check_degradation(&s, 4).ids().contains(&"MCM302"));
+
+        let mut s = clean_summary();
+        s.effective_fps = 31.0; // above nominal
+        assert!(check_degradation(&s, 4).ids().contains(&"MCM302"));
+
+        let mut s = clean_summary();
+        s.effective_fps = 0.0;
+        assert!(check_degradation(&s, 4).ids().contains(&"MCM302"));
+    }
+
+    #[test]
+    fn out_of_order_shedding_fires_mcm303() {
+        // Shedding stage 1 without stage 0 skips the priority order.
+        let mut s = clean_summary();
+        s.shed = vec![StageShed {
+            stage: SHED_PRIORITY[1].to_string(),
+            bytes: 1500,
+        }];
+        let r = check_degradation(&s, 4);
+        assert!(r.has_errors());
+        assert!(r.ids().contains(&"MCM303"));
+
+        // Shedding the encoder (last priority) alone is the worst inversion.
+        let mut s = clean_summary();
+        s.shed = vec![StageShed {
+            stage: SHED_PRIORITY[4].to_string(),
+            bytes: 1500,
+        }];
+        assert!(check_degradation(&s, 4).ids().contains(&"MCM303"));
+    }
+
+    #[test]
+    fn healthy_run_summary_is_clean_with_no_shedding() {
+        let s = DegradeSummary {
+            lost_channels: vec![],
+            surviving_channels: 4,
+            flaky_hits: 0,
+            retries: 0,
+            remaps: 0,
+            shed: vec![],
+            shed_bytes: 0,
+            planned_bytes_full: 10_000,
+            planned_bytes_after_shed: 10_000,
+            effective_fps: 30.0,
+            nominal_fps: 30,
+        };
+        assert!(check_degradation(&s, 4).is_clean());
+    }
+}

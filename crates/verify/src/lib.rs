@@ -19,14 +19,23 @@
 //!   all mapping modes (`MCM202`), and per-channel traffic stays balanced
 //!   within tolerance (`MCM203`).
 //!
+//! * **Degraded-mode invariants** ([`degrade`]): fault-injected runs must
+//!   keep their books — shed accounting balances (`MCM301`), effective
+//!   frame rate and survivor counts stay physical (`MCM302`), and load
+//!   shedding follows the Table I priority order (`MCM303`).
+//!
 //! The `mcm check` CLI subcommand drives all three; the simulation engine
-//! can run the trace audit inline behind a `--verify` flag.
+//! can run the trace audit inline behind a `--verify` flag, and
+//! fault-injected runs get the `MCM3xx` pass applied to their
+//! degradation summary.
 //!
 //! Identifier ranges are a contract: `MCM0xx` trace rules, `MCM1xx`
-//! configuration lint, `MCM2xx` cross-channel invariants. Never renumber.
+//! configuration lint, `MCM2xx` cross-channel invariants, `MCM3xx`
+//! degraded-mode invariants. Never renumber.
 
 pub mod channels;
 pub mod config;
+pub mod degrade;
 pub mod diag;
 pub mod trace;
 
@@ -34,6 +43,7 @@ pub use channels::{
     check_address_roundtrip, check_chunk_coverage, check_interleave, check_traffic_balance,
 };
 pub use config::{lint_all, lint_feasibility, lint_interface, lint_memory_config, lint_use_case};
+pub use degrade::check_degradation;
 pub use diag::{Diagnostic, Location, Report, Severity};
 pub use trace::{audit_trace, TraceAuditOptions};
 
@@ -45,6 +55,7 @@ pub fn rule_catalogue() -> Vec<(&'static str, &'static str)> {
         .collect();
     rules.extend_from_slice(&config::CONFIG_RULES);
     rules.extend_from_slice(&channels::CHANNEL_RULES);
+    rules.extend_from_slice(&degrade::DEGRADE_RULES);
     rules
 }
 
@@ -56,7 +67,7 @@ mod tests {
     fn catalogue_ids_are_unique_and_ordered() {
         let rules = rule_catalogue();
         assert!(
-            rules.len() >= 23,
+            rules.len() >= 26,
             "expected full catalogue, got {}",
             rules.len()
         );

@@ -14,6 +14,7 @@
 //! | [`dram`] | the next-generation mobile DDR SDRAM device model |
 //! | [`ctrl`] | the per-channel memory controller |
 //! | [`channel`] | Table II interleaving, the M-channel subsystem, clusters |
+//! | [`fault`] | seed-driven fault injection and graceful degradation |
 //! | [`load`] | the Fig. 1 / Table I video-recording load model |
 //! | [`power`] | equation (1) interface power, XDR comparison |
 //! | [`verify`] | conformance checks and lints (`mcm check`, `MCMxxx` rules) |
@@ -47,6 +48,7 @@ pub use mcm_channel as channel;
 pub use mcm_core as core;
 pub use mcm_ctrl as ctrl;
 pub use mcm_dram as dram;
+pub use mcm_fault as fault;
 pub use mcm_load as load;
 pub use mcm_obs as obs;
 pub use mcm_power as power;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use mcm_dram::{
         AddressMapping, BankCluster, ClusterConfig, DramCommand, Geometry, IddValues, TimingParams,
     };
+    pub use mcm_fault::{DegradePolicy, DegradeSummary, FaultPlan, FaultSpec};
     pub use mcm_load::{
         FrameFormat, FrameLayout, FrameTraffic, H264Level, HdOperatingPoint, PixelFormat,
         RefFrames, Stage, UseCase,
