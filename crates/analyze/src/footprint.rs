@@ -1,0 +1,162 @@
+//! Memory-footprint bound (`MCM406`): does the use case's frame-buffer
+//! working set fit the configured channels at all?
+//!
+//! This computes [`FrameLayout`] with *exactly* the options the simulation
+//! engine uses (bank-staggered placement over the full multi-channel
+//! capacity), so the static answer is the engine's answer: a point flagged
+//! here would abort its run with the same `LayoutOverflow`. That turns the
+//! paper's 64 MiB-per-channel ceiling — previously a silent skip in
+//! `mcm bench` — into an explicit, witnessed diagnostic.
+
+use mcm_channel::MemoryConfig;
+use mcm_load::{FrameLayout, LayoutOptions, LoadError, UseCase};
+use mcm_verify::{Diagnostic, Report, Severity};
+use serde_json::json;
+
+/// Layouts filling more than this fraction of capacity are flagged as
+/// leaving little headroom for anything beyond the frame buffers.
+const FOOTPRINT_WARNING: f64 = 0.90;
+
+/// `MCM406` for one workload on one memory configuration.
+pub fn lint_footprint(uc: &UseCase, mem: &MemoryConfig) -> Report {
+    let mut report = Report::new();
+    // Structural problems are MCM1xx findings; stay silent on them here.
+    if uc.validate().is_err() || mem.channels == 0 {
+        return report;
+    }
+    let geometry = &mem.controller.cluster.geometry;
+    // Mirror MemorySubsystem::new: per-device capacity times channel count.
+    let capacity = geometry.capacity_bytes() * mem.channels as u64;
+    let options = LayoutOptions::bank_staggered(
+        capacity,
+        geometry.page_bytes() as u64,
+        mem.channels,
+        geometry.banks,
+    );
+    match FrameLayout::with_options(uc, &options) {
+        Ok(layout) => {
+            let needed = layout.total_bytes();
+            let fill = needed as f64 / capacity.max(1) as f64;
+            if fill > FOOTPRINT_WARNING {
+                report.push(
+                    Diagnostic::new(
+                        "MCM406",
+                        Severity::Warning,
+                        format!(
+                            "frame buffers fill {:.0} % of memory: {} MiB of {} MiB \
+                             across {} channel(s) leaves little room for code or heap",
+                            fill * 100.0,
+                            needed >> 20,
+                            capacity >> 20,
+                            mem.channels
+                        ),
+                    )
+                    .with_context(
+                        json!({
+                            "rule": "MCM406",
+                            "inequality": "layout_total_bytes <= 0.9 * capacity_bytes",
+                            "values": {
+                                "needed_bytes": needed,
+                                "capacity_bytes": capacity,
+                                "fill": fill,
+                                "channels": mem.channels,
+                            },
+                        })
+                        .to_string(),
+                    ),
+                );
+            }
+        }
+        Err(LoadError::LayoutOverflow { needed, capacity }) => {
+            report.push(
+                Diagnostic::new(
+                    "MCM406",
+                    Severity::Error,
+                    format!(
+                        "frame buffers do not fit: need {} MiB, capacity is {} MiB \
+                         across {} channel(s) of {} MiB each",
+                        needed >> 20,
+                        capacity >> 20,
+                        mem.channels,
+                        geometry.capacity_bytes() >> 20
+                    ),
+                )
+                .with_context(
+                    json!({
+                        "rule": "MCM406",
+                        "inequality": "layout_total_bytes <= capacity_bytes",
+                        "values": {
+                            "needed_bytes": needed,
+                            "capacity_bytes": capacity,
+                            "channels": mem.channels,
+                            "per_channel_bytes": geometry.capacity_bytes(),
+                        },
+                    })
+                    .to_string(),
+                ),
+            );
+        }
+        Err(e) => {
+            report.push(
+                Diagnostic::new(
+                    "MCM406",
+                    Severity::Error,
+                    format!("frame-buffer layout cannot be computed: {e}"),
+                )
+                .with_context(
+                    json!({
+                        "rule": "MCM406",
+                        "inequality": "layout is computable",
+                        "values": {"error": e.to_string()},
+                    })
+                    .to_string(),
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_load::HdOperatingPoint;
+
+    #[test]
+    fn the_paper_grid_footprints_fit() {
+        for p in [
+            HdOperatingPoint::Hd720p30,
+            HdOperatingPoint::Hd720p60,
+            HdOperatingPoint::Hd1080p30,
+            HdOperatingPoint::Hd1080p60,
+        ] {
+            let r = lint_footprint(&UseCase::hd(p), &MemoryConfig::paper(1, 400));
+            assert!(r.is_clean(), "{p:?}: {}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn uhd_on_one_channel_overflows_with_a_witnessed_406() {
+        let r = lint_footprint(
+            &UseCase::hd(HdOperatingPoint::Uhd2160p30),
+            &MemoryConfig::paper(1, 400),
+        );
+        assert_eq!(r.ids(), vec!["MCM406"], "{}", r.render_human());
+        assert!(r.has_errors());
+        let d = &r.diagnostics[0];
+        let ctx: serde_json::Value = serde_json::from_str(d.context.as_deref().unwrap()).unwrap();
+        let needed = ctx["values"]["needed_bytes"].as_u64().unwrap();
+        let capacity = ctx["values"]["capacity_bytes"].as_u64().unwrap();
+        assert!(needed > capacity, "witness numbers must show the violation");
+        assert_eq!(capacity, 64 << 20);
+    }
+
+    #[test]
+    fn uhd_fits_on_enough_channels() {
+        let r = lint_footprint(
+            &UseCase::hd(HdOperatingPoint::Uhd2160p30),
+            &MemoryConfig::paper(8, 400),
+        );
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+}

@@ -1,0 +1,261 @@
+//! Timing-closure lints (`MCM401`–`MCM404`): Table II-style DRAM
+//! parameters must be mutually consistent before any cycle is simulated.
+//!
+//! [`TimingParams::validate`] already hard-rejects a few impossible
+//! combinations with opaque error strings; this pass re-states those as
+//! witnessed diagnostics and adds the constructible-but-doomed conditions
+//! `validate` does not check (a vacuous four-activate window, a refresh
+//! duty cycle that eats the bandwidth, power-down exits that cannot cover
+//! what they owe).
+
+use mcm_dram::{Geometry, TimingParams};
+use mcm_verify::{Diagnostic, Report, Severity};
+use serde_json::json;
+
+/// Tolerance for comparisons between nanosecond parameters, mirroring
+/// `TimingParams::validate`.
+const EPS: f64 = 1e-9;
+
+/// Refresh duty cycle (tRFC/tREFI) above which the device spends so much
+/// time refreshing that results are misleading.
+const REFRESH_DUTY_WARNING: f64 = 0.10;
+
+/// Refresh duty cycle at which the device spends at least half its life
+/// refreshing: no schedule recovers that.
+const REFRESH_DUTY_ERROR: f64 = 0.50;
+
+fn witness(
+    id: &'static str,
+    severity: Severity,
+    message: String,
+    inequality: &str,
+    values: serde_json::Value,
+) -> Diagnostic {
+    Diagnostic::new(id, severity, message).with_context(
+        json!({
+            "rule": id,
+            "inequality": inequality,
+            "values": values,
+        })
+        .to_string(),
+    )
+}
+
+/// `MCM401`–`MCM404` over one device's timing table at one interface
+/// clock. Everything here is closed-form arithmetic on the datasheet.
+pub fn lint_timing(t: &TimingParams, clock_mhz: u64, geometry: &Geometry) -> Report {
+    let mut report = Report::new();
+
+    // --- MCM401: row-cycle closure and clock resolution ------------------
+    if t.t_ras_ns + t.t_rp_ns > t.t_rc_ns + EPS {
+        report.push(witness(
+            "MCM401",
+            Severity::Error,
+            format!(
+                "row cycle does not close: tRC ({} ns) < tRAS ({} ns) + tRP ({} ns); \
+                 a row cannot restore and precharge within its own cycle",
+                t.t_rc_ns, t.t_ras_ns, t.t_rp_ns
+            ),
+            "t_rc_ns >= t_ras_ns + t_rp_ns",
+            json!({"t_rc_ns": t.t_rc_ns, "t_ras_ns": t.t_ras_ns, "t_rp_ns": t.t_rp_ns}),
+        ));
+    }
+    match t.resolve(clock_mhz, geometry) {
+        Ok(r) => {
+            // Ceil-rounding can re-open a ns-closed row cycle at coarse
+            // clocks; the simulator would then under-space ACT-to-ACT.
+            if r.t_rc < r.t_ras + r.t_rp {
+                report.push(witness(
+                    "MCM401",
+                    Severity::Error,
+                    format!(
+                        "row cycle closes in ns but not in cycles at {clock_mhz} MHz: \
+                         tRC ({} ck) < tRAS ({} ck) + tRP ({} ck)",
+                        r.t_rc, r.t_ras, r.t_rp
+                    ),
+                    "t_rc_ck >= t_ras_ck + t_rp_ck",
+                    json!({"clock_mhz": clock_mhz, "t_rc_ck": r.t_rc, "t_ras_ck": r.t_ras, "t_rp_ck": r.t_rp}),
+                ));
+            }
+        }
+        Err(e) => {
+            report.push(witness(
+                "MCM401",
+                Severity::Error,
+                format!("timings do not resolve at {clock_mhz} MHz: {e}"),
+                "min_clock_mhz <= clock_mhz <= max_clock_mhz (and validate())",
+                json!({
+                    "clock_mhz": clock_mhz,
+                    "min_clock_mhz": t.min_clock_mhz,
+                    "max_clock_mhz": t.max_clock_mhz,
+                }),
+            ));
+        }
+    }
+
+    // --- MCM402: four-activate window vs tRRD -----------------------------
+    if t.t_faw_ns + EPS < t.t_rrd_ns {
+        report.push(witness(
+            "MCM402",
+            Severity::Error,
+            format!(
+                "tFAW ({} ns) is shorter than a single tRRD gap ({} ns): the \
+                 four-activate window is unsatisfiable as specified",
+                t.t_faw_ns, t.t_rrd_ns
+            ),
+            "t_faw_ns >= t_rrd_ns",
+            json!({"t_faw_ns": t.t_faw_ns, "t_rrd_ns": t.t_rrd_ns}),
+        ));
+    } else if t.t_faw_ns + EPS < 4.0 * t.t_rrd_ns {
+        report.push(witness(
+            "MCM402",
+            Severity::Warning,
+            format!(
+                "tFAW ({} ns) is below 4*tRRD ({} ns): tRRD alone already spaces \
+                 any four activates wider than the window, so tFAW never binds \
+                 (likely a transcription error in the datasheet values)",
+                t.t_faw_ns,
+                4.0 * t.t_rrd_ns
+            ),
+            "t_faw_ns >= 4 * t_rrd_ns",
+            json!({"t_faw_ns": t.t_faw_ns, "t_rrd_ns": t.t_rrd_ns, "four_t_rrd_ns": 4.0 * t.t_rrd_ns}),
+        ));
+    }
+
+    // --- MCM403: refresh-budget arithmetic --------------------------------
+    if t.t_refi_ns > 0.0 {
+        let duty = t.t_rfc_ns / t.t_refi_ns;
+        let describe = format!(
+            "refresh duty cycle tRFC/tREFI = {} / {} ns = {:.1} % of all time",
+            t.t_rfc_ns,
+            t.t_refi_ns,
+            duty * 100.0
+        );
+        if t.t_refi_ns <= t.t_rfc_ns {
+            report.push(witness(
+                "MCM403",
+                Severity::Error,
+                format!(
+                    "refresh starves the device: tREFI ({} ns) does not exceed \
+                     tRFC ({} ns), so a refresh is due before the previous one ends",
+                    t.t_refi_ns, t.t_rfc_ns
+                ),
+                "t_refi_ns > t_rfc_ns",
+                json!({"t_refi_ns": t.t_refi_ns, "t_rfc_ns": t.t_rfc_ns}),
+            ));
+        } else if duty >= REFRESH_DUTY_ERROR {
+            report.push(witness(
+                "MCM403",
+                Severity::Error,
+                format!("{describe}: the majority of the bandwidth is refresh overhead"),
+                "t_rfc_ns / t_refi_ns < 0.5",
+                json!({"t_rfc_ns": t.t_rfc_ns, "t_refi_ns": t.t_refi_ns, "duty": duty}),
+            ));
+        } else if duty > REFRESH_DUTY_WARNING {
+            report.push(witness(
+                "MCM403",
+                Severity::Warning,
+                format!("{describe}: more than 10 % of peak bandwidth goes to refresh"),
+                "t_rfc_ns / t_refi_ns <= 0.1",
+                json!({"t_rfc_ns": t.t_rfc_ns, "t_refi_ns": t.t_refi_ns, "duty": duty}),
+            ));
+        }
+    }
+
+    // --- MCM404: power-down entry/exit consistency ------------------------
+    if t.t_xsr_ns + EPS < t.t_rfc_ns {
+        report.push(witness(
+            "MCM404",
+            Severity::Error,
+            format!(
+                "self-refresh exit cannot cover the refresh it owes: tXSR ({} ns) \
+                 < tRFC ({} ns)",
+                t.t_xsr_ns, t.t_rfc_ns
+            ),
+            "t_xsr_ns >= t_rfc_ns",
+            json!({"t_xsr_ns": t.t_xsr_ns, "t_rfc_ns": t.t_rfc_ns}),
+        ));
+    }
+    if t.t_xp_ck == 0 {
+        report.push(witness(
+            "MCM404",
+            Severity::Warning,
+            "tXP of 0 cycles: a free power-down exit makes standby power results \
+             optimistic for any real device"
+                .to_string(),
+            "t_xp_ck >= 1",
+            json!({"t_xp_ck": t.t_xp_ck}),
+        ));
+    }
+    // A power-down residency longer than a refresh interval means every
+    // power-down entry risks postponing refresh beyond its deadline.
+    let clock_period_ns = 1e3 / clock_mhz.max(1) as f64;
+    let residency_ns = t.t_cke_min_ck as f64 * clock_period_ns;
+    if residency_ns > t.t_refi_ns {
+        report.push(witness(
+            "MCM404",
+            Severity::Error,
+            format!(
+                "minimum power-down residency tCKE ({} ck = {:.1} ns at {clock_mhz} MHz) \
+                 exceeds the refresh interval tREFI ({} ns): every power-down entry \
+                 overruns a refresh deadline",
+                t.t_cke_min_ck, residency_ns, t.t_refi_ns
+            ),
+            "t_cke_min_ck * clock_period_ns <= t_refi_ns",
+            json!({
+                "t_cke_min_ck": t.t_cke_min_ck,
+                "residency_ns": residency_ns,
+                "t_refi_ns": t.t_refi_ns,
+                "clock_mhz": clock_mhz,
+            }),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (TimingParams, Geometry) {
+        (
+            TimingParams::next_gen_mobile_ddr(),
+            Geometry::next_gen_mobile_ddr(),
+        )
+    }
+
+    #[test]
+    fn every_device_preset_lints_clean_at_its_anchor_clock() {
+        let g = Geometry::next_gen_mobile_ddr();
+        for (name, t, clock) in [
+            ("next_gen", TimingParams::next_gen_mobile_ddr(), 400),
+            ("contemporary", TimingParams::contemporary_mobile_ddr(), 200),
+            ("future_lpddr2", TimingParams::future_lpddr2(), 400),
+            ("standard_ddr2", TimingParams::standard_ddr2(), 400),
+        ] {
+            let r = lint_timing(&t, clock, &g);
+            assert!(r.is_clean(), "{name}: {}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn out_of_window_clock_is_a_401_error() {
+        let (t, g) = base();
+        let r = lint_timing(&t, 100, &g);
+        assert_eq!(r.ids(), vec!["MCM401"], "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn refresh_duty_thresholds() {
+        let (mut t, g) = base();
+        t.t_rfc_ns = 1_000.0; // 12.8 % of tREFI
+        t.t_xsr_ns = 4_000.0; // keep MCM404 (tXSR >= tRFC) satisfied
+        let r = lint_timing(&t, 400, &g);
+        assert_eq!(r.ids(), vec!["MCM403"]);
+        assert_eq!(r.count(Severity::Warning), 1);
+        t.t_rfc_ns = 4_000.0; // 51.2 %
+        let r = lint_timing(&t, 400, &g);
+        assert!(r.has_errors(), "{}", r.render_human());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the timing lints: any randomly generated datasheet
+//! that satisfies the analyzer's documented preconditions by construction
+//! must come back clean, and a targeted mutation of such a datasheet must
+//! always be flagged. This pins the analyzer's false-positive rate at
+//! zero over the constructible-valid region — a lint that rejected
+//! healthy configs would make `mcm run`'s static refusal unusable.
+
+use mcm_analyze::lint_timing;
+use mcm_dram::{Geometry, TimingParams};
+use proptest::prelude::*;
+
+/// A random timing table that is valid by construction:
+///
+/// * row cycle closes with at least two 200 MHz clock periods of slack,
+///   so ceil-rounding cannot re-open it at any clock in the window
+///   (MCM401);
+/// * `tFAW >= 4 * tRRD`, so the four-activate window binds (MCM402);
+/// * refresh duty `tRFC/tREFI <= 1/12`, under the 10 % advisory
+///   threshold (MCM403);
+/// * `tXSR >= tRFC`, `tXP >= 1` and a power-down residency far below
+///   `tREFI` (MCM404).
+fn arb_valid_timing() -> impl Strategy<Value = (TimingParams, u64)> {
+    (
+        (5.0f64..20.0, 5.0f64..20.0, 25.0f64..50.0, 10.0f64..40.0),
+        (5.0f64..15.0, 0.0f64..20.0, 60.0f64..140.0, 12u32..80),
+        (0.0f64..100.0, 1u64..4, 1u64..4, 200u64..=533),
+    )
+        .prop_map(
+            |(
+                (rcd, rp, ras, rc_slack),
+                (rrd, faw_extra, rfc, refi_mul),
+                (xsr_extra, xp, cke, clock),
+            )| {
+                let mut t = TimingParams::next_gen_mobile_ddr();
+                t.t_rcd_ns = rcd;
+                t.t_rp_ns = rp;
+                t.t_ras_ns = ras;
+                t.t_rc_ns = ras + rp + rc_slack;
+                t.t_rrd_ns = rrd;
+                t.t_faw_ns = 4.0 * rrd + faw_extra;
+                t.t_rfc_ns = rfc;
+                t.t_refi_ns = rfc * refi_mul as f64;
+                t.t_xsr_ns = rfc + xsr_extra;
+                t.t_xp_ck = xp;
+                t.t_cke_min_ck = cke;
+                (t, clock)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated datasheet passes the device's own `validate`,
+    /// resolves at its clock, and lints clean.
+    #[test]
+    fn valid_datasheets_lint_clean(tc in arb_valid_timing()) {
+        let (t, clock) = tc;
+        let g = Geometry::next_gen_mobile_ddr();
+        prop_assert!(t.validate().is_ok(), "validate rejected a generated table");
+        prop_assert!(t.resolve(clock, &g).is_ok(), "resolve rejected {clock} MHz");
+        let r = lint_timing(&t, clock, &g);
+        prop_assert!(r.is_clean(), "false positive at {clock} MHz: {}", r.render_human());
+    }
+
+    /// Re-opening the row cycle on any otherwise-valid datasheet is
+    /// always caught as MCM401 — detection does not depend on which
+    /// corner of the parameter space the rest of the table sits in.
+    #[test]
+    fn broken_row_cycle_is_always_flagged(tc in arb_valid_timing()) {
+        let (t, clock) = tc;
+        let g = Geometry::next_gen_mobile_ddr();
+        let mut t = t;
+        t.t_rc_ns = t.t_ras_ns + t.t_rp_ns - 1.0;
+        let r = lint_timing(&t, clock, &g);
+        prop_assert!(r.has_errors(), "missed: {}", r.render_human());
+        prop_assert!(r.ids().contains(&"MCM401"), "wrong rule: {:?}", r.ids());
+    }
+
+    /// Starving the refresh budget on any otherwise-valid datasheet is
+    /// always caught as an MCM403 error.
+    #[test]
+    fn refresh_starvation_is_always_flagged(tc in arb_valid_timing()) {
+        let (t, clock) = tc;
+        let g = Geometry::next_gen_mobile_ddr();
+        let mut t = t;
+        // Keep validate() happy (tREFI > tRFC) but push the duty cycle
+        // over the 50 % hard-error line.
+        t.t_refi_ns = t.t_rfc_ns * 1.5;
+        let r = lint_timing(&t, clock, &g);
+        prop_assert!(r.has_errors(), "missed: {}", r.render_human());
+        prop_assert!(r.ids().contains(&"MCM403"), "wrong rule: {:?}", r.ids());
+    }
+}

@@ -1,0 +1,72 @@
+//! The soundness cross-check that backs the crate's contract: an
+//! error-severity finding from the feasibility rules means the point
+//! *must* fail dynamically — either the frame layout refuses to build or
+//! the simulated frame misses its deadline outright. If this test fails,
+//! the analyzer has condemned a point the simulator can serve, and
+//! `mcm run`'s static refusal would be rejecting healthy configs.
+
+use mcm_analyze::{analyze_experiment, verdict};
+use mcm_core::{Experiment, RealTimeVerdict, RunOptions};
+use mcm_load::HdOperatingPoint;
+
+/// The paper's five Table I operating points at their published channel
+/// counts: all must lint clean, or the analyzer contradicts the paper's
+/// own feasibility results.
+#[test]
+fn paper_golden_configs_lint_clean() {
+    let golden = [
+        (HdOperatingPoint::Hd720p30, 4u32),
+        (HdOperatingPoint::Hd720p60, 4),
+        (HdOperatingPoint::Hd1080p30, 4),
+        (HdOperatingPoint::Hd1080p60, 4),
+        (HdOperatingPoint::Uhd2160p30, 8),
+    ];
+    for (point, channels) in golden {
+        let exp = Experiment::paper(point, channels, 400);
+        let r = analyze_experiment(&exp);
+        assert!(r.is_clean(), "{point:?} x{channels}: {}", r.render_human());
+    }
+}
+
+/// Sampled-grid soundness: every point the analyzer condemns must fail
+/// when actually simulated. The op cap keeps each simulation quick; the
+/// access-time extrapolation it implies cannot rescue a point whose
+/// demand exceeds the physical roofline.
+#[test]
+fn static_errors_imply_dynamic_failure() {
+    let mut condemned = 0;
+    for point in HdOperatingPoint::ALL {
+        for channels in [1u32, 2, 4, 8] {
+            for clock in [200u64, 400] {
+                let mut exp = Experiment::paper(point, channels, clock);
+                exp.op_limit = Some(20_000);
+                let v = verdict(&exp);
+                if v.feasible {
+                    continue;
+                }
+                condemned += 1;
+                match exp.run_with(&RunOptions::default()) {
+                    // Refused before the first cycle (layout overflow):
+                    // as condemned, only sooner.
+                    Err(_) => {}
+                    Ok(out) => {
+                        let frame = out.into_frame().expect("single-frame run");
+                        assert!(
+                            matches!(frame.verdict, RealTimeVerdict::Fails),
+                            "{point:?} x{channels}ch @ {clock} MHz: statically \
+                             condemned ({:?}) but simulated as {}",
+                            v.reason(),
+                            frame.verdict
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The grid is built to contain a sizeable infeasible region; if this
+    // drops to zero the cross-check has silently stopped checking.
+    assert!(
+        condemned >= 8,
+        "only {condemned} condemned points in the grid"
+    );
+}

@@ -417,6 +417,19 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         cells
     };
     for (point, channels) in grid {
+        // Statically infeasible cells are skipped with the analyzer's
+        // MCM4xx witness, so the report records *why* a cell is absent
+        // (e.g. 2160p30 does not fit 1-2 channels) instead of whatever
+        // error surfaced first inside the simulator.
+        let verdict = mcm_analyze::verdict(&paper_exp(point, channels, None));
+        if let Some(reason) = verdict.reason() {
+            skipped.push(format!(
+                "{} x{}ch direct: statically infeasible ({reason})",
+                point_label(point),
+                channels
+            ));
+            continue;
+        }
         match direct_measurement(cfg, point, channels, Some(100_000)) {
             Ok(m) => scenarios.push(m),
             Err(e) => skipped.push(format!(
@@ -562,6 +575,21 @@ mod tests {
         let err =
             direct_measurement(&tiny(), HdOperatingPoint::Uhd2160p30, 1, Some(2_000)).unwrap_err();
         assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn grid_skips_carry_the_static_witness() {
+        // The full-grid loop skips these cells up front with the analyzer's
+        // verdict, so BENCH_sim.json says *why* 2160p30 is absent at low
+        // channel counts rather than echoing a simulator error.
+        for channels in [1u32, 2] {
+            let v = mcm_analyze::verdict(&paper_exp(HdOperatingPoint::Uhd2160p30, channels, None));
+            let reason = v.reason().expect("2160p30 on 1-2 channels is infeasible");
+            assert!(reason.starts_with("MCM4"), "{reason}");
+        }
+        // Feasible cells pass the pre-check and still get measured.
+        let v = mcm_analyze::verdict(&paper_exp(HdOperatingPoint::Uhd2160p30, 8, None));
+        assert!(v.feasible, "{:?}", v.reason());
     }
 
     #[test]

@@ -394,10 +394,9 @@ impl MemorySubsystem {
                 capacity_bytes: self.capacity_bytes,
             });
         }
-        if self.faults.is_some() {
-            // Take the state out so the degraded path can borrow `self`
-            // (controllers, recorder, buffers) freely alongside it.
-            let mut fs = self.faults.take().expect("checked above");
+        // Take the fault state out so the degraded path can borrow `self`
+        // (controllers, recorder, buffers) freely alongside it.
+        if let Some(mut fs) = self.faults.take() {
             let result = self.submit_degraded(&mut fs, txn);
             self.faults = Some(fs);
             return result;

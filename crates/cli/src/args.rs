@@ -77,6 +77,9 @@ pub enum Command {
     /// Conformance-check a configuration: config lints, cross-channel
     /// invariants and a bounded trace audit.
     Check(RunOptions),
+    /// Statically lint a configuration without simulating: config-structure
+    /// rules (`MCM1xx`) plus the feasibility analysis (`MCM4xx`).
+    Lint(RunOptions),
     /// Sweep a grid of configurations on the parallel engine.
     Sweep(SweepArgs),
     /// Run one instrumented experiment and print its observability report.
@@ -214,6 +217,9 @@ pub struct SweepArgs {
     pub output: SweepOutput,
     /// Print per-point progress to stderr.
     pub progress: bool,
+    /// Statically prune infeasible points before simulating
+    /// (`SweepOptions::prelint`).
+    pub prelint: bool,
 }
 
 impl Default for SweepArgs {
@@ -227,6 +233,7 @@ impl Default for SweepArgs {
             op_limit: None,
             output: SweepOutput::Text,
             progress: false,
+            prelint: false,
         }
     }
 }
@@ -430,6 +437,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
         "repro" => Ok(Command::Repro),
         "run" => Ok(Command::Run(parse_run_options(it)?)),
         "check" => Ok(Command::Check(parse_run_options(it)?)),
+        "lint" => Ok(Command::Lint(parse_run_options(it)?)),
         "headroom" => Ok(Command::Headroom(parse_run_options(it)?)),
         "profile" => Ok(Command::Profile(parse_run_options(it)?)),
         "config-dump" => Ok(Command::ConfigDump(parse_run_options(it)?)),
@@ -571,6 +579,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     "--json" => a.output = SweepOutput::Json,
                     "--csv" => a.output = SweepOutput::Csv,
                     "--progress" => a.progress = true,
+                    "--prelint" => a.prelint = true,
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -749,6 +758,8 @@ COMMANDS:
     bench       measure simulator throughput, write BENCH_sim.json
                 (see BENCH OPTIONS)
     check       conformance-check a configuration (MCMxxx rules; --json for machines)
+    lint        statically lint a configuration without simulating
+                (MCM1xx + MCM4xx rules; --json for machines)
     fault       build a deterministic fault plan for --faults
                 (see FAULT OPTIONS)
     headroom    maximum sustainable fps for a configuration
@@ -810,6 +821,8 @@ SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
     --cache <dir>     content-hash result cache        [off]
     --op-limit <N>    cap simulated ops per point      [full frame]
     --progress        per-point progress on stderr     [off]
+    --prelint         statically prune infeasible points before
+                      simulating (MCM4xx analysis)     [off]
     --json | --csv    deterministic machine output     [text table]
 ";
 
@@ -924,6 +937,21 @@ mod tests {
     }
 
     #[test]
+    fn lint_parses_like_run() {
+        let Command::Lint(o) =
+            parse_args(["lint", "--format", "2160p30", "--channels", "2"]).unwrap()
+        else {
+            panic!("expected lint");
+        };
+        assert_eq!(o.point, HdOperatingPoint::Uhd2160p30);
+        assert_eq!(o.channels, 2);
+        let Command::Lint(o) = parse_args(["lint", "--json"]).unwrap() else {
+            panic!("expected lint");
+        };
+        assert!(o.json);
+    }
+
+    #[test]
     fn sweep_defaults_are_the_paper_grid() {
         let Command::Sweep(a) = parse_args(["sweep"]).unwrap() else {
             panic!("expected sweep");
@@ -952,6 +980,7 @@ mod tests {
             "5000",
             "--csv",
             "--progress",
+            "--prelint",
         ])
         .unwrap() else {
             panic!("expected sweep");
@@ -967,6 +996,7 @@ mod tests {
         assert_eq!(a.op_limit, Some(5000));
         assert_eq!(a.output, SweepOutput::Csv);
         assert!(a.progress);
+        assert!(a.prelint);
         assert!(parse_args(["sweep", "--formats", "480i"]).is_err());
         assert!(parse_args(["sweep", "--channels", "two"]).is_err());
     }

@@ -63,9 +63,22 @@ const VERIFY_OP_LIMIT: u64 = 50_000;
 fn run_one(o: &RunOptions) -> Result<String, CliError> {
     let sim_err = |e: CoreError| CliError(format!("simulation failed: {e}"));
     let mut exp = build_experiment(o);
+    let faults = load_fault_plan(o)?;
+    // Refuse statically-broken healthy configs before burning simulation
+    // time: the analyzer's error findings are sound for healthy runs, but
+    // a fault plan's degradation policy may shed load and rescue the point.
+    if faults.is_none() {
+        let verdict = mcm_analyze::verdict(&exp);
+        if let Some(reason) = verdict.reason() {
+            return Err(CliError(format!(
+                "statically infeasible, refusing to simulate: {reason}\n\
+                 (see 'mcm lint' for the full analysis)"
+            )));
+        }
+    }
     let run = mcm_core::RunOptions {
         verify: o.verify,
-        faults: load_fault_plan(o)?,
+        faults,
         ..mcm_core::RunOptions::default()
     };
     let (r, findings) = if o.verify {
@@ -327,6 +340,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             trace_run(options, input)
         }
         Command::Check(o) => run_check(o),
+        Command::Lint(o) => run_lint(o),
         Command::Sweep(a) => run_sweep_cmd(a),
         Command::Report(a) => {
             reject_faults(&a.options, "report")?;
@@ -492,6 +506,7 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
         threads: a.threads,
         cache_dir: a.cache.as_ref().map(std::path::PathBuf::from),
         progress: a.progress,
+        prelint: a.prelint,
         ..mcm_sweep::SweepOptions::default()
     };
     let result = mcm_sweep::run_sweep(&spec, &options).map_err(|e| CliError(e.to_string()))?;
@@ -576,6 +591,46 @@ fn run_check(o: &RunOptions) -> Result<String, CliError> {
     }
 }
 
+/// `mcm lint`: the purely static passes — configuration-structure lints
+/// (`MCM1xx`) plus the feasibility analysis (`MCM4xx`) — with no
+/// simulation at all. Error findings make the command fail so scripts get
+/// a non-zero exit; every finding carries its machine-readable witness in
+/// the JSON output.
+fn run_lint(o: &RunOptions) -> Result<String, CliError> {
+    reject_faults(o, "lint")?;
+    let exp = build_experiment(o);
+    let mut findings = mcm_verify::lint_all(&exp.use_case, &exp.memory, &exp.interface);
+    findings.merge(mcm_analyze::analyze_experiment(&exp));
+    findings.sort_by_severity();
+    let rules_checked = mcm_verify::config::CONFIG_RULES.len() + mcm_analyze::ANALYZE_RULES.len();
+    let out = if o.json {
+        let mut j = serde_json::json!({
+            "format": o.point.to_string(),
+            "channels": o.channels,
+            "clock_mhz": o.clock_mhz,
+            "rules_checked": rules_checked,
+        });
+        if let serde_json::Value::Object(m) = &mut j {
+            m.insert("lint".to_string(), findings.to_json());
+        }
+        let mut s = j.to_string();
+        s.push('\n');
+        s
+    } else {
+        let mut s = format!(
+            "mcm lint: {} on {} ch @ {} MHz ({}, {}, {}; {} rules)\n",
+            o.point, o.channels, o.clock_mhz, o.mapping, o.page, o.power_down, rules_checked
+        );
+        s += &findings.render_human();
+        s
+    };
+    if findings.has_errors() {
+        Err(CliError(out))
+    } else {
+        Ok(out)
+    }
+}
+
 /// The report behind `mcm check`, in pass order: configuration lints,
 /// cross-channel invariants, then (when the config is viable) a bounded
 /// simulation with the trace audit, traffic-balance checks and — under
@@ -605,16 +660,22 @@ fn check_findings(o: &RunOptions) -> Result<mcm_verify::Report, CliError> {
     ));
 
     let lints = mcm_verify::lint_all(&exp.use_case, &exp.memory, &exp.interface);
-    if lints.has_errors() {
+    let analysis = mcm_analyze::analyze_experiment(&exp);
+    if lints.has_errors() || analysis.has_errors() {
         // The simulation would only fail or mislead; report what the
-        // lints found and say why no trace was audited.
+        // lints and the static analysis found and say why no trace was
+        // audited.
         findings.merge(lints);
+        findings.merge(analysis);
         findings.push(Diagnostic::new(
             "MCM101",
             Severity::Note,
             "trace audit skipped: the configuration errors above must be fixed first",
         ));
     } else {
+        // Static warnings (near-roofline demand, tight footprints) are
+        // findings too; the audit below cannot rediscover them.
+        findings.merge(analysis);
         // run_verified repeats the lints, so any warnings they produced
         // are still reported exactly once.
         let run = mcm_core::RunOptions {
@@ -851,10 +912,44 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_run_reports_cleanly() {
+    fn infeasible_run_is_refused_statically() {
+        // 2160p30 on one channel cannot even hold its frame buffers; the
+        // analyzer refuses the run with a witnessed MCM4xx diagnostic
+        // instead of letting the engine discover the overflow.
         let cmd = parse_args(["run", "--format", "2160p30", "--channels", "1"]).unwrap();
-        let err = execute(&cmd).unwrap_err();
-        assert!(err.to_string().contains("simulation failed"));
+        let err = execute(&cmd).unwrap_err().to_string();
+        assert!(err.contains("statically infeasible"), "{err}");
+        assert!(err.contains("MCM4"), "{err}");
+        assert!(err.contains("mcm lint"), "{err}");
+    }
+
+    #[test]
+    fn faulted_runs_bypass_the_static_refusal() {
+        // A fault plan brings a degradation policy that may shed load, so
+        // the static verdict must not block the simulation. 2160p30 on 4
+        // channels is above the roofline; with a channel loss the degraded
+        // engine still produces a (shed, slower) result.
+        let dir = std::env::temp_dir().join(format!("mcm-cli-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan_path = dir.join("plan.json");
+        let plan = mcm_fault::FaultPlan::channel_loss(5, 0);
+        std::fs::write(&plan_path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let plan_str = plan_path.to_str().unwrap();
+        let cmd = parse_args([
+            "run",
+            "--format",
+            "2160p30",
+            "--channels",
+            "4",
+            "--faults",
+            plan_str,
+            "--op-limit",
+            "2000",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("degraded"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }
 
@@ -1296,6 +1391,62 @@ mod snapshot_tests {
             "{out}"
         );
         assert_eq!(lines[1], "check clean: 0 findings", "{out}");
+    }
+
+    #[test]
+    fn lint_text_lines_are_pinned() {
+        let out = run("lint", &[]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "mcm lint: 1920x1088@30 (L4) on 4 ch @ 400 MHz \
+             (RBC, open-page, power-down after first idle cycle; 11 rules)",
+            "{out}"
+        );
+        assert_eq!(lines[1], "check clean: 0 findings", "{out}");
+    }
+
+    #[test]
+    fn lint_json_keys_are_pinned() {
+        let out = run("lint", &["--json"]);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        let serde_json::Value::Object(m) = &v else {
+            panic!("expected object: {out}");
+        };
+        let mut keys: Vec<&str> = m.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        assert_eq!(
+            keys,
+            ["channels", "clock_mhz", "format", "lint", "rules_checked"],
+            "{out}"
+        );
+        assert_eq!(v["rules_checked"], serde_json::json!(11), "{out}");
+        assert_eq!(
+            v["lint"]["summary"]["clean"],
+            serde_json::json!(true),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn lint_rejects_infeasible_config_with_a_witness() {
+        let cmd = parse_args(["lint", "--format", "2160p30", "--channels", "1", "--json"]).unwrap();
+        let err = execute(&cmd).unwrap_err().to_string();
+        let v: serde_json::Value = serde_json::from_str(&err).expect("lint --json emits JSON");
+        let findings = v["lint"]["findings"].as_array().unwrap();
+        let ids: Vec<&str> = findings.iter().map(|f| f["id"].as_str().unwrap()).collect();
+        assert!(ids.contains(&"MCM405") && ids.contains(&"MCM406"), "{err}");
+        // Every analyzer finding carries a machine-readable witness: the
+        // violated inequality plus the concrete numbers behind it.
+        for f in findings
+            .iter()
+            .filter(|f| f["id"].as_str().unwrap().starts_with("MCM4"))
+        {
+            let ctx = f["context"].as_str().expect("MCM4xx context present");
+            let w: serde_json::Value = serde_json::from_str(ctx).expect("witness is JSON");
+            assert!(w["inequality"].as_str().is_some(), "{err}");
+            assert!(w["values"].as_object().is_some(), "{err}");
+        }
     }
 
     #[test]

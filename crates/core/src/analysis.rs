@@ -59,7 +59,7 @@ pub fn min_channels_meeting(
         let exp = Experiment::paper(point, ch, clock_mhz);
         match exp
             .run_with(&crate::RunOptions::default())
-            .map(|o| o.into_frame().expect("single-frame outcome"))
+            .and_then(|o| o.try_into_frame())
         {
             Ok(r) if r.verdict == RealTimeVerdict::Meets => return Ok(Some(ch)),
             Ok(_) => continue,
@@ -80,7 +80,7 @@ pub fn min_channels_real_time(
         let exp = Experiment::paper(point, ch, clock_mhz);
         match exp
             .run_with(&crate::RunOptions::default())
-            .map(|o| o.into_frame().expect("single-frame outcome"))
+            .and_then(|o| o.try_into_frame())
         {
             Ok(r) if r.verdict.is_real_time() => return Ok(Some(ch)),
             Ok(_) => continue,
@@ -152,7 +152,7 @@ pub fn max_sustainable_fps(base: &Experiment) -> Result<Option<u32>, CoreError> 
         }
         let r = match exp
             .run_with(&crate::RunOptions::default())
-            .map(|o| o.into_frame().expect("single-frame outcome"))
+            .and_then(|o| o.try_into_frame())
         {
             Ok(r) => r,
             Err(CoreError::Load(_)) => return Ok(result),

@@ -67,7 +67,12 @@ impl Component<Msg> for ChannelComp {
             .timing()
             .clock
             .time_of_cycles(res.done_cycle);
-        let master = self.master.expect("wired before the run");
+        let Some(master) = self.master else {
+            // Wiring failed upstream; stop the run rather than panic
+            // inside the kernel.
+            ctx.request_stop();
+            return;
+        };
         // Notify the master when the slice's data completes.
         let delay = done_time.saturating_sub(ctx.now());
         ctx.send_after(
@@ -293,7 +298,9 @@ pub fn run_event_driven_configured(
     });
     for &ch in &channel_ids {
         sim.component_mut::<ChannelComp>(ch)
-            .expect("channel component")
+            .ok_or_else(|| CoreError::BadParam {
+                reason: "event-sim channel component not registered".into(),
+            })?
             .master = Some(master);
     }
     // Kick the master with a dummy request-shaped message.
@@ -320,12 +327,18 @@ pub fn run_event_driven_configured(
         }
     }
 
-    let master_ref = sim
-        .component_mut::<MasterComp>(master)
-        .expect("master component");
+    let master_ref =
+        sim.component_mut::<MasterComp>(master)
+            .ok_or_else(|| CoreError::BadParam {
+                reason: "event-sim master component not registered".into(),
+            })?;
     let last_cycle = master_ref.last_done_cycle;
-    let clock = mcm_sim::ClockDomain::new(mcm_sim::Frequency::from_mhz(clock_mhz))
-        .expect("validated clock");
+    let clock =
+        mcm_sim::ClockDomain::new(mcm_sim::Frequency::from_mhz(clock_mhz)).map_err(|e| {
+            CoreError::BadParam {
+                reason: format!("interface clock {clock_mhz} MHz: {e}"),
+            }
+        })?;
     Ok(EventDrivenResult {
         access_time: clock.time_of_cycles(last_cycle),
         transactions: total_ops,

@@ -148,7 +148,12 @@ pub fn fig3_data_with(runner: &dyn BatchRunner) -> Result<Fig3Data, CoreError> {
     for _ in &CHANNELS {
         let mut row = Vec::new();
         for _ in &FIG3_CLOCKS_MHZ {
-            row.push(Cell::from_result(results.next().expect("batch size"))?);
+            let Some(result) = results.next() else {
+                return Err(CoreError::BadParam {
+                    reason: "figure batch returned fewer results than its grid".into(),
+                });
+            };
+            row.push(Cell::from_result(result)?);
         }
         cells.push(row);
     }
@@ -227,7 +232,12 @@ pub fn format_grid_data_with(runner: &dyn BatchRunner) -> Result<FormatGridData,
     for _ in &CHANNELS {
         let mut row = Vec::new();
         for _ in HdOperatingPoint::ALL {
-            row.push(Cell::from_result(results.next().expect("batch size"))?);
+            let Some(result) = results.next() else {
+                return Err(CoreError::BadParam {
+                    reason: "figure batch returned fewer results than its grid".into(),
+                });
+            };
+            row.push(Cell::from_result(result)?);
         }
         cells.push(row);
     }
@@ -513,8 +523,10 @@ pub fn table1_csv(d: &Table1Data) -> String {
 
 /// Renders Table II: the memory mapping over channels.
 pub fn render_table2(channels: u32) -> String {
-    let map = mcm_channel::InterleaveMap::paper(channels)
-        .expect("paper channel counts are powers of two");
+    let map = match mcm_channel::InterleaveMap::paper(channels) {
+        Ok(m) => m,
+        Err(e) => return format!("Table II: {e}\n"),
+    };
     let mut out = String::new();
     out.push_str(&format!(
         "Table II — Memory mapping over {channels} channels (16-byte granules).\n\n  "

@@ -112,7 +112,10 @@ pub fn run_profiled(exp: &Experiment) -> Result<FrameProfile, CoreError> {
             }
         }
         ops += 1;
-        let stage = stage_before.expect("an op implies an active stage");
+        let Some(stage) = stage_before else {
+            // The traffic iterator only yields ops inside a stage.
+            break;
+        };
         if current != Some(stage) {
             if let Some(prev) = current {
                 stages.push(StageProfile {

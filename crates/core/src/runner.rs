@@ -33,7 +33,7 @@ impl BatchRunner for SerialRunner {
 pub fn run_isolated(exp: &Experiment) -> Result<FrameResult, CoreError> {
     let run = || {
         exp.run_with(&crate::RunOptions::default())
-            .map(|o| o.into_frame().expect("single-frame outcome"))
+            .and_then(|o| o.try_into_frame())
     };
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
         Ok(result) => result,

@@ -29,6 +29,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Model code must surface failures as typed errors, never panic
+// (clippy.toml lists the banned methods). Tests keep their unwraps.
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 mod config;
 mod controller;

@@ -496,7 +496,9 @@ impl BankCluster {
                 };
                 let (c, out) = self.issue_at_earliest(cmd, not_before)?;
                 first = first.min(c);
-                last_end = out.data_end_cycle.expect("column commands return data end");
+                if let Some(end) = out.data_end_cycle {
+                    last_end = end;
+                }
             }
             return Ok((first, last_end));
         }

@@ -42,6 +42,13 @@ pub struct SweepOptions {
     /// [`SweepOptions::run`] already brings its own recorder — a shared
     /// recorder cannot be split back into per-point summaries.
     pub observe: bool,
+    /// Run the `mcm-analyze` static rules (`MCM4xx`) over every healthy
+    /// point *before* the thread pool and answer statically-infeasible
+    /// points instantly with a synthesized infeasible record carrying the
+    /// analyzer's witness as its reason. Faulted points are never prelinted
+    /// (graceful degradation could rescue what the static model condemns),
+    /// and prelinted points bypass the cache in both directions.
+    pub prelint: bool,
 }
 
 impl SweepOptions {
@@ -77,6 +84,13 @@ impl SweepOptions {
         self.observe = observe;
         self
     }
+
+    /// Enables static pre-simulation pruning (builder style); see
+    /// [`SweepOptions::prelint`].
+    pub fn with_prelint(mut self, prelint: bool) -> Self {
+        self.prelint = prelint;
+        self
+    }
 }
 
 /// One executed grid point: coordinates plus either its distilled record
@@ -95,6 +109,9 @@ pub struct PointOutcome {
     pub outcome: Result<PointRecord, SweepError>,
     /// Whether the result came from the cache (no simulation ran).
     pub cached: bool,
+    /// Whether the static analyzer answered this point (no simulation ran);
+    /// the record's `infeasible_reason` then carries the `MCM4xx` witness.
+    pub prelinted: bool,
     /// Wall-clock time spent on this point (lookup or simulation).
     pub elapsed: Duration,
     /// Observability distillation of this point's simulation, when
@@ -113,6 +130,8 @@ pub struct SweepStats {
     pub simulated: usize,
     /// Points answered from the cache.
     pub cached: usize,
+    /// Points answered by the static analyzer without simulating.
+    pub prelinted: usize,
     /// Points whose configuration cannot hold the frame buffers.
     pub infeasible: usize,
     /// Points that errored or panicked.
@@ -127,10 +146,17 @@ impl core::fmt::Display for SweepStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "{} points: {} simulated, {} cached, {} infeasible, {} failed in {:.2} s",
-            self.total,
-            self.simulated,
-            self.cached,
+            "{} points: {} simulated, {} cached, ",
+            self.total, self.simulated, self.cached
+        )?;
+        // Rendered only when prelinting actually pruned something, so logs
+        // of prelint-free sweeps are unchanged.
+        if self.prelinted > 0 {
+            write!(f, "{} prelinted, ", self.prelinted)?;
+        }
+        write!(
+            f,
+            "{} infeasible, {} failed in {:.2} s",
             self.infeasible,
             self.failed,
             self.wall.as_secs_f64()
@@ -221,6 +247,27 @@ impl SweepResult {
     }
 }
 
+/// The record a prelinted point gets instead of simulating: infeasible,
+/// with the analyzer's `"MCM4xx: …"` witness as the reason and the same
+/// empty metrics an engine-side `LayoutOverflow` produces.
+fn prelinted_record(reason: String) -> PointRecord {
+    PointRecord {
+        feasible: false,
+        infeasible_reason: Some(reason),
+        access_ms: None,
+        budget_ms: None,
+        verdict: None,
+        core_mw: None,
+        interface_mw: None,
+        efficiency: None,
+        energy_per_bit_pj: None,
+        latency_p99_ns: None,
+        planned_bytes: 0,
+        simulated_bytes: 0,
+        peak_gbytes_per_s: 0.0,
+    }
+}
+
 /// Runs one point with panic isolation, honoring the sweep's run options.
 fn simulate_point(exp: &Experiment, run: &RunOptions) -> Result<FrameResult, CoreError> {
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exp.run_with(run)));
@@ -258,8 +305,47 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
     let done = AtomicUsize::new(0);
     let total = points.len();
 
-    let execute = |point: &SweepPoint| -> PointOutcome {
+    // Static pruning happens before the pool: each healthy point is paired
+    // with its MCM4xx refusal (if any), and the workers see the verdicts.
+    // Faulted points always keep `None` — graceful degradation (e.g. frame
+    // shedding after a channel loss) can rescue a point the static model
+    // condemns, so soundness only holds for healthy cells.
+    let work: Vec<(&SweepPoint, Option<String>)> = points
+        .iter()
+        .map(|point| {
+            let refusal = (options.prelint && point.faults.is_none())
+                .then(|| mcm_analyze::verdict(&point.experiment).reason())
+                .flatten();
+            (point, refusal)
+        })
+        .collect();
+
+    let execute = |(point, refusal): &(&SweepPoint, Option<String>)| -> PointOutcome {
         let point_started = Instant::now();
+        if let Some(reason) = refusal {
+            // The analyzer already proved this point cannot work: answer it
+            // instantly, bypassing both the simulator and the cache.
+            let elapsed = point_started.elapsed();
+            if options.progress {
+                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{k}/{total}] {} — infeasible (static: {reason}) ({:.0} ms)",
+                    point.label,
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+            return PointOutcome {
+                label: point.label.clone(),
+                point: point.point,
+                channels: point.channels,
+                clock_mhz: point.clock_mhz,
+                outcome: Ok(prelinted_record(reason.clone())),
+                cached: false,
+                prelinted: true,
+                elapsed,
+                obs: None,
+            };
+        }
         // The point's fault plan joins the run options before fingerprinting
         // so degraded and healthy cells never share a cache entry. Points
         // without a plan keep the sweep-wide options (and therefore the
@@ -323,6 +409,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
             clock_mhz: point.clock_mhz,
             outcome,
             cached,
+            prelinted: false,
             elapsed,
             obs,
         }
@@ -333,14 +420,15 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
             .num_threads(n)
             .build()
             .expect("thread pool construction cannot fail")
-            .install(|| points.par_iter().map(&execute).collect()),
-        None => points.par_iter().map(&execute).collect(),
+            .install(|| work.par_iter().map(&execute).collect()),
+        None => work.par_iter().map(&execute).collect(),
     };
 
     let mut stats = SweepStats {
         total,
         simulated: 0,
         cached: 0,
+        prelinted: 0,
         infeasible: 0,
         failed: 0,
         wall: started.elapsed(),
@@ -349,7 +437,9 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
     for o in &outcomes {
         match &o.outcome {
             Ok(record) => {
-                if o.cached {
+                if o.prelinted {
+                    stats.prelinted += 1;
+                } else if o.cached {
                     stats.cached += 1;
                 } else {
                     stats.simulated += 1;
@@ -548,6 +638,82 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn prelint_prunes_the_infeasible_region_and_is_faster() {
+        // 2160p30 across 1–8 channels at 400 MHz: one channel cannot hold
+        // the frame buffers (MCM406) and 2/4 channels sit above the
+        // bandwidth roofline (MCM405) — 75 % of the grid is statically
+        // infeasible. Serial execution makes the pruning win deterministic.
+        let spec = SweepSpec {
+            points: vec![HdOperatingPoint::Uhd2160p30],
+            channels: vec![1, 2, 4, 8],
+            op_limit: Some(20_000),
+            ..SweepSpec::default()
+        };
+        let base = SweepOptions::default().with_threads(1);
+        let without = run_sweep(&spec, &base.clone()).unwrap();
+        let with = run_sweep(&spec, &base.with_prelint(true)).unwrap();
+
+        assert_eq!(without.stats.prelinted, 0);
+        assert_eq!(without.stats.simulated, 4);
+        assert_eq!(with.stats.prelinted, 3);
+        assert_eq!(with.stats.simulated, 1);
+        for p in &with.points[..3] {
+            assert!(p.prelinted, "{}", p.label);
+            let r = p.outcome.as_ref().unwrap();
+            assert!(!r.feasible);
+            let reason = r.infeasible_reason.as_deref().unwrap();
+            assert!(reason.starts_with("MCM4"), "{reason}");
+        }
+        assert!(with.points[3].outcome.as_ref().unwrap().feasible);
+
+        // Soundness: everything the analyzer pruned also failed when it was
+        // actually simulated — layout overflow or a missed frame deadline.
+        for (w, wo) in with.points.iter().zip(&without.points) {
+            if w.prelinted {
+                let dynamic = wo.outcome.as_ref().unwrap();
+                assert!(
+                    !dynamic.feasible || dynamic.verdict.as_deref() == Some("FAILS"),
+                    "{}: prelint flagged a point the simulator accepted",
+                    wo.label
+                );
+            }
+        }
+
+        // The acceptance criterion: pruning ≥ 30 % of the grid must make
+        // the sweep measurably faster than simulating everything.
+        assert!(
+            with.stats.wall < without.stats.wall,
+            "prelinted sweep ({:?}) not faster than full sweep ({:?})",
+            with.stats.wall,
+            without.stats.wall
+        );
+
+        // The stats line mentions pruning only when it happened.
+        assert!(!without.stats.to_string().contains("prelinted"));
+        assert!(with.stats.to_string().contains("3 prelinted"));
+    }
+
+    #[test]
+    fn prelint_leaves_faulted_points_to_the_simulator() {
+        // 2160p30 on 4 channels is above the roofline, but the faulted cell
+        // must still simulate: degradation policies may shed load and
+        // rescue it, so the static verdict only binds healthy cells.
+        let spec = SweepSpec {
+            points: vec![HdOperatingPoint::Uhd2160p30],
+            channels: vec![4],
+            faults: vec![None, Some(mcm_fault::FaultPlan::channel_loss(5, 0))],
+            op_limit: Some(2_000),
+            ..SweepSpec::default()
+        };
+        let result = run_sweep(&spec, &SweepOptions::default().with_prelint(true)).unwrap();
+        assert_eq!(result.stats.total, 2);
+        assert_eq!(result.stats.prelinted, 1);
+        assert_eq!(result.stats.simulated, 1);
+        assert!(result.points[0].prelinted, "healthy cell is pruned");
+        assert!(!result.points[1].prelinted, "faulted cell must simulate");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`load`] | the Fig. 1 / Table I video-recording load model |
 //! | [`power`] | equation (1) interface power, XDR comparison |
 //! | [`verify`] | conformance checks and lints (`mcm check`, `MCMxxx` rules) |
+//! | [`analyze`] | static feasibility analysis (`mcm lint`, `MCM4xx` rules) |
 //! | [`obs`] | observability: counters, histograms, timelines, trace export |
 //! | [`core`] | experiments, figures, analyses |
 //! | [`sweep`] | parallel design-space sweeps with a disk result cache |
@@ -44,6 +45,7 @@
 pub use mcm_core::{CoreError, Experiment, ExperimentBuilder, FrameResult, RunOptions, RunOutcome};
 pub use mcm_sweep::{run_sweep, SweepOptions, SweepResult, SweepSpec};
 
+pub use mcm_analyze as analyze;
 pub use mcm_channel as channel;
 pub use mcm_core as core;
 pub use mcm_ctrl as ctrl;
@@ -58,6 +60,7 @@ pub use mcm_verify as verify;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use mcm_analyze::{analyze_experiment, AnalysisVerdict};
     pub use mcm_channel::{
         ClusteredMemory, InterleaveMap, MasterTransaction, MemoryConfig, MemorySubsystem,
     };
