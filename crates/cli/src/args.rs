@@ -88,6 +88,84 @@ pub enum Command {
     Bench(BenchArgs),
     /// Generate, describe or save a deterministic fault plan.
     Fault(FaultArgs),
+    /// Run the long-lived HTTP/JSON service.
+    Serve(ServeArgs),
+}
+
+/// The one output-format selector shared by every command: `--json`,
+/// `--csv` and `--trace` mean the same thing everywhere, and commands
+/// without a given format refuse the flag at parse time instead of
+/// silently ignoring it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text (the default everywhere).
+    #[default]
+    Text,
+    /// Machine-readable JSON.
+    Json,
+    /// CSV rows.
+    Csv,
+    /// Chrome `trace_event` JSON for Perfetto / `chrome://tracing`.
+    Trace,
+}
+
+impl fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OutputFormat::Text => "text",
+            OutputFormat::Json => "--json",
+            OutputFormat::Csv => "--csv",
+            OutputFormat::Trace => "--trace",
+        })
+    }
+}
+
+/// The machine formats `mcm sweep` can export.
+const SWEEP_FORMATS: [OutputFormat; 2] = [OutputFormat::Json, OutputFormat::Csv];
+
+/// Refuses formats a command has no renderer for, with the supported
+/// alternatives spelled out.
+fn ensure_output(
+    cmd: &str,
+    output: OutputFormat,
+    supported: &[OutputFormat],
+) -> Result<(), CliError> {
+    if output == OutputFormat::Text || supported.contains(&output) {
+        return Ok(());
+    }
+    let flags: Vec<String> = supported.iter().map(|f| f.to_string()).collect();
+    Err(CliError(if flags.is_empty() {
+        format!("'mcm {cmd}' has text output only ({output} is not supported)")
+    } else {
+        format!(
+            "'mcm {cmd}' does not support {output} (supported: {})",
+            flags.join(", ")
+        )
+    }))
+}
+
+/// Options of `mcm serve`: the long-lived HTTP/JSON service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Persistent result-store directory.
+    pub store: String,
+    /// Concurrent job slots.
+    pub jobs: usize,
+    /// Worker threads per job (None = RAYON_NUM_THREADS / all cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7700".to_string(),
+            store: "mcm-store".to_string(),
+            jobs: 2,
+            threads: None,
+        }
+    }
 }
 
 /// Options of `mcm fault`: build a deterministic [`mcm_fault::FaultPlan`]
@@ -103,8 +181,8 @@ pub struct FaultArgs {
     pub lose: Vec<u32>,
     /// Where to write the plan JSON (None = describe on stdout).
     pub out: Option<String>,
-    /// Print the plan as JSON instead of the description.
-    pub json: bool,
+    /// Output format (`--json` prints the plan instead of the description).
+    pub output: OutputFormat,
 }
 
 impl Default for FaultArgs {
@@ -114,7 +192,7 @@ impl Default for FaultArgs {
             channels: 4,
             lose: Vec::new(),
             out: None,
-            json: false,
+            output: OutputFormat::Text,
         }
     }
 }
@@ -144,20 +222,6 @@ impl Default for BenchArgs {
     }
 }
 
-/// What `mcm report` should emit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ReportOutput {
-    /// Human-readable counters, percentiles, kernel and span stats.
-    #[default]
-    Text,
-    /// The full observability report as JSON.
-    Json,
-    /// Per-channel counters and latency percentiles as CSV rows.
-    Csv,
-    /// Chrome `trace_event` JSON for Perfetto / `chrome://tracing`.
-    Trace,
-}
-
 /// Options of `mcm report`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportArgs {
@@ -170,7 +234,7 @@ pub struct ReportArgs {
     /// Cap on simulated operations (None = the whole frame).
     pub op_limit: Option<u64>,
     /// Export format.
-    pub output: ReportOutput,
+    pub output: OutputFormat,
 }
 
 impl Default for ReportArgs {
@@ -180,21 +244,9 @@ impl Default for ReportArgs {
             timeline_bucket_us: 1,
             histogram: false,
             op_limit: None,
-            output: ReportOutput::Text,
+            output: OutputFormat::Text,
         }
     }
-}
-
-/// What `mcm sweep` should export.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SweepOutput {
-    /// Human-readable table plus run statistics.
-    #[default]
-    Text,
-    /// Deterministic JSON rows.
-    Json,
-    /// Deterministic CSV rows.
-    Csv,
 }
 
 /// Options of `mcm sweep`. The default grid is the paper's Fig. 4/5 grid:
@@ -214,7 +266,7 @@ pub struct SweepArgs {
     /// Cap on simulated operations per point.
     pub op_limit: Option<u64>,
     /// Export format.
-    pub output: SweepOutput,
+    pub output: OutputFormat,
     /// Print per-point progress to stderr.
     pub progress: bool,
     /// Statically prune infeasible points before simulating
@@ -231,7 +283,7 @@ impl Default for SweepArgs {
             threads: None,
             cache: None,
             op_limit: None,
-            output: SweepOutput::Text,
+            output: OutputFormat::Text,
             progress: false,
             prelint: false,
         }
@@ -259,8 +311,8 @@ pub struct RunOptions {
     pub chunk: ChunkPolicy,
     /// Arrival pacing.
     pub pacing: Pacing,
-    /// Emit machine-readable JSON instead of text.
-    pub json: bool,
+    /// Output format (`--json` where the command supports it).
+    pub output: OutputFormat,
     /// Viewfinder-only mode (no encoding/storage traffic).
     pub viewfinder: bool,
     /// Run the conformance checks alongside the simulation.
@@ -283,7 +335,7 @@ impl Default for RunOptions {
             granule: 16,
             chunk: ChunkPolicy::PerChannel(64),
             pacing: Pacing::Greedy,
-            json: false,
+            output: OutputFormat::Text,
             viewfinder: false,
             verify: false,
             faults: None,
@@ -403,7 +455,9 @@ fn parse_run_options<'a>(mut args: impl Iterator<Item = &'a str>) -> Result<RunO
             }
             "--chunk" => opts.chunk = parse_chunk(value()?)?,
             "--paced" => opts.pacing = Pacing::Paced,
-            "--json" => opts.json = true,
+            "--json" => opts.output = OutputFormat::Json,
+            "--csv" => opts.output = OutputFormat::Csv,
+            "--trace" => opts.output = OutputFormat::Trace,
             "--viewfinder" => opts.viewfinder = true,
             "--verify" => opts.verify = true,
             "--faults" => opts.faults = Some(value()?.to_string()),
@@ -435,12 +489,36 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
         "fig5" => Ok(Command::Fig5),
         "xdr" => Ok(Command::Xdr),
         "repro" => Ok(Command::Repro),
-        "run" => Ok(Command::Run(parse_run_options(it)?)),
-        "check" => Ok(Command::Check(parse_run_options(it)?)),
-        "lint" => Ok(Command::Lint(parse_run_options(it)?)),
-        "headroom" => Ok(Command::Headroom(parse_run_options(it)?)),
-        "profile" => Ok(Command::Profile(parse_run_options(it)?)),
-        "config-dump" => Ok(Command::ConfigDump(parse_run_options(it)?)),
+        "run" => {
+            let o = parse_run_options(it)?;
+            ensure_output("run", o.output, &[OutputFormat::Json])?;
+            Ok(Command::Run(o))
+        }
+        "check" => {
+            let o = parse_run_options(it)?;
+            ensure_output("check", o.output, &[OutputFormat::Json])?;
+            Ok(Command::Check(o))
+        }
+        "lint" => {
+            let o = parse_run_options(it)?;
+            ensure_output("lint", o.output, &[OutputFormat::Json])?;
+            Ok(Command::Lint(o))
+        }
+        "headroom" => {
+            let o = parse_run_options(it)?;
+            ensure_output("headroom", o.output, &[])?;
+            Ok(Command::Headroom(o))
+        }
+        "profile" => {
+            let o = parse_run_options(it)?;
+            ensure_output("profile", o.output, &[])?;
+            Ok(Command::Profile(o))
+        }
+        "config-dump" => {
+            let o = parse_run_options(it)?;
+            ensure_output("config-dump", o.output, &[])?;
+            Ok(Command::ConfigDump(o))
+        }
         "datasheet" => {
             let mut device = "mobile".to_string();
             let mut clock = 400u64;
@@ -489,10 +567,9 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     i += 1;
                 }
             }
-            Ok(Command::Timeline {
-                options: parse_run_options(filtered.into_iter())?,
-                cycles,
-            })
+            let options = parse_run_options(filtered.into_iter())?;
+            ensure_output("timeline", options.output, &[])?;
+            Ok(Command::Timeline { options, cycles })
         }
         "config-run" => {
             let path = it
@@ -522,6 +599,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             }
             let path = path.ok_or_else(|| CliError(format!("{cmd} requires {flag} <path>")))?;
             let options = parse_run_options(filtered.into_iter())?;
+            ensure_output(cmd, options.output, &[])?;
             Ok(if cmd == "trace-dump" {
                 Command::TraceDump { options, out: path }
             } else {
@@ -576,8 +654,11 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                                 .map_err(|_| CliError("bad --op-limit value".into()))?,
                         )
                     }
-                    "--json" => a.output = SweepOutput::Json,
-                    "--csv" => a.output = SweepOutput::Csv,
+                    "--json" => a.output = OutputFormat::Json,
+                    "--csv" => a.output = OutputFormat::Csv,
+                    "--trace" => {
+                        ensure_output("sweep", OutputFormat::Trace, &SWEEP_FORMATS)?;
+                    }
                     "--progress" => a.progress = true,
                     "--prelint" => a.prelint = true,
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
@@ -643,11 +724,50 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                             .collect::<Result<_, _>>()?
                     }
                     "--out" => a.out = Some(value()?.to_string()),
-                    "--json" => a.json = true,
+                    "--json" => a.output = OutputFormat::Json,
+                    "--csv" | "--trace" => {
+                        let format = if flag == "--csv" {
+                            OutputFormat::Csv
+                        } else {
+                            OutputFormat::Trace
+                        };
+                        ensure_output("fault", format, &[OutputFormat::Json])?;
+                    }
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
                 }
             }
             Ok(Command::Fault(a))
+        }
+        "serve" => {
+            let mut a = ServeArgs::default();
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| CliError(format!("flag '{flag}' needs a value")))
+                };
+                match flag {
+                    "--addr" => a.addr = value()?.to_string(),
+                    "--store" => a.store = value()?.to_string(),
+                    "--jobs" => {
+                        a.jobs = value()?
+                            .parse()
+                            .map_err(|_| CliError("bad --jobs value".into()))?;
+                        if a.jobs == 0 {
+                            return Err(CliError("--jobs must be at least 1".into()));
+                        }
+                    }
+                    "--threads" => {
+                        a.threads = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| CliError("bad --threads value".into()))?,
+                        )
+                    }
+                    other => return Err(CliError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Serve(a))
         }
         "report" => {
             // Extract the report-specific flags, pass the rest to the
@@ -685,24 +805,16 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                         a.histogram = true;
                         i += 1;
                     }
-                    "--csv" => {
-                        a.output = ReportOutput::Csv;
-                        i += 1;
-                    }
-                    "--trace" => {
-                        a.output = ReportOutput::Trace;
-                        i += 1;
-                    }
                     other => {
                         filtered.push(other);
                         i += 1;
                     }
                 }
             }
+            // --json/--csv/--trace are run options now; report renders
+            // all of them.
             a.options = parse_run_options(filtered.into_iter())?;
-            if a.options.json && a.output == ReportOutput::Text {
-                a.output = ReportOutput::Json;
-            }
+            a.output = a.options.output;
             Ok(Command::Report(a))
         }
         "steady" => {
@@ -762,6 +874,8 @@ COMMANDS:
                 (MCM1xx + MCM4xx rules; --json for machines)
     fault       build a deterministic fault plan for --faults
                 (see FAULT OPTIONS)
+    serve       long-lived HTTP/JSON service: POST /runs, POST /sweeps,
+                GET /jobs/:id, persistent result store (see SERVE OPTIONS)
     headroom    maximum sustainable fps for a configuration
     steady      multi-frame session (add --frames N, default 30)
     profile     per-stage memory-time profile
@@ -812,6 +926,12 @@ BENCH OPTIONS:
     --repeats <N>       measured repeats per scenario    [5, quick: 3]
     --baseline <path>   fail on >20% headline events/sec regression
                         against a prior report           [no gate]
+
+SERVE OPTIONS:
+    --addr <host:port>  bind address (port 0 = ephemeral)  [127.0.0.1:7700]
+    --store <dir>       persistent result store            [mcm-store]
+    --jobs <N>          concurrent job slots               [2]
+    --threads <N>       worker threads per job             [RAYON_NUM_THREADS]
 
 SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
     --formats <comma list of formats>                  [all five]
@@ -893,7 +1013,7 @@ mod tests {
         assert_eq!(o.granule, 64);
         assert_eq!(o.chunk, ChunkPolicy::Fixed(256));
         assert_eq!(o.pacing, Pacing::Paced);
-        assert!(o.json);
+        assert_eq!(o.output, OutputFormat::Json);
     }
 
     #[test]
@@ -929,7 +1049,7 @@ mod tests {
             panic!("expected check");
         };
         assert_eq!(o.channels, 8);
-        assert!(o.json);
+        assert_eq!(o.output, OutputFormat::Json);
         let Command::Run(o) = parse_args(["run", "--verify"]).unwrap() else {
             panic!("expected run");
         };
@@ -948,7 +1068,7 @@ mod tests {
         let Command::Lint(o) = parse_args(["lint", "--json"]).unwrap() else {
             panic!("expected lint");
         };
-        assert!(o.json);
+        assert_eq!(o.output, OutputFormat::Json);
     }
 
     #[test]
@@ -994,7 +1114,7 @@ mod tests {
         assert_eq!(a.threads, Some(4));
         assert_eq!(a.cache.as_deref(), Some("/tmp/c"));
         assert_eq!(a.op_limit, Some(5000));
-        assert_eq!(a.output, SweepOutput::Csv);
+        assert_eq!(a.output, OutputFormat::Csv);
         assert!(a.progress);
         assert!(a.prelint);
         assert!(parse_args(["sweep", "--formats", "480i"]).is_err());
@@ -1007,7 +1127,7 @@ mod tests {
             panic!("expected report");
         };
         assert_eq!(a, ReportArgs::default());
-        assert_eq!(a.output, ReportOutput::Text);
+        assert_eq!(a.output, OutputFormat::Text);
         assert_eq!(a.timeline_bucket_us, 1);
 
         let Command::Report(a) = parse_args([
@@ -1031,7 +1151,7 @@ mod tests {
         assert_eq!(a.timeline_bucket_us, 50);
         assert!(a.histogram);
         assert_eq!(a.op_limit, Some(4000));
-        assert_eq!(a.output, ReportOutput::Trace);
+        assert_eq!(a.output, OutputFormat::Trace);
     }
 
     #[test]
@@ -1039,11 +1159,11 @@ mod tests {
         let Command::Report(a) = parse_args(["report", "--json"]).unwrap() else {
             panic!("expected report");
         };
-        assert_eq!(a.output, ReportOutput::Json);
+        assert_eq!(a.output, OutputFormat::Json);
         let Command::Report(a) = parse_args(["report", "--csv"]).unwrap() else {
             panic!("expected report");
         };
-        assert_eq!(a.output, ReportOutput::Csv);
+        assert_eq!(a.output, OutputFormat::Csv);
 
         assert!(parse_args(["report", "--timeline-bucket"]).is_err());
         assert!(parse_args(["report", "--timeline-bucket", "0"]).is_err());
@@ -1112,7 +1232,7 @@ mod tests {
         assert_eq!(a.channels, 8);
         assert_eq!(a.lose, vec![0, 3]);
         assert_eq!(a.out.as_deref(), Some("/tmp/plan.json"));
-        assert!(a.json);
+        assert_eq!(a.output, OutputFormat::Json);
 
         assert!(parse_args(["fault", "--seed", "many"]).is_err());
         assert!(parse_args(["fault", "--lose", "zero"]).is_err());
@@ -1141,5 +1261,84 @@ mod tests {
         };
         assert_eq!(o.point, HdOperatingPoint::Uhd2160p30);
         assert_eq!(o.channels, 8);
+    }
+
+    #[test]
+    fn output_formats_are_uniform_flags() {
+        // One selector, same spelling everywhere.
+        let Command::Run(o) = parse_args(["run", "--json"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.output, OutputFormat::Json);
+        let Command::Report(a) = parse_args(["report", "--csv"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(a.output, OutputFormat::Csv);
+        let Command::Sweep(a) = parse_args(["sweep", "--csv"]).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a.output, OutputFormat::Csv);
+        let Command::Fault(a) = parse_args(["fault", "--json"]).unwrap() else {
+            panic!("expected fault");
+        };
+        assert_eq!(a.output, OutputFormat::Json);
+    }
+
+    #[test]
+    fn unsupported_formats_are_refused_per_command() {
+        // run/check/lint render text or JSON only.
+        for cmd in ["run", "check", "lint"] {
+            let e = parse_args([cmd, "--csv"]).unwrap_err().to_string();
+            assert!(e.contains("does not support --csv"), "{cmd}: {e}");
+            let e = parse_args([cmd, "--trace"]).unwrap_err().to_string();
+            assert!(e.contains("does not support --trace"), "{cmd}: {e}");
+        }
+        // Text-only commands refuse every machine format loudly.
+        for cmd in ["headroom", "profile", "config-dump"] {
+            let e = parse_args([cmd, "--json"]).unwrap_err().to_string();
+            assert!(e.contains("text output only"), "{cmd}: {e}");
+        }
+        // sweep exports JSON and CSV but has no trace renderer.
+        let e = parse_args(["sweep", "--trace"]).unwrap_err().to_string();
+        assert!(e.contains("does not support --trace"), "{e}");
+        assert!(e.contains("--json, --csv"), "{e}");
+        // fault prints text or JSON.
+        let e = parse_args(["fault", "--csv"]).unwrap_err().to_string();
+        assert!(e.contains("does not support --csv"), "{e}");
+    }
+
+    #[test]
+    fn serve_defaults_and_knobs() {
+        let Command::Serve(a) = parse_args(["serve"]).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(a, ServeArgs::default());
+        assert_eq!(a.addr, "127.0.0.1:7700");
+        assert_eq!(a.store, "mcm-store");
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.threads, None);
+
+        let Command::Serve(a) = parse_args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--store",
+            "/tmp/history",
+            "--jobs",
+            "4",
+            "--threads",
+            "2",
+        ])
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(a.addr, "127.0.0.1:0");
+        assert_eq!(a.store, "/tmp/history");
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.threads, Some(2));
+
+        assert!(parse_args(["serve", "--jobs", "0"]).is_err());
+        assert!(parse_args(["serve", "--jobs", "many"]).is_err());
+        assert!(parse_args(["serve", "--bogus"]).is_err());
     }
 }

@@ -5,8 +5,7 @@ use mcm_load::UseCase;
 use mcm_sweep::ParallelRunner;
 
 use crate::args::{
-    CliError, Command, FaultArgs, ReportArgs, ReportOutput, RunOptions, SweepArgs, SweepOutput,
-    USAGE,
+    CliError, Command, FaultArgs, OutputFormat, ReportArgs, RunOptions, ServeArgs, SweepArgs, USAGE,
 };
 
 fn build_experiment(o: &RunOptions) -> Experiment {
@@ -101,7 +100,7 @@ fn run_one(o: &RunOptions) -> Result<String, CliError> {
             .expect("single-frame outcome");
         (r, None)
     };
-    if o.json {
+    if o.output == OutputFormat::Json {
         let p99 = r
             .report
             .channels
@@ -348,7 +347,27 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         }
         Command::Bench(a) => run_bench_cmd(a),
         Command::Fault(a) => run_fault(a),
+        Command::Serve(a) => run_serve(a),
     }
+}
+
+/// `mcm serve`: bind the HTTP/JSON service and handle requests until a
+/// `POST /shutdown` arrives. The bound address is printed up front (and
+/// flushed) so scripts using an ephemeral port can discover it.
+fn run_serve(a: &ServeArgs) -> Result<String, CliError> {
+    use std::io::Write;
+
+    let config = mcm_serve::ServeConfig {
+        addr: a.addr.clone(),
+        store_dir: std::path::PathBuf::from(&a.store),
+        max_jobs: a.jobs,
+        threads: a.threads,
+    };
+    let server = mcm_serve::Server::bind(config).map_err(|e| CliError(format!("serve: {e}")))?;
+    println!("mcm serve listening on http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| CliError(format!("serve: {e}")))?;
+    Ok("mcm serve: shut down cleanly\n".to_string())
 }
 
 /// `mcm fault`: build a deterministic fault plan — the seeded mixed
@@ -392,7 +411,11 @@ fn run_fault(a: &FaultArgs) -> Result<String, CliError> {
             plan.faults.len()
         ));
     }
-    Ok(if a.json { json } else { plan.describe() })
+    Ok(if a.output == OutputFormat::Json {
+        json
+    } else {
+        plan.describe()
+    })
 }
 
 /// `mcm report`: run one experiment with a [`mcm_obs::StatsRecorder`]
@@ -418,10 +441,10 @@ fn run_report(a: &ReportArgs) -> Result<String, CliError> {
 
     let report = rec.report();
     Ok(match a.output {
-        ReportOutput::Json => report.to_json() + "\n",
-        ReportOutput::Csv => report.to_csv(),
-        ReportOutput::Trace => report.to_chrome_trace() + "\n",
-        ReportOutput::Text => {
+        OutputFormat::Json => report.to_json() + "\n",
+        OutputFormat::Csv => report.to_csv(),
+        OutputFormat::Trace => report.to_chrome_trace() + "\n",
+        OutputFormat::Text => {
             let o = &a.options;
             let mut out = format!(
                 "observed {} on {} ch x 32-bit mobile DDR @ {} MHz ({}, {}, {})\n\n",
@@ -511,9 +534,10 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
     };
     let result = mcm_sweep::run_sweep(&spec, &options).map_err(|e| CliError(e.to_string()))?;
     match a.output {
-        SweepOutput::Json => Ok(result.to_json() + "\n"),
-        SweepOutput::Csv => Ok(result.to_csv()),
-        SweepOutput::Text => {
+        OutputFormat::Json => Ok(result.to_json() + "\n"),
+        OutputFormat::Csv => Ok(result.to_csv()),
+        // The parser refuses --trace for sweep; Text is the fallback.
+        OutputFormat::Text | OutputFormat::Trace => {
             let mut out = format!(
                 "{:<28} {:>4} {:>6} {:>10} {:>10} {:>9} {:>10}\n",
                 "point", "ch", "MHz", "access ms", "budget ms", "verdict", "power mW"
@@ -557,7 +581,7 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
 fn run_check(o: &RunOptions) -> Result<String, CliError> {
     let mut findings = check_findings(o)?;
     findings.sort_by_severity();
-    let out = if o.json {
+    let out = if o.output == OutputFormat::Json {
         let mut j = serde_json::json!({
             "format": o.point.to_string(),
             "channels": o.channels,
@@ -603,7 +627,7 @@ fn run_lint(o: &RunOptions) -> Result<String, CliError> {
     findings.merge(mcm_analyze::analyze_experiment(&exp));
     findings.sort_by_severity();
     let rules_checked = mcm_verify::config::CONFIG_RULES.len() + mcm_analyze::ANALYZE_RULES.len();
-    let out = if o.json {
+    let out = if o.output == OutputFormat::Json {
         let mut j = serde_json::json!({
             "format": o.point.to_string(),
             "channels": o.channels,

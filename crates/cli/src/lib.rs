@@ -21,5 +21,5 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, CliError, Command, RunOptions};
+pub use args::{parse_args, CliError, Command, OutputFormat, RunOptions, ServeArgs};
 pub use commands::execute;

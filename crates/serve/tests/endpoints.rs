@@ -1,0 +1,308 @@
+//! End-to-end tests over a real socket: a [`Server`] bound to an ephemeral
+//! port, driven by a hand-rolled HTTP client. These pin the service
+//! contract the CLI smoke job and external clients rely on — most
+//! importantly that a duplicate `POST /runs` is answered from the store
+//! without the executor simulating anything.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mcm_serve::{ServeConfig, Server};
+
+/// One parsed HTTP response: status code and JSON body.
+struct Reply {
+    status: u16,
+    body: serde::Value,
+}
+
+/// Sends one request and reads the full response (the server closes the
+/// connection after answering, so read-to-end terminates).
+fn call(addr: std::net::SocketAddr, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("server accepts connections");
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response is UTF-8");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {raw:?}"));
+    let json_text = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let body = if json_text.trim().is_empty() {
+        serde::Value::Null
+    } else {
+        serde_json::from_str(json_text.trim())
+            .unwrap_or_else(|e| panic!("response body is not JSON ({e:?}): {json_text}"))
+    };
+    Reply { status, body }
+}
+
+/// A running server on an ephemeral port with a throwaway store.
+struct Harness {
+    addr: std::net::SocketAddr,
+    store_dir: std::path::PathBuf,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Harness {
+    fn start(name: &str, max_jobs: usize) -> Harness {
+        let store_dir =
+            std::env::temp_dir().join(format!("mcm-serve-e2e-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: store_dir.clone(),
+            max_jobs,
+            threads: Some(1),
+        };
+        let server = Arc::new(Server::bind(config).expect("ephemeral bind succeeds"));
+        let addr = server.local_addr();
+        let runner = Arc::clone(&server);
+        let thread = std::thread::spawn(move || {
+            runner.run().expect("server loop exits cleanly");
+        });
+        Harness {
+            addr,
+            store_dir,
+            thread: Some(thread),
+        }
+    }
+
+    fn call(&self, method: &str, path: &str, body: Option<&str>) -> Reply {
+        call(self.addr, method, path, body)
+    }
+
+    /// Polls a job until it reaches a terminal state.
+    fn wait_terminal(&self, job: u64) -> serde::Value {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let reply = self.call("GET", &format!("/jobs/{job}"), None);
+            assert_eq!(reply.status, 200, "{:?}", reply.body);
+            let status = reply
+                .body
+                .get("status")
+                .and_then(|v| v.as_str())
+                .unwrap_or_default()
+                .to_string();
+            if matches!(status.as_str(), "done" | "cancelled" | "failed") {
+                return reply.body;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "job {job} still `{status}` after 60s"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn simulated_points(&self) -> u64 {
+        let health = self.call("GET", "/healthz", None);
+        assert_eq!(health.status, 200);
+        health
+            .body
+            .get("simulated_points")
+            .and_then(|v| v.as_u64())
+            .expect("healthz reports simulated_points")
+    }
+
+    fn shutdown(mut self) {
+        let reply = self.call("POST", "/shutdown", None);
+        assert_eq!(reply.status, 200);
+        self.thread
+            .take()
+            .expect("server thread still running")
+            .join()
+            .expect("server thread exits without panicking");
+        let _ = std::fs::remove_dir_all(&self.store_dir);
+    }
+}
+
+/// A fast healthy run body: the paper headline coordinates, op-limited to
+/// the repo's established quick-test budget.
+const SMALL_RUN: &str =
+    r#"{"format": "1080p30", "channels": 4, "clock_mhz": 400, "op_limit": 2000}"#;
+
+#[test]
+fn health_routing_and_refusals() {
+    let h = Harness::start("routing", 1);
+
+    let health = h.call("GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.body.get("status").and_then(|v| v.as_str()),
+        Some("ok")
+    );
+
+    assert_eq!(h.call("GET", "/nope", None).status, 404);
+    assert_eq!(h.call("PUT", "/runs", None).status, 405);
+    assert_eq!(h.call("GET", "/jobs/zero", None).status, 400);
+    assert_eq!(h.call("GET", "/jobs/999", None).status, 404);
+
+    let bad = h.call("POST", "/runs", Some("{not json"));
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.get("error").is_some());
+
+    // Unknown run options are refusals, not silent defaults.
+    let typo = h.call("POST", "/runs", Some(r#"{"run": {"verfy": true}}"#));
+    assert_eq!(typo.status, 400);
+
+    h.shutdown();
+}
+
+#[test]
+fn infeasible_submissions_carry_a_witness() {
+    let h = Harness::start("infeasible", 1);
+
+    // UHD on one channel cannot meet the frame budget; the analyzer's
+    // report rides along as the machine-readable witness.
+    let reply = h.call(
+        "POST",
+        "/runs",
+        Some(r#"{"format": "2160p30", "channels": 1, "clock_mhz": 400}"#),
+    );
+    assert_eq!(reply.status, 422, "{:?}", reply.body);
+    let reason = reply
+        .body
+        .get("error")
+        .and_then(|v| v.as_str())
+        .expect("422 carries an error string");
+    assert!(reason.starts_with("MCM4"), "{reason}");
+    assert!(reply.body.get("witness").is_some());
+
+    // Nothing was queued and nothing simulated.
+    assert_eq!(h.simulated_points(), 0);
+    h.shutdown();
+}
+
+#[test]
+fn duplicate_run_is_answered_from_the_store() {
+    let h = Harness::start("dedup", 1);
+
+    // First submission: queued, simulated, completed.
+    let first = h.call("POST", "/runs", Some(SMALL_RUN));
+    assert_eq!(first.status, 202, "{:?}", first.body);
+    assert_eq!(
+        first.body.get("cached").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    let job = first.body.get("job").and_then(|v| v.as_u64()).unwrap();
+
+    let done = h.wait_terminal(job);
+    assert_eq!(done.get("status").and_then(|v| v.as_str()), Some("done"));
+    let result = done.get("result").expect("finished run carries a result");
+    assert!(result.get("record").is_some(), "{result:?}");
+    let simulated_once = h.simulated_points();
+    assert_eq!(simulated_once, 1);
+
+    // The acceptance pin: an identical submission returns the stored
+    // result instantly — 200 (not 202), cached, and the executor's
+    // simulation counter does not move.
+    let second = h.call("POST", "/runs", Some(SMALL_RUN));
+    assert_eq!(second.status, 200, "{:?}", second.body);
+    assert_eq!(
+        second.body.get("cached").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    assert_eq!(
+        second.body.get("status").and_then(|v| v.as_str()),
+        Some("done")
+    );
+    assert!(second.body.get("result").is_some());
+    assert_eq!(h.simulated_points(), simulated_once);
+
+    // A *different* experiment is not a store hit.
+    let other = h.call(
+        "POST",
+        "/runs",
+        Some(r#"{"format": "1080p30", "channels": 2, "clock_mhz": 400, "op_limit": 2000}"#),
+    );
+    assert_eq!(other.status, 202, "{:?}", other.body);
+    let other_job = other.body.get("job").and_then(|v| v.as_u64()).unwrap();
+    h.wait_terminal(other_job);
+    assert_eq!(h.simulated_points(), simulated_once + 1);
+
+    // Both jobs are listed, results elided from the listing.
+    let listing = h.call("GET", "/jobs", None);
+    assert_eq!(listing.status, 200);
+    let jobs = match listing.body.get("jobs") {
+        Some(serde::Value::Array(a)) => a.clone(),
+        other => panic!("expected jobs array, got {other:?}"),
+    };
+    assert!(jobs.len() >= 3, "store-hit job is listed too: {jobs:?}");
+    for j in &jobs {
+        assert!(j.get("result").is_none(), "listing elides results: {j:?}");
+    }
+
+    h.shutdown();
+}
+
+#[test]
+fn cancelling_a_sweep_leaves_the_store_consistent() {
+    // One executor slot: the first sweep occupies it, so the second is
+    // deterministically still queued when the cancel lands.
+    let h = Harness::start("cancel", 1);
+
+    let occupant = h.call(
+        "POST",
+        "/sweeps",
+        Some(r#"{"spec": {"channels": [4], "op_limit": 2000}}"#),
+    );
+    assert_eq!(occupant.status, 202, "{:?}", occupant.body);
+    let occupant_job = occupant.body.get("job").and_then(|v| v.as_u64()).unwrap();
+
+    let victim = h.call(
+        "POST",
+        "/sweeps",
+        Some(r#"{"spec": {"channels": [1, 2, 4, 8], "op_limit": 2000}}"#),
+    );
+    assert_eq!(victim.status, 202, "{:?}", victim.body);
+    assert_eq!(victim.body.get("total").and_then(|v| v.as_u64()), Some(4));
+    let victim_job = victim.body.get("job").and_then(|v| v.as_u64()).unwrap();
+
+    let cancel = h.call("DELETE", &format!("/jobs/{victim_job}"), None);
+    assert_eq!(cancel.status, 200, "{:?}", cancel.body);
+    let doc = h.wait_terminal(victim_job);
+    let status = doc.get("status").and_then(|v| v.as_str()).unwrap();
+    // The sweep may have slipped into the freed slot before the cancel
+    // landed; either way it must reach a clean terminal state.
+    assert!(
+        matches!(status, "cancelled" | "done"),
+        "unexpected terminal state {status}"
+    );
+
+    // Cancelling a finished job reports `cancelled: false`, not an error.
+    h.wait_terminal(occupant_job);
+    let late = h.call("DELETE", &format!("/jobs/{occupant_job}"), None);
+    assert_eq!(late.status, 200);
+    assert_eq!(
+        late.body.get("cancelled").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+
+    // The store survived: health is clean and the cancelled spec can be
+    // resubmitted and run to completion.
+    let retry = h.call(
+        "POST",
+        "/sweeps",
+        Some(r#"{"spec": {"channels": [1, 2, 4, 8], "op_limit": 2000}}"#),
+    );
+    assert_eq!(retry.status, 202, "{:?}", retry.body);
+    let retry_job = retry.body.get("job").and_then(|v| v.as_u64()).unwrap();
+    let done = h.wait_terminal(retry_job);
+    assert_eq!(done.get("status").and_then(|v| v.as_str()), Some("done"));
+    let result = done.get("result").expect("finished sweep carries a result");
+    assert!(result.get("stats").is_some(), "{result:?}");
+
+    h.shutdown();
+}

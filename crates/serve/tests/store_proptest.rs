@@ -1,0 +1,131 @@
+//! Property tests for the result store: any constructible [`PointRecord`]
+//! must survive a put/get round trip byte-faithfully, and the on-disk
+//! index must reload exactly what was appended. The store is the service's
+//! long-term memory — a lossy round trip would silently corrupt the
+//! dedup guarantee (`POST /runs` answering from a record that differs
+//! from what was simulated).
+
+use mcm_serve::ResultStore;
+use mcm_sweep::PointRecord;
+use proptest::prelude::*;
+
+/// A fresh throwaway store directory per test case.
+fn temp_store(tag: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mcm-serve-proptest-{tag:016x}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Any record the simulator could plausibly distill: feasible records
+/// carry metrics, infeasible ones carry a reason, and the byte counters
+/// cover the op-limited (`simulated < planned`) case.
+fn arb_record() -> impl Strategy<Value = PointRecord> {
+    (
+        any::<bool>(),
+        (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..5000.0),
+        (
+            0.0f64..5000.0,
+            0.0f64..1.0,
+            0.0f64..500.0,
+            0.0f64..100_000.0,
+        ),
+        (0u64..u64::MAX / 2, 0u64..u64::MAX / 2, 0.01f64..100.0),
+        any::<u64>(),
+        0usize..3,
+    )
+        .prop_map(
+            |(
+                feasible,
+                (access, budget, core),
+                (interface, eff, energy, p99),
+                (planned, simulated, peak),
+                reason_seed,
+                verdict_idx,
+            )| {
+                let verdict = ["meets", "marginal", "fails"][verdict_idx];
+                let reason = format!("frame exceeds capacity by {reason_seed} bytes");
+                if feasible {
+                    PointRecord {
+                        feasible: true,
+                        infeasible_reason: None,
+                        access_ms: Some(access),
+                        budget_ms: Some(budget),
+                        verdict: Some(verdict.to_string()),
+                        core_mw: Some(core),
+                        interface_mw: Some(interface),
+                        efficiency: Some(eff),
+                        energy_per_bit_pj: Some(energy),
+                        latency_p99_ns: Some(p99),
+                        planned_bytes: planned,
+                        simulated_bytes: simulated.min(planned),
+                        peak_gbytes_per_s: peak,
+                    }
+                } else {
+                    PointRecord {
+                        feasible: false,
+                        infeasible_reason: Some(reason),
+                        access_ms: None,
+                        budget_ms: None,
+                        verdict: None,
+                        core_mw: None,
+                        interface_mw: None,
+                        efficiency: None,
+                        energy_per_bit_pj: None,
+                        latency_p99_ns: None,
+                        planned_bytes: planned,
+                        simulated_bytes: 0,
+                        peak_gbytes_per_s: peak,
+                    }
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// put → get returns the identical record, both through the live
+    /// store instance and through a freshly reopened one (disk truth).
+    #[test]
+    fn records_round_trip_through_the_store(record in arb_record(), key in any::<u64>()) {
+        let dir = temp_store(key ^ 0x51_04E);
+        {
+            let store = ResultStore::open(&dir).expect("store opens");
+            store.put(key, &record).expect("put succeeds");
+            let live = store.get(key);
+            prop_assert_eq!(live.as_ref(), Some(&record));
+            prop_assert_eq!(store.get(key.wrapping_add(1)), None);
+        }
+        let reopened = ResultStore::open(&dir).expect("store reopens");
+        let from_disk = reopened.get(key);
+        prop_assert_eq!(from_disk.as_ref(), Some(&record));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The index survives reopen: every appended entry is there exactly
+    /// once, duplicates collapse, and entry count matches.
+    #[test]
+    fn index_reloads_what_was_appended(keys in prop::collection::vec(any::<u64>(), 1..20)) {
+        let dir = temp_store(keys.iter().fold(0x1DE_u64, |a, k| a.wrapping_mul(31).wrapping_add(*k)));
+        let unique: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        {
+            let store = ResultStore::open(&dir).expect("store opens");
+            for (i, key) in keys.iter().enumerate() {
+                store.index(*key, &format!("point-{i}"), "run");
+                // A second append of the same key must not duplicate.
+                store.index(*key, &format!("point-{i}-again"), "run");
+            }
+            prop_assert_eq!(store.indexed().len(), unique.len());
+        }
+        let reopened = ResultStore::open(&dir).expect("store reopens");
+        let entries = reopened.indexed();
+        prop_assert_eq!(entries.len(), unique.len());
+        let reloaded: std::collections::BTreeSet<u64> =
+            entries.iter().map(|e| e.key).collect();
+        prop_assert_eq!(reloaded, unique);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

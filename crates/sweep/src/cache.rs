@@ -17,10 +17,7 @@ use mcm_core::{CoreError, Experiment, FrameResult, RunOptions};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SweepError;
-
-/// Bump when [`PointRecord`]'s layout or semantics change: old cache
-/// entries then miss instead of deserializing into the wrong shape.
-const SCHEMA_VERSION: u32 = 1;
+use crate::key::content_key;
 
 /// The distilled, serializable result of one sweep point.
 ///
@@ -138,24 +135,12 @@ impl ResultCache {
         &self.dir
     }
 
-    /// Content fingerprint of one sweep point: FNV-1a over the canonical
-    /// JSON of the experiment, its run options and the cache schema
-    /// version. Two points share a fingerprint iff their full
+    /// Content fingerprint of one sweep point: the shared
+    /// [`content_key`](crate::content_key) over the experiment and its run
+    /// options. Two points share a fingerprint iff their full
     /// configurations are identical.
     pub fn fingerprint(exp: &Experiment, run: &RunOptions) -> Result<u64, SweepError> {
-        let json = serde_json::to_string(&(exp, run)).map_err(|e| SweepError::BadOptions {
-            reason: format!("unserializable experiment: {e:?}"),
-        })?;
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in json
-            .as_bytes()
-            .iter()
-            .chain(SCHEMA_VERSION.to_le_bytes().iter())
-        {
-            hash ^= *byte as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        Ok(hash)
+        content_key(exp, run)
     }
 
     fn entry_path(&self, fingerprint: u64) -> PathBuf {

@@ -1,25 +1,28 @@
-//! The parallel, cached sweep executor.
+//! The parallel, cached sweep front end.
 //!
-//! [`run_sweep`] expands a [`SweepSpec`], consults the optional
-//! [`ResultCache`], simulates the misses on a rayon thread pool, and
-//! returns results **in expansion order** regardless of thread count. A
-//! panicking or erroring point becomes a typed per-point error, not a dead
-//! sweep. The JSON/CSV exports deliberately exclude wall-clock data so a
-//! parallel run's output is byte-identical to a serial run's.
+//! [`run_sweep`] expands a [`SweepSpec`] into [`WorkItem`]s, submits them
+//! to an [`Executor`] (its own single-job [`RayonExecutor`] by default),
+//! blocks on the result, and returns outcomes **in expansion order**
+//! regardless of thread count. A panicking or erroring point becomes a
+//! typed per-point error, not a dead sweep. The JSON/CSV exports
+//! deliberately exclude wall-clock data so a parallel run's output is
+//! byte-identical to a serial run's; the provenance export
+//! ([`SweepResult::to_json_with_provenance`]) is the one that explains
+//! *how* each answer was produced.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use mcm_core::runner::{panic_message, run_isolated};
+use mcm_core::runner::run_isolated;
 use mcm_core::{BatchRunner, CoreError, Experiment, FrameResult, RunOptions};
 use mcm_load::HdOperatingPoint;
 use rayon::prelude::*;
 use serde::Serialize;
 
-use crate::cache::{PointRecord, ResultCache};
+use crate::cache::PointRecord;
 use crate::error::SweepError;
-use crate::spec::{SweepPoint, SweepSpec};
+use crate::exec::{Executor, RayonExecutor, WorkItem};
+use crate::spec::SweepSpec;
 
 /// How a sweep executes: worker threads, caching, per-point run options,
 /// live progress.
@@ -97,7 +100,7 @@ impl SweepOptions {
 /// or a typed per-point error.
 #[derive(Debug, Clone)]
 pub struct PointOutcome {
-    /// Human-readable coordinates (see [`SweepPoint::label`]).
+    /// Human-readable coordinates (see [`SweepPoint::label`](crate::SweepPoint)).
     pub label: String,
     /// Operating point of this cell.
     pub point: HdOperatingPoint,
@@ -112,6 +115,11 @@ pub struct PointOutcome {
     /// Whether the static analyzer answered this point (no simulation ran);
     /// the record's `infeasible_reason` then carries the `MCM4xx` witness.
     pub prelinted: bool,
+    /// Shared content key ([`content_key`](crate::content_key)) of this
+    /// point, when one was computed. Prelinted points carry `None` — they
+    /// bypass the keyed store entirely. Like [`PointOutcome::elapsed`],
+    /// this is run provenance: the deterministic exports exclude it.
+    pub key: Option<u64>,
     /// Wall-clock time spent on this point (lookup or simulation).
     pub elapsed: Duration,
     /// Observability distillation of this point's simulation, when
@@ -140,6 +148,28 @@ pub struct SweepStats {
     pub wall: Duration,
     /// The single slowest point's time and label.
     pub slowest: Option<(Duration, String)>,
+}
+
+impl Serialize for SweepStats {
+    // Hand-written: `Duration` fields serialize as milliseconds, and the
+    // `slowest` pair becomes a named object instead of a tuple.
+    fn to_value(&self) -> serde::Value {
+        serde_json::json!({
+            "total": self.total,
+            "simulated": self.simulated,
+            "cached": self.cached,
+            "prelinted": self.prelinted,
+            "infeasible": self.infeasible,
+            "failed": self.failed,
+            "wall_ms": self.wall.as_secs_f64() * 1e3,
+            "slowest": self.slowest.as_ref().map(|(t, label)| {
+                serde_json::json!({
+                    "ms": t.as_secs_f64() * 1e3,
+                    "label": label
+                })
+            })
+        })
+    }
 }
 
 impl core::fmt::Display for SweepStats {
@@ -212,6 +242,41 @@ impl SweepResult {
         serde_json::to_string_pretty(&self.export_rows()).expect("export rows are serializable")
     }
 
+    /// The provenance export: everything [`SweepResult::to_json`] carries
+    /// *plus*, per point, how the answer was produced — `cached` /
+    /// `prelinted` flags, the shared content key (the cache/store entry
+    /// name), wall-clock `elapsed_ms`, and the observability summary when
+    /// one was recorded — and the aggregate [`SweepStats`]. This is the
+    /// export server job results are built from; unlike `to_json()` it is
+    /// **not** stable across cache temperatures or thread counts.
+    pub fn to_json_with_provenance(&self) -> String {
+        let points: Vec<serde::Value> = self
+            .points
+            .iter()
+            .zip(self.export_rows())
+            .map(|(p, row)| {
+                serde_json::json!({
+                    "label": row.label,
+                    "format": row.format,
+                    "channels": row.channels,
+                    "clock_mhz": row.clock_mhz,
+                    "error": row.error,
+                    "record": row.record,
+                    "cached": p.cached,
+                    "prelinted": p.prelinted,
+                    "key": p.key.map(|k| format!("{k:016x}")),
+                    "elapsed_ms": p.elapsed.as_secs_f64() * 1e3,
+                    "obs": p.obs
+                })
+            })
+            .collect();
+        let value = serde_json::json!({
+            "points": points,
+            "stats": self.stats
+        });
+        serde_json::to_string_pretty(&value).expect("provenance rows are serializable")
+    }
+
     /// Deterministic CSV export with one row per point.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
@@ -247,194 +312,19 @@ impl SweepResult {
     }
 }
 
-/// The record a prelinted point gets instead of simulating: infeasible,
-/// with the analyzer's `"MCM4xx: …"` witness as the reason and the same
-/// empty metrics an engine-side `LayoutOverflow` produces.
-fn prelinted_record(reason: String) -> PointRecord {
-    PointRecord {
-        feasible: false,
-        infeasible_reason: Some(reason),
-        access_ms: None,
-        budget_ms: None,
-        verdict: None,
-        core_mw: None,
-        interface_mw: None,
-        efficiency: None,
-        energy_per_bit_pj: None,
-        latency_p99_ns: None,
-        planned_bytes: 0,
-        simulated_bytes: 0,
-        peak_gbytes_per_s: 0.0,
-    }
-}
-
-/// Runs one point with panic isolation, honoring the sweep's run options.
-fn simulate_point(exp: &Experiment, run: &RunOptions) -> Result<FrameResult, CoreError> {
-    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exp.run_with(run)));
-    match attempt {
-        Ok(outcome) => outcome?.into_frame().ok_or_else(|| CoreError::BadParam {
-            reason: "sweep run options must produce a single-frame result".into(),
-        }),
-        Err(payload) => Err(CoreError::Panicked {
-            message: panic_message(payload.as_ref()),
-        }),
-    }
-}
-
-/// Expands `spec` and executes every point under `options`.
-///
-/// Results come back in [`SweepSpec::expand`] order whatever the thread
-/// count; per-point failures are carried in [`PointOutcome::outcome`], and
-/// only sweep-level problems (empty axes, invalid options, an unusable
-/// cache directory) abort the call.
-pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult, SweepError> {
-    if options.run.frames != 1 {
-        return Err(SweepError::BadOptions {
-            reason: format!(
-                "sweeps are single-frame (got frames = {}); use run_steady_state for sessions",
-                options.run.frames
-            ),
-        });
-    }
-    let points = spec.expand()?;
-    let cache = match &options.cache_dir {
-        Some(dir) => Some(ResultCache::new(dir.clone())?),
-        None => None,
-    };
-    let started = Instant::now();
-    let done = AtomicUsize::new(0);
-    let total = points.len();
-
-    // Static pruning happens before the pool: each healthy point is paired
-    // with its MCM4xx refusal (if any), and the workers see the verdicts.
-    // Faulted points always keep `None` — graceful degradation (e.g. frame
-    // shedding after a channel loss) can rescue a point the static model
-    // condemns, so soundness only holds for healthy cells.
-    let work: Vec<(&SweepPoint, Option<String>)> = points
-        .iter()
-        .map(|point| {
-            let refusal = (options.prelint && point.faults.is_none())
-                .then(|| mcm_analyze::verdict(&point.experiment).reason())
-                .flatten();
-            (point, refusal)
-        })
-        .collect();
-
-    let execute = |(point, refusal): &(&SweepPoint, Option<String>)| -> PointOutcome {
-        let point_started = Instant::now();
-        if let Some(reason) = refusal {
-            // The analyzer already proved this point cannot work: answer it
-            // instantly, bypassing both the simulator and the cache.
-            let elapsed = point_started.elapsed();
-            if options.progress {
-                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[{k}/{total}] {} — infeasible (static: {reason}) ({:.0} ms)",
-                    point.label,
-                    elapsed.as_secs_f64() * 1e3
-                );
-            }
-            return PointOutcome {
-                label: point.label.clone(),
-                point: point.point,
-                channels: point.channels,
-                clock_mhz: point.clock_mhz,
-                outcome: Ok(prelinted_record(reason.clone())),
-                cached: false,
-                prelinted: true,
-                elapsed,
-                obs: None,
-            };
-        }
-        // The point's fault plan joins the run options before fingerprinting
-        // so degraded and healthy cells never share a cache entry. Points
-        // without a plan keep the sweep-wide options (and therefore the
-        // pre-fault fingerprints) untouched.
-        let point_run = match &point.faults {
-            Some(plan) => options.run.clone().with_faults(plan.clone()),
-            None => options.run.clone(),
-        };
-        let fingerprint = cache
-            .as_ref()
-            .map(|_| ResultCache::fingerprint(&point.experiment, &point_run));
-        let hit = match (&cache, &fingerprint) {
-            (Some(cache), Some(Ok(fp))) => cache.load(*fp),
-            _ => None,
-        };
-        let cached = hit.is_some();
-        let mut obs = None;
-        let outcome = match hit {
-            Some(record) => Ok(record),
-            None => {
-                let point_recorder = (options.observe && options.run.recorder.is_none())
-                    .then(|| std::sync::Arc::new(mcm_obs::StatsRecorder::new()));
-                let run = match &point_recorder {
-                    Some(rec) => point_run.clone().with_recorder(rec.clone()),
-                    None => point_run.clone(),
-                };
-                let outcome = PointRecord::from_result(simulate_point(&point.experiment, &run))
-                    .map_err(|source| SweepError::Point {
-                        label: point.label.clone(),
-                        source,
-                    });
-                obs = point_recorder.map(|rec| rec.report().summary());
-                outcome
-            }
-        };
-        if !cached {
-            if let (Some(cache), Some(Ok(fp)), Ok(record)) = (&cache, &fingerprint, &outcome) {
-                // Cache write failures degrade to uncached operation.
-                let _ = cache.store(*fp, record);
-            }
-        }
-        let elapsed = point_started.elapsed();
-        if options.progress {
-            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            let status = match &outcome {
-                Ok(r) if cached => "cached".to_string(),
-                Ok(r) if !r.feasible => "infeasible".to_string(),
-                Ok(r) => r.verdict.clone().unwrap_or_default(),
-                Err(e) => format!("failed: {e}"),
-            };
-            eprintln!(
-                "[{k}/{total}] {} — {status} ({:.0} ms)",
-                point.label,
-                elapsed.as_secs_f64() * 1e3
-            );
-        }
-        PointOutcome {
-            label: point.label.clone(),
-            point: point.point,
-            channels: point.channels,
-            clock_mhz: point.clock_mhz,
-            outcome,
-            cached,
-            prelinted: false,
-            elapsed,
-            obs,
-        }
-    };
-
-    let outcomes: Vec<PointOutcome> = match options.threads {
-        Some(n) => rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build()
-            .expect("thread pool construction cannot fail")
-            .install(|| work.par_iter().map(&execute).collect()),
-        None => work.par_iter().map(&execute).collect(),
-    };
-
+/// Folds executed outcomes into the aggregate counters.
+pub(crate) fn collect_stats(points: &[PointOutcome], wall: Duration) -> SweepStats {
     let mut stats = SweepStats {
-        total,
+        total: points.len(),
         simulated: 0,
         cached: 0,
         prelinted: 0,
         infeasible: 0,
         failed: 0,
-        wall: started.elapsed(),
+        wall,
         slowest: None,
     };
-    for o in &outcomes {
+    for o in points {
         match &o.outcome {
             Ok(record) => {
                 if o.prelinted {
@@ -459,15 +349,72 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
             stats.slowest = Some((o.elapsed, o.label.clone()));
         }
     }
-    Ok(SweepResult {
-        points: outcomes,
-        stats,
-    })
+    stats
 }
 
-/// A [`BatchRunner`] that executes batches on a rayon pool with per-point
-/// panic isolation — plug it into `mcm-core`'s figure builders to compute
-/// whole grids in parallel:
+/// Expands `spec` and executes every point under `options` on a private
+/// single-job [`RayonExecutor`] — the thin synchronous wrapper over the
+/// same machinery `mcm serve` drives asynchronously.
+///
+/// Results come back in [`SweepSpec::expand`] order whatever the thread
+/// count; per-point failures are carried in [`PointOutcome::outcome`], and
+/// only sweep-level problems (empty axes, invalid options, an unusable
+/// cache directory) abort the call.
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult, SweepError> {
+    run_sweep_on(&RayonExecutor::new(1), spec, options)
+}
+
+/// [`run_sweep`] over a caller-supplied [`Executor`]: submit one job,
+/// block on its outcomes, fold them back into a [`SweepResult`].
+pub fn run_sweep_on(
+    executor: &dyn Executor,
+    spec: &SweepSpec,
+    options: &SweepOptions,
+) -> Result<SweepResult, SweepError> {
+    if options.run.frames != 1 {
+        return Err(SweepError::BadOptions {
+            reason: format!(
+                "sweeps are single-frame (got frames = {}); use run_steady_state for sessions",
+                options.run.frames
+            ),
+        });
+    }
+    let points = spec.expand()?;
+    let items: Vec<WorkItem> = points
+        .iter()
+        .map(|p| WorkItem {
+            label: p.label.clone(),
+            experiment: p.experiment.clone(),
+            faults: p.faults.clone(),
+        })
+        .collect();
+    let started = Instant::now();
+    let job = executor.submit(items, options.clone())?;
+    let outcomes = executor.collect(job)?;
+    let points: Vec<PointOutcome> = points
+        .into_iter()
+        .zip(outcomes)
+        .map(|(p, o)| PointOutcome {
+            label: o.label,
+            point: p.point,
+            channels: p.channels,
+            clock_mhz: p.clock_mhz,
+            outcome: o.outcome,
+            cached: o.cached,
+            prelinted: o.prelinted,
+            key: o.key,
+            elapsed: o.elapsed,
+            obs: o.obs,
+        })
+        .collect();
+    let stats = collect_stats(&points, started.elapsed());
+    Ok(SweepResult { points, stats })
+}
+
+/// A [`BatchRunner`] that executes batches through the shared
+/// [`RayonExecutor`] scheduling path with per-point panic isolation —
+/// plug it into `mcm-core`'s figure builders to compute whole grids in
+/// parallel:
 ///
 /// ```
 /// use mcm_core::figures;
@@ -478,36 +425,34 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult
 /// ```
 #[derive(Debug, Default)]
 pub struct ParallelRunner {
-    pool: Option<rayon::ThreadPool>,
+    exec: RayonExecutor,
+    threads: Option<usize>,
 }
 
 impl ParallelRunner {
     /// Uses rayon's default worker count (`RAYON_NUM_THREADS`, then the
     /// machine).
     pub fn new() -> Self {
-        ParallelRunner { pool: None }
+        ParallelRunner {
+            exec: RayonExecutor::new(1),
+            threads: None,
+        }
     }
 
     /// Uses exactly `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
         ParallelRunner {
-            pool: Some(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .expect("thread pool construction cannot fail"),
-            ),
+            exec: RayonExecutor::new(1),
+            threads: Some(threads),
         }
     }
 }
 
 impl BatchRunner for ParallelRunner {
     fn run_batch(&self, experiments: &[Experiment]) -> Vec<Result<FrameResult, CoreError>> {
-        let work = || experiments.par_iter().map(run_isolated).collect();
-        match &self.pool {
-            Some(pool) => pool.install(work),
-            None => work(),
-        }
+        self.exec.run_inline(self.threads, || {
+            experiments.par_iter().map(run_isolated).collect()
+        })
     }
 }
 
@@ -599,6 +544,43 @@ mod tests {
         assert!(warm.points.iter().all(|p| p.obs.is_none()));
         assert_eq!(fresh.to_json(), warm.to_json());
         assert!(!fresh.to_json().contains("\"requests\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn provenance_export_explains_each_point() {
+        let dir = std::env::temp_dir().join(format!("mcm-sweep-prov-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = SweepOptions::default().with_cache_dir(dir.clone());
+        let fresh = run_sweep(&quick_spec(), &options).unwrap();
+        let warm = run_sweep(&quick_spec(), &options).unwrap();
+        // The deterministic export hides provenance; this one carries it.
+        assert_eq!(fresh.to_json(), warm.to_json());
+        let cold: serde::Value = serde_json::from_str(&fresh.to_json_with_provenance()).unwrap();
+        let hot: serde::Value = serde_json::from_str(&warm.to_json_with_provenance()).unwrap();
+        let cached = |v: &serde::Value, i: usize| {
+            v.get("points").unwrap().as_array().unwrap()[i]
+                .get("cached")
+                .unwrap()
+                .as_bool()
+                .unwrap()
+        };
+        for i in 0..3 {
+            assert!(!cached(&cold, i), "fresh run must not report cache hits");
+            assert!(cached(&hot, i), "warm run must report cache hits");
+        }
+        // The shared content key is the cache entry's file name.
+        let key = hot.get("points").unwrap().as_array().unwrap()[0]
+            .get("key")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(dir.join(format!("{key}.json")).exists());
+        // Aggregate stats ride along.
+        let stats = hot.get("stats").unwrap();
+        assert_eq!(stats.get("cached").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("simulated").unwrap().as_u64(), Some(0));
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -38,6 +38,19 @@ pub enum SweepError {
         /// The I/O or serialization problem.
         message: String,
     },
+    /// The job was cancelled before this point could run. Carried per
+    /// point: points that finished before the cancellation keep their
+    /// results.
+    Cancelled {
+        /// The point's human-readable label.
+        label: String,
+    },
+    /// An [`Executor`](crate::Executor) was asked about a job it does not
+    /// know (bad id, or a result that was already collected).
+    UnknownJob {
+        /// The offending job id.
+        job: u64,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -50,6 +63,15 @@ impl fmt::Display for SweepError {
             SweepError::Point { label, source } => write!(f, "point `{label}`: {source}"),
             SweepError::Cache { path, message } => {
                 write!(f, "result cache at `{path}`: {message}")
+            }
+            SweepError::Cancelled { label } => {
+                write!(f, "point `{label}`: cancelled before it could run")
+            }
+            SweepError::UnknownJob { job } => {
+                write!(
+                    f,
+                    "no job {job} (bad id, or its result was already collected)"
+                )
             }
         }
     }

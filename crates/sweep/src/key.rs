@@ -1,0 +1,78 @@
+//! Shared content-hash key computation.
+//!
+//! Both the sweep disk cache ([`ResultCache`](crate::ResultCache)) and the
+//! `mcm serve` result store address results by the same key: FNV-1a over
+//! the canonical JSON of the full [`Experiment`] plus the [`RunOptions`] it
+//! ran under, chained with a schema version. Keeping the computation in one
+//! place means the two keyspaces cannot drift — a record written by a sweep
+//! is found by the server and vice versa.
+
+use mcm_core::{Experiment, RunOptions};
+
+use crate::error::SweepError;
+
+/// Bump when the keyed record layout or semantics change: old entries then
+/// miss instead of deserializing into the wrong shape.
+pub const KEY_SCHEMA_VERSION: u32 = 1;
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Content key of one simulation: FNV-1a over the canonical JSON of the
+/// experiment, its run options and [`KEY_SCHEMA_VERSION`]. Two submissions
+/// share a key iff their full configurations are identical.
+///
+/// ```
+/// use mcm_core::{Experiment, RunOptions};
+/// use mcm_load::HdOperatingPoint;
+///
+/// let exp = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+/// let run = RunOptions::default();
+/// let a = mcm_sweep::content_key(&exp, &run).unwrap();
+/// let b = mcm_sweep::content_key(&exp, &run).unwrap();
+/// assert_eq!(a, b);
+/// ```
+pub fn content_key(exp: &Experiment, run: &RunOptions) -> Result<u64, SweepError> {
+    let json = serde_json::to_string(&(exp, run)).map_err(|e| SweepError::BadOptions {
+        reason: format!("unserializable experiment: {e:?}"),
+    })?;
+    let mut hash = FNV_OFFSET_BASIS;
+    for byte in json
+        .as_bytes()
+        .iter()
+        .chain(KEY_SCHEMA_VERSION.to_le_bytes().iter())
+    {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    Ok(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_load::HdOperatingPoint;
+
+    #[test]
+    fn key_matches_cache_fingerprint() {
+        // The sweep cache and the server store must share one keyspace.
+        let exp = Experiment::paper(HdOperatingPoint::Hd1080p60, 8, 400);
+        for run in [RunOptions::default(), RunOptions::verified()] {
+            assert_eq!(
+                content_key(&exp, &run).unwrap(),
+                crate::ResultCache::fingerprint(&exp, &run).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn key_is_config_sensitive() {
+        let a = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 400);
+        let b = Experiment::paper(HdOperatingPoint::Hd720p30, 4, 200);
+        let run = RunOptions::default();
+        assert_ne!(
+            content_key(&a, &run).unwrap(),
+            content_key(&b, &run).unwrap()
+        );
+    }
+}

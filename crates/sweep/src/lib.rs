@@ -7,11 +7,17 @@
 //!
 //! * [`SweepSpec`] — a declarative cartesian grid that expands through the
 //!   validating [`ExperimentBuilder`](mcm_core::ExperimentBuilder);
-//! * [`run_sweep`] — parallel execution on a rayon pool with
-//!   **deterministic result order**, per-point panic/error isolation
-//!   ([`SweepError`]), live progress, and per-point timing;
-//! * [`ResultCache`] — a content-hash disk cache: re-running a figure only
-//!   simulates the points whose configuration changed;
+//! * [`Executor`] / [`RayonExecutor`] — the shared scheduling path
+//!   (submit / poll / cancel / collect) behind every consumer: bounded
+//!   concurrent jobs over the rayon pool, per-item panic/error isolation
+//!   ([`SweepError`]), static prelint, content-key caching;
+//! * [`run_sweep`] — the thin synchronous wrapper: one job submitted,
+//!   collected, and folded back into **expansion-order** results with live
+//!   progress and per-point timing — the same machinery `mcm serve`
+//!   drives asynchronously;
+//! * [`ResultCache`] — a content-hash disk cache keyed by [`content_key`]:
+//!   re-running a figure only simulates the points whose configuration
+//!   changed, and the server store shares the keyspace;
 //! * [`ParallelRunner`] — a [`BatchRunner`](mcm_core::BatchRunner) adapter
 //!   that drops the same engine under `mcm-core`'s figure builders.
 //!
@@ -38,9 +44,15 @@
 mod cache;
 mod engine;
 mod error;
+mod exec;
+mod key;
 mod spec;
 
 pub use cache::{PointRecord, ResultCache};
-pub use engine::{run_sweep, ParallelRunner, PointOutcome, SweepOptions, SweepResult, SweepStats};
+pub use engine::{
+    run_sweep, run_sweep_on, ParallelRunner, PointOutcome, SweepOptions, SweepResult, SweepStats,
+};
 pub use error::SweepError;
+pub use exec::{Executor, JobId, JobSnapshot, JobState, RayonExecutor, WorkItem, WorkOutcome};
+pub use key::{content_key, KEY_SCHEMA_VERSION};
 pub use spec::{SweepPoint, SweepSpec};

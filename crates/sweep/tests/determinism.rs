@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 
 use mcm_load::HdOperatingPoint;
-use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+use mcm_sweep::{run_sweep, run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
 
 fn quick_grid() -> SweepSpec {
     SweepSpec {
@@ -133,4 +133,33 @@ fn isolated_failures_do_not_kill_the_sweep() {
         .map(|p| p.outcome.as_ref().unwrap().feasible)
         .collect();
     assert_eq!(feasible, vec![false, false, true, true]);
+}
+
+#[test]
+fn caller_supplied_executor_exports_byte_identically() {
+    // `run_sweep` is a thin wrapper over `run_sweep_on`; the service hands
+    // in its own long-lived executor. Whichever executor carries the jobs
+    // — and however many may run concurrently — the export is the same
+    // bytes.
+    let spec = quick_grid();
+    let reference = run_sweep(&spec, &SweepOptions::default().with_threads(2)).unwrap();
+
+    let executor = RayonExecutor::new(4);
+    let via_executor =
+        run_sweep_on(&executor, &spec, &SweepOptions::default().with_threads(2)).unwrap();
+    assert_eq!(
+        reference.to_json(),
+        via_executor.to_json(),
+        "export must not depend on which executor carried the sweep"
+    );
+    assert_eq!(reference.to_csv(), via_executor.to_csv());
+    assert_eq!(
+        executor.simulated(),
+        spec.expand().unwrap().len(),
+        "the caller's executor did the simulating"
+    );
+
+    // A second sweep on the same executor reuses it cleanly.
+    let again = run_sweep_on(&executor, &spec, &SweepOptions::default().with_threads(2)).unwrap();
+    assert_eq!(reference.to_json(), again.to_json());
 }
