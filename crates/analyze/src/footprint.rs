@@ -9,7 +9,7 @@
 //! `mcm bench` — into an explicit, witnessed diagnostic.
 
 use mcm_channel::MemoryConfig;
-use mcm_load::{FrameLayout, LayoutOptions, LoadError, UseCase};
+use mcm_load::{FrameLayout, LayoutOptions, LoadError, LoadModel, UseCase};
 use mcm_verify::{Diagnostic, Report, Severity};
 use serde_json::json;
 
@@ -17,15 +17,42 @@ use serde_json::json;
 /// leaving little headroom for anything beyond the frame buffers.
 const FOOTPRINT_WARNING: f64 = 0.90;
 
-/// `MCM406` for one workload on one memory configuration.
+/// `MCM406` for the paper's Table I chain on one memory configuration.
+///
+/// Equivalent to [`lint_footprint_model`] with the default workload; kept
+/// as the stable entry point for Table I-only callers.
 pub fn lint_footprint(uc: &UseCase, mem: &MemoryConfig) -> Report {
-    let mut report = Report::new();
     // Structural problems are MCM1xx findings; stay silent on them here.
     if uc.validate().is_err() || mem.channels == 0 {
-        return report;
+        return Report::new();
     }
+    let (capacity, options) = engine_layout_options(mem);
+    footprint_report(
+        FrameLayout::with_options(uc, &options).map(|l| l.total_bytes()),
+        capacity,
+        mem,
+    )
+}
+
+/// `MCM406` for any [`LoadModel`] on one memory configuration: the model's
+/// full working set (every tenant's buffers, for multi-tenant workloads)
+/// against the channel capacity, with exactly the engine's layout options.
+pub fn lint_footprint_model(model: &dyn LoadModel, mem: &MemoryConfig) -> Report {
+    if model.validate().is_err() || mem.channels == 0 {
+        return Report::new();
+    }
+    let (capacity, options) = engine_layout_options(mem);
+    footprint_report(
+        model.footprint(&options).map(|f| f.total_bytes),
+        capacity,
+        mem,
+    )
+}
+
+/// Mirror `MemorySubsystem::new`: per-device capacity times channel count,
+/// bank-staggered placement over the whole multi-channel space.
+fn engine_layout_options(mem: &MemoryConfig) -> (u64, LayoutOptions) {
     let geometry = &mem.controller.cluster.geometry;
-    // Mirror MemorySubsystem::new: per-device capacity times channel count.
     let capacity = geometry.capacity_bytes() * mem.channels as u64;
     let options = LayoutOptions::bank_staggered(
         capacity,
@@ -33,9 +60,14 @@ pub fn lint_footprint(uc: &UseCase, mem: &MemoryConfig) -> Report {
         mem.channels,
         geometry.banks,
     );
-    match FrameLayout::with_options(uc, &options) {
-        Ok(layout) => {
-            let needed = layout.total_bytes();
+    (capacity, options)
+}
+
+fn footprint_report(layout: Result<u64, LoadError>, capacity: u64, mem: &MemoryConfig) -> Report {
+    let mut report = Report::new();
+    let geometry = &mem.controller.cluster.geometry;
+    match layout {
+        Ok(needed) => {
             let fill = needed as f64 / capacity.max(1) as f64;
             if fill > FOOTPRINT_WARNING {
                 report.push(
@@ -149,6 +181,36 @@ mod tests {
         let capacity = ctx["values"]["capacity_bytes"].as_u64().unwrap();
         assert!(needed > capacity, "witness numbers must show the violation");
         assert_eq!(capacity, 64 << 20);
+    }
+
+    #[test]
+    fn table_i_model_matches_the_use_case_entry_point() {
+        use mcm_load::Workload;
+        for (p, ch) in [
+            (HdOperatingPoint::Hd1080p30, 1),
+            (HdOperatingPoint::Uhd2160p30, 1),
+        ] {
+            let mem = MemoryConfig::paper(ch, 400);
+            let uc = UseCase::hd(p);
+            let via_uc = lint_footprint(&uc, &mem);
+            let via_model = lint_footprint_model(Workload::TableI.model(&uc).as_ref(), &mem);
+            assert_eq!(via_uc.ids(), via_model.ids());
+            assert_eq!(via_uc.render_human(), via_model.render_human());
+        }
+    }
+
+    #[test]
+    fn tenants_multiply_the_footprint() {
+        use mcm_load::Workload;
+        // 1080p30's buffers fit one channel on their own, but several
+        // contending tenants' disjoint working sets do not.
+        let mem = MemoryConfig::paper(1, 400);
+        let uc = UseCase::hd(HdOperatingPoint::Hd1080p30);
+        assert!(lint_footprint(&uc, &mem).is_clean());
+        let mt = Workload::MultiTenant(8).model(&uc);
+        let r = lint_footprint_model(mt.as_ref(), &mem);
+        assert!(r.has_errors(), "{}", r.render_human());
+        assert_eq!(r.ids(), vec!["MCM406"]);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   window vs 4×tRRD, the tRFC/tREFI refresh duty cycle, and power-down
 //!   entry/exit consistency (tXP/tXSR/tCKE).
 //! * **Bandwidth roofline** ([`lint_roofline`], `MCM405`): the workload's
-//!   sustained demand from the Table I load model against an analytic
+//!   sustained demand from the selected load model (the paper's Table I
+//!   chain by default, or any [`mcm_load::LoadModel`]) against an analytic
 //!   upper bound on achievable bandwidth derived from the timing tables
 //!   (data bus, activate-rate ceilings, refresh derating). A point above
 //!   the roofline cannot meet its frame deadline under *any* scheduler.
@@ -45,8 +46,8 @@ mod footprint;
 mod roofline;
 mod timing;
 
-pub use footprint::lint_footprint;
-pub use roofline::lint_roofline;
+pub use footprint::{lint_footprint, lint_footprint_model};
+pub use roofline::{lint_roofline, lint_roofline_model};
 pub use timing::lint_timing;
 
 use mcm_core::Experiment;
@@ -112,12 +113,18 @@ impl AnalysisVerdict {
 }
 
 /// Runs every MCM4xx rule over one experiment: timing closure on the
-/// device, the bandwidth roofline, and the footprint bound.
+/// device, the bandwidth roofline, and the footprint bound. The roofline
+/// and footprint rules consume the experiment's selected workload model,
+/// so a VVC profile's heavier encoder traffic or a multi-tenant working
+/// set is priced into the static verdict exactly as the engine would see
+/// it; the default (Table I) workload reproduces the paper's analysis
+/// byte-for-byte.
 pub fn analyze_experiment(exp: &Experiment) -> Report {
     let cluster = &exp.memory.controller.cluster;
     let mut report = lint_timing(&cluster.timing, cluster.clock_mhz, &cluster.geometry);
-    report.merge(lint_roofline(&exp.use_case, &exp.memory));
-    report.merge(lint_footprint(&exp.use_case, &exp.memory));
+    let model = exp.model();
+    report.merge(lint_roofline_model(model.as_ref(), &exp.memory));
+    report.merge(lint_footprint_model(model.as_ref(), &exp.memory));
     report
 }
 
@@ -161,6 +168,19 @@ mod tests {
         assert!(v.feasible, "{}", v.report.render_human());
         assert!(v.report.is_clean(), "{}", v.report.render_human());
         assert!(v.reason().is_none());
+    }
+
+    #[test]
+    fn the_verdict_tracks_the_selected_workload() {
+        use mcm_load::Workload;
+        // The same hardware point flips from feasible to infeasible when
+        // the workload model changes — the static verdict must see it.
+        let mut exp = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+        assert!(verdict(&exp).feasible);
+        exp.workload = Workload::MultiTenant(8);
+        let v = verdict(&exp);
+        assert!(!v.feasible, "{}", v.report.render_human());
+        assert!(v.reason().is_some());
     }
 
     #[test]

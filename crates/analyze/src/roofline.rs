@@ -17,20 +17,42 @@
 //! percent to turnarounds and bank conflicts, so such points are at risk.
 
 use mcm_channel::MemoryConfig;
-use mcm_load::UseCase;
+use mcm_load::{LoadModel, UseCase};
 use mcm_verify::{Diagnostic, Report, Severity};
 use serde_json::json;
 
 /// Demand above this fraction of the roofline is flagged as at-risk.
 const UTILIZATION_WARNING: f64 = 0.90;
 
-/// `MCM405` for one workload on one memory configuration.
+/// `MCM405` for the paper's Table I chain on one memory configuration.
+///
+/// Equivalent to [`lint_roofline_model`] with the default workload; kept
+/// as the stable entry point for Table I-only callers.
 pub fn lint_roofline(uc: &UseCase, mem: &MemoryConfig) -> Report {
-    let mut report = Report::new();
     // Structural problems (zero channels, inconsistent use case, an
     // unresolvable clock) belong to MCM1xx / MCM401; stay silent here.
+    if uc.validate().is_err() {
+        return Report::new();
+    }
+    roofline_report(uc.table_row().bits_per_second() as f64 / 8.0, mem)
+}
+
+/// `MCM405` for any [`LoadModel`] on one memory configuration: the model's
+/// sustained demand (`bits_per_second`) against the timing-derated peak.
+/// A multi-tenant model's demand is the sum over tenants, so contention
+/// for the roofline is priced in before any simulation runs.
+pub fn lint_roofline_model(model: &dyn LoadModel, mem: &MemoryConfig) -> Report {
+    // An inconsistent model is an MCM1xx / construction-time problem.
+    if model.validate().is_err() {
+        return Report::new();
+    }
+    roofline_report(model.bits_per_second() as f64 / 8.0, mem)
+}
+
+fn roofline_report(demand: f64, mem: &MemoryConfig) -> Report {
+    let mut report = Report::new();
     let cluster = &mem.controller.cluster;
-    if uc.validate().is_err() || mem.channels == 0 || cluster.clock_mhz == 0 {
+    if mem.channels == 0 || cluster.clock_mhz == 0 {
         return report;
     }
     let t = &cluster.timing;
@@ -68,7 +90,6 @@ pub fn lint_roofline(uc: &UseCase, mem: &MemoryConfig) -> Report {
         1.0
     };
     let roofline = per_channel * derate * mem.channels as f64;
-    let demand = uc.table_row().bits_per_second() as f64 / 8.0;
     if roofline <= 0.0 {
         return report;
     }
@@ -188,6 +209,40 @@ mod tests {
         assert_eq!(r.ids(), vec!["MCM405"], "{}", r.render_human());
         assert!(!r.has_errors());
         assert_eq!(r.count(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn table_i_model_matches_the_use_case_entry_point() {
+        use mcm_load::Workload;
+        for p in [HdOperatingPoint::Hd1080p60, HdOperatingPoint::Uhd2160p30] {
+            let mem = MemoryConfig::paper(4, 400);
+            let via_uc = lint_roofline(&uc(p), &mem);
+            let via_model = lint_roofline_model(Workload::TableI.model(&uc(p)).as_ref(), &mem);
+            assert_eq!(via_uc.ids(), via_model.ids());
+            assert_eq!(via_uc.render_human(), via_model.render_human());
+        }
+    }
+
+    #[test]
+    fn heavier_workload_models_raise_findings_table_i_does_not() {
+        use mcm_load::Workload;
+        // 1080p60 on 4x400 is comfortably feasible under Table I (~8 of
+        // ~12.6 GB/s), but the VVC profile's extra encoder traffic blows
+        // straight past the roofline, as do four contending tenants (two
+        // recorders plus playback and display).
+        let mem = MemoryConfig::paper(4, 400);
+        let point = uc(HdOperatingPoint::Hd1080p60);
+        assert!(lint_roofline(&point, &mem).is_clean());
+        let vvc = Workload::parse("vvc-record").unwrap().model(&point);
+        let r = lint_roofline_model(vvc.as_ref(), &mem);
+        assert!(
+            r.has_errors(),
+            "vvc should be flagged: {}",
+            r.render_human()
+        );
+        let mt = Workload::MultiTenant(4).model(&point);
+        let r = lint_roofline_model(mt.as_ref(), &mem);
+        assert!(r.has_errors(), "four tenants exceed the roofline");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use core::fmt;
 use mcm_core::{ChunkPolicy, Pacing};
 use mcm_ctrl::{PagePolicy, PowerDownPolicy};
 use mcm_dram::AddressMapping;
-use mcm_load::HdOperatingPoint;
+use mcm_load::{HdOperatingPoint, Workload};
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -263,6 +263,8 @@ pub struct SweepArgs {
     pub threads: Option<usize>,
     /// Result cache directory (None = no cache).
     pub cache: Option<String>,
+    /// Workload models to sweep (`mcm run --workload` names).
+    pub workloads: Vec<Workload>,
     /// Cap on simulated operations per point.
     pub op_limit: Option<u64>,
     /// Export format.
@@ -280,6 +282,7 @@ impl Default for SweepArgs {
             points: HdOperatingPoint::ALL.to_vec(),
             channels: vec![1, 2, 4, 8],
             clocks: vec![400],
+            workloads: vec![Workload::TableI],
             threads: None,
             cache: None,
             op_limit: None,
@@ -311,6 +314,8 @@ pub struct RunOptions {
     pub chunk: ChunkPolicy,
     /// Arrival pacing.
     pub pacing: Pacing,
+    /// Workload model driving the traffic (`--workload <name>`).
+    pub workload: Workload,
     /// Output format (`--json` where the command supports it).
     pub output: OutputFormat,
     /// Viewfinder-only mode (no encoding/storage traffic).
@@ -335,6 +340,7 @@ impl Default for RunOptions {
             granule: 16,
             chunk: ChunkPolicy::PerChannel(64),
             pacing: Pacing::Greedy,
+            workload: Workload::TableI,
             output: OutputFormat::Text,
             viewfinder: false,
             verify: false,
@@ -414,6 +420,10 @@ fn parse_chunk(s: &str) -> Result<ChunkPolicy, CliError> {
     )))
 }
 
+fn parse_workload(s: &str) -> Result<Workload, CliError> {
+    Workload::parse(s).map_err(|e| CliError(format!("bad workload '{s}': {e}")))
+}
+
 fn parse_run_options<'a>(mut args: impl Iterator<Item = &'a str>) -> Result<RunOptions, CliError> {
     let mut opts = RunOptions::default();
     while let Some(flag) = args.next() {
@@ -455,6 +465,7 @@ fn parse_run_options<'a>(mut args: impl Iterator<Item = &'a str>) -> Result<RunO
             }
             "--chunk" => opts.chunk = parse_chunk(value()?)?,
             "--paced" => opts.pacing = Pacing::Paced,
+            "--workload" => opts.workload = parse_workload(value()?)?,
             "--json" => opts.output = OutputFormat::Json,
             "--csv" => opts.output = OutputFormat::Csv,
             "--trace" => opts.output = OutputFormat::Trace,
@@ -637,6 +648,12 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                         a.clocks = value()?
                             .split(',')
                             .map(|v| v.parse().map_err(|_| CliError(format!("bad clock '{v}'"))))
+                            .collect::<Result<_, _>>()?
+                    }
+                    "--workloads" => {
+                        a.workloads = value()?
+                            .split(',')
+                            .map(parse_workload)
                             .collect::<Result<_, _>>()?
                     }
                     "--threads" => {
@@ -897,6 +914,8 @@ OPTIONS (run / headroom):
     --granule <bytes>                                  [16]
     --chunk <perch:N|fixed:N>                          [perch:64]
     --paced                                            [greedy]
+    --workload <h264-record|hevc-record|vvc-record|stochastic:SEED[:BURST]|multi-tenant:N>
+                select the workload model (docs/WORKLOADS.md)  [h264-record]
     --viewfinder                                       [recording]
     --verify    run the MCMxxx conformance checks too   [off]
     --faults <plan.json>  inject a fault plan (see 'mcm fault')  [healthy]
@@ -937,6 +956,7 @@ SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
     --formats <comma list of formats>                  [all five]
     --channels <comma list of channel counts>          [1,2,4,8]
     --clocks <comma list of MHz>                       [400]
+    --workloads <comma list of workload names>         [h264-record]
     --threads <N>     worker threads                   [RAYON_NUM_THREADS]
     --cache <dir>     content-hash result cache        [off]
     --op-limit <N>    cap simulated ops per point      [full frame]
@@ -1237,6 +1257,35 @@ mod tests {
         assert!(parse_args(["fault", "--seed", "many"]).is_err());
         assert!(parse_args(["fault", "--lose", "zero"]).is_err());
         assert!(parse_args(["fault", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_accepts_a_workload_and_sweep_a_workload_list() {
+        let Command::Run(o) = parse_args(["run", "--workload", "hevc-record"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.workload.name(), "hevc-record");
+        let Command::Run(o) = parse_args(["run", "--workload", "stochastic:9:75"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.workload.name(), "stochastic:9:75");
+        // The default stays the paper's Table I chain.
+        let Command::Run(o) = parse_args(["run"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(o.workload.is_default());
+
+        let Command::Sweep(a) =
+            parse_args(["sweep", "--workloads", "h264-record,multi-tenant:2"]).unwrap()
+        else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a.workloads.len(), 2);
+        assert_eq!(a.workloads[1].name(), "multi-tenant:2");
+
+        let e = parse_args(["run", "--workload", "mpeg2"]).unwrap_err();
+        assert!(e.to_string().contains("mpeg2"), "{e}");
+        assert!(parse_args(["sweep", "--workloads", "h264-record,"]).is_err());
     }
 
     #[test]

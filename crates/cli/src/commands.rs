@@ -19,6 +19,7 @@ fn build_experiment(o: &RunOptions) -> Experiment {
     exp.memory.granule_bytes = o.granule;
     exp.chunk = o.chunk;
     exp.pacing = o.pacing;
+    exp.workload = o.workload;
     if let Some(n) = o.op_limit {
         exp.op_limit = Some(n);
     }
@@ -124,6 +125,14 @@ fn run_one(o: &RunOptions) -> Result<String, CliError> {
             "latency_p99_ns": p99,
             "bytes_per_frame": r.planned_bytes,
         });
+        if !o.workload.is_default() {
+            if let serde_json::Value::Object(m) = &mut j {
+                m.insert(
+                    "workload".to_string(),
+                    serde_json::Value::String(o.workload.name()),
+                );
+            }
+        }
         if let Some(findings) = &findings {
             if let serde_json::Value::Object(m) = &mut j {
                 m.insert("verify".to_string(), findings.to_json());
@@ -139,17 +148,28 @@ fn run_one(o: &RunOptions) -> Result<String, CliError> {
         }
         Ok(j.to_string())
     } else {
-        let row = UseCase::hd(o.point).table_row();
         let mut out = String::new();
         out += &format!(
             "{} on {} ch x 32-bit mobile DDR @ {} MHz ({}, {}, {})\n",
             o.point, o.channels, o.clock_mhz, o.mapping, o.page, o.power_down
         );
-        out += &format!(
-            "  load:        {:.2} GB/s ({:.0} Mb/frame)\n",
-            row.gbytes_per_second(),
-            row.bits_per_frame() as f64 / 1e6
-        );
+        if o.workload.is_default() {
+            let row = UseCase::hd(o.point).table_row();
+            out += &format!(
+                "  load:        {:.2} GB/s ({:.0} Mb/frame)\n",
+                row.gbytes_per_second(),
+                row.bits_per_frame() as f64 / 1e6
+            );
+        } else {
+            // Non-default workloads report the model's own sustained
+            // demand instead of the pinned Table I figure.
+            let model = exp.model();
+            out += &format!(
+                "  workload:    {} ({:.2} GB/s sustained)\n",
+                model.name(),
+                model.bits_per_second() as f64 / 8e9
+            );
+        }
         out += &format!(
             "  access time: {:.2} ms of {:.2} ms budget [{}]\n",
             r.access_time.as_ms_f64(),
@@ -522,6 +542,7 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
         points: a.points.clone(),
         channels: a.channels.clone(),
         clocks_mhz: a.clocks.clone(),
+        workloads: a.workloads.clone(),
         op_limit: a.op_limit,
         ..mcm_sweep::SweepSpec::default()
     };
@@ -724,26 +745,26 @@ fn check_findings(o: &RunOptions) -> Result<mcm_verify::Report, CliError> {
 
 fn timeline(o: &RunOptions, cycles: u64) -> Result<String, CliError> {
     use mcm_ctrl::{ChannelRequest, Controller};
-    use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions};
+    use mcm_load::LayoutOptions;
     let exp = build_experiment(o);
     let geometry = exp.memory.controller.cluster.geometry;
     let mut ctrl = Controller::new(&exp.memory.controller)
         .map_err(|e| CliError(format!("controller: {e}")))?;
     ctrl.enable_trace();
     // Feed channel 0's share of the frame until the window is covered.
-    let layout = FrameLayout::with_options(
-        &exp.use_case,
-        &LayoutOptions::bank_staggered(
-            geometry.capacity_bytes() * o.channels as u64,
-            geometry.page_bytes() as u64,
-            o.channels,
-            geometry.banks,
-        ),
-    )
-    .map_err(|e| CliError(format!("layout: {e}")))?;
+    // Traffic comes from the selected workload model, so `--workload`
+    // shapes the schedule exactly as it shapes the engine's.
+    let options = LayoutOptions::bank_staggered(
+        geometry.capacity_bytes() * o.channels as u64,
+        geometry.page_bytes() as u64,
+        o.channels,
+        geometry.banks,
+    );
     let interleave = mcm_channel::InterleaveMap::new(o.channels, exp.memory.granule_bytes)
         .map_err(|e| CliError(format!("interleave: {e}")))?;
-    let traffic = FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(o.channels))
+    let traffic = exp
+        .model()
+        .traffic(&options, exp.chunk.bytes(o.channels), 0, &[])
         .map_err(|e| CliError(format!("traffic: {e}")))?;
     for op in traffic {
         if ctrl.busy_until() > cycles + 64 {
@@ -782,21 +803,19 @@ fn timeline(o: &RunOptions, cycles: u64) -> Result<String, CliError> {
 }
 
 fn trace_dump(o: &RunOptions, out: &str) -> Result<String, CliError> {
-    use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions};
+    use mcm_load::LayoutOptions;
     let exp = build_experiment(o);
     let geometry = exp.memory.controller.cluster.geometry;
     let capacity = geometry.capacity_bytes() * o.channels as u64;
-    let layout = FrameLayout::with_options(
-        &exp.use_case,
-        &LayoutOptions::bank_staggered(
-            capacity,
-            geometry.page_bytes() as u64,
-            o.channels,
-            geometry.banks,
-        ),
-    )
-    .map_err(|e| CliError(format!("layout failed: {e}")))?;
-    let traffic = FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(o.channels))
+    let options = LayoutOptions::bank_staggered(
+        capacity,
+        geometry.page_bytes() as u64,
+        o.channels,
+        geometry.banks,
+    );
+    let traffic = exp
+        .model()
+        .traffic(&options, exp.chunk.bytes(o.channels), 0, &[])
         .map_err(|e| CliError(format!("traffic failed: {e}")))?;
     let io_err = |e: std::io::Error| CliError(format!("cannot write '{out}': {e}"));
     let n = if out == "-" {
@@ -1139,6 +1158,126 @@ mod sweep_cli_tests {
         let warm = run();
         assert!(warm.contains("0 simulated, 2 cached"), "{warm}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_workloads_axis_expands_and_labels_points() {
+        let cmd = parse_args([
+            "sweep",
+            "--formats",
+            "720p30",
+            "--channels",
+            "2",
+            "--workloads",
+            "h264-record,stochastic:7",
+            "--op-limit",
+            "2000",
+            "--json",
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        let labels: Vec<&str> = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p["label"].as_str().unwrap())
+            .collect();
+        assert_eq!(labels.len(), 2, "{out}");
+        assert!(
+            labels.iter().any(|l| l.ends_with("/stochastic:7")),
+            "{labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.ends_with("/h264-record")),
+            "{labels:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod workload_cli_tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn run_with_a_workload_reports_the_model_demand() {
+        let cmd = parse_args(["run", "--workload", "hevc-record", "--op-limit", "4000"]).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("workload:    hevc-record"), "{out}");
+        assert!(!out.contains("  load:"), "{out}");
+    }
+
+    #[test]
+    fn run_json_carries_the_workload_name_only_when_selected() {
+        let run = |extra: &[&str]| {
+            let mut args = vec!["run", "--op-limit", "4000", "--json"];
+            args.extend_from_slice(extra);
+            execute(&parse_args(args).unwrap()).unwrap()
+        };
+        let v: serde_json::Value = serde_json::from_str(&run(&[])).unwrap();
+        assert!(v.get("workload").is_none(), "default run stays pinned");
+        let out = run(&["--workload", "stochastic:9:75"]);
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["workload"], serde_json::json!("stochastic:9:75"), "{out}");
+    }
+
+    #[test]
+    fn infeasible_workloads_are_refused_statically() {
+        // Eight tenants on the paper's 4-channel point are far beyond the
+        // roofline; the run must be refused before simulating, exactly as
+        // an infeasible format/channel combination would be.
+        let cmd = parse_args(["run", "--workload", "multi-tenant:8"]).unwrap();
+        let err = execute(&cmd).unwrap_err().to_string();
+        assert!(err.contains("statically infeasible"), "{err}");
+        assert!(err.contains("MCM4"), "{err}");
+    }
+
+    #[test]
+    fn check_and_lint_price_in_the_workload() {
+        let cmd = parse_args(["lint", "--workload", "multi-tenant:8", "--json"]).unwrap();
+        let err = execute(&cmd).unwrap_err().to_string();
+        let v: serde_json::Value = serde_json::from_str(&err).expect("lint --json emits JSON");
+        let ids: Vec<&str> = v["lint"]["findings"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|f| f["id"].as_str().unwrap())
+            .collect();
+        assert!(ids.contains(&"MCM405"), "{ids:?}");
+
+        let cmd = parse_args(["check", "--workload", "hevc-record", "--op-limit", "4000"]).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("check clean: 0 findings"), "{out}");
+    }
+
+    #[test]
+    fn trace_dump_follows_the_workload_model() {
+        let run = |workload: Option<&str>| {
+            let dir = std::env::temp_dir().join(format!(
+                "mcm_cli_wl_trace_{}_{}",
+                std::process::id(),
+                workload.unwrap_or("default").replace(':', "_")
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("trace.txt");
+            let path_s = path.to_str().unwrap().to_string();
+            let mut args = vec!["trace-dump", "--format", "720p30", "--out", &path_s];
+            if let Some(w) = workload {
+                args.push("--workload");
+                args.push(w);
+            }
+            let out = execute(&parse_args(args).unwrap()).unwrap();
+            assert!(out.contains("wrote"), "{out}");
+            let text = std::fs::read_to_string(&path).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            text
+        };
+        let table_i = run(None);
+        let multi = run(Some("multi-tenant:2"));
+        // Two tenants write disjoint copies of the frame pipeline, so the
+        // multi-tenant trace is strictly longer than the single-tenant one.
+        assert!(multi.lines().count() > table_i.lines().count());
     }
 }
 
@@ -1490,6 +1629,7 @@ mod snapshot_tests {
                 "gauges",
                 "kernel",
                 "spans",
+                "tenants",
                 "timeline_bucket_ps",
             ],
             "{out}"

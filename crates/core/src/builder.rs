@@ -30,7 +30,7 @@
 use mcm_channel::MemoryConfig;
 use mcm_ctrl::{PagePolicy, PowerDownPolicy};
 use mcm_dram::AddressMapping;
-use mcm_load::{HdOperatingPoint, UseCase};
+use mcm_load::{HdOperatingPoint, UseCase, Workload};
 use mcm_power::InterfacePowerModel;
 
 use crate::error::CoreError;
@@ -56,6 +56,7 @@ pub struct ExperimentBuilder {
     margin: f64,
     interface: InterfacePowerModel,
     op_limit: Option<u64>,
+    workload: Workload,
 }
 
 impl Default for ExperimentBuilder {
@@ -73,6 +74,7 @@ impl Default for ExperimentBuilder {
             margin: 0.15,
             interface: InterfacePowerModel::paper(),
             op_limit: None,
+            workload: Workload::TableI,
         }
     }
 }
@@ -162,6 +164,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Selects the workload model (default: the paper's Table I chain).
+    /// The use case set by [`ExperimentBuilder::point`] /
+    /// [`ExperimentBuilder::use_case`] still shapes the buffers and rates.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
     /// Validates the configuration and produces the [`Experiment`].
     ///
     /// Everything [`Experiment::validate`] checks is checked here, so a
@@ -186,8 +196,10 @@ impl ExperimentBuilder {
             margin: self.margin,
             interface: self.interface,
             op_limit: self.op_limit,
+            workload: self.workload,
         };
         exp.validate()?;
+        exp.model().validate()?;
         Ok(exp)
     }
 }
@@ -259,6 +271,19 @@ mod tests {
             Experiment::builder().chunk(ChunkPolicy::Fixed(0)).build(),
             Err(CoreError::BadParam { .. })
         ));
+    }
+
+    #[test]
+    fn workload_knob_selects_the_model() {
+        let exp = Experiment::builder()
+            .point(HdOperatingPoint::Hd720p30)
+            .workload(Workload::MultiTenant(2))
+            .build()
+            .unwrap();
+        assert_eq!(exp.workload, Workload::MultiTenant(2));
+        assert_eq!(exp.model().name(), "multi-tenant:2");
+        // The default stays the paper's chain.
+        assert!(Experiment::builder().build().unwrap().workload.is_default());
     }
 
     #[test]

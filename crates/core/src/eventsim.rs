@@ -19,7 +19,7 @@
 
 use mcm_channel::InterleaveMap;
 use mcm_ctrl::{AccessOp, ChannelRequest, Controller, CtrlError};
-use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions, LoadOp};
+use mcm_load::{LayoutOptions, LoadOp};
 use mcm_sim::{Component, ComponentId, Ctx, QueueKind, SimTime, Simulation};
 
 use crate::error::CoreError;
@@ -242,16 +242,15 @@ pub fn run_event_driven_configured(
         InterleaveMap::new(channels, exp.memory.granule_bytes).map_err(CoreError::Memory)?;
     let geometry = exp.memory.controller.cluster.geometry;
     let capacity = geometry.capacity_bytes() * channels as u64;
-    let layout = FrameLayout::with_options(
-        &exp.use_case,
-        &LayoutOptions::bank_staggered(
-            capacity,
-            geometry.page_bytes() as u64,
-            channels,
-            geometry.banks,
-        ),
-    )?;
-    let traffic = FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(channels))?;
+    let layout_opts = LayoutOptions::bank_staggered(
+        capacity,
+        geometry.page_bytes() as u64,
+        channels,
+        geometry.banks,
+    );
+    let traffic = exp
+        .model()
+        .traffic(&layout_opts, exp.chunk.bytes(channels), 0, &[])?;
     let mut ops: Vec<LoadOp> = traffic.collect();
     if let Some(limit) = exp.op_limit {
         ops.truncate(limit as usize);

@@ -11,11 +11,14 @@ use serde::{Deserialize, Serialize};
 use mcm_channel::{MasterTransaction, MemoryConfig, MemorySubsystem, SubsystemReport};
 use mcm_ctrl::AccessOp;
 use mcm_fault::{DegradeSummary, FaultPlan, StageShed, SHED_PRIORITY};
-use mcm_load::{FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, Stage, UseCase};
+use mcm_load::{
+    HdOperatingPoint, LayoutOptions, LoadModel, Region, Stage, Traffic, UseCase, Workload,
+};
 use mcm_power::{InterfacePowerModel, PowerSummary};
 use mcm_sim::SimTime;
 use mcm_verify::{
-    audit_trace, check_degradation, check_traffic_balance, lint_all, Report, TraceAuditOptions,
+    audit_trace, check_degradation, check_tenant_attribution, check_traffic_balance, lint_all,
+    Report, TraceAuditOptions,
 };
 
 use crate::error::CoreError;
@@ -101,7 +104,7 @@ pub enum Pacing {
 }
 
 /// A fully specified experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
     /// The video-recording load.
     pub use_case: UseCase,
@@ -119,6 +122,57 @@ pub struct Experiment {
     /// access time extrapolated linearly from the simulated prefix. `None`
     /// simulates the whole frame. Intended for quick tests only.
     pub op_limit: Option<u64>,
+    /// Which [`LoadModel`] drives the run: the paper's Table I chain by
+    /// default, or one of the other named workloads (see
+    /// `docs/WORKLOADS.md`). The base `use_case` still sets frame geometry
+    /// and rates for every workload.
+    pub workload: Workload,
+}
+
+// `workload` is serialized only when non-default so pre-workload
+// experiments (and therefore sweep cache fingerprints of Table I runs)
+// keep their exact byte representation; field order matches declaration
+// order, the same shape the former derive produced.
+impl Serialize for Experiment {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("use_case".to_string(), self.use_case.to_value());
+        m.insert("memory".to_string(), self.memory.to_value());
+        m.insert("chunk".to_string(), self.chunk.to_value());
+        m.insert("pacing".to_string(), self.pacing.to_value());
+        m.insert("margin".to_string(), self.margin.to_value());
+        m.insert("interface".to_string(), self.interface.to_value());
+        m.insert("op_limit".to_string(), self.op_limit.to_value());
+        if !self.workload.is_default() {
+            m.insert("workload".to_string(), self.workload.to_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for Experiment {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for Experiment"))?;
+        let field = |name: &str| {
+            obj.get(name)
+                .ok_or_else(|| serde::Error::missing_field(name))
+        };
+        Ok(Experiment {
+            use_case: Deserialize::from_value(field("use_case")?)?,
+            memory: Deserialize::from_value(field("memory")?)?,
+            chunk: Deserialize::from_value(field("chunk")?)?,
+            pacing: Deserialize::from_value(field("pacing")?)?,
+            margin: Deserialize::from_value(field("margin")?)?,
+            interface: Deserialize::from_value(field("interface")?)?,
+            op_limit: Deserialize::from_value(field("op_limit")?)?,
+            workload: match obj.get("workload") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => Workload::default(),
+            },
+        })
+    }
 }
 
 /// What a [`Experiment::run_with`] call should do beyond the plain
@@ -428,6 +482,12 @@ impl Experiment {
         Ok(())
     }
 
+    /// The [`LoadModel`] the experiment's [`Workload`] selects, over the
+    /// experiment's base use case.
+    pub fn model(&self) -> Box<dyn LoadModel> {
+        self.workload.model(&self.use_case)
+    }
+
     /// The unified run entry point: executes the experiment the way
     /// `options` asks for and returns the matching [`RunOutcome`].
     ///
@@ -435,7 +495,21 @@ impl Experiment {
     /// so bound full-frame workloads with [`RunOptions::op_limit`] (or
     /// [`Experiment::op_limit`]). Verify findings do not abort the run.
     pub fn run_with(&self, options: &RunOptions) -> Result<RunOutcome, CoreError> {
+        self.run_with_model(self.model().as_ref(), options)
+    }
+
+    /// [`Experiment::run_with`] with an explicit workload model instead of
+    /// the one [`Experiment::workload`] names — the hook for external
+    /// [`LoadModel`] implementations (see `examples/custom_workload.rs`).
+    /// The experiment's `use_case` still sizes the real-time budget, so a
+    /// custom model should be built over the same use case.
+    pub fn run_with_model(
+        &self,
+        model: &dyn LoadModel,
+        options: &RunOptions,
+    ) -> Result<RunOutcome, CoreError> {
         self.validate()?;
+        model.validate()?;
         if options.frames == 0 {
             return Err(CoreError::BadParam {
                 reason: "run needs at least one frame".into(),
@@ -462,6 +536,7 @@ impl Experiment {
         if options.frames > 1 {
             return crate::steady::run_steady_state_observed(
                 &exp,
+                model,
                 options.frames,
                 options.recorder.clone(),
             )
@@ -470,6 +545,7 @@ impl Experiment {
         if options.verify {
             let mut findings = lint_all(&exp.use_case, &exp.memory, &exp.interface);
             let result = exp.run_inner(
+                model,
                 Some(&mut findings),
                 options.recorder.clone(),
                 options.faults.as_ref(),
@@ -479,12 +555,18 @@ impl Experiment {
                 report: findings,
             });
         }
-        exp.run_inner(None, options.recorder.clone(), options.faults.as_ref())
-            .map(RunOutcome::Frame)
+        exp.run_inner(
+            model,
+            None,
+            options.recorder.clone(),
+            options.faults.as_ref(),
+        )
+        .map(RunOutcome::Frame)
     }
 
     fn run_inner(
         &self,
+        model: &dyn LoadModel,
         mut verify: Option<&mut Report>,
         recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
         faults: Option<&FaultPlan>,
@@ -511,17 +593,14 @@ impl Experiment {
         // channel loss the subsystem reports its shrunken capacity, so the
         // frame set is laid out over the survivors.
         let geometry = self.memory.controller.cluster.geometry;
-        let layout = FrameLayout::with_options(
-            &self.use_case,
-            &LayoutOptions::bank_staggered(
-                memory.capacity_bytes(),
-                geometry.page_bytes() as u64,
-                memory.channels(),
-                geometry.banks,
-            ),
-        )?;
+        let layout_opts = LayoutOptions::bank_staggered(
+            memory.capacity_bytes(),
+            geometry.page_bytes() as u64,
+            memory.channels(),
+            geometry.banks,
+        );
         let chunk = self.chunk.bytes(memory.channels());
-        let full_plan = FrameTraffic::new(&self.use_case, &layout, chunk)?;
+        let full_plan = model.traffic(&layout_opts, chunk, 0, &[])?;
         let full_bytes = full_plan.total_bytes();
 
         // Load shedding: when the degraded memory cannot carry the full
@@ -534,15 +613,48 @@ impl Experiment {
         let traffic = if shed_stages.is_empty() {
             full_plan
         } else {
-            FrameTraffic::without_stages(&self.use_case, &layout, chunk, &shed_stages)?
+            model.traffic(&layout_opts, chunk, 0, &shed_stages)?
         };
         let planned_bytes = traffic.total_bytes();
+
+        // Multi-tenant attribution: every op belongs to the tenant whose
+        // address span contains it; accesses outside every span are strays
+        // (an MCM204 violation).
+        let spans: Vec<Region> = traffic.tenant_spans().to_vec();
+        let mut tallies = vec![TenantSummary::default(); spans.len()];
+        let mut strays: Vec<(u64, u32)> = Vec::new();
+        let mut stray_count = 0u64;
 
         let mut simulated_bytes = 0u64;
         for (ops, op) in traffic.enumerate() {
             if let Some(limit) = self.op_limit {
                 if ops as u64 >= limit {
                     break;
+                }
+            }
+            if !spans.is_empty() {
+                let tenant = spans
+                    .iter()
+                    .position(|s| op.addr >= s.start && op.addr + op.len as u64 <= s.end());
+                match tenant {
+                    Some(t) => {
+                        let tally = &mut tallies[t];
+                        tally.ops += 1;
+                        if op.write {
+                            tally.bytes_written += op.len as u64;
+                        } else {
+                            tally.bytes_read += op.len as u64;
+                        }
+                        if let Some(rec) = &recorder {
+                            rec.record_tenant_op(t as u32, op.write, op.len as u64);
+                        }
+                    }
+                    None => {
+                        stray_count += 1;
+                        if strays.len() < 16 {
+                            strays.push((op.addr, op.len));
+                        }
+                    }
                 }
             }
             let arrival = match self.pacing {
@@ -603,6 +715,7 @@ impl Experiment {
                 None => report.channels.iter().map(channel_bytes).collect(),
             };
             findings.merge(check_traffic_balance(&per_channel, 0.25));
+            findings.merge(check_tenant_attribution(&spans, stray_count, &strays));
         }
 
         // Extrapolate when only a prefix was simulated.
@@ -669,6 +782,14 @@ impl Experiment {
             }
         }
 
+        let names = model.tenant_names();
+        for (i, tally) in tallies.iter_mut().enumerate() {
+            tally.name = names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("tenant{i}"));
+        }
+
         Ok(FrameResult {
             access_time,
             frame_budget,
@@ -678,6 +799,7 @@ impl Experiment {
             simulated_bytes,
             peak_bandwidth_bytes_per_s: memory.peak_bandwidth_bytes_per_s(),
             degrade,
+            tenants: tallies,
             report,
         })
     }
@@ -694,7 +816,7 @@ impl Experiment {
         &self,
         memory: &MemorySubsystem,
         plan: &FaultPlan,
-        full_plan: &FrameTraffic,
+        full_plan: &Traffic,
         frame_budget: SimTime,
     ) -> (Vec<Stage>, Vec<StageShed>) {
         let channels = memory.channels();
@@ -739,6 +861,21 @@ impl Experiment {
     }
 }
 
+/// Per-tenant share of one simulated frame, attributed by address span.
+/// Only multi-tenant workloads populate these; see
+/// [`LoadModel::tenant_spans`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantSummary {
+    /// Tenant label (`tenant0:record`, `tenant1:playback`, …).
+    pub name: String,
+    /// Memory operations the tenant issued.
+    pub ops: u64,
+    /// Bytes the tenant read.
+    pub bytes_read: u64,
+    /// Bytes the tenant wrote.
+    pub bytes_written: u64,
+}
+
 /// Everything measured about one simulated frame.
 #[derive(Debug, Clone)]
 pub struct FrameResult {
@@ -760,6 +897,9 @@ pub struct FrameResult {
     /// retry/remap counts, shed stages and the effective frame rate.
     /// `None` for healthy runs.
     pub degrade: Option<DegradeSummary>,
+    /// Per-tenant traffic attribution; empty unless the workload is
+    /// multi-tenant.
+    pub tenants: Vec<TenantSummary>,
     /// The raw subsystem report (per-channel stats, energies).
     pub report: SubsystemReport,
 }
@@ -1321,6 +1461,7 @@ mod nan_audit_tests {
             simulated_bytes: 0,
             peak_bandwidth_bytes_per_s: peak,
             degrade: None,
+            tenants: Vec::new(),
             report: SubsystemReport {
                 channels: Vec::new(),
                 busy_until: 0,
@@ -1384,5 +1525,28 @@ mod serde_tests {
         let mut quick = back;
         quick.op_limit = Some(2_000);
         quick.run_with(&RunOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn default_workload_keeps_the_pre_workload_serialization() {
+        // Table I experiments must serialize without a `workload` key so
+        // sweep cache fingerprints computed before the workload field
+        // existed stay valid.
+        let exp = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+        assert!(exp.workload.is_default());
+        let json = serde_json::to_string(&exp).unwrap();
+        assert!(!json.contains("workload"), "{json}");
+        let back: Experiment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workload, Workload::TableI);
+    }
+
+    #[test]
+    fn non_default_workload_roundtrips_through_json() {
+        let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+        exp.workload = Workload::parse("stochastic:42:80").unwrap();
+        let json = serde_json::to_string(&exp).unwrap();
+        assert!(json.contains("\"workload\""), "{json}");
+        let back: Experiment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workload, exp.workload);
     }
 }

@@ -54,5 +54,6 @@ pub use builder::ExperimentBuilder;
 pub use error::CoreError;
 pub use experiment::{
     ChunkPolicy, Experiment, FrameResult, Pacing, RealTimeVerdict, RunOptions, RunOutcome,
+    TenantSummary,
 };
 pub use runner::{BatchRunner, SerialRunner};

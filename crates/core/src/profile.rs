@@ -7,7 +7,7 @@
 
 use mcm_channel::{MasterTransaction, MemorySubsystem};
 use mcm_ctrl::AccessOp;
-use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions, Stage};
+use mcm_load::{LayoutOptions, Stage};
 use mcm_sim::SimTime;
 
 use crate::error::CoreError;
@@ -77,21 +77,20 @@ impl FrameProfile {
     }
 }
 
-/// Runs one frame of `exp` and attributes memory time to pipeline stages.
+/// Runs one frame of `exp`'s workload and attributes memory time to
+/// pipeline stages. Multi-tenant workloads interleave tenants, so a stage's
+/// time there aggregates every tenant's share of that stage.
 pub fn run_profiled(exp: &Experiment) -> Result<FrameProfile, CoreError> {
     let mut memory = MemorySubsystem::new(&exp.memory)?;
     let geometry = exp.memory.controller.cluster.geometry;
-    let layout = FrameLayout::with_options(
-        &exp.use_case,
-        &LayoutOptions::bank_staggered(
-            memory.capacity_bytes(),
-            geometry.page_bytes() as u64,
-            memory.channels(),
-            geometry.banks,
-        ),
-    )?;
-    let mut traffic =
-        FrameTraffic::new(&exp.use_case, &layout, exp.chunk.bytes(memory.channels()))?;
+    let layout_opts = LayoutOptions::bank_staggered(
+        memory.capacity_bytes(),
+        geometry.page_bytes() as u64,
+        memory.channels(),
+        geometry.banks,
+    );
+    let model = exp.model();
+    let mut traffic = model.traffic(&layout_opts, exp.chunk.bytes(memory.channels()), 0, &[])?;
 
     let clock = memory.clock();
     let mut stages: Vec<StageProfile> = Vec::new();

@@ -13,7 +13,7 @@
 
 use mcm_channel::{MasterTransaction, MemorySubsystem};
 use mcm_ctrl::AccessOp;
-use mcm_load::{FrameLayout, FrameTraffic, LayoutOptions, Region};
+use mcm_load::{LayoutOptions, LoadModel};
 use mcm_power::PowerSummary;
 use mcm_sim::SimTime;
 
@@ -58,23 +58,11 @@ impl SteadyStateResult {
     }
 }
 
-/// Rotates the reconstructed buffer into the reference set for frame `f`:
-/// the pool of `refs + 1` picture buffers cycles so the frame written last
-/// becomes a reference next frame.
-fn rotated_layout(base: &FrameLayout, frame: usize) -> FrameLayout {
-    let mut pool: Vec<Region> = base.references.clone();
-    pool.push(base.reconstructed);
-    let n = pool.len();
-    pool.rotate_left(frame % n);
-    let mut layout = base.clone();
-    layout.reconstructed = pool[n - 1];
-    layout.references = pool[..n - 1].to_vec();
-    layout
-}
-
-/// Runs `frames` consecutive frames of `exp` against one persistent memory
-/// subsystem, with an optional instrumentation sink attached; each frame
-/// is additionally captured as a `"frame"` span.
+/// Runs `frames` consecutive frames of `exp`'s workload `model` against one
+/// persistent memory subsystem, with an optional instrumentation sink
+/// attached; each frame is additionally captured as a `"frame"` span.
+/// The model sees the captured-frame index, so reference rotation and
+/// stochastic modulation advance frame by frame.
 ///
 /// This is the engine behind
 /// [`RunOptions::steady`](crate::RunOptions::steady); prefer
@@ -82,6 +70,7 @@ fn rotated_layout(base: &FrameLayout, frame: usize) -> FrameLayout {
 /// accessors for getting at the [`SteadyStateResult`].
 pub fn run_steady_state_observed(
     exp: &Experiment,
+    model: &dyn LoadModel,
     frames: u32,
     recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
 ) -> Result<SteadyStateResult, CoreError> {
@@ -96,15 +85,12 @@ pub fn run_steady_state_observed(
         memory.set_recorder(rec.clone());
     }
     let geometry = exp.memory.controller.cluster.geometry;
-    let base_layout = FrameLayout::with_options(
-        &exp.use_case,
-        &LayoutOptions::bank_staggered(
-            memory.capacity_bytes(),
-            geometry.page_bytes() as u64,
-            memory.channels(),
-            geometry.banks,
-        ),
-    )?;
+    let layout_opts = LayoutOptions::bank_staggered(
+        memory.capacity_bytes(),
+        geometry.page_bytes() as u64,
+        memory.channels(),
+        geometry.banks,
+    );
     let frame_budget = SimTime::from_ps(1_000_000_000_000u64 / exp.use_case.fps as u64);
     let budget_cycles = memory.clock().cycles_at(frame_budget);
     let chunk = exp.chunk.bytes(memory.channels());
@@ -113,8 +99,7 @@ pub fn run_steady_state_observed(
     let mut bytes = 0u64;
     for f in 0..frames {
         let start = f as u64 * budget_cycles;
-        let layout = rotated_layout(&base_layout, f as usize);
-        let traffic = FrameTraffic::new(&exp.use_case, &layout, chunk)?;
+        let traffic = model.traffic(&layout_opts, chunk, f as u64, &[])?;
         let mut done = start;
         for (ops, op) in traffic.enumerate() {
             if let Some(limit) = exp.op_limit {
@@ -234,9 +219,11 @@ mod tests {
 
     #[test]
     fn reference_rotation_cycles_through_the_pool() {
+        use mcm_load::FrameLayout;
         let base =
             FrameLayout::new(&mcm_load::UseCase::hd(HdOperatingPoint::Hd720p30), 1 << 30).unwrap();
         let n = base.references.len() + 1;
+        let rotated_layout = |base: &FrameLayout, f: usize| base.rotated(f as u64);
         // After n rotations the layout returns to the start.
         let l0 = rotated_layout(&base, 0);
         let ln = rotated_layout(&base, n);

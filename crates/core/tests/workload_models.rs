@@ -1,0 +1,180 @@
+//! Workload-model guard suite.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Table I through the trait is the paper, bit for bit.** The
+//!    [`mcm_load::LoadModel`] seam exists so alternative workloads can be
+//!    slotted in; the default (`Workload::TableI`) must remain
+//!    indistinguishable from the pre-trait code path — same per-stage
+//!    rows, same sustained demand, same operation stream, same simulated
+//!    result. The per-stage cells are additionally re-checked against the
+//!    frozen Table I goldens (±0.5%) *via the trait*, so a regression in
+//!    the trait plumbing cannot hide behind an intact `UseCase`.
+//! 2. **Stochastic generation is a pure function of (seed, frame).** The
+//!    Markov-modulated generator must produce bit-identical operation
+//!    streams no matter which thread asks, so sweep results stay
+//!    cache-stable and thread-count invariant.
+
+use mcm_core::{Experiment, FrameResult, RunOptions};
+use mcm_load::{
+    FrameLayout, FrameTraffic, HdOperatingPoint, LayoutOptions, LoadOp, UseCase, Workload,
+};
+
+const LEVELS: [HdOperatingPoint; 5] = [
+    HdOperatingPoint::Hd720p30,
+    HdOperatingPoint::Hd720p60,
+    HdOperatingPoint::Hd1080p30,
+    HdOperatingPoint::Hd1080p60,
+    HdOperatingPoint::Uhd2160p30,
+];
+
+/// Runs a healthy single-frame simulation of `exp`.
+fn simulate(exp: &Experiment) -> FrameResult {
+    exp.run_with(&RunOptions::default())
+        .unwrap()
+        .into_frame()
+        .unwrap()
+}
+
+/// The engine's placement options for the paper's geometry at `channels`.
+fn paper_options(channels: u32) -> LayoutOptions {
+    let g = mcm_dram::Geometry::next_gen_mobile_ddr();
+    LayoutOptions::bank_staggered(
+        g.capacity_bytes() * channels as u64,
+        g.page_bytes() as u64,
+        channels,
+        g.banks,
+    )
+}
+
+#[test]
+fn table_i_through_the_trait_reproduces_the_stage_rows_bit_identically() {
+    for p in LEVELS {
+        let uc = UseCase::hd(p);
+        let model = Workload::TableI.model(&uc);
+        assert_eq!(
+            model.bits_per_second(),
+            uc.table_row().bits_per_second(),
+            "{p:?}: sustained demand"
+        );
+        // Table I is deterministic: the frame index must not matter.
+        for frame in [0u64, 1, 7, 1000] {
+            assert_eq!(
+                model.stage_rows(frame),
+                uc.stage_traffic(),
+                "{p:?} frame {frame}: per-stage rows"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_i_through_the_trait_matches_the_frozen_goldens() {
+    // The 1080p30 column of the frozen Table I goldens (see
+    // paper_golden.rs for provenance), re-checked through the trait at
+    // the golden suite's ±0.5% cell tolerance.
+    let golden_mbits = [
+        48.11, 96.22, 96.22, 81.53, 66.85, 42.64, 18.43, 627.35, 0.004, 1.34, 0.67,
+    ];
+    let uc = UseCase::hd(HdOperatingPoint::Hd1080p30);
+    let rows = Workload::TableI.model(&uc).stage_rows(0);
+    assert_eq!(rows.len(), golden_mbits.len());
+    for (row, want) in rows.iter().zip(golden_mbits) {
+        let got = row.total_mbits();
+        let tol = (want * 0.005_f64).max(0.01);
+        assert!(
+            (got - want).abs() <= tol,
+            "Table I via trait, {}: got {got}, want {want} (±{tol})",
+            row.stage.label()
+        );
+    }
+}
+
+#[test]
+fn table_i_through_the_trait_emits_the_same_operation_stream() {
+    for p in [HdOperatingPoint::Hd720p30, HdOperatingPoint::Hd1080p30] {
+        let uc = UseCase::hd(p);
+        let options = paper_options(4);
+        let chunk = 4096;
+        let layout = FrameLayout::with_options(&uc, &options).unwrap();
+        let legacy: Vec<LoadOp> = FrameTraffic::new(&uc, &layout, chunk).unwrap().collect();
+        let via_trait: Vec<LoadOp> = Workload::TableI
+            .model(&uc)
+            .traffic(&options, chunk, 0, &[])
+            .unwrap()
+            .collect();
+        assert_eq!(legacy, via_trait, "{p:?}: op streams must be identical");
+    }
+}
+
+#[test]
+fn table_i_through_the_trait_simulates_identically() {
+    // End to end: an experiment with the (default) Table I workload must
+    // produce the same numbers whether the workload field was set
+    // explicitly or left at its default — there is only one code path.
+    let mut explicit = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+    explicit.op_limit = Some(3_000);
+    explicit.workload = Workload::TableI;
+    let mut default = Experiment::paper(HdOperatingPoint::Hd1080p30, 4, 400);
+    default.op_limit = Some(3_000);
+
+    let a = simulate(&explicit);
+    let b = simulate(&default);
+    assert_eq!(a.access_time, b.access_time);
+    assert_eq!(a.planned_bytes, b.planned_bytes);
+    assert_eq!(a.power, b.power);
+    assert_eq!(
+        a.achieved_bandwidth_bytes_per_s(),
+        b.achieved_bandwidth_bytes_per_s()
+    );
+}
+
+#[test]
+fn same_seed_stochastic_traffic_is_bit_identical_across_threads() {
+    let workload = Workload::parse("stochastic:42:75").unwrap();
+    let gen_ops = move |frame: u64| -> Vec<LoadOp> {
+        let uc = UseCase::hd(HdOperatingPoint::Hd720p30);
+        workload
+            .model(&uc)
+            .traffic(&paper_options(2), 4096, frame, &[])
+            .unwrap()
+            .collect()
+    };
+    // Reference streams for a few frames, generated on this thread.
+    let frames: Vec<u64> = vec![0, 1, 2, 3, 17];
+    let reference: Vec<Vec<LoadOp>> = frames.iter().map(|&f| gen_ops(f)).collect();
+    // The frame index must matter (the generator actually modulates) ...
+    assert_ne!(reference[0], reference[1], "frames must differ");
+    // ... but the calling thread must not: four threads each regenerate
+    // every frame and must agree with the reference bit for bit.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let frames = frames.clone();
+            std::thread::spawn(move || {
+                frames
+                    .iter()
+                    .map(|&f| gen_ops(f))
+                    .collect::<Vec<Vec<LoadOp>>>()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(
+            h.join().unwrap(),
+            reference,
+            "stochastic traffic must be a pure function of (seed, frame)"
+        );
+    }
+}
+
+#[test]
+fn same_seed_stochastic_runs_simulate_identically() {
+    let mut exp = Experiment::paper(HdOperatingPoint::Hd720p30, 2, 400);
+    exp.op_limit = Some(3_000);
+    exp.workload = Workload::parse("stochastic:42").unwrap();
+    let a = simulate(&exp);
+    let b = simulate(&exp);
+    assert_eq!(a.access_time, b.access_time);
+    assert_eq!(a.planned_bytes, b.planned_bytes);
+    assert_eq!(a.power, b.power);
+}

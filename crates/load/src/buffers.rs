@@ -69,6 +69,16 @@ fn align_up(x: u64, a: u64) -> u64 {
     x.div_ceil(a) * a
 }
 
+/// The buffer-start alignment `with_options` uses for the given options —
+/// the stagger span when staggering is on, plain [`BUFFER_ALIGN`] otherwise.
+/// The multi-tenant model aligns tenant base offsets to this so stacked
+/// layouts keep their bank-stagger phase.
+pub(crate) fn layout_alignment(options: &LayoutOptions) -> u64 {
+    BUFFER_ALIGN
+        .max(options.bank_stagger_bytes * options.stagger_period as u64)
+        .max(1)
+}
+
 /// Placement options for [`FrameLayout::with_options`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayoutOptions {
@@ -140,12 +150,7 @@ impl FrameLayout {
         let mut index = 0u32;
         let mut take = |len: u64| {
             let stagger = (index % options.stagger_period) as u64 * options.bank_stagger_bytes;
-            let start = align_up(
-                cursor,
-                BUFFER_ALIGN
-                    .max(options.bank_stagger_bytes * options.stagger_period as u64)
-                    .max(1),
-            ) + stagger;
+            let start = align_up(cursor, layout_alignment(options)) + stagger;
             index += 1;
             cursor = start + len;
             Region { start, len }
@@ -194,6 +199,43 @@ impl FrameLayout {
     /// Total bytes the layout occupies.
     pub fn total_bytes(&self) -> u64 {
         self.total
+    }
+
+    /// The layout for captured frame `frame`: the reconstructed buffer
+    /// rotates into the reference set so the frame written last becomes a
+    /// reference next frame. Frame 0 is the layout itself.
+    pub fn rotated(&self, frame: u64) -> FrameLayout {
+        let mut pool: Vec<Region> = self.references.clone();
+        pool.push(self.reconstructed);
+        let n = pool.len();
+        pool.rotate_left(frame as usize % n);
+        let mut layout = self.clone();
+        layout.reconstructed = pool[n - 1];
+        layout.references = pool[..n - 1].to_vec();
+        layout
+    }
+
+    /// Moves every buffer up by `offset` bytes. The multi-tenant model uses
+    /// this to stack N tenants' layouts into disjoint address spans;
+    /// `total_bytes` keeps meaning "one past the last byte", so it grows by
+    /// `offset` too.
+    pub fn shift(&mut self, offset: u64) {
+        let bump = |r: &mut Region| r.start += offset;
+        bump(&mut self.camera);
+        bump(&mut self.preprocessed);
+        bump(&mut self.yuv_bordered);
+        bump(&mut self.stabilized);
+        bump(&mut self.postprocessed);
+        bump(&mut self.display[0]);
+        bump(&mut self.display[1]);
+        for r in &mut self.references {
+            bump(r);
+        }
+        bump(&mut self.reconstructed);
+        bump(&mut self.bitstream);
+        bump(&mut self.audio);
+        bump(&mut self.mux);
+        self.total += offset;
     }
 
     /// All regions, for overlap/invariant checks.

@@ -15,7 +15,11 @@
 //!   traffic model;
 //! * [`FrameLayout`] — the buffers' placement in the address space;
 //! * [`FrameTraffic`] / [`LoadOp`] — the state machine emitting one frame's
-//!   memory operations.
+//!   memory operations;
+//! * [`LoadModel`] / [`Workload`] — the pluggable workload-model trait and
+//!   the named catalogue built on it (Table I H.264, HEVC/VVC profiles, a
+//!   seed-deterministic stochastic generator, multi-tenant contention).
+//!   The modeling math lives in `docs/WORKLOADS.md`.
 //!
 //! # Examples
 //!
@@ -29,23 +33,30 @@
 //! assert!((3.9..=4.6).contains(&row.gbytes_per_second()));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod buffers;
 mod error;
 mod formats;
 mod levels;
+mod model;
 mod stages;
 mod tracefile;
 mod traffic;
 mod usecase;
+mod workload;
 
 pub use buffers::{FrameLayout, LayoutOptions, Region};
 pub use error::LoadError;
 pub use formats::{FrameFormat, PixelFormat};
 pub use levels::{H264Level, HdOperatingPoint, LevelLimits};
+pub use model::{
+    CodecModel, Footprint, LoadModel, MultiTenantModel, MultiTenantTraffic, StochasticModel,
+    TableIModel, TenantRole, Traffic,
+};
 pub use stages::{Stage, StageTraffic};
 pub use tracefile::{read_trace, write_trace, TRACE_HEADER};
 pub use traffic::{FrameTraffic, LoadOp};
 pub use usecase::{RefFrames, TableRow, UseCase, UseCaseMode};
+pub use workload::{CodecProfile, StochasticParams, Workload, DEFAULT_BURSTINESS_PCT, MAX_TENANTS};

@@ -1,0 +1,1008 @@
+//! Pluggable workload models: the [`LoadModel`] trait and its built-in
+//! implementations.
+//!
+//! The paper evaluates exactly one workload — the Table I H.264 recording
+//! chain. Its *argument*, that channel count should track workload
+//! concurrency, only generalizes if other workloads can be expressed. This
+//! module makes the Table I model one implementation of a trait:
+//!
+//! * [`TableIModel`] — the paper's model, byte-identical to the pre-trait
+//!   engine paths (guarded by `crates/core/tests/paper_golden.rs`);
+//! * [`CodecModel`] — HEVC and VVC profiles, the coding stages rescaled to
+//!   measured ratios (arXiv:2005.13331);
+//! * [`StochasticModel`] — seed-deterministic Markov-modulated per-frame
+//!   traffic (motivated by arXiv:1301.0344);
+//! * [`MultiTenantModel`] — N concurrent use cases contending for the same
+//!   channels, each in its own address-space span.
+//!
+//! The calibration numbers and the math behind each model live in
+//! `docs/WORKLOADS.md`; `examples/custom_workload.rs` walks through writing
+//! a model of your own.
+
+use core::fmt;
+
+use crate::buffers::{FrameLayout, LayoutOptions, Region};
+use crate::error::LoadError;
+use crate::formats::PixelFormat;
+use crate::stages::{Stage, StageTraffic};
+use crate::traffic::{FrameTraffic, LoadOp};
+use crate::usecase::{UseCase, UseCaseMode};
+use crate::workload::{CodecProfile, StochasticParams};
+
+/// A workload model: everything the engine needs to simulate a use case.
+///
+/// A model owns a base [`UseCase`] (frame geometry, rates, H.264 level — the
+/// buffer shapes) and decides, per captured frame, what traffic flows
+/// against those buffers. The engine consumes models only through this
+/// trait, so external crates can plug in their own pipelines — see
+/// `examples/custom_workload.rs`.
+///
+/// Determinism contract: every method must be a pure function of the
+/// model's parameters and its arguments. [`LoadModel::traffic`] for a given
+/// `(options, chunk_bytes, frame, shed)` must return the same operation
+/// stream on every call, in every thread — the sweep cache, the replay
+/// machinery and the cross-thread determinism tests all rely on it.
+pub trait LoadModel: fmt::Debug + Send + Sync {
+    /// Canonical workload name (`h264-record`, `stochastic:7`, …).
+    fn name(&self) -> String;
+
+    /// The base use case: frame formats, rates and level limits that shape
+    /// the buffers.
+    fn use_case(&self) -> &UseCase;
+
+    /// Validates the model's parameters.
+    fn validate(&self) -> Result<(), LoadError>;
+
+    /// Steady-state demand in bits per second, the number the MCM405
+    /// bandwidth-roofline lint weighs against the channels' ceiling. For
+    /// stochastic models this is the *nominal* (long-run typical) demand;
+    /// bursts above it are what the pacing margin absorbs.
+    fn bits_per_second(&self) -> u64;
+
+    /// Per-stage traffic for captured frame `frame`. Deterministic models
+    /// ignore `frame`; the stochastic generator modulates with it.
+    fn stage_rows(&self, frame: u64) -> Vec<StageTraffic>;
+
+    /// The address-space footprint under the given placement options — the
+    /// number the MCM406 footprint lint weighs against capacity. Mirrors
+    /// exactly the layout the engine will build.
+    fn footprint(&self, options: &LayoutOptions) -> Result<Footprint, LoadError>;
+
+    /// Address spans owned by each tenant, in tenant order. Empty unless
+    /// the model is multi-tenant; the engine uses the spans to attribute
+    /// traffic per tenant and verify gets an MCM204 invariant out of them.
+    fn tenant_spans(&self, options: &LayoutOptions) -> Result<Vec<Region>, LoadError> {
+        let _ = options;
+        Ok(Vec::new())
+    }
+
+    /// Human-readable tenant labels, parallel to
+    /// [`LoadModel::tenant_spans`]. Empty unless multi-tenant.
+    fn tenant_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Builds the operation stream for captured frame `frame`, with the
+    /// given stages shed (dropped from the plan; the degradation layer's
+    /// knob).
+    fn traffic(
+        &self,
+        options: &LayoutOptions,
+        chunk_bytes: u32,
+        frame: u64,
+        shed: &[Stage],
+    ) -> Result<Traffic, LoadError>;
+}
+
+/// A model's address-space footprint, as reported by
+/// [`LoadModel::footprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// Total bytes of address space the layout occupies (one past the last
+    /// byte of the highest buffer).
+    pub total_bytes: u64,
+    /// Every buffer region, for overlap/invariant checks.
+    pub regions: Vec<Region>,
+}
+
+/// The operation stream a [`LoadModel`] produces for one captured frame.
+///
+/// Single-tenant models wrap one [`FrameTraffic`]; the multi-tenant model
+/// interleaves N of them round-robin (the memory subsystem sees the tenants'
+/// requests arrive interleaved, which is exactly the contention being
+/// modeled).
+#[derive(Debug, Clone)]
+pub enum Traffic {
+    /// One tenant's frame traffic.
+    Single(FrameTraffic),
+    /// N tenants' traffic, interleaved.
+    Multi(MultiTenantTraffic),
+}
+
+impl Traffic {
+    /// Total bytes the whole frame will move.
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            Traffic::Single(t) => t.total_bytes(),
+            Traffic::Multi(t) => t.total_bytes(),
+        }
+    }
+
+    /// The stage currently emitting, if any (for profiling attribution; in
+    /// the multi-tenant case, the next tenant's current stage).
+    pub fn current_stage(&self) -> Option<Stage> {
+        match self {
+            Traffic::Single(t) => t.current_stage(),
+            Traffic::Multi(t) => t.current_stage(),
+        }
+    }
+
+    /// Planned bytes per stage before any ops are consumed, in pipeline
+    /// order, summed across tenants. The degradation layer reads this to
+    /// decide what to shed and to account shed bytes.
+    pub fn stage_bytes(&self) -> Vec<(Stage, u64)> {
+        match self {
+            Traffic::Single(t) => t.stage_bytes(),
+            Traffic::Multi(t) => t.stage_bytes(),
+        }
+    }
+
+    /// Tenant address spans (empty for single-tenant traffic).
+    pub fn tenant_spans(&self) -> &[Region] {
+        match self {
+            Traffic::Single(_) => &[],
+            Traffic::Multi(t) => t.spans(),
+        }
+    }
+}
+
+impl Iterator for Traffic {
+    type Item = LoadOp;
+
+    fn next(&mut self) -> Option<LoadOp> {
+        match self {
+            Traffic::Single(t) => t.next(),
+            Traffic::Multi(t) => t.next(),
+        }
+    }
+}
+
+/// Round-robin interleaving of N tenants' [`FrameTraffic`] streams.
+#[derive(Debug, Clone)]
+pub struct MultiTenantTraffic {
+    tenants: Vec<FrameTraffic>,
+    spans: Vec<Region>,
+    next: usize,
+}
+
+impl MultiTenantTraffic {
+    /// Builds the interleaved stream from per-tenant traffic and the
+    /// tenants' address spans (parallel vectors).
+    pub fn new(tenants: Vec<FrameTraffic>, spans: Vec<Region>) -> Self {
+        debug_assert_eq!(tenants.len(), spans.len());
+        MultiTenantTraffic {
+            tenants,
+            spans,
+            next: 0,
+        }
+    }
+
+    /// Total bytes across all tenants.
+    pub fn total_bytes(&self) -> u64 {
+        self.tenants.iter().map(FrameTraffic::total_bytes).sum()
+    }
+
+    /// The next-to-emit tenant's current stage.
+    pub fn current_stage(&self) -> Option<Stage> {
+        let n = self.tenants.len();
+        (0..n)
+            .map(|i| &self.tenants[(self.next + i) % n])
+            .find_map(FrameTraffic::current_stage)
+    }
+
+    /// Per-stage planned bytes summed across tenants, in pipeline order.
+    pub fn stage_bytes(&self) -> Vec<(Stage, u64)> {
+        let mut totals = [0u64; Stage::ALL.len()];
+        for t in &self.tenants {
+            for (stage, bytes) in t.stage_bytes() {
+                let idx = Stage::ALL.iter().position(|&s| s == stage);
+                if let Some(idx) = idx {
+                    totals[idx] += bytes;
+                }
+            }
+        }
+        Stage::ALL
+            .iter()
+            .zip(totals)
+            .filter(|&(_, b)| b > 0)
+            .map(|(&s, b)| (s, b))
+            .collect()
+    }
+
+    /// Tenant address spans, in tenant order.
+    pub fn spans(&self) -> &[Region] {
+        &self.spans
+    }
+}
+
+impl Iterator for MultiTenantTraffic {
+    type Item = LoadOp;
+
+    fn next(&mut self) -> Option<LoadOp> {
+        let n = self.tenants.len();
+        for i in 0..n {
+            let idx = (self.next + i) % n;
+            if let Some(op) = self.tenants[idx].next() {
+                self.next = (idx + 1) % n;
+                return Some(op);
+            }
+        }
+        None
+    }
+}
+
+// ---- Table I ---------------------------------------------------------------
+
+/// The paper's Table I H.264 recording model, behind the trait.
+///
+/// Byte-identical to the pre-trait engine paths: the layout, the rotation of
+/// reference frames across captured frames, and the emitted operation stream
+/// all reuse the exact same code.
+#[derive(Debug, Clone)]
+pub struct TableIModel {
+    use_case: UseCase,
+}
+
+impl TableIModel {
+    /// Wraps a use case in the trait.
+    pub fn new(use_case: UseCase) -> Self {
+        TableIModel { use_case }
+    }
+}
+
+impl LoadModel for TableIModel {
+    fn name(&self) -> String {
+        "h264-record".to_string()
+    }
+
+    fn use_case(&self) -> &UseCase {
+        &self.use_case
+    }
+
+    fn validate(&self) -> Result<(), LoadError> {
+        self.use_case.validate()
+    }
+
+    fn bits_per_second(&self) -> u64 {
+        self.use_case.table_row().bits_per_second()
+    }
+
+    fn stage_rows(&self, _frame: u64) -> Vec<StageTraffic> {
+        self.use_case.stage_traffic()
+    }
+
+    fn footprint(&self, options: &LayoutOptions) -> Result<Footprint, LoadError> {
+        let layout = FrameLayout::with_options(&self.use_case, options)?;
+        Ok(Footprint {
+            total_bytes: layout.total_bytes(),
+            regions: layout.regions(),
+        })
+    }
+
+    fn traffic(
+        &self,
+        options: &LayoutOptions,
+        chunk_bytes: u32,
+        frame: u64,
+        shed: &[Stage],
+    ) -> Result<Traffic, LoadError> {
+        let layout = FrameLayout::with_options(&self.use_case, options)?.rotated(frame);
+        let t = FrameTraffic::without_stages(&self.use_case, &layout, chunk_bytes, shed)?;
+        Ok(Traffic::Single(t))
+    }
+}
+
+// ---- HEVC / VVC ------------------------------------------------------------
+
+/// Table I rescaled to a modern codec ([`CodecProfile`]).
+///
+/// The image-processing stages (camera through display) are raster-driven
+/// and codec-independent, so they are untouched. The coding stages scale:
+/// the encoder's reference reads by the profile's measured access ratio, and
+/// the bitstream (hence multiplex and memory-card traffic) by the profile's
+/// compression gain. Calibration table and citations: `docs/WORKLOADS.md`.
+#[derive(Debug, Clone)]
+pub struct CodecModel {
+    use_case: UseCase,
+    profile: CodecProfile,
+}
+
+impl CodecModel {
+    /// A codec profile over the given base use case.
+    pub fn new(use_case: UseCase, profile: CodecProfile) -> Self {
+        CodecModel { use_case, profile }
+    }
+
+    /// The profile in effect.
+    pub fn profile(&self) -> CodecProfile {
+        self.profile
+    }
+
+    fn scaled_rows(&self) -> Vec<StageTraffic> {
+        scale_coding_rows(&self.use_case, self.profile.encoder_read_scale(), {
+            let (n, d) = self.profile.bitrate_scale();
+            let v = self.use_case.video_kbps * 1_000 / self.use_case.fps as u64;
+            v * n / d
+        })
+    }
+}
+
+/// Rewrites the coding stages of `use_case`'s Table I rows: encoder
+/// reference reads scaled by `read_scale`, and the per-frame video bitstream
+/// bits replaced by `video_bits`. Rows that the use-case mode already gates
+/// to zero (viewfinder) stay zero.
+fn scale_coding_rows(
+    use_case: &UseCase,
+    read_scale: (u64, u64),
+    video_bits: u64,
+) -> Vec<StageTraffic> {
+    let (rn, rd) = read_scale;
+    let n12 = use_case.video.bits(PixelFormat::Yuv420);
+    let a = use_case.audio_kbps * 1_000 / use_case.fps as u64;
+    use_case
+        .stage_traffic()
+        .into_iter()
+        .map(|t| {
+            let gated = |base: u64, scaled: u64| if base == 0 { 0 } else { scaled };
+            match t.stage {
+                Stage::VideoEncoder => StageTraffic {
+                    stage: t.stage,
+                    read_bits: t.read_bits * rn / rd,
+                    write_bits: gated(t.write_bits, n12 + video_bits),
+                },
+                Stage::Multiplex => StageTraffic {
+                    stage: t.stage,
+                    read_bits: gated(t.read_bits, video_bits + a),
+                    write_bits: gated(t.write_bits, video_bits + a),
+                },
+                Stage::MemoryCard => StageTraffic {
+                    stage: t.stage,
+                    read_bits: gated(t.read_bits, video_bits + a),
+                    write_bits: 0,
+                },
+                _ => t,
+            }
+        })
+        .collect()
+}
+
+/// Sums a row set into bits per second at the use case's capture rate.
+fn rows_bits_per_second(rows: &[StageTraffic], fps: u32) -> u64 {
+    rows.iter().map(StageTraffic::total_bits).sum::<u64>() * fps as u64
+}
+
+impl LoadModel for CodecModel {
+    fn name(&self) -> String {
+        self.profile.workload_name().to_string()
+    }
+
+    fn use_case(&self) -> &UseCase {
+        &self.use_case
+    }
+
+    fn validate(&self) -> Result<(), LoadError> {
+        self.use_case.validate()
+    }
+
+    fn bits_per_second(&self) -> u64 {
+        rows_bits_per_second(&self.scaled_rows(), self.use_case.fps)
+    }
+
+    fn stage_rows(&self, _frame: u64) -> Vec<StageTraffic> {
+        self.scaled_rows()
+    }
+
+    fn footprint(&self, options: &LayoutOptions) -> Result<Footprint, LoadError> {
+        // Buffer geometry is Table I's: same reference count, same rings.
+        TableIModel::new(self.use_case).footprint(options)
+    }
+
+    fn traffic(
+        &self,
+        options: &LayoutOptions,
+        chunk_bytes: u32,
+        frame: u64,
+        shed: &[Stage],
+    ) -> Result<Traffic, LoadError> {
+        let layout = FrameLayout::with_options(&self.use_case, options)?.rotated(frame);
+        let t = FrameTraffic::with_rows(
+            &self.use_case,
+            &self.scaled_rows(),
+            &layout,
+            chunk_bytes,
+            shed,
+        )?;
+        Ok(Traffic::Single(t))
+    }
+}
+
+// ---- Stochastic ------------------------------------------------------------
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Used to derive the
+/// per-frame random draw from `(seed, frame)` so the chain is a pure
+/// function of its parameters — no RNG state to share across threads.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The three traffic states of the stochastic generator's Markov chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrafficState {
+    /// Easy content: coding traffic below nominal.
+    Calm,
+    /// The Table I baseline.
+    Nominal,
+    /// Hard content (scene change, high motion): coding traffic above
+    /// nominal.
+    Burst,
+}
+
+/// Markov-modulated per-frame traffic, seed-deterministic.
+///
+/// Video coding load is content-dependent and bursty; Poisson hidden-Markov
+/// models fit measured video traffic well (arXiv:1301.0344). This model
+/// drives the Table I *coding* stages (encoder reads, bitstream, multiplex,
+/// memory card) with a three-state chain — Calm / Nominal / Burst — while
+/// the raster-driven image stages stay constant. The chain's step at frame
+/// `f` draws from `splitmix64(seed ⊕ splitmix64(f))`, making the whole
+/// stream a pure function of `(seed, frame)`: same seed ⇒ bit-identical
+/// ops, on any thread count. Parameters and transition matrix:
+/// `docs/WORKLOADS.md`.
+#[derive(Debug, Clone)]
+pub struct StochasticModel {
+    use_case: UseCase,
+    params: StochasticParams,
+}
+
+impl StochasticModel {
+    /// A stochastic generator over the given base use case.
+    pub fn new(use_case: UseCase, params: StochasticParams) -> Self {
+        StochasticModel { use_case, params }
+    }
+
+    /// The generator's parameters.
+    pub fn params(&self) -> StochasticParams {
+        self.params
+    }
+
+    /// The chain state at captured frame `frame`, walked deterministically
+    /// from frame 0 (which is always Nominal).
+    fn state_at(&self, frame: u64) -> TrafficState {
+        let b = self.params.burstiness_pct as u64;
+        let mut state = TrafficState::Nominal;
+        for f in 1..=frame {
+            let r = splitmix64(self.params.seed ^ splitmix64(f)) % 100;
+            state = match state {
+                TrafficState::Nominal => {
+                    if r < 10 + 2 * b / 5 {
+                        TrafficState::Burst
+                    } else if r >= 85 {
+                        TrafficState::Calm
+                    } else {
+                        TrafficState::Nominal
+                    }
+                }
+                TrafficState::Burst => {
+                    if r < 30 + b / 2 {
+                        TrafficState::Burst
+                    } else {
+                        TrafficState::Nominal
+                    }
+                }
+                TrafficState::Calm => {
+                    if r < 40 {
+                        TrafficState::Calm
+                    } else {
+                        TrafficState::Nominal
+                    }
+                }
+            };
+        }
+        state
+    }
+
+    /// Coding-traffic scale for a state, in percent of nominal.
+    fn scale_pct(&self, state: TrafficState) -> u64 {
+        let b = self.params.burstiness_pct as u64;
+        match state {
+            TrafficState::Calm => 100 - b / 2,
+            TrafficState::Nominal => 100,
+            TrafficState::Burst => 100 + b,
+        }
+    }
+
+    fn rows_at(&self, frame: u64) -> Vec<StageTraffic> {
+        let pct = self.scale_pct(self.state_at(frame));
+        let uc = &self.use_case;
+        let base = uc.stage_traffic();
+        let enc_read = base[7].read_bits * pct / 100;
+        let v = uc.video_kbps * 1_000 / uc.fps as u64 * pct / 100;
+        let mut rows = scale_coding_rows(uc, (1, 1), v);
+        rows[7].read_bits = enc_read;
+        rows
+    }
+}
+
+impl LoadModel for StochasticModel {
+    fn name(&self) -> String {
+        crate::workload::Workload::Stochastic(self.params).name()
+    }
+
+    fn use_case(&self) -> &UseCase {
+        &self.use_case
+    }
+
+    fn validate(&self) -> Result<(), LoadError> {
+        if self.params.burstiness_pct > 100 {
+            return Err(LoadError::BadParam {
+                reason: format!("burstiness {} must be 0..=100", self.params.burstiness_pct),
+            });
+        }
+        self.use_case.validate()
+    }
+
+    fn bits_per_second(&self) -> u64 {
+        // Nominal-state demand: the long-run typical load. Bursts exceed it
+        // by up to `burstiness_pct` on the coding share; the pacing margin
+        // exists to absorb exactly that.
+        self.use_case.table_row().bits_per_second()
+    }
+
+    fn stage_rows(&self, frame: u64) -> Vec<StageTraffic> {
+        self.rows_at(frame)
+    }
+
+    fn footprint(&self, options: &LayoutOptions) -> Result<Footprint, LoadError> {
+        TableIModel::new(self.use_case).footprint(options)
+    }
+
+    fn traffic(
+        &self,
+        options: &LayoutOptions,
+        chunk_bytes: u32,
+        frame: u64,
+        shed: &[Stage],
+    ) -> Result<Traffic, LoadError> {
+        let layout = FrameLayout::with_options(&self.use_case, options)?.rotated(frame);
+        let t = FrameTraffic::with_rows(
+            &self.use_case,
+            &self.rows_at(frame),
+            &layout,
+            chunk_bytes,
+            shed,
+        )?;
+        Ok(Traffic::Single(t))
+    }
+}
+
+// ---- Multi-tenant ----------------------------------------------------------
+
+/// What one tenant of the multi-tenant workload is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantRole {
+    /// Full Table I recording.
+    Record,
+    /// Playback: decode-and-display, modeled by the viewfinder chain (the
+    /// image pipeline and display refresh, no encoding).
+    Playback,
+    /// Display-only refresh, also the viewfinder chain.
+    Display,
+}
+
+impl TenantRole {
+    /// Role label used in QoS reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantRole::Record => "record",
+            TenantRole::Playback => "playback",
+            TenantRole::Display => "display",
+        }
+    }
+}
+
+/// N concurrent use cases contending for the same memory channels.
+///
+/// Tenants cycle through the roles record → playback → display (so
+/// `multi-tenant:3` is the paper's "camcorder that also plays back" device:
+/// one recording pipeline plus two display-class consumers). Each tenant
+/// owns a disjoint span of the address space — its own frame buffers —
+/// and the tenants' operation streams are interleaved round-robin, which is
+/// what makes them contend for channels, banks and rows. Per-tenant QoS
+/// stats are attributed by span; verify's MCM204 rule checks that no access
+/// escapes its tenant's span.
+#[derive(Debug, Clone)]
+pub struct MultiTenantModel {
+    tenants: Vec<(TenantRole, UseCase)>,
+    base: UseCase,
+}
+
+impl MultiTenantModel {
+    /// `n` tenants derived from the base use case, cycling record /
+    /// playback / display roles.
+    pub fn new(base: UseCase, n: u32) -> Self {
+        const ROLES: [TenantRole; 3] = [
+            TenantRole::Record,
+            TenantRole::Playback,
+            TenantRole::Display,
+        ];
+        let tenants = (0..n.max(1))
+            .map(|i| {
+                let role = ROLES[i as usize % ROLES.len()];
+                let uc = match role {
+                    TenantRole::Record => base,
+                    TenantRole::Playback | TenantRole::Display => UseCase {
+                        mode: UseCaseMode::Viewfinder,
+                        ..base
+                    },
+                };
+                (role, uc)
+            })
+            .collect();
+        MultiTenantModel { tenants, base }
+    }
+
+    /// The tenants' roles, in tenant order.
+    pub fn roles(&self) -> Vec<TenantRole> {
+        self.tenants.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// Per-tenant layouts shifted to disjoint address spans, plus the spans
+    /// themselves.
+    fn layouts(
+        &self,
+        options: &LayoutOptions,
+    ) -> Result<(Vec<FrameLayout>, Vec<Region>), LoadError> {
+        let align = crate::buffers::layout_alignment(options);
+        let mut offset = 0u64;
+        let mut layouts = Vec::with_capacity(self.tenants.len());
+        let mut spans = Vec::with_capacity(self.tenants.len());
+        for (_, uc) in &self.tenants {
+            let remaining = LayoutOptions {
+                capacity_bytes: options.capacity_bytes.saturating_sub(offset),
+                ..*options
+            };
+            let mut layout = FrameLayout::with_options(uc, &remaining).map_err(|e| match e {
+                // Report the overflow against the whole memory, not the
+                // remainder this tenant saw.
+                LoadError::LayoutOverflow { needed, .. } => LoadError::LayoutOverflow {
+                    needed: offset + needed,
+                    capacity: options.capacity_bytes,
+                },
+                other => other,
+            })?;
+            layout.shift(offset);
+            let end = layout.total_bytes();
+            spans.push(Region {
+                start: offset,
+                len: end - offset,
+            });
+            offset = end.div_ceil(align) * align;
+            layouts.push(layout);
+        }
+        Ok((layouts, spans))
+    }
+}
+
+impl LoadModel for MultiTenantModel {
+    fn name(&self) -> String {
+        format!("multi-tenant:{}", self.tenants.len())
+    }
+
+    fn use_case(&self) -> &UseCase {
+        &self.base
+    }
+
+    fn validate(&self) -> Result<(), LoadError> {
+        for (_, uc) in &self.tenants {
+            uc.validate()?;
+        }
+        Ok(())
+    }
+
+    fn bits_per_second(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|(_, uc)| uc.table_row().bits_per_second())
+            .sum()
+    }
+
+    fn stage_rows(&self, _frame: u64) -> Vec<StageTraffic> {
+        // Aggregate per-stage demand across tenants, in pipeline order.
+        let mut totals = vec![
+            StageTraffic {
+                stage: Stage::CameraIf,
+                read_bits: 0,
+                write_bits: 0,
+            };
+            Stage::ALL.len()
+        ];
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            totals[i].stage = stage;
+        }
+        for (_, uc) in &self.tenants {
+            for (i, row) in uc.stage_traffic().into_iter().enumerate() {
+                totals[i].read_bits += row.read_bits;
+                totals[i].write_bits += row.write_bits;
+            }
+        }
+        totals
+    }
+
+    fn footprint(&self, options: &LayoutOptions) -> Result<Footprint, LoadError> {
+        let (layouts, _) = self.layouts(options)?;
+        let total_bytes = layouts.last().map_or(0, FrameLayout::total_bytes);
+        let regions = layouts.iter().flat_map(FrameLayout::regions).collect();
+        Ok(Footprint {
+            total_bytes,
+            regions,
+        })
+    }
+
+    fn tenant_spans(&self, options: &LayoutOptions) -> Result<Vec<Region>, LoadError> {
+        Ok(self.layouts(options)?.1)
+    }
+
+    fn tenant_names(&self) -> Vec<String> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, (role, _))| format!("tenant{}:{}", i, role.label()))
+            .collect()
+    }
+
+    fn traffic(
+        &self,
+        options: &LayoutOptions,
+        chunk_bytes: u32,
+        frame: u64,
+        shed: &[Stage],
+    ) -> Result<Traffic, LoadError> {
+        let (layouts, spans) = self.layouts(options)?;
+        let mut streams = Vec::with_capacity(layouts.len());
+        for ((_, uc), layout) in self.tenants.iter().zip(layouts) {
+            let rotated = layout.rotated(frame);
+            streams.push(FrameTraffic::without_stages(
+                uc,
+                &rotated,
+                chunk_bytes,
+                shed,
+            )?);
+        }
+        Ok(Traffic::Multi(MultiTenantTraffic::new(streams, spans)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::HdOperatingPoint;
+    use crate::workload::{StochasticParams, Workload};
+
+    fn uc() -> UseCase {
+        UseCase::hd(HdOperatingPoint::Hd720p30)
+    }
+
+    fn opts() -> LayoutOptions {
+        LayoutOptions::bank_staggered(512 << 20, 2048, 4, 4)
+    }
+
+    fn ops(model: &dyn LoadModel, frame: u64) -> Vec<LoadOp> {
+        model.traffic(&opts(), 64, frame, &[]).unwrap().collect()
+    }
+
+    #[test]
+    fn table_i_model_is_byte_identical_to_the_legacy_path() {
+        let model = TableIModel::new(uc());
+        let layout = FrameLayout::with_options(&uc(), &opts()).unwrap();
+        let legacy: Vec<LoadOp> = FrameTraffic::new(&uc(), &layout, 64).unwrap().collect();
+        assert_eq!(ops(&model, 0), legacy);
+    }
+
+    #[test]
+    fn table_i_model_rotates_references_per_frame() {
+        let model = TableIModel::new(uc());
+        let f0 = ops(&model, 0);
+        let f1 = ops(&model, 1);
+        assert_eq!(f0.len(), f1.len());
+        assert_ne!(f0, f1, "reference rotation must move addresses");
+        let bytes = |v: &[LoadOp]| v.iter().map(|o| o.len as u64).sum::<u64>();
+        assert_eq!(bytes(&f0), bytes(&f1));
+    }
+
+    #[test]
+    fn hevc_scales_encoder_reads_up_and_streams_down() {
+        let base = uc().stage_traffic();
+        let hevc = CodecModel::new(uc(), CodecProfile::Hevc);
+        let rows = hevc.stage_rows(0);
+        assert_eq!(rows[7].read_bits, base[7].read_bits * 3 / 2);
+        assert!(rows[9].total_bits() < base[9].total_bits());
+        // Image stages untouched.
+        for i in 0..7 {
+            assert_eq!(rows[i], base[i], "stage {i}");
+        }
+        // Emitted ops match the plan.
+        let t = hevc.traffic(&opts(), 64, 0, &[]).unwrap();
+        let planned = t.total_bytes();
+        assert_eq!(t.map(|o| o.len as u64).sum::<u64>(), planned);
+    }
+
+    #[test]
+    fn vvc_reads_more_than_hevc_but_streams_less() {
+        let hevc = CodecModel::new(uc(), CodecProfile::Hevc);
+        let vvc = CodecModel::new(uc(), CodecProfile::Vvc);
+        assert!(vvc.stage_rows(0)[7].read_bits > hevc.stage_rows(0)[7].read_bits);
+        assert!(vvc.stage_rows(0)[10].read_bits < hevc.stage_rows(0)[10].read_bits);
+    }
+
+    #[test]
+    fn codec_profiles_gate_like_viewfinder() {
+        let vf = UseCase::viewfinder(HdOperatingPoint::Hd720p30);
+        let model = CodecModel::new(vf, CodecProfile::Vvc);
+        for row in model.stage_rows(0) {
+            if !row.stage.is_image_processing() {
+                assert_eq!(row.total_bits(), 0, "{} must stay gated", row.stage);
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_same_seed_is_bit_identical() {
+        let p = StochasticParams {
+            seed: 42,
+            burstiness_pct: 80,
+        };
+        let a = StochasticModel::new(uc(), p);
+        let b = StochasticModel::new(uc(), p);
+        for frame in [0u64, 1, 7, 23] {
+            assert_eq!(ops(&a, frame), ops(&b, frame), "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn stochastic_seeds_diverge_and_modulate_coding_only() {
+        let a = StochasticModel::new(
+            uc(),
+            StochasticParams {
+                seed: 1,
+                burstiness_pct: 100,
+            },
+        );
+        let mut coding_totals = Vec::new();
+        for frame in 0..32 {
+            let rows = a.stage_rows(frame);
+            // Image stages never move.
+            for (row, base) in rows.iter().zip(uc().stage_traffic()).take(7) {
+                assert_eq!(*row, base);
+            }
+            coding_totals.push(rows[7].total_bits());
+        }
+        coding_totals.dedup();
+        assert!(
+            coding_totals.len() > 1,
+            "burstiness 100 must visit more than one state in 32 frames"
+        );
+    }
+
+    #[test]
+    fn stochastic_zero_burstiness_is_the_nominal_load() {
+        let m = StochasticModel::new(
+            uc(),
+            StochasticParams {
+                seed: 99,
+                burstiness_pct: 0,
+            },
+        );
+        for frame in 0..16 {
+            assert_eq!(m.stage_rows(frame), uc().stage_traffic(), "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn multi_tenant_spans_are_disjoint_and_cover_all_ops() {
+        let m = MultiTenantModel::new(uc(), 3);
+        let spans = m.tenant_spans(&opts()).unwrap();
+        assert_eq!(spans.len(), 3);
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                assert!(!a.overlaps(b), "tenant spans overlap");
+            }
+        }
+        let t = m.traffic(&opts(), 64, 0, &[]).unwrap();
+        for op in t {
+            let inside = spans
+                .iter()
+                .any(|s| op.addr >= s.start && op.addr + op.len as u64 <= s.end());
+            assert!(inside, "op at {:#x} escapes every tenant span", op.addr);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_total_is_the_sum_of_tenants() {
+        let m = MultiTenantModel::new(uc(), 3);
+        let record = TableIModel::new(uc());
+        let view = TableIModel::new(UseCase::viewfinder(HdOperatingPoint::Hd720p30));
+        assert_eq!(
+            m.bits_per_second(),
+            record.bits_per_second() + 2 * view.bits_per_second()
+        );
+        let t = m.traffic(&opts(), 64, 0, &[]).unwrap();
+        let rec_t = record.traffic(&opts(), 64, 0, &[]).unwrap();
+        let view_opts = opts();
+        let view_t = view.traffic(&view_opts, 64, 0, &[]).unwrap();
+        assert_eq!(
+            t.total_bytes(),
+            rec_t.total_bytes() + 2 * view_t.total_bytes()
+        );
+    }
+
+    #[test]
+    fn multi_tenant_interleaves_round_robin() {
+        let m = MultiTenantModel::new(uc(), 2);
+        let spans = m.tenant_spans(&opts()).unwrap();
+        let first: Vec<LoadOp> = m.traffic(&opts(), 64, 0, &[]).unwrap().take(8).collect();
+        let tenant_of = |op: &LoadOp| {
+            spans
+                .iter()
+                .position(|s| op.addr >= s.start && op.addr < s.end())
+                .unwrap()
+        };
+        for pair in first.chunks(2) {
+            assert_eq!(tenant_of(&pair[0]), 0);
+            assert_eq!(tenant_of(&pair[1]), 1);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_overflow_reports_combined_numbers() {
+        let m = MultiTenantModel::new(UseCase::hd(HdOperatingPoint::Uhd2160p30), 4);
+        let err = m.footprint(&LayoutOptions::tight(256 << 20)).unwrap_err();
+        match err {
+            LoadError::LayoutOverflow { needed, capacity } => {
+                assert_eq!(capacity, 256 << 20);
+                assert!(needed > 256 << 20);
+            }
+            other => panic!("expected LayoutOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workload_model_names_match_the_workload() {
+        for w in [
+            Workload::TableI,
+            Workload::Codec(CodecProfile::Vvc),
+            Workload::Stochastic(StochasticParams::default()),
+            Workload::MultiTenant(2),
+        ] {
+            assert_eq!(w.model(&uc()).name(), w.name());
+        }
+    }
+
+    #[test]
+    fn tenant_names_follow_role_cycle() {
+        let m = MultiTenantModel::new(uc(), 4);
+        assert_eq!(
+            m.tenant_names(),
+            vec![
+                "tenant0:record",
+                "tenant1:playback",
+                "tenant2:display",
+                "tenant3:record"
+            ]
+        );
+        assert!(TableIModel::new(uc()).tenant_names().is_empty());
+    }
+}

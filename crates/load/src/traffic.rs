@@ -13,7 +13,7 @@
 
 use crate::buffers::FrameLayout;
 use crate::error::LoadError;
-use crate::stages::Stage;
+use crate::stages::{Stage, StageTraffic};
 use crate::usecase::UseCase;
 
 /// One memory operation emitted by the load model.
@@ -126,7 +126,7 @@ impl FrameTraffic {
         layout: &FrameLayout,
         chunk_bytes: u32,
     ) -> Result<Self, LoadError> {
-        Self::build(use_case, layout, chunk_bytes, &[])
+        Self::without_stages(use_case, layout, chunk_bytes, &[])
     }
 
     /// Like [`FrameTraffic::new`], but with the given stages shed: their
@@ -139,11 +139,29 @@ impl FrameTraffic {
         chunk_bytes: u32,
         shed: &[Stage],
     ) -> Result<Self, LoadError> {
-        Self::build(use_case, layout, chunk_bytes, shed)
+        Self::with_rows(
+            use_case,
+            &use_case.stage_traffic(),
+            layout,
+            chunk_bytes,
+            shed,
+        )
     }
 
-    fn build(
+    /// Builds the operation stream from an explicit per-stage traffic table
+    /// instead of the use case's own Table I rows. This is the hook workload
+    /// models (HEVC/VVC profiles, the stochastic generator, custom
+    /// [`LoadModel`](crate::LoadModel) implementations) use to reshape the
+    /// traffic while keeping the Table I buffer geometry: each row's bits
+    /// are streamed against the same buffers the matching Table I stage
+    /// touches.
+    ///
+    /// The `use_case` still supplies the buffer-derived constants — the
+    /// reconstructed-frame size splitting the encoder's writes, and the
+    /// audio share splitting the multiplex reads.
+    pub fn with_rows(
         use_case: &UseCase,
+        rows: &[StageTraffic],
         layout: &FrameLayout,
         chunk_bytes: u32,
         shed: &[Stage],
@@ -154,7 +172,7 @@ impl FrameTraffic {
             });
         }
         use_case.validate()?;
-        let traffic = use_case.stage_traffic();
+        let traffic = rows;
         let bytes = |bits: u64| bits / 8;
         let rd = |region: &crate::buffers::Region, total: u64| StreamPlan {
             write: false,
@@ -172,7 +190,7 @@ impl FrameTraffic {
         };
 
         let mut stages = Vec::with_capacity(traffic.len());
-        for t in &traffic {
+        for t in traffic {
             if shed.contains(&t.stage) {
                 continue;
             }

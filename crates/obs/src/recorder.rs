@@ -179,6 +179,13 @@ pub trait Recorder: fmt::Debug + Send + Sync {
     fn record_fault(&self, channel: u32, kind: FaultKind, at_ps: u64) {
         let _ = (channel, kind, at_ps);
     }
+
+    /// `bytes` moved on behalf of tenant `tenant` of a multi-tenant
+    /// workload (`write == true` for writes). Single-tenant runs never
+    /// call this.
+    fn record_tenant_op(&self, tenant: u32, write: bool, bytes: u64) {
+        let _ = (tenant, write, bytes);
+    }
 }
 
 /// The do-nothing recorder: every method is the trait default, so calls
@@ -299,6 +306,7 @@ mod tests {
         rec.record_span("txn", None, 0, 10);
         rec.record_gauge("core_mw", None, 1.0);
         rec.record_sim_event(7, 100);
+        rec.record_tenant_op(0, true, 64);
     }
 
     #[test]

@@ -105,6 +105,14 @@ struct Inner {
     gauges: Vec<GaugeSample>,
     kernel_events: u64,
     kernel_pending: LogHistogram,
+    tenants: BTreeMap<u32, TenantTotals>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantTotals {
+    ops: u64,
+    bytes_read: u64,
+    bytes_written: u64,
 }
 
 /// A recorder that keeps everything: counters, histograms, timelines,
@@ -206,6 +214,16 @@ impl StatsRecorder {
                 events: inner.kernel_events,
                 pending: inner.kernel_pending.summary(),
             },
+            tenants: inner
+                .tenants
+                .iter()
+                .map(|(&tenant, totals)| TenantObsReport {
+                    tenant,
+                    ops: totals.ops,
+                    bytes_read: totals.bytes_read,
+                    bytes_written: totals.bytes_written,
+                })
+                .collect(),
         }
     }
 }
@@ -297,6 +315,17 @@ impl Recorder for StatsRecorder {
             *stats.faults.entry(kind).or_default() += 1;
         });
     }
+
+    fn record_tenant_op(&self, tenant: u32, write: bool, bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let totals = inner.tenants.entry(tenant).or_default();
+        totals.ops += 1;
+        if write {
+            totals.bytes_written += bytes;
+        } else {
+            totals.bytes_read += bytes;
+        }
+    }
 }
 
 /// One named scalar sampled during a run.
@@ -362,6 +391,22 @@ pub struct KernelObsReport {
     pub pending: HistogramSummary,
 }
 
+/// Per-tenant traffic totals for a multi-tenant workload run.
+///
+/// Empty for single-tenant runs: the simulator only attributes ops to
+/// tenants when the workload defines tenant address spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantObsReport {
+    /// Tenant index within the workload (0-based).
+    pub tenant: u32,
+    /// Memory operations attributed to this tenant.
+    pub ops: u64,
+    /// Bytes read on behalf of this tenant.
+    pub bytes_read: u64,
+    /// Bytes written on behalf of this tenant.
+    pub bytes_written: u64,
+}
+
 /// Everything a [`StatsRecorder`] captured, in serializable form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObsReport {
@@ -377,6 +422,9 @@ pub struct ObsReport {
     pub gauges: Vec<GaugeSample>,
     /// Event-kernel statistics (zeros on the direct-call path).
     pub kernel: KernelObsReport,
+    /// Per-tenant traffic totals, ascending tenant index. Empty unless
+    /// the run used a multi-tenant workload.
+    pub tenants: Vec<TenantObsReport>,
 }
 
 fn ps_opt_to_ns(ps: Option<u64>) -> f64 {
@@ -548,6 +596,13 @@ impl ObsReport {
                 self.kernel.pending.p50.unwrap_or(0),
                 self.kernel.pending.p99.unwrap_or(0),
                 self.kernel.pending.max.unwrap_or(0),
+            );
+        }
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "tenant {}: {} ops, {} read B, {} written B",
+                t.tenant, t.ops, t.bytes_read, t.bytes_written
             );
         }
         if !self.spans.is_empty() || self.dropped_spans > 0 {
@@ -786,6 +841,40 @@ mod tests {
         let healthy = tiny_trace().report();
         assert!(!healthy.render_text().contains("faults"));
         // And the new field round-trips through JSON.
+        let back: ObsReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn tenant_ops_accumulate_and_render() {
+        let rec = StatsRecorder::new();
+        rec.record_tenant_op(1, false, 100);
+        rec.record_tenant_op(0, true, 64);
+        rec.record_tenant_op(1, true, 36);
+        let report = rec.report();
+        assert_eq!(
+            report.tenants,
+            vec![
+                TenantObsReport {
+                    tenant: 0,
+                    ops: 1,
+                    bytes_read: 0,
+                    bytes_written: 64
+                },
+                TenantObsReport {
+                    tenant: 1,
+                    ops: 2,
+                    bytes_read: 100,
+                    bytes_written: 36
+                },
+            ]
+        );
+        let text = report.render_text();
+        assert!(text.contains("tenant 0: 1 ops, 0 read B, 64 written B"));
+        assert!(text.contains("tenant 1: 2 ops, 100 read B, 36 written B"));
+        // Single-tenant runs keep the tenant lines out entirely.
+        assert!(!tiny_trace().report().render_text().contains("tenant"));
+        // And the field round-trips through JSON.
         let back: ObsReport = serde_json::from_str(&report.to_json()).unwrap();
         assert_eq!(back, report);
     }

@@ -382,10 +382,18 @@ fn parse_experiment(body: &serde::Value) -> Result<Experiment, String> {
         .get("clock_mhz")
         .and_then(|v| v.as_u64())
         .unwrap_or(400);
+    let workload = match body.get("workload") {
+        None => mcm_load::Workload::TableI,
+        Some(v) => {
+            let name = v.as_str().ok_or("`workload` must be a string name")?;
+            mcm_load::Workload::parse(name).map_err(|e| format!("bad workload: {e}"))?
+        }
+    };
     Experiment::builder()
         .point(point)
         .channels(channels)
         .clock_mhz(clock_mhz)
+        .workload(workload)
         .build()
         .map_err(|e| format!("bad run coordinates: {e}"))
 }
@@ -513,6 +521,31 @@ mod tests {
         assert_eq!(exp.memory.clock_mhz, 266);
         let e = parse_experiment(&serde_json::json!({ "format": "480i" })).unwrap_err();
         assert!(e.contains("unknown format"), "{e}");
+    }
+
+    #[test]
+    fn shorthand_bodies_accept_a_workload_name() {
+        let exp = parse_experiment(&serde_json::json!({
+            "format": "720p30",
+            "workload": "stochastic:42:80"
+        }))
+        .unwrap();
+        assert_eq!(exp.workload.name(), "stochastic:42:80");
+        // Omitting the key keeps the paper's Table I chain.
+        let exp = parse_experiment(&serde_json::json!({ "format": "720p30" })).unwrap();
+        assert!(exp.workload.is_default());
+        let e = parse_experiment(&serde_json::json!({ "workload": "mpeg2" })).unwrap_err();
+        assert!(e.contains("bad workload"), "{e}");
+    }
+
+    #[test]
+    fn sweep_specs_accept_the_workload_axis() {
+        let spec = merge_spec(&serde_json::json!({
+            "workloads": ["h264-record", "hevc-record"]
+        }))
+        .unwrap();
+        assert_eq!(spec.workloads.len(), 2);
+        assert_eq!(spec.workloads[1].name(), "hevc-record");
     }
 
     #[test]

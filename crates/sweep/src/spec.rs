@@ -11,7 +11,7 @@ use mcm_core::{ChunkPolicy, Experiment, Pacing};
 use mcm_ctrl::{PagePolicy, PowerDownPolicy};
 use mcm_dram::AddressMapping;
 use mcm_fault::FaultPlan;
-use mcm_load::HdOperatingPoint;
+use mcm_load::{HdOperatingPoint, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SweepError;
@@ -33,7 +33,7 @@ use crate::error::SweepError;
 /// };
 /// assert_eq!(spec.expand().unwrap().len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// HD operating points (outermost loop).
     pub points: Vec<HdOperatingPoint>,
@@ -51,6 +51,11 @@ pub struct SweepSpec {
     pub chunks: Vec<ChunkPolicy>,
     /// Arrival pacing.
     pub pacings: Vec<Pacing>,
+    /// Workload models applied per point. The default single-`TableI`
+    /// axis keeps paper sweeps (and their cache fingerprints) unchanged;
+    /// naming e.g. `["h264-record", "vvc-record"]` compares codecs on
+    /// otherwise identical hardware points.
+    pub workloads: Vec<Workload>,
     /// Fault plans injected per point (innermost loop): `None` runs
     /// healthy, `Some(plan)` runs degraded. The default single-`None` axis
     /// keeps healthy sweeps (and their cache fingerprints) unchanged.
@@ -72,9 +77,59 @@ impl Default for SweepSpec {
             power_down: vec![PowerDownPolicy::AfterIdleCycles(1)],
             chunks: vec![ChunkPolicy::PerChannel(64)],
             pacings: vec![Pacing::Greedy],
+            workloads: vec![Workload::TableI],
             faults: vec![None],
             op_limit: None,
         }
+    }
+}
+
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("points".to_string(), self.points.to_value());
+        m.insert("channels".to_string(), self.channels.to_value());
+        m.insert("clocks_mhz".to_string(), self.clocks_mhz.to_value());
+        m.insert("mappings".to_string(), self.mappings.to_value());
+        m.insert("page_policies".to_string(), self.page_policies.to_value());
+        m.insert("power_down".to_string(), self.power_down.to_value());
+        m.insert("chunks".to_string(), self.chunks.to_value());
+        m.insert("pacings".to_string(), self.pacings.to_value());
+        // Always written (unlike `Experiment`'s elided default): spec JSON
+        // is a user-facing document, and the axis must be discoverable.
+        m.insert("workloads".to_string(), self.workloads.to_value());
+        m.insert("faults".to_string(), self.faults.to_value());
+        m.insert("op_limit".to_string(), self.op_limit.to_value());
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for SweepSpec"))?;
+        let field = |name: &str| {
+            obj.get(name)
+                .ok_or_else(|| serde::Error::missing_field(name))
+        };
+        Ok(SweepSpec {
+            points: Deserialize::from_value(field("points")?)?,
+            channels: Deserialize::from_value(field("channels")?)?,
+            clocks_mhz: Deserialize::from_value(field("clocks_mhz")?)?,
+            mappings: Deserialize::from_value(field("mappings")?)?,
+            page_policies: Deserialize::from_value(field("page_policies")?)?,
+            power_down: Deserialize::from_value(field("power_down")?)?,
+            chunks: Deserialize::from_value(field("chunks")?)?,
+            pacings: Deserialize::from_value(field("pacings")?)?,
+            // Optional for specs written before the workload axis existed.
+            workloads: match obj.get("workloads") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => vec![Workload::TableI],
+            },
+            faults: Deserialize::from_value(field("faults")?)?,
+            op_limit: Deserialize::from_value(field("op_limit")?)?,
+        })
     }
 }
 
@@ -91,6 +146,8 @@ pub struct SweepPoint {
     pub channels: u32,
     /// Interface clock of this cell, MHz.
     pub clock_mhz: u64,
+    /// Workload model of this cell.
+    pub workload: Workload,
     /// Fault plan of this cell (`None` runs healthy).
     pub faults: Option<FaultPlan>,
     /// The validated experiment.
@@ -118,6 +175,7 @@ impl SweepSpec {
             * self.power_down.len()
             * self.chunks.len()
             * self.pacings.len()
+            * self.workloads.len()
             * self.faults.len()
     }
 
@@ -129,9 +187,9 @@ impl SweepSpec {
     /// Expands the cartesian product into validated experiments.
     ///
     /// Loop order, outermost first: points → channels → clocks → mappings
-    /// → page policies → power-down policies → chunks → pacings → fault
-    /// plans. The returned order is the result order of every sweep run,
-    /// independent of thread count.
+    /// → page policies → power-down policies → chunks → pacings →
+    /// workloads → fault plans. The returned order is the result order of
+    /// every sweep run, independent of thread count.
     ///
     /// Any axis left empty yields [`SweepError::EmptySpec`]; a combination
     /// that fails experiment validation yields [`SweepError::Point`] naming
@@ -146,6 +204,7 @@ impl SweepSpec {
             ("power_down", self.power_down.is_empty()),
             ("chunks", self.chunks.is_empty()),
             ("pacings", self.pacings.is_empty()),
+            ("workloads", self.workloads.is_empty()),
             ("faults", self.faults.is_empty()),
         ] {
             if empty {
@@ -161,44 +220,50 @@ impl SweepSpec {
                             for &pd in &self.power_down {
                                 for &chunk in &self.chunks {
                                     for &pacing in &self.pacings {
-                                        for plan in &self.faults {
-                                            let label = self.label(
-                                                point,
-                                                channels,
-                                                clock_mhz,
-                                                mapping,
-                                                page,
-                                                pd,
-                                                chunk,
-                                                pacing,
-                                                plan.as_ref(),
-                                            );
-                                            let mut builder = Experiment::builder()
-                                                .point(point)
-                                                .channels(channels)
-                                                .clock_mhz(clock_mhz)
-                                                .mapping(mapping)
-                                                .page_policy(page)
-                                                .power_down(pd)
-                                                .chunk(chunk)
-                                                .pacing(pacing);
-                                            if let Some(ops) = self.op_limit {
-                                                builder = builder.op_limit(ops);
-                                            }
-                                            let experiment = builder.build().map_err(|source| {
-                                                SweepError::Point {
-                                                    label: label.clone(),
-                                                    source,
+                                        for &workload in &self.workloads {
+                                            for plan in &self.faults {
+                                                let label = self.label(
+                                                    point,
+                                                    channels,
+                                                    clock_mhz,
+                                                    mapping,
+                                                    page,
+                                                    pd,
+                                                    chunk,
+                                                    pacing,
+                                                    workload,
+                                                    plan.as_ref(),
+                                                );
+                                                let mut builder = Experiment::builder()
+                                                    .point(point)
+                                                    .channels(channels)
+                                                    .clock_mhz(clock_mhz)
+                                                    .mapping(mapping)
+                                                    .page_policy(page)
+                                                    .power_down(pd)
+                                                    .chunk(chunk)
+                                                    .pacing(pacing)
+                                                    .workload(workload);
+                                                if let Some(ops) = self.op_limit {
+                                                    builder = builder.op_limit(ops);
                                                 }
-                                            })?;
-                                            out.push(SweepPoint {
-                                                label,
-                                                point,
-                                                channels,
-                                                clock_mhz,
-                                                faults: plan.clone(),
-                                                experiment,
-                                            });
+                                                let experiment =
+                                                    builder.build().map_err(|source| {
+                                                        SweepError::Point {
+                                                            label: label.clone(),
+                                                            source,
+                                                        }
+                                                    })?;
+                                                out.push(SweepPoint {
+                                                    label,
+                                                    point,
+                                                    channels,
+                                                    clock_mhz,
+                                                    workload,
+                                                    faults: plan.clone(),
+                                                    experiment,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -222,6 +287,7 @@ impl SweepSpec {
         pd: PowerDownPolicy,
         chunk: ChunkPolicy,
         pacing: Pacing,
+        workload: Workload,
         plan: Option<&FaultPlan>,
     ) -> String {
         let mut label = format!(
@@ -252,6 +318,9 @@ impl SweepSpec {
                 Pacing::Greedy => "/greedy",
                 Pacing::Paced => "/paced",
             });
+        }
+        if self.workloads.len() > 1 {
+            label.push_str(&format!("/{}", workload.name()));
         }
         if self.faults.len() > 1 {
             label.push_str(&match plan {
@@ -378,6 +447,67 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: SweepSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn workload_axis_expands_and_labels_only_when_swept() {
+        let spec = SweepSpec {
+            workloads: vec![
+                Workload::TableI,
+                Workload::parse("vvc-record").unwrap(),
+                Workload::parse("stochastic:7").unwrap(),
+            ],
+            op_limit: Some(1_000),
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.len(), 3);
+        let points = spec.expand().unwrap();
+        assert_eq!(points[0].workload, Workload::TableI);
+        assert!(
+            points[0].label.ends_with("/h264-record"),
+            "{}",
+            points[0].label
+        );
+        assert!(
+            points[1].label.ends_with("/vvc-record"),
+            "{}",
+            points[1].label
+        );
+        assert!(
+            points[2].label.ends_with("/stochastic:7"),
+            "{}",
+            points[2].label
+        );
+        // The expanded experiment carries the workload into the engine.
+        assert_eq!(points[1].experiment.workload, points[1].workload);
+        // A single-TableI axis leaves labels and experiments untouched.
+        let plain = SweepSpec::default().expand().unwrap();
+        assert!(!plain[0].label.contains("h264"));
+        assert!(plain[0].experiment.workload.is_default());
+    }
+
+    #[test]
+    fn workload_axis_round_trips_and_is_optional_in_json() {
+        let spec = SweepSpec {
+            workloads: vec![Workload::TableI, Workload::MultiTenant(3)],
+            ..SweepSpec::default()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Specs written before the axis existed still parse, defaulting to
+        // the paper's Table I chain; the axis is always written out.
+        let default_json = serde_json::to_string(&SweepSpec::default()).unwrap();
+        assert!(default_json.contains("\"workloads\""), "{default_json}");
+        let v: serde_json::Value = serde_json::from_str(&default_json).unwrap();
+        let mut stripped = serde_json::Map::new();
+        for (k, val) in v.as_object().unwrap().iter() {
+            if k != "workloads" {
+                stripped.insert(k.clone(), val.clone());
+            }
+        }
+        let legacy = SweepSpec::from_value(&serde_json::Value::Object(stripped)).unwrap();
+        assert_eq!(legacy, SweepSpec::default());
     }
 
     #[test]

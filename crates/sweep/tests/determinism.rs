@@ -47,6 +47,33 @@ fn parallel_json_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn stochastic_workloads_export_identically_at_any_thread_count() {
+    // The Markov-modulated generator must be a pure function of
+    // (seed, frame): whichever worker thread simulates a stochastic
+    // point, the export is the same bytes.
+    use mcm_load::Workload;
+    let spec = SweepSpec {
+        points: vec![HdOperatingPoint::Hd720p30],
+        channels: vec![1, 2],
+        workloads: vec![
+            Workload::parse("stochastic:42").unwrap(),
+            Workload::parse("stochastic:42:75").unwrap(),
+        ],
+        op_limit: Some(3_000),
+        ..SweepSpec::default()
+    };
+    let serial = run_sweep(&spec, &SweepOptions::default().with_threads(1)).unwrap();
+    let parallel = run_sweep(&spec, &SweepOptions::default().with_threads(4)).unwrap();
+    assert_eq!(serial.points.len(), 4);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "stochastic sweeps must not depend on the thread count"
+    );
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
 fn warm_cache_rerun_simulates_nothing_and_exports_identically() {
     let spec = quick_grid();
     let dir = tmp_dir("warm");

@@ -15,7 +15,7 @@ use mcm_dram::{AddressDecoder, AddressMapping, Geometry};
 use crate::diag::{Diagnostic, Location, Report, Severity};
 
 /// Rule identifiers owned by this module: `(id, what it checks)`.
-pub const CHANNEL_RULES: [(&str, &str); 3] = [
+pub const CHANNEL_RULES: [(&str, &str); 4] = [
     (
         "MCM201",
         "interleave coverage: every chunk maps to exactly one channel, local space dense",
@@ -27,6 +27,10 @@ pub const CHANNEL_RULES: [(&str, &str); 3] = [
     (
         "MCM203",
         "traffic balance: per-channel byte counts stay within tolerance of the mean",
+    ),
+    (
+        "MCM204",
+        "tenant attribution: tenant spans are disjoint and every access stays in its span",
     ),
 ];
 
@@ -294,6 +298,60 @@ pub fn check_traffic_balance(per_channel: &[u64], tolerance: f64) -> Report {
     report
 }
 
+/// `MCM204`: checks multi-tenant address-space attribution.
+///
+/// The multi-tenant workload model gives each tenant a disjoint span of the
+/// global address space; per-tenant QoS accounting attributes every load
+/// operation to the span containing it. This rule states the two
+/// invariants that accounting rests on: the spans are pairwise disjoint,
+/// and no operation escaped every span (`strays` collects the escapees the
+/// engine saw, capped upstream; `stray_count` is the uncapped total).
+pub fn check_tenant_attribution(
+    spans: &[mcm_load::Region],
+    stray_count: u64,
+    strays: &[(u64, u32)],
+) -> Report {
+    let mut report = Report::new();
+    if spans.is_empty() {
+        return report;
+    }
+    for (i, a) in spans.iter().enumerate() {
+        for (j, b) in spans.iter().enumerate().skip(i + 1) {
+            if a.overlaps(b) {
+                report.push(Diagnostic::new(
+                    "MCM204",
+                    Severity::Error,
+                    format!(
+                        "tenant spans {i} [{:#x}, {:#x}) and {j} [{:#x}, {:#x}) overlap",
+                        a.start,
+                        a.end(),
+                        b.start,
+                        b.end()
+                    ),
+                ));
+            }
+        }
+    }
+    for &(addr, len) in strays.iter().take(MAX_FINDINGS) {
+        report.push(Diagnostic::new(
+            "MCM204",
+            Severity::Error,
+            format!("access at {addr:#x}+{len} belongs to no tenant span"),
+        ));
+    }
+    if stray_count > strays.len().min(MAX_FINDINGS) as u64 {
+        report.push(Diagnostic::new(
+            "MCM204",
+            Severity::Note,
+            format!(
+                "{} further unattributed access(es) suppressed",
+                stray_count - strays.len().min(MAX_FINDINGS) as u64
+            ),
+        ));
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +405,35 @@ mod tests {
         assert!(check_traffic_balance(&[100, 100, 100, 104], 0.10).is_clean());
         assert!(check_traffic_balance(&[], 0.10).is_clean());
         assert!(check_traffic_balance(&[0, 0], 0.10).is_clean());
+    }
+
+    #[test]
+    fn tenant_attribution_accepts_disjoint_spans() {
+        let spans = [
+            mcm_load::Region { start: 0, len: 100 },
+            mcm_load::Region {
+                start: 100,
+                len: 50,
+            },
+        ];
+        assert!(check_tenant_attribution(&spans, 0, &[]).is_clean());
+        // Single-tenant runs pass an empty span list: vacuously clean.
+        assert!(check_tenant_attribution(&[], 0, &[]).is_clean());
+    }
+
+    #[test]
+    fn tenant_attribution_flags_overlap_and_strays() {
+        let overlapping = [
+            mcm_load::Region { start: 0, len: 100 },
+            mcm_load::Region { start: 90, len: 50 },
+        ];
+        let r = check_tenant_attribution(&overlapping, 0, &[]);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert!(r.ids().contains(&"MCM204"));
+
+        let disjoint = [mcm_load::Region { start: 0, len: 100 }];
+        let r = check_tenant_attribution(&disjoint, 3, &[(200, 64)]);
+        assert_eq!(r.count(Severity::Error), 1, "{}", r.render_human());
+        assert_eq!(r.count(Severity::Note), 1);
     }
 }

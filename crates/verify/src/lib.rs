@@ -16,8 +16,9 @@
 //!   controller policy sanity (`MCM105`).
 //! * **Cross-channel invariants** ([`channels`]): every 16-byte chunk maps
 //!   to exactly one channel (`MCM201`), address decode round-trips under
-//!   all mapping modes (`MCM202`), and per-channel traffic stays balanced
-//!   within tolerance (`MCM203`).
+//!   all mapping modes (`MCM202`), per-channel traffic stays balanced
+//!   within tolerance (`MCM203`), and multi-tenant workloads keep every
+//!   access inside its tenant's disjoint address span (`MCM204`).
 //!
 //! * **Degraded-mode invariants** ([`degrade`]): fault-injected runs must
 //!   keep their books — shed accounting balances (`MCM301`), effective
@@ -40,7 +41,8 @@ pub mod diag;
 pub mod trace;
 
 pub use channels::{
-    check_address_roundtrip, check_chunk_coverage, check_interleave, check_traffic_balance,
+    check_address_roundtrip, check_chunk_coverage, check_interleave, check_tenant_attribution,
+    check_traffic_balance,
 };
 pub use config::{lint_all, lint_feasibility, lint_interface, lint_memory_config, lint_use_case};
 pub use degrade::check_degradation;

@@ -57,6 +57,7 @@ fn main() {
             margin: 0.15,
             interface: InterfacePowerModel::paper(),
             op_limit: None,
+            workload: Workload::default(),
         };
         let r = exp
             .run_with(&RunOptions::default())

@@ -1,0 +1,148 @@
+//! Model your own workload: implement [`LoadModel`] for a pipeline the
+//! built-in catalogue does not cover, then run it through the unmodified
+//! engine with [`Experiment::run_with_model`].
+//!
+//! The model here is a *drone camera*: an aerial 1080p30 recorder with no
+//! local display — the viewfinder stages (display scaling and refresh)
+//! disappear — but with a doubled motion-search window to track fast global
+//! motion, so the encoder reads twice the reference data per frame. The
+//! question the engine answers: does losing the display pay for the wider
+//! search, or does the drone need more channels than the camcorder?
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use mcm::load::{
+    Footprint, FrameLayout, FrameTraffic, LayoutOptions, LoadError, StageTraffic, TableIModel,
+    Traffic,
+};
+use mcm::prelude::*;
+use mcm_load::Stage;
+
+/// An aerial recorder: Table I without the display chain, with a doubled
+/// encoder motion-search window.
+#[derive(Debug, Clone)]
+struct DroneCamera {
+    base: UseCase,
+}
+
+impl DroneCamera {
+    /// The per-stage traffic table: Table I, reshaped. Dropping a row drops
+    /// the stage from the synthesized stream; the buffer layout is
+    /// untouched.
+    fn rows(&self) -> Vec<StageTraffic> {
+        self.base
+            .stage_traffic()
+            .into_iter()
+            .filter(|t| !matches!(t.stage, Stage::ScaleToDisplay | Stage::DisplayCtrl))
+            .map(|mut t| {
+                if t.stage == Stage::VideoEncoder {
+                    t.read_bits *= 2; // wide motion search
+                }
+                t
+            })
+            .collect()
+    }
+}
+
+impl LoadModel for DroneCamera {
+    fn name(&self) -> String {
+        "drone-record".to_string()
+    }
+
+    fn use_case(&self) -> &UseCase {
+        &self.base
+    }
+
+    fn validate(&self) -> Result<(), LoadError> {
+        self.base.validate()
+    }
+
+    fn bits_per_second(&self) -> u64 {
+        let per_frame: u64 = self.rows().iter().map(StageTraffic::total_bits).sum();
+        per_frame * u64::from(self.base.fps)
+    }
+
+    fn stage_rows(&self, _frame: u64) -> Vec<StageTraffic> {
+        self.rows()
+    }
+
+    fn footprint(&self, options: &LayoutOptions) -> Result<Footprint, LoadError> {
+        // Same buffers as Table I — the display buffers still exist in the
+        // layout, they simply see no traffic — so delegate.
+        TableIModel::new(self.base).footprint(options)
+    }
+
+    fn traffic(
+        &self,
+        options: &LayoutOptions,
+        chunk_bytes: u32,
+        frame: u64,
+        shed: &[Stage],
+    ) -> Result<Traffic, LoadError> {
+        let layout = FrameLayout::with_options(&self.base, options)?.rotated(frame);
+        let t = FrameTraffic::with_rows(&self.base, &self.rows(), &layout, chunk_bytes, shed)?;
+        Ok(Traffic::Single(t))
+    }
+}
+
+fn main() {
+    let base = UseCase::hd(HdOperatingPoint::Hd1080p30);
+    let drone = DroneCamera { base };
+    drone.validate().expect("base use case is consistent");
+
+    // How the reshaped table compares with Table I.
+    let table_i = TableIModel::new(base);
+    println!("Per-stage traffic, Mb/frame (drone vs Table I):");
+    let paper_rows = table_i.stage_rows(0);
+    for t in &paper_rows {
+        let drone_mbits = drone
+            .stage_rows(0)
+            .iter()
+            .find(|d| d.stage == t.stage)
+            .map(StageTraffic::total_mbits);
+        match drone_mbits {
+            Some(m) => println!(
+                "  {:<22} {:>8.2}  vs {:>8.2}",
+                t.stage.label(),
+                m,
+                t.total_mbits()
+            ),
+            None => println!(
+                "  {:<22} {:>8} vs {:>8.2}",
+                t.stage.label(),
+                "dropped",
+                t.total_mbits()
+            ),
+        }
+    }
+    println!(
+        "Sustained demand: {:.2} GB/s (drone) vs {:.2} GB/s (Table I)\n",
+        drone.bits_per_second() as f64 / 8e9,
+        table_i.bits_per_second() as f64 / 8e9,
+    );
+
+    // Size a 400 MHz multi-channel memory for the drone. The experiment's
+    // use case still sets the frame budget; the model sets the traffic.
+    println!("Sizing a 400 MHz multi-channel memory for the drone:");
+    for channels in [1u32, 2, 4, 8] {
+        let exp = Experiment::paper(HdOperatingPoint::Hd1080p30, channels, 400);
+        let r = exp
+            .run_with_model(&drone, &RunOptions::default())
+            .map(|o| o.into_frame().expect("single-frame outcome"));
+        match r {
+            Ok(r) => {
+                println!(
+                    "  {channels} ch: {:>6.2} ms [{}] {}",
+                    r.access_time.as_ms_f64(),
+                    r.verdict,
+                    r.power
+                );
+                if r.verdict == RealTimeVerdict::Meets {
+                    println!("  -> {channels} channels carry the drone's 1080p30 chain");
+                    break;
+                }
+            }
+            Err(e) => println!("  {channels} ch: {e}"),
+        }
+    }
+}

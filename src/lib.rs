@@ -76,8 +76,8 @@ pub mod prelude {
     };
     pub use mcm_fault::{DegradePolicy, DegradeSummary, FaultPlan, FaultSpec};
     pub use mcm_load::{
-        FrameFormat, FrameLayout, FrameTraffic, H264Level, HdOperatingPoint, PixelFormat,
-        RefFrames, Stage, UseCase,
+        CodecProfile, FrameFormat, FrameLayout, FrameTraffic, H264Level, HdOperatingPoint,
+        LoadModel, PixelFormat, RefFrames, Stage, StochasticParams, UseCase, Workload,
     };
     pub use mcm_obs::{NullRecorder, ObsConfig, ObsReport, ObsSummary, Recorder, StatsRecorder};
     pub use mcm_power::{BondingTechnique, InterfacePowerModel, PowerSummary, XdrReference};

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Repo-internal markdown link check over README.md and docs/.
+#
+# Verifies that every relative link target exists, and that every
+# `file.md#anchor` fragment matches a real heading in the target file
+# (GitHub slug rules: lowercase, punctuation dropped, spaces to
+# hyphens). External http(s)/mailto links are not fetched — this guards
+# the repo's own link graph, nothing more.
+#
+# Run from anywhere: `tools/linkcheck.sh`. Exits non-zero on the first
+# pass if any link is broken, listing every failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+slug() {
+  printf '%s' "$1" |
+    tr '[:upper:]' '[:lower:]' |
+    sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+# Headings of a markdown file as GitHub anchor slugs, code fences
+# stripped so console/rust snippets cannot fake a heading.
+anchors_of() {
+  awk '/^```/ { fence = !fence; next } !fence' "$1" |
+    sed -n 's/^#\{1,6\} \(.*\)$/\1/p' |
+    while IFS= read -r heading; do
+      slug "$heading"
+      echo
+    done
+}
+
+check_anchor() { # file slug context
+  # No `grep -q`: its early exit would SIGPIPE `anchors_of` and, under
+  # pipefail, make every *found* anchor look broken.
+  if [ -z "$(anchors_of "$1" | grep -Fx "$2" || true)" ]; then
+    echo "BROKEN ANCHOR  $3 -> $1#$2" >&2
+    fail=1
+  fi
+}
+
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # Every `](target)` in the file, code fences stripped, one per line.
+  targets=$(awk '/^```/ { fence = !fence; next } !fence' "$doc" |
+    grep -oE '\]\([^)]+\)' | sed -e 's/^](//' -e 's/)$//' || true)
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+    http://* | https://* | mailto:*) continue ;;
+    "#"*)
+      check_anchor "$doc" "${target#\#}" "$doc"
+      continue
+      ;;
+    esac
+    path=${target%%#*}
+    resolved="$dir/$path"
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN LINK    $doc -> $target ($resolved missing)" >&2
+      fail=1
+      continue
+    fi
+    case "$target" in
+    *#*) check_anchor "$resolved" "${target#*#}" "$doc" ;;
+    esac
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "linkcheck: broken links found" >&2
+  exit 1
+fi
+echo "linkcheck: all relative links and anchors resolve"
