@@ -5,8 +5,11 @@
 //! engine uses (bank-staggered placement over the full multi-channel
 //! capacity), so the static answer is the engine's answer: a point flagged
 //! here would abort its run with the same `LayoutOverflow`. That turns the
-//! paper's 64 MiB-per-channel ceiling — previously a silent skip in
-//! `mcm bench` — into an explicit, witnessed diagnostic.
+//! capacity ceiling — previously a silent skip in `mcm bench` — into an
+//! explicit, witnessed diagnostic. The ceiling itself is a datasheet
+//! field, `Geometry::capacity_bytes()`: the paper's 512 Mb part gives
+//! 64 MiB per channel, `Geometry::large_capacity_mobile_ddr` gives
+//! 256 MiB and fits 2160p30 into one or two channels.
 
 use mcm_channel::MemoryConfig;
 use mcm_load::{FrameLayout, LayoutOptions, LoadError, LoadModel, UseCase};
@@ -220,5 +223,17 @@ mod tests {
             &MemoryConfig::paper(8, 400),
         );
         assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn uhd_fits_few_channels_of_the_large_capacity_part() {
+        // The ceiling is a datasheet field: the same 2160p30 working set
+        // that overflows one 64 MiB channel is clean on the 2 Gb part.
+        for channels in [1, 2] {
+            let mut mem = MemoryConfig::paper(channels, 400);
+            mem.controller.cluster.geometry = mcm_dram::Geometry::large_capacity_mobile_ddr();
+            let r = lint_footprint(&UseCase::hd(HdOperatingPoint::Uhd2160p30), &mem);
+            assert!(r.is_clean(), "{channels} ch: {}", r.render_human());
+        }
     }
 }

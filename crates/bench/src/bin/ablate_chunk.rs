@@ -8,7 +8,7 @@
 use mcm_bench::fmt_point_ms;
 use mcm_core::ChunkPolicy;
 use mcm_load::HdOperatingPoint;
-use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Ablation: master transaction sizing (720p30 access time [ms] @ 400 MHz)\n");
@@ -27,7 +27,8 @@ fn main() {
     };
     // Expansion order is channels -> chunk policies: each run of four
     // results is one printed row.
-    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let result =
+        run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).expect("sweep");
     for (row, ch) in result.points.chunks(policies.len()).zip([1u32, 2, 4, 8]) {
         let cells: String = row
             .iter()

@@ -7,7 +7,7 @@
 use mcm_bench::fmt_point_ms;
 use mcm_dram::AddressMapping;
 use mcm_load::HdOperatingPoint;
-use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
 
 const CLOCKS: [u64; 6] = [200, 266, 333, 400, 466, 533];
 const CHANNELS: [u32; 4] = [1, 2, 4, 8];
@@ -25,7 +25,8 @@ fn main() {
         mappings: vec![AddressMapping::Rbc, AddressMapping::Brc],
         ..SweepSpec::default()
     };
-    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let result =
+        run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).expect("sweep");
     for (m, mapping) in [AddressMapping::Rbc, AddressMapping::Brc]
         .iter()
         .enumerate()

@@ -6,7 +6,7 @@
 use mcm_bench::fmt_point_ms;
 use mcm_ctrl::PagePolicy;
 use mcm_load::HdOperatingPoint;
-use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Ablation: page policy (frame access time [ms] @ 400 MHz)\n");
@@ -20,7 +20,8 @@ fn main() {
     };
     // Expansion order is points -> channels -> page policies: every
     // consecutive pair of results is one printed row.
-    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let result =
+        run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).expect("sweep");
     let mut rows = result.points.chunks(2);
     for p in points {
         for ch in [1u32, 2, 4, 8] {

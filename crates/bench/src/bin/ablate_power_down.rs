@@ -7,7 +7,7 @@
 
 use mcm_ctrl::PowerDownPolicy;
 use mcm_load::HdOperatingPoint;
-use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Ablation: power-down policy (total power [mW] @ 400 MHz)\n");
@@ -31,7 +31,8 @@ fn main() {
     };
     // Expansion order is points -> channels -> power-down policies: each
     // run of five results is one printed row.
-    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let result =
+        run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).expect("sweep");
     let mut rows = result.points.chunks(policies.len());
     for p in points {
         for ch in [1u32, 4, 8] {

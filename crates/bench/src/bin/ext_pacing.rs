@@ -9,7 +9,7 @@
 
 use mcm_core::Pacing;
 use mcm_load::HdOperatingPoint;
-use mcm_sweep::{run_sweep, PointOutcome, SweepOptions, SweepSpec};
+use mcm_sweep::{run_sweep_on, PointOutcome, RayonExecutor, SweepOptions, SweepSpec};
 
 fn main() {
     println!("Race-to-sleep (greedy) vs. paced master @ 400 MHz\n");
@@ -25,7 +25,8 @@ fn main() {
     };
     // Expansion order is points -> channels -> pacing: results come back
     // as (greedy, paced) pairs.
-    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let result =
+        run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).expect("sweep");
     let mw = |c: &PointOutcome| {
         c.outcome
             .as_ref()

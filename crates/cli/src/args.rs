@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use mcm_core::{ChunkPolicy, Pacing};
+use mcm_core::{ChunkPolicy, ExecutionPolicy, Pacing, Parallelism};
 use mcm_ctrl::{PagePolicy, PowerDownPolicy};
 use mcm_dram::AddressMapping;
 use mcm_load::{HdOperatingPoint, Workload};
@@ -209,6 +209,9 @@ pub struct BenchArgs {
     /// Prior report to gate against: fail on a >20% headline events/sec
     /// regression.
     pub baseline: Option<String>,
+    /// Execution policy applied to the base scenarios
+    /// (`--execution <spec>` / `--threads <N>`).
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for BenchArgs {
@@ -218,6 +221,7 @@ impl Default for BenchArgs {
             out: "BENCH_sim.json".to_string(),
             repeats: None,
             baseline: None,
+            execution: ExecutionPolicy::default(),
         }
     }
 }
@@ -274,6 +278,9 @@ pub struct SweepArgs {
     /// Statically prune infeasible points before simulating
     /// (`SweepOptions::prelint`).
     pub prelint: bool,
+    /// Per-point execution policy (`--execution <spec>`). Point-level,
+    /// distinct from `--threads` which sizes the sweep worker pool.
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for SweepArgs {
@@ -289,6 +296,7 @@ impl Default for SweepArgs {
             output: OutputFormat::Text,
             progress: false,
             prelint: false,
+            execution: ExecutionPolicy::default(),
         }
     }
 }
@@ -326,6 +334,8 @@ pub struct RunOptions {
     pub faults: Option<String>,
     /// Cap on simulated operations (None = the whole frame).
     pub op_limit: Option<u64>,
+    /// How the run executes (`--execution <spec>` / `--threads <N>`).
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for RunOptions {
@@ -346,6 +356,7 @@ impl Default for RunOptions {
             verify: false,
             faults: None,
             op_limit: None,
+            execution: ExecutionPolicy::default(),
         }
     }
 }
@@ -478,6 +489,17 @@ fn parse_run_options<'a>(mut args: impl Iterator<Item = &'a str>) -> Result<RunO
                         .parse()
                         .map_err(|_| CliError("bad --op-limit value".into()))?,
                 )
+            }
+            "--execution" => {
+                opts.execution = value()?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --execution value: {e}")))?
+            }
+            "--threads" => {
+                let threads: usize = value()?
+                    .parse()
+                    .map_err(|_| CliError("bad --threads value".into()))?;
+                opts.execution.parallelism = Parallelism::PerChannel { threads };
             }
             other => return Err(CliError(format!("unknown flag '{other}'"))),
         }
@@ -678,6 +700,11 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     }
                     "--progress" => a.progress = true,
                     "--prelint" => a.prelint = true,
+                    "--execution" => {
+                        a.execution = value()?
+                            .parse()
+                            .map_err(|e| CliError(format!("bad --execution value: {e}")))?
+                    }
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -702,6 +729,17 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                         )
                     }
                     "--baseline" => a.baseline = Some(value()?.to_string()),
+                    "--execution" => {
+                        a.execution = value()?
+                            .parse()
+                            .map_err(|e| CliError(format!("bad --execution value: {e}")))?
+                    }
+                    "--threads" => {
+                        let threads: usize = value()?
+                            .parse()
+                            .map_err(|_| CliError("bad --threads value".into()))?;
+                        a.execution.parallelism = Parallelism::PerChannel { threads };
+                    }
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -897,7 +935,7 @@ COMMANDS:
     steady      multi-frame session (add --frames N, default 30)
     profile     per-stage memory-time profile
     timeline    ASCII command waveform of channel 0 (--cycles N)
-    datasheet   resolved device parameters (--device mobile|ddr2|future, --clock MHz)
+    datasheet   resolved device parameters (--device mobile|ddr2|future|large, --clock MHz)
     config-dump print an experiment as editable JSON
     config-run  run an experiment from a JSON file
     trace-dump  write one frame's ops to a trace file (--out <path>)
@@ -920,6 +958,10 @@ OPTIONS (run / headroom):
     --verify    run the MCMxxx conformance checks too   [off]
     --faults <plan.json>  inject a fault plan (see 'mcm fault')  [healthy]
     --op-limit <N>        cap simulated ops            [full frame]
+    --execution <spec>    execution policy: comma list of
+                          serial | per-channel[:N] | calendar |
+                          binary-heap | memoized        [serial]
+    --threads <N>         shorthand for per-channel:N   [serial]
     --json                                             [text]
 
 FAULT OPTIONS:
@@ -945,6 +987,9 @@ BENCH OPTIONS:
     --repeats <N>       measured repeats per scenario    [5, quick: 3]
     --baseline <path>   fail on >20% headline events/sec regression
                         against a prior report           [no gate]
+    --execution <spec>  execution policy for the base scenarios
+                        (see run OPTIONS)                [serial]
+    --threads <N>       shorthand for per-channel:N      [serial]
 
 SERVE OPTIONS:
     --addr <host:port>  bind address (port 0 = ephemeral)  [127.0.0.1:7700]
@@ -963,6 +1008,8 @@ SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
     --progress        per-point progress on stderr     [off]
     --prelint         statically prune infeasible points before
                       simulating (MCM4xx analysis)     [off]
+    --execution <spec> per-point execution policy (see run OPTIONS);
+                      point-level, unlike --threads    [serial]
     --json | --csv    deterministic machine output     [text table]
 ";
 
@@ -975,6 +1022,33 @@ mod tests {
         assert_eq!(parse_args([]).unwrap(), Command::Help);
         assert_eq!(parse_args(["help"]).unwrap(), Command::Help);
         assert_eq!(parse_args(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn execution_policy_flags() {
+        match parse_args(["run", "--execution", "per-channel:2,memoized"]).unwrap() {
+            Command::Run(o) => assert_eq!(
+                o.execution,
+                ExecutionPolicy::per_channel(2).with_memoize_steady(true)
+            ),
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse_args(["run", "--threads", "4"]).unwrap() {
+            Command::Run(o) => assert_eq!(o.execution, ExecutionPolicy::per_channel(4)),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse_args(["run", "--execution", "warp-drive"]).is_err());
+        match parse_args(["bench", "--quick", "--threads", "2"]).unwrap() {
+            Command::Bench(a) => assert_eq!(a.execution, ExecutionPolicy::per_channel(2)),
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse_args(["sweep", "--execution", "binary-heap"]).unwrap() {
+            Command::Sweep(a) => {
+                assert_eq!(a.execution, "binary-heap".parse().unwrap());
+                assert_eq!(a.threads, None, "--execution does not size the pool");
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
     }
 
     #[test]

@@ -79,6 +79,7 @@ fn run_one(o: &RunOptions) -> Result<String, CliError> {
     let run = mcm_core::RunOptions {
         verify: o.verify,
         faults,
+        execution: o.execution,
         ..mcm_core::RunOptions::default()
     };
     let (r, findings) = if o.verify {
@@ -313,9 +314,10 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 "mobile" => mcm_dram::ClusterConfig::next_gen_mobile_ddr(*clock_mhz),
                 "ddr2" => mcm_dram::ClusterConfig::standard_ddr2(*clock_mhz),
                 "future" => mcm_dram::ClusterConfig::future_lpddr2(*clock_mhz),
+                "large" => mcm_dram::ClusterConfig::large_capacity_mobile_ddr(*clock_mhz),
                 other => {
                     return Err(CliError(format!(
-                        "unknown device '{other}' (expected mobile, ddr2 or future)"
+                        "unknown device '{other}' (expected mobile, ddr2, future or large)"
                     )))
                 }
             };
@@ -515,6 +517,7 @@ fn run_bench_cmd(a: &crate::args::BenchArgs) -> Result<String, CliError> {
     if let Some(repeats) = a.repeats {
         cfg = cfg.with_repeats(repeats);
     }
+    cfg = cfg.with_execution(a.execution);
     let report = perf::run_bench(&cfg).map_err(|e| CliError(format!("bench failed: {e}")))?;
     let json = serde_json::to_string_pretty(&report)
         .map_err(|e| CliError(format!("bench report serialization failed: {e}")))?;
@@ -552,8 +555,10 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
         progress: a.progress,
         prelint: a.prelint,
         ..mcm_sweep::SweepOptions::default()
-    };
-    let result = mcm_sweep::run_sweep(&spec, &options).map_err(|e| CliError(e.to_string()))?;
+    }
+    .with_execution(a.execution);
+    let result = mcm_sweep::run_sweep_on(&mcm_sweep::RayonExecutor::default(), &spec, &options)
+        .map_err(|e| CliError(e.to_string()))?;
     match a.output {
         OutputFormat::Json => Ok(result.to_json() + "\n"),
         OutputFormat::Csv => Ok(result.to_csv()),
@@ -852,7 +857,7 @@ fn trace_run(o: &RunOptions, input: &str) -> Result<String, CliError> {
 fn run_steady(o: &RunOptions, frames: u32) -> Result<String, CoreError> {
     let exp = build_experiment(o);
     let r = exp
-        .run_with(&mcm_core::RunOptions::steady(frames))?
+        .run_with(&mcm_core::RunOptions::steady(frames).with_execution(o.execution))?
         .into_steady()
         .expect("steady outcome");
     let mut out = format!(

@@ -57,6 +57,7 @@ pub struct ExperimentBuilder {
     interface: InterfacePowerModel,
     op_limit: Option<u64>,
     workload: Workload,
+    geometry: Option<mcm_dram::Geometry>,
 }
 
 impl Default for ExperimentBuilder {
@@ -75,6 +76,7 @@ impl Default for ExperimentBuilder {
             interface: InterfacePowerModel::paper(),
             op_limit: None,
             workload: Workload::TableI,
+            geometry: None,
         }
     }
 }
@@ -172,6 +174,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Overrides the per-channel device geometry (default: the paper's
+    /// 512 Mb part). The frame-buffer capacity ceiling is a datasheet
+    /// field — pass [`mcm_dram::Geometry::large_capacity_mobile_ddr`] to
+    /// fit 2160p30 into one or two channels.
+    pub fn geometry(mut self, geometry: mcm_dram::Geometry) -> Self {
+        self.geometry = Some(geometry);
+        self
+    }
+
     /// Validates the configuration and produces the [`Experiment`].
     ///
     /// Everything [`Experiment::validate`] checks is checked here, so a
@@ -187,6 +198,9 @@ impl ExperimentBuilder {
         }
         if let Some(power_down) = self.power_down {
             memory.controller.power_down = power_down;
+        }
+        if let Some(geometry) = self.geometry {
+            memory.controller.cluster.geometry = geometry;
         }
         let exp = Experiment {
             use_case: self.use_case,

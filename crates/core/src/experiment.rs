@@ -225,6 +225,13 @@ pub struct RunOptions {
     /// event. Excluded from equality and serialization, so attaching a
     /// recorder never perturbs sweep cache fingerprints.
     pub recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
+    /// How the run executes: event-queue engine, per-channel parallelism
+    /// and steady-state memoization. The default serializes to nothing, so
+    /// pre-policy cache fingerprints and store documents stay warm; a
+    /// non-default policy is part of the run's identity (memoization is an
+    /// approximation, and callers may legitimately want engine-keyed
+    /// results side by side).
+    pub execution: crate::ExecutionPolicy,
 }
 
 // The recorder is an attachment, not part of the run's identity: equality,
@@ -237,6 +244,7 @@ impl PartialEq for RunOptions {
             && self.frames == other.frames
             && self.op_limit == other.op_limit
             && self.faults == other.faults
+            && self.execution == other.execution
     }
 }
 
@@ -252,6 +260,11 @@ impl Serialize for RunOptions {
         // serialization (and therefore their sweep cache fingerprints).
         if let Some(plan) = &self.faults {
             m.insert("faults".to_string(), plan.to_value());
+        }
+        // Same discipline for the execution policy: the default renders as
+        // an absent key, keeping pre-policy serializations byte-identical.
+        if self.execution != crate::ExecutionPolicy::default() {
+            m.insert("execution".to_string(), self.execution.to_value());
         }
         serde::Value::Object(m)
     }
@@ -275,6 +288,10 @@ impl Deserialize for RunOptions {
                 None => None,
             },
             recorder: None,
+            execution: match obj.get("execution") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => crate::ExecutionPolicy::default(),
+            },
         })
     }
 }
@@ -287,6 +304,7 @@ impl Default for RunOptions {
             op_limit: None,
             faults: None,
             recorder: None,
+            execution: crate::ExecutionPolicy::default(),
         }
     }
 }
@@ -342,6 +360,14 @@ impl RunOptions {
     /// result then carries a [`DegradeSummary`] describing what degraded.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the [`ExecutionPolicy`](crate::ExecutionPolicy) — engine,
+    /// per-channel parallelism, steady-state memoization — for this run
+    /// (builder style).
+    pub fn with_execution(mut self, execution: crate::ExecutionPolicy) -> Self {
+        self.execution = execution;
         self
     }
 }
@@ -534,10 +560,11 @@ impl Experiment {
             std::borrow::Cow::Borrowed(self)
         };
         if options.frames > 1 {
-            return crate::steady::run_steady_state_observed(
+            return crate::steady::run_steady_state_with(
                 &exp,
                 model,
                 options.frames,
+                &options.execution,
                 options.recorder.clone(),
             )
             .map(RunOutcome::Steady);
@@ -549,6 +576,7 @@ impl Experiment {
                 Some(&mut findings),
                 options.recorder.clone(),
                 options.faults.as_ref(),
+                &options.execution,
             )?;
             return Ok(RunOutcome::Verified {
                 result,
@@ -560,6 +588,7 @@ impl Experiment {
             None,
             options.recorder.clone(),
             options.faults.as_ref(),
+            &options.execution,
         )
         .map(RunOutcome::Frame)
     }
@@ -570,6 +599,7 @@ impl Experiment {
         mut verify: Option<&mut Report>,
         recorder: Option<std::sync::Arc<dyn mcm_obs::Recorder>>,
         faults: Option<&FaultPlan>,
+        execution: &crate::ExecutionPolicy,
     ) -> Result<FrameResult, CoreError> {
         let mut memory = MemorySubsystem::new(&self.memory)?;
         if verify.is_some() {
@@ -625,6 +655,16 @@ impl Experiment {
         let mut strays: Vec<(u64, u32)> = Vec::new();
         let mut stray_count = 0u64;
 
+        // Per-channel parallel execution defers submission into one batch;
+        // a degraded subsystem couples channels (remaps, arrival floors),
+        // so fault runs always take the serial path.
+        let parallel_threads = if faults.is_none() {
+            execution.parallel_threads()
+        } else {
+            None
+        };
+        let mut batch: Vec<MasterTransaction> = Vec::new();
+
         let mut simulated_bytes = 0u64;
         for (ops, op) in traffic.enumerate() {
             if let Some(limit) = self.op_limit {
@@ -666,7 +706,7 @@ impl Experiment {
                         as u64
                 }
             };
-            memory.submit(MasterTransaction {
+            let txn = MasterTransaction {
                 op: if op.write {
                     AccessOp::Write
                 } else {
@@ -675,8 +715,16 @@ impl Experiment {
                 addr: op.addr,
                 len: op.len as u64,
                 arrival,
-            })?;
+            };
+            if parallel_threads.is_some() {
+                batch.push(txn);
+            } else {
+                memory.submit(txn)?;
+            }
             simulated_bytes += op.len as u64;
+        }
+        if let Some(threads) = parallel_threads {
+            memory.submit_batch_parallel(&batch, threads)?;
         }
         // Power is averaged over the frame period; if the frame overruns,
         // over the actual access time.

@@ -43,6 +43,7 @@ mod builder;
 pub mod charts;
 mod error;
 pub mod eventsim;
+mod execution;
 mod experiment;
 pub mod figures;
 pub mod profile;
@@ -52,6 +53,7 @@ pub mod tracerun;
 
 pub use builder::ExperimentBuilder;
 pub use error::CoreError;
+pub use execution::{ExecutionPolicy, Parallelism};
 pub use experiment::{
     ChunkPolicy, Experiment, FrameResult, Pacing, RealTimeVerdict, RunOptions, RunOutcome,
     TenantSummary,

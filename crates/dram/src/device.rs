@@ -72,6 +72,18 @@ impl ClusterConfig {
         }
     }
 
+    /// The large-capacity part: the paper's timing, currents and operating
+    /// point on the 2 Gb [`Geometry::large_capacity_mobile_ddr`] cluster
+    /// (256 MiB per channel). Timing and IDD are kept at the 512 Mb
+    /// datasheet values — an optimistic density scaling, which is the
+    /// point: it isolates the capacity ceiling from every other parameter.
+    pub fn large_capacity_mobile_ddr(clock_mhz: u64) -> Self {
+        ClusterConfig {
+            geometry: Geometry::large_capacity_mobile_ddr(),
+            ..ClusterConfig::next_gen_mobile_ddr(clock_mhz)
+        }
+    }
+
     /// The projected future LPDDR2-class device (see
     /// [`TimingParams::future_lpddr2`]) at a 1.2 V core.
     pub fn future_lpddr2(clock_mhz: u64) -> Self {

@@ -59,6 +59,25 @@ impl Geometry {
         }
     }
 
+    /// A large-capacity variant of the paper's part: 2 Gb per bank cluster
+    /// (4× the rows), i.e. 256 MiB per channel instead of 64 MiB. The
+    /// frame-buffer ceiling is a datasheet property — `capacity_bytes()` —
+    /// not a constant of the model, and this part is the witness: 2160p30
+    /// fits one or two channels of it where the paper's 512 Mb part
+    /// overflows (`MCM406`).
+    ///
+    /// ```
+    /// use mcm_dram::Geometry;
+    ///
+    /// assert_eq!(Geometry::large_capacity_mobile_ddr().capacity_bytes(), 256 << 20);
+    /// ```
+    pub fn large_capacity_mobile_ddr() -> Self {
+        Geometry {
+            rows: 32_768,
+            ..Geometry::next_gen_mobile_ddr()
+        }
+    }
+
     /// Validates internal consistency (powers of two where addressing
     /// requires them, non-zero sizes, burst no longer than a row).
     pub fn validate(&self) -> Result<(), DramError> {

@@ -1,0 +1,611 @@
+//! Buffered recorder events: capture now, replay later, merge across
+//! channels deterministically.
+//!
+//! Parallel per-channel simulation cannot share one [`Recorder`] without
+//! making the emission order depend on thread scheduling. Instead each
+//! worker records into its own [`EventLog`] — a `Recorder` that keeps every
+//! call as an [`ObsEvent`] value — and the coordinator replays the buffered
+//! streams into the real recorder afterwards, in an order that does not
+//! depend on the thread count.
+//!
+//! Two orderings are provided:
+//!
+//! * [`EventLog::replay_into`] — replays one log in capture order;
+//! * [`merge_event_streams`] — merges several per-channel streams into one
+//!   by `(timestamp, channel, sequence)`, the same tiebreak discipline the
+//!   calendar event queue uses for simultaneous events. The merge is a
+//!   stable sort over keys that identify each event independently of which
+//!   slot its stream arrived in, so it is invariant under permutation of
+//!   the input streams.
+
+use std::sync::Mutex;
+
+use crate::recorder::{CommandKind, FaultKind, Recorder, RowOutcome};
+
+/// One buffered [`Recorder`] call, with every argument captured by value.
+///
+/// Variants mirror the `Recorder` trait methods one-to-one; see the trait
+/// documentation for the meaning of each field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// A [`Recorder::record_command`] call.
+    Command {
+        /// Channel the command was issued on.
+        channel: u32,
+        /// Bank within the channel.
+        bank: u8,
+        /// Command class.
+        kind: CommandKind,
+        /// Issue time, picoseconds.
+        at_ps: u64,
+    },
+    /// A [`Recorder::record_row_outcome`] call.
+    RowOutcome {
+        /// Channel of the access.
+        channel: u32,
+        /// Bank within the channel.
+        bank: u8,
+        /// Row-buffer outcome.
+        outcome: RowOutcome,
+    },
+    /// A [`Recorder::record_latency`] call.
+    Latency {
+        /// Channel the request retired on.
+        channel: u32,
+        /// Arrival-to-done latency, picoseconds.
+        latency_ps: u64,
+    },
+    /// A [`Recorder::record_queue_depth`] call.
+    QueueDepth {
+        /// Channel whose queue was observed.
+        channel: u32,
+        /// Observed depth.
+        depth: u64,
+    },
+    /// A [`Recorder::record_bytes`] call.
+    Bytes {
+        /// Channel the bytes moved on.
+        channel: u32,
+        /// `true` for writes.
+        write: bool,
+        /// Bytes moved.
+        bytes: u64,
+        /// Completion time, picoseconds.
+        at_ps: u64,
+    },
+    /// A [`Recorder::record_energy`] call.
+    Energy {
+        /// Channel the energy was spent on.
+        channel: u32,
+        /// Command class the energy is attributed to.
+        kind: CommandKind,
+        /// Event energy, picojoules.
+        pj: f64,
+        /// Attribution time, picoseconds.
+        at_ps: u64,
+    },
+    /// A [`Recorder::record_background`] call.
+    Background {
+        /// Channel the energy accrued on.
+        channel: u32,
+        /// Interval start, picoseconds.
+        from_ps: u64,
+        /// Interval end, picoseconds.
+        to_ps: u64,
+        /// Background energy over the interval, picojoules.
+        pj: f64,
+    },
+    /// A [`Recorder::record_span`] call.
+    Span {
+        /// Span name.
+        name: String,
+        /// Channel, or `None` for subsystem-wide spans.
+        channel: Option<u32>,
+        /// Span start, picoseconds.
+        start_ps: u64,
+        /// Span end, picoseconds.
+        end_ps: u64,
+    },
+    /// A [`Recorder::record_gauge`] call.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Channel, or `None` for run-wide gauges.
+        channel: Option<u32>,
+        /// Sampled value.
+        value: f64,
+    },
+    /// A [`Recorder::record_sim_event`] call.
+    SimEvent {
+        /// Events still queued behind the fired one.
+        pending: u64,
+        /// Fire time, picoseconds.
+        at_ps: u64,
+    },
+    /// A [`Recorder::record_fault`] call.
+    Fault {
+        /// Channel the fault hit.
+        channel: u32,
+        /// Fault class.
+        kind: FaultKind,
+        /// Fault time, picoseconds.
+        at_ps: u64,
+    },
+    /// A [`Recorder::record_tenant_op`] call.
+    TenantOp {
+        /// Tenant index.
+        tenant: u32,
+        /// `true` for writes.
+        write: bool,
+        /// Bytes moved on the tenant's behalf.
+        bytes: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The event's timestamp in picoseconds, where it carries one.
+    ///
+    /// Untimestamped events ([`ObsEvent::RowOutcome`],
+    /// [`ObsEvent::Latency`], [`ObsEvent::QueueDepth`],
+    /// [`ObsEvent::Gauge`], [`ObsEvent::TenantOp`]) report 0 so they sort
+    /// ahead of timed events from the same channel, preserving their
+    /// capture order among themselves.
+    pub fn timestamp_ps(&self) -> u64 {
+        match *self {
+            ObsEvent::Command { at_ps, .. }
+            | ObsEvent::Bytes { at_ps, .. }
+            | ObsEvent::Energy { at_ps, .. }
+            | ObsEvent::SimEvent { at_ps, .. }
+            | ObsEvent::Fault { at_ps, .. } => at_ps,
+            ObsEvent::Background { from_ps, .. } => from_ps,
+            ObsEvent::Span { start_ps, .. } => start_ps,
+            ObsEvent::RowOutcome { .. }
+            | ObsEvent::Latency { .. }
+            | ObsEvent::QueueDepth { .. }
+            | ObsEvent::Gauge { .. }
+            | ObsEvent::TenantOp { .. } => 0,
+        }
+    }
+
+    /// The channel the event belongs to, where it has one.
+    pub fn channel(&self) -> Option<u32> {
+        match *self {
+            ObsEvent::Command { channel, .. }
+            | ObsEvent::RowOutcome { channel, .. }
+            | ObsEvent::Latency { channel, .. }
+            | ObsEvent::QueueDepth { channel, .. }
+            | ObsEvent::Bytes { channel, .. }
+            | ObsEvent::Energy { channel, .. }
+            | ObsEvent::Background { channel, .. }
+            | ObsEvent::Fault { channel, .. } => Some(channel),
+            ObsEvent::Span { channel, .. } | ObsEvent::Gauge { channel, .. } => channel,
+            ObsEvent::SimEvent { .. } | ObsEvent::TenantOp { .. } => None,
+        }
+    }
+
+    /// Replays the event into `rec`, calling the matching trait method.
+    pub fn replay(&self, rec: &dyn Recorder) {
+        match self {
+            ObsEvent::Command {
+                channel,
+                bank,
+                kind,
+                at_ps,
+            } => rec.record_command(*channel, *bank, *kind, *at_ps),
+            ObsEvent::RowOutcome {
+                channel,
+                bank,
+                outcome,
+            } => rec.record_row_outcome(*channel, *bank, *outcome),
+            ObsEvent::Latency {
+                channel,
+                latency_ps,
+            } => rec.record_latency(*channel, *latency_ps),
+            ObsEvent::QueueDepth { channel, depth } => rec.record_queue_depth(*channel, *depth),
+            ObsEvent::Bytes {
+                channel,
+                write,
+                bytes,
+                at_ps,
+            } => rec.record_bytes(*channel, *write, *bytes, *at_ps),
+            ObsEvent::Energy {
+                channel,
+                kind,
+                pj,
+                at_ps,
+            } => rec.record_energy(*channel, *kind, *pj, *at_ps),
+            ObsEvent::Background {
+                channel,
+                from_ps,
+                to_ps,
+                pj,
+            } => rec.record_background(*channel, *from_ps, *to_ps, *pj),
+            ObsEvent::Span {
+                name,
+                channel,
+                start_ps,
+                end_ps,
+            } => rec.record_span(name, *channel, *start_ps, *end_ps),
+            ObsEvent::Gauge {
+                name,
+                channel,
+                value,
+            } => rec.record_gauge(name, *channel, *value),
+            ObsEvent::SimEvent { pending, at_ps } => rec.record_sim_event(*pending, *at_ps),
+            ObsEvent::Fault {
+                channel,
+                kind,
+                at_ps,
+            } => rec.record_fault(*channel, *kind, *at_ps),
+            ObsEvent::TenantOp {
+                tenant,
+                write,
+                bytes,
+            } => rec.record_tenant_op(*tenant, *write, *bytes),
+        }
+    }
+}
+
+/// A [`Recorder`] that buffers every call as an [`ObsEvent`] in capture
+/// order instead of aggregating anything.
+///
+/// One `EventLog` per parallel worker keeps recording race-free without
+/// locks on the simulator's hot path beyond the log's own mutex, which is
+/// uncontended (each worker owns its log exclusively while simulating).
+///
+/// # Examples
+///
+/// ```
+/// use mcm_obs::{CommandKind, EventLog, ObsEvent, Recorder, StatsRecorder};
+///
+/// let log = EventLog::new();
+/// log.record_command(0, 0, CommandKind::Activate, 100);
+/// log.record_latency(0, 22_500);
+/// assert_eq!(log.len(), 2);
+///
+/// let stats = StatsRecorder::new();
+/// log.replay_into(&stats);
+/// assert_eq!(stats.report().channels[0].counters.commands.activates, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match self.events.lock() {
+            Ok(ev) => ev.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one event.
+    pub fn push(&self, event: ObsEvent) {
+        match self.events.lock() {
+            Ok(mut ev) => ev.push(event),
+            Err(poisoned) => poisoned.into_inner().push(event),
+        }
+    }
+
+    /// Drains the buffered events in capture order, leaving the log empty.
+    pub fn take(&self) -> Vec<ObsEvent> {
+        match self.events.lock() {
+            Ok(mut ev) => std::mem::take(&mut *ev),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// Replays every buffered event into `rec` in capture order. The log
+    /// keeps its contents.
+    pub fn replay_into(&self, rec: &dyn Recorder) {
+        match self.events.lock() {
+            Ok(ev) => {
+                for e in ev.iter() {
+                    e.replay(rec);
+                }
+            }
+            Err(poisoned) => {
+                for e in poisoned.into_inner().iter() {
+                    e.replay(rec);
+                }
+            }
+        }
+    }
+}
+
+impl Recorder for EventLog {
+    fn record_command(&self, channel: u32, bank: u8, kind: CommandKind, at_ps: u64) {
+        self.push(ObsEvent::Command {
+            channel,
+            bank,
+            kind,
+            at_ps,
+        });
+    }
+
+    fn record_row_outcome(&self, channel: u32, bank: u8, outcome: RowOutcome) {
+        self.push(ObsEvent::RowOutcome {
+            channel,
+            bank,
+            outcome,
+        });
+    }
+
+    fn record_latency(&self, channel: u32, latency_ps: u64) {
+        self.push(ObsEvent::Latency {
+            channel,
+            latency_ps,
+        });
+    }
+
+    fn record_queue_depth(&self, channel: u32, depth: u64) {
+        self.push(ObsEvent::QueueDepth { channel, depth });
+    }
+
+    fn record_bytes(&self, channel: u32, write: bool, bytes: u64, at_ps: u64) {
+        self.push(ObsEvent::Bytes {
+            channel,
+            write,
+            bytes,
+            at_ps,
+        });
+    }
+
+    fn record_energy(&self, channel: u32, kind: CommandKind, pj: f64, at_ps: u64) {
+        self.push(ObsEvent::Energy {
+            channel,
+            kind,
+            pj,
+            at_ps,
+        });
+    }
+
+    fn record_background(&self, channel: u32, from_ps: u64, to_ps: u64, pj: f64) {
+        self.push(ObsEvent::Background {
+            channel,
+            from_ps,
+            to_ps,
+            pj,
+        });
+    }
+
+    fn record_span(&self, name: &str, channel: Option<u32>, start_ps: u64, end_ps: u64) {
+        self.push(ObsEvent::Span {
+            name: name.to_owned(),
+            channel,
+            start_ps,
+            end_ps,
+        });
+    }
+
+    fn record_gauge(&self, name: &str, channel: Option<u32>, value: f64) {
+        self.push(ObsEvent::Gauge {
+            name: name.to_owned(),
+            channel,
+            value,
+        });
+    }
+
+    fn record_sim_event(&self, pending: u64, at_ps: u64) {
+        self.push(ObsEvent::SimEvent { pending, at_ps });
+    }
+
+    fn record_fault(&self, channel: u32, kind: FaultKind, at_ps: u64) {
+        self.push(ObsEvent::Fault {
+            channel,
+            kind,
+            at_ps,
+        });
+    }
+
+    fn record_tenant_op(&self, tenant: u32, write: bool, bytes: u64) {
+        self.push(ObsEvent::TenantOp {
+            tenant,
+            write,
+            bytes,
+        });
+    }
+}
+
+/// Merges per-channel event streams into one deterministic sequence.
+///
+/// Every event is keyed `(timestamp_ps, channel, sequence-in-stream)` — the
+/// calendar queue's tiebreak discipline — and the streams are merged by
+/// ascending key. Events without a channel sort after all channelled events
+/// at the same timestamp. Because the key is derived from the event and its
+/// position *within its own stream* (never from the stream's slot in
+/// `streams`), the output is invariant under any permutation of the input
+/// streams, provided no two streams carry the same channel.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_obs::{merge_event_streams, ObsEvent};
+///
+/// let ch0 = vec![ObsEvent::Latency { channel: 0, latency_ps: 10 }];
+/// let ch1 = vec![ObsEvent::Latency { channel: 1, latency_ps: 20 }];
+/// let ab = merge_event_streams(vec![ch0.clone(), ch1.clone()]);
+/// let ba = merge_event_streams(vec![ch1, ch0]);
+/// assert_eq!(ab, ba);
+/// ```
+pub fn merge_event_streams(streams: Vec<Vec<ObsEvent>>) -> Vec<ObsEvent> {
+    let total = streams.iter().map(Vec::len).sum();
+    let mut keyed: Vec<((u64, u64, usize), ObsEvent)> = Vec::with_capacity(total);
+    for stream in streams {
+        for (seq, event) in stream.into_iter().enumerate() {
+            // Channel-less events tie-break after every channelled event.
+            let ch = event.channel().map_or(u64::MAX, u64::from);
+            keyed.push(((event.timestamp_ps(), ch, seq), event));
+        }
+    }
+    keyed.sort_by_key(|&(key, _)| key);
+    keyed.into_iter().map(|(_, e)| e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StatsRecorder;
+
+    fn sample_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::Command {
+                channel: 0,
+                bank: 1,
+                kind: CommandKind::Activate,
+                at_ps: 100,
+            },
+            ObsEvent::RowOutcome {
+                channel: 0,
+                bank: 1,
+                outcome: RowOutcome::Miss,
+            },
+            ObsEvent::Bytes {
+                channel: 0,
+                write: false,
+                bytes: 64,
+                at_ps: 200,
+            },
+            ObsEvent::Span {
+                name: "txn".into(),
+                channel: None,
+                start_ps: 0,
+                end_ps: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn log_buffers_in_capture_order() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        for e in sample_events() {
+            e.replay(&log);
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.take(), sample_events());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn replay_matches_direct_recording() {
+        let log = EventLog::new();
+        let direct = StatsRecorder::new();
+        for e in sample_events() {
+            e.replay(&log);
+            e.replay(&direct);
+        }
+        let replayed = StatsRecorder::new();
+        log.replay_into(&replayed);
+        let a = direct.report();
+        let b = replayed.report();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn every_recorder_method_round_trips() {
+        let log = EventLog::new();
+        log.record_command(0, 0, CommandKind::Read, 1);
+        log.record_row_outcome(1, 2, RowOutcome::Hit);
+        log.record_latency(0, 3);
+        log.record_queue_depth(0, 4);
+        log.record_bytes(1, true, 64, 5);
+        log.record_energy(0, CommandKind::Write, 1.5, 6);
+        log.record_background(0, 0, 10, 0.25);
+        log.record_span("txn", Some(1), 0, 9);
+        log.record_gauge("core_mw", None, 2.0);
+        log.record_sim_event(7, 8);
+        log.record_fault(1, FaultKind::Stall, 9);
+        log.record_tenant_op(2, false, 128);
+        let events = log.take();
+        assert_eq!(events.len(), 12);
+        // Replaying into a second log reproduces the stream exactly.
+        let copy = EventLog::new();
+        for e in &events {
+            e.replay(&copy);
+        }
+        assert_eq!(copy.take(), events);
+    }
+
+    #[test]
+    fn merge_is_invariant_under_stream_permutation() {
+        let ch0 = vec![
+            ObsEvent::Command {
+                channel: 0,
+                bank: 0,
+                kind: CommandKind::Activate,
+                at_ps: 100,
+            },
+            ObsEvent::Command {
+                channel: 0,
+                bank: 0,
+                kind: CommandKind::Read,
+                at_ps: 100,
+            },
+            ObsEvent::Bytes {
+                channel: 0,
+                write: false,
+                bytes: 16,
+                at_ps: 300,
+            },
+        ];
+        let ch1 = vec![
+            ObsEvent::Command {
+                channel: 1,
+                bank: 0,
+                kind: CommandKind::Activate,
+                at_ps: 100,
+            },
+            ObsEvent::Bytes {
+                channel: 1,
+                write: false,
+                bytes: 16,
+                at_ps: 250,
+            },
+        ];
+        let ab = merge_event_streams(vec![ch0.clone(), ch1.clone()]);
+        let ba = merge_event_streams(vec![ch1.clone(), ch0.clone()]);
+        assert_eq!(ab, ba);
+        // Same-timestamp events order by channel, then capture sequence.
+        assert_eq!(ab[0].channel(), Some(0));
+        assert_eq!(ab[1].channel(), Some(0));
+        assert_eq!(ab[2].channel(), Some(1));
+        // Later timestamps follow regardless of channel.
+        assert_eq!(ab[3].timestamp_ps(), 250);
+        assert_eq!(ab[4].timestamp_ps(), 300);
+    }
+
+    #[test]
+    fn merge_keeps_per_stream_capture_order() {
+        // Untimestamped events (timestamp 0) from one stream must keep
+        // their relative order.
+        let stream = vec![
+            ObsEvent::Latency {
+                channel: 2,
+                latency_ps: 1,
+            },
+            ObsEvent::Latency {
+                channel: 2,
+                latency_ps: 2,
+            },
+            ObsEvent::Latency {
+                channel: 2,
+                latency_ps: 3,
+            },
+        ];
+        let merged = merge_event_streams(vec![stream.clone()]);
+        assert_eq!(merged, stream);
+    }
+}

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use mcm_core::{Experiment, RunOptions};
+use mcm_core::{ExecutionPolicy, Experiment, RunOptions};
 use mcm_load::HdOperatingPoint;
 use mcm_sweep::{content_key, SweepOptions, SweepSpec, WorkItem};
 use serde::Deserialize;
@@ -311,6 +311,12 @@ impl Server {
         if let Some(v) = body.get("verify").and_then(|v| v.as_bool()) {
             run.verify = v;
         }
+        if let Some(v) = body.get("execution") {
+            run.execution = match ExecutionPolicy::from_value(v) {
+                Ok(p) => p,
+                Err(e) => return (400, error_body(format!("bad `execution`: {e:?}"))),
+            };
+        }
         let mut options = self.sweep_options(
             run,
             body.get("observe")
@@ -430,6 +436,10 @@ fn parse_run_options(body: &serde::Value) -> Result<RunOptions, String> {
             }
             "op_limit" => {
                 run.op_limit = Some(v.as_u64().ok_or("`run.op_limit` must be a number")?);
+            }
+            "execution" => {
+                run.execution = ExecutionPolicy::from_value(v)
+                    .map_err(|e| format!("bad `run.execution`: {e:?}"))?;
             }
             other => return Err(format!("unknown run option `{other}`")),
         }
@@ -574,5 +584,25 @@ mod tests {
         assert_eq!(run.op_limit, Some(500));
         let e = parse_run_options(&serde_json::json!({ "run": { "verfy": true } })).unwrap_err();
         assert!(e.contains("unknown run option"), "{e}");
+    }
+
+    #[test]
+    fn execution_policy_parses_as_string_or_object() {
+        let run = parse_run_options(
+            &serde_json::json!({ "run": { "execution": "per-channel:2,memoized" } }),
+        )
+        .unwrap();
+        assert_eq!(
+            run.execution,
+            ExecutionPolicy::per_channel(2).with_memoize_steady(true)
+        );
+        let run = parse_run_options(
+            &serde_json::json!({ "run": { "execution": { "parallelism": "per-channel", "threads": 4 } } }),
+        )
+        .unwrap();
+        assert_eq!(run.execution, ExecutionPolicy::per_channel(4));
+        let e = parse_run_options(&serde_json::json!({ "run": { "execution": "warp-drive" } }))
+            .unwrap_err();
+        assert!(e.contains("bad `run.execution`"), "{e}");
     }
 }

@@ -1,8 +1,9 @@
 //! The parallel, cached sweep front end.
 //!
-//! [`run_sweep`] expands a [`SweepSpec`] into [`WorkItem`]s, submits them
-//! to an [`Executor`] (its own single-job [`RayonExecutor`] by default),
-//! blocks on the result, and returns outcomes **in expansion order**
+//! [`run_sweep_on`] expands a [`SweepSpec`] into [`WorkItem`]s, submits
+//! them to a caller-supplied [`Executor`] (`&RayonExecutor::default()` is
+//! the stock single-job choice), blocks on the result, and returns
+//! outcomes **in expansion order**
 //! regardless of thread count. A panicking or erroring point becomes a
 //! typed per-point error, not a dead sweep. The JSON/CSV exports
 //! deliberately exclude wall-clock data so a parallel run's output is
@@ -14,7 +15,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use mcm_core::runner::run_isolated;
-use mcm_core::{BatchRunner, CoreError, Experiment, FrameResult, RunOptions};
+use mcm_core::{BatchRunner, CoreError, ExecutionPolicy, Experiment, FrameResult, RunOptions};
 use mcm_load::HdOperatingPoint;
 use rayon::prelude::*;
 use serde::Serialize;
@@ -92,6 +93,15 @@ impl SweepOptions {
     /// [`SweepOptions::prelint`].
     pub fn with_prelint(mut self, prelint: bool) -> Self {
         self.prelint = prelint;
+        self
+    }
+
+    /// Sets the [`ExecutionPolicy`] applied to every point's run (builder
+    /// style) — shorthand for rebuilding [`SweepOptions::run`] via
+    /// [`RunOptions::with_execution`]. The default policy serializes to
+    /// nothing, so cache keys for default-policy sweeps are unchanged.
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.run = self.run.with_execution(execution);
         self
     }
 }
@@ -352,20 +362,28 @@ pub(crate) fn collect_stats(points: &[PointOutcome], wall: Duration) -> SweepSta
     stats
 }
 
-/// Expands `spec` and executes every point under `options` on a private
-/// single-job [`RayonExecutor`] — the thin synchronous wrapper over the
-/// same machinery `mcm serve` drives asynchronously.
+/// Deprecated thin wrapper over [`run_sweep_on`] with a private
+/// single-job [`RayonExecutor`]. Kept only for source compatibility;
+/// byte-identity with the replacement is pinned in
+/// `tests/determinism.rs`.
+#[deprecated(
+    since = "0.1.0",
+    note = "call run_sweep_on(&RayonExecutor::default(), spec, options)"
+)]
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult, SweepError> {
+    run_sweep_on(&RayonExecutor::default(), spec, options)
+}
+
+/// The sweep entry point: expands `spec` and executes every point under
+/// `options` on a caller-supplied [`Executor`] — submit one job, block on
+/// its outcomes, fold them back into a [`SweepResult`]. Pass
+/// `&RayonExecutor::default()` for the stock synchronous single-job
+/// executor (the same machinery `mcm serve` drives asynchronously).
 ///
 /// Results come back in [`SweepSpec::expand`] order whatever the thread
 /// count; per-point failures are carried in [`PointOutcome::outcome`], and
 /// only sweep-level problems (empty axes, invalid options, an unusable
 /// cache directory) abort the call.
-pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepResult, SweepError> {
-    run_sweep_on(&RayonExecutor::new(1), spec, options)
-}
-
-/// [`run_sweep`] over a caller-supplied [`Executor`]: submit one job,
-/// block on its outcomes, fold them back into a [`SweepResult`].
 pub fn run_sweep_on(
     executor: &dyn Executor,
     spec: &SweepSpec,
@@ -471,7 +489,12 @@ mod tests {
 
     #[test]
     fn sweep_results_keep_expansion_order() {
-        let result = run_sweep(&quick_spec(), &SweepOptions::default().with_threads(3)).unwrap();
+        let result = run_sweep_on(
+            &RayonExecutor::default(),
+            &quick_spec(),
+            &SweepOptions::default().with_threads(3),
+        )
+        .unwrap();
         assert_eq!(
             result.points.iter().map(|p| p.channels).collect::<Vec<_>>(),
             vec![1, 2, 4]
@@ -487,7 +510,7 @@ mod tests {
         let mut options = SweepOptions::default();
         options.run.frames = 5;
         assert!(matches!(
-            run_sweep(&quick_spec(), &options),
+            run_sweep_on(&RayonExecutor::default(), &quick_spec(), &options),
             Err(SweepError::BadOptions { .. })
         ));
     }
@@ -500,7 +523,8 @@ mod tests {
             op_limit: Some(2_000),
             ..SweepSpec::default()
         };
-        let result = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        let result =
+            run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).unwrap();
         assert_eq!(result.stats.infeasible, 1);
         assert_eq!(result.stats.failed, 0);
         assert!(!result.points[0].outcome.as_ref().unwrap().feasible);
@@ -531,7 +555,7 @@ mod tests {
         let options = SweepOptions::default()
             .with_cache_dir(dir.clone())
             .with_observe(true);
-        let fresh = run_sweep(&quick_spec(), &options).unwrap();
+        let fresh = run_sweep_on(&RayonExecutor::default(), &quick_spec(), &options).unwrap();
         for p in &fresh.points {
             let s = p.obs.as_ref().expect("simulated point carries obs");
             assert!(s.requests > 0, "{}", p.label);
@@ -539,7 +563,7 @@ mod tests {
         }
         // Cached re-run: no simulation, no summaries — and the
         // deterministic exports never mention obs either way.
-        let warm = run_sweep(&quick_spec(), &options).unwrap();
+        let warm = run_sweep_on(&RayonExecutor::default(), &quick_spec(), &options).unwrap();
         assert_eq!(warm.stats.cached, 3);
         assert!(warm.points.iter().all(|p| p.obs.is_none()));
         assert_eq!(fresh.to_json(), warm.to_json());
@@ -552,8 +576,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mcm-sweep-prov-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let options = SweepOptions::default().with_cache_dir(dir.clone());
-        let fresh = run_sweep(&quick_spec(), &options).unwrap();
-        let warm = run_sweep(&quick_spec(), &options).unwrap();
+        let fresh = run_sweep_on(&RayonExecutor::default(), &quick_spec(), &options).unwrap();
+        let warm = run_sweep_on(&RayonExecutor::default(), &quick_spec(), &options).unwrap();
         // The deterministic export hides provenance; this one carries it.
         assert_eq!(fresh.to_json(), warm.to_json());
         let cold: serde::Value = serde_json::from_str(&fresh.to_json_with_provenance()).unwrap();
@@ -595,7 +619,7 @@ mod tests {
             ..quick_spec()
         };
         // Warm the cache with a healthy-only sweep.
-        let healthy = run_sweep(&base, &options).unwrap();
+        let healthy = run_sweep_on(&RayonExecutor::default(), &base, &options).unwrap();
         assert_eq!(healthy.stats.simulated, 2);
         // The same grid with a fault axis: healthy cells hit the warm cache
         // (their fingerprints are unchanged), faulted cells simulate fresh.
@@ -603,7 +627,7 @@ mod tests {
             faults: vec![None, Some(mcm_fault::FaultPlan::channel_loss(5, 0))],
             ..base
         };
-        let mixed = run_sweep(&spec, &options).unwrap();
+        let mixed = run_sweep_on(&RayonExecutor::default(), &spec, &options).unwrap();
         assert_eq!(mixed.stats.total, 4);
         assert_eq!(mixed.stats.cached, 2, "healthy fingerprints must be stable");
         assert_eq!(mixed.stats.simulated, 2);
@@ -635,8 +659,9 @@ mod tests {
             ..SweepSpec::default()
         };
         let base = SweepOptions::default().with_threads(1);
-        let without = run_sweep(&spec, &base.clone()).unwrap();
-        let with = run_sweep(&spec, &base.with_prelint(true)).unwrap();
+        let without = run_sweep_on(&RayonExecutor::default(), &spec, &base.clone()).unwrap();
+        let with =
+            run_sweep_on(&RayonExecutor::default(), &spec, &base.with_prelint(true)).unwrap();
 
         assert_eq!(without.stats.prelinted, 0);
         assert_eq!(without.stats.simulated, 4);
@@ -690,7 +715,12 @@ mod tests {
             op_limit: Some(2_000),
             ..SweepSpec::default()
         };
-        let result = run_sweep(&spec, &SweepOptions::default().with_prelint(true)).unwrap();
+        let result = run_sweep_on(
+            &RayonExecutor::default(),
+            &spec,
+            &SweepOptions::default().with_prelint(true),
+        )
+        .unwrap();
         assert_eq!(result.stats.total, 2);
         assert_eq!(result.stats.prelinted, 1);
         assert_eq!(result.stats.simulated, 1);
@@ -700,7 +730,12 @@ mod tests {
 
     #[test]
     fn exports_have_one_row_per_point() {
-        let result = run_sweep(&quick_spec(), &SweepOptions::default()).unwrap();
+        let result = run_sweep_on(
+            &RayonExecutor::default(),
+            &quick_spec(),
+            &SweepOptions::default(),
+        )
+        .unwrap();
         let json = result.to_json();
         assert_eq!(json.matches("\"label\"").count(), 3);
         let csv = result.to_csv();
@@ -710,5 +745,51 @@ mod tests {
             .nth(1)
             .unwrap()
             .contains("1280x720@30/1ch/400MHz"));
+    }
+
+    #[test]
+    fn per_channel_execution_matches_serial_byte_for_byte() {
+        // The point-level parallel policy must not perturb any exported
+        // number; only provenance (wall clock) may differ.
+        let exec = RayonExecutor::default();
+        let serial = run_sweep_on(&exec, &quick_spec(), &SweepOptions::default()).unwrap();
+        let parallel = run_sweep_on(
+            &exec,
+            &quick_spec(),
+            &SweepOptions::default().with_execution(ExecutionPolicy::per_channel(2)),
+        )
+        .unwrap();
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(parallel.stats.simulated, 3);
+    }
+
+    #[test]
+    fn execution_policy_changes_the_cache_key_only_when_meaningful() {
+        // Default-policy sweeps must hit cache entries written before the
+        // `execution` field existed (the default serializes to nothing),
+        // while a memoizing policy is part of run identity and keys apart.
+        let dir = std::env::temp_dir().join(format!("mcm-sweep-exec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = SweepOptions::default().with_cache_dir(dir.clone());
+        let cold = run_sweep_on(&RayonExecutor::default(), &quick_spec(), &options).unwrap();
+        assert_eq!(cold.stats.simulated, 3);
+
+        // Same default policy, spelled explicitly: every point is warm.
+        let explicit = options.clone().with_execution(ExecutionPolicy::default());
+        let warm = run_sweep_on(&RayonExecutor::default(), &quick_spec(), &explicit).unwrap();
+        assert_eq!(warm.stats.cached, 3);
+        assert_eq!(cold.to_json(), warm.to_json());
+
+        // A per-channel policy produces identical numbers, and shares the
+        // serial entries only if its serialization differs — it does, so
+        // the points key apart and simulate fresh.
+        let par = options
+            .clone()
+            .with_execution(ExecutionPolicy::per_channel(2));
+        let fresh = run_sweep_on(&RayonExecutor::default(), &quick_spec(), &par).unwrap();
+        assert_eq!(fresh.stats.simulated, 3);
+        assert_eq!(fresh.to_json(), cold.to_json());
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

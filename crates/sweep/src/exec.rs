@@ -1,7 +1,7 @@
 //! The shared scheduling path behind sweeps, figure batches and `mcm serve`.
 //!
 //! [`Executor`] is the asynchronous job API every consumer drives:
-//! [`run_sweep`](crate::run_sweep) submits one job and blocks on
+//! [`run_sweep_on`](crate::run_sweep_on) submits one job and blocks on
 //! [`Executor::collect`]; the figure harness routes its batches through the
 //! same machinery via [`ParallelRunner`](crate::ParallelRunner); the server
 //! keeps many jobs in flight, polls their progress, and cancels them on
@@ -118,7 +118,7 @@ pub struct WorkOutcome {
     pub obs: Option<mcm_obs::ObsSummary>,
 }
 
-/// The scheduling API shared by `run_sweep`, the figure harness and
+/// The scheduling API shared by `run_sweep_on`, the figure harness and
 /// `mcm serve`: submit a batch, poll its progress, cancel it, collect the
 /// outcomes.
 ///
@@ -199,8 +199,9 @@ impl std::fmt::Debug for RayonExecutor {
 }
 
 impl Default for RayonExecutor {
-    /// A single-job executor — what [`run_sweep`](crate::run_sweep) and
-    /// the figure harness use.
+    /// A single-job executor — the stock argument to
+    /// [`run_sweep_on`](crate::run_sweep_on), and what the figure
+    /// harness uses.
     fn default() -> Self {
         RayonExecutor::new(1)
     }

@@ -11,10 +11,11 @@
 //!   (submit / poll / cancel / collect) behind every consumer: bounded
 //!   concurrent jobs over the rayon pool, per-item panic/error isolation
 //!   ([`SweepError`]), static prelint, content-key caching;
-//! * [`run_sweep`] — the thin synchronous wrapper: one job submitted,
-//!   collected, and folded back into **expansion-order** results with live
-//!   progress and per-point timing — the same machinery `mcm serve`
-//!   drives asynchronously;
+//! * [`run_sweep_on`] — the single entry point: one job submitted to a
+//!   caller-supplied executor, collected, and folded back into
+//!   **expansion-order** results with live progress and per-point timing
+//!   — the same machinery `mcm serve` drives asynchronously. The old
+//!   zero-executor [`run_sweep`] wrapper is deprecated;
 //! * [`ResultCache`] — a content-hash disk cache keyed by [`content_key`]:
 //!   re-running a figure only simulates the points whose configuration
 //!   changed, and the server store shares the keyspace;
@@ -23,7 +24,7 @@
 //!
 //! ```
 //! use mcm_load::HdOperatingPoint;
-//! use mcm_sweep::{run_sweep, SweepOptions, SweepSpec};
+//! use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
 //!
 //! let spec = SweepSpec {
 //!     points: vec![HdOperatingPoint::Hd720p30],
@@ -31,7 +32,8 @@
 //!     op_limit: Some(2_000), // truncated run for the doctest
 //!     ..SweepSpec::default()
 //! };
-//! let result = run_sweep(&spec, &SweepOptions::default().with_threads(2)).unwrap();
+//! let exec = RayonExecutor::default();
+//! let result = run_sweep_on(&exec, &spec, &SweepOptions::default().with_threads(2)).unwrap();
 //! assert_eq!(result.points.len(), 3);
 //! // More channels, faster frame: results arrive in expansion order.
 //! let access = |i: usize| result.points[i].outcome.as_ref().unwrap().access_ms.unwrap();
@@ -49,8 +51,10 @@ mod key;
 mod spec;
 
 pub use cache::{PointRecord, ResultCache};
+#[allow(deprecated)]
+pub use engine::run_sweep;
 pub use engine::{
-    run_sweep, run_sweep_on, ParallelRunner, PointOutcome, SweepOptions, SweepResult, SweepStats,
+    run_sweep_on, ParallelRunner, PointOutcome, SweepOptions, SweepResult, SweepStats,
 };
 pub use error::SweepError;
 pub use exec::{Executor, JobId, JobSnapshot, JobState, RayonExecutor, WorkItem, WorkOutcome};

@@ -8,7 +8,9 @@
 use std::path::PathBuf;
 
 use mcm_load::HdOperatingPoint;
-use mcm_sweep::{run_sweep, run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
+#[allow(deprecated)]
+use mcm_sweep::run_sweep;
+use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
 
 fn quick_grid() -> SweepSpec {
     SweepSpec {
@@ -28,8 +30,18 @@ fn tmp_dir(name: &str) -> PathBuf {
 #[test]
 fn parallel_json_is_byte_identical_to_serial() {
     let spec = quick_grid();
-    let serial = run_sweep(&spec, &SweepOptions::default().with_threads(1)).unwrap();
-    let parallel = run_sweep(&spec, &SweepOptions::default().with_threads(4)).unwrap();
+    let serial = run_sweep_on(
+        &RayonExecutor::default(),
+        &spec,
+        &SweepOptions::default().with_threads(1),
+    )
+    .unwrap();
+    let parallel = run_sweep_on(
+        &RayonExecutor::default(),
+        &spec,
+        &SweepOptions::default().with_threads(4),
+    )
+    .unwrap();
     assert_eq!(serial.points.len(), 8);
     assert_eq!(
         serial.to_json(),
@@ -42,7 +54,8 @@ fn parallel_json_is_byte_identical_to_serial() {
         "CSV export must not depend on the thread count"
     );
     // And the default (env-driven) pool agrees too, whatever its width.
-    let env_default = run_sweep(&spec, &SweepOptions::default()).unwrap();
+    let env_default =
+        run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).unwrap();
     assert_eq!(serial.to_json(), env_default.to_json());
 }
 
@@ -62,8 +75,18 @@ fn stochastic_workloads_export_identically_at_any_thread_count() {
         op_limit: Some(3_000),
         ..SweepSpec::default()
     };
-    let serial = run_sweep(&spec, &SweepOptions::default().with_threads(1)).unwrap();
-    let parallel = run_sweep(&spec, &SweepOptions::default().with_threads(4)).unwrap();
+    let serial = run_sweep_on(
+        &RayonExecutor::default(),
+        &spec,
+        &SweepOptions::default().with_threads(1),
+    )
+    .unwrap();
+    let parallel = run_sweep_on(
+        &RayonExecutor::default(),
+        &spec,
+        &SweepOptions::default().with_threads(4),
+    )
+    .unwrap();
     assert_eq!(serial.points.len(), 4);
     assert_eq!(
         serial.to_json(),
@@ -83,14 +106,14 @@ fn warm_cache_rerun_simulates_nothing_and_exports_identically() {
         ..SweepOptions::default()
     };
 
-    let cold = run_sweep(&spec, &options).unwrap();
+    let cold = run_sweep_on(&RayonExecutor::default(), &spec, &options).unwrap();
     assert_eq!(
         cold.stats.simulated, 8,
         "cold cache must simulate all points"
     );
     assert_eq!(cold.stats.cached, 0);
 
-    let warm = run_sweep(&spec, &options).unwrap();
+    let warm = run_sweep_on(&RayonExecutor::default(), &spec, &options).unwrap();
     assert_eq!(warm.stats.simulated, 0, "warm cache must simulate nothing");
     assert_eq!(warm.stats.cached, 8);
     assert_eq!(
@@ -117,7 +140,7 @@ fn cache_invalidates_on_config_change_only() {
         ..SweepOptions::default()
     };
 
-    let first = run_sweep(&base, &options).unwrap();
+    let first = run_sweep_on(&RayonExecutor::default(), &base, &options).unwrap();
     assert_eq!(first.stats.simulated, 2);
 
     // Growing an axis only simulates the new points.
@@ -125,7 +148,7 @@ fn cache_invalidates_on_config_change_only() {
         channels: vec![1, 2, 4],
         ..base.clone()
     };
-    let second = run_sweep(&grown, &options).unwrap();
+    let second = run_sweep_on(&RayonExecutor::default(), &grown, &options).unwrap();
     assert_eq!(second.stats.cached, 2, "unchanged points must hit");
     assert_eq!(second.stats.simulated, 1, "only the new point simulates");
 
@@ -134,7 +157,7 @@ fn cache_invalidates_on_config_change_only() {
         op_limit: Some(4_000),
         ..base.clone()
     };
-    let third = run_sweep(&changed, &options).unwrap();
+    let third = run_sweep_on(&RayonExecutor::default(), &changed, &options).unwrap();
     assert_eq!(third.stats.cached, 0, "changed configs must not hit");
     assert_eq!(third.stats.simulated, 2);
 
@@ -151,7 +174,12 @@ fn isolated_failures_do_not_kill_the_sweep() {
         op_limit: Some(3_000),
         ..SweepSpec::default()
     };
-    let result = run_sweep(&spec, &SweepOptions::default().with_threads(4)).unwrap();
+    let result = run_sweep_on(
+        &RayonExecutor::default(),
+        &spec,
+        &SweepOptions::default().with_threads(4),
+    )
+    .unwrap();
     assert_eq!(result.stats.failed, 0);
     assert_eq!(result.stats.infeasible, 2);
     let feasible: Vec<bool> = result
@@ -164,11 +192,12 @@ fn isolated_failures_do_not_kill_the_sweep() {
 
 #[test]
 fn caller_supplied_executor_exports_byte_identically() {
-    // `run_sweep` is a thin wrapper over `run_sweep_on`; the service hands
-    // in its own long-lived executor. Whichever executor carries the jobs
-    // — and however many may run concurrently — the export is the same
-    // bytes.
+    // The deprecated `run_sweep` is a thin wrapper over `run_sweep_on`;
+    // the service hands in its own long-lived executor. Whichever
+    // executor carries the jobs — and however many may run concurrently —
+    // the export is the same bytes.
     let spec = quick_grid();
+    #[allow(deprecated)]
     let reference = run_sweep(&spec, &SweepOptions::default().with_threads(2)).unwrap();
 
     let executor = RayonExecutor::new(4);

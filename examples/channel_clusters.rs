@@ -33,7 +33,7 @@ fn main() {
     let geometry = Geometry::next_gen_mobile_ddr();
     let layout = FrameLayout::with_options(
         &use_case,
-        &mcm_load::LayoutOptions::bank_staggered(
+        &LayoutOptions::bank_staggered(
             clustered.cluster_capacity_bytes(),
             geometry.page_bytes() as u64,
             4,

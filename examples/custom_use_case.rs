@@ -5,8 +5,6 @@
 //! Run with: `cargo run --release --example custom_use_case`
 
 use mcm::prelude::*;
-use mcm_core::ChunkPolicy;
-use mcm_power::InterfacePowerModel;
 
 fn main() {
     // A 2560x1440 (QHD) 30 fps recorder with 2x digizoom. The level system
@@ -31,7 +29,7 @@ fn main() {
         audio_kbps: 256,
         ref_frames: RefFrames::DpbMax,
         encoder_factor: 6,
-        mode: mcm_load::UseCaseMode::Recording,
+        mode: UseCaseMode::Recording,
     };
     use_case.validate().expect("parameters are consistent");
 
@@ -53,7 +51,7 @@ fn main() {
             use_case,
             memory: MemoryConfig::paper(channels, 400),
             chunk: ChunkPolicy::PerChannel(64),
-            pacing: mcm_core::Pacing::Greedy,
+            pacing: Pacing::Greedy,
             margin: 0.15,
             interface: InterfacePowerModel::paper(),
             op_limit: None,

@@ -16,7 +16,6 @@ use mcm::load::{
     Traffic,
 };
 use mcm::prelude::*;
-use mcm_load::Stage;
 
 /// An aerial recorder: Table I without the display chain, with a doubled
 /// encoder motion-search window.

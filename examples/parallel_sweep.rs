@@ -25,7 +25,8 @@ fn main() {
         clocks_mhz: CLOCKS_MHZ.to_vec(),
         ..SweepSpec::default()
     };
-    let result = run_sweep(&spec, &SweepOptions::default()).expect("sweep");
+    let result =
+        run_sweep_on(&RayonExecutor::default(), &spec, &SweepOptions::default()).expect("sweep");
     let mut rows = result.points.chunks(CLOCKS_MHZ.len());
 
     for point in HdOperatingPoint::ALL {

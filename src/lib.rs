@@ -42,8 +42,13 @@
 
 // The run/sweep API surface, re-exported at the root so downstream code
 // can write `mcm::RunOptions` without spelling out the member crate.
-pub use mcm_core::{CoreError, Experiment, ExperimentBuilder, FrameResult, RunOptions, RunOutcome};
-pub use mcm_sweep::{run_sweep, SweepOptions, SweepResult, SweepSpec};
+pub use mcm_core::{
+    CoreError, ExecutionPolicy, Experiment, ExperimentBuilder, FrameResult, Parallelism,
+    RunOptions, RunOutcome,
+};
+#[allow(deprecated)]
+pub use mcm_sweep::run_sweep;
+pub use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepResult, SweepSpec};
 
 pub use mcm_analyze as analyze;
 pub use mcm_channel as channel;
@@ -65,8 +70,8 @@ pub mod prelude {
         ClusteredMemory, InterleaveMap, MasterTransaction, MemoryConfig, MemorySubsystem,
     };
     pub use mcm_core::{
-        ChunkPolicy, CoreError, Experiment, ExperimentBuilder, FrameResult, Pacing,
-        RealTimeVerdict, RunOptions, RunOutcome,
+        ChunkPolicy, CoreError, ExecutionPolicy, Experiment, ExperimentBuilder, FrameResult,
+        Pacing, Parallelism, RealTimeVerdict, RunOptions, RunOutcome,
     };
     pub use mcm_ctrl::{
         AccessOp, ChannelRequest, Controller, ControllerConfig, PagePolicy, PowerDownPolicy,
@@ -77,13 +82,17 @@ pub mod prelude {
     pub use mcm_fault::{DegradePolicy, DegradeSummary, FaultPlan, FaultSpec};
     pub use mcm_load::{
         CodecProfile, FrameFormat, FrameLayout, FrameTraffic, H264Level, HdOperatingPoint,
-        LoadModel, PixelFormat, RefFrames, Stage, StochasticParams, UseCase, Workload,
+        LayoutOptions, LoadModel, PixelFormat, RefFrames, Stage, StochasticParams, UseCase,
+        UseCaseMode, Workload,
     };
     pub use mcm_obs::{NullRecorder, ObsConfig, ObsReport, ObsSummary, Recorder, StatsRecorder};
     pub use mcm_power::{BondingTechnique, InterfacePowerModel, PowerSummary, XdrReference};
-    pub use mcm_sim::{ClockDomain, Frequency, SimTime};
+    pub use mcm_sim::{ClockDomain, Frequency, QueueKind, SimTime};
+    #[allow(deprecated)]
+    pub use mcm_sweep::run_sweep;
     pub use mcm_sweep::{
-        run_sweep, ParallelRunner, PointOutcome, SweepOptions, SweepResult, SweepSpec,
+        run_sweep_on, ParallelRunner, PointOutcome, RayonExecutor, SweepOptions, SweepResult,
+        SweepSpec,
     };
     pub use mcm_verify::{Diagnostic, Report, Severity, TraceAuditOptions};
 }
