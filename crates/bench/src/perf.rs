@@ -19,7 +19,9 @@ use mcm_core::eventsim::run_event_driven_configured;
 use mcm_core::{ChunkPolicy, ExecutionPolicy, Experiment, FrameResult, RunOptions};
 use mcm_load::HdOperatingPoint;
 use mcm_sim::QueueKind;
-use mcm_sweep::{run_sweep_on, RayonExecutor, SweepOptions, SweepSpec};
+use mcm_sweep::{
+    merge_shards, run_sweep_on, run_sweep_shard_on, RayonExecutor, SweepOptions, SweepSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Direct-path throughput of the seed engine (binary-heap queue,
@@ -100,7 +102,7 @@ pub struct Measurement {
     /// Human-readable scenario name, e.g. `1080p30 x 4ch direct`.
     pub name: String,
     /// Which engine path ran: `direct`, `event-driven`,
-    /// `event-driven-binary-heap`, `steady`, `sweep`.
+    /// `event-driven-binary-heap`, `steady`, `sweep`, `sweep-sharded`.
     pub kind: String,
     /// Work items completed per run (see `unit`).
     pub work: u64,
@@ -394,6 +396,51 @@ fn sweep_measurement(cfg: &BenchConfig) -> Result<Measurement, String> {
     ))
 }
 
+/// Times the distributed sweep path on one machine: the same grid split
+/// into four shards, each executed and rendered to a shard document, then
+/// parsed and merged back. The delta against the plain `sweep` scenario
+/// prices the shard machinery itself — four grid expansions, document
+/// rendering, parsing and reassembly. The probe run is asserted
+/// byte-identical to the unsharded export, so the scenario doubles as a
+/// determinism check.
+fn sweep_sharded_measurement(cfg: &BenchConfig) -> Result<Measurement, String> {
+    let spec = if cfg.quick {
+        SweepSpec {
+            op_limit: Some(2_000),
+            ..SweepSpec::paper_grid()
+        }
+    } else {
+        sweep_spec_500()
+    };
+    let options = SweepOptions::default();
+    const SHARDS: usize = 4;
+    let run = || {
+        let docs: Vec<(String, String)> = (0..SHARDS)
+            .map(|i| {
+                let shard =
+                    run_sweep_shard_on(&RayonExecutor::default(), &spec, i, SHARDS, &options)
+                        .expect("bench sweep spec shards");
+                (format!("shard-{i}"), shard.to_json())
+            })
+            .collect();
+        merge_shards(&docs).expect("bench shards merge")
+    };
+    let probe = run();
+    let whole =
+        run_sweep_on(&RayonExecutor::default(), &spec, &options).expect("bench sweep spec expands");
+    if probe.to_json() != whole.to_json() {
+        return Err("sharded sweep export differs from the unsharded run".into());
+    }
+    let samples = time_repeats(cfg.warmup.saturating_sub(1), cfg.repeats, run);
+    Ok(summarize(
+        format!("sweep {} points, {SHARDS} shards + merge", probe.len()),
+        "sweep-sharded",
+        probe.len() as u64,
+        "points",
+        samples,
+    ))
+}
+
 /// Runs every scenario and assembles the report. Infeasible grid cells
 /// (2160p does not fit few channels) are recorded in
 /// [`BenchReport::skipped`]; an error on the headline scenario aborts the
@@ -540,6 +587,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
     }
 
     scenarios.push(sweep_measurement(cfg)?);
+    scenarios.push(sweep_sharded_measurement(cfg)?);
 
     Ok(BenchReport {
         schema: "mcm-bench/v1".into(),

@@ -281,6 +281,31 @@ pub struct SweepArgs {
     /// Per-point execution policy (`--execution <spec>`). Point-level,
     /// distinct from `--threads` which sizes the sweep worker pool.
     pub execution: ExecutionPolicy,
+    /// Run only shard `index` of `of` (`--shard i/n`, 0-based). Shard
+    /// result files are JSON-only and recombine with `--merge`.
+    pub shard: Option<(usize, usize)>,
+    /// Checkpoint log to create or extend (`--checkpoint <log>`): every
+    /// completed point is recorded for crash-safe resume.
+    pub checkpoint: Option<String>,
+    /// Checkpoint log to resume from (`--resume <log>`); unlike
+    /// `--checkpoint` the log must already exist.
+    pub resume: Option<String>,
+    /// Shard result files to merge (`--merge <files...>`) instead of
+    /// sweeping; the output is byte-identical to the unsharded run.
+    pub merge: Vec<String>,
+    /// Where points execute (`--executor local|serve:<addr>[,<addr>...]`).
+    pub executor: ExecutorArg,
+}
+
+/// Where `mcm sweep` executes its points.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ExecutorArg {
+    /// In-process, on the rayon pool.
+    #[default]
+    Local,
+    /// On remote `mcm serve` workers over HTTP/JSON, round-robin with
+    /// retry and dead-worker re-queueing.
+    Serve(Vec<String>),
 }
 
 impl Default for SweepArgs {
@@ -297,6 +322,11 @@ impl Default for SweepArgs {
             progress: false,
             prelint: false,
             execution: ExecutionPolicy::default(),
+            shard: None,
+            checkpoint: None,
+            resume: None,
+            merge: Vec::new(),
+            executor: ExecutorArg::Local,
         }
     }
 }
@@ -644,7 +674,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
         }
         "sweep" => {
             let mut a = SweepArgs::default();
-            let mut it = it;
+            let mut it = it.peekable();
             while let Some(flag) = it.next() {
                 let mut value = || {
                     it.next()
@@ -705,8 +735,62 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                             .parse()
                             .map_err(|e| CliError(format!("bad --execution value: {e}")))?
                     }
+                    "--shard" => {
+                        let v = value()?;
+                        let parsed = v
+                            .split_once('/')
+                            .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)));
+                        a.shard = Some(parsed.ok_or_else(|| {
+                            CliError(format!("bad --shard value '{v}' (expected i/n, e.g. 0/4)"))
+                        })?);
+                    }
+                    "--checkpoint" => a.checkpoint = Some(value()?.to_string()),
+                    "--resume" => a.resume = Some(value()?.to_string()),
+                    "--merge" => {
+                        // Greedy: every following non-flag token is a
+                        // shard file (commas inside a token also split).
+                        while let Some(next) = it.peek() {
+                            if next.starts_with("--") {
+                                break;
+                            }
+                            let token = it.next().expect("peeked token exists");
+                            a.merge.extend(token.split(',').map(str::to_string));
+                        }
+                        if a.merge.is_empty() {
+                            return Err(CliError(
+                                "flag '--merge' needs at least one shard file".into(),
+                            ));
+                        }
+                    }
+                    "--executor" => {
+                        let v = value()?;
+                        a.executor = if v == "local" {
+                            ExecutorArg::Local
+                        } else if let Some(addrs) = v.strip_prefix("serve:") {
+                            let addrs: Vec<String> = addrs
+                                .split(',')
+                                .filter(|s| !s.is_empty())
+                                .map(str::to_string)
+                                .collect();
+                            if addrs.is_empty() {
+                                return Err(CliError(
+                                    "--executor serve: needs at least one address".into(),
+                                ));
+                            }
+                            ExecutorArg::Serve(addrs)
+                        } else {
+                            return Err(CliError(format!(
+                                "bad --executor value '{v}' (expected local or serve:<addr>[,<addr>...])"
+                            )));
+                        };
+                    }
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
                 }
+            }
+            if a.checkpoint.is_some() && a.resume.is_some() {
+                return Err(CliError(
+                    "--checkpoint and --resume are exclusive (resume extends the same log)".into(),
+                ));
             }
             Ok(Command::Sweep(a))
         }
@@ -1010,6 +1094,18 @@ SWEEP OPTIONS (defaults: the paper grid — five formats x 1,2,4,8 channels):
                       simulating (MCM4xx analysis)     [off]
     --execution <spec> per-point execution policy (see run OPTIONS);
                       point-level, unlike --threads    [serial]
+    --shard <i/n>     run only shard i of n (0-based, deterministic
+                      split of the expanded grid; --json only)  [whole grid]
+    --merge <files...> merge shard result files into the unsharded
+                      output, byte-identical (--json/--csv)     [-]
+    --checkpoint <log> record completed points in a crash-safe
+                      JSONL log for later --resume     [off]
+    --resume <log>    resume from an existing checkpoint log:
+                      finished points are not re-simulated  [off]
+    --executor <local|serve:addr[,addr...]>
+                      where points execute: in-process, or on
+                      remote 'mcm serve' workers with retry and
+                      dead-worker re-queueing          [local]
     --json | --csv    deterministic machine output     [text table]
 ";
 
@@ -1213,6 +1309,56 @@ mod tests {
         assert!(a.prelint);
         assert!(parse_args(["sweep", "--formats", "480i"]).is_err());
         assert!(parse_args(["sweep", "--channels", "two"]).is_err());
+    }
+
+    #[test]
+    fn sweep_distribution_flags_parse_and_refuse_nonsense() {
+        let Command::Sweep(a) = parse_args([
+            "sweep",
+            "--shard",
+            "2/8",
+            "--checkpoint",
+            "log.jsonl",
+            "--executor",
+            "serve:127.0.0.1:7700,127.0.0.1:7701",
+            "--json",
+        ])
+        .unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a.shard, Some((2, 8)));
+        assert_eq!(a.checkpoint.as_deref(), Some("log.jsonl"));
+        assert_eq!(
+            a.executor,
+            ExecutorArg::Serve(vec![
+                "127.0.0.1:7700".to_string(),
+                "127.0.0.1:7701".to_string()
+            ])
+        );
+
+        // `--merge` is greedy up to the next flag, and splits commas.
+        let Command::Sweep(a) =
+            parse_args(["sweep", "--merge", "a.json", "b.json,c.json", "--csv"]).unwrap()
+        else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a.merge, vec!["a.json", "b.json", "c.json"]);
+        assert_eq!(a.output, OutputFormat::Csv);
+
+        let Command::Sweep(a) = parse_args(["sweep", "--resume", "log.jsonl"]).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a.resume.as_deref(), Some("log.jsonl"));
+        assert_eq!(a.executor, ExecutorArg::Local);
+
+        assert!(parse_args(["sweep", "--shard", "3"]).is_err());
+        assert!(parse_args(["sweep", "--shard", "a/b"]).is_err());
+        assert!(parse_args(["sweep", "--merge"]).is_err());
+        assert!(parse_args(["sweep", "--merge", "--json"]).is_err());
+        assert!(parse_args(["sweep", "--executor", "carrier-pigeon"]).is_err());
+        assert!(parse_args(["sweep", "--executor", "serve:"]).is_err());
+        // One log, two spellings: creating and resuming are exclusive.
+        assert!(parse_args(["sweep", "--checkpoint", "a", "--resume", "a"]).is_err());
     }
 
     #[test]

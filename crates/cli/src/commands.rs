@@ -5,7 +5,8 @@ use mcm_load::UseCase;
 use mcm_sweep::ParallelRunner;
 
 use crate::args::{
-    CliError, Command, FaultArgs, OutputFormat, ReportArgs, RunOptions, ServeArgs, SweepArgs, USAGE,
+    CliError, Command, ExecutorArg, FaultArgs, OutputFormat, ReportArgs, RunOptions, ServeArgs,
+    SweepArgs, USAGE,
 };
 
 fn build_experiment(o: &RunOptions) -> Experiment {
@@ -541,6 +542,9 @@ fn run_bench_cmd(a: &crate::args::BenchArgs) -> Result<String, CliError> {
 }
 
 fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
+    if !a.merge.is_empty() {
+        return run_sweep_merge(a);
+    }
     let spec = mcm_sweep::SweepSpec {
         points: a.points.clone(),
         channels: a.channels.clone(),
@@ -549,7 +553,7 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
         op_limit: a.op_limit,
         ..mcm_sweep::SweepSpec::default()
     };
-    let options = mcm_sweep::SweepOptions {
+    let mut options = mcm_sweep::SweepOptions {
         threads: a.threads,
         cache_dir: a.cache.as_ref().map(std::path::PathBuf::from),
         progress: a.progress,
@@ -557,7 +561,31 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
         ..mcm_sweep::SweepOptions::default()
     }
     .with_execution(a.execution);
-    let result = mcm_sweep::run_sweep_on(&mcm_sweep::RayonExecutor::default(), &spec, &options)
+    // `--checkpoint` creates-or-extends, `--resume` insists the log is
+    // already there; both bind the log to the *full* spec, so a sharded
+    // run shares one log with its siblings.
+    let log = match (&a.checkpoint, &a.resume) {
+        (Some(path), None) => Some((path, false)),
+        (None, Some(path)) => Some((path, true)),
+        _ => None,
+    };
+    if let Some((path, must_exist)) = log {
+        let log = mcm_sweep::CheckpointLog::attach(path, &spec, &a.execution, must_exist)
+            .map_err(|e| CliError(e.to_string()))?;
+        options = options.with_checkpoint(log);
+    }
+    let executor = sweep_executor(a)?;
+    if let Some((index, of)) = a.shard {
+        if a.output != OutputFormat::Json {
+            return Err(CliError(
+                "--shard writes a JSON shard document: add --json (merge with --merge)".into(),
+            ));
+        }
+        let shard = mcm_sweep::run_sweep_shard_on(&*executor, &spec, index, of, &options)
+            .map_err(|e| CliError(e.to_string()))?;
+        return Ok(shard.to_json() + "\n");
+    }
+    let result = mcm_sweep::run_sweep_on(&*executor, &spec, &options)
         .map_err(|e| CliError(e.to_string()))?;
     match a.output {
         OutputFormat::Json => Ok(result.to_json() + "\n"),
@@ -598,6 +626,44 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<String, CliError> {
             out += &format!("\n{}\n", result.stats);
             Ok(out)
         }
+    }
+}
+
+/// `mcm sweep --merge <files...>`: recombine shard result files into the
+/// output the unsharded run would have produced, byte for byte.
+fn run_sweep_merge(a: &SweepArgs) -> Result<String, CliError> {
+    if a.shard.is_some() {
+        return Err(CliError(
+            "--merge and --shard are exclusive: merge recombines finished shard files".into(),
+        ));
+    }
+    let docs = a
+        .merge
+        .iter()
+        .map(|path| {
+            std::fs::read_to_string(path)
+                .map(|text| (path.clone(), text))
+                .map_err(|e| CliError(format!("cannot read shard file '{path}': {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let merged = mcm_sweep::merge_shards(&docs).map_err(|e| CliError(e.to_string()))?;
+    match a.output {
+        OutputFormat::Json => Ok(merged.to_json() + "\n"),
+        OutputFormat::Csv => Ok(merged.to_csv()),
+        OutputFormat::Text | OutputFormat::Trace => Err(CliError(
+            "mcm sweep --merge writes machine output: add --json or --csv".into(),
+        )),
+    }
+}
+
+/// The executor `--executor` selects: the in-process rayon pool, or a
+/// [`ServeExecutor`](mcm_serve::ServeExecutor) over remote workers.
+fn sweep_executor(a: &SweepArgs) -> Result<Box<dyn mcm_sweep::Executor>, CliError> {
+    match &a.executor {
+        ExecutorArg::Local => Ok(Box::new(mcm_sweep::RayonExecutor::default())),
+        ExecutorArg::Serve(addrs) => Ok(Box::new(
+            mcm_serve::ServeExecutor::connect(addrs).map_err(|e| CliError(e.to_string()))?,
+        )),
     }
 }
 
@@ -1162,6 +1228,72 @@ mod sweep_cli_tests {
         assert!(cold.contains("2 simulated, 0 cached"), "{cold}");
         let warm = run();
         assert!(warm.contains("0 simulated, 2 cached"), "{warm}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_shards_merge_and_checkpoints_resume_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("mcm_cli_shard_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let grid = [
+            "--formats",
+            "720p30,1080p30",
+            "--channels",
+            "1,2",
+            "--op-limit",
+            "2000",
+        ];
+        let sweep = |extra: &[&str]| {
+            let mut full: Vec<&str> = vec!["sweep"];
+            full.extend_from_slice(&grid);
+            full.extend_from_slice(extra);
+            execute(&parse_args(full).unwrap())
+        };
+
+        let whole = sweep(&["--json"]).unwrap();
+
+        // Two shards merge back to the exact bytes of the whole run,
+        // regardless of the order the files are given in.
+        let s0 = sweep(&["--json", "--shard", "0/2"]).unwrap();
+        let s1 = sweep(&["--json", "--shard", "1/2"]).unwrap();
+        let p0 = dir.join("s0.json");
+        let p1 = dir.join("s1.json");
+        std::fs::write(&p0, &s0).unwrap();
+        std::fs::write(&p1, &s1).unwrap();
+        let merged = execute(
+            &parse_args([
+                "sweep",
+                "--merge",
+                p1.to_str().unwrap(),
+                p0.to_str().unwrap(),
+                "--json",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(merged, whole, "merge must reproduce the unsharded run");
+
+        // A checkpointed run resumes byte-identically under the same
+        // flags; a lone shard file refuses to merge.
+        let log = dir.join("log.jsonl");
+        let log_s = log.to_str().unwrap();
+        let first = sweep(&["--json", "--checkpoint", log_s]).unwrap();
+        assert_eq!(first, whole);
+        let resumed = sweep(&["--json", "--resume", log_s]).unwrap();
+        assert_eq!(resumed, whole);
+        let lone =
+            execute(&parse_args(["sweep", "--merge", p0.to_str().unwrap(), "--json"]).unwrap())
+                .unwrap_err();
+        assert!(
+            lone.to_string().contains("expected 2 shard file(s)"),
+            "{lone}"
+        );
+
+        // Shard documents are JSON-only; text output has no shard form.
+        let refusal = sweep(&["--shard", "0/2"]).unwrap_err();
+        assert!(refusal.to_string().contains("--json"), "{refusal}");
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,172 @@
+//! The crash half of the resume contract (ISSUE 10 satellite): a real
+//! `mcm sweep --checkpoint` child process is SIGKILLed mid-grid — no
+//! drop handlers, no flushing, exactly like a node failure — and the
+//! `--resume` rerun must (a) pick up only the missing points and (b)
+//! produce stdout byte-identical to a run that was never interrupted.
+//! The in-process flavour of the same contract (engine-level provenance
+//! accounting) lives in `crates/sweep/tests/checkpoint.rs`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_mcm");
+
+/// The sweep under test: 8 points, serial (`--threads 1`), each slow
+/// enough (`--op-limit 100000`) that the kill lands with the grid only
+/// partly logged.
+const GRID: &[&str] = &[
+    "sweep",
+    "--formats",
+    "720p30",
+    "--channels",
+    "1,2,4,8",
+    "--clocks",
+    "200,400",
+    "--op-limit",
+    "100000",
+    "--threads",
+    "1",
+    "--json",
+];
+const TOTAL: usize = 8;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mcm-kill-resume-{name}-{}", std::process::id()))
+}
+
+/// Completed points in the log: entry lines carry `"key":`, the sealed
+/// header only `"key_schema"`.
+fn entries(log: &Path) -> usize {
+    match std::fs::read_to_string(log) {
+        Ok(text) => text.lines().filter(|l| l.contains("\"key\":")).count(),
+        Err(_) => 0,
+    }
+}
+
+fn run(extra: &[&str]) -> std::process::Output {
+    Command::new(BIN)
+        .args(GRID)
+        .args(extra)
+        .output()
+        .expect("mcm binary runs")
+}
+
+#[test]
+fn a_sigkilled_sweep_resumes_byte_identically() {
+    let log = tmp("log.jsonl");
+    let _ = std::fs::remove_file(&log);
+    let log_s = log.to_str().unwrap();
+
+    // The reference: the same sweep, never interrupted, no checkpoint.
+    let reference = run(&[]);
+    assert!(reference.status.success(), "reference sweep fails");
+
+    // Start the checkpointed sweep and SIGKILL it as soon as the log
+    // holds at least one completed point — a real mid-grid crash.
+    let mut child = Command::new(BIN)
+        .args(GRID)
+        .args(["--checkpoint", log_s])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("mcm binary spawns");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while entries(&log) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint entry appeared within 60s"
+        );
+        if let Some(status) = child.try_wait().expect("child pollable") {
+            panic!("sweep finished (status {status}) before it could be killed — raise --op-limit");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL lands");
+    let _ = child.wait();
+
+    let done = entries(&log);
+    assert!(
+        (1..TOTAL).contains(&done),
+        "kill was meant to land mid-grid, log holds {done}/{TOTAL} points"
+    );
+
+    // Resume under identical flags, with progress on stderr so the
+    // provenance of every point is visible: exactly the logged points
+    // come back `resumed`, the rest simulate, and the books balance.
+    let resumed = Command::new(BIN)
+        .args(GRID)
+        .args(["--resume", log_s, "--progress"])
+        .output()
+        .expect("mcm binary runs");
+    assert!(
+        resumed.status.success(),
+        "resume fails: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let progress = String::from_utf8_lossy(&resumed.stderr);
+    let resumed_points = progress.lines().filter(|l| l.contains("— resumed")).count();
+    assert_eq!(
+        resumed_points, done,
+        "every checkpointed point — and only those — must resume:\n{progress}"
+    );
+    assert_eq!(
+        progress.lines().filter(|l| l.starts_with('[')).count(),
+        TOTAL,
+        "resumed + simulated must cover the grid:\n{progress}"
+    );
+
+    // The deliverable: stdout bytes identical to the uninterrupted run.
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "resumed export differs from the uninterrupted run"
+    );
+
+    // And the log now seals the whole grid: a further resume simulates
+    // nothing and still exports the same bytes.
+    assert_eq!(entries(&log), TOTAL);
+    let third = run(&["--resume", log_s]);
+    assert!(third.status.success());
+    assert_eq!(third.stdout, reference.stdout);
+
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn resume_refuses_a_missing_or_mismatched_log() {
+    let log = tmp("refusals.jsonl");
+    let _ = std::fs::remove_file(&log);
+    let log_s = log.to_str().unwrap();
+
+    // `--resume` insists the log exists (a typo must not silently start
+    // a fresh sweep) ...
+    let missing = run(&["--resume", log_s]);
+    assert!(!missing.status.success());
+    let err = String::from_utf8_lossy(&missing.stderr);
+    assert!(err.contains("no such log to resume from"), "{err}");
+
+    // ... and a log written by a *different* sweep is refused, not
+    // silently mixed in.
+    let first = run(&["--checkpoint", log_s]);
+    assert!(first.status.success());
+    let other = Command::new(BIN)
+        .args([
+            "sweep",
+            "--formats",
+            "1080p30",
+            "--channels",
+            "2",
+            "--op-limit",
+            "2000",
+            "--json",
+            "--resume",
+            log_s,
+        ])
+        .output()
+        .expect("mcm binary runs");
+    assert!(!other.status.success());
+    let err = String::from_utf8_lossy(&other.stderr);
+    assert!(err.contains("different sweep"), "{err}");
+
+    let _ = std::fs::remove_file(&log);
+}

@@ -94,7 +94,7 @@ impl Default for StochasticParams {
     }
 }
 
-/// The workload an experiment simulates. See the [module docs](self) for the
+/// The workload an experiment simulates. See the `workload` module docs for the
 /// catalogue and `docs/WORKLOADS.md` for the math.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Workload {

@@ -22,6 +22,10 @@ pub enum JobKind {
     Run,
     /// An expanded grid (`POST /sweeps`).
     Sweep,
+    /// Raw work items expanded client-side (`POST /batch`) — the wire form
+    /// a [`ServeExecutor`](crate::ServeExecutor) submits, typically one
+    /// shard of a larger sweep.
+    Batch,
 }
 
 impl JobKind {
@@ -29,6 +33,7 @@ impl JobKind {
         match self {
             JobKind::Run => "run",
             JobKind::Sweep => "sweep",
+            JobKind::Batch => "batch",
         }
     }
 }
@@ -97,6 +102,7 @@ impl JobTable {
             "label": label,
             "cached": true,
             "prelinted": false,
+            "resumed": false,
             "key": format!("{key:016x}"),
             "record": record,
             "error": serde::Value::Null,
@@ -201,11 +207,11 @@ impl JobTable {
                 Some(o) if matches!(o.outcome, Err(SweepError::Cancelled { .. })) => "cancelled",
                 _ => "failed",
             },
-            JobKind::Sweep => exec_state,
+            JobKind::Sweep | JobKind::Batch => exec_state,
         };
         let result = match job.kind {
             JobKind::Run => points.into_iter().next().unwrap_or(serde::Value::Null),
-            JobKind::Sweep => serde_json::json!({
+            JobKind::Sweep | JobKind::Batch => serde_json::json!({
                 "points": points,
                 "stats": fold_stats(outcomes)
             }),
@@ -259,6 +265,7 @@ fn outcome_json(o: &WorkOutcome) -> serde::Value {
         "label": o.label,
         "cached": o.cached,
         "prelinted": o.prelinted,
+        "resumed": o.resumed,
         "key": o.key.map(|k| format!("{k:016x}")),
         "record": o.outcome.as_ref().ok(),
         "error": o.outcome.as_ref().err().map(|e| e.to_string()),

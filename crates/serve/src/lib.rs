@@ -22,6 +22,12 @@
 //! Statically infeasible healthy submissions are rejected up front with
 //! the MCM4xx witness produced by [`mcm_analyze::verdict`].
 //!
+//! The crate also holds the other end of the wire: [`ServeExecutor`]
+//! implements [`Executor`](mcm_sweep::Executor) against one or more
+//! running servers (`POST /batch`), so `mcm sweep --executor
+//! serve:<addr>` distributes a sweep — or one shard of it — across
+//! remote workers with retry, backoff and dead-worker re-queueing.
+//!
 //! ```no_run
 //! use mcm_serve::{ServeConfig, Server};
 //!
@@ -34,11 +40,13 @@
 
 #![warn(missing_docs)]
 
+mod client;
 mod http;
 mod jobs;
 mod server;
 mod store;
 
+pub use client::ServeExecutor;
 pub use http::{error_body, read_request, respond, Request};
 pub use jobs::{JobKind, JobTable};
 pub use server::{ServeConfig, ServeError, Server};

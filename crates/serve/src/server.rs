@@ -7,6 +7,7 @@
 //! | `GET /healthz`    | liveness + store/executor counters                  |
 //! | `POST /runs`      | submit one experiment (or answer from the store)    |
 //! | `POST /sweeps`    | submit a grid (partial spec merged over defaults)   |
+//! | `POST /batch`     | submit raw work items (client-side expansion)       |
 //! | `GET /jobs`       | list known jobs (summaries, no result bodies)       |
 //! | `GET /jobs/:id`   | progress or final document of one job               |
 //! | `DELETE /jobs/:id`| request cooperative cancellation                    |
@@ -153,6 +154,7 @@ impl Server {
             ("GET", "/healthz") => self.healthz(),
             ("POST", "/runs") => self.post_run(request),
             ("POST", "/sweeps") => self.post_sweep(request),
+            ("POST", "/batch") => self.post_batch(request),
             ("GET", "/jobs") => self.list_jobs(),
             ("POST", "/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -168,7 +170,7 @@ impl Server {
                     _ => (405, error_body("jobs accept GET and DELETE")),
                 }
             }
-            (_, "/healthz" | "/runs" | "/sweeps" | "/jobs" | "/shutdown") => {
+            (_, "/healthz" | "/runs" | "/sweeps" | "/batch" | "/jobs" | "/shutdown") => {
                 (405, error_body(format!("method not allowed on {path}")))
             }
             _ => (404, error_body(format!("no route for {path}"))),
@@ -338,6 +340,67 @@ impl Server {
         }
     }
 
+    /// `POST /batch`: raw work items (label + full experiment, optional
+    /// fault plan) under job-wide run options — the wire form of
+    /// [`Executor`](mcm_sweep::Executor)`::submit` that
+    /// [`ServeExecutor`](crate::ServeExecutor) drives. Unlike `/sweeps`
+    /// the grid is expanded *client-side*, so one worker can execute shard
+    /// `i/n` of a sweep it never sees whole. No static gate applies (the
+    /// caller opts into pruning via `"prelint"`, exactly like a local
+    /// executor), which keeps remote outcomes point-for-point identical to
+    /// [`RayonExecutor`](mcm_sweep::RayonExecutor)'s.
+    fn post_batch(&self, request: &Request) -> Reply {
+        let body = match request.json() {
+            Ok(v) => v,
+            Err(e) => return (400, error_body(e)),
+        };
+        let Some(serde::Value::Array(raw_items)) = body.get("items") else {
+            return (400, error_body("batch body needs an `items` array"));
+        };
+        if raw_items.is_empty() {
+            return (400, error_body("batch needs at least one item"));
+        }
+        let mut items = Vec::with_capacity(raw_items.len());
+        for (i, raw) in raw_items.iter().enumerate() {
+            match parse_batch_item(raw) {
+                Ok(item) => items.push(item),
+                Err(e) => return (400, error_body(format!("item {i}: {e}"))),
+            }
+        }
+        let run = match body.get("run") {
+            None => RunOptions::default(),
+            Some(v) => match RunOptions::from_value(v) {
+                Ok(r) => r,
+                Err(e) => return (400, error_body(format!("bad `run` options: {e:?}"))),
+            },
+        };
+        let total = items.len();
+        let label = body
+            .get("label")
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("batch/{total} items"));
+        let mut options = self.sweep_options(
+            run,
+            body.get("observe")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+            body.get("prelint")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+        );
+        if let Some(n) = body.get("threads").and_then(|v| v.as_u64()) {
+            options.threads = Some(n as usize);
+        }
+        match self.table.submit(JobKind::Batch, &label, items, options) {
+            Ok(id) => (
+                202,
+                serde_json::json!({ "job": id, "status": "queued", "total": total }),
+            ),
+            Err(e) => (400, error_body(e.to_string())),
+        }
+    }
+
     fn list_jobs(&self) -> Reply {
         (200, serde_json::json!({ "jobs": self.table.list() }))
     }
@@ -369,8 +432,39 @@ impl Server {
             progress: false,
             observe,
             prelint,
+            // Checkpoint logs are a client-side concern: a `ServeExecutor`
+            // consults and appends its own log around remote batches.
+            checkpoint: None,
         }
     }
+}
+
+/// One `POST /batch` item: `{"label", "experiment", "faults"?}` with the
+/// experiment always in full (batch items come from an expanded spec, not
+/// from a human, so there is no shorthand form).
+fn parse_batch_item(raw: &serde::Value) -> Result<WorkItem, String> {
+    let label = raw
+        .get("label")
+        .and_then(|v| v.as_str())
+        .ok_or("missing `label`")?
+        .to_string();
+    let experiment = raw.get("experiment").ok_or("missing `experiment`")?;
+    let experiment =
+        Experiment::from_value(experiment).map_err(|e| format!("bad experiment: {e:?}"))?;
+    // No fit validation here, unlike `/runs` and `/sweeps`: a local
+    // executor would accept any well-formed plan and let the engine
+    // produce its verdict, and remote outcomes must match point for
+    // point — so only malformed JSON is a refusal.
+    let faults = match raw.get("faults") {
+        None | Some(serde::Value::Null) => None,
+        Some(value) => Some(
+            mcm_fault::FaultPlan::from_value(value)
+                .map_err(|e| format!("bad fault plan: {e:?}"))?,
+        ),
+    };
+    let mut item = WorkItem::new(label, experiment);
+    item.faults = faults;
+    Ok(item)
 }
 
 /// The experiment of a `POST /runs` body: full (`"experiment"`) or the

@@ -1,0 +1,368 @@
+//! Crash-safe checkpoint logs for resumable sweeps.
+//!
+//! A [`CheckpointLog`] records every completed point of one sweep as a
+//! JSONL line (`{key, label, record}`) under a sealed header that binds
+//! the log to its sweep: the [`spec_hash`](crate::spec_hash) of the grid,
+//! the [`KEY_SCHEMA_VERSION`](crate::KEY_SCHEMA_VERSION), and the
+//! [`ExecutionPolicy`] the points run under. A log offered to a different
+//! sweep is refused with a typed [`SweepError::Checkpoint`] instead of
+//! silently resuming the wrong grid.
+//!
+//! Every append rewrites the log to a sibling temp file and atomically
+//! renames it over the original, so the file on disk is a complete,
+//! parseable document at every instant — a SIGKILL mid-append loses at
+//! most the point being written, never the log. Trailing garbage from a
+//! torn write of an older implementation is ignored on open (the damaged
+//! point re-simulates).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use mcm_core::ExecutionPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::PointRecord;
+use crate::error::SweepError;
+use crate::key::{spec_hash, KEY_SCHEMA_VERSION};
+use crate::spec::SweepSpec;
+
+/// The sealed first line of a checkpoint log: which sweep this log belongs
+/// to. Every field must match on open, or the log is refused.
+#[derive(Debug, Clone, PartialEq)]
+struct Header {
+    spec_hash: u64,
+    key_schema: u32,
+    execution: ExecutionPolicy,
+    total: usize,
+}
+
+impl Header {
+    fn to_json(&self) -> String {
+        serde_json::to_string(&serde_json::json!({
+            "mcm_checkpoint": 1,
+            "spec_hash": format!("{:016x}", self.spec_hash),
+            "key_schema": self.key_schema,
+            "execution": self.execution,
+            "total": self.total
+        }))
+        .expect("a value tree always serializes")
+    }
+
+    fn from_json(line: &str) -> Result<Header, String> {
+        let v: serde::Value =
+            serde_json::from_str(line).map_err(|e| format!("header is not JSON: {e:?}"))?;
+        if v.get("mcm_checkpoint").and_then(|m| m.as_u64()) != Some(1) {
+            return Err("not a checkpoint log (missing `mcm_checkpoint` marker)".to_string());
+        }
+        let spec_hash = v
+            .get("spec_hash")
+            .and_then(|h| h.as_str())
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or("header has no `spec_hash`")?;
+        let key_schema = v
+            .get("key_schema")
+            .and_then(|k| k.as_u64())
+            .ok_or("header has no `key_schema`")? as u32;
+        let execution =
+            ExecutionPolicy::from_value(v.get("execution").unwrap_or(&serde::Value::Null))
+                .map_err(|e| format!("header has a bad `execution` policy: {e:?}"))?;
+        let total = v
+            .get("total")
+            .and_then(|t| t.as_u64())
+            .ok_or("header has no `total`")? as usize;
+        Ok(Header {
+            spec_hash,
+            key_schema,
+            execution,
+            total,
+        })
+    }
+}
+
+/// One completed point in the log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    key: String,
+    label: String,
+    record: PointRecord,
+}
+
+struct Inner {
+    path: PathBuf,
+    header: Header,
+    entries: Mutex<BTreeMap<u64, Entry>>,
+}
+
+/// An append-only log of completed sweep points, shareable across worker
+/// threads (clones share one file). See the `checkpoint` module docs for
+/// the format and crash-safety contract.
+#[derive(Clone)]
+pub struct CheckpointLog {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for CheckpointLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointLog")
+            .field("path", &self.inner.path)
+            .field("total", &self.inner.header.total)
+            .field("completed", &self.len())
+            .finish()
+    }
+}
+
+impl CheckpointLog {
+    /// Opens (or creates) the log at `path` for a sweep of `spec` under
+    /// `execution`. An existing file must carry a matching header —
+    /// same spec hash, same [`KEY_SCHEMA_VERSION`], same execution policy —
+    /// or the call is a typed [`SweepError::Checkpoint`]. With
+    /// `must_exist` (the `--resume` contract), a missing file is an error
+    /// instead of a fresh log.
+    pub fn attach(
+        path: impl Into<PathBuf>,
+        spec: &SweepSpec,
+        execution: &ExecutionPolicy,
+        must_exist: bool,
+    ) -> Result<CheckpointLog, SweepError> {
+        let path = path.into();
+        let header = Header {
+            spec_hash: spec_hash(spec)?,
+            key_schema: KEY_SCHEMA_VERSION,
+            execution: *execution,
+            total: spec.len(),
+        };
+        let refuse = |message: String| SweepError::Checkpoint {
+            path: path.display().to_string(),
+            message,
+        };
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                let head = Header::from_json(lines.next().unwrap_or_default()).map_err(&refuse)?;
+                if head != header {
+                    return Err(refuse(format!(
+                        "log belongs to a different sweep \
+                         (log: spec {:016x}, schema {}, {} points; \
+                         this sweep: spec {:016x}, schema {}, {} points)",
+                        head.spec_hash,
+                        head.key_schema,
+                        head.total,
+                        header.spec_hash,
+                        header.key_schema,
+                        header.total
+                    )));
+                }
+                let mut entries = BTreeMap::new();
+                for line in lines {
+                    // A torn trailing line (pre-atomic-rename crash relic)
+                    // is skipped: that point simply re-simulates.
+                    if let Ok(entry) = serde_json::from_str::<Entry>(line) {
+                        if let Ok(key) = u64::from_str_radix(&entry.key, 16) {
+                            entries.insert(key, entry);
+                        }
+                    }
+                }
+                Ok(CheckpointLog {
+                    inner: Arc::new(Inner {
+                        path,
+                        header,
+                        entries: Mutex::new(entries),
+                    }),
+                })
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if must_exist {
+                    return Err(refuse("no such log to resume from".to_string()));
+                }
+                let log = CheckpointLog {
+                    inner: Arc::new(Inner {
+                        path,
+                        header,
+                        entries: Mutex::new(BTreeMap::new()),
+                    }),
+                };
+                log.persist()?;
+                Ok(log)
+            }
+            Err(e) => Err(refuse(e.to_string())),
+        }
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Completed points in the log.
+    pub fn len(&self) -> usize {
+        self.inner
+            .entries
+            .lock()
+            .expect("checkpoint lock poisoned")
+            .len()
+    }
+
+    /// Whether no point has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The completed record under `key`, if this sweep already finished it
+    /// in a previous run.
+    pub fn lookup(&self, key: u64) -> Option<PointRecord> {
+        self.inner
+            .entries
+            .lock()
+            .expect("checkpoint lock poisoned")
+            .get(&key)
+            .map(|e| e.record.clone())
+    }
+
+    /// Appends a completed point and atomically persists the log. Write
+    /// failures are returned but are safe to ignore: a lost append only
+    /// means that point re-simulates on resume.
+    pub fn record(&self, key: u64, label: &str, record: &PointRecord) -> Result<(), SweepError> {
+        {
+            let mut entries = self.inner.entries.lock().expect("checkpoint lock poisoned");
+            entries.insert(
+                key,
+                Entry {
+                    key: format!("{key:016x}"),
+                    label: label.to_string(),
+                    record: record.clone(),
+                },
+            );
+        }
+        self.persist()
+    }
+
+    /// Serializes header + entries to a sibling temp file and renames it
+    /// over the log — the on-disk file is always a complete document.
+    fn persist(&self) -> Result<(), SweepError> {
+        let refuse = |message: String| SweepError::Checkpoint {
+            path: self.inner.path.display().to_string(),
+            message,
+        };
+        let mut text = self.inner.header.to_json();
+        text.push('\n');
+        {
+            let entries = self.inner.entries.lock().expect("checkpoint lock poisoned");
+            for entry in entries.values() {
+                text.push_str(&serde_json::to_string(entry).map_err(|e| refuse(format!("{e:?}")))?);
+                text.push('\n');
+            }
+        }
+        let tmp = self.inner.path.with_extension("tmp");
+        fs::write(&tmp, text).map_err(|e| refuse(format!("writing temp file: {e}")))?;
+        fs::rename(&tmp, &self.inner.path)
+            .map_err(|e| refuse(format!("renaming temp file into place: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_load::HdOperatingPoint;
+
+    fn tmp_log(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "mcm-checkpoint-test-{name}-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            points: vec![HdOperatingPoint::Hd720p30],
+            channels: vec![1, 2],
+            op_limit: Some(1_000),
+            ..SweepSpec::default()
+        }
+    }
+
+    fn record() -> PointRecord {
+        crate::exec::prelinted_record("test".to_string())
+    }
+
+    #[test]
+    fn create_record_reopen_round_trips() {
+        let path = tmp_log("roundtrip");
+        let policy = ExecutionPolicy::default();
+        let log = CheckpointLog::attach(&path, &spec(), &policy, false).unwrap();
+        assert!(log.is_empty());
+        log.record(0xabc, "720p30/1ch", &record()).unwrap();
+        log.record(0xdef, "720p30/2ch", &record()).unwrap();
+        assert_eq!(log.len(), 2);
+        // Reopen: both points are known, the file survives process death.
+        let back = CheckpointLog::attach(&path, &spec(), &policy, true).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup(0xabc), Some(record()));
+        assert_eq!(back.lookup(0x123), None);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_sweeps_are_refused() {
+        let path = tmp_log("mismatch");
+        let policy = ExecutionPolicy::default();
+        CheckpointLog::attach(&path, &spec(), &policy, false).unwrap();
+        // A different grid must not resume from this log.
+        let other = SweepSpec {
+            channels: vec![1, 2, 4],
+            ..spec()
+        };
+        assert!(matches!(
+            CheckpointLog::attach(&path, &other, &policy, false).unwrap_err(),
+            SweepError::Checkpoint { .. }
+        ));
+        // Same grid under a different execution policy: also refused —
+        // the policy is part of the content key.
+        let memo = ExecutionPolicy::default().with_memoize_steady(true);
+        assert!(matches!(
+            CheckpointLog::attach(&path, &spec(), &memo, false).unwrap_err(),
+            SweepError::Checkpoint { .. }
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_requires_an_existing_log() {
+        let path = tmp_log("missing");
+        let e =
+            CheckpointLog::attach(&path, &spec(), &ExecutionPolicy::default(), true).unwrap_err();
+        assert!(matches!(e, SweepError::Checkpoint { .. }));
+        assert!(e.to_string().contains("no such log"));
+    }
+
+    #[test]
+    fn torn_trailing_lines_are_skipped_not_fatal() {
+        let path = tmp_log("torn");
+        let policy = ExecutionPolicy::default();
+        let log = CheckpointLog::attach(&path, &spec(), &policy, false).unwrap();
+        log.record(0x1, "a", &record()).unwrap();
+        // Simulate a torn write from a crash mid-append.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\": \"0000000000000002\", \"label\": \"b\", \"rec");
+        fs::write(&path, text).unwrap();
+        let back = CheckpointLog::attach(&path, &spec(), &policy, true).unwrap();
+        assert_eq!(back.len(), 1, "the torn point re-simulates");
+        assert!(back.lookup(0x1).is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_files_are_refused() {
+        let path = tmp_log("garbage");
+        fs::write(&path, "not a checkpoint\n").unwrap();
+        assert!(matches!(
+            CheckpointLog::attach(&path, &spec(), &ExecutionPolicy::default(), false).unwrap_err(),
+            SweepError::Checkpoint { .. }
+        ));
+        let _ = fs::remove_file(&path);
+    }
+}

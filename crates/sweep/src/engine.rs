@@ -18,12 +18,13 @@ use mcm_core::runner::run_isolated;
 use mcm_core::{BatchRunner, CoreError, ExecutionPolicy, Experiment, FrameResult, RunOptions};
 use mcm_load::HdOperatingPoint;
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::cache::PointRecord;
+use crate::checkpoint::CheckpointLog;
 use crate::error::SweepError;
 use crate::exec::{Executor, RayonExecutor, WorkItem};
-use crate::spec::SweepSpec;
+use crate::spec::{SweepPoint, SweepSpec};
 
 /// How a sweep executes: worker threads, caching, per-point run options,
 /// live progress.
@@ -53,6 +54,12 @@ pub struct SweepOptions {
     /// (graceful degradation could rescue what the static model condemns),
     /// and prelinted points bypass the cache in both directions.
     pub prelint: bool,
+    /// Crash-safe progress log. Points already in the log are answered from
+    /// it without simulating (marked `resumed` in provenance, distinct from
+    /// cache hits); every newly completed point is appended, so a killed
+    /// sweep picks up where it died via `mcm sweep --resume`. `None` (the
+    /// default) neither reads nor writes a log.
+    pub checkpoint: Option<CheckpointLog>,
 }
 
 impl SweepOptions {
@@ -96,6 +103,13 @@ impl SweepOptions {
         self
     }
 
+    /// Attaches a crash-safe checkpoint log (builder style); see
+    /// [`SweepOptions::checkpoint`].
+    pub fn with_checkpoint(mut self, log: CheckpointLog) -> Self {
+        self.checkpoint = Some(log);
+        self
+    }
+
     /// Sets the [`ExecutionPolicy`] applied to every point's run (builder
     /// style) — shorthand for rebuilding [`SweepOptions::run`] via
     /// [`RunOptions::with_execution`]. The default policy serializes to
@@ -130,6 +144,11 @@ pub struct PointOutcome {
     /// bypass the keyed store entirely. Like [`PointOutcome::elapsed`],
     /// this is run provenance: the deterministic exports exclude it.
     pub key: Option<u64>,
+    /// Whether the result came from a checkpoint log — a previous run of
+    /// this same sweep completed the point before dying. Distinct from
+    /// [`PointOutcome::cached`]: the cache is keyed by experiment content
+    /// and shared across sweeps, the checkpoint log belongs to one sweep.
+    pub resumed: bool,
     /// Wall-clock time spent on this point (lookup or simulation).
     pub elapsed: Duration,
     /// Observability distillation of this point's simulation, when
@@ -148,6 +167,9 @@ pub struct SweepStats {
     pub simulated: usize,
     /// Points answered from the cache.
     pub cached: usize,
+    /// Points answered from a checkpoint log (a previous run of this sweep
+    /// completed them before dying).
+    pub resumed: usize,
     /// Points answered by the static analyzer without simulating.
     pub prelinted: usize,
     /// Points whose configuration cannot hold the frame buffers.
@@ -168,6 +190,7 @@ impl Serialize for SweepStats {
             "total": self.total,
             "simulated": self.simulated,
             "cached": self.cached,
+            "resumed": self.resumed,
             "prelinted": self.prelinted,
             "infeasible": self.infeasible,
             "failed": self.failed,
@@ -189,6 +212,11 @@ impl core::fmt::Display for SweepStats {
             "{} points: {} simulated, {} cached, ",
             self.total, self.simulated, self.cached
         )?;
+        // Rendered only when a checkpoint log actually answered points, so
+        // logs of checkpoint-free sweeps are unchanged.
+        if self.resumed > 0 {
+            write!(f, "{} resumed, ", self.resumed)?;
+        }
         // Rendered only when prelinting actually pruned something, so logs
         // of prelint-free sweeps are unchanged.
         if self.prelinted > 0 {
@@ -219,19 +247,61 @@ pub struct SweepResult {
 
 /// One row of the deterministic exports. Wall-clock time and cache hits
 /// are intentionally absent: a 16-thread run and a serial run of the same
-/// spec serialize byte-identically.
-#[derive(Debug, Clone, Serialize)]
-struct ExportRow {
-    label: String,
-    format: String,
-    channels: u32,
-    clock_mhz: u64,
-    error: Option<String>,
-    record: Option<PointRecord>,
+/// spec serialize byte-identically. `Deserialize` exists so shard documents
+/// can be merged back through the *same* renderers — the merge output is
+/// byte-identical to the unsharded run's by construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ExportRow {
+    pub(crate) label: String,
+    pub(crate) format: String,
+    pub(crate) channels: u32,
+    pub(crate) clock_mhz: u64,
+    pub(crate) error: Option<String>,
+    pub(crate) record: Option<PointRecord>,
+}
+
+/// The one JSON renderer behind [`SweepResult::to_json`] and shard merging.
+pub(crate) fn rows_to_json(rows: &[ExportRow]) -> String {
+    let value = serde::Value::Array(rows.iter().map(|r| r.to_value()).collect());
+    serde_json::to_string_pretty(&value).expect("export rows are serializable")
+}
+
+/// The one CSV renderer behind [`SweepResult::to_csv`] and shard merging.
+pub(crate) fn rows_to_csv(rows: &[ExportRow]) -> String {
+    let mut out = String::from(
+        "label,format,channels,clock_mhz,feasible,verdict,access_ms,budget_ms,core_mw,\
+         interface_mw,total_mw,efficiency,energy_per_bit_pj,planned_bytes,simulated_bytes,\
+         peak_gbytes_per_s,error\n",
+    );
+    let fmt_f64 = |v: Option<f64>| v.map(|v| format!("{v:.6}")).unwrap_or_default();
+    for row in rows {
+        let r = row.record.as_ref();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            row.label,
+            row.format,
+            row.channels,
+            row.clock_mhz,
+            r.map(|r| r.feasible.to_string()).unwrap_or_default(),
+            r.and_then(|r| r.verdict.clone()).unwrap_or_default(),
+            fmt_f64(r.and_then(|r| r.access_ms)),
+            fmt_f64(r.and_then(|r| r.budget_ms)),
+            fmt_f64(r.and_then(|r| r.core_mw)),
+            fmt_f64(r.and_then(|r| r.interface_mw)),
+            fmt_f64(r.and_then(|r| r.total_mw())),
+            fmt_f64(r.and_then(|r| r.efficiency)),
+            fmt_f64(r.and_then(|r| r.energy_per_bit_pj)),
+            r.map(|r| r.planned_bytes.to_string()).unwrap_or_default(),
+            r.map(|r| r.simulated_bytes.to_string()).unwrap_or_default(),
+            fmt_f64(r.map(|r| r.peak_gbytes_per_s)),
+            row.error.clone().unwrap_or_default().replace(',', ";"),
+        ));
+    }
+    out
 }
 
 impl SweepResult {
-    fn export_rows(&self) -> Vec<ExportRow> {
+    pub(crate) fn export_rows(&self) -> Vec<ExportRow> {
         self.points
             .iter()
             .map(|p| ExportRow {
@@ -249,7 +319,7 @@ impl SweepResult {
     /// same spec produces byte-identical output at any thread count and
     /// any cache temperature.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.export_rows()).expect("export rows are serializable")
+        rows_to_json(&self.export_rows())
     }
 
     /// The provenance export: everything [`SweepResult::to_json`] carries
@@ -273,6 +343,7 @@ impl SweepResult {
                     "error": row.error,
                     "record": row.record,
                     "cached": p.cached,
+                    "resumed": p.resumed,
                     "prelinted": p.prelinted,
                     "key": p.key.map(|k| format!("{k:016x}")),
                     "elapsed_ms": p.elapsed.as_secs_f64() * 1e3,
@@ -289,36 +360,7 @@ impl SweepResult {
 
     /// Deterministic CSV export with one row per point.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "label,format,channels,clock_mhz,feasible,verdict,access_ms,budget_ms,core_mw,\
-             interface_mw,total_mw,efficiency,energy_per_bit_pj,planned_bytes,simulated_bytes,\
-             peak_gbytes_per_s,error\n",
-        );
-        let fmt_f64 = |v: Option<f64>| v.map(|v| format!("{v:.6}")).unwrap_or_default();
-        for row in self.export_rows() {
-            let r = row.record.as_ref();
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-                row.label,
-                row.format,
-                row.channels,
-                row.clock_mhz,
-                r.map(|r| r.feasible.to_string()).unwrap_or_default(),
-                r.and_then(|r| r.verdict.clone()).unwrap_or_default(),
-                fmt_f64(r.and_then(|r| r.access_ms)),
-                fmt_f64(r.and_then(|r| r.budget_ms)),
-                fmt_f64(r.and_then(|r| r.core_mw)),
-                fmt_f64(r.and_then(|r| r.interface_mw)),
-                fmt_f64(r.and_then(|r| r.total_mw())),
-                fmt_f64(r.and_then(|r| r.efficiency)),
-                fmt_f64(r.and_then(|r| r.energy_per_bit_pj)),
-                r.map(|r| r.planned_bytes.to_string()).unwrap_or_default(),
-                r.map(|r| r.simulated_bytes.to_string()).unwrap_or_default(),
-                fmt_f64(r.map(|r| r.peak_gbytes_per_s)),
-                row.error.unwrap_or_default().replace(',', ";"),
-            ));
-        }
-        out
+        rows_to_csv(&self.export_rows())
     }
 }
 
@@ -328,6 +370,7 @@ pub(crate) fn collect_stats(points: &[PointOutcome], wall: Duration) -> SweepSta
         total: points.len(),
         simulated: 0,
         cached: 0,
+        resumed: 0,
         prelinted: 0,
         infeasible: 0,
         failed: 0,
@@ -339,6 +382,8 @@ pub(crate) fn collect_stats(points: &[PointOutcome], wall: Duration) -> SweepSta
             Ok(record) => {
                 if o.prelinted {
                     stats.prelinted += 1;
+                } else if o.resumed {
+                    stats.resumed += 1;
                 } else if o.cached {
                     stats.cached += 1;
                 } else {
@@ -389,6 +434,17 @@ pub fn run_sweep_on(
     spec: &SweepSpec,
     options: &SweepOptions,
 ) -> Result<SweepResult, SweepError> {
+    run_points_on(executor, spec.expand()?, options)
+}
+
+/// Executes an already-expanded point list — the shared back half of
+/// [`run_sweep_on`] and the sharded entry point
+/// ([`run_sweep_shard_on`](crate::run_sweep_shard_on)).
+pub(crate) fn run_points_on(
+    executor: &dyn Executor,
+    points: Vec<SweepPoint>,
+    options: &SweepOptions,
+) -> Result<SweepResult, SweepError> {
     if options.run.frames != 1 {
         return Err(SweepError::BadOptions {
             reason: format!(
@@ -397,7 +453,6 @@ pub fn run_sweep_on(
             ),
         });
     }
-    let points = spec.expand()?;
     let items: Vec<WorkItem> = points
         .iter()
         .map(|p| WorkItem {
@@ -421,6 +476,7 @@ pub fn run_sweep_on(
             cached: o.cached,
             prelinted: o.prelinted,
             key: o.key,
+            resumed: o.resumed,
             elapsed: o.elapsed,
             obs: o.obs,
         })

@@ -51,6 +51,31 @@ pub enum SweepError {
         /// The offending job id.
         job: u64,
     },
+    /// A shard selector or shard document was unusable: an out-of-range
+    /// `--shard i/n`, or merge inputs that disagree on their spec, overlap,
+    /// or leave holes in the grid.
+    Shard {
+        /// Explanation.
+        reason: String,
+    },
+    /// The checkpoint log could not be created, read, or did not match the
+    /// sweep it was offered to (different spec hash, key schema, or
+    /// execution policy).
+    Checkpoint {
+        /// The offending log path.
+        path: String,
+        /// Explanation.
+        message: String,
+    },
+    /// A remote worker failed this item: the connection died and no
+    /// surviving worker could take the work over, or the worker answered
+    /// with something that is not a job document.
+    Remote {
+        /// What was being asked of the worker.
+        context: String,
+        /// Explanation.
+        message: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -72,6 +97,13 @@ impl fmt::Display for SweepError {
                     f,
                     "no job {job} (bad id, or its result was already collected)"
                 )
+            }
+            SweepError::Shard { reason } => write!(f, "bad shard: {reason}"),
+            SweepError::Checkpoint { path, message } => {
+                write!(f, "checkpoint log at `{path}`: {message}")
+            }
+            SweepError::Remote { context, message } => {
+                write!(f, "remote worker ({context}): {message}")
             }
         }
     }
@@ -106,5 +138,19 @@ mod tests {
             message: "denied".into(),
         };
         assert!(e.to_string().contains("/tmp/c"));
+        let e = SweepError::Shard {
+            reason: "index 3 of 2".into(),
+        };
+        assert!(e.to_string().contains("index 3 of 2"));
+        let e = SweepError::Checkpoint {
+            path: "/tmp/log".into(),
+            message: "spec hash mismatch".into(),
+        };
+        assert!(e.to_string().contains("/tmp/log"));
+        let e = SweepError::Remote {
+            context: "poll job 3 on 127.0.0.1:1".into(),
+            message: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("127.0.0.1:1"));
     }
 }

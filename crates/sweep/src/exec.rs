@@ -111,6 +111,11 @@ pub struct WorkOutcome {
     /// Shared content key ([`content_key`]) of this item, when computable.
     /// Prelinted items carry `None` — they bypass the keyed store entirely.
     pub key: Option<u64>,
+    /// Whether the result came from the job's checkpoint log (a previous
+    /// run of the same sweep completed this item before dying). Distinct
+    /// from [`WorkOutcome::cached`]: the log belongs to one sweep, the
+    /// cache is shared across sweeps.
+    pub resumed: bool,
     /// Wall-clock time spent on this item (lookup or simulation).
     pub elapsed: Duration,
     /// Observability distillation, when observation was requested and the
@@ -345,6 +350,7 @@ impl RayonExecutor {
                         cached: false,
                         prelinted: true,
                         key: None,
+                        resumed: false,
                         elapsed: started.elapsed(),
                         obs: None,
                     }
@@ -358,6 +364,7 @@ impl RayonExecutor {
                         "infeasible (static: {})",
                         r.infeasible_reason.as_deref().unwrap_or_default()
                     ),
+                    Ok(_) if outcome.resumed => "resumed".to_string(),
                     Ok(_) if outcome.cached => "cached".to_string(),
                     Ok(r) if !r.feasible => "infeasible".to_string(),
                     Ok(r) => r.verdict.clone().unwrap_or_default(),
@@ -480,6 +487,7 @@ fn cancelled_outcome(label: String) -> WorkOutcome {
         cached: false,
         prelinted: false,
         key: None,
+        resumed: false,
         elapsed: Duration::ZERO,
         obs: None,
     }
@@ -519,7 +527,8 @@ fn simulate_point(exp: &Experiment, run: &RunOptions) -> Result<FrameResult, Cor
     }
 }
 
-/// The per-item pipeline: key, cache lookup, simulate on miss, write back.
+/// The per-item pipeline: key, checkpoint lookup, cache lookup, simulate on
+/// miss, write back (cache and checkpoint).
 fn execute_item(
     item: &WorkItem,
     options: &SweepOptions,
@@ -535,11 +544,20 @@ fn execute_item(
         None => options.run.clone(),
     };
     let key = content_key(&item.experiment, &point_run).ok();
-    let hit = match (cache, key) {
-        (Some(cache), Some(k)) => cache.load(k),
+    // The checkpoint log outranks the cache: a hit there proves *this
+    // sweep* already completed the point before dying.
+    let mut hit = match (&options.checkpoint, key) {
+        (Some(log), Some(k)) => log.lookup(k),
         _ => None,
     };
-    let cached = hit.is_some();
+    let resumed = hit.is_some();
+    if !resumed {
+        hit = match (cache, key) {
+            (Some(cache), Some(k)) => cache.load(k),
+            _ => None,
+        };
+    }
+    let cached = !resumed && hit.is_some();
     let mut obs = None;
     let outcome = match hit {
         Some(record) => Ok(record),
@@ -561,10 +579,17 @@ fn execute_item(
             outcome
         }
     };
-    if !cached {
+    if !cached && !resumed {
         if let (Some(cache), Some(k), Ok(record)) = (cache, key, &outcome) {
             // Cache write failures degrade to uncached operation.
             let _ = cache.store(k, record);
+        }
+    }
+    if !resumed {
+        if let (Some(log), Some(k), Ok(record)) = (&options.checkpoint, key, &outcome) {
+            // Checkpoint write failures degrade to restart-from-scratch;
+            // they never fail the point.
+            let _ = log.record(k, &item.label, record);
         }
     }
     WorkOutcome {
@@ -573,6 +598,7 @@ fn execute_item(
         cached,
         prelinted: false,
         key,
+        resumed,
         elapsed: started.elapsed(),
         obs,
     }

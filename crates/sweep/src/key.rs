@@ -36,16 +36,28 @@ pub fn content_key(exp: &Experiment, run: &RunOptions) -> Result<u64, SweepError
     let json = serde_json::to_string(&(exp, run)).map_err(|e| SweepError::BadOptions {
         reason: format!("unserializable experiment: {e:?}"),
     })?;
+    Ok(fnv1a(json.as_bytes()))
+}
+
+/// Identity hash of a whole [`SweepSpec`](crate::SweepSpec): the same FNV-1a
+/// chain [`content_key`] uses, over the spec's canonical JSON. Shard
+/// documents and checkpoint logs carry it so results from *different* grids
+/// can never be merged or resumed into each other by accident.
+pub fn spec_hash(spec: &crate::SweepSpec) -> Result<u64, SweepError> {
+    let json = serde_json::to_string(spec).map_err(|e| SweepError::BadOptions {
+        reason: format!("unserializable sweep spec: {e:?}"),
+    })?;
+    Ok(fnv1a(json.as_bytes()))
+}
+
+/// FNV-1a over `bytes` chained with [`KEY_SCHEMA_VERSION`].
+fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = FNV_OFFSET_BASIS;
-    for byte in json
-        .as_bytes()
-        .iter()
-        .chain(KEY_SCHEMA_VERSION.to_le_bytes().iter())
-    {
+    for byte in bytes.iter().chain(KEY_SCHEMA_VERSION.to_le_bytes().iter()) {
         hash ^= *byte as u64;
         hash = hash.wrapping_mul(FNV_PRIME);
     }
-    Ok(hash)
+    hash
 }
 
 #[cfg(test)]
@@ -63,6 +75,18 @@ mod tests {
                 crate::ResultCache::fingerprint(&exp, &run).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_spec_sensitive() {
+        use crate::SweepSpec;
+        let a = SweepSpec::paper_grid();
+        let b = SweepSpec {
+            channels: vec![1, 2, 4],
+            ..SweepSpec::paper_grid()
+        };
+        assert_eq!(spec_hash(&a).unwrap(), spec_hash(&a).unwrap());
+        assert_ne!(spec_hash(&a).unwrap(), spec_hash(&b).unwrap());
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   caller-supplied executor, collected, and folded back into
 //!   **expansion-order** results with live progress and per-point timing
 //!   — the same machinery `mcm serve` drives asynchronously. The old
-//!   zero-executor [`run_sweep`] wrapper is deprecated;
+//!   zero-executor `run_sweep` wrapper is deprecated;
+//! * [`run_sweep_shard_on`] / [`merge_shards`] — distributed sweeps:
+//!   [`SweepSpec::shard`] splits the grid deterministically, each shard
+//!   runs anywhere, and the merge is byte-identical to the unsharded run;
+//! * [`CheckpointLog`] — crash-safe resume: completed points land in an
+//!   atomically rewritten JSONL log, and a killed sweep re-simulates only
+//!   what is missing;
 //! * [`ResultCache`] — a content-hash disk cache keyed by [`content_key`]:
 //!   re-running a figure only simulates the points whose configuration
 //!   changed, and the server store shares the keyspace;
@@ -44,13 +50,16 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod checkpoint;
 mod engine;
 mod error;
 mod exec;
 mod key;
+mod shard;
 mod spec;
 
 pub use cache::{PointRecord, ResultCache};
+pub use checkpoint::CheckpointLog;
 #[allow(deprecated)]
 pub use engine::run_sweep;
 pub use engine::{
@@ -58,5 +67,6 @@ pub use engine::{
 };
 pub use error::SweepError;
 pub use exec::{Executor, JobId, JobSnapshot, JobState, RayonExecutor, WorkItem, WorkOutcome};
-pub use key::{content_key, KEY_SCHEMA_VERSION};
+pub use key::{content_key, spec_hash, KEY_SCHEMA_VERSION};
+pub use shard::{merge_shards, run_sweep_shard_on, MergedSweep, ShardSweep};
 pub use spec::{SweepPoint, SweepSpec};

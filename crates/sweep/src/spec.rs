@@ -276,6 +276,36 @@ impl SweepSpec {
         Ok(out)
     }
 
+    /// Deterministic shard `index` of `of`: the expanded points whose
+    /// global expansion index `g` satisfies `g % of == index`, in expansion
+    /// order. The `of` shards are disjoint, their union is exactly
+    /// [`SweepSpec::expand`], and the `k`-th point of shard `index` sits at
+    /// global index `index + k * of` — which is how
+    /// [`merge_shards`](crate::merge_shards) reassembles the grid without
+    /// storing explicit indices.
+    ///
+    /// `shard(0, 1)` is `expand()`. An `index >= of` or `of == 0` is a
+    /// typed [`SweepError::Shard`].
+    pub fn shard(&self, index: usize, of: usize) -> Result<Vec<SweepPoint>, SweepError> {
+        if of == 0 {
+            return Err(SweepError::Shard {
+                reason: "cannot split a sweep into 0 shards".to_string(),
+            });
+        }
+        if index >= of {
+            return Err(SweepError::Shard {
+                reason: format!("shard index {index} is out of range for {of} shard(s)"),
+            });
+        }
+        Ok(self
+            .expand()?
+            .into_iter()
+            .enumerate()
+            .filter(|(g, _)| g % of == index)
+            .map(|(_, p)| p)
+            .collect())
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn label(
         &self,
@@ -508,6 +538,46 @@ mod tests {
         }
         let legacy = SweepSpec::from_value(&serde_json::Value::Object(stripped)).unwrap();
         assert_eq!(legacy, SweepSpec::default());
+    }
+
+    #[test]
+    fn shards_partition_the_expansion() {
+        let spec = SweepSpec::paper_grid();
+        let full: Vec<String> = spec
+            .expand()
+            .unwrap()
+            .into_iter()
+            .map(|p| p.label)
+            .collect();
+        for of in [1usize, 2, 3, 7, 20, 23] {
+            let mut merged: Vec<(usize, String)> = Vec::new();
+            for index in 0..of {
+                for (k, p) in spec.shard(index, of).unwrap().into_iter().enumerate() {
+                    merged.push((index + k * of, p.label));
+                }
+            }
+            merged.sort_by_key(|(g, _)| *g);
+            assert_eq!(
+                merged.iter().map(|(_, l)| l.clone()).collect::<Vec<_>>(),
+                full,
+                "{of} shards must reassemble the grid"
+            );
+        }
+        // More shards than points: the extras are empty, nothing is lost.
+        assert!(spec.shard(22, 23).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_shard_selectors_are_typed_errors() {
+        let spec = SweepSpec::default();
+        assert!(matches!(
+            spec.shard(0, 0).unwrap_err(),
+            SweepError::Shard { .. }
+        ));
+        assert!(matches!(
+            spec.shard(2, 2).unwrap_err(),
+            SweepError::Shard { .. }
+        ));
     }
 
     #[test]

@@ -197,7 +197,9 @@ fn caller_supplied_executor_exports_byte_identically() {
     // executor carries the jobs — and however many may run concurrently —
     // the export is the same bytes.
     let spec = quick_grid();
-    #[allow(deprecated)]
+    // This is the one site allowed to call the wrapper: it pins the
+    // wrapper's equivalence to `run_sweep_on` itself.
+    #[allow(deprecated)] // deprecation-ok
     let reference = run_sweep(&spec, &SweepOptions::default().with_threads(2)).unwrap();
 
     let executor = RayonExecutor::new(4);

@@ -1,0 +1,124 @@
+//! Property pin for deterministic sharding (ISSUE 10 satellite): for all
+//! grids and all shard counts `n ≤ 16`, the union of `shard(i, n)` outputs
+//! equals the unsharded expansion — no duplicates, no holes, and every
+//! shard preserves the expansion order. `mcm sweep --merge` leans on
+//! exactly these three properties to reassemble shard files byte-
+//! identically, so they are pinned here independently of the merge code.
+
+use std::collections::HashMap;
+
+use mcm_load::HdOperatingPoint;
+use mcm_sweep::{SweepPoint, SweepSpec};
+use proptest::prelude::*;
+
+/// A collision-free identity for one expanded point: its label plus the
+/// full experiment and fault-plan JSON (labels alone elide unswept axes).
+fn fingerprint(p: &SweepPoint) -> String {
+    format!(
+        "{}|{}|{}",
+        p.label,
+        serde_json::to_string(&p.experiment).unwrap(),
+        serde_json::to_string(&p.faults).unwrap()
+    )
+}
+
+/// Non-empty subsequence of `all` selected by the low bits of `mask`.
+fn subset<T: Clone>(all: &[T], mask: u32) -> Vec<T> {
+    let picked: Vec<T> = all
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, v)| v.clone())
+        .collect();
+    if picked.is_empty() {
+        vec![all[0].clone()]
+    } else {
+        picked
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = SweepSpec> {
+    (1u32..8, 1u32..16, 1u32..4, 1u32..4, any::<bool>()).prop_map(
+        |(pmask, cmask, kmask, wmask, faulted)| {
+            let mut spec = SweepSpec {
+                points: subset(
+                    &[
+                        HdOperatingPoint::Hd720p30,
+                        HdOperatingPoint::Hd1080p30,
+                        HdOperatingPoint::Hd1080p60,
+                    ],
+                    pmask,
+                ),
+                channels: subset(&[1, 2, 4, 8], cmask),
+                clocks_mhz: subset(&[200, 400], kmask),
+                workloads: subset(
+                    &[
+                        mcm_load::Workload::TableI,
+                        mcm_load::Workload::MultiTenant(2),
+                    ],
+                    wmask,
+                ),
+                op_limit: Some(1_000),
+                ..SweepSpec::default()
+            };
+            if faulted {
+                spec.faults = vec![None, Some(mcm_fault::FaultPlan::channel_loss(5, 0))];
+            }
+            spec
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union over all shards == the unsharded expansion, with no point
+    /// duplicated across shards and expansion order preserved inside each.
+    #[test]
+    fn shards_partition_every_grid(spec in arb_spec(), n in 1usize..=16) {
+        let whole = spec.expand().unwrap();
+        // Each expanded point is unique, so fingerprints index the grid.
+        let global: HashMap<String, usize> = whole
+            .iter()
+            .enumerate()
+            .map(|(g, p)| (fingerprint(p), g))
+            .collect();
+        prop_assert_eq!(global.len(), whole.len(), "expansion has duplicate points");
+
+        let mut covered = vec![false; whole.len()];
+        for i in 0..n {
+            let shard = spec.shard(i, n).unwrap();
+            let mut last: Option<usize> = None;
+            for p in &shard {
+                let g = *global
+                    .get(&fingerprint(p))
+                    .expect("shard invented a point the expansion does not contain");
+                // No duplicates: across shards (disjoint) or within one.
+                prop_assert!(!covered[g], "point {g} appears in more than one shard");
+                covered[g] = true;
+                // Order preserved: global indices strictly increase.
+                if let Some(prev) = last {
+                    prop_assert!(prev < g, "shard {i}/{n} reorders points {prev} and {g}");
+                }
+                last = Some(g);
+            }
+        }
+        // Exhaustive: every expanded point landed in some shard.
+        prop_assert!(covered.iter().all(|&c| c), "shards leave holes in the grid");
+    }
+
+    /// The selector contract: `index < of` and `of > 0`, anything else is a
+    /// typed error — and over-sharding a small grid just yields empties.
+    #[test]
+    fn bad_selectors_error_and_oversharding_is_benign(spec in arb_spec(), n in 1usize..=16) {
+        prop_assert!(spec.shard(n, n).is_err());
+        prop_assert!(spec.shard(n + 1, n).is_err());
+        prop_assert!(spec.shard(0, 0).is_err());
+        // More shards than points: the tail shards are empty, never errors.
+        let total = spec.len();
+        let of = total + 3;
+        let sizes: Vec<usize> = (0..of).map(|i| spec.shard(i, of).unwrap().len()).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+        prop_assert!(sizes.iter().all(|&s| s <= 1));
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Deprecation gate for the sweep entry point.
+#
+# `run_sweep` is a deprecated thin wrapper over `run_sweep_on`; every
+# consumer routes through an explicit executor now, and this check keeps
+# it that way: any new `run_sweep(` call site in crates/ or tests/ fails
+# CI. The one legitimate caller — the determinism test pinning the
+# wrapper's equivalence to `run_sweep_on` — opts out with a
+# `deprecation-ok` comment on the call line or the line directly above.
+#
+# Run from anywhere: `tools/deprecation-check.sh`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS=: read -r file line text; do
+  case "$text" in
+    *"fn run_sweep("*) continue ;;   # the wrapper's own definition
+    *deprecation-ok*) continue ;;    # same-line opt-out
+  esac
+  prev=""
+  if [ "$line" -gt 1 ]; then
+    prev=$(sed -n "$((line - 1))p" "$file")
+  fi
+  case "$prev" in
+    *deprecation-ok*) continue ;;    # opt-out on the line above
+  esac
+  echo "DEPRECATED CALL  $file:$line:$text" >&2
+  echo "  migrate to run_sweep_on(&executor, ...), or mark the site 'deprecation-ok'" >&2
+  fail=1
+done < <(grep -rn "run_sweep(" crates tests --include='*.rs' || true)
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "deprecation-check: no unmigrated run_sweep( call sites"
